@@ -1,0 +1,98 @@
+// Ablation harness for the design choices DESIGN.md §2 documents: each row
+// re-runs the full pipeline on the Hangzhou preset with one knob moved and
+// reports t2vec (L0) and E2DTC (L2) quality. Includes the paper's own
+// GRU-vs-LSTM claim (Section VII-B: GRU embeds better) and the three
+// reduced-scale substitutions (optimizer, Eq. 8 temperature, cell-vector
+// hygiene) whose defaults EXPERIMENTS.md justifies.
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace e2dtc;
+  std::printf("=== Design ablations (Hangzhou preset) ===\n");
+
+  data::Dataset ds = bench::BuildPreset(bench::PresetId::kHangzhou, 1.0, 42);
+  const std::vector<int> labels = data::Labels(ds);
+
+  struct Ablation {
+    const char* name;
+    std::function<void(core::E2dtcConfig*)> apply;
+  };
+  const Ablation ablations[] = {
+      {"baseline (defaults)", [](core::E2dtcConfig*) {}},
+      {"rnn = LSTM",
+       [](core::E2dtcConfig* c) { c->model.rnn = core::RnnKind::kLstm; }},
+      {"bidirectional encoder",
+       [](core::E2dtcConfig* c) {
+         c->model.bidirectional_encoder = true;
+       }},
+      {"optimizer = Adam lr 1e-4",
+       [](core::E2dtcConfig* c) {
+         c->pretrain.optimizer = core::OptimizerKind::kAdam;
+         c->pretrain.lr = 1e-4f;
+         c->self_train.optimizer = core::OptimizerKind::kAdam;
+         c->self_train.lr = 1e-4f;
+       }},
+      {"optimizer = Adam lr 1e-3",
+       [](core::E2dtcConfig* c) {
+         c->pretrain.optimizer = core::OptimizerKind::kAdam;
+         c->pretrain.lr = 1e-3f;
+         c->self_train.optimizer = core::OptimizerKind::kAdam;
+         c->self_train.lr = 1e-3f;
+       }},
+      {"alpha = cell (soft Eq.8 weights)",
+       [](core::E2dtcConfig* c) { c->model.knn_alpha_meters = 300.0; }},
+      {"embedding table trainable",
+       [](core::E2dtcConfig* c) { c->model.freeze_embedding_table = false; }},
+      {"no cell-vector smoothing",
+       [](core::E2dtcConfig* c) {
+         c->model.cell_embedding_smooth_rounds = 0;
+       }},
+      {"mean-pooled v_T",
+       [](core::E2dtcConfig* c) { c->model.mean_pool_embedding = true; }},
+      {"cell = 150 m",
+       [](core::E2dtcConfig* c) { c->model.cell_meters = 150.0; }},
+      {"cell = 600 m",
+       [](core::E2dtcConfig* c) { c->model.cell_meters = 600.0; }},
+      {"knn_k = 4",
+       [](core::E2dtcConfig* c) { c->model.knn_k = 4; }},
+      {"knn_k = 24",
+       [](core::E2dtcConfig* c) { c->model.knn_k = 24; }},
+      {"no token collapsing",
+       [](core::E2dtcConfig* c) { c->model.collapse_consecutive = false; }},
+  };
+
+  CsvWriter csv(bench::ResultsDir() + "/ablation_design.csv");
+  (void)csv.WriteRow(
+      {"ablation", "l0_uacc", "l0_nmi", "l2_uacc", "l2_nmi", "seconds"});
+  for (const auto& ab : ablations) {
+    core::E2dtcConfig cfg =
+        bench::BenchConfigFor(bench::PresetId::kHangzhou);
+    ab.apply(&cfg);
+    bench::DeepScores deep = bench::RunDeepMethods(ds, cfg);
+    std::printf("  %-32s  L0 %.3f/%.3f   L2 %.3f/%.3f   (%.1fs)\n", ab.name,
+                deep.t2vec.quality.uacc, deep.t2vec.quality.nmi,
+                deep.e2dtc.quality.uacc, deep.e2dtc.quality.nmi,
+                deep.e2dtc.seconds);
+    std::fflush(stdout);
+    (void)csv.WriteRow({ab.name,
+                        StrFormat("%.4f", deep.t2vec.quality.uacc),
+                        StrFormat("%.4f", deep.t2vec.quality.nmi),
+                        StrFormat("%.4f", deep.e2dtc.quality.uacc),
+                        StrFormat("%.4f", deep.e2dtc.quality.nmi),
+                        StrFormat("%.2f", deep.e2dtc.seconds)});
+  }
+  (void)csv.Close();
+  std::printf(
+      "\nExpected: cell-vector smoothing, token collapsing, 300 m cells and "
+      "the final-hidden v_T carry the quality; GRU >= LSTM (the paper's "
+      "Section VII-B choice). With the full-strength cell vectors the "
+      "pipeline is robust to the optimizer on this preset — the Adam "
+      "collapse documented in DESIGN.md section 2 bites when the cell-vector "
+      "geometry is weaker (sparser corpora, fewer skip-gram epochs).\n");
+  return 0;
+}

@@ -1,0 +1,263 @@
+// Engineering micro-benchmarks (google-benchmark): the building blocks the
+// experiment harnesses lean on. Not a paper table — used to track kernel
+// regressions.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/hausdorff.h"
+#include "distance/sspd.h"
+#include "distance/lcss.h"
+#include "embedding/skipgram.h"
+#include "geo/simplify.h"
+#include "metrics/hungarian.h"
+#include "nn/linalg.h"
+#include "nn/gru.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace e2dtc;
+
+distance::Polyline RandomLine(Rng* rng, int n) {
+  distance::Polyline line;
+  line.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    line.push_back(geo::XY{rng->Uniform(0, 5000), rng->Uniform(0, 5000)});
+  }
+  return line;
+}
+
+void BM_Dtw(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::DtwDistance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Dtw)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Edr(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::EdrDistance(a, b, 200.0));
+  }
+}
+BENCHMARK(BM_Edr)->Range(16, 256);
+
+void BM_Lcss(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::LcssDistance(a, b, 200.0));
+  }
+}
+BENCHMARK(BM_Lcss)->Range(16, 256);
+
+void BM_Hausdorff(benchmark::State& state) {
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::HausdorffDistance(a, b));
+  }
+}
+BENCHMARK(BM_Hausdorff)->Range(16, 256);
+
+void BM_Erp(benchmark::State& state) {
+  Rng rng(21);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::ErpDistance(a, b));
+  }
+}
+BENCHMARK(BM_Erp)->Range(16, 256);
+
+void BM_Sspd(benchmark::State& state) {
+  Rng rng(22);
+  const int n = static_cast<int>(state.range(0));
+  auto a = RandomLine(&rng, n);
+  auto b = RandomLine(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::SspdDistance(a, b));
+  }
+}
+BENCHMARK(BM_Sspd)->Range(16, 256);
+
+void BM_DtwOnSimplified(benchmark::State& state) {
+  // Douglas-Peucker preprocessing makes the O(L^2) metrics cheap: this
+  // measures DTW cost after simplifying 256-point lines at 50 m tolerance.
+  Rng rng(23);
+  auto make = [&rng] {
+    distance::Polyline line;
+    double x = 0.0;
+    for (int i = 0; i < 256; ++i) {
+      line.push_back(geo::XY{x, rng.Gaussian(0.0, 20.0)});
+      x += 30.0;
+    }
+    return line;
+  };
+  auto a_full = make();
+  auto b_full = make();
+  auto simplify = [](const distance::Polyline& line) {
+    std::vector<int> keep = geo::DouglasPeuckerIndices(line, 50.0);
+    distance::Polyline out;
+    for (int i : keep) out.push_back(line[static_cast<size_t>(i)]);
+    return out;
+  };
+  auto a = simplify(a_full);
+  auto b = simplify(b_full);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::DtwDistance(a, b));
+  }
+  state.counters["kept_points"] = static_cast<double>(a.size());
+}
+BENCHMARK(BM_DtwOnSimplified);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  Rng rng(24);
+  const int n = static_cast<int>(state.range(0));
+  nn::Tensor a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.Gaussian());
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::SymmetricEigen(a)->values);
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(64);
+
+void BM_Matmul(benchmark::State& state) {
+  Rng rng(5);
+  const int n = static_cast<int>(state.range(0));
+  nn::Tensor a = nn::Tensor::Gaussian(n, n, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::Gaussian(n, n, 1.0f, &rng);
+  nn::Tensor c;
+  for (auto _ : state) {
+    c.Matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_Matmul)->Range(16, 128);
+
+void BM_GruStepForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  const int batch = 32;
+  const int hidden = static_cast<int>(state.range(0));
+  nn::GruCell cell(hidden, hidden, &rng);
+  nn::Tensor x_val = nn::Tensor::Gaussian(batch, hidden, 1.0f, &rng);
+  nn::Tensor h_val = nn::Tensor::Gaussian(batch, hidden, 0.3f, &rng);
+  for (auto _ : state) {
+    nn::Var x = nn::Var::Leaf(x_val, true);
+    nn::Var h = nn::Var::Constant(h_val);
+    nn::Var out = nn::Sum(nn::Square(cell.Forward(x, h)));
+    nn::Backward(out);
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+}
+BENCHMARK(BM_GruStepForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KnnProximityLoss(benchmark::State& state) {
+  Rng rng(7);
+  const int n = 64, k = 16, vocab = 2000, hidden = 64;
+  nn::KnnCandidates cand;
+  cand.k = k;
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < k; ++c) {
+      cand.indices.push_back(
+          static_cast<int>(rng.UniformU64(vocab)));
+      cand.weights.push_back(c == 0 ? 0.7f : 0.3f / (k - 1));
+    }
+  }
+  nn::Tensor h_val = nn::Tensor::Gaussian(n, hidden, 1.0f, &rng);
+  nn::Var w = nn::Var::Leaf(nn::Tensor::Gaussian(vocab, hidden, 0.1f, &rng),
+                            true);
+  nn::Var b = nn::Var::Leaf(nn::Tensor(vocab, 1), true);
+  for (auto _ : state) {
+    nn::Var h = nn::Var::Leaf(h_val, true);
+    nn::Var loss = nn::KnnProximityLoss(h, w, b, cand);
+    nn::Backward(loss);
+    w.node()->ZeroGrad();
+    b.node()->ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().scalar());
+  }
+}
+BENCHMARK(BM_KnnProximityLoss);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  Rng rng(8);
+  const int n = static_cast<int>(state.range(0));
+  cluster::FeatureMatrix pts;
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(32);
+    for (auto& v : p) v = static_cast<float>(rng.Gaussian());
+    pts.push_back(std::move(p));
+  }
+  cluster::KMeansOptions opts;
+  opts.k = 8;
+  opts.max_iters = 5;
+  opts.num_init = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::KMeans(pts, opts)->inertia);
+  }
+}
+BENCHMARK(BM_KMeansIteration)->Range(128, 1024);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(9);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.UniformDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::SolveAssignment(cost)->total_cost);
+  }
+}
+BENCHMARK(BM_Hungarian)->Range(8, 64);
+
+void BM_SkipGramEpoch(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<std::vector<int>> corpus;
+  for (int s = 0; s < 100; ++s) {
+    std::vector<int> seq;
+    for (int t = 0; t < 30; ++t) {
+      seq.push_back(4 + static_cast<int>(rng.UniformU64(500)));
+    }
+    corpus.push_back(std::move(seq));
+  }
+  embedding::SkipGramConfig cfg;
+  cfg.dim = 32;
+  cfg.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        embedding::TrainSkipGram(corpus, 504, cfg)->data());
+  }
+}
+BENCHMARK(BM_SkipGramEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

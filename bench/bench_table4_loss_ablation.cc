@@ -1,0 +1,38 @@
+// Reproduces Table IV: E2DTC performance under the three loss
+// configurations. L0 = pre-training only (Eq. 8) + k-means; L1 = + KL
+// clustering loss (Eq. 12); L2 = + triplet loss (Eq. 14, the full model).
+// Paper's shape: L2 >= L1 >= L0 on every dataset and metric family.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace e2dtc;
+  std::printf("=== Table IV: E2DTC performance vs. loss functions ===\n");
+
+  for (bench::PresetId id : {bench::PresetId::kGeoLife,
+                             bench::PresetId::kPorto,
+                             bench::PresetId::kHangzhou}) {
+    data::Dataset ds = bench::BuildPreset(id, 1.0, 42);
+    const std::vector<int> labels = data::Labels(ds);
+    std::printf("\n--- %s ---\n", bench::PresetName(id).c_str());
+
+    std::vector<bench::MethodScore> scores;
+    const core::LossMode modes[] = {core::LossMode::kL0, core::LossMode::kL1,
+                                    core::LossMode::kL2};
+    const char* names[] = {"L0 (recon only)", "L1 (+clustering)",
+                           "L2 (full E2DTC)"};
+    for (int m = 0; m < 3; ++m) {
+      core::E2dtcConfig cfg = bench::BenchConfigFor(id, modes[m]);
+      bench::DeepScores deep = bench::RunDeepMethods(ds, cfg);
+      bench::MethodScore score = deep.e2dtc;
+      score.method = names[m];
+      scores.push_back(score);
+      bench::PrintScoreRow(score);
+    }
+    bench::WriteScoresCsv("table4_" + bench::PresetName(id) + ".csv",
+                          bench::PresetName(id), scores);
+  }
+  std::printf("\nExpected shape (paper Table IV): L2 >= L1 >= L0.\n");
+  return 0;
+}

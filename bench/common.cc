@@ -1,0 +1,213 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/kmedoids.h"
+#include "core/t2vec.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace e2dtc::bench {
+
+std::string PresetName(PresetId id) {
+  switch (id) {
+    case PresetId::kGeoLife:
+      return "GeoLife";
+    case PresetId::kPorto:
+      return "Porto";
+    case PresetId::kHangzhou:
+      return "Hangzhou";
+  }
+  return "Unknown";
+}
+
+data::Dataset BuildPreset(PresetId id, double scale, uint64_t seed) {
+  data::SyntheticCityConfig cfg;
+  switch (id) {
+    case PresetId::kGeoLife:
+      cfg = data::GeoLifePreset(scale, seed);
+      break;
+    case PresetId::kPorto:
+      cfg = data::PortoPreset(scale, seed);
+      break;
+    case PresetId::kHangzhou:
+      cfg = data::HangzhouPreset(scale, seed);
+      break;
+  }
+  data::Dataset raw = data::GenerateSyntheticCity(cfg).value();
+  return data::RelabelDataset(raw, data::GroundTruthConfig{}).value();
+}
+
+std::vector<distance::Polyline> ProjectAll(const data::Dataset& dataset) {
+  const geo::BoundingBox box =
+      geo::ComputeBoundingBox(dataset.trajectories);
+  const geo::GeoPoint center = box.Center();
+  const geo::LocalProjection proj(center.lon, center.lat);
+  std::vector<distance::Polyline> lines;
+  lines.reserve(dataset.trajectories.size());
+  for (const auto& t : dataset.trajectories) {
+    lines.push_back(geo::ProjectTrajectory(proj, t));
+  }
+  return lines;
+}
+
+namespace {
+
+MethodScore ScoreAssignments(const std::string& method,
+                             const std::vector<int>& assignments,
+                             const std::vector<int>& labels,
+                             double seconds) {
+  MethodScore score;
+  score.method = method;
+  score.quality = metrics::EvaluateClustering(assignments, labels).value();
+  score.seconds = seconds;
+  return score;
+}
+
+}  // namespace
+
+MethodScore RunClassicKMedoids(const data::Dataset& dataset,
+                               distance::Metric metric, int runs,
+                               uint64_t seed) {
+  const std::vector<int> labels = data::Labels(dataset);
+  const std::vector<distance::Polyline> lines = ProjectAll(dataset);
+  const int n = static_cast<int>(lines.size());
+
+  // Epsilon grid for the threshold metrics (paper: grid search, report
+  // best); a single pass for the threshold-free ones.
+  std::vector<double> epsilons;
+  if (metric == distance::Metric::kEdr ||
+      metric == distance::Metric::kLcss) {
+    epsilons = {100.0, 200.0, 400.0};
+  } else {
+    epsilons = {0.0};
+  }
+
+  MethodScore best;
+  best.method = distance::MetricName(metric) + " + KM";
+  bool first = true;
+  for (double eps : epsilons) {
+    Stopwatch watch;
+    distance::MetricParams params;
+    params.epsilon_meters = eps;
+    distance::DistanceMatrix matrix =
+        distance::ComputeDistanceMatrix(lines, metric, params);
+    auto dist = [&matrix](int i, int j) { return matrix.at(i, j); };
+
+    double uacc = 0.0, nmi = 0.0, ri = 0.0;
+    for (int run = 0; run < runs; ++run) {
+      cluster::KMedoidsOptions opts;
+      opts.k = dataset.num_clusters;
+      opts.seed = seed + static_cast<uint64_t>(run) * 1000 +
+                  static_cast<uint64_t>(eps);
+      cluster::KMedoidsResult km = cluster::KMedoids(n, dist, opts).value();
+      metrics::ClusteringQuality q =
+          metrics::EvaluateClustering(km.assignments, labels).value();
+      uacc += q.uacc;
+      nmi += q.nmi;
+      ri += q.ri;
+    }
+    MethodScore score;
+    score.method = best.method;
+    score.quality = {uacc / runs, nmi / runs, ri / runs};
+    // Paper's "clustering time": similarity computation + one clustering
+    // pass (the matrix is computed once; the k-medoids passes are averaged).
+    score.seconds = watch.ElapsedSeconds() / runs;
+    if (first || score.quality.uacc > best.quality.uacc) {
+      best = score;
+      first = false;
+    }
+  }
+  return best;
+}
+
+core::E2dtcConfig BenchConfig(core::LossMode mode) {
+  core::E2dtcConfig cfg;
+  cfg.model.embedding_dim = 48;
+  cfg.model.hidden_size = 48;
+  cfg.model.num_layers = 3;  // paper: 3-layer GRU
+  cfg.model.knn_k = 12;
+  cfg.pretrain.epochs = 8;
+  cfg.pretrain.batch_size = 32;
+  cfg.self_train.max_iters = 6;
+  cfg.self_train.batch_size = 32;
+  cfg.self_train.loss_mode = mode;
+  return cfg;
+}
+
+core::E2dtcConfig BenchConfigFor(PresetId id, core::LossMode mode) {
+  core::E2dtcConfig cfg = BenchConfig(mode);
+  switch (id) {
+    case PresetId::kGeoLife:
+      cfg.model.skipgram_epochs = 30;
+      cfg.pretrain.epochs = 10;
+      // GeoLife (k = 12, shortest trajectories) is the hardest preset:
+      // self-training needs a longer, slightly hotter schedule to converge.
+      cfg.self_train.max_iters = 10;
+      cfg.self_train.lr = 0.02f;
+      cfg.self_train.beta = 0.2f;
+      break;
+    case PresetId::kPorto:
+      cfg.model.skipgram_epochs = 20;
+      cfg.pretrain.epochs = 10;
+      break;
+    case PresetId::kHangzhou:
+      cfg.model.skipgram_epochs = 15;
+      cfg.pretrain.epochs = 8;
+      break;
+  }
+  return cfg;
+}
+
+DeepScores RunDeepMethods(const data::Dataset& dataset,
+                          const core::E2dtcConfig& config) {
+  const std::vector<int> labels = data::Labels(dataset);
+  DeepScores out;
+  auto pipeline = core::E2dtcPipeline::Fit(dataset, config);
+  E2DTC_CHECK_MSG(pipeline.ok(), pipeline.status().ToString().c_str());
+  out.pipeline = std::move(pipeline).value();
+  const core::FitResult& fit = out.pipeline->fit_result();
+  // t2vec + k-means is the pipeline stopped after pre-training: charge it
+  // the embed + pretrain + k-means time.
+  out.t2vec = ScoreAssignments(
+      "t2vec + k-means", fit.l0_assignments, labels,
+      fit.embed_seconds + fit.pretrain_seconds + fit.cluster_seconds * 0.1);
+  out.e2dtc =
+      ScoreAssignments("E2DTC", fit.assignments, labels, fit.total_seconds);
+  return out;
+}
+
+std::string ResultsDir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+void PrintScoreRow(const MethodScore& score) {
+  std::printf("  %-18s  UACC %.3f  NMI %.3f  RI %.3f   (%.2fs)\n",
+              score.method.c_str(), score.quality.uacc, score.quality.nmi,
+              score.quality.ri, score.seconds);
+  std::fflush(stdout);
+}
+
+void WriteScoresCsv(const std::string& filename, const std::string& dataset,
+                    const std::vector<MethodScore>& scores) {
+  CsvWriter w(ResultsDir() + "/" + filename);
+  if (!w.Ok()) return;
+  (void)w.WriteRow({"dataset", "method", "uacc", "nmi", "ri", "seconds"});
+  for (const auto& s : scores) {
+    (void)w.WriteRow({dataset, s.method, StrFormat("%.4f", s.quality.uacc),
+                      StrFormat("%.4f", s.quality.nmi),
+                      StrFormat("%.4f", s.quality.ri),
+                      StrFormat("%.3f", s.seconds)});
+  }
+  (void)w.Close();
+}
+
+}  // namespace e2dtc::bench

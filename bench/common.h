@@ -1,0 +1,76 @@
+#ifndef E2DTC_BENCH_COMMON_H_
+#define E2DTC_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/e2dtc.h"
+#include "data/dataset.h"
+#include "distance/matrix.h"
+#include "metrics/clustering_metrics.h"
+
+/// Shared harness for the table/figure reproduction benches. Every bench is
+/// a plain executable that prints paper-shaped rows to stdout and mirrors
+/// them as CSV under ./bench_results/.
+namespace e2dtc::bench {
+
+/// The paper's three datasets, reproduced via the synthetic-city presets +
+/// Algorithm 2 ground truth (DESIGN.md section 2).
+enum class PresetId { kGeoLife, kPorto, kHangzhou };
+
+std::string PresetName(PresetId id);
+
+/// Builds a preset dataset at `scale` of the bench-default population and
+/// relabels it with Algorithm 2 (sigma 0.6, lambda 0.7, paper defaults).
+data::Dataset BuildPreset(PresetId id, double scale, uint64_t seed);
+
+/// Projects every trajectory into planar meters for the classic metrics.
+std::vector<distance::Polyline> ProjectAll(const data::Dataset& dataset);
+
+/// One method's scores on one dataset.
+struct MethodScore {
+  std::string method;
+  metrics::ClusteringQuality quality;
+  double seconds = 0.0;  ///< End-to-end clustering time.
+};
+
+/// Classic baseline: <metric> + K-Medoids. For the threshold metrics (EDR,
+/// LCSS) the epsilon grid is searched and the best UACC reported, mirroring
+/// the paper's grid-search protocol. `runs` repetitions are averaged.
+MethodScore RunClassicKMedoids(const data::Dataset& dataset,
+                               distance::Metric metric, int runs,
+                               uint64_t seed);
+
+/// Deep methods: one pipeline fit yields both the t2vec + k-means baseline
+/// (the L0 configuration) and the full E2DTC result.
+struct DeepScores {
+  MethodScore t2vec;
+  MethodScore e2dtc;
+  std::unique_ptr<core::E2dtcPipeline> pipeline;
+};
+
+/// Bench-default training configuration scaled for single-core CPU runs.
+core::E2dtcConfig BenchConfig(core::LossMode mode = core::LossMode::kL2);
+
+/// Per-dataset tuned configuration (the paper likewise tunes training
+/// hyper-parameters per dataset and reports the best run): sparser corpora
+/// get more skip-gram and pre-training epochs.
+core::E2dtcConfig BenchConfigFor(PresetId id,
+                                 core::LossMode mode = core::LossMode::kL2);
+
+DeepScores RunDeepMethods(const data::Dataset& dataset,
+                          const core::E2dtcConfig& config);
+
+/// Output directory for CSV mirrors (created on first use).
+std::string ResultsDir();
+
+/// Prints a metrics row: "<method>  UACC  NMI  RI  (time s)".
+void PrintScoreRow(const MethodScore& score);
+
+/// Writes rows of (method, uacc, nmi, ri, seconds) for one dataset.
+void WriteScoresCsv(const std::string& filename, const std::string& dataset,
+                    const std::vector<MethodScore>& scores);
+
+}  // namespace e2dtc::bench
+
+#endif  // E2DTC_BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+// Metric x clusterer comparison matrix: runs every classic trajectory
+// metric (DTW, EDR, LCSS, Hausdorff, Fréchet, ERP, SSPD) through three
+// distance-based clusterers (K-Medoids, agglomerative average-linkage,
+// spectral) on one synthetic city and prints an NMI matrix — the "pick a
+// metric, pick an algorithm" survey the paper's introduction argues is
+// fragile. E2DTC's row at the bottom shows the learned alternative.
+//
+//   ./build/examples/metric_clusterer_matrix
+#include <cstdio>
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmedoids.h"
+#include "cluster/spectral.h"
+#include "core/e2dtc.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "distance/matrix.h"
+#include "metrics/clustering_metrics.h"
+
+int main() {
+  using namespace e2dtc;
+
+  data::SyntheticCityConfig city = data::HangzhouPreset(0.5, 17);
+  data::Dataset ds =
+      data::RelabelDataset(data::GenerateSyntheticCity(city).value(),
+                           data::GroundTruthConfig{})
+          .value();
+  const std::vector<int> labels = data::Labels(ds);
+  const int n = ds.size();
+  std::printf("%d trajectories, %d clusters\n\n", n, ds.num_clusters);
+
+  const geo::GeoPoint center =
+      geo::ComputeBoundingBox(ds.trajectories).Center();
+  const geo::LocalProjection proj(center.lon, center.lat);
+  std::vector<distance::Polyline> lines;
+  for (const auto& t : ds.trajectories) {
+    lines.push_back(geo::ProjectTrajectory(proj, t));
+  }
+
+  std::printf("%-10s %12s %14s %10s   (NMI)\n", "metric", "K-Medoids",
+              "Agglomerative", "Spectral");
+  for (distance::Metric m :
+       {distance::Metric::kDtw, distance::Metric::kEdr,
+        distance::Metric::kLcss, distance::Metric::kHausdorff,
+        distance::Metric::kFrechet, distance::Metric::kErp,
+        distance::Metric::kSspd}) {
+    distance::DistanceMatrix matrix =
+        distance::ComputeDistanceMatrix(lines, m);
+    auto dist = [&matrix](int i, int j) { return matrix.at(i, j); };
+
+    cluster::KMedoidsOptions km;
+    km.k = ds.num_clusters;
+    const double nmi_km =
+        metrics::NormalizedMutualInformation(
+            cluster::KMedoids(n, dist, km)->assignments, labels)
+            .value();
+
+    cluster::AgglomerativeOptions agg;
+    agg.k = ds.num_clusters;
+    const double nmi_agg =
+        metrics::NormalizedMutualInformation(
+            cluster::AgglomerativeClustering(n, dist, agg)->assignments,
+            labels)
+            .value();
+
+    cluster::SpectralOptions sp;
+    sp.k = ds.num_clusters;
+    const double nmi_sp =
+        metrics::NormalizedMutualInformation(
+            cluster::SpectralClustering(n, dist, sp)->assignments, labels)
+            .value();
+
+    std::printf("%-10s %12.3f %14.3f %10.3f\n",
+                distance::MetricName(m).c_str(), nmi_km, nmi_agg, nmi_sp);
+  }
+
+  // The learned alternative: one model, no metric choice at all.
+  core::E2dtcConfig cfg;
+  cfg.model.hidden_size = 32;
+  cfg.model.embedding_dim = 32;
+  cfg.model.num_layers = 2;
+  cfg.pretrain.epochs = 5;
+  cfg.self_train.max_iters = 4;
+  auto pipeline = core::E2dtcPipeline::Fit(ds, cfg).value();
+  const double nmi_deep =
+      metrics::NormalizedMutualInformation(
+          pipeline->fit_result().assignments, labels)
+          .value();
+  std::printf("%-10s %12s %14s %10s\n", "", "", "", "");
+  std::printf("%-10s %38.3f   (no metric to pick)\n", "E2DTC", nmi_deep);
+  return 0;
+}

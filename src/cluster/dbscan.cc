@@ -1,0 +1,60 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+namespace e2dtc::cluster {
+
+Result<DbscanResult> Dbscan(int n, const DistanceFn& dist,
+                            const DbscanOptions& options) {
+  if (options.eps <= 0.0) return Status::InvalidArgument("eps must be > 0");
+  if (options.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  DbscanResult result;
+  result.assignments.assign(static_cast<size_t>(n), DbscanResult::kNoise);
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+
+  auto neighbors = [&](int i) {
+    std::vector<int> out;
+    for (int j = 0; j < n; ++j) {
+      if (dist(i, j) <= options.eps) out.push_back(j);
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    if (visited[static_cast<size_t>(i)]) continue;
+    visited[static_cast<size_t>(i)] = true;
+    std::vector<int> seed = neighbors(i);
+    if (static_cast<int>(seed.size()) < options.min_pts) continue;  // noise
+
+    result.assignments[static_cast<size_t>(i)] = cluster;
+    std::deque<int> frontier(seed.begin(), seed.end());
+    while (!frontier.empty()) {
+      const int p = frontier.front();
+      frontier.pop_front();
+      if (result.assignments[static_cast<size_t>(p)] == DbscanResult::kNoise) {
+        result.assignments[static_cast<size_t>(p)] = cluster;  // border point
+      }
+      if (visited[static_cast<size_t>(p)]) continue;
+      visited[static_cast<size_t>(p)] = true;
+      result.assignments[static_cast<size_t>(p)] = cluster;
+      std::vector<int> pn = neighbors(p);
+      if (static_cast<int>(pn.size()) >= options.min_pts) {
+        for (int q : pn) {
+          if (!visited[static_cast<size_t>(q)] ||
+              result.assignments[static_cast<size_t>(q)] ==
+                  DbscanResult::kNoise) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  return result;
+}
+
+}  // namespace e2dtc::cluster

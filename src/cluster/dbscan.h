@@ -1,0 +1,32 @@
+#ifndef E2DTC_CLUSTER_DBSCAN_H_
+#define E2DTC_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "cluster/kmedoids.h"
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// DBSCAN configuration (density-based alternative clusterer; not in the
+/// paper's headline comparison but used by related trajectory work).
+struct DbscanOptions {
+  double eps = 1.0;   ///< Neighborhood radius in the distance's units.
+  int min_pts = 4;    ///< Core-point threshold (neighbors including self).
+};
+
+/// DBSCAN output. Noise points get label kNoise (-1).
+struct DbscanResult {
+  static constexpr int kNoise = -1;
+  std::vector<int> assignments;  ///< size N, cluster id or kNoise.
+  int num_clusters = 0;
+};
+
+/// Classic DBSCAN over an arbitrary symmetric distance (brute-force region
+/// queries, O(N^2)). Errors on non-positive eps or min_pts.
+Result<DbscanResult> Dbscan(int n, const DistanceFn& dist,
+                            const DbscanOptions& options);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_DBSCAN_H_

@@ -1,0 +1,51 @@
+#include "cluster/elbow.h"
+
+#include <cmath>
+
+namespace e2dtc::cluster {
+
+Result<ElbowResult> ElbowScan(const FeatureMatrix& points, int k_min,
+                              int k_max, const KMeansOptions& base_options) {
+  if (k_min < 1 || k_min > k_max) {
+    return Status::InvalidArgument("require 1 <= k_min <= k_max");
+  }
+  ElbowResult result;
+  result.curve.reserve(static_cast<size_t>(k_max - k_min + 1));
+  for (int k = k_min; k <= k_max; ++k) {
+    KMeansOptions opts = base_options;
+    opts.k = k;
+    E2DTC_ASSIGN_OR_RETURN(KMeansResult km, KMeans(points, opts));
+    result.curve.push_back({k, km.inertia});
+  }
+  E2DTC_ASSIGN_OR_RETURN(result.best_k, KneeOfCurve(result.curve));
+  return result;
+}
+
+Result<int> KneeOfCurve(const std::vector<ElbowPoint>& curve) {
+  if (curve.size() < 3) {
+    return Status::InvalidArgument("knee detection needs >= 3 curve points");
+  }
+  // Normalize both axes to [0,1] so the chord criterion is scale-free.
+  const double k0 = curve.front().k;
+  const double k1 = curve.back().k;
+  const double e0 = curve.front().inertia;
+  const double e1 = curve.back().inertia;
+  const double dk = k1 - k0;
+  const double de = e0 - e1;
+  if (dk <= 0.0) return Status::InvalidArgument("curve k values not sorted");
+  double best = -1.0;
+  int best_k = curve.front().k;
+  for (const auto& p : curve) {
+    const double x = (p.k - k0) / dk;
+    const double y = de > 0.0 ? (e0 - p.inertia) / de : 0.0;
+    // Distance from (x, y) to the chord y = x, up to the 1/sqrt(2) factor.
+    const double dist = y - x;
+    if (dist > best) {
+      best = dist;
+      best_k = p.k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace e2dtc::cluster

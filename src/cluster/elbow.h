@@ -1,0 +1,36 @@
+#ifndef E2DTC_CLUSTER_ELBOW_H_
+#define E2DTC_CLUSTER_ELBOW_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// One point of the elbow curve (paper Fig. 6(a)): E_k = k-means inertia.
+struct ElbowPoint {
+  int k = 0;
+  double inertia = 0.0;
+};
+
+/// Elbow scan output with the knee estimate.
+struct ElbowResult {
+  std::vector<ElbowPoint> curve;
+  int best_k = 0;  ///< Knee of the curve.
+};
+
+/// Runs k-means for k in [k_min, k_max] and picks the knee as the point of
+/// maximum perpendicular distance to the chord between the curve endpoints
+/// (the standard geometric elbow criterion). Errors if k_min < 1,
+/// k_min > k_max, or there are fewer than k_max points.
+Result<ElbowResult> ElbowScan(const FeatureMatrix& points, int k_min,
+                              int k_max, const KMeansOptions& base_options);
+
+/// Knee of an arbitrary decreasing curve by the same chord criterion.
+/// Requires at least 3 points.
+Result<int> KneeOfCurve(const std::vector<ElbowPoint>& curve);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_ELBOW_H_

@@ -1,0 +1,107 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace e2dtc::cluster {
+
+Result<AgglomerativeResult> AgglomerativeClustering(
+    int n, const DistanceFn& dist, const AgglomerativeOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n < options.k) return Status::InvalidArgument("fewer points than k");
+
+  // Active-cluster distance matrix, updated with Lance-Williams rules.
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dij = dist(i, j);
+      d[static_cast<size_t>(i) * n + j] = dij;
+      d[static_cast<size_t>(j) * n + i] = dij;
+    }
+  }
+  std::vector<bool> active(static_cast<size_t>(n), true);
+  std::vector<int> size(static_cast<size_t>(n), 1);
+  // Dendrogram ids: slot i currently holds cluster `id[i]`.
+  std::vector<int> id(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) id[static_cast<size_t>(i)] = i;
+  // Points in each active slot, for the final labeling.
+  std::vector<std::vector<int>> members(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) members[static_cast<size_t>(i)] = {i};
+
+  AgglomerativeResult result;
+  result.dendrogram.reserve(static_cast<size_t>(n - 1));
+  int active_count = n;
+  int next_id = n;
+
+  while (active_count > options.k) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    int bi = -1, bj = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!active[static_cast<size_t>(i)]) continue;
+      for (int j = i + 1; j < n; ++j) {
+        if (!active[static_cast<size_t>(j)]) continue;
+        const double dij = d[static_cast<size_t>(i) * n + j];
+        if (dij < best) {
+          best = dij;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    E2DTC_CHECK(bi >= 0 && bj >= 0);
+
+    // Merge bj into bi; record the step.
+    MergeStep step;
+    step.left = id[static_cast<size_t>(bi)];
+    step.right = id[static_cast<size_t>(bj)];
+    step.distance = best;
+    step.size = size[static_cast<size_t>(bi)] + size[static_cast<size_t>(bj)];
+    result.dendrogram.push_back(step);
+
+    // Lance-Williams distance updates.
+    const double ni = size[static_cast<size_t>(bi)];
+    const double nj = size[static_cast<size_t>(bj)];
+    for (int h = 0; h < n; ++h) {
+      if (!active[static_cast<size_t>(h)] || h == bi || h == bj) continue;
+      const double dhi = d[static_cast<size_t>(h) * n + bi];
+      const double dhj = d[static_cast<size_t>(h) * n + bj];
+      double merged;
+      switch (options.linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dhi, dhj);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dhi, dhj);
+          break;
+        case Linkage::kAverage:
+          merged = (ni * dhi + nj * dhj) / (ni + nj);
+          break;
+      }
+      d[static_cast<size_t>(h) * n + bi] = merged;
+      d[static_cast<size_t>(bi) * n + h] = merged;
+    }
+    size[static_cast<size_t>(bi)] = step.size;
+    id[static_cast<size_t>(bi)] = next_id++;
+    active[static_cast<size_t>(bj)] = false;
+    auto& into = members[static_cast<size_t>(bi)];
+    auto& from = members[static_cast<size_t>(bj)];
+    into.insert(into.end(), from.begin(), from.end());
+    from.clear();
+    --active_count;
+  }
+
+  // Label the k remaining active slots 0..k-1.
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  int label = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!active[static_cast<size_t>(i)]) continue;
+    for (int p : members[static_cast<size_t>(i)]) {
+      result.assignments[static_cast<size_t>(p)] = label;
+    }
+    ++label;
+  }
+  return result;
+}
+
+}  // namespace e2dtc::cluster

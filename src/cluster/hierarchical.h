@@ -1,0 +1,42 @@
+#ifndef E2DTC_CLUSTER_HIERARCHICAL_H_
+#define E2DTC_CLUSTER_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "cluster/kmedoids.h"
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// Linkage criterion for agglomerative clustering.
+enum class Linkage { kSingle, kComplete, kAverage };
+
+struct AgglomerativeOptions {
+  int k = 2;
+  Linkage linkage = Linkage::kAverage;
+};
+
+/// One merge step of the dendrogram (clusters named like scipy: inputs are
+/// 0..n-1, merge i creates cluster n+i).
+struct MergeStep {
+  int left = 0;
+  int right = 0;
+  double distance = 0.0;  ///< Linkage distance at the merge.
+  int size = 0;           ///< Points in the merged cluster.
+};
+
+struct AgglomerativeResult {
+  std::vector<int> assignments;     ///< Labels after cutting at k clusters.
+  std::vector<MergeStep> dendrogram;  ///< All n-1 merges, in order.
+};
+
+/// Agglomerative hierarchical clustering over an arbitrary symmetric
+/// dissimilarity, using Lance-Williams updates (O(n^2) memory, O(n^3)
+/// worst-case time — fine for the corpus sizes the trajectory benches use).
+/// Errors on k < 1 or n < k.
+Result<AgglomerativeResult> AgglomerativeClustering(
+    int n, const DistanceFn& dist, const AgglomerativeOptions& options);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_HIERARCHICAL_H_

@@ -1,0 +1,185 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::cluster {
+
+double SquaredDistance(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  E2DTC_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+Status ValidateInput(const FeatureMatrix& points, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (static_cast<int>(points.size()) < k) {
+    return Status::InvalidArgument(
+        StrFormat("need at least k=%d points, got %zu", k, points.size()));
+  }
+  const size_t dim = points[0].size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional points");
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  return Status::OK();
+}
+
+/// k-means++ seeding.
+FeatureMatrix PlusPlusInit(const FeatureMatrix& points, int k, Rng* rng) {
+  const int n = static_cast<int>(points.size());
+  FeatureMatrix centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng->UniformU64(static_cast<uint64_t>(n))]);
+  std::vector<double> d2(static_cast<size_t>(n),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      d2[static_cast<size_t>(i)] =
+          std::min(d2[static_cast<size_t>(i)],
+                   SquaredDistance(points[static_cast<size_t>(i)],
+                                   centroids.back()));
+      total += d2[static_cast<size_t>(i)];
+    }
+    int chosen;
+    if (total <= 0.0) {
+      chosen = static_cast<int>(rng->UniformU64(static_cast<uint64_t>(n)));
+    } else {
+      double r = rng->UniformDouble() * total;
+      chosen = n - 1;
+      for (int i = 0; i < n; ++i) {
+        r -= d2[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[static_cast<size_t>(chosen)]);
+  }
+  return centroids;
+}
+
+/// One full Lloyd run from the given centroids.
+KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
+                   const KMeansOptions& options) {
+  const int n = static_cast<int>(points.size());
+  const int k = static_cast<int>(centroids.size());
+  const size_t dim = points[0].size();
+  KMeansResult result;
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (int j = 0; j < k; ++j) {
+        const double d = SquaredDistance(points[static_cast<size_t>(i)],
+                                         centroids[static_cast<size_t>(j)]);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+      result.assignments[static_cast<size_t>(i)] = best_j;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    FeatureMatrix sums(static_cast<size_t>(k),
+                       std::vector<float>(dim, 0.0f));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const int j = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(j)];
+      const auto& p = points[static_cast<size_t>(i)];
+      auto& s = sums[static_cast<size_t>(j)];
+      for (size_t d = 0; d < dim; ++d) s[d] += p[d];
+    }
+    for (int j = 0; j < k; ++j) {
+      if (counts[static_cast<size_t>(j)] == 0) {
+        // Re-seed an empty cluster with the point farthest from its centroid.
+        double worst = -1.0;
+        int worst_i = 0;
+        for (int i = 0; i < n; ++i) {
+          const int a = result.assignments[static_cast<size_t>(i)];
+          const double d =
+              SquaredDistance(points[static_cast<size_t>(i)],
+                              centroids[static_cast<size_t>(a)]);
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        centroids[static_cast<size_t>(j)] =
+            points[static_cast<size_t>(worst_i)];
+      } else {
+        const float inv = 1.0f / static_cast<float>(
+                                     counts[static_cast<size_t>(j)]);
+        auto& c = centroids[static_cast<size_t>(j)];
+        const auto& s = sums[static_cast<size_t>(j)];
+        for (size_t d = 0; d < dim; ++d) c[d] = s[d] * inv;
+      }
+    }
+
+    if (prev_inertia - inertia <=
+        options.tol * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const FeatureMatrix& points,
+                            const KMeansOptions& options) {
+  E2DTC_RETURN_IF_ERROR(ValidateInput(points, options.k));
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.num_init);
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult run =
+        Lloyd(points, PlusPlusInit(points, options.k, &rng), options);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+Result<KMeansResult> KMeansFrom(const FeatureMatrix& points,
+                                const FeatureMatrix& initial_centroids,
+                                const KMeansOptions& options) {
+  E2DTC_RETURN_IF_ERROR(
+      ValidateInput(points, static_cast<int>(initial_centroids.size())));
+  for (const auto& c : initial_centroids) {
+    if (c.size() != points[0].size()) {
+      return Status::InvalidArgument("centroid dimension mismatch");
+    }
+  }
+  return Lloyd(points, initial_centroids, options);
+}
+
+}  // namespace e2dtc::cluster

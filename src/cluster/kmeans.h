@@ -1,0 +1,50 @@
+#ifndef E2DTC_CLUSTER_KMEANS_H_
+#define E2DTC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// Row-major feature matrix: points[i] is the i-th sample.
+using FeatureMatrix = std::vector<std::vector<float>>;
+
+/// Lloyd's k-means configuration.
+struct KMeansOptions {
+  int k = 2;
+  int max_iters = 100;
+  /// Converged when the relative inertia improvement falls below this.
+  double tol = 1e-4;
+  uint64_t seed = 42;
+  /// Number of k-means++ restarts; the best-inertia run wins.
+  int num_init = 4;
+};
+
+/// k-means output.
+struct KMeansResult {
+  std::vector<int> assignments;       ///< size N, values in [0,k).
+  FeatureMatrix centroids;            ///< k rows.
+  double inertia = 0.0;               ///< Sum of squared distances (E_k).
+  int iterations = 0;                 ///< Of the winning restart.
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Errors if N < k or inputs are
+/// ragged/empty. Empty clusters are re-seeded with the farthest point.
+Result<KMeansResult> KMeans(const FeatureMatrix& points,
+                            const KMeansOptions& options);
+
+/// Variant starting from caller-provided centroids (single run, no
+/// re-seeding of the initialization).
+Result<KMeansResult> KMeansFrom(const FeatureMatrix& points,
+                                const FeatureMatrix& initial_centroids,
+                                const KMeansOptions& options);
+
+/// Squared Euclidean distance between two equal-length feature rows.
+double SquaredDistance(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_KMEANS_H_

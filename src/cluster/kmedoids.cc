@@ -1,0 +1,132 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::cluster {
+
+namespace {
+
+/// k-medoids++ seeding: like k-means++ but in dissimilarity space.
+std::vector<int> PlusPlusInit(int n, const DistanceFn& dist, int k,
+                              Rng* rng) {
+  std::vector<int> medoids;
+  medoids.reserve(static_cast<size_t>(k));
+  medoids.push_back(
+      static_cast<int>(rng->UniformU64(static_cast<uint64_t>(n))));
+  std::vector<double> d(static_cast<size_t>(n),
+                        std::numeric_limits<double>::infinity());
+  while (static_cast<int>(medoids.size()) < k) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      d[static_cast<size_t>(i)] =
+          std::min(d[static_cast<size_t>(i)], dist(i, medoids.back()));
+      total += d[static_cast<size_t>(i)] * d[static_cast<size_t>(i)];
+    }
+    int chosen;
+    if (total <= 0.0) {
+      chosen = static_cast<int>(rng->UniformU64(static_cast<uint64_t>(n)));
+    } else {
+      double r = rng->UniformDouble() * total;
+      chosen = n - 1;
+      for (int i = 0; i < n; ++i) {
+        r -= d[static_cast<size_t>(i)] * d[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    medoids.push_back(chosen);
+  }
+  return medoids;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoids(int n, const DistanceFn& dist,
+                                const KMedoidsOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (n < options.k) {
+    return Status::InvalidArgument(
+        StrFormat("need at least k=%d points, got %d", options.k, n));
+  }
+  Rng rng(options.seed);
+  KMedoidsResult result;
+  result.medoids = PlusPlusInit(n, dist, options.k, &rng);
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  const int k = options.k;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double cost = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (int j = 0; j < k; ++j) {
+        const double dij = dist(i, result.medoids[static_cast<size_t>(j)]);
+        if (dij < best) {
+          best = dij;
+          best_j = j;
+        }
+      }
+      result.assignments[static_cast<size_t>(i)] = best_j;
+      cost += best;
+    }
+    result.total_cost = cost;
+
+    // Update step: each cluster's new medoid minimizes intra-cluster cost.
+    std::vector<std::vector<int>> members(static_cast<size_t>(k));
+    for (int i = 0; i < n; ++i) {
+      members[static_cast<size_t>(result.assignments[static_cast<size_t>(i)])]
+          .push_back(i);
+    }
+    bool changed = false;
+    for (int j = 0; j < k; ++j) {
+      const auto& cluster = members[static_cast<size_t>(j)];
+      if (cluster.empty()) continue;  // keep the old medoid
+      double best_cost = std::numeric_limits<double>::infinity();
+      int best_medoid = result.medoids[static_cast<size_t>(j)];
+      for (int cand : cluster) {
+        double c = 0.0;
+        for (int other : cluster) {
+          c += dist(cand, other);
+          if (c >= best_cost) break;
+        }
+        if (c < best_cost) {
+          best_cost = c;
+          best_medoid = cand;
+        }
+      }
+      if (best_medoid != result.medoids[static_cast<size_t>(j)]) {
+        result.medoids[static_cast<size_t>(j)] = best_medoid;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final assignment against the converged medoids.
+  double cost = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_j = 0;
+    for (int j = 0; j < k; ++j) {
+      const double dij = dist(i, result.medoids[static_cast<size_t>(j)]);
+      if (dij < best) {
+        best = dij;
+        best_j = j;
+      }
+    }
+    result.assignments[static_cast<size_t>(i)] = best_j;
+    cost += best;
+  }
+  result.total_cost = cost;
+  return result;
+}
+
+}  // namespace e2dtc::cluster

@@ -1,0 +1,40 @@
+#ifndef E2DTC_CLUSTER_KMEDOIDS_H_
+#define E2DTC_CLUSTER_KMEDOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// Accessor for a symmetric pairwise dissimilarity; dist(i,i) must be 0.
+using DistanceFn = std::function<double(int, int)>;
+
+/// K-Medoids configuration (the paper's classic baseline clusterer).
+struct KMedoidsOptions {
+  int k = 2;
+  int max_iters = 50;
+  uint64_t seed = 42;
+};
+
+/// K-Medoids output.
+struct KMedoidsResult {
+  std::vector<int> assignments;  ///< size N, values in [0,k).
+  std::vector<int> medoids;      ///< k point indices.
+  double total_cost = 0.0;       ///< Sum of distances to assigned medoids.
+  int iterations = 0;
+};
+
+/// Voronoi-iteration K-Medoids with k-medoids++ seeding: alternate between
+/// assigning points to the nearest medoid and recomputing each cluster's
+/// medoid as its cost-minimizing member. Works with any precomputed or
+/// on-the-fly distance (no feature vectors needed), which is what lets the
+/// classic EDR/LCSS/DTW/Hausdorff baselines share one implementation.
+Result<KMedoidsResult> KMedoids(int n, const DistanceFn& dist,
+                                const KMedoidsOptions& options);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_KMEDOIDS_H_

@@ -1,0 +1,122 @@
+#include "cluster/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/linalg.h"
+
+namespace e2dtc::cluster {
+
+Result<SpectralResult> SpectralClustering(int n, const DistanceFn& dist,
+                                          const SpectralOptions& options) {
+  if (options.k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (n < options.k) return Status::InvalidArgument("fewer points than k");
+  if (options.bandwidth_quantile <= 0.0 ||
+      options.bandwidth_quantile > 1.0) {
+    return Status::InvalidArgument("bandwidth_quantile must be in (0, 1]");
+  }
+
+  // Pairwise distances (dense) + bandwidth from the requested quantile.
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> upper;
+  upper.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dij = dist(i, j);
+      d[static_cast<size_t>(i) * n + j] = dij;
+      d[static_cast<size_t>(j) * n + i] = dij;
+      upper.push_back(dij);
+    }
+  }
+  std::sort(upper.begin(), upper.end());
+  const size_t q_idx = std::min(
+      upper.size() - 1,
+      static_cast<size_t>(options.bandwidth_quantile *
+                          static_cast<double>(upper.size())));
+  const double sigma = std::max(upper[q_idx], 1e-12);
+
+  // Gaussian affinity, optionally kNN-sparsified (symmetrized by max).
+  nn::Tensor w(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dij = d[static_cast<size_t>(i) * n + j];
+      w.at(i, j) =
+          static_cast<float>(std::exp(-(dij * dij) / (2.0 * sigma * sigma)));
+    }
+  }
+  if (options.neighbors > 0 && options.neighbors < n - 1) {
+    nn::Tensor sparse(n, n);
+    std::vector<int> idx(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::iota(idx.begin(), idx.end(), 0);
+      std::partial_sort(idx.begin(), idx.begin() + options.neighbors + 1,
+                        idx.end(), [&](int x, int y) {
+                          return w.at(i, x) > w.at(i, y);
+                        });
+      for (int r = 0; r <= options.neighbors; ++r) {
+        const int j = idx[static_cast<size_t>(r)];
+        if (j == i) continue;
+        sparse.at(i, j) = w.at(i, j);
+      }
+    }
+    // Symmetrize: keep an edge if either endpoint selected it.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const float m = std::max(sparse.at(i, j), sparse.at(j, i));
+        sparse.at(i, j) = m;
+        sparse.at(j, i) = m;
+      }
+    }
+    w = std::move(sparse);
+  }
+
+  // Symmetric normalized Laplacian L = I - D^-1/2 W D^-1/2.
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < n; ++j) deg += w.at(i, j);
+    inv_sqrt_deg[static_cast<size_t>(i)] =
+        deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  nn::Tensor lap(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double norm = inv_sqrt_deg[static_cast<size_t>(i)] *
+                          inv_sqrt_deg[static_cast<size_t>(j)] *
+                          w.at(i, j);
+      lap.at(i, j) = static_cast<float>((i == j ? 1.0 : 0.0) - norm);
+    }
+  }
+
+  E2DTC_ASSIGN_OR_RETURN(nn::EigenDecomposition eig,
+                         nn::SymmetricEigen(lap));
+
+  // Embed into the k smallest eigenvectors; row-normalize (NJW).
+  SpectralResult result;
+  result.embedding.assign(static_cast<size_t>(n),
+                          std::vector<float>(static_cast<size_t>(options.k)));
+  for (int i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (int c = 0; c < options.k; ++c) {
+      const float x = eig.vectors.at(i, c);
+      result.embedding[static_cast<size_t>(i)][static_cast<size_t>(c)] = x;
+      norm += static_cast<double>(x) * x;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (int c = 0; c < options.k; ++c) {
+      result.embedding[static_cast<size_t>(i)][static_cast<size_t>(c)] /=
+          static_cast<float>(norm);
+    }
+  }
+
+  KMeansOptions km;
+  km.k = options.k;
+  km.seed = options.seed;
+  E2DTC_ASSIGN_OR_RETURN(KMeansResult kmr, KMeans(result.embedding, km));
+  result.assignments = std::move(kmr.assignments);
+  return result;
+}
+
+}  // namespace e2dtc::cluster

@@ -1,0 +1,42 @@
+#ifndef E2DTC_CLUSTER_SPECTRAL_H_
+#define E2DTC_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "util/result.h"
+
+namespace e2dtc::cluster {
+
+/// Normalized spectral clustering (Ng-Jordan-Weiss): build a Gaussian
+/// affinity from a dissimilarity, form the symmetric normalized Laplacian
+/// L = I - D^-1/2 W D^-1/2, embed into its k smallest eigenvectors
+/// (row-normalized), and k-means the rows. Handles non-Euclidean inputs —
+/// any of the trajectory metrics plugs in directly, which none of the
+/// centroid-based clusterers can do.
+struct SpectralOptions {
+  int k = 2;
+  /// Gaussian affinity bandwidth as a quantile of the observed pairwise
+  /// distances (sigma = quantile(d, bandwidth_quantile)); a robust default
+  /// across metrics with wildly different scales.
+  double bandwidth_quantile = 0.25;
+  /// Keep only each point's `neighbors` strongest affinities (plus
+  /// symmetrization); 0 = dense graph.
+  int neighbors = 0;
+  uint64_t seed = 42;
+};
+
+struct SpectralResult {
+  std::vector<int> assignments;
+  /// The spectral embedding rows (n x k) fed to k-means.
+  FeatureMatrix embedding;
+};
+
+/// Errors on invalid k/bandwidth or n < k.
+Result<SpectralResult> SpectralClustering(int n, const DistanceFn& dist,
+                                          const SpectralOptions& options);
+
+}  // namespace e2dtc::cluster
+
+#endif  // E2DTC_CLUSTER_SPECTRAL_H_

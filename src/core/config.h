@@ -1,0 +1,127 @@
+#ifndef E2DTC_CORE_CONFIG_H_
+#define E2DTC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/augment.h"
+
+namespace e2dtc::core {
+
+/// Which terms of the joint loss (Eq. 14) are active — the paper's Table IV
+/// ablation. L0 = reconstruction only (pre-train + k-means == the t2vec
+/// baseline); L1 adds the KL clustering loss (Eq. 12); L2 adds the triplet
+/// loss (the full E2DTC).
+enum class LossMode { kL0, kL1, kL2 };
+
+/// Recurrent cell family. The paper picks GRU over LSTM for its better
+/// embedding quality (Section VII-B); both are implemented so the claim can
+/// be checked (bench_ablation_design).
+enum class RnnKind { kGru, kLstm };
+
+/// Architecture / discretization parameters (paper Section VII-B: 300 m
+/// cells, 3-layer GRU, Adam lr 1e-4, gradient clip 5).
+struct ModelConfig {
+  RnnKind rnn = RnnKind::kGru;
+  /// Run a second encoder stack over each sequence reversed and sum the
+  /// two final states (t2vec's bidirectional encoder). Doubles encoder
+  /// cost; ablated in bench_ablation_design.
+  bool bidirectional_encoder = false;
+  double cell_meters = 300.0;    ///< Grid cell side.
+  int vocab_min_count = 2;       ///< Hot-cell threshold.
+  bool collapse_consecutive = true;  ///< Collapse repeated cell tokens.
+  int embedding_dim = 64;
+  int hidden_size = 64;
+  int num_layers = 3;
+  float dropout = 0.1f;
+  int knn_k = 16;                ///< Candidate cells in the Eq. 8 loss.
+  /// Trajectory representation v_T: mean-pool the top-layer hidden states
+  /// over (valid) timesteps, or take the final hidden state only. Mean
+  /// pooling is markedly more cluster-friendly for wandering trajectories.
+  bool mean_pool_embedding = false;
+  /// Keep the skip-gram-initialized token embedding table fixed during
+  /// pre-/self-training. At small corpus scale the decoder's language-model
+  /// pressure otherwise destroys the table's spatial geometry, collapsing
+  /// the trajectory embeddings (see DESIGN.md).
+  bool freeze_embedding_table = true;
+  /// Skip-gram pre-training effort for the cell vectors (Eq. 7). The cell
+  /// co-occurrence statistics are the backbone of the whole pipeline, so we
+  /// train them hard; this phase is cheap relative to the seq2seq phases.
+  int skipgram_epochs = 15;
+  int skipgram_window = 12;
+  int skipgram_negatives = 5;
+  /// After skip-gram training, diffuse each cell vector over its spatial
+  /// KNN this many times (weights exp(-d/cell_meters)). Enforces Eq. 7's
+  /// "neighboring cells get similar representations" even where the
+  /// co-occurrence statistics are sparse. 0 disables.
+  int cell_embedding_smooth_rounds = 2;
+  /// Proximity temperature (Eq. 8's alpha), meters. <= 0 means use
+  /// cell_meters / 4 — sharp enough that the true target dominates the
+  /// Eq. 8 weights (a near-uniform target distribution carries no signal).
+  double knn_alpha_meters = -1.0;
+  uint64_t seed = 7;
+};
+
+/// Which optimizer a training phase uses. The paper uses Adam (lr 1e-4,
+/// 500 iterations on ~86k trajectories). At this repo's reduced bench scale
+/// Adam's per-parameter step normalization amplifies gradient noise enough
+/// to destroy the encoder's (useful) initialization, so SGD + momentum is
+/// the default here; Adam remains available for paper-scale runs.
+enum class OptimizerKind { kSgd, kAdam };
+
+/// Phase-2 pre-training (Section V-C).
+struct PretrainConfig {
+  int epochs = 8;
+  int batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  float lr = 0.05f;              ///< SGD default; use ~1e-4 with Adam.
+  float momentum = 0.9f;         ///< SGD only.
+  float grad_clip = 5.0f;
+  /// Corruption pairs sampled per trajectory per epoch. The paper
+  /// enumerates all 16 (r1, r2) combinations; sampling keeps epochs short
+  /// while covering the same grid in expectation.
+  int variants_per_trajectory = 1;
+  geo::AugmentConfig augment;
+  uint64_t seed = 11;
+};
+
+/// Phase-3 self-training (Section V-D, Algorithm 1).
+struct SelfTrainConfig {
+  /// Number of clusters; 0 means use the dataset's cluster count.
+  int k = 0;
+  int max_iters = 8;             ///< MaxIter2 (epochs over the corpus).
+  float beta = 0.1f;             ///< Clustering-loss weight (Eq. 14).
+  float gamma = 0.02f;           ///< Triplet-loss weight (Eq. 14).
+  float triplet_margin = 1.0f;
+  /// Stop when the fraction of changed hard assignments between epochs
+  /// falls to/below this (Algorithm 1 line 8's delta).
+  double delta = 0.005;
+  int batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  float lr = 0.01f;              ///< Gentler than pre-training: refine, not
+                                 ///< re-learn. Use ~1e-4 with Adam.
+  float momentum = 0.9f;         ///< SGD only.
+  float grad_clip = 5.0f;
+  LossMode loss_mode = LossMode::kL2;
+  uint64_t seed = 13;
+  /// Optional per-epoch observer: called with (epoch, hard assignments)
+  /// right after the Algorithm 1 line-7 refresh, before the delta check.
+  /// Used by the Fig. 5 learning-process harness.
+  std::function<void(int, const std::vector<int>&)> epoch_observer;
+};
+
+/// Everything needed to fit the full pipeline.
+struct E2dtcConfig {
+  ModelConfig model;
+  PretrainConfig pretrain;
+  SelfTrainConfig self_train;
+  /// Worker threads for corpus encoding (EncodeAll) during k-means init,
+  /// self-training refreshes, and serving. <= 1 keeps everything on the
+  /// calling thread. Training math is unaffected: encoding is inference.
+  int num_encode_threads = 1;
+};
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_CONFIG_H_

@@ -1,0 +1,205 @@
+#include "core/e2dtc.h"
+
+#include <algorithm>
+
+#include "cluster/elbow.h"
+#include "cluster/kmeans.h"
+#include "embedding/skipgram.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace e2dtc::core {
+
+Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
+    const data::Dataset& dataset, const E2dtcConfig& config) {
+  if (dataset.trajectories.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  int k = config.self_train.k > 0 ? config.self_train.k
+                                  : dataset.num_clusters;
+  // k == 0 (no configured k, unlabeled data): select k automatically from
+  // the elbow of the k-means inertia curve over the pre-trained embeddings
+  // (the paper's Fig. 6(a) procedure), after phase 2 below.
+  const bool auto_k = k == 0;
+  if (!auto_k && k < 2) {
+    return Status::InvalidArgument(
+        StrFormat("cluster count must be >= 2, got %d", k));
+  }
+  if (!auto_k && static_cast<int>(dataset.trajectories.size()) < k) {
+    return Status::InvalidArgument("fewer trajectories than clusters");
+  }
+  if (auto_k && static_cast<int>(dataset.trajectories.size()) < 8) {
+    return Status::InvalidArgument(
+        "automatic k selection needs at least 8 trajectories");
+  }
+
+  auto pipeline = std::unique_ptr<E2dtcPipeline>(new E2dtcPipeline());
+  pipeline->config_ = config;
+  if (config.num_encode_threads > 1) {
+    pipeline->encode_pool_ =
+        std::make_unique<ThreadPool>(config.num_encode_threads);
+  }
+  FitResult& fit = pipeline->fit_result_;
+  fit.k = k;
+  Stopwatch total_watch;
+
+  // ---- Phase 1: trajectory embedding (grid + vocabulary + skip-gram). ----
+  Stopwatch phase_watch;
+  const geo::BoundingBox box =
+      geo::ComputeBoundingBox(dataset.trajectories, /*margin_deg=*/1e-3);
+  E2DTC_ASSIGN_OR_RETURN(geo::Grid grid,
+                         geo::Grid::Create(box, config.model.cell_meters));
+  pipeline->vocab_ = geo::Vocabulary::Build(grid, dataset.trajectories,
+                                            config.model.vocab_min_count);
+  const geo::Vocabulary& vocab = *pipeline->vocab_;
+  if (vocab.num_cell_tokens() < 2) {
+    return Status::FailedPrecondition(
+        "degenerate vocabulary: all trajectories fall in one cell");
+  }
+  const double alpha = config.model.knn_alpha_meters > 0.0
+                           ? config.model.knn_alpha_meters
+                           : config.model.cell_meters / 4.0;
+  pipeline->knn_ = vocab.BuildKnnTable(config.model.knn_k, alpha);
+
+  Rng rng(config.model.seed);
+  pipeline->model_ = std::make_unique<Seq2SeqModel>(vocab.size(),
+                                                    config.model, &rng);
+
+  // Skip-gram cell vectors initialize the token embedding table (Eq. 7).
+  {
+    std::vector<std::vector<int>> corpus;
+    corpus.reserve(dataset.trajectories.size());
+    for (const auto& t : dataset.trajectories) {
+      corpus.push_back(
+          vocab.Encode(t, config.model.collapse_consecutive));
+    }
+    embedding::SkipGramConfig sg;
+    sg.dim = config.model.embedding_dim;
+    sg.seed = config.model.seed;
+    sg.epochs = config.model.skipgram_epochs;
+    sg.window = config.model.skipgram_window;
+    sg.negatives = config.model.skipgram_negatives;
+    E2DTC_ASSIGN_OR_RETURN(nn::Tensor table,
+                           embedding::TrainSkipGram(corpus, vocab.size(),
+                                                    sg));
+    // Spatial diffusion of the cell vectors (Eq. 7's locality property,
+    // made explicit; see ModelConfig::cell_embedding_smooth_rounds).
+    if (config.model.cell_embedding_smooth_rounds > 0) {
+      const geo::Vocabulary::KnnTable smooth_knn =
+          vocab.BuildKnnTable(config.model.knn_k, config.model.cell_meters);
+      for (int round = 0;
+           round < config.model.cell_embedding_smooth_rounds; ++round) {
+        nn::Tensor next(table.rows(), table.cols());
+        for (int tok = 0; tok < vocab.size(); ++tok) {
+          float* out = next.row(tok);
+          for (int c = 0; c < smooth_knn.k; ++c) {
+            const int nb = smooth_knn.indices[static_cast<size_t>(tok) *
+                                                  smooth_knn.k + c];
+            const float wgt = smooth_knn.weights[static_cast<size_t>(tok) *
+                                                     smooth_knn.k + c];
+            if (wgt == 0.0f) continue;
+            const float* src = table.row(nb);
+            for (int d = 0; d < table.cols(); ++d) out[d] += wgt * src[d];
+          }
+        }
+        table = std::move(next);
+      }
+    }
+    pipeline->model_->embedding().LoadTable(table);
+  }
+  fit.embed_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- Phase 2: pre-training. ----
+  phase_watch.Restart();
+  Pretrainer pretrainer(pipeline->model_.get(), &vocab, &*pipeline->knn_,
+                        config.pretrain);
+  fit.pretrain_history = pretrainer.Train(dataset.trajectories);
+  fit.pretrain_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- k-means initialization on the pre-trained embeddings. This is both
+  // Algorithm 1's centroid init and the t2vec + k-means baseline (L0). ----
+  phase_watch.Restart();
+  fit.l0_embeddings = EncodeAll(*pipeline->model_, vocab,
+                                dataset.trajectories,
+                                config.pretrain.batch_size,
+                                config.model.collapse_consecutive,
+                                pipeline->encode_pool_.get());
+  if (auto_k) {
+    cluster::KMeansOptions elbow_km;
+    elbow_km.seed = config.self_train.seed;
+    const int k_max =
+        std::min(22, static_cast<int>(dataset.trajectories.size()) / 4);
+    E2DTC_ASSIGN_OR_RETURN(
+        cluster::ElbowResult elbow,
+        cluster::ElbowScan(TensorRows(fit.l0_embeddings), 2,
+                           std::max(3, k_max), elbow_km));
+    k = elbow.best_k;
+    fit.k = k;
+    E2DTC_LOG(Debug) << "auto-selected k = " << k << " via elbow";
+  }
+  cluster::KMeansOptions km;
+  km.k = k;
+  km.seed = config.self_train.seed;
+  // k-means on the embeddings is milliseconds; buy init robustness (a bad
+  // centroid draw here is the dominant run-to-run variance source).
+  km.num_init = 10;
+  E2DTC_ASSIGN_OR_RETURN(
+      cluster::KMeansResult km_result,
+      cluster::KMeans(TensorRows(fit.l0_embeddings), km));
+  fit.l0_assignments = km_result.assignments;
+
+  nn::Tensor centroids(k, pipeline->model_->hidden_size());
+  for (int j = 0; j < k; ++j) {
+    std::copy(km_result.centroids[static_cast<size_t>(j)].begin(),
+              km_result.centroids[static_cast<size_t>(j)].end(),
+              centroids.row(j));
+  }
+
+  // ---- Phase 3: self-training (skipped in the L0 ablation). ----
+  if (config.self_train.loss_mode == LossMode::kL0) {
+    fit.assignments = fit.l0_assignments;
+    fit.embeddings = fit.l0_embeddings;
+    fit.centroids = std::move(centroids);
+  } else {
+    SelfTrainer self_trainer(pipeline->model_.get(), &vocab,
+                             &*pipeline->knn_, config.self_train,
+                             pipeline->encode_pool_.get());
+    SelfTrainer::TrainResult st =
+        self_trainer.Train(dataset.trajectories, centroids);
+    fit.assignments = std::move(st.assignments);
+    fit.embeddings = std::move(st.embeddings);
+    fit.centroids = std::move(st.centroids);
+    fit.self_train_history = std::move(st.history);
+    fit.self_train_converged = st.converged;
+  }
+  fit.cluster_seconds = phase_watch.ElapsedSeconds();
+  fit.total_seconds = total_watch.ElapsedSeconds();
+  E2DTC_LOG(Debug) << "fit done in " << fit.total_seconds << "s (embed "
+                   << fit.embed_seconds << ", pretrain "
+                   << fit.pretrain_seconds << ", cluster "
+                   << fit.cluster_seconds << ")";
+  return pipeline;
+}
+
+nn::Tensor E2dtcPipeline::Embed(
+    const std::vector<geo::Trajectory>& trajectories) const {
+  return EncodeAll(*model_, *vocab_, trajectories,
+                   config_.pretrain.batch_size,
+                   config_.model.collapse_consecutive,
+                   encode_pool_.get());
+}
+
+nn::Tensor E2dtcPipeline::SoftAssign(
+    const std::vector<geo::Trajectory>& trajectories) const {
+  return nn::StudentTAssignmentValue(Embed(trajectories),
+                                     fit_result_.centroids);
+}
+
+std::vector<int> E2dtcPipeline::Assign(
+    const std::vector<geo::Trajectory>& trajectories) const {
+  return HardAssignments(SoftAssign(trajectories));
+}
+
+}  // namespace e2dtc::core

@@ -1,0 +1,102 @@
+#ifndef E2DTC_CORE_E2DTC_H_
+#define E2DTC_CORE_E2DTC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pretrain.h"
+#include "core/self_training.h"
+#include "util/thread_pool.h"
+#include "core/seq2seq.h"
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace e2dtc::core {
+
+/// Everything produced by one end-to-end fit.
+struct FitResult {
+  int k = 0;
+  /// Final hard cluster assignments (phase 3; equals l0_assignments when
+  /// loss_mode == kL0).
+  std::vector<int> assignments;
+  /// Final trajectory embeddings [N, H].
+  nn::Tensor embeddings;
+  /// Final cluster centroids [k, H].
+  nn::Tensor centroids;
+  /// Phase-2-only baseline: k-means on the pre-trained embeddings. This IS
+  /// the paper's "t2vec + k-means" comparison point (and the L0 ablation).
+  std::vector<int> l0_assignments;
+  nn::Tensor l0_embeddings;
+
+  std::vector<Pretrainer::EpochStats> pretrain_history;
+  std::vector<SelfTrainer::EpochStats> self_train_history;
+  bool self_train_converged = false;
+
+  double embed_seconds = 0.0;     ///< Phase 1: grid/vocab/skip-gram.
+  double pretrain_seconds = 0.0;  ///< Phase 2.
+  double cluster_seconds = 0.0;   ///< k-means init + phase 3.
+  double total_seconds = 0.0;
+};
+
+/// The end-to-end deep trajectory clustering pipeline (paper Fig. 2):
+/// (1) trajectory embedding — grid discretization + skip-gram cell vectors;
+/// (2) pre-training — seq2seq reconstruction under Eq. 8;
+/// (3) self-training — joint DEC refinement with Eqs. 9-14.
+///
+/// Typical use:
+///   auto pipeline = E2dtcPipeline::Fit(dataset, config);
+///   const std::vector<int>& clusters = pipeline->fit_result().assignments;
+class E2dtcPipeline {
+ public:
+  /// Fits the full pipeline on a labeled or unlabeled dataset. The cluster
+  /// count comes from config.self_train.k, falling back to
+  /// dataset.num_clusters; if both are 0, k is selected automatically from
+  /// the elbow of the k-means inertia curve over the pre-trained embeddings
+  /// (the paper's Fig. 6(a) procedure). Errors on empty data or invalid
+  /// configuration.
+  static Result<std::unique_ptr<E2dtcPipeline>> Fit(
+      const data::Dataset& dataset, const E2dtcConfig& config);
+
+  /// Embeds new trajectories with the trained encoder.
+  nn::Tensor Embed(const std::vector<geo::Trajectory>& trajectories) const;
+
+  /// Assigns new trajectories to the learned clusters (argmax of the
+  /// Student-t soft assignment against the trained centroids).
+  std::vector<int> Assign(
+      const std::vector<geo::Trajectory>& trajectories) const;
+
+  /// Soft assignment matrix Q for new trajectories.
+  nn::Tensor SoftAssign(
+      const std::vector<geo::Trajectory>& trajectories) const;
+
+  const FitResult& fit_result() const { return fit_result_; }
+  const geo::Vocabulary& vocab() const { return *vocab_; }
+  const Seq2SeqModel& model() const { return *model_; }
+  Seq2SeqModel& mutable_model() { return *model_; }
+  const E2dtcConfig& config() const { return config_; }
+
+  /// Serialization (core/model_io.cc). Save writes vocab + parameters +
+  /// centroids; Load reconstructs a pipeline ready for Embed/Assign (the
+  /// fit_result history is not persisted).
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<E2dtcPipeline>> Load(const std::string& path);
+
+ private:
+  friend Result<std::unique_ptr<E2dtcPipeline>> LoadPipeline(
+      const std::string& path);
+
+  E2dtcPipeline() = default;
+
+  E2dtcConfig config_;
+  std::unique_ptr<ThreadPool> encode_pool_;  ///< Non-null when threaded.
+  std::optional<geo::Vocabulary> vocab_;
+  std::optional<geo::Vocabulary::KnnTable> knn_;
+  std::unique_ptr<Seq2SeqModel> model_;
+  FitResult fit_result_;
+};
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_E2DTC_H_

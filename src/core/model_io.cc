@@ -1,0 +1,168 @@
+#include <unordered_map>
+
+#include "core/e2dtc.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::core {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50443245;  // "E2DP"
+constexpr uint32_t kVersion = 3;
+
+Status WriteTensor(BinaryWriter* w, const nn::Tensor& t) {
+  E2DTC_RETURN_IF_ERROR(w->WriteI32(t.rows()));
+  E2DTC_RETURN_IF_ERROR(w->WriteI32(t.cols()));
+  return w->WriteFloats(t.storage());
+}
+
+Result<nn::Tensor> ReadTensor(BinaryReader* r) {
+  E2DTC_ASSIGN_OR_RETURN(int32_t rows, r->ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(int32_t cols, r->ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(std::vector<float> data, r->ReadFloats());
+  if (rows < 0 || cols < 0 ||
+      static_cast<int64_t>(data.size()) != static_cast<int64_t>(rows) * cols) {
+    return Status::IOError("corrupt tensor");
+  }
+  return nn::Tensor(rows, cols, std::move(data));
+}
+
+}  // namespace
+
+Status E2dtcPipeline::Save(const std::string& path) const {
+  BinaryWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(kVersion));
+
+  // Model configuration (the parts Load needs to rebuild the network).
+  const ModelConfig& mc = config_.model;
+  E2DTC_RETURN_IF_ERROR(
+      w.WriteU32(mc.rnn == RnnKind::kLstm ? 1u : 0u));
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(mc.bidirectional_encoder ? 1u : 0u));
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(mc.cell_meters));
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.vocab_min_count));
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(mc.collapse_consecutive ? 1 : 0));
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.embedding_dim));
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.hidden_size));
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.num_layers));
+  E2DTC_RETURN_IF_ERROR(w.WriteF32(mc.dropout));
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.knn_k));
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(mc.knn_alpha_meters));
+  E2DTC_RETURN_IF_ERROR(w.WriteU64(mc.seed));
+
+  // Grid + vocabulary.
+  const geo::Grid& grid = vocab_->grid();
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().min_lon));
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().min_lat));
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().max_lon));
+  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().max_lat));
+  E2DTC_RETURN_IF_ERROR(
+      w.WriteU64(static_cast<uint64_t>(vocab_->cells().size())));
+  for (size_t i = 0; i < vocab_->cells().size(); ++i) {
+    E2DTC_RETURN_IF_ERROR(
+        w.WriteU64(static_cast<uint64_t>(vocab_->cells()[i])));
+    E2DTC_RETURN_IF_ERROR(
+        w.WriteU64(static_cast<uint64_t>(vocab_->counts()[i])));
+  }
+
+  // Network parameters, name-tagged.
+  const auto params = model_->NamedParameters();
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(params.size())));
+  for (const auto& p : params) {
+    E2DTC_RETURN_IF_ERROR(w.WriteString(p.name));
+    E2DTC_RETURN_IF_ERROR(WriteTensor(&w, p.var.value()));
+  }
+
+  // Clustering state.
+  E2DTC_RETURN_IF_ERROR(w.WriteI32(fit_result_.k));
+  E2DTC_RETURN_IF_ERROR(WriteTensor(&w, fit_result_.centroids));
+  return w.Close();
+}
+
+Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Load(
+    const std::string& path) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open for reading: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) return Status::IOError("bad pipeline magic: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::IOError(StrFormat("unsupported version %u", version));
+  }
+
+  auto pipeline = std::unique_ptr<E2dtcPipeline>(new E2dtcPipeline());
+  ModelConfig& mc = pipeline->config_.model;
+  E2DTC_ASSIGN_OR_RETURN(uint32_t rnn_kind, r.ReadU32());
+  if (rnn_kind > 1) return Status::IOError("bad rnn kind");
+  mc.rnn = rnn_kind == 1 ? RnnKind::kLstm : RnnKind::kGru;
+  E2DTC_ASSIGN_OR_RETURN(uint32_t bidir, r.ReadU32());
+  if (bidir > 1) return Status::IOError("bad bidirectional flag");
+  mc.bidirectional_encoder = bidir == 1;
+  E2DTC_ASSIGN_OR_RETURN(mc.cell_meters, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(mc.vocab_min_count, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(uint32_t collapse, r.ReadU32());
+  mc.collapse_consecutive = collapse != 0;
+  E2DTC_ASSIGN_OR_RETURN(mc.embedding_dim, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(mc.hidden_size, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(mc.num_layers, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(mc.dropout, r.ReadF32());
+  E2DTC_ASSIGN_OR_RETURN(mc.knn_k, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(mc.knn_alpha_meters, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(mc.seed, r.ReadU64());
+
+  geo::BoundingBox box;
+  E2DTC_ASSIGN_OR_RETURN(box.min_lon, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(box.min_lat, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(box.max_lon, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(box.max_lat, r.ReadF64());
+  E2DTC_ASSIGN_OR_RETURN(geo::Grid grid,
+                         geo::Grid::Create(box, mc.cell_meters));
+  E2DTC_ASSIGN_OR_RETURN(uint64_t num_cells, r.ReadU64());
+  if (num_cells > (1ULL << 26)) return Status::IOError("implausible vocab");
+  std::vector<int64_t> cells(static_cast<size_t>(num_cells));
+  std::vector<int64_t> counts(static_cast<size_t>(num_cells));
+  for (size_t i = 0; i < num_cells; ++i) {
+    E2DTC_ASSIGN_OR_RETURN(uint64_t cell, r.ReadU64());
+    E2DTC_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    cells[i] = static_cast<int64_t>(cell);
+    counts[i] = static_cast<int64_t>(count);
+  }
+  pipeline->vocab_ = geo::Vocabulary::FromCells(grid, std::move(cells),
+                                                std::move(counts));
+  const double alpha =
+      mc.knn_alpha_meters > 0.0 ? mc.knn_alpha_meters : mc.cell_meters / 4.0;
+  pipeline->knn_ = pipeline->vocab_->BuildKnnTable(mc.knn_k, alpha);
+
+  Rng rng(mc.seed);
+  pipeline->model_ = std::make_unique<Seq2SeqModel>(
+      pipeline->vocab_->size(), mc, &rng);
+  auto params = pipeline->model_->NamedParameters();
+  std::unordered_map<std::string, nn::Var> by_name;
+  for (auto& p : params) by_name.emplace(p.name, p.var);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    E2DTC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    E2DTC_ASSIGN_OR_RETURN(nn::Tensor tensor, ReadTensor(&r));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("unexpected parameter: " + name);
+    }
+    if (!tensor.SameShape(it->second.value())) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    it->second.mutable_value() = std::move(tensor);
+  }
+
+  E2DTC_ASSIGN_OR_RETURN(pipeline->fit_result_.k, r.ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(pipeline->fit_result_.centroids, ReadTensor(&r));
+  pipeline->config_.self_train.k = pipeline->fit_result_.k;
+  return pipeline;
+}
+
+}  // namespace e2dtc::core

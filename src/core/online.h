@@ -1,0 +1,49 @@
+#ifndef E2DTC_CORE_ONLINE_H_
+#define E2DTC_CORE_ONLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/e2dtc.h"
+
+namespace e2dtc::core {
+
+/// Online cluster server over a trained pipeline (the paper's future-work
+/// direction "speed up the deep clustering process"): the encoder is frozen
+/// and each arriving trajectory costs one forward pass plus a soft
+/// assignment, while the centroids adapt to distribution drift with
+/// mini-batch k-means updates (Sculley 2010: per-centroid learning rate
+/// 1/count, so early samples move centroids boldly and the estimate
+/// stabilizes as evidence accumulates).
+class OnlineClusterer {
+ public:
+  /// Borrows the pipeline (must outlive this object); starts from its
+  /// trained centroids. `count_prior` acts as pseudo-observations already
+  /// seen per centroid — larger values make adaptation more conservative.
+  explicit OnlineClusterer(const E2dtcPipeline* pipeline,
+                           double count_prior = 32.0);
+
+  /// Assigns a batch and adapts the centroids toward the new embeddings.
+  std::vector<int> AssignAndAdapt(
+      const std::vector<geo::Trajectory>& batch);
+
+  /// Assignment only (no adaptation).
+  std::vector<int> Assign(const std::vector<geo::Trajectory>& batch) const;
+
+  /// Convenience single-trajectory call.
+  int AssignOne(const geo::Trajectory& trajectory) const;
+
+  const nn::Tensor& centroids() const { return centroids_; }
+  int64_t num_seen() const { return num_seen_; }
+  int k() const { return centroids_.rows(); }
+
+ private:
+  const E2dtcPipeline* pipeline_;
+  nn::Tensor centroids_;
+  std::vector<double> counts_;  ///< Pseudo-count per centroid.
+  int64_t num_seen_ = 0;
+};
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_ONLINE_H_

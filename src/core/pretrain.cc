@@ -1,0 +1,173 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "data/batching.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::core {
+
+Pretrainer::Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
+                       const geo::Vocabulary::KnnTable* knn,
+                       const PretrainConfig& config)
+    : model_(model), vocab_(vocab), knn_(knn), config_(config) {
+  E2DTC_CHECK(model != nullptr && vocab != nullptr && knn != nullptr);
+}
+
+std::vector<Pretrainer::EpochStats> Pretrainer::Train(
+    const std::vector<geo::Trajectory>& trajectories) {
+  const bool collapse = model_->config().collapse_consecutive;
+  const int n = static_cast<int>(trajectories.size());
+  E2DTC_CHECK_GT(n, 0);
+
+  // Targets are fixed: the original trajectories.
+  std::vector<std::vector<int>> targets(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    targets[static_cast<size_t>(i)] =
+        vocab_->Encode(trajectories[static_cast<size_t>(i)], collapse);
+    E2DTC_CHECK(!targets[static_cast<size_t>(i)].empty());
+  }
+
+  Rng rng(config_.seed);
+  std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(
+      model_->TrainableParameters(), config_.optimizer, config_.lr,
+      config_.momentum);
+  std::vector<EpochStats> history;
+
+  const auto& drops = config_.augment.drop_rates;
+  const auto& distorts = config_.augment.distort_rates;
+  E2DTC_CHECK(!drops.empty() && !distorts.empty());
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch watch;
+    // Each example pairs a freshly corrupted source with its original.
+    std::vector<int> example_traj;     // example -> trajectory index
+    std::vector<std::vector<int>> sources;
+    const int variants = std::max(1, config_.variants_per_trajectory);
+    for (int i = 0; i < n; ++i) {
+      for (int v = 0; v < variants; ++v) {
+        const double r1 = drops[rng.UniformU64(drops.size())];
+        const double r2 = distorts[rng.UniformU64(distorts.size())];
+        geo::Trajectory corrupted =
+            geo::Corrupt(trajectories[static_cast<size_t>(i)], r1, r2,
+                         config_.augment.noise_sigma_meters, &rng);
+        std::vector<int> src = vocab_->Encode(corrupted, collapse);
+        if (src.empty()) src.push_back(geo::Vocabulary::kUnk);
+        sources.push_back(std::move(src));
+        example_traj.push_back(i);
+      }
+    }
+
+    std::vector<int> tgt_lengths;
+    tgt_lengths.reserve(sources.size());
+    for (int ex = 0; ex < static_cast<int>(sources.size()); ++ex) {
+      tgt_lengths.push_back(static_cast<int>(
+          targets[static_cast<size_t>(example_traj[static_cast<size_t>(ex)])]
+              .size()));
+    }
+    std::vector<std::vector<int>> batches = data::MakeBatchIndices(
+        tgt_lengths, config_.batch_size, /*bucket_by_length=*/true, &rng);
+
+    double loss_sum = 0.0;
+    int64_t token_sum = 0;
+    EpochStats stats;
+    stats.epoch = epoch;
+    for (const auto& batch_examples : batches) {
+      std::vector<int> tgt_indices;
+      tgt_indices.reserve(batch_examples.size());
+      for (int ex : batch_examples) {
+        tgt_indices.push_back(example_traj[static_cast<size_t>(ex)]);
+      }
+      data::PaddedBatch src = data::PadSequences(sources, batch_examples,
+                                                 geo::Vocabulary::kPad);
+      data::PaddedBatch tgt =
+          data::PadSequences(targets, tgt_indices, geo::Vocabulary::kPad);
+
+      optimizer->ZeroGrad();
+      Seq2SeqModel::EncodeResult enc =
+          model_->Encode(src, /*train=*/true, &rng);
+      Seq2SeqModel::DecodeResult dec =
+          model_->DecodeLoss(enc.state, tgt, *knn_, /*train=*/true, &rng);
+      nn::Var loss = nn::MulScalar(
+          dec.loss_sum, 1.0f / static_cast<float>(dec.num_tokens));
+      nn::Backward(loss);
+      stats.grad_norm = optimizer->ClipGradNorm(config_.grad_clip);
+      optimizer->Step();
+
+      loss_sum += static_cast<double>(dec.loss_sum.value().scalar());
+      token_sum += dec.num_tokens;
+    }
+    stats.avg_token_loss =
+        token_sum > 0 ? loss_sum / static_cast<double>(token_sum) : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    E2DTC_LOG(Debug) << "pretrain epoch " << epoch << " loss/token "
+                     << stats.avg_token_loss << " (" << stats.seconds
+                     << "s)";
+    history.push_back(stats);
+  }
+  return history;
+}
+
+nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,
+                     const std::vector<geo::Trajectory>& trajectories,
+                     int batch_size, bool collapse_consecutive,
+                     ThreadPool* pool) {
+  const int n = static_cast<int>(trajectories.size());
+  std::vector<std::vector<int>> seqs(static_cast<size_t>(n));
+  std::vector<int> lengths(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    seqs[static_cast<size_t>(i)] =
+        vocab.Encode(trajectories[static_cast<size_t>(i)],
+                     collapse_consecutive);
+    if (seqs[static_cast<size_t>(i)].empty()) {
+      seqs[static_cast<size_t>(i)].push_back(geo::Vocabulary::kUnk);
+    }
+    lengths[static_cast<size_t>(i)] =
+        static_cast<int>(seqs[static_cast<size_t>(i)].size());
+  }
+  std::vector<std::vector<int>> batches = data::MakeBatchIndices(
+      lengths, batch_size, /*bucket_by_length=*/true, /*rng=*/nullptr);
+
+  nn::Tensor out(n, model.hidden_size());
+  auto encode_batch = [&](int64_t b) {
+    const auto& batch_indices = batches[static_cast<size_t>(b)];
+    data::PaddedBatch batch =
+        data::PadSequences(seqs, batch_indices, geo::Vocabulary::kPad);
+    nn::Tensor emb = model.EncodeInference(batch);
+    for (size_t r = 0; r < batch_indices.size(); ++r) {
+      std::copy(emb.row(static_cast<int>(r)),
+                emb.row(static_cast<int>(r)) + emb.cols(),
+                out.row(batch_indices[r]));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(static_cast<int64_t>(batches.size()), encode_batch);
+  } else {
+    for (int64_t b = 0; b < static_cast<int64_t>(batches.size()); ++b) {
+      encode_batch(b);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<nn::Optimizer> MakeOptimizer(std::vector<nn::Var> params,
+                                             OptimizerKind kind, float lr,
+                                             float momentum) {
+  if (kind == OptimizerKind::kAdam) {
+    return std::make_unique<nn::Adam>(std::move(params), lr);
+  }
+  return std::make_unique<nn::Sgd>(std::move(params), lr, momentum);
+}
+
+std::vector<std::vector<float>> TensorRows(const nn::Tensor& t) {
+  std::vector<std::vector<float>> rows(static_cast<size_t>(t.rows()));
+  for (int i = 0; i < t.rows(); ++i) {
+    rows[static_cast<size_t>(i)].assign(t.row(i), t.row(i) + t.cols());
+  }
+  return rows;
+}
+
+}  // namespace e2dtc::core

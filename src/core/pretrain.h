@@ -1,0 +1,64 @@
+#ifndef E2DTC_CORE_PRETRAIN_H_
+#define E2DTC_CORE_PRETRAIN_H_
+
+#include <vector>
+
+#include "core/seq2seq.h"
+#include "nn/optimizer.h"
+
+namespace e2dtc {
+class ThreadPool;
+}
+
+namespace e2dtc::core {
+
+/// Phase-2 pre-training (paper Section V-C): the model reconstructs each
+/// original trajectory Ta from a corrupted variant Ta' (random drop rate r1,
+/// distort rate r2) under the Eq. 8 loss, producing the initial estimate of
+/// f_theta.
+class Pretrainer {
+ public:
+  struct EpochStats {
+    int epoch = 0;
+    double avg_token_loss = 0.0;
+    double grad_norm = 0.0;  ///< Pre-clip norm of the last step.
+    double seconds = 0.0;
+  };
+
+  /// All pointers are borrowed and must outlive the trainer.
+  Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
+             const geo::Vocabulary::KnnTable* knn,
+             const PretrainConfig& config);
+
+  /// Runs config.epochs over `trajectories`; returns per-epoch stats.
+  std::vector<EpochStats> Train(
+      const std::vector<geo::Trajectory>& trajectories);
+
+ private:
+  Seq2SeqModel* model_;
+  const geo::Vocabulary* vocab_;
+  const geo::Vocabulary::KnnTable* knn_;
+  PretrainConfig config_;
+};
+
+/// Batched inference over a whole corpus: the [N, H] trajectory embeddings
+/// v_T in input order. With a non-null `pool`, batches are encoded in
+/// parallel (inference builds independent graphs per batch; parameters are
+/// only read) — the paper's future-work item "speed up the deep clustering
+/// process" for multi-core deployments.
+nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,
+                     const std::vector<geo::Trajectory>& trajectories,
+                     int batch_size, bool collapse_consecutive,
+                     ThreadPool* pool = nullptr);
+
+/// Tensor rows as a cluster::KMeans-compatible feature matrix.
+std::vector<std::vector<float>> TensorRows(const nn::Tensor& t);
+
+/// Instantiates the configured optimizer over `params`.
+std::unique_ptr<nn::Optimizer> MakeOptimizer(std::vector<nn::Var> params,
+                                             OptimizerKind kind, float lr,
+                                             float momentum);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_PRETRAIN_H_

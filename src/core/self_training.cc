@@ -1,0 +1,233 @@
+#include "core/self_training.h"
+
+#include <algorithm>
+
+#include "core/pretrain.h"
+#include "core/triplet.h"
+#include "data/batching.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace e2dtc::core {
+
+std::vector<int> HardAssignments(const nn::Tensor& q) {
+  std::vector<int> out(static_cast<size_t>(q.rows()));
+  for (int i = 0; i < q.rows(); ++i) {
+    const float* row = q.row(i);
+    int best = 0;
+    for (int j = 1; j < q.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double ChangedFraction(const std::vector<int>& a, const std::vector<int>& b) {
+  E2DTC_CHECK_EQ(a.size(), b.size());
+  E2DTC_CHECK(!a.empty());
+  int changed = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++changed;
+  }
+  return static_cast<double>(changed) / static_cast<double>(a.size());
+}
+
+SelfTrainer::SelfTrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
+                         const geo::Vocabulary::KnnTable* knn,
+                         const SelfTrainConfig& config,
+                         ThreadPool* encode_pool)
+    : model_(model),
+      vocab_(vocab),
+      knn_(knn),
+      config_(config),
+      encode_pool_(encode_pool) {
+  E2DTC_CHECK(model != nullptr && vocab != nullptr && knn != nullptr);
+  E2DTC_CHECK(config.loss_mode != LossMode::kL0);
+}
+
+SelfTrainer::TrainResult SelfTrainer::Train(
+    const std::vector<geo::Trajectory>& trajectories,
+    const nn::Tensor& initial_centroids) {
+  const bool collapse = model_->config().collapse_consecutive;
+  const int n = static_cast<int>(trajectories.size());
+  const int k = initial_centroids.rows();
+  E2DTC_CHECK_GT(n, 0);
+  E2DTC_CHECK_EQ(initial_centroids.cols(), model_->hidden_size());
+  const bool use_triplet = config_.loss_mode == LossMode::kL2;
+
+  std::vector<std::vector<int>> seqs(static_cast<size_t>(n));
+  std::vector<int> lengths(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    seqs[static_cast<size_t>(i)] =
+        vocab_->Encode(trajectories[static_cast<size_t>(i)], collapse);
+    if (seqs[static_cast<size_t>(i)].empty()) {
+      seqs[static_cast<size_t>(i)].push_back(geo::Vocabulary::kUnk);
+    }
+    lengths[static_cast<size_t>(i)] =
+        static_cast<int>(seqs[static_cast<size_t>(i)].size());
+  }
+
+  // Centroids become trainable parameters alongside theta (Section V-D iii).
+  nn::Var centroids =
+      nn::Var::Leaf(initial_centroids, /*requires_grad=*/true, "centroids");
+  std::vector<nn::Var> params = model_->TrainableParameters();
+  params.push_back(centroids);
+  std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(
+      std::move(params), config_.optimizer, config_.lr, config_.momentum);
+
+  Rng rng(config_.seed);
+  const auto& drops = geo::AugmentConfig{}.drop_rates;
+  const auto& distorts = geo::AugmentConfig{}.distort_rates;
+
+  TrainResult result;
+  std::vector<int> prev_assignments;
+
+  for (int epoch = 0; epoch < config_.max_iters; ++epoch) {
+    Stopwatch watch;
+    // Lines 4-7: refresh embeddings, Q, target P, and hard assignments.
+    nn::Tensor embeddings = EncodeAll(*model_, *vocab_, trajectories,
+                                      config_.batch_size, collapse,
+                                      encode_pool_);
+    nn::Tensor q = nn::StudentTAssignmentValue(embeddings,
+                                               centroids.value());
+    nn::Tensor p = nn::TargetDistribution(q);
+    std::vector<int> assignments = HardAssignments(q);
+    if (config_.epoch_observer) config_.epoch_observer(epoch, assignments);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    // Lines 8-9: delta stopping criterion on changed assignments.
+    if (!prev_assignments.empty()) {
+      stats.changed_fraction = ChangedFraction(assignments,
+                                               prev_assignments);
+      if (stats.changed_fraction <= config_.delta) {
+        result.converged = true;
+        result.assignments = std::move(assignments);
+        result.embeddings = std::move(embeddings);
+        stats.seconds = watch.ElapsedSeconds();
+        result.history.push_back(stats);
+        break;
+      }
+    }
+    prev_assignments = assignments;
+
+    // Line 10: one epoch of joint updates of theta and C.
+    std::vector<std::vector<int>> batches = data::MakeBatchIndices(
+        lengths, config_.batch_size, /*bucket_by_length=*/true, &rng);
+    double recon_sum = 0.0, cluster_sum = 0.0, triplet_sum = 0.0;
+    int64_t token_sum = 0;
+    int64_t sample_sum = 0;
+    int batch_count = 0;
+    for (const auto& batch_indices : batches) {
+      const int b = static_cast<int>(batch_indices.size());
+      if (b < 2) continue;  // triplet/negative sampling needs pairs
+      optimizer->ZeroGrad();
+
+      data::PaddedBatch anchor_batch =
+          data::PadSequences(seqs, batch_indices, geo::Vocabulary::kPad);
+
+      // Corrupted positives (and reconstruction sources).
+      std::vector<std::vector<int>> pos_seqs;
+      pos_seqs.reserve(batch_indices.size());
+      for (int idx : batch_indices) {
+        const double r1 = drops[rng.UniformU64(drops.size())];
+        const double r2 = distorts[rng.UniformU64(distorts.size())];
+        geo::Trajectory corrupted = geo::Corrupt(
+            trajectories[static_cast<size_t>(idx)], r1, r2,
+            geo::AugmentConfig{}.noise_sigma_meters, &rng);
+        std::vector<int> src = vocab_->Encode(corrupted, collapse);
+        if (src.empty()) src.push_back(geo::Vocabulary::kUnk);
+        pos_seqs.push_back(std::move(src));
+      }
+      std::vector<int> pos_indices(static_cast<size_t>(b));
+      for (int i = 0; i < b; ++i) pos_indices[static_cast<size_t>(i)] = i;
+      data::PaddedBatch pos_batch =
+          data::PadSequences(pos_seqs, pos_indices, geo::Vocabulary::kPad);
+
+      // Anchor embeddings v_a (original trajectories).
+      Seq2SeqModel::EncodeResult anchor_enc =
+          model_->Encode(anchor_batch, /*train=*/true, &rng);
+      nn::Var v_anchor = anchor_enc.embedding;
+
+      // Corrupted encoding: reconstruction source and triplet positive.
+      Seq2SeqModel::EncodeResult pos_enc =
+          model_->Encode(pos_batch, /*train=*/true, &rng);
+      nn::Var v_pos = pos_enc.embedding;
+
+      // L_r: reconstruct the original from the corrupted encoding (Eq. 8).
+      Seq2SeqModel::DecodeResult dec = model_->DecodeLoss(
+          pos_enc.state, anchor_batch, *knn_, /*train=*/true, &rng);
+      nn::Var loss = nn::MulScalar(
+          dec.loss_sum, 1.0f / static_cast<float>(dec.num_tokens));
+
+      // L_c: KL(P || Q) on this batch's rows (Eqs. 9-11).
+      nn::Var q_batch = nn::StudentTAssignment(v_anchor, centroids);
+      nn::Tensor p_batch(b, k);
+      for (int i = 0; i < b; ++i) {
+        std::copy(p.row(batch_indices[static_cast<size_t>(i)]),
+                  p.row(batch_indices[static_cast<size_t>(i)]) + k,
+                  p_batch.row(i));
+      }
+      nn::Var kl = nn::KlDivergence(p_batch, q_batch);
+      loss = nn::Add(loss, nn::MulScalar(
+                               kl, config_.beta / static_cast<float>(b)));
+
+      // L_t: anchor vs corrupted-positive vs in-batch negative (Eq. 13).
+      nn::Var triplet;
+      if (use_triplet) {
+        std::vector<int> batch_assign(static_cast<size_t>(b));
+        for (int i = 0; i < b; ++i) {
+          batch_assign[static_cast<size_t>(i)] = prev_assignments
+              [static_cast<size_t>(batch_indices[static_cast<size_t>(i)])];
+        }
+        std::vector<int> neg_rows = SampleNegativeRows(batch_assign, &rng);
+        nn::Var v_neg = nn::GatherRows(v_anchor, neg_rows);
+        triplet = nn::TripletLoss(v_anchor, v_pos, v_neg,
+                                  config_.triplet_margin);
+        loss = nn::Add(loss, nn::MulScalar(triplet, config_.gamma));
+      }
+
+      nn::Backward(loss);
+      optimizer->ClipGradNorm(config_.grad_clip);
+      optimizer->Step();
+
+      recon_sum += static_cast<double>(dec.loss_sum.value().scalar());
+      token_sum += dec.num_tokens;
+      cluster_sum += static_cast<double>(kl.value().scalar());
+      sample_sum += b;
+      if (use_triplet) {
+        triplet_sum += static_cast<double>(triplet.value().scalar());
+      }
+      ++batch_count;
+    }
+    stats.recon_loss =
+        token_sum > 0 ? recon_sum / static_cast<double>(token_sum) : 0.0;
+    stats.cluster_loss =
+        sample_sum > 0 ? cluster_sum / static_cast<double>(sample_sum) : 0.0;
+    stats.triplet_loss =
+        batch_count > 0 ? triplet_sum / batch_count : 0.0;
+    stats.seconds = watch.ElapsedSeconds();
+    E2DTC_LOG(Debug) << "self-train epoch " << epoch << " Lr "
+                     << stats.recon_loss << " Lc " << stats.cluster_loss
+                     << " Lt " << stats.triplet_loss << " changed "
+                     << stats.changed_fraction;
+    result.history.push_back(stats);
+  }
+
+  // Final state (also reached when max_iters ran out without convergence).
+  if (result.assignments.empty()) {
+    result.embeddings = EncodeAll(*model_, *vocab_, trajectories,
+                                  config_.batch_size, collapse,
+                                  encode_pool_);
+    nn::Tensor q = nn::StudentTAssignmentValue(result.embeddings,
+                                               centroids.value());
+    result.assignments = HardAssignments(q);
+  }
+  result.centroids = centroids.value();
+  return result;
+}
+
+}  // namespace e2dtc::core

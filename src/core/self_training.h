@@ -1,0 +1,68 @@
+#ifndef E2DTC_CORE_SELF_TRAINING_H_
+#define E2DTC_CORE_SELF_TRAINING_H_
+
+#include <vector>
+
+#include "core/seq2seq.h"
+#include "nn/losses.h"
+
+namespace e2dtc {
+class ThreadPool;
+}
+
+namespace e2dtc::core {
+
+/// Phase-3 self-training (paper Section V-D, Algorithm 1): jointly refines
+/// the encoder parameters theta and the cluster centroids C by minimizing
+///   L = L_r + beta * L_c (+ gamma * L_t)          (Eqs. 12 / 14)
+/// where L_c is the KL divergence between the Student-t soft assignment Q
+/// and the sharpened target P, and L_t the triplet loss over (anchor,
+/// corrupted positive, in-batch negative).
+class SelfTrainer {
+ public:
+  struct EpochStats {
+    int epoch = 0;
+    double recon_loss = 0.0;    ///< Per-token L_r.
+    double cluster_loss = 0.0;  ///< Per-sample L_c.
+    double triplet_loss = 0.0;  ///< Per-batch-mean L_t.
+    double changed_fraction = 1.0;  ///< Hard assignments changed vs. prev.
+    double seconds = 0.0;
+  };
+
+  struct TrainResult {
+    std::vector<int> assignments;  ///< Final hard assignments.
+    nn::Tensor centroids;          ///< [k, H] refined centroids.
+    nn::Tensor embeddings;         ///< [N, H] final embeddings.
+    std::vector<EpochStats> history;
+    bool converged = false;  ///< Stopped via the delta criterion.
+  };
+
+  /// All pointers are borrowed and must outlive the trainer.
+  /// `encode_pool` (optional) parallelizes the per-epoch corpus re-encoding.
+  SelfTrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
+              const geo::Vocabulary::KnnTable* knn,
+              const SelfTrainConfig& config,
+              ThreadPool* encode_pool = nullptr);
+
+  /// Runs Algorithm 1 lines 3-10 from the given k-means centroids.
+  /// `initial_centroids` is [k, H].
+  TrainResult Train(const std::vector<geo::Trajectory>& trajectories,
+                    const nn::Tensor& initial_centroids);
+
+ private:
+  Seq2SeqModel* model_;
+  const geo::Vocabulary* vocab_;
+  const geo::Vocabulary::KnnTable* knn_;
+  SelfTrainConfig config_;
+  ThreadPool* encode_pool_;
+};
+
+/// Hard assignment: argmax_j q_ij of a soft-assignment matrix.
+std::vector<int> HardAssignments(const nn::Tensor& q);
+
+/// Fraction of entries that differ between two assignment vectors.
+double ChangedFraction(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_SELF_TRAINING_H_

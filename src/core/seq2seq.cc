@@ -1,0 +1,295 @@
+#include "core/seq2seq.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace e2dtc::core {
+
+namespace {
+
+using geo::Vocabulary;
+using nn::Var;
+
+/// Blends new and old states so rows past their sequence end do not
+/// advance: s = mask * s_new + (1 - mask) * s_old, per layer component.
+RnnState MaskedUpdate(const RnnState& old_state, RnnState new_state,
+                      const std::vector<bool>& valid) {
+  const int batch = old_state.layers[0][0].rows();
+  bool all_valid = true;
+  for (bool v : valid) all_valid = all_valid && v;
+  if (all_valid) return new_state;
+  nn::Tensor mask(batch, 1);
+  nn::Tensor inv(batch, 1);
+  for (int i = 0; i < batch; ++i) {
+    mask.at(i, 0) = valid[static_cast<size_t>(i)] ? 1.0f : 0.0f;
+    inv.at(i, 0) = valid[static_cast<size_t>(i)] ? 0.0f : 1.0f;
+  }
+  Var mask_v = Var::Constant(std::move(mask));
+  Var inv_v = Var::Constant(std::move(inv));
+  for (size_t l = 0; l < old_state.layers.size(); ++l) {
+    for (size_t comp = 0; comp < old_state.layers[l].size(); ++comp) {
+      new_state.layers[l][comp] =
+          nn::Add(nn::Mul(new_state.layers[l][comp], mask_v),
+                  nn::Mul(old_state.layers[l][comp], inv_v));
+    }
+  }
+  return new_state;
+}
+
+}  // namespace
+
+Seq2SeqModel::Seq2SeqModel(int vocab_size, const ModelConfig& config,
+                           Rng* rng)
+    : vocab_size_(vocab_size), config_(config) {
+  E2DTC_CHECK_GE(vocab_size, Vocabulary::kNumSpecial);
+  embedding_ = std::make_unique<nn::Embedding>(vocab_size,
+                                               config.embedding_dim, rng);
+  AddSubmodule("embedding", embedding_.get());
+  if (config.rnn == RnnKind::kGru) {
+    gru_encoder_ = std::make_unique<nn::GruStack>(
+        config.num_layers, config.embedding_dim, config.hidden_size, rng);
+    gru_decoder_ = std::make_unique<nn::GruStack>(
+        config.num_layers, config.embedding_dim, config.hidden_size, rng);
+    AddSubmodule("encoder", gru_encoder_.get());
+    AddSubmodule("decoder", gru_decoder_.get());
+    if (config.bidirectional_encoder) {
+      gru_encoder_bw_ = std::make_unique<nn::GruStack>(
+          config.num_layers, config.embedding_dim, config.hidden_size, rng);
+      AddSubmodule("encoder_bw", gru_encoder_bw_.get());
+    }
+  } else {
+    lstm_encoder_ = std::make_unique<nn::LstmStack>(
+        config.num_layers, config.embedding_dim, config.hidden_size, rng);
+    lstm_decoder_ = std::make_unique<nn::LstmStack>(
+        config.num_layers, config.embedding_dim, config.hidden_size, rng);
+    AddSubmodule("encoder", lstm_encoder_.get());
+    AddSubmodule("decoder", lstm_decoder_.get());
+    if (config.bidirectional_encoder) {
+      lstm_encoder_bw_ = std::make_unique<nn::LstmStack>(
+          config.num_layers, config.embedding_dim, config.hidden_size, rng);
+      AddSubmodule("encoder_bw", lstm_encoder_bw_.get());
+    }
+  }
+  proj_weight_ = AddParameter(
+      "proj.weight",
+      nn::Tensor::Xavier(vocab_size, config.hidden_size, rng));
+  proj_bias_ = AddParameter("proj.bias", nn::Tensor(vocab_size, 1));
+}
+
+RnnState Seq2SeqModel::InitialState(int batch_size) const {
+  RnnState state;
+  state.layers.resize(static_cast<size_t>(config_.num_layers));
+  for (auto& layer : state.layers) {
+    const int comps = config_.rnn == RnnKind::kGru ? 1 : 2;
+    for (int c = 0; c < comps; ++c) {
+      layer.push_back(
+          Var::Constant(nn::Tensor(batch_size, config_.hidden_size)));
+    }
+  }
+  return state;
+}
+
+RnnState Seq2SeqModel::Step(StackRole role, const Var& x,
+                            const RnnState& state, float dropout,
+                            Rng* rng) const {
+  RnnState next;
+  if (config_.rnn == RnnKind::kGru) {
+    const nn::GruStack& stack = role == StackRole::kDecoder ? *gru_decoder_
+                                : role == StackRole::kEncoderBw
+                                    ? *gru_encoder_bw_
+                                    : *gru_encoder_;
+    std::vector<Var> h;
+    h.reserve(state.layers.size());
+    for (const auto& layer : state.layers) h.push_back(layer[0]);
+    std::vector<Var> h2 = stack.Step(x, h, dropout, rng);
+    next.layers.resize(h2.size());
+    for (size_t l = 0; l < h2.size(); ++l) next.layers[l] = {h2[l]};
+  } else {
+    const nn::LstmStack& stack = role == StackRole::kDecoder
+                                     ? *lstm_decoder_
+                                 : role == StackRole::kEncoderBw
+                                     ? *lstm_encoder_bw_
+                                     : *lstm_encoder_;
+    std::vector<nn::LstmCell::State> s;
+    s.reserve(state.layers.size());
+    for (const auto& layer : state.layers) {
+      s.push_back(nn::LstmCell::State{layer[0], layer[1]});
+    }
+    std::vector<nn::LstmCell::State> s2 = stack.Step(x, s, dropout, rng);
+    next.layers.resize(s2.size());
+    for (size_t l = 0; l < s2.size(); ++l) {
+      next.layers[l] = {s2[l].h, s2[l].c};
+    }
+  }
+  return next;
+}
+
+Seq2SeqModel::EncodeResult Seq2SeqModel::EncodePass(
+    StackRole role, bool reversed, const data::PaddedBatch& batch,
+    bool train, Rng* rng) const {
+  E2DTC_CHECK_GT(batch.batch_size, 0);
+  RnnState state = InitialState(batch.batch_size);
+  const float dropout = train ? config_.dropout : 0.0f;
+  std::vector<bool> valid(static_cast<size_t>(batch.batch_size));
+  Var pooled_sum;  // running sum of masked top-layer hiddens
+  for (int t = 0; t < batch.max_len; ++t) {
+    int num_valid = 0;
+    for (int r = 0; r < batch.batch_size; ++r) {
+      valid[static_cast<size_t>(r)] =
+          t < batch.lengths[static_cast<size_t>(r)];
+      if (valid[static_cast<size_t>(r)]) ++num_valid;
+    }
+    if (num_valid == 0) break;
+    std::vector<int> tokens(static_cast<size_t>(batch.batch_size),
+                            Vocabulary::kPad);
+    for (int r = 0; r < batch.batch_size; ++r) {
+      if (valid[static_cast<size_t>(r)]) {
+        const int len = batch.lengths[static_cast<size_t>(r)];
+        tokens[static_cast<size_t>(r)] =
+            batch.at(r, reversed ? len - 1 - t : t);
+      }
+    }
+    Var x = embedding_->Forward(std::move(tokens));
+    RnnState next = Step(role, x, state, dropout, rng);
+    if (config_.mean_pool_embedding) {
+      Var contribution = next.TopH();
+      if (num_valid < batch.batch_size) {
+        nn::Tensor mask(batch.batch_size, 1);
+        for (int r = 0; r < batch.batch_size; ++r) {
+          mask.at(r, 0) = valid[static_cast<size_t>(r)] ? 1.0f : 0.0f;
+        }
+        contribution = nn::Mul(contribution, Var::Constant(std::move(mask)));
+      }
+      pooled_sum = pooled_sum.defined() ? nn::Add(pooled_sum, contribution)
+                                        : contribution;
+    }
+    state = MaskedUpdate(state, std::move(next), valid);
+  }
+
+  EncodeResult result;
+  if (config_.mean_pool_embedding) {
+    E2DTC_CHECK(pooled_sum.defined());
+    nn::Tensor inv_len(batch.batch_size, 1);
+    for (int r = 0; r < batch.batch_size; ++r) {
+      inv_len.at(r, 0) =
+          1.0f / static_cast<float>(
+                     std::max(1, batch.lengths[static_cast<size_t>(r)]));
+    }
+    result.embedding = nn::Mul(pooled_sum, Var::Constant(std::move(inv_len)));
+  } else {
+    result.embedding = state.TopH();
+  }
+  result.state = std::move(state);
+  return result;
+}
+
+Seq2SeqModel::EncodeResult Seq2SeqModel::Encode(const data::PaddedBatch& batch,
+                                                bool train, Rng* rng) const {
+  EncodeResult fw =
+      EncodePass(StackRole::kEncoderFw, /*reversed=*/false, batch, train,
+                 rng);
+  if (!config_.bidirectional_encoder) return fw;
+  EncodeResult bw =
+      EncodePass(StackRole::kEncoderBw, /*reversed=*/true, batch, train,
+                 rng);
+  // Sum the two directions so every downstream shape ([B, H] embeddings,
+  // decoder init states, centroids) is unchanged.
+  EncodeResult out;
+  out.state.layers.resize(fw.state.layers.size());
+  for (size_t l = 0; l < fw.state.layers.size(); ++l) {
+    for (size_t c = 0; c < fw.state.layers[l].size(); ++c) {
+      out.state.layers[l].push_back(
+          nn::Add(fw.state.layers[l][c], bw.state.layers[l][c]));
+    }
+  }
+  out.embedding = config_.mean_pool_embedding
+                      ? nn::MulScalar(nn::Add(fw.embedding, bw.embedding),
+                                      0.5f)
+                      : out.state.TopH();
+  return out;
+}
+
+Seq2SeqModel::DecodeResult Seq2SeqModel::DecodeLoss(
+    const RnnState& encoder_state, const data::PaddedBatch& target,
+    const geo::Vocabulary::KnnTable& knn, bool train, Rng* rng) const {
+  RnnState state = encoder_state;
+  const float dropout = train ? config_.dropout : 0.0f;
+  DecodeResult result;
+  Var total;
+  std::vector<bool> valid(static_cast<size_t>(target.batch_size));
+  // Step t consumes input token t (BOS or y_{t-1}) and predicts target
+  // y_t (or EOS when t == len). Rows with len >= t are valid.
+  for (int t = 0; t <= target.max_len; ++t) {
+    std::vector<int> valid_rows;
+    for (int r = 0; r < target.batch_size; ++r) {
+      valid[static_cast<size_t>(r)] =
+          t <= target.lengths[static_cast<size_t>(r)];
+      if (valid[static_cast<size_t>(r)]) valid_rows.push_back(r);
+    }
+    if (valid_rows.empty()) break;
+    std::vector<int> inputs(static_cast<size_t>(target.batch_size),
+                            Vocabulary::kPad);
+    for (int r : valid_rows) {
+      inputs[static_cast<size_t>(r)] =
+          t == 0 ? Vocabulary::kBos : target.at(r, t - 1);
+    }
+    Var x = embedding_->Forward(std::move(inputs));
+    RnnState next = Step(StackRole::kDecoder, x, state, dropout, rng);
+    state = MaskedUpdate(state, std::move(next), valid);
+
+    // Score the valid rows against their targets' KNN candidate sets.
+    const int num_valid = static_cast<int>(valid_rows.size());
+    Var h_valid = num_valid == target.batch_size
+                      ? state.TopH()
+                      : nn::GatherRows(state.TopH(), valid_rows);
+    nn::KnnCandidates cand;
+    cand.k = knn.k;
+    cand.indices.resize(static_cast<size_t>(num_valid) * knn.k);
+    cand.weights.resize(static_cast<size_t>(num_valid) * knn.k);
+    for (int i = 0; i < num_valid; ++i) {
+      const int r = valid_rows[static_cast<size_t>(i)];
+      const int y = t < target.lengths[static_cast<size_t>(r)]
+                        ? target.at(r, t)
+                        : Vocabulary::kEos;
+      std::copy_n(knn.indices.begin() + static_cast<int64_t>(y) * knn.k,
+                  knn.k,
+                  cand.indices.begin() + static_cast<int64_t>(i) * knn.k);
+      std::copy_n(knn.weights.begin() + static_cast<int64_t>(y) * knn.k,
+                  knn.k,
+                  cand.weights.begin() + static_cast<int64_t>(i) * knn.k);
+    }
+    Var step_loss =
+        nn::KnnProximityLoss(h_valid, proj_weight_, proj_bias_, cand);
+    total = total.defined() ? nn::Add(total, step_loss) : step_loss;
+    result.num_tokens += num_valid;
+  }
+  E2DTC_CHECK(total.defined());
+  result.loss_sum = total;
+  return result;
+}
+
+nn::Tensor Seq2SeqModel::EncodeInference(const data::PaddedBatch& batch) const {
+  return Encode(batch, /*train=*/false, nullptr).embedding.value();
+}
+
+std::vector<Var> Seq2SeqModel::TrainableParameters() const {
+  std::vector<Var> params = Parameters();
+  if (config_.freeze_embedding_table) {
+    const nn::Node* table = embedding_->table().node().get();
+    std::erase_if(params, [table](const Var& v) {
+      return v.node().get() == table;
+    });
+  }
+  return params;
+}
+
+void SortByLengthDescending(const std::vector<std::vector<int>>& sequences,
+                            std::vector<int>* indices) {
+  std::stable_sort(indices->begin(), indices->end(), [&](int a, int b) {
+    return sequences[static_cast<size_t>(a)].size() >
+           sequences[static_cast<size_t>(b)].size();
+  });
+}
+
+}  // namespace e2dtc::core

@@ -1,0 +1,114 @@
+#ifndef E2DTC_CORE_SEQ2SEQ_H_
+#define E2DTC_CORE_SEQ2SEQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "data/batching.h"
+#include "geo/vocab.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/losses.h"
+#include "nn/module.h"
+
+namespace e2dtc::core {
+
+/// Opaque per-layer recurrent state: one Var (h) per layer for GRU, two
+/// (h, c) per layer for LSTM. The first entry of each layer is always the
+/// hidden state.
+struct RnnState {
+  std::vector<std::vector<nn::Var>> layers;
+
+  /// Hidden state of the top layer — the sequence output at this step.
+  const nn::Var& TopH() const { return layers.back().front(); }
+};
+
+/// The encoder-decoder at the heart of E2DTC (paper Fig. 2, blocks 2-4):
+/// a shared token embedding, a stacked-RNN encoder producing the trajectory
+/// representation v_T, a stacked-RNN decoder reconstructing the target
+/// token sequence, and a vocabulary projection scored with the
+/// KNN-restricted spatial proximity loss (Eq. 8). The cell family is
+/// selected by ModelConfig::rnn (GRU per the paper; LSTM for the ablation).
+class Seq2SeqModel : public nn::Module {
+ public:
+  Seq2SeqModel(int vocab_size, const ModelConfig& config, Rng* rng);
+
+  /// Encoder output: the per-layer final states (decoder init) plus the
+  /// [B, H] trajectory representation v_T — the final top hidden by
+  /// default, or masked mean pooling over top-layer hiddens (see
+  /// ModelConfig::mean_pool_embedding).
+  struct EncodeResult {
+    RnnState state;
+    nn::Var embedding;
+  };
+
+  /// Encodes a padded batch. Padded steps neither advance the state nor
+  /// contribute to the pooled embedding. With train == true, inter-layer
+  /// dropout is applied using `rng`.
+  EncodeResult Encode(const data::PaddedBatch& batch, bool train,
+                      Rng* rng) const;
+
+  /// Teacher-forced reconstruction loss (Eq. 8) of `target` given the
+  /// encoder state: decoder inputs are [BOS, y_1..y_L], targets
+  /// [y_1..y_L, EOS]. Returns the summed loss and the number of target
+  /// tokens scored (for per-token normalization).
+  struct DecodeResult {
+    nn::Var loss_sum;
+    int num_tokens = 0;
+  };
+  DecodeResult DecodeLoss(const RnnState& encoder_state,
+                          const data::PaddedBatch& target,
+                          const geo::Vocabulary::KnnTable& knn, bool train,
+                          Rng* rng) const;
+
+  /// Plain-tensor batched encoding for inference (no graph kept by caller).
+  /// Returns a [B, H] tensor of trajectory embeddings.
+  nn::Tensor EncodeInference(const data::PaddedBatch& batch) const;
+
+  /// Parameters the optimizers should update: all of them, minus the token
+  /// embedding table when config().freeze_embedding_table is set.
+  std::vector<nn::Var> TrainableParameters() const;
+
+  int vocab_size() const { return vocab_size_; }
+  int hidden_size() const { return config_.hidden_size; }
+  const ModelConfig& config() const { return config_; }
+  nn::Embedding& embedding() { return *embedding_; }
+
+ private:
+  /// Which stack a Step() call drives.
+  enum class StackRole { kEncoderFw, kEncoderBw, kDecoder };
+
+  RnnState Step(StackRole role, const nn::Var& x, const RnnState& state,
+                float dropout, Rng* rng) const;
+  RnnState InitialState(int batch_size) const;
+
+  /// One full encoder sweep; with `reversed`, each row is consumed back to
+  /// front (the second half of a bidirectional encoder).
+  EncodeResult EncodePass(StackRole role, bool reversed,
+                          const data::PaddedBatch& batch, bool train,
+                          Rng* rng) const;
+
+  int vocab_size_;
+  ModelConfig config_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  // Exactly one family is instantiated, per config_.rnn; the *_bw_
+  // stacks exist only when config_.bidirectional_encoder is set.
+  std::unique_ptr<nn::GruStack> gru_encoder_;
+  std::unique_ptr<nn::GruStack> gru_encoder_bw_;
+  std::unique_ptr<nn::GruStack> gru_decoder_;
+  std::unique_ptr<nn::LstmStack> lstm_encoder_;
+  std::unique_ptr<nn::LstmStack> lstm_encoder_bw_;
+  std::unique_ptr<nn::LstmStack> lstm_decoder_;
+  nn::Var proj_weight_;  // [V, H]
+  nn::Var proj_bias_;    // [V, 1]
+};
+
+/// Sorts `indices` by decreasing sequence length (padding-efficiency helper;
+/// the model itself masks arbitrary validity patterns).
+void SortByLengthDescending(const std::vector<std::vector<int>>& sequences,
+                            std::vector<int>* indices);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_SEQ2SEQ_H_

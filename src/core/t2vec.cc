@@ -1,0 +1,18 @@
+#include "core/t2vec.h"
+
+namespace e2dtc::core {
+
+Result<T2vecResult> FitT2vecKMeans(const data::Dataset& dataset,
+                                   E2dtcConfig config) {
+  config.self_train.loss_mode = LossMode::kL0;
+  E2DTC_ASSIGN_OR_RETURN(std::unique_ptr<E2dtcPipeline> pipeline,
+                         E2dtcPipeline::Fit(dataset, config));
+  T2vecResult result;
+  result.assignments = pipeline->fit_result().l0_assignments;
+  result.embeddings = pipeline->fit_result().l0_embeddings;
+  result.total_seconds = pipeline->fit_result().total_seconds;
+  result.pipeline = std::move(pipeline);
+  return result;
+}
+
+}  // namespace e2dtc::core

@@ -1,0 +1,28 @@
+#ifndef E2DTC_CORE_T2VEC_H_
+#define E2DTC_CORE_T2VEC_H_
+
+#include <memory>
+
+#include "core/e2dtc.h"
+
+namespace e2dtc::core {
+
+/// The paper's neural baseline: t2vec (Li et al., ICDE'18) representation
+/// learning followed by k-means — a two-stage pipeline whose embeddings are
+/// never tuned for clustering. Implemented as the E2DTC pipeline stopped
+/// after pre-training (exactly the paper's L0 ablation configuration).
+struct T2vecResult {
+  std::vector<int> assignments;
+  nn::Tensor embeddings;
+  double total_seconds = 0.0;
+  std::unique_ptr<E2dtcPipeline> pipeline;  ///< For further embedding calls.
+};
+
+/// Fits t2vec + k-means. Uses config.model / config.pretrain;
+/// config.self_train.loss_mode is forced to kL0.
+Result<T2vecResult> FitT2vecKMeans(const data::Dataset& dataset,
+                                   E2dtcConfig config);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_T2VEC_H_

@@ -1,0 +1,33 @@
+#include "core/triplet.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace e2dtc::core {
+
+std::vector<int> SampleNegativeRows(const std::vector<int>& batch_assignments,
+                                    Rng* rng) {
+  const int b = static_cast<int>(batch_assignments.size());
+  E2DTC_CHECK_GE(b, 2);
+  std::vector<int> negatives(static_cast<size_t>(b));
+  for (int i = 0; i < b; ++i) {
+    int pick = -1;
+    // A few rejection-sampling attempts for a different-cluster row.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int j =
+          static_cast<int>(rng->UniformU64(static_cast<uint64_t>(b)));
+      if (j == i) continue;
+      if (batch_assignments[static_cast<size_t>(j)] !=
+          batch_assignments[static_cast<size_t>(i)]) {
+        pick = j;
+        break;
+      }
+      if (pick < 0) pick = j;  // fallback: any other row
+    }
+    if (pick < 0) pick = (i + 1) % b;
+    negatives[static_cast<size_t>(i)] = pick;
+  }
+  return negatives;
+}
+
+}  // namespace e2dtc::core

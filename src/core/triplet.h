@@ -1,0 +1,22 @@
+#ifndef E2DTC_CORE_TRIPLET_H_
+#define E2DTC_CORE_TRIPLET_H_
+
+#include <vector>
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::core {
+
+/// Picks one in-batch negative per anchor for the triplet loss (Eq. 13):
+/// prefer a batch row whose current hard cluster assignment differs from the
+/// anchor's; fall back to any other row. Returns per-anchor row indices into
+/// the same batch. `batch_assignments[i]` is the current cluster of batch
+/// row i. Requires batch size >= 2.
+std::vector<int> SampleNegativeRows(const std::vector<int>& batch_assignments,
+                                    Rng* rng);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_TRIPLET_H_

@@ -1,0 +1,55 @@
+#include "data/batching.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace e2dtc::data {
+
+std::vector<std::vector<int>> MakeBatchIndices(
+    const std::vector<int>& lengths, int batch_size, bool bucket_by_length,
+    Rng* rng) {
+  E2DTC_CHECK_GT(batch_size, 0);
+  const int n = static_cast<int>(lengths.size());
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (rng != nullptr) rng->Shuffle(&order);
+  if (bucket_by_length) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return lengths[static_cast<size_t>(a)] < lengths[static_cast<size_t>(b)];
+    });
+  }
+  std::vector<std::vector<int>> batches;
+  for (int begin = 0; begin < n; begin += batch_size) {
+    const int end = std::min(n, begin + batch_size);
+    batches.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+  if (rng != nullptr) rng->Shuffle(&batches);
+  return batches;
+}
+
+PaddedBatch PadSequences(const std::vector<std::vector<int>>& sequences,
+                         const std::vector<int>& indices, int pad_token) {
+  PaddedBatch batch;
+  batch.batch_size = static_cast<int>(indices.size());
+  for (int idx : indices) {
+    E2DTC_CHECK(idx >= 0 && idx < static_cast<int>(sequences.size()));
+    batch.max_len = std::max(
+        batch.max_len,
+        static_cast<int>(sequences[static_cast<size_t>(idx)].size()));
+  }
+  batch.tokens.assign(
+      static_cast<size_t>(batch.batch_size) * batch.max_len, pad_token);
+  batch.lengths.reserve(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const auto& seq = sequences[static_cast<size_t>(indices[r])];
+    batch.lengths.push_back(static_cast<int>(seq.size()));
+    std::copy(seq.begin(), seq.end(),
+              batch.tokens.begin() + static_cast<int64_t>(r) * batch.max_len);
+  }
+  return batch;
+}
+
+}  // namespace e2dtc::data

@@ -1,0 +1,36 @@
+#ifndef E2DTC_DATA_BATCHING_H_
+#define E2DTC_DATA_BATCHING_H_
+
+#include <vector>
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::data {
+
+/// Groups sample indices into mini-batches. With `bucket_by_length`, indices
+/// are first sorted by the supplied lengths so each batch holds similar-
+/// length sequences (minimizing padding waste in the seq2seq); the batch
+/// order is then shuffled so training still sees a random curriculum.
+std::vector<std::vector<int>> MakeBatchIndices(
+    const std::vector<int>& lengths, int batch_size, bool bucket_by_length,
+    Rng* rng);
+
+/// A padded token batch ready for the seq2seq (row-major [B, max_len]).
+struct PaddedBatch {
+  int batch_size = 0;
+  int max_len = 0;
+  std::vector<int> tokens;   ///< batch_size * max_len, pad_token padded.
+  std::vector<int> lengths;  ///< true length of each row.
+
+  int at(int row, int col) const { return tokens[row * max_len + col]; }
+};
+
+/// Pads the selected token sequences into a dense batch.
+PaddedBatch PadSequences(const std::vector<std::vector<int>>& sequences,
+                         const std::vector<int>& indices, int pad_token);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_BATCHING_H_

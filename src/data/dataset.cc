@@ -1,0 +1,39 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+namespace e2dtc::data {
+
+std::vector<int> Labels(const Dataset& dataset) {
+  std::vector<int> labels;
+  labels.reserve(dataset.trajectories.size());
+  for (const auto& t : dataset.trajectories) labels.push_back(t.label);
+  return labels;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s;
+  s.num_trajectories = dataset.size();
+  s.num_points = geo::TotalPoints(dataset.trajectories);
+  s.num_clusters = dataset.num_clusters;
+  std::map<int, int> sizes;
+  for (const auto& t : dataset.trajectories) ++sizes[t.label];
+  if (!sizes.empty()) {
+    s.min_cluster_size = sizes.begin()->second;
+    s.max_cluster_size = sizes.begin()->second;
+    for (const auto& [label, count] : sizes) {
+      s.min_cluster_size = std::min(s.min_cluster_size, count);
+      s.max_cluster_size = std::max(s.max_cluster_size, count);
+    }
+    s.avg_cluster_size = static_cast<double>(s.num_trajectories) /
+                         static_cast<double>(sizes.size());
+  }
+  if (s.num_trajectories > 0) {
+    s.avg_trajectory_length = static_cast<double>(s.num_points) /
+                              static_cast<double>(s.num_trajectories);
+  }
+  return s;
+}
+
+}  // namespace e2dtc::data

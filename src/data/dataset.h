@@ -1,0 +1,40 @@
+#ifndef E2DTC_DATA_DATASET_H_
+#define E2DTC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace e2dtc::data {
+
+/// A labeled trajectory corpus plus the POI centers its ground truth was
+/// derived from (paper Table II rows are exactly these statistics).
+struct Dataset {
+  std::string name;
+  std::vector<geo::Trajectory> trajectories;
+  std::vector<geo::GeoPoint> poi_centers;  ///< k cluster centers.
+  int num_clusters = 0;
+
+  int size() const { return static_cast<int>(trajectories.size()); }
+};
+
+/// Ground-truth labels of every trajectory, in order.
+std::vector<int> Labels(const Dataset& dataset);
+
+/// Summary statistics (Table II / Table V).
+struct DatasetStats {
+  int64_t num_trajectories = 0;
+  int64_t num_points = 0;
+  int num_clusters = 0;
+  int min_cluster_size = 0;
+  int max_cluster_size = 0;
+  double avg_cluster_size = 0.0;
+  double avg_trajectory_length = 0.0;  ///< points per trajectory
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_DATASET_H_

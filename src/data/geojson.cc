@@ -1,0 +1,65 @@
+#include "data/geojson.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace e2dtc::data {
+
+std::string ToGeoJson(const Dataset& dataset,
+                      const std::vector<int>* assignments) {
+  E2DTC_CHECK(assignments == nullptr ||
+              assignments->size() == dataset.trajectories.size());
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& feature) {
+    if (!first) out += ",";
+    first = false;
+    out += feature;
+  };
+
+  for (size_t j = 0; j < dataset.poi_centers.size(); ++j) {
+    const auto& p = dataset.poi_centers[j];
+    append(StrFormat(
+        "{\"type\":\"Feature\",\"properties\":{\"poi\":%zu},"
+        "\"geometry\":{\"type\":\"Point\",\"coordinates\":[%.7f,%.7f]}}",
+        j, p.lon, p.lat));
+  }
+
+  for (size_t i = 0; i < dataset.trajectories.size(); ++i) {
+    const auto& t = dataset.trajectories[i];
+    std::string props = StrFormat(
+        "\"id\":%lld,\"label\":%d", static_cast<long long>(t.id), t.label);
+    if (assignments != nullptr) {
+      props += StrFormat(",\"cluster\":%d", (*assignments)[i]);
+    }
+    std::string coords;
+    for (size_t p = 0; p < t.points.size(); ++p) {
+      if (p > 0) coords += ",";
+      coords += StrFormat("[%.7f,%.7f]", t.points[p].lon, t.points[p].lat);
+    }
+    append(StrFormat(
+        "{\"type\":\"Feature\",\"properties\":{%s},"
+        "\"geometry\":{\"type\":\"LineString\",\"coordinates\":[%s]}}",
+        props.c_str(), coords.c_str()));
+  }
+  out += "]}";
+  return out;
+}
+
+Status SaveGeoJson(const std::string& path, const Dataset& dataset,
+                   const std::vector<int>* assignments) {
+  if (assignments != nullptr &&
+      assignments->size() != dataset.trajectories.size()) {
+    return Status::InvalidArgument("assignment count mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << ToGeoJson(dataset, assignments);
+  out.close();
+  if (out.fail()) return Status::IOError("geojson write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace e2dtc::data

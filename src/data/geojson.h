@@ -1,0 +1,27 @@
+#ifndef E2DTC_DATA_GEOJSON_H_
+#define E2DTC_DATA_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace e2dtc::data {
+
+/// Serializes a dataset as a GeoJSON FeatureCollection: one LineString per
+/// trajectory (properties: `id`, `label`, and `cluster` when `assignments`
+/// is provided) plus one Point per POI center (property `poi`). The output
+/// drops straight into geojson.io / Kepler.gl / QGIS for visual inspection
+/// of clustering results on a map.
+std::string ToGeoJson(const Dataset& dataset,
+                      const std::vector<int>* assignments = nullptr);
+
+/// Writes ToGeoJson(dataset, assignments) to `path`. Errors if
+/// `assignments` is non-null but its size mismatches, or on IO failure.
+Status SaveGeoJson(const std::string& path, const Dataset& dataset,
+                   const std::vector<int>* assignments = nullptr);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_GEOJSON_H_

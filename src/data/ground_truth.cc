@@ -1,0 +1,83 @@
+#include "data/ground_truth.h"
+
+#include <limits>
+
+namespace e2dtc::data {
+
+double FallenRate(const geo::Trajectory& t, const geo::GeoPoint& center,
+                  double radius_meters) {
+  if (t.empty()) return 0.0;
+  int fallen = 0;
+  for (const auto& p : t.points) {
+    if (geo::HaversineMeters(p, center) <= radius_meters) ++fallen;
+  }
+  return static_cast<double>(fallen) / static_cast<double>(t.size());
+}
+
+Result<GroundTruthResult> GenerateGroundTruth(
+    const std::vector<geo::Trajectory>& trajectories,
+    const std::vector<geo::GeoPoint>& poi_centers,
+    const GroundTruthConfig& config) {
+  if (config.sigma <= 0.0 || config.sigma > 1.0) {
+    return Status::InvalidArgument("sigma must be in (0, 1]");
+  }
+  if (config.lambda <= 0.0 || config.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in (0, 1]");
+  }
+  if (poi_centers.size() < 2) {
+    return Status::InvalidArgument("need at least 2 POI centers");
+  }
+
+  // Line 2: radius = min pairwise distance between cluster centers.
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < poi_centers.size(); ++i) {
+    for (size_t j = i + 1; j < poi_centers.size(); ++j) {
+      min_dist = std::min(min_dist,
+                          geo::HaversineMeters(poi_centers[i],
+                                               poi_centers[j]));
+    }
+  }
+
+  GroundTruthResult result;
+  result.radius_meters = min_dist * config.sigma;  // lines 3-4
+  result.labels.assign(trajectories.size(), -1);
+
+  // Lines 5-11: first matching cluster (in POI order) claims the trajectory.
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    for (size_t j = 0; j < poi_centers.size(); ++j) {
+      const double rate = FallenRate(trajectories[i], poi_centers[j],
+                                     result.radius_meters);
+      if (rate >= config.lambda) {
+        result.labels[i] = static_cast<int>(j);
+        break;
+      }
+    }
+    if (result.labels[i] >= 0) {
+      ++result.num_assigned;
+    } else {
+      ++result.num_outliers;
+    }
+  }
+  return result;
+}
+
+Result<Dataset> RelabelDataset(const Dataset& dataset,
+                               const GroundTruthConfig& config) {
+  E2DTC_ASSIGN_OR_RETURN(
+      GroundTruthResult gt,
+      GenerateGroundTruth(dataset.trajectories, dataset.poi_centers, config));
+  Dataset out;
+  out.name = dataset.name;
+  out.poi_centers = dataset.poi_centers;
+  out.num_clusters = static_cast<int>(dataset.poi_centers.size());
+  out.trajectories.reserve(static_cast<size_t>(gt.num_assigned));
+  for (size_t i = 0; i < dataset.trajectories.size(); ++i) {
+    if (gt.labels[i] < 0) continue;
+    geo::Trajectory t = dataset.trajectories[i];
+    t.label = gt.labels[i];
+    out.trajectories.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace e2dtc::data

@@ -1,0 +1,52 @@
+#ifndef E2DTC_DATA_GROUND_TRUTH_H_
+#define E2DTC_DATA_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace e2dtc::data {
+
+/// Parameters of the paper's ground-truth generation (Algorithm 2).
+struct GroundTruthConfig {
+  /// Radius ratio sigma in (0, 1]: each cluster's radius is
+  /// sigma * min pairwise POI distance (paper default 0.6).
+  double sigma = 0.6;
+  /// Fallen threshold lambda in (0, 1]: a trajectory joins cluster j when
+  /// at least this fraction of its points lie within the radius of C_j
+  /// (paper default 0.7).
+  double lambda = 0.7;
+};
+
+/// Algorithm 2 output.
+struct GroundTruthResult {
+  /// Per-trajectory label in [0, k), or -1 for outliers that matched no
+  /// cluster.
+  std::vector<int> labels;
+  double radius_meters = 0.0;  ///< The shared radius * sigma.
+  int num_assigned = 0;
+  int num_outliers = 0;
+};
+
+/// Runs Algorithm 2: a trajectory is assigned to the first POI (in order)
+/// whose fallen-rate criterion it satisfies. Errors on bad sigma/lambda or
+/// fewer than 2 POIs.
+Result<GroundTruthResult> GenerateGroundTruth(
+    const std::vector<geo::Trajectory>& trajectories,
+    const std::vector<geo::GeoPoint>& poi_centers,
+    const GroundTruthConfig& config);
+
+/// Fraction of `t`'s points within `radius_meters` of `center`
+/// (the rangeQuery / fallenRate of Algorithm 2, lines 7-8).
+double FallenRate(const geo::Trajectory& t, const geo::GeoPoint& center,
+                  double radius_meters);
+
+/// Re-labels a dataset via Algorithm 2 and drops outliers (the paper's
+/// evaluated corpora in Table II contain labeled trajectories only).
+Result<Dataset> RelabelDataset(const Dataset& dataset,
+                               const GroundTruthConfig& config);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,75 @@
+#include "data/io.h"
+
+#include <map>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace e2dtc::data {
+
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset) {
+  CsvWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
+  E2DTC_RETURN_IF_ERROR(w.WriteRow({"traj_id", "label", "lon", "lat", "t"}));
+  for (size_t j = 0; j < dataset.poi_centers.size(); ++j) {
+    const auto& p = dataset.poi_centers[j];
+    E2DTC_RETURN_IF_ERROR(w.WriteRow(
+        {"-1", StrFormat("%zu", j), StrFormat("%.8f", p.lon),
+         StrFormat("%.8f", p.lat), "0"}));
+  }
+  for (const auto& t : dataset.trajectories) {
+    for (const auto& p : t.points) {
+      E2DTC_RETURN_IF_ERROR(w.WriteRow(
+          {StrFormat("%lld", static_cast<long long>(t.id)),
+           StrFormat("%d", t.label), StrFormat("%.8f", p.lon),
+           StrFormat("%.8f", p.lat), StrFormat("%.3f", p.t)}));
+    }
+  }
+  return w.Close();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  E2DTC_ASSIGN_OR_RETURN(auto rows, ReadCsv(path));
+  if (rows.empty()) return Status::IOError("empty dataset file: " + path);
+
+  Dataset ds;
+  ds.name = path;
+  // Preserve first-appearance order of trajectories.
+  std::map<int64_t, size_t> index_of;
+  int max_label = -1;
+  for (size_t r = 1; r < rows.size(); ++r) {  // skip header
+    const auto& row = rows[r];
+    if (row.size() != 5) {
+      return Status::IOError(StrFormat("row %zu: expected 5 fields", r));
+    }
+    E2DTC_ASSIGN_OR_RETURN(int64_t id, ParseInt(row[0]));
+    E2DTC_ASSIGN_OR_RETURN(int64_t label, ParseInt(row[1]));
+    E2DTC_ASSIGN_OR_RETURN(double lon, ParseDouble(row[2]));
+    E2DTC_ASSIGN_OR_RETURN(double lat, ParseDouble(row[3]));
+    E2DTC_ASSIGN_OR_RETURN(double t, ParseDouble(row[4]));
+    if (id == -1) {
+      // POI pseudo-row; label is the cluster index.
+      if (static_cast<size_t>(label) != ds.poi_centers.size()) {
+        return Status::IOError("POI rows out of order");
+      }
+      ds.poi_centers.push_back(geo::GeoPoint{lon, lat, 0.0});
+      continue;
+    }
+    auto [it, inserted] = index_of.try_emplace(id, ds.trajectories.size());
+    if (inserted) {
+      geo::Trajectory traj;
+      traj.id = id;
+      traj.label = static_cast<int>(label);
+      ds.trajectories.push_back(std::move(traj));
+    }
+    ds.trajectories[it->second].points.push_back(
+        geo::GeoPoint{lon, lat, t});
+    max_label = std::max(max_label, static_cast<int>(label));
+  }
+  ds.num_clusters = ds.poi_centers.empty()
+                        ? max_label + 1
+                        : static_cast<int>(ds.poi_centers.size());
+  return ds;
+}
+
+}  // namespace e2dtc::data

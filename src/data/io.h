@@ -1,0 +1,22 @@
+#ifndef E2DTC_DATA_IO_H_
+#define E2DTC_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace e2dtc::data {
+
+/// Writes a dataset as CSV with a header:
+///   traj_id,label,lon,lat,t  (one row per GPS point, grouped by trajectory)
+/// POI centers are written as pseudo-rows with traj_id = -1 and label = the
+/// cluster index, so a round trip preserves Algorithm 2's inputs.
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset);
+
+/// Reads a dataset written by SaveDatasetCsv. Errors on malformed rows.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_IO_H_

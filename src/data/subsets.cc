@@ -1,0 +1,106 @@
+#include "data/subsets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::data {
+
+namespace {
+
+Dataset Skeleton(const Dataset& dataset) {
+  Dataset out;
+  out.name = dataset.name;
+  out.poi_centers = dataset.poi_centers;
+  out.num_clusters = dataset.num_clusters;
+  return out;
+}
+
+/// Trajectory indices grouped by label, in label order.
+std::map<int, std::vector<int>> GroupByLabel(const Dataset& dataset) {
+  std::map<int, std::vector<int>> groups;
+  for (int i = 0; i < dataset.size(); ++i) {
+    groups[dataset.trajectories[static_cast<size_t>(i)].label].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<Dataset> RandomSubset(const Dataset& dataset, int n, uint64_t seed) {
+  if (n < 0 || n > dataset.size()) {
+    return Status::InvalidArgument(
+        StrFormat("subset size %d out of range [0, %d]", n, dataset.size()));
+  }
+  Rng rng(seed);
+  std::vector<int> order = rng.Permutation(dataset.size());
+  order.resize(static_cast<size_t>(n));
+  std::sort(order.begin(), order.end());
+  Dataset out = Skeleton(dataset);
+  out.trajectories.reserve(static_cast<size_t>(n));
+  for (int i : order) {
+    out.trajectories.push_back(dataset.trajectories[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Result<Dataset> BalancedSubset(const Dataset& dataset, int per_cluster,
+                               uint64_t seed) {
+  if (per_cluster < 1) {
+    return Status::InvalidArgument("per_cluster must be >= 1");
+  }
+  Rng rng(seed);
+  Dataset out = Skeleton(dataset);
+  for (auto& [label, indices] : GroupByLabel(dataset)) {
+    if (static_cast<int>(indices.size()) < per_cluster) {
+      return Status::InvalidArgument(StrFormat(
+          "cluster %d has %zu < %d trajectories", label, indices.size(),
+          per_cluster));
+    }
+    rng.Shuffle(&indices);
+    for (int i = 0; i < per_cluster; ++i) {
+      out.trajectories.push_back(
+          dataset.trajectories[static_cast<size_t>(indices[
+              static_cast<size_t>(i)])]);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> ImbalancedSubset(const Dataset& dataset, int per_cluster,
+                                 double decay, int min_per_cluster,
+                                 uint64_t seed) {
+  if (per_cluster < 1 || min_per_cluster < 1) {
+    return Status::InvalidArgument("cluster sizes must be >= 1");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  Rng rng(seed);
+  Dataset out = Skeleton(dataset);
+  int j = 0;
+  for (auto& [label, indices] : GroupByLabel(dataset)) {
+    const int want = std::max(
+        min_per_cluster,
+        static_cast<int>(std::lround(
+            per_cluster * std::pow(decay, static_cast<double>(j)))));
+    if (static_cast<int>(indices.size()) < want) {
+      return Status::InvalidArgument(StrFormat(
+          "cluster %d has %zu < %d trajectories", label, indices.size(),
+          want));
+    }
+    rng.Shuffle(&indices);
+    for (int i = 0; i < want; ++i) {
+      out.trajectories.push_back(
+          dataset.trajectories[static_cast<size_t>(indices[
+              static_cast<size_t>(i)])]);
+    }
+    ++j;
+  }
+  return out;
+}
+
+}  // namespace e2dtc::data

@@ -1,0 +1,29 @@
+#ifndef E2DTC_DATA_SUBSETS_H_
+#define E2DTC_DATA_SUBSETS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace e2dtc::data {
+
+/// Uniform random subset of `n` trajectories (used by the Fig. 3 scalability
+/// sweep). Errors if n exceeds the dataset size.
+Result<Dataset> RandomSubset(const Dataset& dataset, int n, uint64_t seed);
+
+/// Balanced subset: `per_cluster` trajectories from every cluster (paper
+/// Table V, "Balanced dataset"). Errors if any cluster is too small.
+Result<Dataset> BalancedSubset(const Dataset& dataset, int per_cluster,
+                               uint64_t seed);
+
+/// Imbalanced subset: cluster j keeps
+/// max(min_per_cluster, per_cluster * decay^j) trajectories (Table V,
+/// "Imbalanced dataset"; the paper's max/min size ratio is ~7).
+Result<Dataset> ImbalancedSubset(const Dataset& dataset, int per_cluster,
+                                 double decay, int min_per_cluster,
+                                 uint64_t seed);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_SUBSETS_H_

@@ -1,0 +1,291 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "geo/augment.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::data {
+
+namespace {
+
+/// Places POIs uniformly in the span with rejection-sampled minimum
+/// separation; relaxes the separation if placement stalls.
+std::vector<geo::XY> PlacePois(const SyntheticCityConfig& cfg, Rng* rng) {
+  const double half = cfg.span_meters / 2.0;
+  double min_sep = cfg.poi_min_separation_factor * cfg.span_meters /
+                   std::sqrt(static_cast<double>(cfg.num_pois));
+  std::vector<geo::XY> pois;
+  pois.reserve(static_cast<size_t>(cfg.num_pois));
+  int stall = 0;
+  while (static_cast<int>(pois.size()) < cfg.num_pois) {
+    const geo::XY cand{rng->Uniform(-half, half), rng->Uniform(-half, half)};
+    bool ok = true;
+    for (const auto& p : pois) {
+      if (geo::EuclideanMeters(cand, p) < min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      pois.push_back(cand);
+      stall = 0;
+    } else if (++stall > 200) {
+      min_sep *= 0.9;  // relax to guarantee termination
+      stall = 0;
+    }
+  }
+  return pois;
+}
+
+double MinPairSeparation(const std::vector<geo::XY>& pois) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pois.size(); ++i) {
+    for (size_t j = i + 1; j < pois.size(); ++j) {
+      best = std::min(best, geo::EuclideanMeters(pois[i], pois[j]));
+    }
+  }
+  return best;
+}
+
+/// One anchored correlated random walk around `poi`.
+geo::Trajectory MakeWalk(const SyntheticCityConfig& cfg, const geo::XY& poi,
+                         double roam_radius, int64_t id, int label,
+                         const geo::LocalProjection& proj, Rng* rng) {
+  geo::Trajectory traj;
+  traj.id = id;
+  traj.label = label;
+  const int num_points = rng->UniformInt(cfg.min_points, cfg.max_points);
+  traj.points.reserve(static_cast<size_t>(num_points));
+
+  // Start near the POI.
+  geo::XY pos{poi.x + rng->Gaussian(0.0, cfg.start_spread * roam_radius),
+              poi.y + rng->Gaussian(0.0, cfg.start_spread * roam_radius)};
+  double heading = rng->Uniform(0.0, 2.0 * M_PI);
+  double t = 0.0;
+  for (int i = 0; i < num_points; ++i) {
+    geo::XY noisy{pos.x + rng->Gaussian(0.0, cfg.gps_noise_meters),
+                  pos.y + rng->Gaussian(0.0, cfg.gps_noise_meters)};
+    traj.points.push_back(proj.Unproject(noisy, t));
+
+    // Advance the walk.
+    const double dt =
+        cfg.sampling_period_s *
+        (1.0 + rng->Gaussian(0.0, cfg.sampling_jitter));
+    const double step =
+        std::max(0.0, cfg.mean_speed_mps *
+                          (1.0 + rng->Gaussian(0.0, cfg.speed_jitter))) *
+        std::max(dt, 0.5);
+    heading += rng->Gaussian(0.0, cfg.heading_noise_rad);
+    geo::XY next{pos.x + step * std::cos(heading),
+                 pos.y + step * std::sin(heading)};
+    // Pull toward the anchor; hard reflect if we stray past the roam radius.
+    next.x += cfg.anchor_pull * (poi.x - next.x);
+    next.y += cfg.anchor_pull * (poi.y - next.y);
+    const double dist = geo::EuclideanMeters(next, poi);
+    if (dist > roam_radius) {
+      const double shrink = roam_radius / dist;
+      next.x = poi.x + (next.x - poi.x) * shrink;
+      next.y = poi.y + (next.y - poi.y) * shrink;
+      heading = std::atan2(poi.y - next.y, poi.x - next.x) +
+                rng->Gaussian(0.0, 0.5);
+    }
+    pos = next;
+    t += std::max(dt, 0.5);
+  }
+  return traj;
+}
+
+/// A commute trip: drive roughly straight from POI a toward POI b with
+/// heading noise, sampled like the anchored walks.
+geo::Trajectory MakeCommute(const SyntheticCityConfig& cfg,
+                            const geo::XY& from, const geo::XY& to,
+                            int64_t id, const geo::LocalProjection& proj,
+                            Rng* rng) {
+  geo::Trajectory traj;
+  traj.id = id;
+  traj.label = -1;  // not anchored to any cluster
+  const int num_points = rng->UniformInt(cfg.min_points, cfg.max_points);
+  // Stride so the trip actually traverses from -> to within its samples
+  // (commutes are faster than the lingering hotspot walks).
+  const double stride =
+      geo::EuclideanMeters(from, to) / std::max(1, num_points - 1);
+  geo::XY pos = from;
+  double t = 0.0;
+  for (int i = 0; i < num_points; ++i) {
+    geo::XY noisy{pos.x + rng->Gaussian(0.0, cfg.gps_noise_meters),
+                  pos.y + rng->Gaussian(0.0, cfg.gps_noise_meters)};
+    traj.points.push_back(proj.Unproject(noisy, t));
+    const double dt =
+        cfg.sampling_period_s *
+        (1.0 + rng->Gaussian(0.0, cfg.sampling_jitter));
+    const double step =
+        stride * std::max(0.2, 1.0 + rng->Gaussian(0.0, cfg.speed_jitter));
+    const double heading =
+        std::atan2(to.y - pos.y, to.x - pos.x) +
+        rng->Gaussian(0.0, cfg.heading_noise_rad * 0.5);
+    pos.x += step * std::cos(heading);
+    pos.y += step * std::sin(heading);
+    t += std::max(dt, 0.5);
+  }
+  return traj;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateSyntheticCity(const SyntheticCityConfig& cfg) {
+  if (cfg.num_pois < 2) {
+    return Status::InvalidArgument("need at least 2 POIs");
+  }
+  if (cfg.trajectories_per_poi < 1) {
+    return Status::InvalidArgument("trajectories_per_poi must be >= 1");
+  }
+  if (cfg.span_meters <= 0.0 || cfg.min_points < 2 ||
+      cfg.max_points < cfg.min_points) {
+    return Status::InvalidArgument("bad geometry/length configuration");
+  }
+  if (cfg.imbalance_decay <= 0.0 || cfg.imbalance_decay > 1.0) {
+    return Status::InvalidArgument("imbalance_decay must be in (0, 1]");
+  }
+  if (cfg.roam_heterogeneity <= 0.0 || cfg.roam_heterogeneity > 1.0) {
+    return Status::InvalidArgument("roam_heterogeneity must be in (0, 1]");
+  }
+  if (cfg.commute_fraction < 0.0 || cfg.commute_fraction >= 1.0) {
+    return Status::InvalidArgument("commute_fraction must be in [0, 1)");
+  }
+  if (cfg.acquisition_drop_rates.empty()) {
+    return Status::InvalidArgument("acquisition_drop_rates must be nonempty");
+  }
+  for (double r : cfg.acquisition_drop_rates) {
+    if (r < 0.0 || r >= 1.0) {
+      return Status::InvalidArgument("drop rates must be in [0, 1)");
+    }
+  }
+
+  Rng rng(cfg.seed);
+  const geo::LocalProjection proj(cfg.center_lon, cfg.center_lat);
+  std::vector<geo::XY> pois = PlacePois(cfg, &rng);
+  const double roam_radius =
+      cfg.roam_radius_factor * MinPairSeparation(pois);
+
+  Dataset ds;
+  ds.name = cfg.name;
+  ds.num_clusters = cfg.num_pois;
+  ds.poi_centers.reserve(pois.size());
+  for (const auto& p : pois) ds.poi_centers.push_back(proj.Unproject(p));
+
+  int64_t id = 0;
+  for (int j = 0; j < cfg.num_pois; ++j) {
+    const int count = std::max(
+        1, static_cast<int>(std::lround(
+               cfg.trajectories_per_poi *
+               std::pow(cfg.imbalance_decay, static_cast<double>(j)))));
+    for (int i = 0; i < count; ++i) {
+      const double walk_radius =
+          roam_radius * rng.Uniform(cfg.roam_heterogeneity, 1.0);
+      geo::Trajectory walk = MakeWalk(
+          cfg, pois[static_cast<size_t>(j)], walk_radius, id++, j, proj,
+          &rng);
+      // Heterogeneous acquisition: per-trajectory sampling rate + noise.
+      const double drop = cfg.acquisition_drop_rates[rng.UniformU64(
+          cfg.acquisition_drop_rates.size())];
+      walk = geo::Corrupt(walk, drop, cfg.acquisition_distort_rate,
+                          cfg.acquisition_noise_meters, &rng);
+      ds.trajectories.push_back(std::move(walk));
+    }
+  }
+
+  // Cross-city commutes (unlabeled traffic; Algorithm 2 drops most of it).
+  if (cfg.commute_fraction > 0.0 && cfg.num_pois >= 2) {
+    const int num_commutes = static_cast<int>(
+        std::lround(cfg.commute_fraction * ds.trajectories.size()));
+    for (int c = 0; c < num_commutes; ++c) {
+      const int a =
+          static_cast<int>(rng.UniformU64(pois.size()));
+      int b = a;
+      while (b == a) {
+        b = static_cast<int>(rng.UniformU64(pois.size()));
+      }
+      geo::Trajectory trip = MakeCommute(
+          cfg, pois[static_cast<size_t>(a)], pois[static_cast<size_t>(b)],
+          id++, proj, &rng);
+      const double drop = cfg.acquisition_drop_rates[rng.UniformU64(
+          cfg.acquisition_drop_rates.size())];
+      trip = geo::Corrupt(trip, drop, cfg.acquisition_distort_rate,
+                          cfg.acquisition_noise_meters, &rng);
+      ds.trajectories.push_back(std::move(trip));
+    }
+  }
+  return ds;
+}
+
+SyntheticCityConfig GeoLifePreset(double scale, uint64_t seed) {
+  SyntheticCityConfig cfg;
+  cfg.name = "geolife";
+  cfg.seed = seed;
+  cfg.center_lon = 116.39;  // Beijing
+  cfg.center_lat = 39.91;
+  cfg.span_meters = 20000.0;
+  cfg.num_pois = 12;
+  cfg.trajectories_per_poi = std::max(1, static_cast<int>(84 * scale));
+  cfg.sampling_period_s = 5.0;
+  cfg.mean_speed_mps = 5.0;  // mixed walking/vehicle
+  cfg.min_points = 20;
+  cfg.max_points = 48;
+  cfg.roam_radius_factor = 0.85;
+  cfg.anchor_pull = 0.05;
+  cfg.roam_heterogeneity = 0.25;
+  cfg.start_spread = 0.7;
+  cfg.acquisition_drop_rates = {0.0, 0.2, 0.4, 0.6};
+  cfg.acquisition_distort_rate = 0.25;
+  cfg.acquisition_noise_meters = 80.0;
+  return cfg;
+}
+
+SyntheticCityConfig PortoPreset(double scale, uint64_t seed) {
+  SyntheticCityConfig cfg;
+  cfg.name = "porto";
+  cfg.seed = seed;
+  cfg.center_lon = -8.62;  // Porto
+  cfg.center_lat = 41.16;
+  cfg.span_meters = 26000.0;
+  cfg.num_pois = 15;
+  cfg.trajectories_per_poi = std::max(1, static_cast<int>(56 * scale));
+  cfg.sampling_period_s = 15.0;
+  cfg.mean_speed_mps = 9.0;  // taxi
+  cfg.min_points = 24;
+  cfg.max_points = 52;
+  cfg.roam_radius_factor = 0.7;
+  cfg.anchor_pull = 0.06;
+  cfg.roam_heterogeneity = 0.25;
+  cfg.acquisition_drop_rates = {0.0, 0.2, 0.4, 0.6};
+  cfg.acquisition_distort_rate = 0.25;
+  cfg.acquisition_noise_meters = 80.0;
+  return cfg;
+}
+
+SyntheticCityConfig HangzhouPreset(double scale, uint64_t seed) {
+  SyntheticCityConfig cfg;
+  cfg.name = "hangzhou";
+  cfg.seed = seed;
+  cfg.center_lon = 120.15;  // Hangzhou
+  cfg.center_lat = 30.25;
+  cfg.span_meters = 24000.0;
+  cfg.num_pois = 7;
+  cfg.trajectories_per_poi = std::max(1, static_cast<int>(70 * scale));
+  cfg.sampling_period_s = 5.0;
+  cfg.mean_speed_mps = 9.0;  // taxi
+  cfg.min_points = 32;
+  cfg.max_points = 68;
+  cfg.roam_radius_factor = 0.8;
+  cfg.anchor_pull = 0.06;
+  cfg.roam_heterogeneity = 0.25;
+  cfg.acquisition_drop_rates = {0.0, 0.2, 0.4, 0.6};
+  cfg.acquisition_distort_rate = 0.25;
+  cfg.acquisition_noise_meters = 80.0;
+  return cfg;
+}
+
+}  // namespace e2dtc::data

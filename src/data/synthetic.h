@@ -1,0 +1,91 @@
+#ifndef E2DTC_DATA_SYNTHETIC_H_
+#define E2DTC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace e2dtc::data {
+
+/// Synthetic city generator. This is the documented substitution for the
+/// paper's GeoLife / Porto / Hangzhou corpora (DESIGN.md §2): k POI
+/// attractors are placed in a bounding area; each trajectory is a correlated
+/// random walk anchored to one POI, sampled at a configurable period with
+/// jitter and GPS noise. Presets match the papers' cluster counts and
+/// sampling characteristics at reduced cardinality.
+struct SyntheticCityConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 42;
+
+  // Geography.
+  double center_lon = 120.15;     ///< Hangzhou-ish default.
+  double center_lat = 30.25;
+  double span_meters = 24000.0;   ///< Side of the square city extent.
+  int num_pois = 7;               ///< Cluster attractors (paper's k).
+  /// POIs are rejection-sampled to keep at least this fraction of
+  /// span/sqrt(k) apart, so Algorithm 2's radius is meaningful.
+  double poi_min_separation_factor = 0.75;
+
+  // Population.
+  int trajectories_per_poi = 60;
+  /// Geometric decay of per-POI population: sizes ~ decay^j. 1.0 = balanced.
+  double imbalance_decay = 1.0;
+  /// Fraction of extra cross-city commute trips (straight-ish runs between
+  /// two random POIs). Real corpora contain them; Algorithm 2 labels most
+  /// of them as outliers, which is exactly how the paper's evaluated
+  /// datasets lose trajectories relative to the raw corpus. 0 disables.
+  double commute_fraction = 0.0;
+
+  // Motion model.
+  double mean_speed_mps = 8.0;      ///< ~30 km/h urban traffic.
+  double speed_jitter = 0.3;        ///< Relative per-step speed noise.
+  double heading_noise_rad = 0.35;  ///< Per-step heading diffusion.
+  /// Pull strength toward the anchor POI per step (keeps walks in-cluster).
+  double anchor_pull = 0.12;
+  /// Walk start offset from the POI, as a fraction of the cluster radius.
+  double start_spread = 0.45;
+  /// Cluster radius used by the motion model, as a fraction of the minimum
+  /// POI separation (near Algorithm 2's sigma; > sigma creates the overlap
+  /// between neighboring clusters that real taxi data exhibits).
+  double roam_radius_factor = 0.45;
+  /// Per-trajectory activity-radius heterogeneity: each walk draws its own
+  /// radius uniformly from [roam_heterogeneity * R, R]. Tight errands and
+  /// wide sweeps around the same hotspot are what defeat raw pair-matching
+  /// metrics on real data; 1.0 disables.
+  double roam_heterogeneity = 1.0;
+
+  // Sampling.
+  double sampling_period_s = 5.0;
+  double sampling_jitter = 0.2;    ///< Relative period jitter.
+  int min_points = 20;
+  int max_points = 60;
+  double gps_noise_meters = 8.0;   ///< Per-sample isotropic noise.
+
+  // Heterogeneous acquisition (the paper's motivating data pathology:
+  // non-uniform/low sampling rates and bursts of GPS noise, Section I).
+  // Each finished walk is down-sampled with a drop rate drawn from this
+  // list, then each point is distorted with the given probability/sigma.
+  // Defaults keep acquisition clean; the presets turn it on.
+  std::vector<double> acquisition_drop_rates{0.0};
+  double acquisition_distort_rate = 0.0;
+  double acquisition_noise_meters = 0.0;
+};
+
+/// Generates a city. Trajectory labels are set to the generating POI; run
+/// Algorithm 2 (ground_truth.h) to re-derive labels the paper's way.
+/// Errors on non-positive dimensions/populations.
+Result<Dataset> GenerateSyntheticCity(const SyntheticCityConfig& config);
+
+/// Named presets mirroring the paper's three datasets (Table II shapes:
+/// k = 12 / 15 / 7; sampling 5 s / 15 s / 5 s; increasing points-per-
+/// trajectory). `scale` multiplies trajectories_per_poi.
+SyntheticCityConfig GeoLifePreset(double scale = 1.0, uint64_t seed = 42);
+SyntheticCityConfig PortoPreset(double scale = 1.0, uint64_t seed = 43);
+SyntheticCityConfig HangzhouPreset(double scale = 1.0, uint64_t seed = 44);
+
+}  // namespace e2dtc::data
+
+#endif  // E2DTC_DATA_SYNTHETIC_H_

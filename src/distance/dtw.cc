@@ -1,0 +1,29 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace e2dtc::distance {
+
+double DtwDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  // Roll the DP over the shorter sequence to bound memory.
+  const Polyline& rows = a.size() >= b.size() ? a : b;
+  const Polyline& cols = a.size() >= b.size() ? b : a;
+  const size_t m = cols.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= rows.size(); ++i) {
+    cur[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double d = geo::EuclideanMeters(rows[i - 1], cols[j - 1]);
+      cur[j] = d + std::min({prev[j], cur[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace e2dtc::distance

@@ -1,0 +1,15 @@
+#ifndef E2DTC_DISTANCE_DTW_H_
+#define E2DTC_DISTANCE_DTW_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Dynamic Time Warping distance (Yi et al., ICDE'98): minimum cumulative
+/// Euclidean point distance over all monotone alignments. O(|a||b|) time,
+/// O(min(|a|,|b|)) space. Returns +inf if either input is empty.
+double DtwDistance(const Polyline& a, const Polyline& b);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_DTW_H_

@@ -1,0 +1,35 @@
+#include "distance/edr.h"
+
+#include <algorithm>
+
+namespace e2dtc::distance {
+
+double EdrDistance(const Polyline& a, const Polyline& b,
+                   double epsilon_meters) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<double>(m);
+  if (m == 0) return static_cast<double>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int match =
+          geo::EuclideanMeters(a[i - 1], b[j - 1]) <= epsilon_meters ? 0 : 1;
+      cur[j] = std::min({prev[j - 1] + match, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]);
+}
+
+double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
+                             double epsilon_meters) {
+  const size_t denom = std::max(a.size(), b.size());
+  if (denom == 0) return 0.0;
+  return EdrDistance(a, b, epsilon_meters) / static_cast<double>(denom);
+}
+
+}  // namespace e2dtc::distance

@@ -1,0 +1,21 @@
+#ifndef E2DTC_DISTANCE_EDR_H_
+#define E2DTC_DISTANCE_EDR_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Edit Distance on Real sequences (Chen et al., SIGMOD'05): minimum number
+/// of insert/delete/substitute edits, where two points "match" (cost 0) if
+/// their Euclidean distance is <= epsilon. O(|a||b|) time.
+/// Returns the raw edit count.
+double EdrDistance(const Polyline& a, const Polyline& b,
+                   double epsilon_meters);
+
+/// EDR normalized to [0,1] by max(|a|,|b|); 0 for two empty inputs.
+double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
+                             double epsilon_meters);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_EDR_H_

@@ -1,0 +1,32 @@
+#include "distance/erp.h"
+
+#include <algorithm>
+
+namespace e2dtc::distance {
+
+double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Degenerate rows/columns: everything matches against the gap point.
+  std::vector<double> prev(m + 1, 0.0);
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + geo::EuclideanMeters(b[j - 1], gap);
+  }
+  std::vector<double> cur(m + 1, 0.0);
+  for (size_t i = 1; i <= n; ++i) {
+    const double gap_a = geo::EuclideanMeters(a[i - 1], gap);
+    cur[0] = prev[0] + gap_a;
+    for (size_t j = 1; j <= m; ++j) {
+      const double match =
+          prev[j - 1] + geo::EuclideanMeters(a[i - 1], b[j - 1]);
+      const double skip_a = prev[j] + gap_a;
+      const double skip_b =
+          cur[j - 1] + geo::EuclideanMeters(b[j - 1], gap);
+      cur[j] = std::min({match, skip_a, skip_b});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace e2dtc::distance

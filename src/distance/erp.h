@@ -1,0 +1,18 @@
+#ifndef E2DTC_DISTANCE_ERP_H_
+#define E2DTC_DISTANCE_ERP_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Edit distance with Real Penalty (Chen & Ng, VLDB'04): like EDR but gaps
+/// are charged their real distance to a fixed gap point g, which makes ERP
+/// a true metric (it satisfies the triangle inequality when the ground
+/// distance does). O(|a||b|) time, O(min) space.
+/// `gap` defaults to the projection origin (0, 0).
+double ErpDistance(const Polyline& a, const Polyline& b,
+                   const geo::XY& gap = geo::XY{0.0, 0.0});
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_ERP_H_

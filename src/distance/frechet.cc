@@ -1,0 +1,35 @@
+#include "distance/frechet.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace e2dtc::distance {
+
+double FrechetDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  const size_t n = a.size();
+  const size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m, kInf);
+  std::vector<double> cur(m, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = geo::EuclideanMeters(a[i], b[j]);
+      double reach;
+      if (i == 0 && j == 0) {
+        reach = d;
+      } else if (i == 0) {
+        reach = std::max(cur[j - 1], d);
+      } else if (j == 0) {
+        reach = std::max(prev[j], d);
+      } else {
+        reach = std::max(std::min({prev[j], cur[j - 1], prev[j - 1]}), d);
+      }
+      cur[j] = reach;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+}  // namespace e2dtc::distance

@@ -1,0 +1,15 @@
+#ifndef E2DTC_DISTANCE_FRECHET_H_
+#define E2DTC_DISTANCE_FRECHET_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Discrete Fréchet distance (coupling distance): the minimum over monotone
+/// couplings of the maximum matched point distance. O(|a||b|) DP.
+/// Returns +inf if either input is empty.
+double FrechetDistance(const Polyline& a, const Polyline& b);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_FRECHET_H_

@@ -1,0 +1,29 @@
+#include "distance/hausdorff.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace e2dtc::distance {
+
+double DirectedHausdorff(const Polyline& a, const Polyline& b) {
+  if (a.empty()) return 0.0;
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (const auto& p : a) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& q : b) {
+      best = std::min(best, geo::EuclideanMeters(p, q));
+      // Early exit: this point cannot raise the running maximum.
+      if (best <= worst) break;
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double HausdorffDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  return std::max(DirectedHausdorff(a, b), DirectedHausdorff(b, a));
+}
+
+}  // namespace e2dtc::distance

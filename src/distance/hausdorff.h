@@ -1,0 +1,18 @@
+#ifndef E2DTC_DISTANCE_HAUSDORFF_H_
+#define E2DTC_DISTANCE_HAUSDORFF_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Directed Hausdorff distance: max over points of `a` of the distance to
+/// the nearest point of `b`. O(|a||b|).
+double DirectedHausdorff(const Polyline& a, const Polyline& b);
+
+/// Symmetric Hausdorff distance: max of the two directed distances.
+/// Returns +inf if exactly one input is empty, 0 if both are.
+double HausdorffDistance(const Polyline& a, const Polyline& b);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_HAUSDORFF_H_

@@ -1,0 +1,34 @@
+#include "distance/lcss.h"
+
+#include <algorithm>
+
+namespace e2dtc::distance {
+
+int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0;
+  std::vector<int> prev(m + 1, 0);
+  std::vector<int> cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (geo::EuclideanMeters(a[i - 1], b[j - 1]) <= epsilon_meters) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const Polyline& a, const Polyline& b,
+                    double epsilon_meters) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  const double lcss = LcssLength(a, b, epsilon_meters);
+  return 1.0 - lcss / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+}  // namespace e2dtc::distance

@@ -1,0 +1,19 @@
+#ifndef E2DTC_DISTANCE_LCSS_H_
+#define E2DTC_DISTANCE_LCSS_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Length of the Longest Common SubSequence (Vlachos et al., ICDE'02):
+/// points match when within epsilon meters. O(|a||b|) time.
+int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters);
+
+/// LCSS dissimilarity in [0,1]: 1 - LCSS/min(|a|,|b|). Two empty inputs
+/// have distance 0; one empty input has distance 1.
+double LcssDistance(const Polyline& a, const Polyline& b,
+                    double epsilon_meters);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_LCSS_H_

@@ -1,0 +1,87 @@
+#include "distance/matrix.h"
+
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/frechet.h"
+#include "distance/hausdorff.h"
+#include "distance/erp.h"
+#include "distance/lcss.h"
+#include "distance/sspd.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::distance {
+
+std::string MetricName(Metric m) {
+  switch (m) {
+    case Metric::kDtw:
+      return "DTW";
+    case Metric::kEdr:
+      return "EDR";
+    case Metric::kLcss:
+      return "LCSS";
+    case Metric::kHausdorff:
+      return "Hausdorff";
+    case Metric::kFrechet:
+      return "Frechet";
+    case Metric::kErp:
+      return "ERP";
+    case Metric::kSspd:
+      return "SSPD";
+  }
+  return "Unknown";
+}
+
+double TrajectoryDistance(Metric metric, const Polyline& a, const Polyline& b,
+                          const MetricParams& params) {
+  switch (metric) {
+    case Metric::kDtw:
+      return DtwDistance(a, b);
+    case Metric::kEdr:
+      return NormalizedEdrDistance(a, b, params.epsilon_meters);
+    case Metric::kLcss:
+      return LcssDistance(a, b, params.epsilon_meters);
+    case Metric::kHausdorff:
+      return HausdorffDistance(a, b);
+    case Metric::kFrechet:
+      return FrechetDistance(a, b);
+    case Metric::kErp:
+      return ErpDistance(a, b, params.erp_gap);
+    case Metric::kSspd:
+      return SspdDistance(a, b);
+  }
+  E2DTC_CHECK_MSG(false, "unknown metric");
+  return 0.0;
+}
+
+DistanceMatrix ComputeDistanceMatrix(const std::vector<Polyline>& lines,
+                                     Metric metric, const MetricParams& params,
+                                     ThreadPool* pool) {
+  const int n = static_cast<int>(lines.size());
+  return ComputeDistanceMatrix(
+      n,
+      [&](int i, int j) {
+        return TrajectoryDistance(metric, lines[static_cast<size_t>(i)],
+                                  lines[static_cast<size_t>(j)], params);
+      },
+      pool);
+}
+
+DistanceMatrix ComputeDistanceMatrix(
+    int n, const std::function<double(int, int)>& pair_distance,
+    ThreadPool* pool) {
+  DistanceMatrix m(n);
+  auto compute_row = [&](int64_t i) {
+    for (int j = static_cast<int>(i) + 1; j < n; ++j) {
+      m.set(static_cast<int>(i), j, pair_distance(static_cast<int>(i), j));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, compute_row);
+  } else {
+    for (int64_t i = 0; i < n; ++i) compute_row(i);
+  }
+  return m;
+}
+
+}  // namespace e2dtc::distance

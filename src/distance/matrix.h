@@ -1,0 +1,49 @@
+#ifndef E2DTC_DISTANCE_MATRIX_H_
+#define E2DTC_DISTANCE_MATRIX_H_
+
+#include <functional>
+
+#include "distance/metrics.h"
+
+namespace e2dtc {
+class ThreadPool;
+}
+
+namespace e2dtc::distance {
+
+/// Dense symmetric N x N distance matrix (row-major, zero diagonal).
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(int n) : n_(n), data_(static_cast<size_t>(n) * n) {}
+
+  int size() const { return n_; }
+  double at(int i, int j) const {
+    return data_[static_cast<size_t>(i) * n_ + j];
+  }
+  void set(int i, int j, double v) {
+    data_[static_cast<size_t>(i) * n_ + j] = v;
+    data_[static_cast<size_t>(j) * n_ + i] = v;
+  }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Computes all pairwise distances under `metric`. When `pool` is non-null
+/// the upper triangle is computed in parallel (row-sharded).
+DistanceMatrix ComputeDistanceMatrix(const std::vector<Polyline>& lines,
+                                     Metric metric,
+                                     const MetricParams& params = {},
+                                     ThreadPool* pool = nullptr);
+
+/// Generic variant: any symmetric pair function.
+DistanceMatrix ComputeDistanceMatrix(
+    int n, const std::function<double(int, int)>& pair_distance,
+    ThreadPool* pool = nullptr);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_MATRIX_H_

@@ -1,0 +1,44 @@
+#ifndef E2DTC_DISTANCE_METRICS_H_
+#define E2DTC_DISTANCE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace e2dtc::distance {
+
+/// A projected trajectory: planar points in meters, time order preserved.
+using Polyline = std::vector<geo::XY>;
+
+/// The classic pair-matching metrics the paper benchmarks K-Medoids with
+/// (Section VII-A), plus discrete Fréchet as an extra shape-based metric.
+enum class Metric {
+  kDtw,
+  kEdr,
+  kLcss,
+  kHausdorff,
+  kFrechet,
+  kErp,
+  kSspd,
+};
+
+/// Short display name ("DTW", "EDR", ...).
+std::string MetricName(Metric m);
+
+/// Threshold-style parameters. `epsilon_meters` is the match tolerance used
+/// by EDR and LCSS (the paper grid-searches it); `erp_gap` is ERP's fixed
+/// gap point, in the same projected frame as the polylines.
+struct MetricParams {
+  double epsilon_meters = 200.0;
+  geo::XY erp_gap{0.0, 0.0};
+};
+
+/// Dispatches to the metric implementation below. All metrics return a
+/// dissimilarity (0 = identical) and are symmetric.
+double TrajectoryDistance(Metric metric, const Polyline& a, const Polyline& b,
+                          const MetricParams& params = {});
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_METRICS_H_

@@ -1,0 +1,50 @@
+#include "distance/resample.h"
+
+#include "util/check.h"
+
+namespace e2dtc::distance {
+
+Polyline ResampleByArcLength(const Polyline& line, int num_points) {
+  E2DTC_CHECK_GE(num_points, 2);
+  E2DTC_CHECK(!line.empty());
+  if (line.size() == 1) return Polyline(static_cast<size_t>(num_points),
+                                        line.front());
+
+  // Cumulative arc length.
+  std::vector<double> cum(line.size(), 0.0);
+  for (size_t i = 1; i < line.size(); ++i) {
+    cum[i] = cum[i - 1] + geo::EuclideanMeters(line[i - 1], line[i]);
+  }
+  const double total = cum.back();
+  Polyline out;
+  out.reserve(static_cast<size_t>(num_points));
+  if (total <= 0.0) {
+    // Degenerate (all points coincide): replicate.
+    return Polyline(static_cast<size_t>(num_points), line.front());
+  }
+  size_t seg = 0;
+  for (int i = 0; i < num_points; ++i) {
+    const double target =
+        total * static_cast<double>(i) / (num_points - 1);
+    while (seg + 1 < cum.size() - 1 && cum[seg + 1] < target) ++seg;
+    const double seg_len = cum[seg + 1] - cum[seg];
+    const double frac =
+        seg_len > 0.0 ? (target - cum[seg]) / seg_len : 0.0;
+    out.push_back(geo::XY{
+        line[seg].x + frac * (line[seg + 1].x - line[seg].x),
+        line[seg].y + frac * (line[seg + 1].y - line[seg].y)});
+  }
+  return out;
+}
+
+std::vector<float> FlattenPolyline(const Polyline& line) {
+  std::vector<float> out;
+  out.reserve(line.size() * 2);
+  for (const auto& p : line) {
+    out.push_back(static_cast<float>(p.x));
+    out.push_back(static_cast<float>(p.y));
+  }
+  return out;
+}
+
+}  // namespace e2dtc::distance

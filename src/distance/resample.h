@@ -1,0 +1,21 @@
+#ifndef E2DTC_DISTANCE_RESAMPLE_H_
+#define E2DTC_DISTANCE_RESAMPLE_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Resamples a polyline to exactly `num_points` points spaced uniformly by
+/// arc length (linear interpolation between samples). Used to build
+/// fixed-size feature vectors from variable-length trajectories (e.g. the
+/// raw-representation inputs to the Fig. 4 t-SNE panels).
+/// Requires num_points >= 2 and a non-empty input; a single-point input is
+/// replicated.
+Polyline ResampleByArcLength(const Polyline& line, int num_points);
+
+/// Flattens a polyline into interleaved (x0,y0,x1,y1,...) coordinates.
+std::vector<float> FlattenPolyline(const Polyline& line);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_RESAMPLE_H_

@@ -1,0 +1,42 @@
+#include "distance/sspd.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace e2dtc::distance {
+
+double PointToSegment(const geo::XY& p, const geo::XY& s0,
+                      const geo::XY& s1) {
+  const double dx = s1.x - s0.x;
+  const double dy = s1.y - s0.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 <= 0.0) return geo::EuclideanMeters(p, s0);
+  double t = ((p.x - s0.x) * dx + (p.y - s0.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return geo::EuclideanMeters(p, geo::XY{s0.x + t * dx, s0.y + t * dy});
+}
+
+double PointToPolyline(const geo::XY& p, const Polyline& line) {
+  if (line.empty()) return std::numeric_limits<double>::infinity();
+  if (line.size() == 1) return geo::EuclideanMeters(p, line[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < line.size(); ++i) {
+    best = std::min(best, PointToSegment(p, line[i - 1], line[i]));
+  }
+  return best;
+}
+
+double SegmentPathDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty()) return 0.0;
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& p : a) total += PointToPolyline(p, b);
+  return total / static_cast<double>(a.size());
+}
+
+double SspdDistance(const Polyline& a, const Polyline& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  return 0.5 * (SegmentPathDistance(a, b) + SegmentPathDistance(b, a));
+}
+
+}  // namespace e2dtc::distance

@@ -1,0 +1,26 @@
+#ifndef E2DTC_DISTANCE_SSPD_H_
+#define E2DTC_DISTANCE_SSPD_H_
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance {
+
+/// Euclidean distance from point `p` to the segment [s0, s1].
+double PointToSegment(const geo::XY& p, const geo::XY& s0, const geo::XY& s1);
+
+/// Distance from point `p` to the polyline (minimum over its segments;
+/// for a single-point polyline, the point distance).
+double PointToPolyline(const geo::XY& p, const Polyline& line);
+
+/// Segment-Path Distance: mean distance of a's points to the polyline b
+/// (Besse et al., 2015). Returns +inf when b is empty and a is not.
+double SegmentPathDistance(const Polyline& a, const Polyline& b);
+
+/// Symmetrized SPD: (SPD(a,b) + SPD(b,a)) / 2. A shape-based dissimilarity
+/// that, unlike Hausdorff, averages rather than maximizes — markedly more
+/// robust to single noisy points.
+double SspdDistance(const Polyline& a, const Polyline& b);
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_SSPD_H_

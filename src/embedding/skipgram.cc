@@ -1,0 +1,142 @@
+#include "embedding/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace e2dtc::embedding {
+
+Result<nn::Tensor> TrainSkipGram(
+    const std::vector<std::vector<int>>& sequences, int vocab_size,
+    const SkipGramConfig& cfg) {
+  if (vocab_size < cfg.first_real_token + 1) {
+    return Status::InvalidArgument("vocab too small");
+  }
+  if (cfg.dim < 1 || cfg.window < 1 || cfg.negatives < 0 || cfg.epochs < 1) {
+    return Status::InvalidArgument("bad skip-gram configuration");
+  }
+  int64_t total_tokens = 0;
+  std::vector<int64_t> counts(static_cast<size_t>(vocab_size), 0);
+  for (const auto& seq : sequences) {
+    for (int tok : seq) {
+      if (tok < 0 || tok >= vocab_size) {
+        return Status::InvalidArgument("token id out of range");
+      }
+      if (tok >= cfg.first_real_token) {
+        ++counts[static_cast<size_t>(tok)];
+        ++total_tokens;
+      }
+    }
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument("no trainable tokens in corpus");
+  }
+
+  Rng rng(cfg.seed);
+  nn::Tensor in = nn::Tensor::Uniform(vocab_size, cfg.dim,
+                                      0.5f / static_cast<float>(cfg.dim),
+                                      &rng);
+  nn::Tensor out(vocab_size, cfg.dim);  // zero-initialized, word2vec style
+
+  // Unigram^0.75 negative-sampling table.
+  std::vector<int> neg_table;
+  {
+    double norm = 0.0;
+    for (int v = cfg.first_real_token; v < vocab_size; ++v) {
+      norm += std::pow(static_cast<double>(counts[static_cast<size_t>(v)]),
+                       0.75);
+    }
+    const int table_size =
+        std::min<int64_t>(1 << 20, std::max<int64_t>(1024, total_tokens * 8));
+    neg_table.reserve(static_cast<size_t>(table_size));
+    for (int v = cfg.first_real_token; v < vocab_size; ++v) {
+      const double share =
+          std::pow(static_cast<double>(counts[static_cast<size_t>(v)]),
+                   0.75) / norm;
+      const int slots = std::max(
+          counts[static_cast<size_t>(v)] > 0 ? 1 : 0,
+          static_cast<int>(share * table_size));
+      for (int s = 0; s < slots; ++s) neg_table.push_back(v);
+    }
+    if (neg_table.empty()) neg_table.push_back(cfg.first_real_token);
+  }
+
+  const int64_t total_steps =
+      static_cast<int64_t>(cfg.epochs) * total_tokens;
+  int64_t step = 0;
+  std::vector<float> grad_center(static_cast<size_t>(cfg.dim));
+
+  auto sigmoid = [](float x) { return 1.0f / (1.0f + std::exp(-x)); };
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& seq : sequences) {
+      const int len = static_cast<int>(seq.size());
+      for (int pos = 0; pos < len; ++pos) {
+        const int center = seq[static_cast<size_t>(pos)];
+        if (center < cfg.first_real_token) continue;
+        const float progress =
+            static_cast<float>(step) / static_cast<float>(total_steps);
+        const float lr =
+            std::max(cfg.min_lr, cfg.lr * (1.0f - progress));
+        ++step;
+        // Randomized window size, as in word2vec.
+        const int win = 1 + static_cast<int>(rng.UniformU64(
+                                static_cast<uint64_t>(cfg.window)));
+        for (int off = -win; off <= win; ++off) {
+          if (off == 0) continue;
+          const int cpos = pos + off;
+          if (cpos < 0 || cpos >= len) continue;
+          const int context = seq[static_cast<size_t>(cpos)];
+          if (context < cfg.first_real_token) continue;
+
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          float* vc = in.row(center);
+          // One positive + `negatives` negative updates.
+          for (int s = 0; s <= cfg.negatives; ++s) {
+            int target;
+            float label;
+            if (s == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = neg_table[rng.UniformU64(neg_table.size())];
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* vo = out.row(target);
+            double dot = 0.0;
+            for (int d = 0; d < cfg.dim; ++d) dot += vc[d] * vo[d];
+            const float g =
+                (label - sigmoid(static_cast<float>(dot))) * lr;
+            for (int d = 0; d < cfg.dim; ++d) {
+              grad_center[static_cast<size_t>(d)] += g * vo[d];
+              vo[d] += g * vc[d];
+            }
+          }
+          for (int d = 0; d < cfg.dim; ++d) {
+            vc[d] += grad_center[static_cast<size_t>(d)];
+          }
+        }
+      }
+    }
+  }
+  return in;
+}
+
+float CosineSimilarity(const nn::Tensor& table, int a, int b) {
+  E2DTC_CHECK(a >= 0 && a < table.rows() && b >= 0 && b < table.rows());
+  const float* va = table.row(a);
+  const float* vb = table.row(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int d = 0; d < table.cols(); ++d) {
+    dot += va[d] * vb[d];
+    na += va[d] * va[d];
+    nb += vb[d] * vb[d];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+}  // namespace e2dtc::embedding

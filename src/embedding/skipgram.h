@@ -1,0 +1,40 @@
+#ifndef E2DTC_EMBEDDING_SKIPGRAM_H_
+#define E2DTC_EMBEDDING_SKIPGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/result.h"
+
+namespace e2dtc::embedding {
+
+/// Skip-gram with negative sampling over cell-token sequences (paper Eq. 7:
+/// neighboring grid cells along trajectories get similar vectors). Trained
+/// with hand-rolled SGD — this runs before the autograd model exists and is
+/// performance-sensitive.
+struct SkipGramConfig {
+  int dim = 64;
+  int window = 5;        ///< Context cells on each side (the paper's c).
+  int negatives = 5;     ///< Negative samples per positive pair.
+  int epochs = 5;
+  float lr = 0.025f;     ///< Initial learning rate, linearly decayed.
+  float min_lr = 1e-4f;
+  uint64_t seed = 42;
+  /// Tokens below this id (the specials) are never used as centers or
+  /// contexts; they keep their random initial vectors.
+  int first_real_token = 4;
+};
+
+/// Trains on the token `sequences` and returns the [vocab_size, dim] input-
+/// vector table. Errors on empty input or bad config.
+Result<nn::Tensor> TrainSkipGram(
+    const std::vector<std::vector<int>>& sequences, int vocab_size,
+    const SkipGramConfig& config);
+
+/// Cosine similarity between two rows of an embedding table.
+float CosineSimilarity(const nn::Tensor& table, int a, int b);
+
+}  // namespace e2dtc::embedding
+
+#endif  // E2DTC_EMBEDDING_SKIPGRAM_H_

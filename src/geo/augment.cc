@@ -1,0 +1,63 @@
+#include "geo/augment.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace e2dtc::geo {
+
+Trajectory Downsample(const Trajectory& t, double rate, Rng* rng) {
+  E2DTC_CHECK(rate >= 0.0 && rate < 1.0);
+  if (rate == 0.0 || t.size() <= 2) return t;
+  Trajectory out;
+  out.id = t.id;
+  out.label = t.label;
+  out.points.reserve(t.points.size());
+  out.points.push_back(t.points.front());
+  for (size_t i = 1; i + 1 < t.points.size(); ++i) {
+    if (!rng->Bernoulli(rate)) out.points.push_back(t.points[i]);
+  }
+  out.points.push_back(t.points.back());
+  return out;
+}
+
+Trajectory Distort(const Trajectory& t, double rate, double sigma_meters,
+                   Rng* rng) {
+  E2DTC_CHECK(rate >= 0.0 && rate <= 1.0);
+  E2DTC_CHECK_GE(sigma_meters, 0.0);
+  if (rate == 0.0 || sigma_meters == 0.0 || t.empty()) return t;
+  Trajectory out = t;
+  // Noise is applied in a projection anchored at the first point; at city
+  // scale the anchor choice is immaterial.
+  const LocalProjection proj(t.points.front().lon, t.points.front().lat);
+  for (auto& p : out.points) {
+    if (!rng->Bernoulli(rate)) continue;
+    XY xy = proj.Project(p);
+    xy.x += rng->Gaussian(0.0, sigma_meters);
+    xy.y += rng->Gaussian(0.0, sigma_meters);
+    const GeoPoint noisy = proj.Unproject(xy, p.t);
+    p.lon = noisy.lon;
+    p.lat = noisy.lat;
+  }
+  return out;
+}
+
+Trajectory Corrupt(const Trajectory& t, double drop_rate, double distort_rate,
+                   double sigma_meters, Rng* rng) {
+  return Distort(Downsample(t, drop_rate, rng), distort_rate, sigma_meters,
+                 rng);
+}
+
+std::vector<Trajectory> CorruptionVariants(const Trajectory& t,
+                                           const AugmentConfig& config,
+                                           Rng* rng) {
+  std::vector<Trajectory> out;
+  out.reserve(config.drop_rates.size() * config.distort_rates.size());
+  for (double r1 : config.drop_rates) {
+    for (double r2 : config.distort_rates) {
+      out.push_back(Corrupt(t, r1, r2, config.noise_sigma_meters, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace e2dtc::geo

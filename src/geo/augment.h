@@ -1,0 +1,47 @@
+#ifndef E2DTC_GEO_AUGMENT_H_
+#define E2DTC_GEO_AUGMENT_H_
+
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::geo {
+
+/// t2vec-style corruption parameters (paper Section V-C): pre-training pairs
+/// a corrupted trajectory Ta' with its original Ta so that the encoder learns
+/// representations robust to low sampling rates and GPS noise.
+struct AugmentConfig {
+  /// Dropping rates r1 swept during pre-training.
+  std::vector<double> drop_rates{0.0, 0.2, 0.4, 0.6};
+  /// Distorting rates r2 swept during pre-training.
+  std::vector<double> distort_rates{0.0, 0.2, 0.4, 0.6};
+  /// Std-dev of the Gaussian noise added to distorted points, meters.
+  double noise_sigma_meters = 50.0;
+};
+
+/// Randomly drops interior points with probability `rate` (endpoints are
+/// kept, so the result is never shorter than 2 points for |T| >= 2).
+Trajectory Downsample(const Trajectory& t, double rate, Rng* rng);
+
+/// With probability `rate` per point, adds isotropic Gaussian noise of
+/// `sigma_meters` to the point's position.
+Trajectory Distort(const Trajectory& t, double rate, double sigma_meters,
+                   Rng* rng);
+
+/// Applies one (r1, r2) corruption: downsample then distort.
+Trajectory Corrupt(const Trajectory& t, double drop_rate, double distort_rate,
+                   double sigma_meters, Rng* rng);
+
+/// All |drop_rates| x |distort_rates| corrupted variants of `t` (16 pairs
+/// with the default config, matching the paper).
+std::vector<Trajectory> CorruptionVariants(const Trajectory& t,
+                                           const AugmentConfig& config,
+                                           Rng* rng);
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_AUGMENT_H_

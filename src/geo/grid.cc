@@ -1,0 +1,70 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace e2dtc::geo {
+
+Result<Grid> Grid::Create(const BoundingBox& box, double cell_meters) {
+  if (cell_meters <= 0.0) {
+    return Status::InvalidArgument("cell size must be positive");
+  }
+  if (box.max_lon <= box.min_lon || box.max_lat <= box.min_lat) {
+    return Status::InvalidArgument("empty or inverted bounding box");
+  }
+  Grid g;
+  g.box_ = box;
+  g.cell_meters_ = cell_meters;
+  const GeoPoint center = box.Center();
+  g.proj_ = LocalProjection(box.min_lon, center.lat);
+  // Projected extents; the projection is anchored at min_lon so x >= 0.
+  const XY top_right = g.proj_.Project(GeoPoint{box.max_lon, box.max_lat, 0});
+  const XY bottom_left =
+      g.proj_.Project(GeoPoint{box.min_lon, box.min_lat, 0});
+  g.width_m_ = top_right.x - bottom_left.x;
+  g.height_m_ = top_right.y - bottom_left.y;
+  g.num_cols_ = std::max(1, static_cast<int>(
+                                std::ceil(g.width_m_ / cell_meters)));
+  g.num_rows_ = std::max(1, static_cast<int>(
+                                std::ceil(g.height_m_ / cell_meters)));
+  if (g.num_cells() > (int64_t{1} << 26)) {
+    return Status::InvalidArgument(StrFormat(
+        "grid too large: %lld cells", static_cast<long long>(g.num_cells())));
+  }
+  return g;
+}
+
+int64_t Grid::CellOf(const GeoPoint& p) const {
+  const XY xy = proj_.Project(p);
+  const XY origin =
+      proj_.Project(GeoPoint{box_.min_lon, box_.min_lat, 0});
+  int col = static_cast<int>(std::floor((xy.x - origin.x) / cell_meters_));
+  int row = static_cast<int>(std::floor((xy.y - origin.y) / cell_meters_));
+  col = std::clamp(col, 0, num_cols_ - 1);
+  row = std::clamp(row, 0, num_rows_ - 1);
+  return static_cast<int64_t>(row) * num_cols_ + col;
+}
+
+GeoPoint Grid::CellCenter(int64_t cell) const {
+  return proj_.Unproject(CellCenterXY(cell));
+}
+
+XY Grid::CellCenterXY(int64_t cell) const {
+  E2DTC_CHECK(cell >= 0 && cell < num_cells());
+  const int row = static_cast<int>(cell / num_cols_);
+  const int col = static_cast<int>(cell % num_cols_);
+  const XY origin = proj_.Project(GeoPoint{box_.min_lon, box_.min_lat, 0});
+  return XY{origin.x + (col + 0.5) * cell_meters_,
+            origin.y + (row + 0.5) * cell_meters_};
+}
+
+std::vector<int64_t> Grid::Discretize(const Trajectory& t) const {
+  std::vector<int64_t> cells;
+  cells.reserve(t.points.size());
+  for (const auto& p : t.points) cells.push_back(CellOf(p));
+  return cells;
+}
+
+}  // namespace e2dtc::geo

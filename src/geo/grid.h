@@ -1,0 +1,58 @@
+#ifndef E2DTC_GEO_GRID_H_
+#define E2DTC_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "util/result.h"
+
+namespace e2dtc::geo {
+
+/// Disjoint equal-sized grid over a bounding box (paper Section V-B: the
+/// "trajectory embedding" discretization; default cell side 300 m). Cells
+/// are indexed row-major; cell ids are dense in [0, num_cells).
+class Grid {
+ public:
+  /// Builds a grid covering `box` with square cells of `cell_meters` side.
+  /// Errors if the box is empty/inverted or the grid would be implausibly
+  /// large (> 64M cells).
+  static Result<Grid> Create(const BoundingBox& box, double cell_meters);
+
+  /// Dense cell id of the cell containing `p`. Points outside the box are
+  /// clamped to the nearest boundary cell.
+  int64_t CellOf(const GeoPoint& p) const;
+
+  /// Center of a cell, as a GPS point.
+  GeoPoint CellCenter(int64_t cell) const;
+
+  /// Center of a cell, in local projected meters.
+  XY CellCenterXY(int64_t cell) const;
+
+  /// Converts a trajectory to its cell-id sequence (one id per GPS point).
+  std::vector<int64_t> Discretize(const Trajectory& t) const;
+
+  int64_t num_cells() const {
+    return static_cast<int64_t>(num_cols_) * num_rows_;
+  }
+  int num_cols() const { return num_cols_; }
+  int num_rows() const { return num_rows_; }
+  double cell_meters() const { return cell_meters_; }
+  const BoundingBox& box() const { return box_; }
+  const LocalProjection& projection() const { return proj_; }
+
+ private:
+  Grid() = default;
+
+  BoundingBox box_;
+  LocalProjection proj_;
+  double cell_meters_ = 0.0;
+  int num_cols_ = 0;
+  int num_rows_ = 0;
+  double width_m_ = 0.0;
+  double height_m_ = 0.0;
+};
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_GRID_H_

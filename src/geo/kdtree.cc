@@ -1,0 +1,114 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace e2dtc::geo {
+
+namespace {
+double Coord(const XY& p, int axis) { return axis == 0 ? p.x : p.y; }
+}  // namespace
+
+KdTree::KdTree(std::vector<XY> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<int> idx(points_.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  nodes_.reserve(points_.size());
+  root_ = Build(&idx, 0, static_cast<int>(idx.size()), 0);
+}
+
+int KdTree::Build(std::vector<int>* idx, int begin, int end, int depth) {
+  if (begin >= end) return -1;
+  const int axis = depth % 2;
+  const int mid = begin + (end - begin) / 2;
+  std::nth_element(idx->begin() + begin, idx->begin() + mid,
+                   idx->begin() + end, [&](int a, int b) {
+                     return Coord(points_[static_cast<size_t>(a)], axis) <
+                            Coord(points_[static_cast<size_t>(b)], axis);
+                   });
+  Node node;
+  node.point = (*idx)[static_cast<size_t>(mid)];
+  node.axis = axis;
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int left = Build(idx, begin, mid, depth + 1);
+  const int right = Build(idx, mid + 1, end, depth + 1);
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+std::vector<int> KdTree::KNearest(const XY& query, int k) const {
+  E2DTC_CHECK_GE(k, 0);
+  if (k == 0 || root_ < 0) return {};
+  // Max-heap of (dist2, point index) keeping the k best.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry> heap;
+
+  // Iterative traversal with explicit stack.
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int ni = stack.back();
+    stack.pop_back();
+    if (ni < 0) continue;
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    const XY& p = points_[static_cast<size_t>(node.point)];
+    const double dx = p.x - query.x;
+    const double dy = p.y - query.y;
+    const double d2 = dx * dx + dy * dy;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({d2, node.point});
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.push({d2, node.point});
+    }
+    const double diff = Coord(query, node.axis) - Coord(p, node.axis);
+    const int near = diff <= 0.0 ? node.left : node.right;
+    const int far = diff <= 0.0 ? node.right : node.left;
+    // Visit the near side first (pushed last).
+    if (far >= 0 && (static_cast<int>(heap.size()) < k ||
+                     diff * diff < heap.top().first)) {
+      stack.push_back(far);
+    }
+    if (near >= 0) stack.push_back(near);
+  }
+
+  std::vector<Entry> ordered;
+  ordered.reserve(heap.size());
+  while (!heap.empty()) {
+    ordered.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(ordered.begin(), ordered.end());
+  std::vector<int> out;
+  out.reserve(ordered.size());
+  for (const auto& e : ordered) out.push_back(e.second);
+  return out;
+}
+
+std::vector<int> KdTree::RadiusSearch(const XY& query, double radius) const {
+  std::vector<int> out;
+  if (root_ < 0 || radius < 0.0) return out;
+  const double r2 = radius * radius;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int ni = stack.back();
+    stack.pop_back();
+    if (ni < 0) continue;
+    const Node& node = nodes_[static_cast<size_t>(ni)];
+    const XY& p = points_[static_cast<size_t>(node.point)];
+    const double dx = p.x - query.x;
+    const double dy = p.y - query.y;
+    if (dx * dx + dy * dy <= r2) out.push_back(node.point);
+    const double diff = Coord(query, node.axis) - Coord(p, node.axis);
+    const int near = diff <= 0.0 ? node.left : node.right;
+    const int far = diff <= 0.0 ? node.right : node.left;
+    if (far >= 0 && diff * diff <= r2) stack.push_back(far);
+    if (near >= 0) stack.push_back(near);
+  }
+  return out;
+}
+
+}  // namespace e2dtc::geo

@@ -1,0 +1,45 @@
+#ifndef E2DTC_GEO_KDTREE_H_
+#define E2DTC_GEO_KDTREE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace e2dtc::geo {
+
+/// Static 2-D KD-tree over planar points, used to find the k nearest grid
+/// cells to a target cell (the Eq. 8 loss truncates its softmax support to
+/// those neighbors). Built once, queried many times; no dynamic updates.
+class KdTree {
+ public:
+  /// Builds over a copy of `points`. Indices returned by queries refer to
+  /// positions in this input vector.
+  explicit KdTree(std::vector<XY> points);
+
+  /// Indices of the k nearest points to `query` (ties broken arbitrarily),
+  /// ordered nearest-first. Returns fewer than k when the tree is smaller.
+  std::vector<int> KNearest(const XY& query, int k) const;
+
+  /// Indices of every point within `radius` meters of `query`.
+  std::vector<int> RadiusSearch(const XY& query, double radius) const;
+
+  int size() const { return static_cast<int>(points_.size()); }
+
+ private:
+  struct Node {
+    int point = -1;   ///< Index into points_.
+    int left = -1;    ///< Node index or -1.
+    int right = -1;   ///< Node index or -1.
+    int axis = 0;     ///< 0 = x, 1 = y.
+  };
+
+  int Build(std::vector<int>* idx, int begin, int end, int depth);
+
+  std::vector<XY> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_KDTREE_H_

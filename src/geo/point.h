@@ -1,0 +1,88 @@
+#ifndef E2DTC_GEO_POINT_H_
+#define E2DTC_GEO_POINT_H_
+
+#include <cmath>
+
+namespace e2dtc::geo {
+
+/// Mean Earth radius in meters (spherical model).
+inline constexpr double kEarthRadiusMeters = 6371000.8;
+
+/// A GPS sample: WGS-84 coordinates plus a timestamp in seconds.
+struct GeoPoint {
+  double lon = 0.0;  ///< Longitude, degrees.
+  double lat = 0.0;  ///< Latitude, degrees.
+  double t = 0.0;    ///< Observation time, seconds since the track start.
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// A point in a local planar projection, meters.
+struct XY {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const XY&) const = default;
+};
+
+/// Euclidean distance between two projected points, meters.
+inline double EuclideanMeters(const XY& a, const XY& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Great-circle distance (haversine), meters.
+inline double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double deg = M_PI / 180.0;
+  const double dlat = (b.lat - a.lat) * deg;
+  const double dlon = (b.lon - a.lon) * deg;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h =
+      s1 * s1 + std::cos(a.lat * deg) * std::cos(b.lat * deg) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+/// Equirectangular projection anchored at a reference latitude. Accurate to
+/// well under a meter at city scale, and monotone in both axes, which is all
+/// the grid and the classic distance metrics need.
+class LocalProjection {
+ public:
+  LocalProjection() = default;
+
+  /// Anchors the projection at (origin_lon, origin_lat).
+  LocalProjection(double origin_lon, double origin_lat)
+      : origin_lon_(origin_lon),
+        origin_lat_(origin_lat),
+        cos_lat_(std::cos(origin_lat * M_PI / 180.0)) {}
+
+  /// Projects a GPS point to local meters.
+  XY Project(const GeoPoint& p) const {
+    const double deg = M_PI / 180.0;
+    return XY{(p.lon - origin_lon_) * deg * kEarthRadiusMeters * cos_lat_,
+              (p.lat - origin_lat_) * deg * kEarthRadiusMeters};
+  }
+
+  /// Inverse projection, local meters back to GPS degrees.
+  GeoPoint Unproject(const XY& xy, double t = 0.0) const {
+    const double rad = 180.0 / M_PI;
+    GeoPoint p;
+    p.lon = origin_lon_ + xy.x / (kEarthRadiusMeters * cos_lat_) * rad;
+    p.lat = origin_lat_ + xy.y / kEarthRadiusMeters * rad;
+    p.t = t;
+    return p;
+  }
+
+  double origin_lon() const { return origin_lon_; }
+  double origin_lat() const { return origin_lat_; }
+
+ private:
+  double origin_lon_ = 0.0;
+  double origin_lat_ = 0.0;
+  double cos_lat_ = 1.0;
+};
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_POINT_H_

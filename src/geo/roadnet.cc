@@ -1,0 +1,205 @@
+#include "geo/roadnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::geo {
+
+int RoadNetwork::AddNode(const XY& position) {
+  nodes_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Status RoadNetwork::AddEdge(int a, int b) {
+  if (a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%d, %d) out of range [0, %d)", a, b, num_nodes()));
+  }
+  if (a == b) return Status::InvalidArgument("self loops not allowed");
+  const double w = EuclideanMeters(nodes_[static_cast<size_t>(a)],
+                                   nodes_[static_cast<size_t>(b)]);
+  adjacency_[static_cast<size_t>(a)].push_back({b, w});
+  adjacency_[static_cast<size_t>(b)].push_back({a, w});
+  ++num_edges_;
+  return Status::OK();
+}
+
+const XY& RoadNetwork::node(int id) const {
+  E2DTC_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<std::pair<int, double>>& RoadNetwork::neighbors(
+    int id) const {
+  E2DTC_CHECK(id >= 0 && id < num_nodes());
+  return adjacency_[static_cast<size_t>(id)];
+}
+
+Result<std::vector<int>> RoadNetwork::ShortestPath(int from, int to) const {
+  if (from < 0 || to < 0 || from >= num_nodes() || to >= num_nodes()) {
+    return Status::InvalidArgument("path endpoints out of range");
+  }
+  if (from == to) return std::vector<int>{from};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<int> parent(nodes_.size(), -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<size_t>(from)] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    if (u == to) break;
+    for (const auto& [v, w] : adjacency_[static_cast<size_t>(u)]) {
+      const double nd = d + w;
+      if (nd < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = nd;
+        parent[static_cast<size_t>(v)] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (dist[static_cast<size_t>(to)] == kInf) {
+    return Status::NotFound(
+        StrFormat("node %d unreachable from %d", to, from));
+  }
+  std::vector<int> path;
+  for (int v = to; v != -1; v = parent[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoadNetwork::PathLength(const std::vector<int>& path) const {
+  double total = 0.0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    total += EuclideanMeters(node(path[i - 1]), node(path[i]));
+  }
+  return total;
+}
+
+int RoadNetwork::NearestNode(const XY& p) const {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < num_nodes(); ++i) {
+    const double d = EuclideanMeters(p, nodes_[static_cast<size_t>(i)]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<RoadNetwork::Snap> RoadNetwork::SnapPoint(const XY& p) const {
+  if (num_edges_ == 0) {
+    return Status::FailedPrecondition("network has no edges to snap to");
+  }
+  Snap best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < num_nodes(); ++a) {
+    for (const auto& [b, w] : adjacency_[static_cast<size_t>(a)]) {
+      if (b < a) continue;  // visit each undirected edge once
+      const XY& s0 = nodes_[static_cast<size_t>(a)];
+      const XY& s1 = nodes_[static_cast<size_t>(b)];
+      const double dx = s1.x - s0.x;
+      const double dy = s1.y - s0.y;
+      const double len2 = std::max(dx * dx + dy * dy, 1e-12);
+      double t = ((p.x - s0.x) * dx + (p.y - s0.y) * dy) / len2;
+      t = std::clamp(t, 0.0, 1.0);
+      const XY proj{s0.x + t * dx, s0.y + t * dy};
+      const double d = EuclideanMeters(p, proj);
+      if (d < best.distance) {
+        best.distance = d;
+        best.point = proj;
+        best.edge_a = a;
+        best.edge_b = b;
+      }
+    }
+  }
+  return best;
+}
+
+RoadNetwork MakeGridRoadNetwork(double span_m, int rows, int cols,
+                                double jitter_m, double diagonal_fraction,
+                                Rng* rng) {
+  E2DTC_CHECK(rows >= 2 && cols >= 2);
+  E2DTC_CHECK_GT(span_m, 0.0);
+  E2DTC_CHECK(diagonal_fraction >= 0.0 && diagonal_fraction <= 1.0);
+  RoadNetwork net;
+  const double dx = span_m / (cols - 1);
+  const double dy = span_m / (rows - 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      net.AddNode(XY{-span_m / 2 + c * dx + rng->Gaussian(0.0, jitter_m),
+                     -span_m / 2 + r * dy + rng->Gaussian(0.0, jitter_m)});
+    }
+  }
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        E2DTC_CHECK(net.AddEdge(id(r, c), id(r, c + 1)).ok());
+      }
+      if (r + 1 < rows) {
+        E2DTC_CHECK(net.AddEdge(id(r, c), id(r + 1, c)).ok());
+      }
+      if (r + 1 < rows && c + 1 < cols &&
+          rng->Bernoulli(diagonal_fraction)) {
+        E2DTC_CHECK(net.AddEdge(id(r, c), id(r + 1, c + 1)).ok());
+      }
+    }
+  }
+  return net;
+}
+
+Result<Trajectory> SnapToRoads(const RoadNetwork& network,
+                               const LocalProjection& projection,
+                               const Trajectory& t) {
+  Trajectory out = t;
+  for (auto& p : out.points) {
+    E2DTC_ASSIGN_OR_RETURN(RoadNetwork::Snap snap,
+                           network.SnapPoint(projection.Project(p)));
+    const GeoPoint snapped = projection.Unproject(snap.point, p.t);
+    p.lon = snapped.lon;
+    p.lat = snapped.lat;
+  }
+  return out;
+}
+
+std::vector<XY> SamplePath(const RoadNetwork& network,
+                           const std::vector<int>& path, double stride_m) {
+  E2DTC_CHECK_GT(stride_m, 0.0);
+  std::vector<XY> out;
+  if (path.empty()) return out;
+  out.push_back(network.node(path[0]));
+  double carry = stride_m;
+  for (size_t i = 1; i < path.size(); ++i) {
+    const XY a = network.node(path[i - 1]);
+    const XY b = network.node(path[i]);
+    const double seg = EuclideanMeters(a, b);
+    double offset = carry;
+    while (offset < seg) {
+      const double f = offset / seg;
+      out.push_back(XY{a.x + f * (b.x - a.x), a.y + f * (b.y - a.y)});
+      offset += stride_m;
+    }
+    carry = offset - seg;
+  }
+  const XY last = network.node(path.back());
+  if (out.empty() || !(out.back() == last)) out.push_back(last);
+  return out;
+}
+
+}  // namespace e2dtc::geo

@@ -1,0 +1,85 @@
+#ifndef E2DTC_GEO_ROADNET_H_
+#define E2DTC_GEO_ROADNET_H_
+
+#include <utility>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "util/result.h"
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::geo {
+
+/// A planar road network: nodes at projected positions, undirected edges
+/// weighted by Euclidean length. This is the substrate for the paper's
+/// stated future work — "context-based (e.g., road network) deep
+/// clustering" — providing routing, nearest-road snapping (map matching),
+/// and network-constrained trajectory synthesis.
+class RoadNetwork {
+ public:
+  /// Adds a node; returns its id.
+  int AddNode(const XY& position);
+
+  /// Adds an undirected edge between existing nodes; weight = Euclidean
+  /// distance. Errors on out-of-range ids or self loops.
+  Status AddEdge(int a, int b);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return num_edges_; }
+  const XY& node(int id) const;
+
+  /// (neighbor id, edge length) adjacency of a node.
+  const std::vector<std::pair<int, double>>& neighbors(int id) const;
+
+  /// Dijkstra shortest path (inclusive node sequence from -> to).
+  /// NotFound if `to` is unreachable from `from`.
+  Result<std::vector<int>> ShortestPath(int from, int to) const;
+
+  /// Total length of a node path, meters.
+  double PathLength(const std::vector<int>& path) const;
+
+  /// Id of the node nearest to `p` (linear scan; -1 on an empty network).
+  int NearestNode(const XY& p) const;
+
+  /// Nearest point on any edge to `p` (the map-matching primitive).
+  struct Snap {
+    int edge_a = -1;       ///< Endpoints of the matched edge.
+    int edge_b = -1;
+    XY point;              ///< Projection of p onto that edge.
+    double distance = 0.0; ///< |p - point|, meters.
+  };
+  /// Errors on a network without edges.
+  Result<Snap> SnapPoint(const XY& p) const;
+
+ private:
+  std::vector<XY> nodes_;
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+  int num_edges_ = 0;
+};
+
+/// Builds a jittered grid road network spanning `span_m` x `span_m`
+/// (centered at the origin): rows x cols nodes, orthogonal streets, plus a
+/// `diagonal_fraction` of random diagonal shortcuts. Node positions are
+/// perturbed by Gaussian `jitter_m` so streets are not perfectly straight.
+RoadNetwork MakeGridRoadNetwork(double span_m, int rows, int cols,
+                                double jitter_m, double diagonal_fraction,
+                                Rng* rng);
+
+/// Map matching: replaces every trajectory point's position with its
+/// snapped on-road position (timestamps untouched). The projection maps
+/// GPS to the network's planar frame. Errors if the network has no edges.
+Result<Trajectory> SnapToRoads(const RoadNetwork& network,
+                               const LocalProjection& projection,
+                               const Trajectory& t);
+
+/// Emits points along a node path every `stride_m` meters of arc length
+/// (always includes the first and last node positions).
+std::vector<XY> SamplePath(const RoadNetwork& network,
+                           const std::vector<int>& path, double stride_m);
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_ROADNET_H_

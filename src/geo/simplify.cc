@@ -1,0 +1,79 @@
+#include "geo/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace e2dtc::geo {
+
+namespace {
+
+double PerpendicularDistance(const XY& p, const XY& a, const XY& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 <= 0.0) return EuclideanMeters(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return EuclideanMeters(p, XY{a.x + t * dx, a.y + t * dy});
+}
+
+}  // namespace
+
+std::vector<int> DouglasPeuckerIndices(const std::vector<XY>& line,
+                                       double tolerance_meters) {
+  E2DTC_CHECK_GE(tolerance_meters, 0.0);
+  const int n = static_cast<int>(line.size());
+  if (n <= 2) {
+    std::vector<int> all(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  std::vector<bool> keep(static_cast<size_t>(n), false);
+  keep.front() = keep.back() = true;
+  // Iterative stack of (begin, end) spans.
+  std::vector<std::pair<int, int>> stack{{0, n - 1}};
+  while (!stack.empty()) {
+    const auto [begin, end] = stack.back();
+    stack.pop_back();
+    if (end - begin < 2) continue;
+    double worst = -1.0;
+    int worst_i = begin + 1;
+    for (int i = begin + 1; i < end; ++i) {
+      const double d = PerpendicularDistance(
+          line[static_cast<size_t>(i)], line[static_cast<size_t>(begin)],
+          line[static_cast<size_t>(end)]);
+      if (d > worst) {
+        worst = d;
+        worst_i = i;
+      }
+    }
+    if (worst > tolerance_meters) {
+      keep[static_cast<size_t>(worst_i)] = true;
+      stack.push_back({begin, worst_i});
+      stack.push_back({worst_i, end});
+    }
+  }
+  std::vector<int> indices;
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<size_t>(i)]) indices.push_back(i);
+  }
+  return indices;
+}
+
+Trajectory SimplifyDouglasPeucker(const Trajectory& t,
+                                  double tolerance_meters) {
+  if (t.size() <= 2) return t;
+  const LocalProjection proj(t.points.front().lon, t.points.front().lat);
+  std::vector<XY> line = ProjectTrajectory(proj, t);
+  std::vector<int> keep = DouglasPeuckerIndices(line, tolerance_meters);
+  Trajectory out;
+  out.id = t.id;
+  out.label = t.label;
+  out.points.reserve(keep.size());
+  for (int i : keep) out.points.push_back(t.points[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace e2dtc::geo

@@ -1,0 +1,23 @@
+#ifndef E2DTC_GEO_SIMPLIFY_H_
+#define E2DTC_GEO_SIMPLIFY_H_
+
+#include "geo/trajectory.h"
+
+namespace e2dtc::geo {
+
+/// Douglas-Peucker trajectory simplification: keeps the endpoints and every
+/// point whose perpendicular deviation from the simplified line exceeds
+/// `tolerance_meters`. Classic preprocessing for the O(L^2) pair-matching
+/// metrics — a simplified trajectory makes DTW/Hausdorff dramatically
+/// cheaper at bounded geometric error. Timestamps of kept points survive.
+Trajectory SimplifyDouglasPeucker(const Trajectory& t,
+                                  double tolerance_meters);
+
+/// Same algorithm on a projected polyline; returns the kept indices
+/// (sorted ascending, always containing 0 and size-1 for |line| >= 2).
+std::vector<int> DouglasPeuckerIndices(const std::vector<XY>& line,
+                                       double tolerance_meters);
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_SIMPLIFY_H_

@@ -1,0 +1,103 @@
+#include "geo/staypoints.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace e2dtc::geo {
+
+std::vector<StayPoint> DetectStayPoints(const Trajectory& t,
+                                        const StayPointConfig& config) {
+  E2DTC_CHECK_GT(config.distance_threshold_m, 0.0);
+  E2DTC_CHECK_GT(config.time_threshold_s, 0.0);
+  std::vector<StayPoint> stays;
+  const int n = t.size();
+  int i = 0;
+  while (i < n) {
+    int j = i + 1;
+    while (j < n && HaversineMeters(t.points[static_cast<size_t>(i)],
+                                    t.points[static_cast<size_t>(j)]) <=
+                        config.distance_threshold_m) {
+      ++j;
+    }
+    // Window [i, j) stayed near point i.
+    const double span = t.points[static_cast<size_t>(j - 1)].t -
+                        t.points[static_cast<size_t>(i)].t;
+    if (j - i >= 2 && span >= config.time_threshold_s) {
+      StayPoint stay;
+      stay.first_index = i;
+      stay.last_index = j - 1;
+      stay.arrive_s = t.points[static_cast<size_t>(i)].t;
+      stay.depart_s = t.points[static_cast<size_t>(j - 1)].t;
+      for (int p = i; p < j; ++p) {
+        stay.centroid.lon += t.points[static_cast<size_t>(p)].lon;
+        stay.centroid.lat += t.points[static_cast<size_t>(p)].lat;
+      }
+      stay.centroid.lon /= (j - i);
+      stay.centroid.lat /= (j - i);
+      stay.centroid.t = stay.arrive_s;
+      stays.push_back(stay);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+std::vector<GeoPoint> TopStayLocations(
+    const std::vector<Trajectory>& trajectories,
+    const StayPointConfig& config, int k, double merge_radius_m) {
+  E2DTC_CHECK_GT(k, 0);
+  E2DTC_CHECK_GT(merge_radius_m, 0.0);
+  // Collect every stay centroid.
+  std::vector<GeoPoint> stays;
+  for (const auto& t : trajectories) {
+    for (const auto& s : DetectStayPoints(t, config)) {
+      stays.push_back(s.centroid);
+    }
+  }
+  if (stays.empty()) return {};
+
+  // Greedy density peaks: repeatedly pick the centroid with the most
+  // unclaimed stays within merge_radius, then claim them.
+  std::vector<bool> claimed(stays.size(), false);
+  std::vector<GeoPoint> centers;
+  for (int round = 0; round < k; ++round) {
+    int best = -1;
+    int best_count = 0;
+    for (size_t c = 0; c < stays.size(); ++c) {
+      if (claimed[c]) continue;
+      int count = 0;
+      for (size_t o = 0; o < stays.size(); ++o) {
+        if (!claimed[o] &&
+            HaversineMeters(stays[c], stays[o]) <= merge_radius_m) {
+          ++count;
+        }
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    // Center = mean of the claimed neighborhood.
+    GeoPoint center{0, 0, 0};
+    int claimed_now = 0;
+    for (size_t o = 0; o < stays.size(); ++o) {
+      if (!claimed[o] && HaversineMeters(stays[static_cast<size_t>(best)],
+                                         stays[o]) <= merge_radius_m) {
+        center.lon += stays[o].lon;
+        center.lat += stays[o].lat;
+        claimed[o] = true;
+        ++claimed_now;
+      }
+    }
+    center.lon /= claimed_now;
+    center.lat /= claimed_now;
+    centers.push_back(center);
+  }
+  return centers;
+}
+
+}  // namespace e2dtc::geo

@@ -1,0 +1,46 @@
+#ifndef E2DTC_GEO_STAYPOINTS_H_
+#define E2DTC_GEO_STAYPOINTS_H_
+
+#include <vector>
+
+#include "geo/trajectory.h"
+
+namespace e2dtc::geo {
+
+/// A detected stay point: a region the object lingered in (Li et al. 2008,
+/// the standard GeoLife preprocessing step). Stay points are the natural
+/// POI candidates for Algorithm 2's cluster-center selection (the paper
+/// picks "most frequently visited POIs" by hand; this automates it).
+struct StayPoint {
+  GeoPoint centroid;        ///< Mean position of the stay.
+  double arrive_s = 0.0;    ///< Timestamp of the first point in the stay.
+  double depart_s = 0.0;    ///< Timestamp of the last point in the stay.
+  int first_index = 0;      ///< Index range [first_index, last_index].
+  int last_index = 0;
+
+  double duration_s() const { return depart_s - arrive_s; }
+};
+
+struct StayPointConfig {
+  /// A stay: every point within this radius of the anchor point...
+  double distance_threshold_m = 200.0;
+  /// ...for at least this long.
+  double time_threshold_s = 120.0;
+};
+
+/// Detects stay points in time order. Greedy anchor scan: grow a window
+/// from each anchor while points remain within the distance threshold;
+/// emit a stay when the window spans the time threshold.
+std::vector<StayPoint> DetectStayPoints(const Trajectory& t,
+                                        const StayPointConfig& config);
+
+/// Aggregates stay points across a corpus and returns the `k` densest
+/// stay locations (greedy farthest-apart medoid pick over stay centroids,
+/// weighted by visits). Useful as automatic POI centers for Algorithm 2.
+std::vector<GeoPoint> TopStayLocations(
+    const std::vector<Trajectory>& trajectories,
+    const StayPointConfig& config, int k, double merge_radius_m);
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_STAYPOINTS_H_

@@ -1,0 +1,58 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+
+namespace e2dtc::geo {
+
+BoundingBox ComputeBoundingBox(const std::vector<Trajectory>& trajectories,
+                               double margin_deg) {
+  BoundingBox box;
+  bool first = true;
+  for (const auto& t : trajectories) {
+    for (const auto& p : t.points) {
+      if (first) {
+        box = BoundingBox{p.lon, p.lat, p.lon, p.lat};
+        first = false;
+      } else {
+        box.min_lon = std::min(box.min_lon, p.lon);
+        box.min_lat = std::min(box.min_lat, p.lat);
+        box.max_lon = std::max(box.max_lon, p.lon);
+        box.max_lat = std::max(box.max_lat, p.lat);
+      }
+    }
+  }
+  box.min_lon -= margin_deg;
+  box.min_lat -= margin_deg;
+  box.max_lon += margin_deg;
+  box.max_lat += margin_deg;
+  return box;
+}
+
+double PathLengthMeters(const Trajectory& t) {
+  double total = 0.0;
+  for (size_t i = 1; i < t.points.size(); ++i) {
+    total += HaversineMeters(t.points[i - 1], t.points[i]);
+  }
+  return total;
+}
+
+double DurationSeconds(const Trajectory& t) {
+  if (t.points.size() < 2) return 0.0;
+  return t.points.back().t - t.points.front().t;
+}
+
+int64_t TotalPoints(const std::vector<Trajectory>& trajectories) {
+  int64_t n = 0;
+  for (const auto& t : trajectories) n += t.size();
+  return n;
+}
+
+std::vector<XY> ProjectTrajectory(const LocalProjection& proj,
+                                  const Trajectory& t) {
+  std::vector<XY> out;
+  out.reserve(t.points.size());
+  for (const auto& p : t.points) out.push_back(proj.Project(p));
+  return out;
+}
+
+}  // namespace e2dtc::geo

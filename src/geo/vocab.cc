@@ -1,0 +1,146 @@
+#include "geo/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/kdtree.h"
+#include "util/check.h"
+
+namespace e2dtc::geo {
+
+Vocabulary Vocabulary::Build(const Grid& grid,
+                             const std::vector<Trajectory>& data,
+                             int min_count) {
+  E2DTC_CHECK_GE(min_count, 1);
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const auto& t : data) {
+    for (const auto& p : t.points) ++counts[grid.CellOf(p)];
+  }
+  std::vector<std::pair<int64_t, int64_t>> hot;  // (cell, count)
+  hot.reserve(counts.size());
+  for (const auto& [cell, count] : counts) {
+    if (count >= min_count) hot.push_back({cell, count});
+  }
+  // Most frequent first; cell id breaks ties for determinism.
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Vocabulary v(grid);
+  v.cells_.reserve(hot.size());
+  v.counts_.reserve(hot.size());
+  for (const auto& [cell, count] : hot) {
+    v.cell_to_token_[cell] = kNumSpecial + static_cast<int>(v.cells_.size());
+    v.cells_.push_back(cell);
+    v.counts_.push_back(count);
+  }
+  return v;
+}
+
+Vocabulary Vocabulary::FromCells(const Grid& grid,
+                                 std::vector<int64_t> cells,
+                                 std::vector<int64_t> counts) {
+  E2DTC_CHECK_EQ(cells.size(), counts.size());
+  Vocabulary v(grid);
+  v.cells_ = std::move(cells);
+  v.counts_ = std::move(counts);
+  for (size_t i = 0; i < v.cells_.size(); ++i) {
+    v.cell_to_token_[v.cells_[i]] = kNumSpecial + static_cast<int>(i);
+  }
+  return v;
+}
+
+int Vocabulary::TokenOfCell(int64_t cell) const {
+  auto it = cell_to_token_.find(cell);
+  return it == cell_to_token_.end() ? kUnk : it->second;
+}
+
+int64_t Vocabulary::CellOfToken(int token) const {
+  if (token < kNumSpecial) return -1;
+  const size_t idx = static_cast<size_t>(token - kNumSpecial);
+  E2DTC_CHECK_LT(idx, cells_.size());
+  return cells_[idx];
+}
+
+int64_t Vocabulary::TokenCount(int token) const {
+  if (token < kNumSpecial) return 0;
+  const size_t idx = static_cast<size_t>(token - kNumSpecial);
+  E2DTC_CHECK_LT(idx, counts_.size());
+  return counts_[idx];
+}
+
+std::vector<int> Vocabulary::Encode(const Trajectory& t,
+                                    bool collapse_consecutive) const {
+  std::vector<int> tokens;
+  tokens.reserve(t.points.size());
+  for (const auto& p : t.points) {
+    const int tok = TokenOfCell(grid_.CellOf(p));
+    if (collapse_consecutive && !tokens.empty() && tokens.back() == tok) {
+      continue;
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+XY Vocabulary::TokenCenterXY(int token) const {
+  const int64_t cell = CellOfToken(token);
+  E2DTC_CHECK_GE(cell, 0);
+  return grid_.CellCenterXY(cell);
+}
+
+Vocabulary::KnnTable Vocabulary::BuildKnnTable(int k,
+                                               double alpha_meters) const {
+  E2DTC_CHECK_GT(k, 0);
+  E2DTC_CHECK_GT(alpha_meters, 0.0);
+  const int vocab = size();
+  KnnTable table;
+  table.k = k;
+  table.indices.assign(static_cast<size_t>(vocab) * k, 0);
+  table.weights.assign(static_cast<size_t>(vocab) * k, 0.0f);
+
+  // Specials predict only themselves.
+  for (int tok = 0; tok < kNumSpecial; ++tok) {
+    for (int c = 0; c < k; ++c) {
+      table.indices[static_cast<size_t>(tok) * k + c] = tok;
+    }
+    table.weights[static_cast<size_t>(tok) * k] = 1.0f;
+  }
+
+  if (cells_.empty()) return table;
+  std::vector<XY> centers;
+  centers.reserve(cells_.size());
+  for (int64_t cell : cells_) centers.push_back(grid_.CellCenterXY(cell));
+  KdTree tree(centers);
+
+  const int num_cells = static_cast<int>(cells_.size());
+  for (int i = 0; i < num_cells; ++i) {
+    const int tok = kNumSpecial + i;
+    std::vector<int> nn = tree.KNearest(centers[static_cast<size_t>(i)],
+                                        std::min(k, num_cells));
+    double denom = 0.0;
+    std::vector<double> raw(nn.size());
+    for (size_t c = 0; c < nn.size(); ++c) {
+      const double d = EuclideanMeters(centers[static_cast<size_t>(i)],
+                                       centers[static_cast<size_t>(nn[c])]);
+      raw[c] = std::exp(-d / alpha_meters);
+      denom += raw[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      const size_t flat = static_cast<size_t>(tok) * k + c;
+      if (c < static_cast<int>(nn.size())) {
+        table.indices[flat] = kNumSpecial + nn[static_cast<size_t>(c)];
+        table.weights[flat] =
+            static_cast<float>(raw[static_cast<size_t>(c)] / denom);
+      } else {
+        // Fewer hot cells than k: pad with zero-weight self entries.
+        table.indices[flat] = tok;
+        table.weights[flat] = 0.0f;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace e2dtc::geo

@@ -1,0 +1,91 @@
+#ifndef E2DTC_GEO_VOCAB_H_
+#define E2DTC_GEO_VOCAB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/trajectory.h"
+
+namespace e2dtc::geo {
+
+/// Token vocabulary over grid cells (paper Section V-B). Cells visited at
+/// least `min_count` times become "hot" tokens; everything else maps to UNK.
+/// Four reserved tokens precede the cell tokens.
+class Vocabulary {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kUnk = 3;
+  static constexpr int kNumSpecial = 4;
+
+  /// Per-token k-nearest-cell table used by the Eq. 8 loss: row t of
+  /// `indices`/`weights` lists the k candidate tokens for target token t and
+  /// their proximity weights (row-stochastic, self first).
+  struct KnnTable {
+    int k = 0;
+    std::vector<int> indices;    ///< size() * k
+    std::vector<float> weights;  ///< size() * k
+  };
+
+  /// Scans `data` through `grid`, counting cell visits; cells with
+  /// count >= min_count become tokens ordered by decreasing frequency.
+  static Vocabulary Build(const Grid& grid,
+                          const std::vector<Trajectory>& data,
+                          int min_count = 1);
+
+  /// Total token count including the 4 specials.
+  int size() const { return kNumSpecial + static_cast<int>(cells_.size()); }
+
+  /// Number of hot-cell tokens.
+  int num_cell_tokens() const { return static_cast<int>(cells_.size()); }
+
+  /// Token for a grid cell; kUnk if the cell is not hot.
+  int TokenOfCell(int64_t cell) const;
+
+  /// Grid cell backing a token; -1 for the specials (and kUnk).
+  int64_t CellOfToken(int token) const;
+
+  /// Occurrence count of a cell token in the build corpus (0 for specials).
+  int64_t TokenCount(int token) const;
+
+  /// Token sequence for a trajectory (no BOS/EOS added). When
+  /// `collapse_consecutive` is set, runs of the same token are collapsed to
+  /// one occurrence — the standard trick for high-rate GPS in coarse grids.
+  std::vector<int> Encode(const Trajectory& t,
+                          bool collapse_consecutive = false) const;
+
+  /// Builds the KNN candidate table. Cell tokens get their k nearest hot
+  /// cells (self included, nearest-first) weighted by
+  /// exp(-d/alpha)/sum (Eq. 8's w); special tokens get themselves with
+  /// weight 1 (padded with zero-weight self entries).
+  KnnTable BuildKnnTable(int k, double alpha_meters) const;
+
+  /// Center of a cell token, in the grid's local projection.
+  XY TokenCenterXY(int token) const;
+
+  const Grid& grid() const { return grid_; }
+
+  /// Hot cells in token order (serialization support).
+  const std::vector<int64_t>& cells() const { return cells_; }
+  /// Per-cell corpus counts, parallel to cells().
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Reconstructs a vocabulary from serialized state. `cells` and `counts`
+  /// must be parallel.
+  static Vocabulary FromCells(const Grid& grid, std::vector<int64_t> cells,
+                              std::vector<int64_t> counts);
+
+ private:
+  explicit Vocabulary(Grid grid) : grid_(std::move(grid)) {}
+
+  Grid grid_;
+  std::vector<int64_t> cells_;        ///< token - kNumSpecial -> cell id
+  std::vector<int64_t> counts_;       ///< parallel to cells_
+  std::unordered_map<int64_t, int> cell_to_token_;
+};
+
+}  // namespace e2dtc::geo
+
+#endif  // E2DTC_GEO_VOCAB_H_

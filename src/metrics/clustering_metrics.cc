@@ -1,0 +1,301 @@
+#include "metrics/clustering_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "metrics/hungarian.h"
+
+namespace e2dtc::metrics {
+
+namespace {
+
+/// Remaps arbitrary labels (including -1) to dense ids [0, num_labels).
+std::vector<int> Densify(const std::vector<int>& labels, int* num_labels) {
+  std::unordered_map<int, int> map;
+  std::vector<int> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        map.try_emplace(labels[i], static_cast<int>(map.size()));
+    out[i] = it->second;
+  }
+  *num_labels = static_cast<int>(map.size());
+  return out;
+}
+
+double Comb2(int64_t n) { return 0.5 * static_cast<double>(n) * (n - 1); }
+
+}  // namespace
+
+Result<Contingency> BuildContingency(const std::vector<int>& predicted,
+                                     const std::vector<int>& truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("label vectors differ in length");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("empty label vectors");
+  }
+  Contingency c;
+  std::vector<int> p = Densify(predicted, &c.num_pred);
+  std::vector<int> t = Densify(truth, &c.num_true);
+  c.n = static_cast<int>(predicted.size());
+  c.counts.assign(static_cast<size_t>(c.num_pred) * c.num_true, 0);
+  for (size_t i = 0; i < p.size(); ++i) {
+    ++c.counts[static_cast<size_t>(p[i]) * c.num_true + t[i]];
+  }
+  return c;
+}
+
+Result<double> UnsupervisedAccuracy(const std::vector<int>& predicted,
+                                    const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  // Square cost matrix of size max(num_pred, num_true); cost = -overlap so
+  // the minimum-cost assignment maximizes matched points.
+  const int dim = std::max(c.num_pred, c.num_true);
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(dim), std::vector<double>(static_cast<size_t>(dim),
+                                                    0.0));
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      cost[static_cast<size_t>(p)][static_cast<size_t>(t)] =
+          -static_cast<double>(c.at(p, t));
+    }
+  }
+  E2DTC_ASSIGN_OR_RETURN(AssignmentResult a, SolveAssignment(cost));
+  return -a.total_cost / static_cast<double>(c.n);
+}
+
+Result<double> NormalizedMutualInformation(const std::vector<int>& predicted,
+                                           const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  const double n = static_cast<double>(c.n);
+  std::vector<double> row(static_cast<size_t>(c.num_pred), 0.0);
+  std::vector<double> col(static_cast<size_t>(c.num_true), 0.0);
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      row[static_cast<size_t>(p)] += static_cast<double>(c.at(p, t));
+      col[static_cast<size_t>(t)] += static_cast<double>(c.at(p, t));
+    }
+  }
+  double mi = 0.0;
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      const double nij = static_cast<double>(c.at(p, t));
+      if (nij <= 0.0) continue;
+      mi += nij / n *
+            std::log(nij * n /
+                     (row[static_cast<size_t>(p)] *
+                      col[static_cast<size_t>(t)]));
+    }
+  }
+  double hp = 0.0, ht = 0.0;
+  for (double r : row) {
+    if (r > 0.0) hp -= r / n * std::log(r / n);
+  }
+  for (double cl : col) {
+    if (cl > 0.0) ht -= cl / n * std::log(cl / n);
+  }
+  if (hp <= 0.0 && ht <= 0.0) return 1.0;  // both constant labelings
+  if (hp <= 0.0 || ht <= 0.0) return 0.0;
+  return mi / std::sqrt(hp * ht);
+}
+
+Result<double> RandIndex(const std::vector<int>& predicted,
+                         const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  if (c.n < 2) return Status::InvalidArgument("RI needs at least 2 points");
+  double sum_nij2 = 0.0, sum_row2 = 0.0, sum_col2 = 0.0;
+  std::vector<int64_t> row(static_cast<size_t>(c.num_pred), 0);
+  std::vector<int64_t> col(static_cast<size_t>(c.num_true), 0);
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      const int64_t nij = c.at(p, t);
+      sum_nij2 += Comb2(nij);
+      row[static_cast<size_t>(p)] += nij;
+      col[static_cast<size_t>(t)] += nij;
+    }
+  }
+  for (int64_t r : row) sum_row2 += Comb2(r);
+  for (int64_t cl : col) sum_col2 += Comb2(cl);
+  const double pairs = Comb2(c.n);
+  const double tp = sum_nij2;
+  const double fp = sum_row2 - sum_nij2;
+  const double fn = sum_col2 - sum_nij2;
+  const double tn = pairs - tp - fp - fn;
+  return (tp + tn) / pairs;
+}
+
+Result<double> AdjustedRandIndex(const std::vector<int>& predicted,
+                                 const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  if (c.n < 2) return Status::InvalidArgument("ARI needs at least 2 points");
+  double sum_nij2 = 0.0, sum_row2 = 0.0, sum_col2 = 0.0;
+  std::vector<int64_t> row(static_cast<size_t>(c.num_pred), 0);
+  std::vector<int64_t> col(static_cast<size_t>(c.num_true), 0);
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      const int64_t nij = c.at(p, t);
+      sum_nij2 += Comb2(nij);
+      row[static_cast<size_t>(p)] += nij;
+      col[static_cast<size_t>(t)] += nij;
+    }
+  }
+  for (int64_t r : row) sum_row2 += Comb2(r);
+  for (int64_t cl : col) sum_col2 += Comb2(cl);
+  const double pairs = Comb2(c.n);
+  const double expected = sum_row2 * sum_col2 / pairs;
+  const double max_index = 0.5 * (sum_row2 + sum_col2);
+  if (max_index == expected) return 1.0;  // degenerate: both constant
+  return (sum_nij2 - expected) / (max_index - expected);
+}
+
+Result<double> Purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  int64_t correct = 0;
+  for (int p = 0; p < c.num_pred; ++p) {
+    int64_t best = 0;
+    for (int t = 0; t < c.num_true; ++t) best = std::max(best, c.at(p, t));
+    correct += best;
+  }
+  return static_cast<double>(correct) / c.n;
+}
+
+Result<double> FowlkesMallows(const std::vector<int>& predicted,
+                              const std::vector<int>& truth) {
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  if (c.n < 2) return Status::InvalidArgument("FM needs at least 2 points");
+  double tp_fp = 0.0, tp_fn = 0.0, tp = 0.0;
+  std::vector<int64_t> row(static_cast<size_t>(c.num_pred), 0);
+  std::vector<int64_t> col(static_cast<size_t>(c.num_true), 0);
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      const int64_t nij = c.at(p, t);
+      tp += Comb2(nij);
+      row[static_cast<size_t>(p)] += nij;
+      col[static_cast<size_t>(t)] += nij;
+    }
+  }
+  for (int64_t r : row) tp_fp += Comb2(r);
+  for (int64_t cl : col) tp_fn += Comb2(cl);
+  if (tp_fp <= 0.0 || tp_fn <= 0.0) return 0.0;
+  return tp / std::sqrt(tp_fp * tp_fn);
+}
+
+Result<double> VMeasure(const std::vector<int>& predicted,
+                        const std::vector<int>& truth, double beta) {
+  if (beta < 0.0) return Status::InvalidArgument("beta must be >= 0");
+  E2DTC_ASSIGN_OR_RETURN(Contingency c, BuildContingency(predicted, truth));
+  const double n = static_cast<double>(c.n);
+  std::vector<double> row(static_cast<size_t>(c.num_pred), 0.0);
+  std::vector<double> col(static_cast<size_t>(c.num_true), 0.0);
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      row[static_cast<size_t>(p)] += static_cast<double>(c.at(p, t));
+      col[static_cast<size_t>(t)] += static_cast<double>(c.at(p, t));
+    }
+  }
+  // Conditional entropies H(C'|C) and H(C|C'), plus marginals.
+  double h_true_given_pred = 0.0, h_pred_given_true = 0.0;
+  for (int p = 0; p < c.num_pred; ++p) {
+    for (int t = 0; t < c.num_true; ++t) {
+      const double nij = static_cast<double>(c.at(p, t));
+      if (nij <= 0.0) continue;
+      h_true_given_pred -=
+          nij / n * std::log(nij / row[static_cast<size_t>(p)]);
+      h_pred_given_true -=
+          nij / n * std::log(nij / col[static_cast<size_t>(t)]);
+    }
+  }
+  double h_true = 0.0, h_pred = 0.0;
+  for (double r : row) {
+    if (r > 0.0) h_pred -= r / n * std::log(r / n);
+  }
+  for (double cl : col) {
+    if (cl > 0.0) h_true -= cl / n * std::log(cl / n);
+  }
+  const double homogeneity =
+      h_true <= 0.0 ? 1.0 : 1.0 - h_true_given_pred / h_true;
+  const double completeness =
+      h_pred <= 0.0 ? 1.0 : 1.0 - h_pred_given_true / h_pred;
+  const double denom = beta * homogeneity + completeness;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + beta) * homogeneity * completeness / denom;
+}
+
+Result<double> DaviesBouldin(const std::vector<std::vector<float>>& points,
+                             const std::vector<int>& assignments) {
+  if (points.size() != assignments.size() || points.empty()) {
+    return Status::InvalidArgument("size mismatch or empty input");
+  }
+  const size_t dim = points[0].size();
+  std::unordered_map<int, std::vector<int>> clusters;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    clusters[assignments[i]].push_back(static_cast<int>(i));
+  }
+  const int k = static_cast<int>(clusters.size());
+  if (k < 2) return Status::InvalidArgument("DB index needs >= 2 clusters");
+
+  // Centroids and mean intra-cluster scatter.
+  std::vector<std::vector<double>> centroid(
+      static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+  std::vector<double> scatter(static_cast<size_t>(k), 0.0);
+  std::vector<const std::vector<int>*> member_lists;
+  member_lists.reserve(static_cast<size_t>(k));
+  for (const auto& [label, members] : clusters) {
+    member_lists.push_back(&members);
+  }
+  for (int c = 0; c < k; ++c) {
+    for (int i : *member_lists[static_cast<size_t>(c)]) {
+      for (size_t d = 0; d < dim; ++d) {
+        centroid[static_cast<size_t>(c)][d] +=
+            points[static_cast<size_t>(i)][d];
+      }
+    }
+    const double sz =
+        static_cast<double>(member_lists[static_cast<size_t>(c)]->size());
+    for (size_t d = 0; d < dim; ++d) centroid[static_cast<size_t>(c)][d] /= sz;
+    for (int i : *member_lists[static_cast<size_t>(c)]) {
+      double d2 = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = points[static_cast<size_t>(i)][d] -
+                            centroid[static_cast<size_t>(c)][d];
+        d2 += diff * diff;
+      }
+      scatter[static_cast<size_t>(c)] += std::sqrt(d2);
+    }
+    scatter[static_cast<size_t>(c)] /= sz;
+  }
+
+  double db = 0.0;
+  for (int a = 0; a < k; ++a) {
+    double worst = 0.0;
+    for (int b = 0; b < k; ++b) {
+      if (a == b) continue;
+      double sep = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = centroid[static_cast<size_t>(a)][d] -
+                            centroid[static_cast<size_t>(b)][d];
+        sep += diff * diff;
+      }
+      sep = std::sqrt(std::max(sep, 1e-30));
+      worst = std::max(worst, (scatter[static_cast<size_t>(a)] +
+                               scatter[static_cast<size_t>(b)]) /
+                                  sep);
+    }
+    db += worst;
+  }
+  return db / k;
+}
+
+Result<ClusteringQuality> EvaluateClustering(const std::vector<int>& predicted,
+                                             const std::vector<int>& truth) {
+  ClusteringQuality q;
+  E2DTC_ASSIGN_OR_RETURN(q.uacc, UnsupervisedAccuracy(predicted, truth));
+  E2DTC_ASSIGN_OR_RETURN(q.nmi,
+                         NormalizedMutualInformation(predicted, truth));
+  E2DTC_ASSIGN_OR_RETURN(q.ri, RandIndex(predicted, truth));
+  return q;
+}
+
+}  // namespace e2dtc::metrics

@@ -1,0 +1,82 @@
+#ifndef E2DTC_METRICS_CLUSTERING_METRICS_H_
+#define E2DTC_METRICS_CLUSTERING_METRICS_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::metrics {
+
+/// Contingency table between predicted and true labelings. Labels may be
+/// arbitrary non-negative ints (and -1 noise labels, which are remapped to
+/// their own class).
+struct Contingency {
+  int num_pred = 0;
+  int num_true = 0;
+  int n = 0;
+  /// counts[p * num_true + t] = points with predicted p and truth t.
+  std::vector<int64_t> counts;
+
+  int64_t at(int pred, int truth) const {
+    return counts[static_cast<size_t>(pred) * num_true + truth];
+  }
+};
+
+/// Builds the contingency table. Errors on size mismatch or empty inputs.
+Result<Contingency> BuildContingency(const std::vector<int>& predicted,
+                                     const std::vector<int>& truth);
+
+/// Unsupervised clustering accuracy (Eq. 15): best one-to-one matching of
+/// predicted clusters to true labels via the Hungarian algorithm, then the
+/// fraction of correctly placed points. Range (0, 1].
+Result<double> UnsupervisedAccuracy(const std::vector<int>& predicted,
+                                    const std::vector<int>& truth);
+
+/// Normalized Mutual Information (Eq. 16): I(C,C') / sqrt(H(C) H(C')).
+/// Defined as 0 when either labeling has zero entropy but they disagree,
+/// and 1 when both are constant and identical.
+Result<double> NormalizedMutualInformation(const std::vector<int>& predicted,
+                                           const std::vector<int>& truth);
+
+/// Rand Index (Eq. 17): (TP + TN) / (N choose 2) over point pairs.
+Result<double> RandIndex(const std::vector<int>& predicted,
+                         const std::vector<int>& truth);
+
+/// Adjusted Rand Index (chance-corrected RI; not in the paper, provided for
+/// downstream users). Range [-1, 1].
+Result<double> AdjustedRandIndex(const std::vector<int>& predicted,
+                                 const std::vector<int>& truth);
+
+/// Purity: fraction of points in the majority true class of their predicted
+/// cluster.
+Result<double> Purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth);
+
+/// Fowlkes-Mallows index: geometric mean of pairwise precision and recall,
+/// sqrt(TP/(TP+FP) * TP/(TP+FN)). Range [0, 1].
+Result<double> FowlkesMallows(const std::vector<int>& predicted,
+                              const std::vector<int>& truth);
+
+/// V-measure (Rosenberg & Hirschberg): harmonic mean of homogeneity and
+/// completeness. `beta` > 1 weights completeness higher. Range [0, 1].
+Result<double> VMeasure(const std::vector<int>& predicted,
+                        const std::vector<int>& truth, double beta = 1.0);
+
+/// Davies-Bouldin index over feature vectors (internal validity; lower is
+/// better). Errors with fewer than 2 clusters.
+Result<double> DaviesBouldin(const std::vector<std::vector<float>>& points,
+                             const std::vector<int>& assignments);
+
+/// Convenience bundle: the paper's three headline metrics for one result.
+struct ClusteringQuality {
+  double uacc = 0.0;
+  double nmi = 0.0;
+  double ri = 0.0;
+};
+
+Result<ClusteringQuality> EvaluateClustering(const std::vector<int>& predicted,
+                                             const std::vector<int>& truth);
+
+}  // namespace e2dtc::metrics
+
+#endif  // E2DTC_METRICS_CLUSTERING_METRICS_H_

@@ -1,0 +1,79 @@
+#include "metrics/hungarian.h"
+
+#include <limits>
+
+namespace e2dtc::metrics {
+
+Result<AssignmentResult> SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return Status::InvalidArgument("empty cost matrix");
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != n) {
+      return Status::InvalidArgument("cost matrix must be square");
+    }
+  }
+
+  // Potentials method with 1-based sentinel column 0.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> p(static_cast<size_t>(n) + 1, 0);    // p[j]: row matched to col j
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(n) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost[static_cast<size_t>(i0 - 1)]
+                               [static_cast<size_t>(j - 1)] -
+                           u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    result.assignment[static_cast<size_t>(p[static_cast<size_t>(j)] - 1)] =
+        j - 1;
+  }
+  for (int i = 0; i < n; ++i) {
+    result.total_cost += cost[static_cast<size_t>(i)][static_cast<size_t>(
+        result.assignment[static_cast<size_t>(i)])];
+  }
+  return result;
+}
+
+}  // namespace e2dtc::metrics

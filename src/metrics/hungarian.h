@@ -1,0 +1,26 @@
+#ifndef E2DTC_METRICS_HUNGARIAN_H_
+#define E2DTC_METRICS_HUNGARIAN_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::metrics {
+
+/// Solves the square assignment problem: given an n x n cost matrix
+/// (row-major), returns assignment[row] = column minimizing the total cost.
+/// O(n^3) Jonker-Volgenant-style potentials implementation. The paper uses
+/// this (via the Hungarian method, Eq. 15) to map predicted clusters onto
+/// ground-truth labels before computing UACC.
+struct AssignmentResult {
+  std::vector<int> assignment;  ///< size n, a permutation.
+  double total_cost = 0.0;
+};
+
+/// Errors if the matrix is not square / empty.
+Result<AssignmentResult> SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace e2dtc::metrics
+
+#endif  // E2DTC_METRICS_HUNGARIAN_H_

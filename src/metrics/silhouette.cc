@@ -1,0 +1,64 @@
+#include "metrics/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace e2dtc::metrics {
+
+Result<double> SilhouetteScore(int n,
+                               const std::function<double(int, int)>& dist,
+                               const std::vector<int>& assignments) {
+  if (static_cast<int>(assignments.size()) != n) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  std::unordered_map<int, std::vector<int>> clusters;
+  for (int i = 0; i < n; ++i) clusters[assignments[static_cast<size_t>(i)]]
+                                  .push_back(i);
+  if (clusters.size() < 2) {
+    return Status::InvalidArgument("silhouette needs >= 2 clusters");
+  }
+
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int own = assignments[static_cast<size_t>(i)];
+    const auto& mine = clusters[own];
+    if (mine.size() <= 1) continue;  // singleton: s = 0
+    double a = 0.0;
+    for (int j : mine) {
+      if (j != i) a += dist(i, j);
+    }
+    a /= static_cast<double>(mine.size() - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, members] : clusters) {
+      if (label == own) continue;
+      double mean = 0.0;
+      for (int j : members) mean += dist(i, j);
+      mean /= static_cast<double>(members.size());
+      b = std::min(b, mean);
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<double> SilhouetteScore(
+    const std::vector<std::vector<float>>& points,
+    const std::vector<int>& assignments) {
+  const int n = static_cast<int>(points.size());
+  auto dist = [&points](int i, int j) {
+    double s = 0.0;
+    const auto& a = points[static_cast<size_t>(i)];
+    const auto& b = points[static_cast<size_t>(j)];
+    for (size_t d = 0; d < a.size(); ++d) {
+      const double diff = static_cast<double>(a[d]) - b[d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+  return SilhouetteScore(n, dist, assignments);
+}
+
+}  // namespace e2dtc::metrics

@@ -1,0 +1,27 @@
+#ifndef E2DTC_METRICS_SILHOUETTE_H_
+#define E2DTC_METRICS_SILHOUETTE_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::metrics {
+
+/// Mean silhouette coefficient over all points, computed against an
+/// arbitrary symmetric dissimilarity. s(i) = (b - a) / max(a, b) where a is
+/// the mean intra-cluster distance and b the smallest mean distance to
+/// another cluster; singleton clusters contribute s = 0.
+/// Errors if there are fewer than 2 clusters or sizes mismatch.
+Result<double> SilhouetteScore(int n,
+                               const std::function<double(int, int)>& dist,
+                               const std::vector<int>& assignments);
+
+/// Euclidean convenience overload over feature vectors.
+Result<double> SilhouetteScore(
+    const std::vector<std::vector<float>>& points,
+    const std::vector<int>& assignments);
+
+}  // namespace e2dtc::metrics
+
+#endif  // E2DTC_METRICS_SILHOUETTE_H_

@@ -1,0 +1,537 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+
+void Node::EnsureGrad() {
+  if (!grad.SameShape(value)) grad = Tensor(value.rows(), value.cols());
+}
+
+void Node::ZeroGrad() {
+  if (grad.SameShape(value)) grad.Zero();
+}
+
+Var Var::Leaf(Tensor value, bool requires_grad, std::string name) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->name = std::move(name);
+  return Var(node);
+}
+
+Var Var::Constant(Tensor value) { return Leaf(std::move(value), false); }
+
+namespace {
+
+/// How a binary op's second operand maps onto the first.
+enum class Broadcast { kSame, kRow, kCol };
+
+Broadcast DeduceBroadcast(const Tensor& a, const Tensor& b) {
+  if (a.SameShape(b)) return Broadcast::kSame;
+  if (b.rows() == 1 && b.cols() == a.cols()) return Broadcast::kRow;
+  if (b.cols() == 1 && b.rows() == a.rows()) return Broadcast::kCol;
+  E2DTC_CHECK_MSG(false, "incompatible shapes for broadcast binary op");
+  return Broadcast::kSame;
+}
+
+NodePtr MakeOpNode(Tensor value, std::vector<NodePtr> inputs,
+                   std::function<void(Node*)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->inputs = std::move(inputs);
+  for (const auto& in : node->inputs) {
+    if (in->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward);
+  return node;
+}
+
+/// dst_grad += grad, reducing over the broadcast dimension if needed.
+void AccumulateBroadcastGrad(Node* dst, const Tensor& grad, Broadcast bc) {
+  if (!dst->requires_grad) return;
+  dst->EnsureGrad();
+  switch (bc) {
+    case Broadcast::kSame:
+      dst->grad.Add(grad);
+      break;
+    case Broadcast::kRow: {
+      for (int i = 0; i < grad.rows(); ++i) {
+        const float* g = grad.row(i);
+        float* d = dst->grad.row(0);
+        for (int j = 0; j < grad.cols(); ++j) d[j] += g[j];
+      }
+      break;
+    }
+    case Broadcast::kCol: {
+      for (int i = 0; i < grad.rows(); ++i) {
+        const float* g = grad.row(i);
+        double s = 0.0;
+        for (int j = 0; j < grad.cols(); ++j) s += g[j];
+        dst->grad.at(i, 0) += static_cast<float>(s);
+      }
+      break;
+    }
+  }
+}
+
+float BroadcastAt(const Tensor& b, int i, int j, Broadcast bc) {
+  switch (bc) {
+    case Broadcast::kSame:
+      return b.at(i, j);
+    case Broadcast::kRow:
+      return b.at(0, j);
+    case Broadcast::kCol:
+      return b.at(i, 0);
+  }
+  return 0.0f;
+}
+
+/// Elementwise unary op helper: value[i] = fwd(a[i]); da[i] += dfn(a_val,
+/// out_val) * dout[i].
+Var UnaryOp(const Var& a, const std::function<float(float)>& fwd,
+            const std::function<float(float, float)>& dfn) {
+  Tensor out(a.rows(), a.cols());
+  const Tensor& av = a.value();
+  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = fwd(av.data()[i]);
+  NodePtr an = a.node();
+  auto backward = [dfn](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    const Tensor& av2 = in->value;
+    for (int64_t i = 0; i < av2.size(); ++i) {
+      in->grad.data()[i] +=
+          dfn(av2.data()[i], n->value.data()[i]) * n->grad.data()[i];
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {an}, backward));
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  E2DTC_CHECK(root.defined());
+  E2DTC_CHECK_MSG(root.rows() == 1 && root.cols() == 1,
+                  "Backward root must be a scalar");
+  if (!root.requires_grad()) return;
+
+  // Iterative post-order DFS to build a topological order.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node().get(), 0});
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      Node* child = f.node->inputs[f.next_input++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.push_back({child, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  root.node()->EnsureGrad();
+  root.node()->grad.Fill(1.0f);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) {
+      n->EnsureGrad();  // nodes never touched forward of the root
+      n->backward_fn(n);
+    }
+  }
+}
+
+Var Matmul(const Var& a, const Var& b) {
+  Tensor out;
+  out.Matmul(a.value(), b.value());
+  auto backward = [](Node* n) {
+    Node* a_in = n->inputs[0].get();
+    Node* b_in = n->inputs[1].get();
+    // dA += dOut * B^T ; dB += A^T * dOut.
+    if (a_in->requires_grad) {
+      a_in->EnsureGrad();
+      a_in->grad.AddMatmulTransposed(n->grad, b_in->value);
+    }
+    if (b_in->requires_grad) {
+      b_in->EnsureGrad();
+      b_in->grad.AddTransposedMatmul(a_in->value, n->grad);
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
+}
+
+Var Transpose(const Var& a) {
+  Tensor out = a.value().Transposed();
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    Tensor gt = n->grad.Transposed();
+    in->grad.Add(gt);
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
+}
+
+Var Add(const Var& a, const Var& b) {
+  const Broadcast bc = DeduceBroadcast(a.value(), b.value());
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = a.value().at(i, j) + BroadcastAt(b.value(), i, j, bc);
+    }
+  }
+  auto backward = [bc](Node* n) {
+    Node* a_in = n->inputs[0].get();
+    Node* b_in = n->inputs[1].get();
+    if (a_in->requires_grad) {
+      a_in->EnsureGrad();
+      a_in->grad.Add(n->grad);
+    }
+    AccumulateBroadcastGrad(b_in, n->grad, bc);
+  };
+  return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
+}
+
+Var Sub(const Var& a, const Var& b) {
+  const Broadcast bc = DeduceBroadcast(a.value(), b.value());
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = a.value().at(i, j) - BroadcastAt(b.value(), i, j, bc);
+    }
+  }
+  auto backward = [bc](Node* n) {
+    Node* a_in = n->inputs[0].get();
+    Node* b_in = n->inputs[1].get();
+    if (a_in->requires_grad) {
+      a_in->EnsureGrad();
+      a_in->grad.Add(n->grad);
+    }
+    if (b_in->requires_grad) {
+      Tensor neg = n->grad;
+      neg.Scale(-1.0f);
+      AccumulateBroadcastGrad(b_in, neg, bc);
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
+}
+
+Var Mul(const Var& a, const Var& b) {
+  const Broadcast bc = DeduceBroadcast(a.value(), b.value());
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = a.value().at(i, j) * BroadcastAt(b.value(), i, j, bc);
+    }
+  }
+  auto backward = [bc](Node* n) {
+    Node* a_in = n->inputs[0].get();
+    Node* b_in = n->inputs[1].get();
+    if (a_in->requires_grad) {
+      a_in->EnsureGrad();
+      for (int i = 0; i < n->grad.rows(); ++i) {
+        for (int j = 0; j < n->grad.cols(); ++j) {
+          a_in->grad.at(i, j) +=
+              n->grad.at(i, j) * BroadcastAt(b_in->value, i, j, bc);
+        }
+      }
+    }
+    if (b_in->requires_grad) {
+      Tensor scaled(n->grad.rows(), n->grad.cols());
+      for (int i = 0; i < n->grad.rows(); ++i) {
+        for (int j = 0; j < n->grad.cols(); ++j) {
+          scaled.at(i, j) = n->grad.at(i, j) * a_in->value.at(i, j);
+        }
+      }
+      AccumulateBroadcastGrad(b_in, scaled, bc);
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
+}
+
+Var Div(const Var& a, const Var& b) {
+  const Broadcast bc = DeduceBroadcast(a.value(), b.value());
+  Tensor out(a.rows(), a.cols());
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      out.at(i, j) = a.value().at(i, j) / BroadcastAt(b.value(), i, j, bc);
+    }
+  }
+  auto backward = [bc](Node* n) {
+    Node* a_in = n->inputs[0].get();
+    Node* b_in = n->inputs[1].get();
+    if (a_in->requires_grad) {
+      a_in->EnsureGrad();
+      for (int i = 0; i < n->grad.rows(); ++i) {
+        for (int j = 0; j < n->grad.cols(); ++j) {
+          a_in->grad.at(i, j) +=
+              n->grad.at(i, j) / BroadcastAt(b_in->value, i, j, bc);
+        }
+      }
+    }
+    if (b_in->requires_grad) {
+      // d/db (a/b) = -a / b^2.
+      Tensor scaled(n->grad.rows(), n->grad.cols());
+      for (int i = 0; i < n->grad.rows(); ++i) {
+        for (int j = 0; j < n->grad.cols(); ++j) {
+          const float bj = BroadcastAt(b_in->value, i, j, bc);
+          scaled.at(i, j) =
+              -n->grad.at(i, j) * a_in->value.at(i, j) / (bj * bj);
+        }
+      }
+      AccumulateBroadcastGrad(b_in, scaled, bc);
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
+}
+
+Var AddScalar(const Var& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Var MulScalar(const Var& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Var Log(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var Square(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Var Reciprocal(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / x; },
+      [](float x, float) { return -1.0f / (x * x); });
+}
+
+Var Sqrt(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x, float y) {
+        (void)x;
+        return 0.5f / std::max(y, eps);
+      });
+}
+
+Var Sum(const Var& a) {
+  Tensor out = Tensor::Scalar(a.value().Sum());
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    const float g = n->grad.scalar();
+    for (int64_t i = 0; i < in->grad.size(); ++i) in->grad.data()[i] += g;
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
+}
+
+Var Mean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return MulScalar(Sum(a), inv);
+}
+
+Var RowSum(const Var& a) {
+  Tensor out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* r = a.value().row(i);
+    double s = 0.0;
+    for (int j = 0; j < a.cols(); ++j) s += r[j];
+    out.at(i, 0) = static_cast<float>(s);
+  }
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    for (int i = 0; i < in->grad.rows(); ++i) {
+      const float g = n->grad.at(i, 0);
+      float* r = in->grad.row(i);
+      for (int j = 0; j < in->grad.cols(); ++j) r[j] += g;
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
+}
+
+Var SliceCols(const Var& a, int begin, int count) {
+  E2DTC_CHECK(begin >= 0 && count > 0 && begin + count <= a.cols());
+  Tensor out(a.rows(), count);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* src = a.value().row(i) + begin;
+    float* dst = out.row(i);
+    std::copy(src, src + count, dst);
+  }
+  auto backward = [begin, count](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    for (int i = 0; i < n->grad.rows(); ++i) {
+      const float* g = n->grad.row(i);
+      float* dst = in->grad.row(i) + begin;
+      for (int j = 0; j < count; ++j) dst[j] += g[j];
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  E2DTC_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int rows = 0;
+  for (const auto& p : parts) {
+    E2DTC_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Tensor out(rows, cols);
+  std::vector<NodePtr> inputs;
+  inputs.reserve(parts.size());
+  int offset = 0;
+  for (const auto& p : parts) {
+    for (int i = 0; i < p.rows(); ++i) {
+      std::copy(p.value().row(i), p.value().row(i) + cols,
+                out.row(offset + i));
+    }
+    offset += p.rows();
+    inputs.push_back(p.node());
+  }
+  auto backward = [cols](Node* n) {
+    int off = 0;
+    for (auto& in_ptr : n->inputs) {
+      Node* in = in_ptr.get();
+      const int r = in->value.rows();
+      if (in->requires_grad) {
+        in->EnsureGrad();
+        for (int i = 0; i < r; ++i) {
+          const float* g = n->grad.row(off + i);
+          float* d = in->grad.row(i);
+          for (int j = 0; j < cols; ++j) d[j] += g[j];
+        }
+      }
+      off += r;
+    }
+  };
+  return Var(MakeOpNode(std::move(out), std::move(inputs), backward));
+}
+
+Var GatherRows(const Var& table, std::vector<int> indices) {
+  const Tensor& tv = table.value();
+  Tensor out(static_cast<int>(indices.size()), tv.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    E2DTC_CHECK(idx >= 0 && idx < tv.rows());
+    std::copy(tv.row(idx), tv.row(idx) + tv.cols(),
+              out.row(static_cast<int>(i)));
+  }
+  auto backward = [idx = std::move(indices)](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    const int cols = in->value.cols();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const float* g = n->grad.row(static_cast<int>(i));
+      float* d = in->grad.row(idx[i]);
+      for (int j = 0; j < cols; ++j) d[j] += g[j];
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {table.node()}, backward));
+}
+
+Var Dropout(const Var& a, float rate, Rng* rng) {
+  E2DTC_CHECK(rate >= 0.0f && rate < 1.0f);
+  if (rate == 0.0f) return a;
+  Tensor mask(a.rows(), a.cols());
+  const float keep_scale = 1.0f / (1.0f - rate);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(rate) ? 0.0f : keep_scale;
+  }
+  return Mul(a, Var::Constant(std::move(mask)));
+}
+
+Var SoftmaxRows(const Var& a) {
+  Tensor out(a.rows(), a.cols());
+  const Tensor& av = a.value();
+  for (int i = 0; i < av.rows(); ++i) {
+    const float* r = av.row(i);
+    float mx = r[0];
+    for (int j = 1; j < av.cols(); ++j) mx = std::max(mx, r[j]);
+    double denom = 0.0;
+    float* o = out.row(i);
+    for (int j = 0; j < av.cols(); ++j) {
+      o[j] = std::exp(r[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < av.cols(); ++j) o[j] *= inv;
+  }
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    // dX_ij = y_ij * (g_ij - sum_k g_ik y_ik).
+    for (int i = 0; i < n->value.rows(); ++i) {
+      const float* y = n->value.row(i);
+      const float* g = n->grad.row(i);
+      double dot = 0.0;
+      for (int j = 0; j < n->value.cols(); ++j) dot += g[j] * y[j];
+      float* d = in->grad.row(i);
+      for (int j = 0; j < n->value.cols(); ++j) {
+        d[j] += y[j] * (g[j] - static_cast<float>(dot));
+      }
+    }
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
+}
+
+}  // namespace e2dtc::nn

@@ -1,0 +1,136 @@
+#ifndef E2DTC_NN_AUTOGRAD_H_
+#define E2DTC_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::nn {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the dynamic computation graph: a value, its gradient, and a
+/// closure that routes the gradient to the inputs. Users interact through the
+/// Var handle below; Node is exposed for optimizers and custom ops.
+class Node {
+ public:
+  Tensor value;
+  Tensor grad;  ///< Same shape as value once EnsureGrad() has run; else empty.
+  bool requires_grad = false;
+  std::vector<NodePtr> inputs;
+  /// Accumulates d(loss)/d(input) into each input's grad, reading this->grad.
+  /// Null for leaves.
+  std::function<void(Node*)> backward_fn;
+  std::string name;  ///< Non-empty for named parameters; aids debugging.
+
+  /// Sizes grad to match value (zero-filled) if not already sized.
+  void EnsureGrad();
+
+  /// Zeroes the gradient (keeps allocation).
+  void ZeroGrad();
+};
+
+/// Value-semantics handle to a graph node. Copying a Var copies the handle,
+/// not the tensor. Ops below build the graph; Backward() runs reverse-mode
+/// accumulation from a scalar root.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+  /// A trainable leaf (parameter) or input requiring gradients.
+  static Var Leaf(Tensor value, bool requires_grad, std::string name = "");
+
+  /// A constant leaf (no gradient is ever accumulated into it).
+  static Var Constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  const Tensor& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  const NodePtr& node() const { return node_; }
+
+  /// A constant copy of this Var's value (gradient flow stops here).
+  Var Detach() const { return Constant(node_->value); }
+
+ private:
+  NodePtr node_;
+};
+
+/// Runs reverse-mode accumulation from `root`, which must be a [1,1] scalar.
+/// Gradients accumulate into every reachable node with requires_grad; call
+/// Optimizer::ZeroGrad (or Node::ZeroGrad) between steps.
+void Backward(const Var& root);
+
+// ---------------------------------------------------------------------------
+// Differentiable ops. Binary elementwise ops support three shape modes:
+// identical shapes; b = [1, m] (row broadcast across rows of a); and
+// b = [n, 1] (column broadcast across columns of a).
+// ---------------------------------------------------------------------------
+
+/// Matrix product [n,k] x [k,m] -> [n,m].
+Var Matmul(const Var& a, const Var& b);
+
+/// Transpose [n,m] -> [m,n].
+Var Transpose(const Var& a);
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+/// Elementwise division; b may be [n,1] or [1,m] broadcast.
+Var Div(const Var& a, const Var& b);
+
+Var AddScalar(const Var& a, float s);
+Var MulScalar(const Var& a, float s);
+Var Neg(const Var& a);
+
+Var Exp(const Var& a);
+/// Natural log; inputs are clamped to >= eps for numeric safety.
+Var Log(const Var& a, float eps = 1e-12f);
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Square(const Var& a);
+/// Elementwise 1/x.
+Var Reciprocal(const Var& a);
+/// Elementwise sqrt (inputs clamped to >= eps).
+Var Sqrt(const Var& a, float eps = 1e-12f);
+
+/// Sum of all entries -> [1,1].
+Var Sum(const Var& a);
+/// Mean of all entries -> [1,1].
+Var Mean(const Var& a);
+/// Row sums [n,m] -> [n,1].
+Var RowSum(const Var& a);
+
+/// Columns [begin, begin+count) as a new [n,count] Var.
+Var SliceCols(const Var& a, int begin, int count);
+
+/// Vertical concatenation of equal-width blocks.
+Var ConcatRows(const std::vector<Var>& parts);
+
+/// Embedding lookup: rows of `table` [V,m] selected by `indices` (size n)
+/// -> [n,m]. Backward scatter-adds into the selected rows.
+Var GatherRows(const Var& table, std::vector<int> indices);
+
+/// Inverted-dropout: with probability `rate` an entry is zeroed, survivors
+/// are scaled by 1/(1-rate). `rate` == 0 returns `a` unchanged.
+Var Dropout(const Var& a, float rate, Rng* rng);
+
+/// Row-wise softmax with max-subtraction for stability.
+Var SoftmaxRows(const Var& a);
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_AUTOGRAD_H_

@@ -1,0 +1,71 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::nn {
+
+GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  // PyTorch-style U(-1/sqrt(H), 1/sqrt(H)) initialization for all weights.
+  const float limit = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+  wx_ = AddParameter("wx",
+                     Tensor::Uniform(input_size, 3 * hidden_size, limit, rng));
+  wh_ = AddParameter(
+      "wh", Tensor::Uniform(hidden_size, 3 * hidden_size, limit, rng));
+  bx_ = AddParameter("bx", Tensor(1, 3 * hidden_size));
+  bh_ = AddParameter("bh", Tensor(1, 3 * hidden_size));
+}
+
+Var GruCell::Forward(const Var& x, const Var& h) const {
+  const int hsz = hidden_size_;
+  Var xg = Add(Matmul(x, wx_), bx_);  // [B, 3H]
+  Var hg = Add(Matmul(h, wh_), bh_);  // [B, 3H]
+  Var r = Sigmoid(Add(SliceCols(xg, 0, hsz), SliceCols(hg, 0, hsz)));
+  Var z = Sigmoid(Add(SliceCols(xg, hsz, hsz), SliceCols(hg, hsz, hsz)));
+  Var n = Tanh(
+      Add(SliceCols(xg, 2 * hsz, hsz), Mul(r, SliceCols(hg, 2 * hsz, hsz))));
+  // h' = (1 - z) * n + z * h == n + z * (h - n).
+  return Add(n, Mul(z, Sub(h, n)));
+}
+
+GruStack::GruStack(int num_layers, int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  E2DTC_CHECK_GT(num_layers, 0);
+  cells_.reserve(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    const int in = (l == 0) ? input_size : hidden_size;
+    cells_.push_back(std::make_unique<GruCell>(in, hidden_size, rng));
+    AddSubmodule(StrFormat("cell%d", l), cells_.back().get());
+  }
+}
+
+std::vector<Var> GruStack::Step(const Var& x, const std::vector<Var>& h,
+                                float dropout, Rng* rng) const {
+  E2DTC_CHECK_EQ(h.size(), cells_.size());
+  std::vector<Var> out;
+  out.reserve(cells_.size());
+  Var input = x;
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    if (l > 0 && dropout > 0.0f && rng != nullptr) {
+      input = nn::Dropout(input, dropout, rng);
+    }
+    Var next = cells_[l]->Forward(input, h[l]);
+    out.push_back(next);
+    input = next;
+  }
+  return out;
+}
+
+std::vector<Var> GruStack::InitialState(int batch_size) const {
+  std::vector<Var> h;
+  h.reserve(cells_.size());
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    h.push_back(Var::Constant(Tensor(batch_size, hidden_size_)));
+  }
+  return h;
+}
+
+}  // namespace e2dtc::nn

@@ -1,0 +1,69 @@
+#ifndef E2DTC_NN_GRU_H_
+#define E2DTC_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace e2dtc::nn {
+
+/// Single GRU cell (PyTorch gate convention):
+///   r = sigmoid(x Wxr + bxr + h Whr + bhr)
+///   z = sigmoid(x Wxz + bxz + h Whz + bhz)
+///   n = tanh(x Wxn + bxn + r * (h Whn + bhn))
+///   h' = (1 - z) * n + z * h
+/// The three gates are fused into single [in,3H] / [H,3H] matmuls
+/// (column blocks ordered r, z, n).
+class GruCell : public Module {
+ public:
+  GruCell(int input_size, int hidden_size, Rng* rng);
+
+  /// x: [B, in], h: [B, H] -> new hidden [B, H].
+  Var Forward(const Var& x, const Var& h) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Var wx_;  // [in, 3H]
+  Var wh_;  // [H, 3H]
+  Var bx_;  // [1, 3H]
+  Var bh_;  // [1, 3H]
+};
+
+/// Stack of GRU cells (layer l feeds layer l+1). Sequence iteration and
+/// padding masks are the caller's concern (see core/seq2seq.*): the stack
+/// exposes a single-timestep Step() so encoder and decoder can share it.
+class GruStack : public Module {
+ public:
+  /// `num_layers` cells; layer 0 consumes `input_size`, the rest consume
+  /// `hidden_size`. Optional inter-layer dropout applied to layer inputs
+  /// (train-time only, supplied per call).
+  GruStack(int num_layers, int input_size, int hidden_size, Rng* rng);
+
+  /// One timestep through every layer.
+  /// x: [B, in]; h: per-layer hiddens, each [B, H] (size num_layers).
+  /// Returns the new per-layer hiddens; the top entry is the step output.
+  /// If `dropout` > 0 and `rng` is non-null, applies inverted dropout to the
+  /// inputs of layers 1..L-1.
+  std::vector<Var> Step(const Var& x, const std::vector<Var>& h,
+                        float dropout = 0.0f, Rng* rng = nullptr) const;
+
+  /// Zero initial hidden state for a batch of the given size.
+  std::vector<Var> InitialState(int batch_size) const;
+
+  int num_layers() const { return static_cast<int>(cells_.size()); }
+  int hidden_size() const { return hidden_size_; }
+  int input_size() const { return input_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  std::vector<std::unique_ptr<GruCell>> cells_;
+};
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_GRU_H_

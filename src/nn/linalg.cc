@@ -1,0 +1,110 @@
+#include "nn/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace e2dtc::nn {
+
+Result<EigenDecomposition> SymmetricEigen(const Tensor& a, int max_sweeps,
+                                          double tolerance) {
+  const int n = a.rows();
+  if (n != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition needs a square matrix");
+  }
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  // Symmetry check, scaled by magnitude.
+  double scale = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    scale = std::max(scale, std::abs(static_cast<double>(a.data()[i])));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (std::abs(a.at(i, j) - a.at(j, i)) > 1e-4 * std::max(scale, 1.0)) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  // Work in double for accuracy.
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      m[static_cast<size_t>(i) * n + j] =
+          0.5 * (static_cast<double>(a.at(i, j)) + a.at(j, i));
+    }
+  }
+  std::vector<double> v(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i) * n + i] = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double x = m[static_cast<size_t>(i) * n + j];
+        s += 2.0 * x * x;
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tolerance * std::max(scale, 1e-30)) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = m[static_cast<size_t>(p) * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m[static_cast<size_t>(p) * n + p];
+        const double aqq = m[static_cast<size_t>(q) * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (int k = 0; k < n; ++k) {
+          const double mkp = m[static_cast<size_t>(k) * n + p];
+          const double mkq = m[static_cast<size_t>(k) * n + q];
+          m[static_cast<size_t>(k) * n + p] = c * mkp - s * mkq;
+          m[static_cast<size_t>(k) * n + q] = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double mpk = m[static_cast<size_t>(p) * n + k];
+          const double mqk = m[static_cast<size_t>(q) * n + k];
+          m[static_cast<size_t>(p) * n + k] = c * mpk - s * mqk;
+          m[static_cast<size_t>(q) * n + k] = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<size_t>(k) * n + p];
+          const double vkq = v[static_cast<size_t>(k) * n + q];
+          v[static_cast<size_t>(k) * n + p] = c * vkp - s * vkq;
+          v[static_cast<size_t>(k) * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return m[static_cast<size_t>(x) * n + x] <
+           m[static_cast<size_t>(y) * n + y];
+  });
+
+  EigenDecomposition out;
+  out.values.reserve(static_cast<size_t>(n));
+  out.vectors = Tensor(n, n);
+  for (int col = 0; col < n; ++col) {
+    const int src = order[static_cast<size_t>(col)];
+    out.values.push_back(m[static_cast<size_t>(src) * n + src]);
+    for (int row = 0; row < n; ++row) {
+      out.vectors.at(row, col) =
+          static_cast<float>(v[static_cast<size_t>(row) * n + src]);
+    }
+  }
+  return out;
+}
+
+}  // namespace e2dtc::nn

@@ -1,0 +1,28 @@
+#ifndef E2DTC_NN_LINALG_H_
+#define E2DTC_NN_LINALG_H_
+
+#include "nn/tensor.h"
+#include "util/result.h"
+
+namespace e2dtc::nn {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Eigenvectors as columns of an [n, n] tensor, ordered to match values.
+  Tensor vectors;
+};
+
+/// Cyclic Jacobi eigendecomposition for symmetric matrices. Robust and
+/// simple: O(n^3) per sweep, converging quadratically; intended for the
+/// moderate sizes the library needs (spectral clustering Laplacians of a
+/// few thousand points, PCA covariances of a few hundred dimensions).
+/// Errors if `a` is not square or not (numerically) symmetric.
+Result<EigenDecomposition> SymmetricEigen(const Tensor& a,
+                                          int max_sweeps = 64,
+                                          double tolerance = 1e-10);
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_LINALG_H_

@@ -1,0 +1,236 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace e2dtc::nn {
+
+namespace {
+
+NodePtr MakeLossNode(Tensor value, std::vector<NodePtr> inputs,
+                     std::function<void(Node*)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->inputs = std::move(inputs);
+  for (const auto& in : node->inputs) {
+    if (in->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward);
+  return node;
+}
+
+}  // namespace
+
+Var KnnProximityLoss(const Var& h, const Var& proj_weight,
+                     const Var& proj_bias, const KnnCandidates& cand) {
+  const int n = cand.num_samples();
+  const int k = cand.k;
+  E2DTC_CHECK_GT(k, 0);
+  E2DTC_CHECK_EQ(h.rows(), n);
+  E2DTC_CHECK_EQ(cand.indices.size(), cand.weights.size());
+  E2DTC_CHECK_EQ(proj_weight.cols(), h.cols());
+  E2DTC_CHECK_EQ(proj_bias.rows(), proj_weight.rows());
+  E2DTC_CHECK_EQ(proj_bias.cols(), 1);
+
+  const Tensor& hv = h.value();
+  const Tensor& wv = proj_weight.value();
+  const Tensor& bv = proj_bias.value();
+  const int hidden = hv.cols();
+
+  // Forward: per-sample softmax over the k candidates.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n) * k);
+  double total = 0.0;
+  std::vector<float> logits(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    const float* hrow = hv.row(i);
+    float mx = -1e30f;
+    for (int c = 0; c < k; ++c) {
+      const int cell = cand.indices[static_cast<size_t>(i) * k + c];
+      const float* wrow = wv.row(cell);
+      double dot = bv.at(cell, 0);
+      for (int d = 0; d < hidden; ++d) dot += wrow[d] * hrow[d];
+      logits[static_cast<size_t>(c)] = static_cast<float>(dot);
+      mx = std::max(mx, logits[static_cast<size_t>(c)]);
+    }
+    double denom = 0.0;
+    for (int c = 0; c < k; ++c) {
+      denom += std::exp(logits[static_cast<size_t>(c)] - mx);
+    }
+    const double log_denom = std::log(denom) + mx;
+    for (int c = 0; c < k; ++c) {
+      const double logp = logits[static_cast<size_t>(c)] - log_denom;
+      (*probs)[static_cast<size_t>(i) * k + c] =
+          static_cast<float>(std::exp(logp));
+      total -= cand.weights[static_cast<size_t>(i) * k + c] * logp;
+    }
+  }
+
+  // Backward: dlogit_ic = g * (p_ic - w_ic); route into h, W rows, b rows.
+  auto indices = std::make_shared<std::vector<int>>(cand.indices);
+  auto weights = std::make_shared<std::vector<float>>(cand.weights);
+  auto backward = [probs, indices, weights, n, k, hidden](Node* node) {
+    const float g = node->grad.scalar();
+    Node* h_in = node->inputs[0].get();
+    Node* w_in = node->inputs[1].get();
+    Node* b_in = node->inputs[2].get();
+    const bool need_h = h_in->requires_grad;
+    const bool need_w = w_in->requires_grad;
+    const bool need_b = b_in->requires_grad;
+    if (need_h) h_in->EnsureGrad();
+    if (need_w) w_in->EnsureGrad();
+    if (need_b) b_in->EnsureGrad();
+    for (int i = 0; i < n; ++i) {
+      const float* hrow = h_in->value.row(i);
+      float* hgrad = need_h ? h_in->grad.row(i) : nullptr;
+      for (int c = 0; c < k; ++c) {
+        const size_t flat = static_cast<size_t>(i) * k + c;
+        const float dlogit = g * ((*probs)[flat] - (*weights)[flat]);
+        if (dlogit == 0.0f) continue;
+        const int cell = (*indices)[flat];
+        const float* wrow = w_in->value.row(cell);
+        if (need_h) {
+          for (int d = 0; d < hidden; ++d) hgrad[d] += dlogit * wrow[d];
+        }
+        if (need_w) {
+          float* wgrad = w_in->grad.row(cell);
+          for (int d = 0; d < hidden; ++d) wgrad[d] += dlogit * hrow[d];
+        }
+        if (need_b) b_in->grad.at(cell, 0) += dlogit;
+      }
+    }
+  };
+  return Var(MakeLossNode(Tensor::Scalar(static_cast<float>(total)),
+                          {h.node(), proj_weight.node(), proj_bias.node()},
+                          backward));
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& targets) {
+  const int n = logits.rows();
+  const int c = logits.cols();
+  E2DTC_CHECK_EQ(static_cast<int>(targets.size()), n);
+  const Tensor& lv = logits.value();
+
+  auto probs = std::make_shared<Tensor>(n, c);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* r = lv.row(i);
+    float mx = r[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, r[j]);
+    double denom = 0.0;
+    float* p = probs->row(i);
+    for (int j = 0; j < c; ++j) {
+      p[j] = std::exp(r[j] - mx);
+      denom += p[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < c; ++j) p[j] *= inv;
+    const int t = targets[static_cast<size_t>(i)];
+    E2DTC_CHECK(t >= 0 && t < c);
+    total -= std::log(std::max(1e-12, static_cast<double>(p[t])));
+  }
+  total /= n;
+
+  auto tgt = std::make_shared<std::vector<int>>(targets);
+  auto backward = [probs, tgt, n, c](Node* node) {
+    Node* in = node->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    const float g = node->grad.scalar() / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      const float* p = probs->row(i);
+      float* d = in->grad.row(i);
+      const int t = (*tgt)[static_cast<size_t>(i)];
+      for (int j = 0; j < c; ++j) {
+        d[j] += g * (p[j] - (j == t ? 1.0f : 0.0f));
+      }
+    }
+  };
+  return Var(MakeLossNode(Tensor::Scalar(static_cast<float>(total)),
+                          {logits.node()}, backward));
+}
+
+Var StudentTAssignment(const Var& v, const Var& centroids) {
+  E2DTC_CHECK_EQ(v.cols(), centroids.cols());
+  // d2_ij = ||v_i||^2 + ||c_j||^2 - 2 v_i . c_j, clamped at 0.
+  Var cross = Matmul(v, Transpose(centroids));           // [B, k]
+  Var sq_v = RowSum(Square(v));                          // [B, 1]
+  Var sq_c = Transpose(RowSum(Square(centroids)));       // [1, k]
+  Var d2 = Relu(Add(Add(MulScalar(cross, -2.0f), sq_c), sq_v));
+  Var kernel = Reciprocal(AddScalar(d2, 1.0f));          // (1 + d2)^-1
+  return Div(kernel, RowSum(kernel));
+}
+
+Tensor StudentTAssignmentValue(const Tensor& v, const Tensor& centroids) {
+  E2DTC_CHECK_EQ(v.cols(), centroids.cols());
+  const int n = v.rows();
+  const int k = centroids.rows();
+  Tensor q(n, k);
+  for (int i = 0; i < n; ++i) {
+    const float* vi = v.row(i);
+    double denom = 0.0;
+    float* qi = q.row(i);
+    for (int j = 0; j < k; ++j) {
+      const float* cj = centroids.row(j);
+      double d2 = 0.0;
+      for (int d = 0; d < v.cols(); ++d) {
+        const double diff = vi[d] - cj[d];
+        d2 += diff * diff;
+      }
+      qi[j] = static_cast<float>(1.0 / (1.0 + d2));
+      denom += qi[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < k; ++j) qi[j] *= inv;
+  }
+  return q;
+}
+
+Tensor TargetDistribution(const Tensor& q) {
+  const int n = q.rows();
+  const int k = q.cols();
+  std::vector<double> freq(static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* qi = q.row(i);
+    for (int j = 0; j < k; ++j) freq[static_cast<size_t>(j)] += qi[j];
+  }
+  Tensor p(n, k);
+  for (int i = 0; i < n; ++i) {
+    const float* qi = q.row(i);
+    float* pi = p.row(i);
+    double denom = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const double fj = std::max(freq[static_cast<size_t>(j)], 1e-12);
+      pi[j] = static_cast<float>(static_cast<double>(qi[j]) * qi[j] / fj);
+      denom += pi[j];
+    }
+    const float inv = static_cast<float>(1.0 / std::max(denom, 1e-12));
+    for (int j = 0; j < k; ++j) pi[j] *= inv;
+  }
+  return p;
+}
+
+Var KlDivergence(const Tensor& p, const Var& q) {
+  E2DTC_CHECK(p.SameShape(q.value()));
+  // sum p log p (constant) - sum p log q (differentiable).
+  double const_term = 0.0;
+  for (int64_t i = 0; i < p.size(); ++i) {
+    const double pi = p.data()[i];
+    if (pi > 1e-12) const_term += pi * std::log(pi);
+  }
+  Var cross = Sum(Mul(Log(q), Var::Constant(p)));
+  return AddScalar(Neg(cross), static_cast<float>(const_term));
+}
+
+Var TripletLoss(const Var& anchor, const Var& positive, const Var& negative,
+                float margin) {
+  Var dp = RowSum(Square(Sub(anchor, positive)));  // [B,1]
+  Var dn = RowSum(Square(Sub(anchor, negative)));  // [B,1]
+  return Mean(Relu(AddScalar(Sub(dp, dn), margin)));
+}
+
+}  // namespace e2dtc::nn

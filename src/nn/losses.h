@@ -1,0 +1,61 @@
+#ifndef E2DTC_NN_LOSSES_H_
+#define E2DTC_NN_LOSSES_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace e2dtc::nn {
+
+/// Per-sample candidate sets for the KNN-restricted spatial-proximity loss
+/// (paper Eq. 8). Row i of a [n, H] hidden batch is scored only against its
+/// k candidate cells; `weights` carries the proximity weights w (each row
+/// sums to 1, the true target's weight dominating).
+struct KnnCandidates {
+  int k = 0;
+  std::vector<int> indices;    ///< n*k flattened vocabulary ids.
+  std::vector<float> weights;  ///< n*k flattened, row-stochastic.
+
+  int num_samples() const {
+    return k == 0 ? 0 : static_cast<int>(indices.size()) / k;
+  }
+};
+
+/// Spatial-proximity-aware cross entropy restricted to each target's k
+/// nearest cells (Eq. 8):  L = -sum_i sum_c w_ic log softmax_c(W h_i + b).
+/// Returns the [1,1] sum over samples (callers normalize by token count).
+///
+/// h: [n, H] decoder hiddens (one row per valid target position);
+/// proj_weight: [V, H]; proj_bias: [V, 1].
+/// Gradients flow into h, proj_weight, and proj_bias.
+Var KnnProximityLoss(const Var& h, const Var& proj_weight,
+                     const Var& proj_bias, const KnnCandidates& cand);
+
+/// Plain mean softmax cross entropy over full rows.
+/// logits: [n, C]; targets: n class ids.
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& targets);
+
+/// Student's-t soft cluster assignment (Eq. 9): q_ij proportional to
+/// (1 + ||v_i - c_j||^2 / alpha)^-(alpha+1)/2 with alpha = 1 (the paper's
+/// kernel). v: [B, H]; centroids: [k, H]; returns [B, k] rows summing to 1.
+Var StudentTAssignment(const Var& v, const Var& centroids);
+
+/// Plain-tensor version for full-dataset evaluation (no gradients).
+Tensor StudentTAssignmentValue(const Tensor& v, const Tensor& centroids);
+
+/// Auxiliary target distribution (Eq. 10): p_ij = (q_ij^2 / f_j) normalized
+/// per row, with f_j the soft cluster frequency sum_i q_ij.
+Tensor TargetDistribution(const Tensor& q);
+
+/// KL(P || Q) = sum_ij p_ij log(p_ij / q_ij) (Eq. 11); p is a constant,
+/// gradients flow through q. Returns the [1,1] sum (not mean).
+Var KlDivergence(const Tensor& p, const Var& q);
+
+/// Triplet margin loss (Eq. 13), mean over the batch:
+///   mean(relu(||a-p||^2 - ||a-n||^2 + margin)).
+Var TripletLoss(const Var& anchor, const Var& positive, const Var& negative,
+                float margin);
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_LOSSES_H_

@@ -1,0 +1,77 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  const float limit = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+  wx_ = AddParameter("wx",
+                     Tensor::Uniform(input_size, 4 * hidden_size, limit, rng));
+  wh_ = AddParameter(
+      "wh", Tensor::Uniform(hidden_size, 4 * hidden_size, limit, rng));
+  bx_ = AddParameter("bx", Tensor(1, 4 * hidden_size));
+  bh_ = AddParameter("bh", Tensor(1, 4 * hidden_size));
+}
+
+LstmCell::State LstmCell::Forward(const Var& x, const State& state) const {
+  const int hsz = hidden_size_;
+  Var gates = Add(Add(Matmul(x, wx_), bx_),
+                  Add(Matmul(state.h, wh_), bh_));  // [B, 4H]
+  Var i = Sigmoid(SliceCols(gates, 0, hsz));
+  Var f = Sigmoid(SliceCols(gates, hsz, hsz));
+  Var g = Tanh(SliceCols(gates, 2 * hsz, hsz));
+  Var o = Sigmoid(SliceCols(gates, 3 * hsz, hsz));
+  State next;
+  next.c = Add(Mul(f, state.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+LstmStack::LstmStack(int num_layers, int input_size, int hidden_size,
+                     Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  E2DTC_CHECK_GT(num_layers, 0);
+  cells_.reserve(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    const int in = (l == 0) ? input_size : hidden_size;
+    cells_.push_back(std::make_unique<LstmCell>(in, hidden_size, rng));
+    AddSubmodule(StrFormat("cell%d", l), cells_.back().get());
+  }
+}
+
+std::vector<LstmCell::State> LstmStack::Step(
+    const Var& x, const std::vector<LstmCell::State>& state, float dropout,
+    Rng* rng) const {
+  E2DTC_CHECK_EQ(state.size(), cells_.size());
+  std::vector<LstmCell::State> out;
+  out.reserve(cells_.size());
+  Var input = x;
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    if (l > 0 && dropout > 0.0f && rng != nullptr) {
+      input = nn::Dropout(input, dropout, rng);
+    }
+    LstmCell::State next = cells_[l]->Forward(input, state[l]);
+    input = next.h;
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+std::vector<LstmCell::State> LstmStack::InitialState(int batch_size) const {
+  std::vector<LstmCell::State> state;
+  state.reserve(cells_.size());
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    LstmCell::State s;
+    s.h = Var::Constant(Tensor(batch_size, hidden_size_));
+    s.c = Var::Constant(Tensor(batch_size, hidden_size_));
+    state.push_back(std::move(s));
+  }
+  return state;
+}
+
+}  // namespace e2dtc::nn

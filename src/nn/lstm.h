@@ -1,0 +1,70 @@
+#ifndef E2DTC_NN_LSTM_H_
+#define E2DTC_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace e2dtc::nn {
+
+/// Single LSTM cell (PyTorch gate convention):
+///   i = sigmoid(x Wxi + bxi + h Whi + bhi)
+///   f = sigmoid(x Wxf + bxf + h Whf + bhf)
+///   g = tanh   (x Wxg + bxg + h Whg + bhg)
+///   o = sigmoid(x Wxo + bxo + h Who + bho)
+///   c' = f * c + i * g ;  h' = o * tanh(c')
+/// Gates are fused into single [in,4H] / [H,4H] matmuls (blocks i,f,g,o).
+/// The paper compares GRU against LSTM and picks GRU for its better
+/// embedding quality (Section VII-B); this cell backs that ablation.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng* rng);
+
+  struct State {
+    Var h;  ///< [B, H]
+    Var c;  ///< [B, H]
+  };
+
+  /// One step: x [B, in], state {h, c} -> new state.
+  State Forward(const Var& x, const State& state) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Var wx_;  // [in, 4H]
+  Var wh_;  // [H, 4H]
+  Var bx_;  // [1, 4H]
+  Var bh_;  // [1, 4H]
+};
+
+/// Stack of LSTM cells mirroring GruStack's Step/InitialState interface,
+/// with the cell state carried alongside the hidden state.
+class LstmStack : public Module {
+ public:
+  LstmStack(int num_layers, int input_size, int hidden_size, Rng* rng);
+
+  /// One timestep through every layer. `state` holds one {h, c} per layer.
+  /// Returns the new per-layer states; the top layer's h is the step output.
+  std::vector<LstmCell::State> Step(const Var& x,
+                                    const std::vector<LstmCell::State>& state,
+                                    float dropout = 0.0f,
+                                    Rng* rng = nullptr) const;
+
+  /// Zero initial state for a batch of the given size.
+  std::vector<LstmCell::State> InitialState(int batch_size) const;
+
+  int num_layers() const { return static_cast<int>(cells_.size()); }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  std::vector<std::unique_ptr<LstmCell>> cells_;
+};
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_LSTM_H_

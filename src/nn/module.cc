@@ -1,0 +1,76 @@
+#include "nn/module.h"
+
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+
+std::vector<Var> Module::Parameters() const {
+  std::vector<NamedParameter> named = NamedParameters();
+  std::vector<Var> out;
+  out.reserve(named.size());
+  for (auto& p : named) out.push_back(p.var);
+  return out;
+}
+
+std::vector<NamedParameter> Module::NamedParameters() const {
+  std::vector<NamedParameter> out;
+  Collect("", &out);
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& p : NamedParameters()) n += p.var.value().size();
+  return n;
+}
+
+Var Module::AddParameter(const std::string& name, Tensor init) {
+  Var v = Var::Leaf(std::move(init), /*requires_grad=*/true, name);
+  own_.push_back({name, v});
+  return v;
+}
+
+void Module::AddSubmodule(const std::string& name, Module* child) {
+  E2DTC_CHECK(child != nullptr && child != this);
+  submodules_.push_back({name, child});
+}
+
+void Module::Collect(const std::string& prefix,
+                     std::vector<NamedParameter>* out) const {
+  for (const auto& p : own_) {
+    out->push_back({prefix.empty() ? p.name : prefix + "." + p.name, p.var});
+  }
+  for (const auto& [name, child] : submodules_) {
+    child->Collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = AddParameter("weight", Tensor::Xavier(in_features, out_features,
+                                                  rng));
+  if (bias) bias_ = AddParameter("bias", Tensor(1, out_features));
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = Matmul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  table_ = AddParameter("table", Tensor::Gaussian(vocab_size, dim, 0.1f, rng));
+}
+
+Var Embedding::Forward(std::vector<int> indices) const {
+  return GatherRows(table_, std::move(indices));
+}
+
+void Embedding::LoadTable(const Tensor& table) {
+  E2DTC_CHECK_EQ(table.rows(), vocab_size_);
+  E2DTC_CHECK_EQ(table.cols(), dim_);
+  table_.mutable_value() = table;
+}
+
+}  // namespace e2dtc::nn

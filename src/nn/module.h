@@ -1,0 +1,101 @@
+#ifndef E2DTC_NN_MODULE_H_
+#define E2DTC_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace e2dtc::nn {
+
+/// Named parameter handle.
+struct NamedParameter {
+  std::string name;
+  Var var;
+};
+
+/// Base class for trainable components. A Module owns its parameter leaves
+/// and can reference (non-owning) submodules; Parameters() flattens the tree
+/// for optimizers, NamedParameters() for serialization.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first (this module's own first).
+  std::vector<Var> Parameters() const;
+
+  /// All parameters with hierarchical names ("encoder.cell0.wx").
+  std::vector<NamedParameter> NamedParameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable leaf with the given local name.
+  Var AddParameter(const std::string& name, Tensor init);
+
+  /// Registers a child module under `name`. The child must outlive `this`
+  /// (typical use: child is a data member of the subclass).
+  void AddSubmodule(const std::string& name, Module* child);
+
+ private:
+  void Collect(const std::string& prefix,
+               std::vector<NamedParameter>* out) const;
+
+  std::vector<NamedParameter> own_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+};
+
+/// Fully connected layer: y = x W + b with W [in,out], b [1,out].
+class Linear : public Module {
+ public:
+  /// Xavier-initialized weights; zero bias (if `bias`).
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  /// x: [B, in] -> [B, out].
+  Var Forward(const Var& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Var weight_;
+  Var bias_;  // undefined when constructed with bias = false
+};
+
+/// Token embedding table [vocab, dim].
+class Embedding : public Module {
+ public:
+  /// Gaussian(0, 0.1) initialization.
+  Embedding(int vocab_size, int dim, Rng* rng);
+
+  /// indices (size n) -> [n, dim].
+  Var Forward(std::vector<int> indices) const;
+
+  /// Overwrites the table (e.g. with pre-trained skip-gram vectors).
+  /// `table` must be [vocab, dim].
+  void LoadTable(const Tensor& table);
+
+  int vocab_size() const { return vocab_size_; }
+  int dim() const { return dim_; }
+  const Var& table() const { return table_; }
+
+ private:
+  int vocab_size_;
+  int dim_;
+  Var table_;
+};
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_MODULE_H_

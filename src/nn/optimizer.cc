@@ -1,0 +1,95 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace e2dtc::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    E2DTC_CHECK(p.defined() && p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.node()->ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params_) {
+    const Tensor& g = p.grad();
+    if (g.SameShape(p.value())) total_sq += g.SquaredNorm();
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      Tensor& g = p.node()->grad;
+      if (g.SameShape(p.value())) g.Scale(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.emplace_back(p.value().rows(), p.value().cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node* n = params_[i].node().get();
+    if (!n->grad.SameShape(n->value)) continue;  // no grad this step
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      vel.Scale(momentum_);
+      vel.AddScaled(n->grad, 1.0f);
+      n->value.AddScaled(vel, -lr_);
+    } else {
+      n->value.AddScaled(n->grad, -lr_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float step_size = lr_ * std::sqrt(bc2) / bc1;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node* n = params_[i].node().get();
+    if (!n->grad.SameShape(n->value)) continue;
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float* g = n->grad.data();
+    float* w = n->value.data();
+    const int64_t sz = n->value.size();
+    for (int64_t j = 0; j < sz; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      w[j] -= step_size * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace e2dtc::nn

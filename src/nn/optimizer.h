@@ -1,0 +1,70 @@
+#ifndef E2DTC_NN_OPTIMIZER_H_
+#define E2DTC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace e2dtc::nn {
+
+/// Base optimizer over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+
+  /// Zeroes every parameter gradient (call between steps).
+  void ZeroGrad();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`
+  /// (paper: max gradient norm 5). Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba), the paper's optimizer (initial lr 1e-4).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_OPTIMIZER_H_

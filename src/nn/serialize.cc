@@ -1,0 +1,89 @@
+#include "nn/serialize.h"
+
+#include <unordered_map>
+
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace e2dtc::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x54443245;  // "E2DT" little-endian
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<NamedParameter>& params) {
+  BinaryWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(kMagic));
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(kVersion));
+  E2DTC_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(params.size())));
+  for (const auto& p : params) {
+    E2DTC_RETURN_IF_ERROR(w.WriteString(p.name));
+    const Tensor& t = p.var.value();
+    E2DTC_RETURN_IF_ERROR(w.WriteI32(t.rows()));
+    E2DTC_RETURN_IF_ERROR(w.WriteI32(t.cols()));
+    E2DTC_RETURN_IF_ERROR(w.WriteFloats(t.storage()));
+  }
+  return w.Close();
+}
+
+Status LoadParameters(const std::string& path,
+                      std::vector<NamedParameter>* params) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open for reading: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) return Status::IOError("bad checkpoint magic: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::IOError(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  E2DTC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+
+  std::unordered_map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    E2DTC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    E2DTC_ASSIGN_OR_RETURN(int32_t rows, r.ReadI32());
+    E2DTC_ASSIGN_OR_RETURN(int32_t cols, r.ReadI32());
+    E2DTC_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadFloats());
+    if (rows < 0 || cols < 0 ||
+        static_cast<int64_t>(data.size()) !=
+            static_cast<int64_t>(rows) * cols) {
+      return Status::IOError("corrupt tensor in checkpoint: " + name);
+    }
+    loaded.emplace(std::move(name), Tensor(rows, cols, std::move(data)));
+  }
+
+  if (loaded.size() != params->size()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %zu parameters, model expects %zu", loaded.size(),
+        params->size()));
+  }
+  for (auto& p : *params) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p.name);
+    }
+    if (!it->second.SameShape(p.var.value())) {
+      return Status::InvalidArgument(StrFormat(
+          "shape mismatch for %s: checkpoint [%dx%d], model [%dx%d]",
+          p.name.c_str(), it->second.rows(), it->second.cols(),
+          p.var.value().rows(), p.var.value().cols()));
+    }
+    p.var.mutable_value() = std::move(it->second);
+  }
+  return Status::OK();
+}
+
+Status SaveModule(const std::string& path, const Module& module) {
+  return SaveParameters(path, module.NamedParameters());
+}
+
+Status LoadModule(const std::string& path, Module* module) {
+  auto params = module->NamedParameters();
+  return LoadParameters(path, &params);
+}
+
+}  // namespace e2dtc::nn

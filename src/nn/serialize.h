@@ -1,0 +1,30 @@
+#ifndef E2DTC_NN_SERIALIZE_H_
+#define E2DTC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace e2dtc::nn {
+
+/// Saves named parameters as a versioned little-endian binary checkpoint:
+///   magic "E2DT" | version u32 | count u32 | per-param:
+///   name | rows i32 | cols i32 | floats.
+Status SaveParameters(const std::string& path,
+                      const std::vector<NamedParameter>& params);
+
+/// Loads a checkpoint into `params`, matched by name. Every parameter in
+/// `params` must appear in the file with an identical shape; extra entries
+/// in the file are an error (guards against loading a mismatched model).
+Status LoadParameters(const std::string& path,
+                      std::vector<NamedParameter>* params);
+
+/// Convenience overloads operating on a Module's parameter tree.
+Status SaveModule(const std::string& path, const Module& module);
+Status LoadModule(const std::string& path, Module* module);
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_SERIALIZE_H_

@@ -1,0 +1,170 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace e2dtc::nn {
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  E2DTC_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::Tensor(int rows, int cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  E2DTC_CHECK(rows >= 0 && cols >= 0);
+  E2DTC_CHECK_EQ(static_cast<int64_t>(data_.size()),
+                 static_cast<int64_t>(rows) * cols);
+}
+
+Tensor Tensor::Scalar(float v) { return Tensor(1, 1, {v}); }
+
+Tensor Tensor::Uniform(int rows, int cols, float limit, Rng* rng) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(int rows, int cols, float stddev, Rng* rng) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Xavier(int fan_in, int fan_out, Rng* rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Uniform(fan_in, fan_out, limit, rng);
+}
+
+void Tensor::Fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::Add(const Tensor& other) {
+  E2DTC_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < size(); ++i) dst[i] += src[i];
+}
+
+void Tensor::AddScaled(const Tensor& other, float scale) {
+  E2DTC_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < size(); ++i) dst[i] += scale * src[i];
+}
+
+void Tensor::Scale(float scale) {
+  for (auto& x : data_) x *= scale;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(s);
+}
+
+bool Tensor::HasNonFinite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+void Tensor::Matmul(const Tensor& a, const Tensor& b) {
+  E2DTC_CHECK_EQ(a.cols_, b.rows_);
+  E2DTC_CHECK(this != &a && this != &b);
+  rows_ = a.rows_;
+  cols_ = b.cols_;
+  data_.assign(static_cast<size_t>(rows_) * cols_, 0.0f);
+  // i-k-j loop order: streams through b and the output row-major.
+  for (int i = 0; i < a.rows_; ++i) {
+    const float* arow = a.row(i);
+    float* crow = row(i);
+    for (int k = 0; k < a.cols_; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (int j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void Tensor::AddTransposedMatmul(const Tensor& a, const Tensor& b) {
+  // this [n,m] += a^T [n,k'] * b [k',m] where a is [k',n].
+  E2DTC_CHECK_EQ(a.rows_, b.rows_);
+  E2DTC_CHECK_EQ(rows_, a.cols_);
+  E2DTC_CHECK_EQ(cols_, b.cols_);
+  for (int k = 0; k < a.rows_; ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (int i = 0; i < rows_; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = row(i);
+      for (int j = 0; j < cols_; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void Tensor::AddMatmulTransposed(const Tensor& a, const Tensor& b) {
+  // this [n,m] += a [n,k] * b^T [k,m] where b is [m,k].
+  E2DTC_CHECK_EQ(a.cols_, b.cols_);
+  E2DTC_CHECK_EQ(rows_, a.rows_);
+  E2DTC_CHECK_EQ(cols_, b.rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const float* arow = a.row(i);
+    float* crow = row(i);
+    for (int j = 0; j < cols_; ++j) {
+      const float* brow = b.row(j);
+      double dot = 0.0;
+      for (int k = 0; k < a.cols_; ++k) dot += arow[k] * brow[k];
+      crow[j] += static_cast<float>(dot);
+    }
+  }
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor t(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const float* src = row(i);
+    for (int j = 0; j < cols_; ++j) t.at(j, i) = src[j];
+  }
+  return t;
+}
+
+Tensor Tensor::SliceRows(int begin, int count) const {
+  E2DTC_CHECK(begin >= 0 && count >= 0 && begin + count <= rows_);
+  Tensor t(count, cols_);
+  std::memcpy(t.data(), row(begin),
+              static_cast<size_t>(count) * cols_ * sizeof(float));
+  return t;
+}
+
+std::string Tensor::ToString(int max_entries) const {
+  std::string out = StrFormat("[%dx%d] {", rows_, cols_);
+  const int64_t n = std::min<int64_t>(size(), max_entries);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.4g", data_[static_cast<size_t>(i)]);
+  }
+  if (n < size()) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace e2dtc::nn

@@ -1,0 +1,130 @@
+#ifndef E2DTC_NN_TENSOR_H_
+#define E2DTC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace e2dtc {
+class Rng;
+}
+
+namespace e2dtc::nn {
+
+/// Dense row-major 2-D float32 tensor. Vectors are represented as [1, n] or
+/// [n, 1]; scalars as [1, 1]. This is the single numeric container the
+/// autograd engine, the optimizers, and the serialization layer agree on.
+///
+/// All shape mismatches are programming errors and abort via E2DTC_CHECK —
+/// shapes are fully determined by model configuration, never by user data.
+class Tensor {
+ public:
+  /// An empty 0x0 tensor.
+  Tensor() = default;
+
+  /// A rows x cols tensor initialized to `fill`.
+  Tensor(int rows, int cols, float fill = 0.0f);
+
+  /// A rows x cols tensor adopting `data` (size must equal rows*cols).
+  Tensor(int rows, int cols, std::vector<float> data);
+
+  /// A [1,1] scalar.
+  static Tensor Scalar(float v);
+
+  /// Uniform random entries in [-limit, limit].
+  static Tensor Uniform(int rows, int cols, float limit, Rng* rng);
+
+  /// Gaussian random entries with the given stddev.
+  static Tensor Gaussian(int rows, int cols, float stddev, Rng* rng);
+
+  /// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight.
+  static Tensor Xavier(int fan_in, int fan_out, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return size() == 0; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int r, int c) {
+    E2DTC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    E2DTC_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row pointer (no bounds check on the column side).
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Value of a [1,1] tensor.
+  float scalar() const {
+    E2DTC_CHECK(rows_ == 1 && cols_ == 1);
+    return data_[0];
+  }
+
+  /// Sets every entry to `v`.
+  void Fill(float v);
+
+  /// Sets every entry to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void Add(const Tensor& other);
+
+  /// this += scale * other (same shape).
+  void AddScaled(const Tensor& other, float scale);
+
+  /// this *= scale.
+  void Scale(float scale);
+
+  /// Sum of all entries.
+  float Sum() const;
+
+  /// Squared Frobenius norm.
+  float SquaredNorm() const;
+
+  /// True if any entry is NaN or infinite.
+  bool HasNonFinite() const;
+
+  /// this = a * b (matrix product). Shapes: [n,k] x [k,m] -> [n,m].
+  /// `this` is resized; must not alias a or b.
+  void Matmul(const Tensor& a, const Tensor& b);
+
+  /// this += a^T * b. Shapes: a [k,n], b [k,m] -> this [n,m].
+  void AddTransposedMatmul(const Tensor& a, const Tensor& b);
+
+  /// this += a * b^T. Shapes: a [n,k], b [m,k] -> this [n,m].
+  void AddMatmulTransposed(const Tensor& a, const Tensor& b);
+
+  /// Transposed copy.
+  Tensor Transposed() const;
+
+  /// Copy of rows [begin, begin+count).
+  Tensor SliceRows(int begin, int count) const;
+
+  /// Debug string "[2x3] {...}" with up to `max_entries` values.
+  std::string ToString(int max_entries = 16) const;
+
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace e2dtc::nn
+
+#endif  // E2DTC_NN_TENSOR_H_

@@ -1,0 +1,108 @@
+#include "util/binary_io.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace e2dtc {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  E2DTC_CHECK(std::endian::native == std::endian::little);
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (!out_) return Status::IOError("binary stream is not writable");
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteU32(uint32_t v) { return WriteBytes(&v, sizeof v); }
+Status BinaryWriter::WriteU64(uint64_t v) { return WriteBytes(&v, sizeof v); }
+Status BinaryWriter::WriteI32(int32_t v) { return WriteBytes(&v, sizeof v); }
+Status BinaryWriter::WriteF32(float v) { return WriteBytes(&v, sizeof v); }
+Status BinaryWriter::WriteF64(double v) { return WriteBytes(&v, sizeof v); }
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  E2DTC_RETURN_IF_ERROR(WriteU32(static_cast<uint32_t>(s.size())));
+  return WriteBytes(s.data(), s.size());
+}
+
+Status BinaryWriter::WriteFloats(const std::vector<float>& v) {
+  E2DTC_RETURN_IF_ERROR(WriteU64(v.size()));
+  return WriteBytes(v.data(), v.size() * sizeof(float));
+}
+
+Status BinaryWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IOError("binary close failed");
+  return Status::OK();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  E2DTC_CHECK(std::endian::native == std::endian::little);
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  if (!in_) return Status::IOError("binary stream is not readable");
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n)) {
+    return Status::IOError("binary read truncated");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  E2DTC_RETURN_IF_ERROR(ReadBytes(&v, sizeof v));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  E2DTC_RETURN_IF_ERROR(ReadBytes(&v, sizeof v));
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  int32_t v = 0;
+  E2DTC_RETURN_IF_ERROR(ReadBytes(&v, sizeof v));
+  return v;
+}
+
+Result<float> BinaryReader::ReadF32() {
+  float v = 0;
+  E2DTC_RETURN_IF_ERROR(ReadBytes(&v, sizeof v));
+  return v;
+}
+
+Result<double> BinaryReader::ReadF64() {
+  double v = 0;
+  E2DTC_RETURN_IF_ERROR(ReadBytes(&v, sizeof v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  E2DTC_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  std::string s(n, '\0');
+  E2DTC_RETURN_IF_ERROR(ReadBytes(s.data(), n));
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::ReadFloats() {
+  E2DTC_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > (1ULL << 32)) return Status::IOError("implausible float count");
+  std::vector<float> v(static_cast<size_t>(n));
+  E2DTC_RETURN_IF_ERROR(ReadBytes(v.data(), v.size() * sizeof(float)));
+  return v;
+}
+
+bool BinaryReader::AtEof() {
+  if (!in_) return true;
+  return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+}  // namespace e2dtc

@@ -1,0 +1,63 @@
+#ifndef E2DTC_UTIL_BINARY_IO_H_
+#define E2DTC_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace e2dtc {
+
+/// Little-endian binary writer used by model serialization. All multi-byte
+/// values are written little-endian regardless of host order (this library
+/// only targets little-endian hosts; E2DTC_CHECKed at open).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  bool Ok() const { return static_cast<bool>(out_); }
+
+  Status WriteU32(uint32_t v);
+  Status WriteU64(uint64_t v);
+  Status WriteI32(int32_t v);
+  Status WriteF32(float v);
+  Status WriteF64(double v);
+  /// Length-prefixed UTF-8 string.
+  Status WriteString(const std::string& s);
+  /// Length-prefixed float vector.
+  Status WriteFloats(const std::vector<float>& v);
+  Status Close();
+
+ private:
+  Status WriteBytes(const void* data, size_t n);
+  std::ofstream out_;
+};
+
+/// Reader matching BinaryWriter's format.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool Ok() const { return static_cast<bool>(in_); }
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadFloats();
+  /// True once the end of the file has been reached.
+  bool AtEof();
+
+ private:
+  Status ReadBytes(void* data, size_t n);
+  std::ifstream in_;
+};
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_BINARY_IO_H_

@@ -1,0 +1,36 @@
+#ifndef E2DTC_UTIL_CHECK_H_
+#define E2DTC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// E2DTC_CHECK aborts on programming errors (invariant violations). It is kept
+/// active in release builds: silent memory corruption in a numeric kernel is
+/// strictly worse than a crash with a message. User-input validation must use
+/// Status instead; CHECK is for bugs, not for bad data.
+#define E2DTC_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "E2DTC_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                     __LINE__, #cond);                                        \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (false)
+
+#define E2DTC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "E2DTC_CHECK failed at %s:%d: %s (%s)\n",        \
+                     __FILE__, __LINE__, #cond, msg);                         \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (false)
+
+#define E2DTC_CHECK_EQ(a, b) E2DTC_CHECK((a) == (b))
+#define E2DTC_CHECK_NE(a, b) E2DTC_CHECK((a) != (b))
+#define E2DTC_CHECK_LT(a, b) E2DTC_CHECK((a) < (b))
+#define E2DTC_CHECK_LE(a, b) E2DTC_CHECK((a) <= (b))
+#define E2DTC_CHECK_GT(a, b) E2DTC_CHECK((a) > (b))
+#define E2DTC_CHECK_GE(a, b) E2DTC_CHECK((a) >= (b))
+
+#endif  // E2DTC_UTIL_CHECK_H_

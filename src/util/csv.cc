@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace e2dtc {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring double quotes.
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_) return Status::IOError("csv stream is not writable");
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << QuoteField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) return Status::IOError("csv write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(StrFormat("%.6g", v));
+  return WriteRow(fields);
+}
+
+Status CsvWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IOError("csv close failed");
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open csv file: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace e2dtc

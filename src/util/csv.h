@@ -1,0 +1,43 @@
+#ifndef E2DTC_UTIL_CSV_H_
+#define E2DTC_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace e2dtc {
+
+/// Minimal CSV writer used by the experiment harnesses to emit table/figure
+/// data. Fields containing commas, quotes, or newlines are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check Ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the underlying file opened successfully.
+  bool Ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one row; returns IOError if the stream has failed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.6g.
+  Status WriteNumericRow(const std::vector<double>& values);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads an entire CSV file into rows of string fields. Handles quoted
+/// fields with embedded commas/quotes; does not handle embedded newlines.
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path);
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_CSV_H_

@@ -1,0 +1,48 @@
+#ifndef E2DTC_UTIL_LOGGING_H_
+#define E2DTC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace e2dtc {
+
+/// Log severity, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace e2dtc
+
+#define E2DTC_LOG(level)                                              \
+  ::e2dtc::internal::LogMessage(::e2dtc::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#endif  // E2DTC_UTIL_LOGGING_H_

@@ -1,0 +1,76 @@
+#ifndef E2DTC_UTIL_RESULT_H_
+#define E2DTC_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace e2dtc {
+
+/// Result<T> is either a value of type T or a non-OK Status (Arrow's
+/// arrow::Result idiom). Accessing the value of an errored Result is a
+/// programming error and aborts via E2DTC_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. The status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    E2DTC_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                    "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    E2DTC_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    E2DTC_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    E2DTC_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace e2dtc
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// Status to the caller of the enclosing function.
+#define E2DTC_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto E2DTC_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!E2DTC_CONCAT_(_res_, __LINE__).ok())      \
+    return E2DTC_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(E2DTC_CONCAT_(_res_, __LINE__)).value()
+
+#define E2DTC_CONCAT_INNER_(a, b) a##b
+#define E2DTC_CONCAT_(a, b) E2DTC_CONCAT_INNER_(a, b)
+
+#endif  // E2DTC_UTIL_RESULT_H_

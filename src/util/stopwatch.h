@@ -1,0 +1,31 @@
+#ifndef E2DTC_UTIL_STOPWATCH_H_
+#define E2DTC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace e2dtc {
+
+/// Monotonic wall-clock stopwatch for harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef E2DTC_UTIL_STRING_UTIL_H_
+#define E2DTC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a decimal integer; errors on trailing garbage or overflow.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Parses a floating-point value; errors on trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+#ifndef E2DTC_UTIL_THREAD_POOL_H_
+#define E2DTC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace e2dtc {
+
+/// Fixed-size worker pool used to parallelize embarrassingly parallel loops
+/// (pairwise distance matrices, batched encoding). On a single-core host the
+/// pool degenerates to one worker and adds negligible overhead.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked contiguously so cache locality is preserved.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_THREAD_POOL_H_

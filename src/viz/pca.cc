@@ -1,0 +1,86 @@
+#include "viz/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/linalg.h"
+
+namespace e2dtc::viz {
+
+Result<PcaResult> RunPca(const std::vector<std::vector<float>>& features,
+                         int num_components) {
+  const int n = static_cast<int>(features.size());
+  if (n < 2) return Status::InvalidArgument("PCA needs at least 2 points");
+  const int dim = static_cast<int>(features[0].size());
+  for (const auto& f : features) {
+    if (static_cast<int>(f.size()) != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  if (num_components < 1 || num_components > dim) {
+    return Status::InvalidArgument("num_components out of range");
+  }
+
+  // Mean-center and form the covariance (double accumulation).
+  std::vector<double> mean(static_cast<size_t>(dim), 0.0);
+  for (const auto& f : features) {
+    for (int d = 0; d < dim; ++d) mean[static_cast<size_t>(d)] += f[d];
+  }
+  for (auto& m : mean) m /= n;
+
+  nn::Tensor cov(dim, dim);
+  for (const auto& f : features) {
+    for (int a = 0; a < dim; ++a) {
+      const double xa = f[a] - mean[static_cast<size_t>(a)];
+      for (int b = a; b < dim; ++b) {
+        cov.at(a, b) += static_cast<float>(
+            xa * (f[b] - mean[static_cast<size_t>(b)]));
+      }
+    }
+  }
+  for (int a = 0; a < dim; ++a) {
+    for (int b = a; b < dim; ++b) {
+      const float v = cov.at(a, b) / static_cast<float>(n - 1);
+      cov.at(a, b) = v;
+      cov.at(b, a) = v;
+    }
+  }
+
+  E2DTC_ASSIGN_OR_RETURN(nn::EigenDecomposition eig,
+                         nn::SymmetricEigen(cov));
+
+  // Eigenvalues come ascending; take the top num_components.
+  PcaResult result;
+  double total_var = 0.0;
+  for (double v : eig.values) total_var += std::max(v, 0.0);
+  total_var = std::max(total_var, 1e-30);
+  for (int c = 0; c < num_components; ++c) {
+    const int col = dim - 1 - c;
+    std::vector<float> comp(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) comp[static_cast<size_t>(d)] =
+        eig.vectors.at(d, col);
+    result.components.push_back(std::move(comp));
+    const double var = std::max(eig.values[static_cast<size_t>(col)], 0.0);
+    result.explained_variance.push_back(var);
+    result.explained_variance_ratio.push_back(var / total_var);
+  }
+
+  result.projected.assign(static_cast<size_t>(n),
+                          std::vector<float>(
+                              static_cast<size_t>(num_components)));
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < num_components; ++c) {
+      double dot = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        dot += (features[static_cast<size_t>(i)][d] -
+                mean[static_cast<size_t>(d)]) *
+               result.components[static_cast<size_t>(c)][d];
+      }
+      result.projected[static_cast<size_t>(i)][static_cast<size_t>(c)] =
+          static_cast<float>(dot);
+    }
+  }
+  return result;
+}
+
+}  // namespace e2dtc::viz

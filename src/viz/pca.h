@@ -1,0 +1,31 @@
+#ifndef E2DTC_VIZ_PCA_H_
+#define E2DTC_VIZ_PCA_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::viz {
+
+/// Principal component analysis output.
+struct PcaResult {
+  /// Projected points, n rows x num_components.
+  std::vector<std::vector<float>> projected;
+  /// Component directions (num_components rows x dim), unit length.
+  std::vector<std::vector<float>> components;
+  /// Variance captured by each component, descending.
+  std::vector<double> explained_variance;
+  /// Fraction of total variance captured per component.
+  std::vector<double> explained_variance_ratio;
+};
+
+/// Exact PCA via eigendecomposition of the covariance matrix — the fast,
+/// deterministic alternative to t-SNE for embedding-space snapshots
+/// (O(n d^2 + d^3) vs t-SNE's O(n^2) per iteration). Errors on empty or
+/// ragged input, or num_components outside [1, dim].
+Result<PcaResult> RunPca(const std::vector<std::vector<float>>& features,
+                         int num_components);
+
+}  // namespace e2dtc::viz
+
+#endif  // E2DTC_VIZ_PCA_H_

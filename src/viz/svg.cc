@@ -1,0 +1,79 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace e2dtc::viz {
+
+std::string RenderScatterSvg(
+    const std::vector<std::array<double, 2>>& points,
+    const std::vector<int>& labels, const ScatterOptions& options) {
+  E2DTC_CHECK_EQ(points.size(), labels.size());
+  E2DTC_CHECK(!options.palette.empty());
+
+  double min_x = 0.0, max_x = 1.0, min_y = 0.0, max_y = 1.0;
+  if (!points.empty()) {
+    min_x = max_x = points[0][0];
+    min_y = max_y = points[0][1];
+    for (const auto& p : points) {
+      min_x = std::min(min_x, p[0]);
+      max_x = std::max(max_x, p[0]);
+      min_y = std::min(min_y, p[1]);
+      max_y = std::max(max_y, p[1]);
+    }
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const double margin = 0.05;
+  const double plot_w = options.width * (1.0 - 2.0 * margin);
+  const double plot_h = options.height * (1.0 - 2.0 * margin);
+
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+      "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+      options.width, options.height, options.width, options.height);
+  svg += StrFormat(
+      "  <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+      options.width, options.height);
+  if (!options.title.empty()) {
+    svg += StrFormat(
+        "  <text x=\"%d\" y=\"18\" font-family=\"sans-serif\" "
+        "font-size=\"14\" text-anchor=\"middle\">%s</text>\n",
+        options.width / 2, options.title.c_str());
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double px = options.width * margin +
+                      (points[i][0] - min_x) / span_x * plot_w;
+    // SVG y grows downward; flip so larger y plots higher.
+    const double py = options.height * margin +
+                      (1.0 - (points[i][1] - min_y) / span_y) * plot_h;
+    const int label = labels[i];
+    const std::string color =
+        label < 0 ? "#999999"
+                  : options.palette[static_cast<size_t>(label) %
+                                    options.palette.size()];
+    svg += StrFormat(
+        "  <circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\" "
+        "fill-opacity=\"0.75\"/>\n",
+        px, py, options.point_radius, color.c_str());
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+Status WriteScatterSvg(const std::string& path,
+                       const std::vector<std::array<double, 2>>& points,
+                       const std::vector<int>& labels,
+                       const ScatterOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << RenderScatterSvg(points, labels, options);
+  out.close();
+  if (out.fail()) return Status::IOError("svg write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace e2dtc::viz

@@ -1,0 +1,40 @@
+#ifndef E2DTC_VIZ_SVG_H_
+#define E2DTC_VIZ_SVG_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace e2dtc::viz {
+
+/// Options for SVG scatter plots.
+struct ScatterOptions {
+  int width = 640;
+  int height = 640;
+  double point_radius = 3.0;
+  std::string title;
+  /// 10-color categorical palette; labels index into it modulo size.
+  std::vector<std::string> palette{
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b4", "#59a14f",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+};
+
+/// Renders labeled 2-D points (e.g. a t-SNE or PCA projection) as an SVG
+/// scatter plot — the harness's way of actually producing the paper's
+/// Fig. 4/5 panels, not just their coordinates. Axes are auto-scaled with a
+/// 5% margin; label -1 (noise) renders gray.
+std::string RenderScatterSvg(
+    const std::vector<std::array<double, 2>>& points,
+    const std::vector<int>& labels, const ScatterOptions& options = {});
+
+/// Renders and writes the plot to `path`.
+Status WriteScatterSvg(const std::string& path,
+                       const std::vector<std::array<double, 2>>& points,
+                       const std::vector<int>& labels,
+                       const ScatterOptions& options = {});
+
+}  // namespace e2dtc::viz
+
+#endif  // E2DTC_VIZ_SVG_H_

@@ -1,0 +1,217 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace e2dtc::viz {
+
+namespace {
+
+/// Binary-searches each row's Gaussian bandwidth to hit the target
+/// perplexity, then fills row i of the conditional distribution P(j|i).
+void RowConditional(const std::vector<double>& d2, int n, int i,
+                    double perplexity, std::vector<double>* p_row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0, beta_max = 1e30;
+  bool has_min = false, has_max = false;
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        (*p_row)[static_cast<size_t>(j)] = 0.0;
+        continue;
+      }
+      const double pij = std::exp(-beta * d2[static_cast<size_t>(j)]);
+      (*p_row)[static_cast<size_t>(j)] = pij;
+      sum += pij;
+      weighted += pij * d2[static_cast<size_t>(j)];
+    }
+    if (sum <= 0.0) {
+      // All mass collapsed: soften.
+      beta_max = beta;
+      has_max = true;
+      beta = has_min ? (beta + beta_min) / 2.0 : beta / 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {  // entropy too high -> sharpen
+      beta_min = beta;
+      has_min = true;
+      beta = has_max ? (beta + beta_max) / 2.0 : beta * 2.0;
+    } else {
+      beta_max = beta;
+      has_max = true;
+      beta = has_min ? (beta + beta_min) / 2.0 : beta / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) sum += (*p_row)[static_cast<size_t>(j)];
+  const double inv = sum > 0.0 ? 1.0 / sum : 0.0;
+  for (int j = 0; j < n; ++j) (*p_row)[static_cast<size_t>(j)] *= inv;
+}
+
+Result<TsneResult> RunTsneOnSquaredDistances(std::vector<double> d2, int n,
+                                             const TsneConfig& cfg) {
+  if (n < 3) return Status::InvalidArgument("t-SNE needs >= 3 points");
+  if (cfg.perplexity <= 1.0 || cfg.perplexity >= n) {
+    return Status::InvalidArgument("perplexity must be in (1, n)");
+  }
+
+  // Symmetric joint P, with the early-exaggeration factor applied later.
+  std::vector<double> p(static_cast<size_t>(n) * n, 0.0);
+  {
+    std::vector<double> row_d2(static_cast<size_t>(n));
+    std::vector<double> p_row(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        row_d2[static_cast<size_t>(j)] =
+            d2[static_cast<size_t>(i) * n + j];
+      }
+      RowConditional(row_d2, n, i, cfg.perplexity, &p_row);
+      for (int j = 0; j < n; ++j) {
+        p[static_cast<size_t>(i) * n + j] = p_row[static_cast<size_t>(j)];
+      }
+    }
+    // Symmetrize: p_ij = (p_j|i + p_i|j) / 2n, floored for stability.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double v = (p[static_cast<size_t>(i) * n + j] +
+                          p[static_cast<size_t>(j) * n + i]) /
+                         (2.0 * n);
+        p[static_cast<size_t>(i) * n + j] = std::max(v, 1e-12);
+        p[static_cast<size_t>(j) * n + i] = std::max(v, 1e-12);
+      }
+    }
+  }
+
+  Rng rng(cfg.seed);
+  std::vector<std::array<double, 2>> y(static_cast<size_t>(n));
+  for (auto& pt : y) {
+    pt[0] = rng.Gaussian(0.0, 1e-4);
+    pt[1] = rng.Gaussian(0.0, 1e-4);
+  }
+  std::vector<std::array<double, 2>> vel(static_cast<size_t>(n), {0.0, 0.0});
+  std::vector<std::array<double, 2>> grad(static_cast<size_t>(n));
+  std::vector<double> q(static_cast<size_t>(n) * n);
+
+  TsneResult result;
+  for (int iter = 0; iter < cfg.max_iters; ++iter) {
+    const double exag =
+        iter < cfg.exaggeration_iters ? cfg.early_exaggeration : 1.0;
+    const double momentum = iter < cfg.momentum_switch_iter
+                                ? cfg.initial_momentum
+                                : cfg.final_momentum;
+
+    // Low-dimensional affinities (Student-t kernel).
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dx = y[static_cast<size_t>(i)][0] -
+                          y[static_cast<size_t>(j)][0];
+        const double dy = y[static_cast<size_t>(i)][1] -
+                          y[static_cast<size_t>(j)][1];
+        const double num = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[static_cast<size_t>(i) * n + j] = num;
+        q[static_cast<size_t>(j) * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+      q[static_cast<size_t>(i) * n + i] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    // Gradient: 4 * sum_j (exag*p_ij - q_ij) * num_ij * (y_i - y_j).
+    double kl = 0.0;
+    for (int i = 0; i < n; ++i) {
+      grad[static_cast<size_t>(i)] = {0.0, 0.0};
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double num = q[static_cast<size_t>(i) * n + j];
+        const double qij = std::max(num / q_sum, 1e-12);
+        const double pij = p[static_cast<size_t>(i) * n + j];
+        const double mult = (exag * pij - qij) * num;
+        grad[static_cast<size_t>(i)][0] +=
+            4.0 * mult *
+            (y[static_cast<size_t>(i)][0] - y[static_cast<size_t>(j)][0]);
+        grad[static_cast<size_t>(i)][1] +=
+            4.0 * mult *
+            (y[static_cast<size_t>(i)][1] - y[static_cast<size_t>(j)][1]);
+        if (iter == cfg.max_iters - 1 && pij > 0.0) {
+          kl += pij * std::log(pij / qij);
+        }
+      }
+    }
+    result.final_kl = kl;
+
+    // Momentum update + recenter.
+    double cx = 0.0, cy = 0.0;
+    for (int i = 0; i < n; ++i) {
+      vel[static_cast<size_t>(i)][0] =
+          momentum * vel[static_cast<size_t>(i)][0] -
+          cfg.learning_rate * grad[static_cast<size_t>(i)][0];
+      vel[static_cast<size_t>(i)][1] =
+          momentum * vel[static_cast<size_t>(i)][1] -
+          cfg.learning_rate * grad[static_cast<size_t>(i)][1];
+      y[static_cast<size_t>(i)][0] += vel[static_cast<size_t>(i)][0];
+      y[static_cast<size_t>(i)][1] += vel[static_cast<size_t>(i)][1];
+      cx += y[static_cast<size_t>(i)][0];
+      cy += y[static_cast<size_t>(i)][1];
+    }
+    cx /= n;
+    cy /= n;
+    for (int i = 0; i < n; ++i) {
+      y[static_cast<size_t>(i)][0] -= cx;
+      y[static_cast<size_t>(i)][1] -= cy;
+    }
+  }
+  result.points = std::move(y);
+  return result;
+}
+
+}  // namespace
+
+Result<TsneResult> RunTsne(const std::vector<std::vector<float>>& features,
+                           const TsneConfig& config) {
+  const int n = static_cast<int>(features.size());
+  if (n < 3) return Status::InvalidArgument("t-SNE needs >= 3 points");
+  const size_t dim = features[0].size();
+  for (const auto& f : features) {
+    if (f.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  std::vector<double> d2(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff =
+            static_cast<double>(features[static_cast<size_t>(i)][d]) -
+            features[static_cast<size_t>(j)][d];
+        s += diff * diff;
+      }
+      d2[static_cast<size_t>(i) * n + j] = s;
+      d2[static_cast<size_t>(j) * n + i] = s;
+    }
+  }
+  return RunTsneOnSquaredDistances(std::move(d2), n, config);
+}
+
+Result<TsneResult> RunTsneFromDistances(const std::vector<double>& distances,
+                                        int n, const TsneConfig& config) {
+  if (static_cast<int64_t>(distances.size()) !=
+      static_cast<int64_t>(n) * n) {
+    return Status::InvalidArgument("distance matrix size mismatch");
+  }
+  std::vector<double> d2(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) {
+    d2[i] = distances[i] * distances[i];
+  }
+  return RunTsneOnSquaredDistances(std::move(d2), n, config);
+}
+
+}  // namespace e2dtc::viz

@@ -1,0 +1,45 @@
+#ifndef E2DTC_VIZ_TSNE_H_
+#define E2DTC_VIZ_TSNE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace e2dtc::viz {
+
+/// Exact t-SNE (van der Maaten & Hinton, JMLR'08) used for the paper's
+/// Fig. 4 / Fig. 5 embedding-space visualizations. O(n^2) per iteration —
+/// intended for the paper's 1000-sample panels, not full corpora.
+struct TsneConfig {
+  double perplexity = 30.0;
+  int max_iters = 400;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iters = 100;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 150;
+  uint64_t seed = 42;
+};
+
+/// 2-D embedding, one row per input point.
+struct TsneResult {
+  std::vector<std::array<double, 2>> points;
+  double final_kl = 0.0;  ///< KL(P || Q) at the last iteration.
+};
+
+/// Runs t-SNE on feature vectors (pairwise squared Euclidean affinities).
+Result<TsneResult> RunTsne(const std::vector<std::vector<float>>& features,
+                           const TsneConfig& config);
+
+/// Runs t-SNE on a precomputed symmetric distance matrix (row-major n*n).
+/// This is how the classic-metric panels of Fig. 4 are produced: the metric
+/// defines the affinities directly, no feature vectors needed.
+Result<TsneResult> RunTsneFromDistances(const std::vector<double>& distances,
+                                        int n, const TsneConfig& config);
+
+}  // namespace e2dtc::viz
+
+#endif  // E2DTC_VIZ_TSNE_H_

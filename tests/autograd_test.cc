@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+namespace {
+
+using ::e2dtc::testing::GradCheck;
+using ::e2dtc::testing::RandomTensor;
+
+constexpr double kTol = 2e-2;  // float32 central differences
+
+TEST(AutogradTest, LeafProperties) {
+  Var leaf = Var::Leaf(Tensor(2, 2, 1.0f), true, "w");
+  EXPECT_TRUE(leaf.requires_grad());
+  EXPECT_EQ(leaf.node()->name, "w");
+  Var c = Var::Constant(Tensor(2, 2));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Var x = Var::Leaf(Tensor(1, 1, {3.0f}), true);
+  Var d = x.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.value().scalar(), 3.0f);
+}
+
+TEST(AutogradTest, SumBackwardIsOnes) {
+  Var x = Var::Leaf(Tensor(2, 3, 2.0f), true);
+  Backward(Sum(x));
+  for (int64_t i = 0; i < x.grad().size(); ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 1.0f);
+  }
+}
+
+TEST(AutogradTest, MeanBackwardIsUniform) {
+  Var x = Var::Leaf(Tensor(2, 2, 1.0f), true);
+  Backward(Mean(x));
+  for (int64_t i = 0; i < x.grad().size(); ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 0.25f);
+  }
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  // loss = sum(x) + sum(x) -> dx = 2.
+  Var x = Var::Leaf(Tensor(1, 2, 1.0f), true);
+  Backward(Add(Sum(x), Sum(x)));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, BackwardTwiceAccumulates) {
+  Var x = Var::Leaf(Tensor(1, 1, {1.0f}), true);
+  Var loss = Sum(x);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 1.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 2.0f);  // accumulation semantics
+  x.node()->ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 0.0f);
+}
+
+TEST(AutogradTest, NoGradIntoConstants) {
+  Var x = Var::Leaf(Tensor(2, 2, 1.0f), true);
+  Var c = Var::Constant(Tensor(2, 2, 3.0f));
+  Backward(Sum(Mul(x, c)));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 3.0f);
+  EXPECT_TRUE(c.grad().empty());  // never sized
+}
+
+// ---- finite-difference checks per op ----
+
+TEST(GradCheckTest, Matmul) {
+  Rng rng(1);
+  Var a = Var::Leaf(RandomTensor(3, 4, &rng), true);
+  Tensor b_val = RandomTensor(4, 2, &rng);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Matmul(x, Var::Constant(b_val)));
+                      }),
+            kTol);
+  Var b = Var::Leaf(b_val, true);
+  Tensor a_val = RandomTensor(3, 4, &rng);
+  EXPECT_LT(GradCheck(b,
+                      [&](const Var& x) {
+                        return Sum(Matmul(Var::Constant(a_val), x));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, Transpose) {
+  Rng rng(2);
+  Var a = Var::Leaf(RandomTensor(3, 5, &rng), true);
+  Tensor w = RandomTensor(3, 5, &rng);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Mul(Transpose(x),
+                                       Var::Constant(w.Transposed())));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, AddSubSameShape) {
+  Rng rng(3);
+  Tensor other = RandomTensor(2, 3, &rng);
+  Var a = Var::Leaf(RandomTensor(2, 3, &rng), true);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Square(Add(x, Var::Constant(other))));
+                      }),
+            kTol);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Square(Sub(x, Var::Constant(other))));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, RowBroadcastAddIntoBias) {
+  Rng rng(4);
+  Tensor big = RandomTensor(4, 3, &rng);
+  Var bias = Var::Leaf(RandomTensor(1, 3, &rng), true);
+  EXPECT_LT(GradCheck(bias,
+                      [&](const Var& b) {
+                        return Sum(Square(Add(Var::Constant(big), b)));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, ColBroadcastMul) {
+  Rng rng(5);
+  Tensor big = RandomTensor(4, 3, &rng);
+  Var mask = Var::Leaf(RandomTensor(4, 1, &rng), true);
+  EXPECT_LT(GradCheck(mask,
+                      [&](const Var& m) {
+                        return Sum(Square(Mul(Var::Constant(big), m)));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, MulAndDivElementwise) {
+  Rng rng(6);
+  Tensor other = RandomTensor(3, 3, &rng);
+  // Keep divisor away from zero.
+  for (int64_t i = 0; i < other.size(); ++i) {
+    other.data()[i] = 1.5f + std::abs(other.data()[i]);
+  }
+  Var a = Var::Leaf(RandomTensor(3, 3, &rng), true);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Mul(x, Var::Constant(other)));
+                      }),
+            kTol);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(Div(x, Var::Constant(other)));
+                      }),
+            kTol);
+  // Gradient w.r.t. the divisor.
+  Var b = Var::Leaf(other, true);
+  Tensor numer = RandomTensor(3, 3, &rng);
+  EXPECT_LT(GradCheck(b,
+                      [&](const Var& x) {
+                        return Sum(Div(Var::Constant(numer), x));
+                      }),
+            kTol);
+}
+
+TEST(GradCheckTest, DivByColumnBroadcast) {
+  Rng rng(7);
+  Tensor numer = RandomTensor(4, 3, &rng);
+  Tensor denom_init(4, 1);
+  for (int i = 0; i < 4; ++i) denom_init.at(i, 0) = 2.0f + 0.3f * i;
+  Var denom = Var::Leaf(denom_init, true);
+  EXPECT_LT(GradCheck(denom,
+                      [&](const Var& d) {
+                        return Sum(Div(Var::Constant(numer), d));
+                      }),
+            kTol);
+}
+
+struct UnaryCase {
+  const char* name;
+  Var (*op)(const Var&);
+  float offset;  // shift inputs into the op's safe domain
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesFiniteDifference) {
+  const UnaryCase& c = GetParam();
+  Rng rng(11);
+  Tensor init = RandomTensor(3, 4, &rng, 0.5f);
+  for (int64_t i = 0; i < init.size(); ++i) init.data()[i] += c.offset;
+  Var x = Var::Leaf(init, true);
+  EXPECT_LT(GradCheck(x, [&](const Var& v) { return Sum(c.op(v)); }), kTol)
+      << c.name;
+}
+
+Var OpExp(const Var& v) { return Exp(v); }
+Var OpLog(const Var& v) { return Log(v); }
+Var OpSigmoid(const Var& v) { return Sigmoid(v); }
+Var OpTanh(const Var& v) { return Tanh(v); }
+Var OpSquare(const Var& v) { return Square(v); }
+Var OpReciprocal(const Var& v) { return Reciprocal(v); }
+Var OpSqrt(const Var& v) { return Sqrt(v); }
+Var OpNeg(const Var& v) { return Neg(v); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, UnaryGradTest,
+    ::testing::Values(UnaryCase{"exp", OpExp, 0.0f},
+                      UnaryCase{"log", OpLog, 3.0f},
+                      UnaryCase{"sigmoid", OpSigmoid, 0.0f},
+                      UnaryCase{"tanh", OpTanh, 0.0f},
+                      UnaryCase{"square", OpSquare, 0.0f},
+                      UnaryCase{"reciprocal", OpReciprocal, 3.0f},
+                      UnaryCase{"sqrt", OpSqrt, 3.0f},
+                      UnaryCase{"neg", OpNeg, 0.0f}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckTest, ReluSubgradientAwayFromKink) {
+  Tensor init(2, 2, {1.0f, -1.0f, 2.0f, -0.5f});
+  Var x = Var::Leaf(init, true);
+  Backward(Sum(Relu(x)));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1, 1), 0.0f);
+}
+
+TEST(GradCheckTest, AddMulScalar) {
+  Rng rng(13);
+  Var x = Var::Leaf(RandomTensor(2, 3, &rng), true);
+  EXPECT_LT(GradCheck(
+                x, [](const Var& v) { return Sum(AddScalar(v, 2.5f)); }),
+            kTol);
+  EXPECT_LT(GradCheck(
+                x, [](const Var& v) { return Sum(MulScalar(v, -1.5f)); }),
+            kTol);
+}
+
+TEST(GradCheckTest, RowSum) {
+  Rng rng(14);
+  Var x = Var::Leaf(RandomTensor(3, 5, &rng), true);
+  EXPECT_LT(GradCheck(x, [](const Var& v) { return Sum(Square(RowSum(v))); }),
+            kTol);
+}
+
+TEST(GradCheckTest, SliceCols) {
+  Rng rng(15);
+  Var x = Var::Leaf(RandomTensor(3, 6, &rng), true);
+  EXPECT_LT(GradCheck(
+                x,
+                [](const Var& v) { return Sum(Square(SliceCols(v, 2, 3))); }),
+            kTol);
+}
+
+TEST(AutogradTest, SliceColsValuesAndUntouchedGrad) {
+  Tensor init(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  Var x = Var::Leaf(init, true);
+  Var s = SliceCols(x, 1, 2);
+  EXPECT_FLOAT_EQ(s.value().at(0, 0), 2);
+  EXPECT_FLOAT_EQ(s.value().at(1, 1), 7);
+  Backward(Sum(s));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 0.0f);  // outside the slice
+  EXPECT_FLOAT_EQ(x.grad().at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1, 3), 0.0f);
+}
+
+TEST(GradCheckTest, ConcatRows) {
+  Rng rng(16);
+  Var a = Var::Leaf(RandomTensor(2, 3, &rng), true);
+  Tensor b = RandomTensor(3, 3, &rng);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return Sum(
+                            Square(ConcatRows({x, Var::Constant(b)})));
+                      }),
+            kTol);
+}
+
+TEST(AutogradTest, ConcatRowsStacksInOrder) {
+  Var a = Var::Constant(Tensor(1, 2, {1, 2}));
+  Var b = Var::Constant(Tensor(2, 2, {3, 4, 5, 6}));
+  Var c = ConcatRows({a, b});
+  ASSERT_EQ(c.rows(), 3);
+  EXPECT_FLOAT_EQ(c.value().at(0, 1), 2);
+  EXPECT_FLOAT_EQ(c.value().at(2, 0), 5);
+}
+
+TEST(AutogradTest, GatherRowsForwardAndScatterBackward) {
+  Tensor table_init(3, 2, {1, 2, 3, 4, 5, 6});
+  Var table = Var::Leaf(table_init, true);
+  Var g = GatherRows(table, {2, 0, 2});
+  ASSERT_EQ(g.rows(), 3);
+  EXPECT_FLOAT_EQ(g.value().at(0, 0), 5);
+  EXPECT_FLOAT_EQ(g.value().at(1, 1), 2);
+  Backward(Sum(g));
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(1, 0), 0.0f);  // never gathered
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 2.0f);  // gathered twice
+}
+
+TEST(GradCheckTest, GatherRows) {
+  Rng rng(17);
+  Var table = Var::Leaf(RandomTensor(5, 3, &rng), true);
+  EXPECT_LT(GradCheck(table,
+                      [](const Var& t) {
+                        return Sum(Square(GatherRows(t, {0, 4, 2, 4})));
+                      }),
+            kTol);
+}
+
+TEST(AutogradTest, DropoutZeroRateIsIdentity) {
+  Rng rng(18);
+  Var x = Var::Leaf(Tensor(2, 2, 1.0f), true);
+  Var y = Dropout(x, 0.0f, &rng);
+  EXPECT_EQ(y.node().get(), x.node().get());
+}
+
+TEST(AutogradTest, DropoutPreservesExpectation) {
+  Rng rng(19);
+  Var x = Var::Constant(Tensor(100, 100, 1.0f));
+  Var y = Dropout(x, 0.3f, &rng);
+  // Inverted dropout: E[y] == E[x]. Mean over 10k entries is tight.
+  EXPECT_NEAR(y.value().Sum() / 1e4, 1.0, 0.05);
+}
+
+TEST(AutogradTest, SoftmaxRowsSumToOne) {
+  Rng rng(20);
+  Var x = Var::Constant(RandomTensor(4, 6, &rng, 3.0f));
+  Var y = SoftmaxRows(x);
+  for (int i = 0; i < 4; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 6; ++j) {
+      s += y.value().at(i, j);
+      EXPECT_GT(y.value().at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  Rng rng(21);
+  Tensor w = RandomTensor(3, 4, &rng);
+  Var x = Var::Leaf(RandomTensor(3, 4, &rng), true);
+  // Larger step: softmax gradients are tiny, so float32 round-off dominates
+  // at the default eps.
+  EXPECT_LT(GradCheck(
+                x,
+                [&](const Var& v) {
+                  return Sum(Mul(SoftmaxRows(v), Var::Constant(w)));
+                },
+                /*eps=*/5e-3f),
+            kTol);
+}
+
+TEST(GradCheckTest, DeepComposition) {
+  // A small MLP-like chain exercises the topo sort across shared nodes.
+  Rng rng(22);
+  Tensor w1 = RandomTensor(4, 5, &rng);
+  Tensor w2 = RandomTensor(5, 2, &rng);
+  Var x = Var::Leaf(RandomTensor(3, 4, &rng), true);
+  auto net = [&](const Var& v) {
+    Var h = Tanh(Matmul(v, Var::Constant(w1)));
+    Var o = Sigmoid(Matmul(h, Var::Constant(w2)));
+    return Mean(Square(o));
+  };
+  EXPECT_LT(GradCheck(x, net), kTol);
+}
+
+TEST(AutogradTest, LongChainDoesNotOverflowStack) {
+  // 2000 chained ops — the iterative topo sort must handle this.
+  Var x = Var::Leaf(Tensor(1, 1, {0.5f}), true);
+  Var y = x;
+  for (int i = 0; i < 2000; ++i) y = AddScalar(y, 0.001f);
+  Backward(Sum(y));
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 1.0f);
+  EXPECT_NEAR(y.value().scalar(), 2.5f, 1e-3);
+}
+
+}  // namespace
+}  // namespace e2dtc::nn

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the e2dtc_cli workflow:
+# generate -> fit -> info -> assign -> eval. Run by ctest with the CLI
+# binary path as $1.
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+"${CLI}" generate --preset hangzhou --scale 0.2 --seed 5 \
+    --out "${WORK}/city.csv" | grep -q "wrote"
+
+"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/model.e2dtc" \
+    --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
+    | grep -q "saved model"
+
+"${CLI}" info --model "${WORK}/model.e2dtc" | grep -q "rnn: GRU"
+
+"${CLI}" assign --model "${WORK}/model.e2dtc" --data "${WORK}/city.csv" \
+    --out "${WORK}/labels.csv" | grep -q "assigned"
+
+# Eval must report all three headline metrics.
+EVAL_OUT="$("${CLI}" eval --data "${WORK}/city.csv" \
+    --labels "${WORK}/labels.csv")"
+echo "${EVAL_OUT}" | grep -q "UACC"
+echo "${EVAL_OUT}" | grep -q "NMI"
+echo "${EVAL_OUT}" | grep -q "RI"
+
+"${CLI}" export --data "${WORK}/city.csv" --labels "${WORK}/labels.csv" \
+    --out "${WORK}/trips.geojson" | grep -q "wrote"
+grep -q "FeatureCollection" "${WORK}/trips.geojson"
+
+# Unknown commands and missing flags fail loudly.
+if "${CLI}" bogus 2>/dev/null; then
+  echo "expected 'bogus' to fail" >&2
+  exit 1
+fi
+if "${CLI}" fit 2>/dev/null; then
+  echo "expected flagless fit to fail" >&2
+  exit 1
+fi
+
+echo "cli smoke ok"

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/hierarchical.h"
+#include "cluster/spectral.h"
+#include "metrics/clustering_metrics.h"
+#include "util/rng.h"
+
+namespace e2dtc::cluster {
+namespace {
+
+struct Blobs {
+  std::vector<std::vector<float>> points;
+  std::vector<int> labels;
+};
+
+Blobs GridBlobs(int k, int per_cluster, double spread, uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  for (int c = 0; c < k; ++c) {
+    const float cx = static_cast<float>(200.0 * (c % 2) - 100.0);
+    const float cy = static_cast<float>(200.0 * (c / 2) - 100.0);
+    for (int i = 0; i < per_cluster; ++i) {
+      blobs.points.push_back(
+          {cx + static_cast<float>(rng.Gaussian(0.0, spread)),
+           cy + static_cast<float>(rng.Gaussian(0.0, spread))});
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+DistanceFn EuclidOf(const std::vector<std::vector<float>>& pts) {
+  return [&pts](int i, int j) {
+    double s = 0.0;
+    for (size_t d = 0; d < pts[0].size(); ++d) {
+      const double diff = static_cast<double>(pts[static_cast<size_t>(i)][d]) -
+                          pts[static_cast<size_t>(j)][d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+}
+
+// --------------------------------------------------------- agglomerative --
+
+class LinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageTest, RecoversWellSeparatedBlobs) {
+  Blobs blobs = GridBlobs(4, 20, 3.0, 7);
+  AgglomerativeOptions opts;
+  opts.k = 4;
+  opts.linkage = GetParam();
+  auto r = AgglomerativeClustering(static_cast<int>(blobs.points.size()),
+                                   EuclidOf(blobs.points), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(metrics::AdjustedRandIndex(r->assignments, blobs.labels).value(),
+            0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage),
+                         [](const ::testing::TestParamInfo<Linkage>& info) {
+                           switch (info.param) {
+                             case Linkage::kSingle:
+                               return "Single";
+                             case Linkage::kComplete:
+                               return "Complete";
+                             case Linkage::kAverage:
+                               return "Average";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(AgglomerativeTest, DendrogramHasAllMerges) {
+  Blobs blobs = GridBlobs(2, 5, 2.0, 9);
+  AgglomerativeOptions opts;
+  opts.k = 1;
+  auto r = AgglomerativeClustering(10, EuclidOf(blobs.points), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->dendrogram.size(), 9u);  // n-1 merges down to one cluster
+  EXPECT_EQ(r->dendrogram.back().size, 10);
+  // With k=1 everything gets label 0.
+  for (int a : r->assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(AgglomerativeTest, MergeDistancesAreMonotoneForCompleteLinkage) {
+  // Complete (and average) linkage merges are monotone non-decreasing.
+  Blobs blobs = GridBlobs(3, 8, 4.0, 11);
+  AgglomerativeOptions opts;
+  opts.k = 1;
+  opts.linkage = Linkage::kComplete;
+  auto r = AgglomerativeClustering(static_cast<int>(blobs.points.size()),
+                                   EuclidOf(blobs.points), opts);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->dendrogram.size(); ++i) {
+    EXPECT_GE(r->dendrogram[i].distance,
+              r->dendrogram[i - 1].distance - 1e-9);
+  }
+}
+
+TEST(AgglomerativeTest, SingleLinkageChainsElongatedCluster) {
+  // A chain of close points plus a far blob: single linkage keeps the whole
+  // chain together where complete linkage splits it.
+  std::vector<std::vector<float>> pts;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({static_cast<float>(i * 2.0), 0.0f});  // chain, spacing 2
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({200.0f + (i % 5), 100.0f + (i / 5)});
+    labels.push_back(1);
+  }
+  AgglomerativeOptions opts;
+  opts.k = 2;
+  opts.linkage = Linkage::kSingle;
+  auto r = AgglomerativeClustering(static_cast<int>(pts.size()),
+                                   EuclidOf(pts), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(
+      metrics::AdjustedRandIndex(r->assignments, labels).value(), 1.0);
+}
+
+TEST(AgglomerativeTest, ValidatesInput) {
+  auto dist = [](int, int) { return 1.0; };
+  AgglomerativeOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(AgglomerativeClustering(3, dist, opts).ok());
+  opts.k = 5;
+  EXPECT_FALSE(AgglomerativeClustering(3, dist, opts).ok());
+}
+
+// ---------------------------------------------------------------- spectral --
+
+TEST(SpectralTest, RecoversGaussianBlobs) {
+  Blobs blobs = GridBlobs(3, 25, 3.0, 13);
+  SpectralOptions opts;
+  opts.k = 3;
+  auto r = SpectralClustering(static_cast<int>(blobs.points.size()),
+                              EuclidOf(blobs.points), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(metrics::AdjustedRandIndex(r->assignments, blobs.labels).value(),
+            0.95);
+  ASSERT_EQ(r->embedding.size(), blobs.points.size());
+  ASSERT_EQ(r->embedding[0].size(), 3u);
+}
+
+TEST(SpectralTest, SeparatesConcentricRingsWhereKMeansCannot) {
+  // The classic spectral-clustering showcase: two concentric rings.
+  Rng rng(15);
+  std::vector<std::vector<float>> pts;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    const double angle = 2.0 * M_PI * i / 60.0;
+    pts.push_back({static_cast<float>(10.0 * std::cos(angle)),
+                   static_cast<float>(10.0 * std::sin(angle))});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double angle = 2.0 * M_PI * i / 60.0;
+    pts.push_back({static_cast<float>(40.0 * std::cos(angle)),
+                   static_cast<float>(40.0 * std::sin(angle))});
+    labels.push_back(1);
+  }
+  SpectralOptions opts;
+  opts.k = 2;
+  opts.neighbors = 6;           // local graph so the rings disconnect
+  opts.bandwidth_quantile = 0.05;
+  auto spectral = SpectralClustering(static_cast<int>(pts.size()),
+                                     EuclidOf(pts), opts);
+  ASSERT_TRUE(spectral.ok());
+  const double spectral_ari =
+      metrics::AdjustedRandIndex(spectral->assignments, labels).value();
+  EXPECT_GT(spectral_ari, 0.95);
+
+  KMeansOptions km;
+  km.k = 2;
+  auto kmeans = KMeans(pts, km);
+  ASSERT_TRUE(kmeans.ok());
+  const double kmeans_ari =
+      metrics::AdjustedRandIndex(kmeans->assignments, labels).value();
+  EXPECT_LT(kmeans_ari, 0.5);  // k-means slices the rings radially
+}
+
+TEST(SpectralTest, WorksWithNonEuclideanDissimilarity) {
+  // A precomputed block dissimilarity: two groups, cheap within, dear across.
+  const int n = 20;
+  auto dist = [](int i, int j) {
+    if (i == j) return 0.0;
+    return (i < 10) == (j < 10) ? 1.0 : 10.0;
+  };
+  SpectralOptions opts;
+  opts.k = 2;
+  auto r = SpectralClustering(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> truth(20, 0);
+  for (int i = 10; i < 20; ++i) truth[static_cast<size_t>(i)] = 1;
+  EXPECT_DOUBLE_EQ(
+      metrics::AdjustedRandIndex(r->assignments, truth).value(), 1.0);
+}
+
+TEST(SpectralTest, ValidatesInput) {
+  auto dist = [](int, int) { return 1.0; };
+  SpectralOptions opts;
+  opts.k = 1;
+  EXPECT_FALSE(SpectralClustering(5, dist, opts).ok());
+  opts.k = 10;
+  EXPECT_FALSE(SpectralClustering(5, dist, opts).ok());
+  opts.k = 2;
+  opts.bandwidth_quantile = 0.0;
+  EXPECT_FALSE(SpectralClustering(5, dist, opts).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc::cluster

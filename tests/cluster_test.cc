@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/dbscan.h"
+#include "cluster/elbow.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "metrics/clustering_metrics.h"
+#include "util/rng.h"
+
+namespace e2dtc::cluster {
+namespace {
+
+/// Well-separated Gaussian blobs with known labels.
+struct Blobs {
+  FeatureMatrix points;
+  std::vector<int> labels;
+};
+
+Blobs MakeBlobs(int k, int per_cluster, double separation, double spread,
+                uint64_t seed, int dim = 2) {
+  Rng rng(seed);
+  Blobs blobs;
+  for (int c = 0; c < k; ++c) {
+    std::vector<float> center(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      center[static_cast<size_t>(d)] =
+          static_cast<float>(rng.Gaussian(0.0, separation));
+    }
+    for (int i = 0; i < per_cluster; ++i) {
+      std::vector<float> p(static_cast<size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        p[static_cast<size_t>(d)] = center[static_cast<size_t>(d)] +
+                                    static_cast<float>(rng.Gaussian(0.0,
+                                                                    spread));
+      }
+      blobs.points.push_back(std::move(p));
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+double Euclid(const std::vector<float>& a, const std::vector<float>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+// ---------------------------------------------------------------- KMeans --
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Blobs blobs = MakeBlobs(4, 30, 100.0, 1.0, 7);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto result = KMeans(blobs.points, opts);
+  ASSERT_TRUE(result.ok());
+  const double ari =
+      metrics::AdjustedRandIndex(result->assignments, blobs.labels).value();
+  EXPECT_GT(ari, 0.99);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Blobs blobs = MakeBlobs(3, 40, 50.0, 5.0, 9);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 5; ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    auto r = KMeans(blobs.points, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->inertia, prev + 1e-6);
+    prev = r->inertia;
+  }
+}
+
+TEST(KMeansTest, AssignmentsInRangeAndAllClustersUsed) {
+  Blobs blobs = MakeBlobs(3, 25, 80.0, 2.0, 11);
+  KMeansOptions opts;
+  opts.k = 3;
+  auto r = KMeans(blobs.points, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> counts(3, 0);
+  for (int a : r->assignments) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 3);
+    ++counts[static_cast<size_t>(a)];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(KMeansTest, ValidatesInput) {
+  FeatureMatrix pts{{1.0f, 2.0f}, {3.0f, 4.0f}};
+  KMeansOptions opts;
+  opts.k = 3;
+  EXPECT_FALSE(KMeans(pts, opts).ok());  // fewer points than k
+  opts.k = 0;
+  EXPECT_FALSE(KMeans(pts, opts).ok());
+  opts.k = 2;
+  FeatureMatrix ragged{{1.0f, 2.0f}, {3.0f}};
+  EXPECT_FALSE(KMeans(ragged, opts).ok());
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Blobs blobs = MakeBlobs(3, 20, 60.0, 3.0, 13);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 55;
+  auto a = KMeans(blobs.points, opts);
+  auto b = KMeans(blobs.points, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, KMeansFromHonorsProvidedCentroids) {
+  Blobs blobs = MakeBlobs(2, 20, 100.0, 1.0, 15);
+  // Start exactly at the blob centers: converges in one assignment pass.
+  FeatureMatrix init{blobs.points[0], blobs.points[20]};
+  KMeansOptions opts;
+  opts.k = 2;
+  auto r = KMeansFrom(blobs.points, init, opts);
+  ASSERT_TRUE(r.ok());
+  const double ari =
+      metrics::AdjustedRandIndex(r->assignments, blobs.labels).value();
+  EXPECT_GT(ari, 0.99);
+}
+
+TEST(KMeansTest, KMeansFromValidatesDimensions) {
+  FeatureMatrix pts{{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  FeatureMatrix bad_init{{1.0f}};
+  EXPECT_FALSE(KMeansFrom(pts, bad_init, {}).ok());
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  FeatureMatrix pts{{0.0f, 0.0f}, {2.0f, 0.0f}, {1.0f, 3.0f}};
+  KMeansOptions opts;
+  opts.k = 1;
+  auto r = KMeans(pts, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->centroids[0][0], 1.0f, 1e-5);
+  EXPECT_NEAR(r->centroids[0][1], 1.0f, 1e-5);
+}
+
+// -------------------------------------------------------------- KMedoids --
+
+TEST(KMedoidsTest, RecoversBlobsFromDistanceMatrix) {
+  Blobs blobs = MakeBlobs(3, 25, 100.0, 1.5, 17);
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions opts;
+  opts.k = 3;
+  auto r = KMedoids(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  const double ari =
+      metrics::AdjustedRandIndex(r->assignments, blobs.labels).value();
+  EXPECT_GT(ari, 0.99);
+}
+
+TEST(KMedoidsTest, MedoidsAreClusterMembers) {
+  Blobs blobs = MakeBlobs(3, 15, 80.0, 2.0, 19);
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions opts;
+  opts.k = 3;
+  auto r = KMedoids(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->medoids.size(), 3u);
+  for (size_t j = 0; j < 3; ++j) {
+    const int m = r->medoids[j];
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, n);
+    EXPECT_EQ(r->assignments[static_cast<size_t>(m)], static_cast<int>(j));
+  }
+}
+
+TEST(KMedoidsTest, CostIsSumOfAssignedDistances) {
+  Blobs blobs = MakeBlobs(2, 10, 60.0, 2.0, 21);
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  KMedoidsOptions opts;
+  opts.k = 2;
+  auto r = KMedoids(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  double expected = 0.0;
+  for (int i = 0; i < n; ++i) {
+    expected += dist(i, r->medoids[static_cast<size_t>(
+                            r->assignments[static_cast<size_t>(i)])]);
+  }
+  EXPECT_NEAR(r->total_cost, expected, 1e-6);
+}
+
+TEST(KMedoidsTest, ValidatesInput) {
+  auto dist = [](int, int) { return 1.0; };
+  KMedoidsOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(KMedoids(5, dist, opts).ok());
+  opts.k = 10;
+  EXPECT_FALSE(KMedoids(5, dist, opts).ok());
+}
+
+// ---------------------------------------------------------------- DBSCAN --
+
+TEST(DbscanTest, FindsDenseBlobsAndNoise) {
+  Blobs blobs = MakeBlobs(2, 30, 200.0, 2.0, 23);
+  // Add two isolated noise points.
+  blobs.points.push_back({1000.0f, 1000.0f});
+  blobs.points.push_back({-1000.0f, -1000.0f});
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  DbscanOptions opts;
+  opts.eps = 10.0;
+  opts.min_pts = 4;
+  auto r = Dbscan(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 2);
+  EXPECT_EQ(r->assignments[static_cast<size_t>(n - 1)],
+            DbscanResult::kNoise);
+  EXPECT_EQ(r->assignments[static_cast<size_t>(n - 2)],
+            DbscanResult::kNoise);
+  // Blob members get consistent labels.
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_EQ(r->assignments[static_cast<size_t>(i)], r->assignments[0]);
+  }
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTiny) {
+  Blobs blobs = MakeBlobs(2, 10, 100.0, 5.0, 25);
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  DbscanOptions opts;
+  opts.eps = 1e-6;
+  opts.min_pts = 3;
+  auto r = Dbscan(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 0);
+}
+
+TEST(DbscanTest, SingleClusterWhenEpsHuge) {
+  Blobs blobs = MakeBlobs(2, 10, 100.0, 5.0, 27);
+  const int n = static_cast<int>(blobs.points.size());
+  auto dist = [&](int i, int j) {
+    return Euclid(blobs.points[static_cast<size_t>(i)],
+                  blobs.points[static_cast<size_t>(j)]);
+  };
+  DbscanOptions opts;
+  opts.eps = 1e9;
+  opts.min_pts = 3;
+  auto r = Dbscan(n, dist, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 1);
+}
+
+TEST(DbscanTest, ValidatesInput) {
+  auto dist = [](int, int) { return 1.0; };
+  DbscanOptions opts;
+  opts.eps = 0.0;
+  EXPECT_FALSE(Dbscan(3, dist, opts).ok());
+  opts.eps = 1.0;
+  opts.min_pts = 0;
+  EXPECT_FALSE(Dbscan(3, dist, opts).ok());
+}
+
+// ----------------------------------------------------------------- elbow --
+
+TEST(ElbowTest, FindsTrueKOnSeparatedBlobs) {
+  // Deterministic, guaranteed-separated centers (random Gaussian centers can
+  // collide and shift the knee).
+  Rng rng(29);
+  Blobs blobs;
+  const float centers[4][2] = {{-200, -200}, {-200, 200}, {200, -200},
+                               {200, 200}};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      blobs.points.push_back(
+          {centers[c][0] + static_cast<float>(rng.Gaussian(0.0, 2.0)),
+           centers[c][1] + static_cast<float>(rng.Gaussian(0.0, 2.0))});
+      blobs.labels.push_back(c);
+    }
+  }
+  KMeansOptions base;
+  base.seed = 3;
+  auto r = ElbowScan(blobs.points, 2, 9, base);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->best_k, 4);
+  ASSERT_EQ(r->curve.size(), 8u);
+  EXPECT_EQ(r->curve.front().k, 2);
+  EXPECT_EQ(r->curve.back().k, 9);
+}
+
+TEST(ElbowTest, KneeOfSyntheticCurve) {
+  // Steep drop until k=5, then flat: knee at 5.
+  std::vector<ElbowPoint> curve;
+  for (int k = 2; k <= 10; ++k) {
+    curve.push_back({k, k <= 5 ? 1000.0 / k : 1000.0 / 5 - (k - 5) * 2.0});
+  }
+  EXPECT_EQ(KneeOfCurve(curve).value(), 5);
+}
+
+TEST(ElbowTest, ValidatesInput) {
+  FeatureMatrix pts{{0.0f}, {1.0f}, {2.0f}};
+  EXPECT_FALSE(ElbowScan(pts, 0, 2, {}).ok());
+  EXPECT_FALSE(ElbowScan(pts, 3, 2, {}).ok());
+  EXPECT_FALSE(KneeOfCurve({{1, 1.0}, {2, 0.5}}).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc::cluster

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "core/pretrain.h"
+#include "core/seq2seq.h"
+#include "core/self_training.h"
+#include "core/triplet.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace e2dtc::core {
+namespace {
+
+ModelConfig TinyModel() {
+  ModelConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  cfg.knn_k = 3;
+  return cfg;
+}
+
+/// A KNN table over a tiny synthetic vocabulary: every token predicts
+/// itself with weight 0.8 and two fixed neighbors with 0.1 each.
+geo::Vocabulary::KnnTable TinyKnn(int vocab) {
+  geo::Vocabulary::KnnTable knn;
+  knn.k = 3;
+  knn.indices.resize(static_cast<size_t>(vocab) * 3);
+  knn.weights.resize(static_cast<size_t>(vocab) * 3);
+  for (int v = 0; v < vocab; ++v) {
+    knn.indices[static_cast<size_t>(v) * 3 + 0] = v;
+    knn.indices[static_cast<size_t>(v) * 3 + 1] = (v + 1) % vocab;
+    knn.indices[static_cast<size_t>(v) * 3 + 2] = (v + 2) % vocab;
+    knn.weights[static_cast<size_t>(v) * 3 + 0] = 0.8f;
+    knn.weights[static_cast<size_t>(v) * 3 + 1] = 0.1f;
+    knn.weights[static_cast<size_t>(v) * 3 + 2] = 0.1f;
+  }
+  return knn;
+}
+
+data::PaddedBatch MakeBatch(const std::vector<std::vector<int>>& seqs) {
+  std::vector<int> indices(seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) indices[i] = static_cast<int>(i);
+  return data::PadSequences(seqs, indices, geo::Vocabulary::kPad);
+}
+
+TEST(Seq2SeqTest, EncodeShapes) {
+  Rng rng(1);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6}, {7, 8}, {9}});
+  auto enc = model.Encode(batch, false, nullptr);
+  ASSERT_EQ(enc.state.layers.size(), 2u);
+  EXPECT_EQ(enc.state.TopH().rows(), 3);
+  EXPECT_EQ(enc.state.TopH().cols(), 8);
+  EXPECT_EQ(enc.embedding.rows(), 3);
+  EXPECT_EQ(enc.embedding.cols(), 8);
+}
+
+TEST(Seq2SeqTest, MeanPoolEmbeddingIsMeanOfTopHiddens) {
+  // With a length-1 sequence, the pooled embedding equals the (single)
+  // top-layer hidden, i.e. the final state.
+  Rng rng(21);
+  ModelConfig cfg = TinyModel();
+  cfg.mean_pool_embedding = true;
+  Seq2SeqModel model(12, cfg, &rng);
+  data::PaddedBatch batch = MakeBatch({{5}});
+  auto enc = model.Encode(batch, false, nullptr);
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_NEAR(enc.embedding.value().at(0, d),
+                enc.state.TopH().value().at(0, d), 1e-6);
+  }
+}
+
+TEST(Seq2SeqTest, FinalHiddenModeMatchesState) {
+  Rng rng(22);
+  ModelConfig cfg = TinyModel();
+  cfg.mean_pool_embedding = false;
+  Seq2SeqModel model(12, cfg, &rng);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6}, {7, 8}});
+  auto enc = model.Encode(batch, false, nullptr);
+  for (int r = 0; r < 2; ++r) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(enc.embedding.value().at(r, d),
+                      enc.state.TopH().value().at(r, d));
+    }
+  }
+}
+
+TEST(Seq2SeqTest, PaddingDoesNotChangeEmbedding) {
+  // Encoding a sequence alone vs. padded next to a longer one must agree.
+  Rng rng(2);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  data::PaddedBatch alone = MakeBatch({{4, 5}});
+  data::PaddedBatch padded = MakeBatch({{6, 7, 8, 9, 10}, {4, 5}});
+  nn::Tensor e_alone = model.EncodeInference(alone);
+  nn::Tensor e_padded = model.EncodeInference(padded);
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_NEAR(e_alone.at(0, d), e_padded.at(1, d), 1e-5);
+  }
+}
+
+TEST(Seq2SeqTest, EncodeIsDeterministicWithoutDropout) {
+  Rng rng(3);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6, 7}});
+  nn::Tensor a = model.EncodeInference(batch);
+  nn::Tensor b = model.EncodeInference(batch);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Seq2SeqTest, DifferentSequencesGetDifferentEmbeddings) {
+  Rng rng(4);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6}, {9, 10, 11}});
+  nn::Tensor e = model.EncodeInference(batch);
+  double diff = 0.0;
+  for (int d = 0; d < 8; ++d) diff += std::abs(e.at(0, d) - e.at(1, d));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Seq2SeqTest, DecodeLossCountsTargetsPlusEos) {
+  Rng rng(5);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  geo::Vocabulary::KnnTable knn = TinyKnn(12);
+  data::PaddedBatch src = MakeBatch({{4, 5}, {6}});
+  data::PaddedBatch tgt = MakeBatch({{4, 5, 6}, {7}});
+  auto enc = model.Encode(src, false, nullptr);
+  auto dec = model.DecodeLoss(enc.state, tgt, knn, false, nullptr);
+  // Row 0: 3 tokens + EOS; row 1: 1 token + EOS -> 6 scored positions.
+  EXPECT_EQ(dec.num_tokens, 6);
+  EXPECT_GT(dec.loss_sum.value().scalar(), 0.0f);
+}
+
+TEST(Seq2SeqTest, UntrainedLossIsNearUniform) {
+  // With random init the per-token loss should be near -sum_c w_c log(1/k)
+  // shifted by the weight entropy; just assert it is in a sane band.
+  Rng rng(6);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  geo::Vocabulary::KnnTable knn = TinyKnn(12);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6, 7}, {8, 9, 10, 11}});
+  auto enc = model.Encode(batch, false, nullptr);
+  auto dec = model.DecodeLoss(enc.state, batch, knn, false, nullptr);
+  const double per_token =
+      dec.loss_sum.value().scalar() / dec.num_tokens;
+  EXPECT_GT(per_token, 0.2);
+  EXPECT_LT(per_token, 2.5);
+}
+
+TEST(Seq2SeqTest, TrainingReducesReconstructionLoss) {
+  Rng rng(7);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  geo::Vocabulary::KnnTable knn = TinyKnn(12);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6}, {7, 8, 9}});
+  nn::Adam opt(model.Parameters(), 0.01f);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    opt.ZeroGrad();
+    auto enc = model.Encode(batch, true, &rng);
+    auto dec = model.DecodeLoss(enc.state, batch, knn, true, &rng);
+    nn::Var loss = nn::MulScalar(dec.loss_sum,
+                                 1.0f / static_cast<float>(dec.num_tokens));
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0f);
+    opt.Step();
+    if (step == 0) first = loss.value().scalar();
+    last = loss.value().scalar();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(Seq2SeqTest, GradientsReachAllParameters) {
+  Rng rng(8);
+  Seq2SeqModel model(12, TinyModel(), &rng);
+  geo::Vocabulary::KnnTable knn = TinyKnn(12);
+  data::PaddedBatch batch = MakeBatch({{4, 5, 6}, {7, 8, 9}});
+  auto enc = model.Encode(batch, false, nullptr);
+  auto dec = model.DecodeLoss(enc.state, batch, knn, false, nullptr);
+  nn::Backward(dec.loss_sum);
+  int with_grad = 0;
+  for (const auto& p : model.NamedParameters()) {
+    if (p.var.grad().SameShape(p.var.value()) &&
+        p.var.grad().SquaredNorm() > 0.0f) {
+      ++with_grad;
+    }
+  }
+  // Everything except possibly unused embedding rows should receive grads;
+  // at minimum every module must contribute some parameter.
+  EXPECT_GE(with_grad, static_cast<int>(model.NamedParameters().size()) - 2);
+}
+
+TEST(Seq2SeqTest, SortByLengthDescendingHelper) {
+  std::vector<std::vector<int>> seqs{{1}, {1, 2, 3}, {1, 2}};
+  std::vector<int> idx{0, 1, 2};
+  SortByLengthDescending(seqs, &idx);
+  EXPECT_EQ(idx, (std::vector<int>{1, 2, 0}));
+}
+
+// ----------------------------------------------------------- self-training --
+
+TEST(SelfTrainHelpersTest, HardAssignmentsArgmax) {
+  nn::Tensor q(2, 3, {0.1f, 0.7f, 0.2f, 0.5f, 0.2f, 0.3f});
+  EXPECT_EQ(HardAssignments(q), (std::vector<int>{1, 0}));
+}
+
+TEST(SelfTrainHelpersTest, ChangedFraction) {
+  EXPECT_DOUBLE_EQ(ChangedFraction({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(ChangedFraction({1, 2, 3}, {1, 0, 0}), 2.0 / 3.0);
+}
+
+TEST(TripletSamplerTest, PrefersDifferentCluster) {
+  Rng rng(9);
+  std::vector<int> assign{0, 0, 0, 1, 1, 1};
+  std::vector<int> neg = SampleNegativeRows(assign, &rng);
+  ASSERT_EQ(neg.size(), 6u);
+  int cross = 0;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(neg[static_cast<size_t>(i)], i);
+    cross += (assign[static_cast<size_t>(neg[static_cast<size_t>(i)])] !=
+              assign[static_cast<size_t>(i)]);
+  }
+  EXPECT_GE(cross, 5);  // near-always finds the other cluster
+}
+
+TEST(TripletSamplerTest, FallsBackWhenSingleCluster) {
+  Rng rng(10);
+  std::vector<int> assign{0, 0, 0, 0};
+  std::vector<int> neg = SampleNegativeRows(assign, &rng);
+  for (int i = 0; i < 4; ++i) EXPECT_NE(neg[static_cast<size_t>(i)], i);
+}
+
+// -------------------------------------------------------------- EncodeAll --
+
+TEST(EncodeAllTest, OrderIndependentOfBucketing) {
+  Rng rng(11);
+  ModelConfig mc = TinyModel();
+  // Build a tiny real vocabulary from a synthetic line corpus.
+  std::vector<geo::Trajectory> trajs;
+  geo::LocalProjection proj(120.0, 30.0);
+  Rng gen(12);
+  for (int i = 0; i < 12; ++i) {
+    geo::Trajectory t;
+    t.id = i;
+    const int len = 5 + static_cast<int>(gen.UniformU64(10));
+    double x = gen.Uniform(0, 5000), y = gen.Uniform(0, 5000);
+    for (int p = 0; p < len; ++p) {
+      t.points.push_back(proj.Unproject(geo::XY{x, y}, p * 5.0));
+      x += gen.Uniform(0, 400);
+      y += gen.Uniform(0, 400);
+    }
+    trajs.push_back(std::move(t));
+  }
+  geo::BoundingBox box = geo::ComputeBoundingBox(trajs, 1e-3);
+  geo::Grid grid = geo::Grid::Create(box, 300.0).value();
+  geo::Vocabulary vocab = geo::Vocabulary::Build(grid, trajs);
+  Seq2SeqModel model(vocab.size(), mc, &rng);
+
+  nn::Tensor batched = EncodeAll(model, vocab, trajs, 4, true);
+  nn::Tensor one_by_one(static_cast<int>(trajs.size()), mc.hidden_size);
+  for (size_t i = 0; i < trajs.size(); ++i) {
+    nn::Tensor e = EncodeAll(model, vocab, {trajs[i]}, 1, true);
+    std::copy(e.row(0), e.row(0) + e.cols(),
+              one_by_one.row(static_cast<int>(i)));
+  }
+  for (int64_t i = 0; i < batched.size(); ++i) {
+    EXPECT_NEAR(batched.data()[i], one_by_one.data()[i], 1e-5);
+  }
+}
+
+TEST(TensorRowsTest, ConvertsRowMajor) {
+  nn::Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  auto rows = TensorRows(t);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(rows[1], (std::vector<float>{4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace e2dtc::core
+
+namespace e2dtc::core {
+namespace {
+
+ModelConfig BidirModel() {
+  ModelConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  cfg.knn_k = 3;
+  cfg.bidirectional_encoder = true;
+  return cfg;
+}
+
+data::PaddedBatch MakeBatch2(const std::vector<std::vector<int>>& seqs) {
+  std::vector<int> indices(seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) indices[i] = static_cast<int>(i);
+  return data::PadSequences(seqs, indices, geo::Vocabulary::kPad);
+}
+
+TEST(BidirectionalTest, HasTwoEncoderStacks) {
+  Rng rng(31);
+  Seq2SeqModel uni(12, [] {
+    ModelConfig c = BidirModel();
+    c.bidirectional_encoder = false;
+    return c;
+  }(), &rng);
+  Rng rng2(31);
+  Seq2SeqModel bi(12, BidirModel(), &rng2);
+  EXPECT_GT(bi.ParameterCount(), uni.ParameterCount());
+  bool has_bw = false;
+  for (const auto& p : bi.NamedParameters()) {
+    if (p.name.rfind("encoder_bw.", 0) == 0) has_bw = true;
+  }
+  EXPECT_TRUE(has_bw);
+}
+
+TEST(BidirectionalTest, EmbeddingSeesTheSequenceStart) {
+  // With a unidirectional final-hidden embedding, two sequences differing
+  // only in their FIRST tokens can look similar; the backward pass ends at
+  // the first token, so a bidirectional embedding must differ strongly.
+  Rng rng(32);
+  Seq2SeqModel model(20, BidirModel(), &rng);
+  data::PaddedBatch batch =
+      MakeBatch2({{4, 10, 11, 12, 13}, {5, 10, 11, 12, 13}});
+  nn::Tensor emb = model.EncodeInference(batch);
+  double diff = 0.0;
+  for (int d = 0; d < 8; ++d) diff += std::abs(emb.at(0, d) - emb.at(1, d));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(BidirectionalTest, PaddingInvariance) {
+  Rng rng(33);
+  Seq2SeqModel model(12, BidirModel(), &rng);
+  data::PaddedBatch alone = MakeBatch2({{4, 5, 6}});
+  data::PaddedBatch padded = MakeBatch2({{7, 8, 9, 10, 11}, {4, 5, 6}});
+  nn::Tensor a = model.EncodeInference(alone);
+  nn::Tensor b = model.EncodeInference(padded);
+  for (int d = 0; d < 8; ++d) EXPECT_NEAR(a.at(0, d), b.at(1, d), 1e-5);
+}
+
+TEST(BidirectionalTest, TrainsAndDecodes) {
+  Rng rng(34);
+  Seq2SeqModel model(12, BidirModel(), &rng);
+  geo::Vocabulary::KnnTable knn;
+  knn.k = 3;
+  for (int v = 0; v < 12; ++v) {
+    knn.indices.insert(knn.indices.end(), {v, (v + 1) % 12, (v + 2) % 12});
+    knn.weights.insert(knn.weights.end(), {0.8f, 0.1f, 0.1f});
+  }
+  data::PaddedBatch batch = MakeBatch2({{4, 5, 6}, {7, 8, 9}});
+  nn::Sgd opt(model.Parameters(), 0.1f, 0.9f);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    opt.ZeroGrad();
+    auto enc = model.Encode(batch, true, &rng);
+    auto dec = model.DecodeLoss(enc.state, batch, knn, true, &rng);
+    nn::Var loss = nn::MulScalar(
+        dec.loss_sum, 1.0f / static_cast<float>(dec.num_tokens));
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0f);
+    opt.Step();
+    if (step == 0) first = loss.value().scalar();
+    last = loss.value().scalar();
+  }
+  EXPECT_LT(last, first * 0.9);
+}
+
+}  // namespace
+}  // namespace e2dtc::core

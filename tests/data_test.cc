@@ -1,0 +1,522 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "data/batching.h"
+#include "data/dataset.h"
+#include "data/geojson.h"
+#include "data/ground_truth.h"
+#include "data/io.h"
+#include "data/subsets.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace e2dtc::data {
+namespace {
+
+SyntheticCityConfig SmallCity(uint64_t seed = 5) {
+  SyntheticCityConfig cfg;
+  cfg.seed = seed;
+  cfg.num_pois = 4;
+  cfg.trajectories_per_poi = 12;
+  cfg.min_points = 10;
+  cfg.max_points = 20;
+  cfg.span_meters = 12000.0;
+  return cfg;
+}
+
+// -------------------------------------------------------------- synthetic --
+
+TEST(SyntheticTest, GeneratesRequestedPopulation) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 48);
+  EXPECT_EQ(ds->num_clusters, 4);
+  EXPECT_EQ(ds->poi_centers.size(), 4u);
+  for (const auto& t : ds->trajectories) {
+    EXPECT_GE(t.size(), 10);
+    EXPECT_LE(t.size(), 20);
+    EXPECT_GE(t.label, 0);
+    EXPECT_LT(t.label, 4);
+  }
+}
+
+TEST(SyntheticTest, IdsAreUnique) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  std::set<int64_t> ids;
+  for (const auto& t : ds->trajectories) ids.insert(t.id);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(ds->size()));
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  auto a = GenerateSyntheticCity(SmallCity(9));
+  auto b = GenerateSyntheticCity(SmallCity(9));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (int i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->trajectories[static_cast<size_t>(i)].points,
+              b->trajectories[static_cast<size_t>(i)].points);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto a = GenerateSyntheticCity(SmallCity(1));
+  auto b = GenerateSyntheticCity(SmallCity(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->trajectories[0].points, b->trajectories[0].points);
+}
+
+TEST(SyntheticTest, TimestampsStrictlyIncrease) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& t : ds->trajectories) {
+    for (size_t i = 1; i < t.points.size(); ++i) {
+      EXPECT_GT(t.points[i].t, t.points[i - 1].t);
+    }
+  }
+}
+
+TEST(SyntheticTest, TrajectoriesStayNearTheirPoi) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  // Every trajectory's mean position should be closest to its own POI more
+  // often than not (the anchored walk property that makes Algorithm 2 work).
+  int correct = 0;
+  for (const auto& t : ds->trajectories) {
+    geo::GeoPoint mean{0, 0, 0};
+    for (const auto& p : t.points) {
+      mean.lon += p.lon / t.size();
+      mean.lat += p.lat / t.size();
+    }
+    int best = 0;
+    for (int j = 1; j < ds->num_clusters; ++j) {
+      if (geo::HaversineMeters(mean,
+                               ds->poi_centers[static_cast<size_t>(j)]) <
+          geo::HaversineMeters(
+              mean, ds->poi_centers[static_cast<size_t>(best)])) {
+        best = j;
+      }
+    }
+    correct += (best == t.label);
+  }
+  EXPECT_GT(correct, ds->size() * 9 / 10);
+}
+
+TEST(SyntheticTest, ImbalanceDecayShrinksLaterClusters) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.imbalance_decay = 0.5;
+  auto ds = GenerateSyntheticCity(cfg);
+  ASSERT_TRUE(ds.ok());
+  DatasetStats stats = ComputeStats(*ds);
+  EXPECT_GT(stats.max_cluster_size, 2 * stats.min_cluster_size);
+}
+
+TEST(SyntheticTest, ValidatesConfig) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.num_pois = 1;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+  cfg = SmallCity();
+  cfg.trajectories_per_poi = 0;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+  cfg = SmallCity();
+  cfg.max_points = cfg.min_points - 1;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+  cfg = SmallCity();
+  cfg.imbalance_decay = 0.0;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+}
+
+TEST(SyntheticTest, CommuteTripsAreUnlabeledExtras) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.commute_fraction = 0.2;
+  auto with = GenerateSyntheticCity(cfg);
+  ASSERT_TRUE(with.ok());
+  cfg.commute_fraction = 0.0;
+  auto without = GenerateSyntheticCity(cfg);
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(with->size(), without->size());
+  int unlabeled = 0;
+  for (const auto& t : with->trajectories) unlabeled += (t.label < 0);
+  EXPECT_NEAR(unlabeled, without->size() / 5, 3);
+}
+
+TEST(SyntheticTest, AlgorithmTwoDropsMostCommutes) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.commute_fraction = 0.25;
+  auto ds = GenerateSyntheticCity(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto relabeled = RelabelDataset(*ds, GroundTruthConfig{});
+  ASSERT_TRUE(relabeled.ok());
+  // Commutes mostly fail the fallen-rate test; anchored walks mostly pass.
+  EXPECT_LT(relabeled->size(), ds->size());
+  EXPECT_GT(relabeled->size(), ds->size() * 6 / 10);
+}
+
+TEST(SyntheticTest, ValidatesCommuteFraction) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.commute_fraction = 1.0;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+  cfg.commute_fraction = -0.1;
+  EXPECT_FALSE(GenerateSyntheticCity(cfg).ok());
+}
+
+TEST(SyntheticTest, PresetsMatchPaperClusterCounts) {
+  EXPECT_EQ(GeoLifePreset().num_pois, 12);
+  EXPECT_EQ(PortoPreset().num_pois, 15);
+  EXPECT_EQ(HangzhouPreset().num_pois, 7);
+  EXPECT_DOUBLE_EQ(PortoPreset().sampling_period_s, 15.0);
+  EXPECT_DOUBLE_EQ(HangzhouPreset().sampling_period_s, 5.0);
+}
+
+TEST(SyntheticTest, PresetScaleMultipliesPopulation) {
+  auto small = GenerateSyntheticCity(HangzhouPreset(0.1));
+  auto large = GenerateSyntheticCity(HangzhouPreset(0.2));
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_NEAR(large->size(), 2 * small->size(), small->num_clusters);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(StatsTest, ComputeStatsBasics) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  DatasetStats s = ComputeStats(*ds);
+  EXPECT_EQ(s.num_trajectories, 48);
+  EXPECT_EQ(s.num_clusters, 4);
+  EXPECT_EQ(s.min_cluster_size, 12);
+  EXPECT_EQ(s.max_cluster_size, 12);
+  EXPECT_DOUBLE_EQ(s.avg_cluster_size, 12.0);
+  EXPECT_GE(s.avg_trajectory_length, 10.0);
+  EXPECT_LE(s.avg_trajectory_length, 20.0);
+  EXPECT_EQ(s.num_points, geo::TotalPoints(ds->trajectories));
+}
+
+TEST(StatsTest, LabelsExtraction) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  std::vector<int> labels = Labels(*ds);
+  ASSERT_EQ(labels.size(), static_cast<size_t>(ds->size()));
+  EXPECT_EQ(labels[0], ds->trajectories[0].label);
+}
+
+// ------------------------------------------------------------ ground truth --
+
+TEST(GroundTruthTest, FallenRateCountsInsidePoints) {
+  geo::Trajectory t;
+  const geo::LocalProjection proj(120.0, 30.0);
+  // 3 points at the center, 1 point 5 km away.
+  for (int i = 0; i < 3; ++i) {
+    t.points.push_back(proj.Unproject(geo::XY{0, 0}, i));
+  }
+  t.points.push_back(proj.Unproject(geo::XY{5000, 0}, 3));
+  const geo::GeoPoint center = proj.Unproject(geo::XY{0, 0});
+  EXPECT_DOUBLE_EQ(FallenRate(t, center, 100.0), 0.75);
+  EXPECT_DOUBLE_EQ(FallenRate(t, center, 6000.0), 1.0);
+  EXPECT_DOUBLE_EQ(FallenRate(geo::Trajectory{}, center, 100.0), 0.0);
+}
+
+TEST(GroundTruthTest, AssignsToFirstSatisfyingCluster) {
+  const geo::LocalProjection proj(120.0, 30.0);
+  std::vector<geo::GeoPoint> pois{proj.Unproject(geo::XY{0, 0}),
+                                  proj.Unproject(geo::XY{10000, 0})};
+  // radius = 10 km * sigma 0.6 = 6 km.
+  geo::Trajectory near_first;
+  for (int i = 0; i < 10; ++i) {
+    near_first.points.push_back(proj.Unproject(geo::XY{i * 100.0, 0}, i));
+  }
+  geo::Trajectory near_second;
+  for (int i = 0; i < 10; ++i) {
+    near_second.points.push_back(
+        proj.Unproject(geo::XY{10000.0 - i * 100.0, 0}, i));
+  }
+  geo::Trajectory outlier;
+  for (int i = 0; i < 10; ++i) {
+    outlier.points.push_back(
+        proj.Unproject(geo::XY{0, 50000.0 + i * 100.0}, i));
+  }
+  GroundTruthConfig cfg;
+  auto gt = GenerateGroundTruth({near_first, near_second, outlier}, pois,
+                                cfg);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_NEAR(gt->radius_meters, 6000.0, 50.0);
+  EXPECT_EQ(gt->labels, (std::vector<int>{0, 1, -1}));
+  EXPECT_EQ(gt->num_assigned, 2);
+  EXPECT_EQ(gt->num_outliers, 1);
+}
+
+TEST(GroundTruthTest, LambdaControlsMembership) {
+  const geo::LocalProjection proj(120.0, 30.0);
+  std::vector<geo::GeoPoint> pois{proj.Unproject(geo::XY{0, 0}),
+                                  proj.Unproject(geo::XY{10000, 0})};
+  // Half the points inside the 6 km radius, half outside.
+  geo::Trajectory half;
+  for (int i = 0; i < 5; ++i) {
+    half.points.push_back(proj.Unproject(geo::XY{0, i * 10.0}, i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    half.points.push_back(proj.Unproject(geo::XY{0, 20000.0 + i}, 5 + i));
+  }
+  GroundTruthConfig strict;
+  strict.lambda = 0.7;
+  EXPECT_EQ(GenerateGroundTruth({half}, pois, strict)->labels[0], -1);
+  GroundTruthConfig loose;
+  loose.lambda = 0.5;
+  EXPECT_EQ(GenerateGroundTruth({half}, pois, loose)->labels[0], 0);
+}
+
+TEST(GroundTruthTest, ValidatesParameters) {
+  std::vector<geo::GeoPoint> pois{{0, 0, 0}, {1, 1, 0}};
+  GroundTruthConfig cfg;
+  cfg.sigma = 0.0;
+  EXPECT_FALSE(GenerateGroundTruth({}, pois, cfg).ok());
+  cfg = GroundTruthConfig{};
+  cfg.lambda = 1.5;
+  EXPECT_FALSE(GenerateGroundTruth({}, pois, cfg).ok());
+  EXPECT_FALSE(GenerateGroundTruth({}, {{0, 0, 0}}, GroundTruthConfig{})
+                   .ok());
+}
+
+TEST(GroundTruthTest, RelabelDropsOutliersAndSetsLabels) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  auto relabeled = RelabelDataset(*ds, GroundTruthConfig{});
+  ASSERT_TRUE(relabeled.ok());
+  EXPECT_LE(relabeled->size(), ds->size());
+  EXPECT_GT(relabeled->size(), ds->size() / 2);  // most walks stay in-cluster
+  for (const auto& t : relabeled->trajectories) {
+    EXPECT_GE(t.label, 0);
+    EXPECT_LT(t.label, ds->num_clusters);
+  }
+}
+
+TEST(GroundTruthTest, RelabelMostlyAgreesWithGeneratingPoi) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  // Build an id -> generator-label map before relabeling.
+  std::map<int64_t, int> generator_label;
+  for (const auto& t : ds->trajectories) generator_label[t.id] = t.label;
+  auto relabeled = RelabelDataset(*ds, GroundTruthConfig{});
+  ASSERT_TRUE(relabeled.ok());
+  int agree = 0;
+  for (const auto& t : relabeled->trajectories) {
+    agree += (generator_label[t.id] == t.label);
+  }
+  EXPECT_GT(agree, relabeled->size() * 9 / 10);
+}
+
+// -------------------------------------------------------------------- io --
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/dataset.csv";
+  ASSERT_TRUE(SaveDatasetCsv(path, *ds).ok());
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds->size());
+  EXPECT_EQ(loaded->num_clusters, ds->num_clusters);
+  ASSERT_EQ(loaded->poi_centers.size(), ds->poi_centers.size());
+  for (int i = 0; i < ds->size(); ++i) {
+    const auto& a = ds->trajectories[static_cast<size_t>(i)];
+    const auto& b = loaded->trajectories[static_cast<size_t>(i)];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.label, b.label);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t p = 0; p < a.points.size(); ++p) {
+      EXPECT_NEAR(a.points[p].lon, b.points[p].lon, 1e-7);
+      EXPECT_NEAR(a.points[p].lat, b.points[p].lat, 1e-7);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, LoadMissingFileErrors) {
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/x.csv").ok());
+}
+
+// ---------------------------------------------------------------- subsets --
+
+TEST(SubsetsTest, RandomSubsetSizeAndMembership) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  auto sub = RandomSubset(*ds, 20, 3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->size(), 20);
+  EXPECT_FALSE(RandomSubset(*ds, ds->size() + 1, 3).ok());
+}
+
+TEST(SubsetsTest, BalancedSubsetHasEqualClusters) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  auto sub = BalancedSubset(*ds, 8, 3);
+  ASSERT_TRUE(sub.ok());
+  DatasetStats s = ComputeStats(*sub);
+  EXPECT_EQ(s.min_cluster_size, 8);
+  EXPECT_EQ(s.max_cluster_size, 8);
+  EXPECT_FALSE(BalancedSubset(*ds, 100, 3).ok());  // too many requested
+}
+
+TEST(SubsetsTest, ImbalancedSubsetDecays) {
+  SyntheticCityConfig cfg = SmallCity();
+  cfg.trajectories_per_poi = 40;
+  auto ds = GenerateSyntheticCity(cfg);
+  ASSERT_TRUE(ds.ok());
+  auto sub = ImbalancedSubset(*ds, 40, 0.5, 4, 3);
+  ASSERT_TRUE(sub.ok());
+  DatasetStats s = ComputeStats(*sub);
+  EXPECT_GE(s.max_cluster_size, 4 * s.min_cluster_size);
+  EXPECT_FALSE(ImbalancedSubset(*ds, 40, 1.5, 4, 3).ok());  // bad decay
+}
+
+// --------------------------------------------------------------- batching --
+
+TEST(BatchingTest, CoversEveryIndexExactlyOnce) {
+  std::vector<int> lengths{5, 3, 9, 1, 7, 2, 8, 4};
+  Rng rng(3);
+  auto batches = MakeBatchIndices(lengths, 3, true, &rng);
+  std::set<int> seen;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 3u);
+    for (int i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), lengths.size());
+}
+
+TEST(BatchingTest, BucketingGroupsSimilarLengths) {
+  std::vector<int> lengths;
+  Rng data_rng(5);
+  for (int i = 0; i < 64; ++i) {
+    lengths.push_back(1 + static_cast<int>(data_rng.UniformU64(50)));
+  }
+  Rng rng(6);
+  auto batches = MakeBatchIndices(lengths, 8, true, &rng);
+  // Within each batch, max-min length spread must be small relative to the
+  // global spread (sorted bucketing property).
+  for (const auto& b : batches) {
+    int lo = 1000, hi = 0;
+    for (int i : b) {
+      lo = std::min(lo, lengths[static_cast<size_t>(i)]);
+      hi = std::max(hi, lengths[static_cast<size_t>(i)]);
+    }
+    EXPECT_LE(hi - lo, 15);
+  }
+}
+
+TEST(BatchingTest, NoRngGivesDeterministicOrder) {
+  std::vector<int> lengths{3, 1, 2};
+  auto a = MakeBatchIndices(lengths, 2, true, nullptr);
+  auto b = MakeBatchIndices(lengths, 2, true, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BatchingTest, PadSequencesLaysOutRowsAndPads) {
+  std::vector<std::vector<int>> seqs{{7, 8, 9}, {5}, {1, 2}};
+  PaddedBatch batch = PadSequences(seqs, {0, 1, 2}, /*pad_token=*/0);
+  EXPECT_EQ(batch.batch_size, 3);
+  EXPECT_EQ(batch.max_len, 3);
+  EXPECT_EQ(batch.at(0, 2), 9);
+  EXPECT_EQ(batch.at(1, 0), 5);
+  EXPECT_EQ(batch.at(1, 1), 0);  // padded
+  EXPECT_EQ(batch.at(2, 1), 2);
+  EXPECT_EQ(batch.lengths, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(BatchingTest, PadSequencesSubsetSelection) {
+  std::vector<std::vector<int>> seqs{{1}, {2, 2}, {3, 3, 3}};
+  PaddedBatch batch = PadSequences(seqs, {2, 0}, 9);
+  EXPECT_EQ(batch.batch_size, 2);
+  EXPECT_EQ(batch.max_len, 3);
+  EXPECT_EQ(batch.at(0, 0), 3);
+  EXPECT_EQ(batch.at(1, 0), 1);
+  EXPECT_EQ(batch.at(1, 1), 9);
+}
+
+}  // namespace
+}  // namespace e2dtc::data
+
+namespace e2dtc::data {
+namespace {
+
+TEST(GeoJsonTest, EmitsFeaturesForPoisAndTrajectories) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  std::vector<int> assignments(static_cast<size_t>(ds->size()), 2);
+  const std::string json = ToGeoJson(*ds, &assignments);
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(json.find("\"poi\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\":2"), std::string::npos);
+  // One LineString per trajectory.
+  size_t lines = 0, pos = 0;
+  while ((pos = json.find("LineString", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(ds->size()));
+  // Balanced braces (cheap well-formedness check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(GeoJsonTest, SaveValidatesAndWrites) {
+  auto ds = GenerateSyntheticCity(SmallCity());
+  ASSERT_TRUE(ds.ok());
+  std::vector<int> wrong(3, 0);
+  EXPECT_FALSE(SaveGeoJson("/tmp/never.geojson", *ds, &wrong).ok());
+  const std::string path = ::testing::TempDir() + "/trips.geojson";
+  ASSERT_TRUE(SaveGeoJson(path, *ds).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(SaveGeoJson("/nonexistent_dir/x.geojson", *ds).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc::data
+
+namespace e2dtc::data {
+namespace {
+
+TEST(IoTest, MalformedRowsAreRejected) {
+  const std::string path = ::testing::TempDir() + "/malformed.csv";
+  {
+    std::ofstream out(path);
+    out << "traj_id,label,lon,lat,t\n";
+    out << "1,0,120.0,30.0\n";  // four fields
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "traj_id,label,lon,lat,t\n";
+    out << "1,0,not_a_number,30.0,0\n";
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "traj_id,label,lon,lat,t\n";
+    out << "-1,5,120.0,30.0,0\n";  // POI index 5 but none before it
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, EmptyFileErrors) {
+  const std::string path = ::testing::TempDir() + "/empty.csv";
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace e2dtc::data

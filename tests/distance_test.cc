@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/frechet.h"
+#include "distance/hausdorff.h"
+#include "distance/lcss.h"
+#include "distance/matrix.h"
+#include "distance/resample.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::distance {
+namespace {
+
+Polyline MakeLine(double x0, double y0, double x1, double y1, int n) {
+  Polyline line;
+  for (int i = 0; i < n; ++i) {
+    const double f = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    line.push_back(geo::XY{x0 + f * (x1 - x0), y0 + f * (y1 - y0)});
+  }
+  return line;
+}
+
+Polyline RandomLine(Rng* rng, int n, double span = 1000.0) {
+  Polyline line;
+  for (int i = 0; i < n; ++i) {
+    line.push_back(
+        geo::XY{rng->Uniform(-span, span), rng->Uniform(-span, span)});
+  }
+  return line;
+}
+
+// ------------------------------------------------------------------- DTW --
+
+TEST(DtwTest, IdenticalIsZero) {
+  Polyline a = MakeLine(0, 0, 100, 0, 10);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // a = (0,0),(1,0); b = (0,0),(2,0).
+  Polyline a{{0, 0}, {1, 0}};
+  Polyline b{{0, 0}, {2, 0}};
+  // Alignment: (a0,b0)=0, (a1,b1)=1 -> total 1.
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 1.0);
+}
+
+TEST(DtwTest, RobustToResampling) {
+  // The same path sampled at different rates should be DTW-close relative
+  // to a genuinely different path.
+  Polyline coarse = MakeLine(0, 0, 1000, 0, 5);
+  Polyline fine = MakeLine(0, 0, 1000, 0, 50);
+  Polyline other = MakeLine(0, 500, 1000, 500, 50);
+  EXPECT_LT(DtwDistance(coarse, fine), DtwDistance(coarse, other));
+}
+
+TEST(DtwTest, EmptyInputIsInfinite) {
+  Polyline a = MakeLine(0, 0, 1, 1, 3);
+  EXPECT_TRUE(std::isinf(DtwDistance(a, {})));
+  EXPECT_TRUE(std::isinf(DtwDistance({}, a)));
+}
+
+TEST(DtwTest, SwappingArgsGivesSameValue) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    Polyline a = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(20)));
+    Polyline b = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(20)));
+    EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-9);
+  }
+}
+
+// ------------------------------------------------------------------- EDR --
+
+TEST(EdrTest, IdenticalIsZero) {
+  Polyline a = MakeLine(0, 0, 100, 100, 8);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, a, 1.0), 0.0);
+}
+
+TEST(EdrTest, CompletelyDifferentCostsMaxLength) {
+  Polyline a = MakeLine(0, 0, 10, 0, 5);
+  Polyline b = MakeLine(100000, 0, 100010, 0, 5);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(NormalizedEdrDistance(a, b, 1.0), 1.0);
+}
+
+TEST(EdrTest, OneExtraPointCostsOneEdit) {
+  Polyline a{{0, 0}, {10, 0}, {20, 0}};
+  Polyline b{{0, 0}, {10, 0}, {15, 0}, {20, 0}};
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), 1.0);
+}
+
+TEST(EdrTest, EmptyHandling) {
+  Polyline a = MakeLine(0, 0, 1, 1, 4);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, {}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(EdrDistance({}, {}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEdrDistance({}, {}, 1.0), 0.0);
+}
+
+TEST(EdrTest, EpsilonControlsMatching) {
+  Polyline a{{0, 0}, {10, 0}};
+  Polyline b{{3, 0}, {13, 0}};
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 5.0), 0.0);   // both match
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), 2.0);   // neither matches
+}
+
+// ------------------------------------------------------------------ LCSS --
+
+TEST(LcssTest, IdenticalHasDistanceZero) {
+  Polyline a = MakeLine(0, 0, 100, 100, 10);
+  EXPECT_EQ(LcssLength(a, a, 1.0), 10);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 1.0), 0.0);
+}
+
+TEST(LcssTest, DisjointHasDistanceOne) {
+  Polyline a = MakeLine(0, 0, 10, 0, 5);
+  Polyline b = MakeLine(1e6, 0, 1e6 + 10, 0, 5);
+  EXPECT_EQ(LcssLength(a, b, 1.0), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 1.0), 1.0);
+}
+
+TEST(LcssTest, DistanceInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Polyline a = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(15)));
+    Polyline b = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(15)));
+    const double d = LcssDistance(a, b, 500.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(LcssTest, SubsequenceIsFullyMatched) {
+  Polyline full = MakeLine(0, 0, 100, 0, 11);
+  Polyline sub{full[0], full[3], full[7], full[10]};
+  EXPECT_EQ(LcssLength(full, sub, 0.5), 4);
+  EXPECT_DOUBLE_EQ(LcssDistance(full, sub, 0.5), 0.0);  // min-normalized
+}
+
+TEST(LcssTest, EmptyHandling) {
+  Polyline a = MakeLine(0, 0, 1, 1, 3);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, {}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(LcssDistance({}, {}, 1.0), 0.0);
+}
+
+// ------------------------------------------------------------- Hausdorff --
+
+TEST(HausdorffTest, IdenticalIsZero) {
+  Polyline a = MakeLine(0, 0, 10, 10, 5);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, a), 0.0);
+}
+
+TEST(HausdorffTest, ParallelLinesSeparatedByOffset) {
+  Polyline a = MakeLine(0, 0, 100, 0, 11);
+  Polyline b = MakeLine(0, 25, 100, 25, 11);
+  EXPECT_NEAR(HausdorffDistance(a, b), 25.0, 1e-9);
+}
+
+TEST(HausdorffTest, AsymmetricDirectedDistances) {
+  Polyline a{{0, 0}};
+  Polyline b{{0, 0}, {100, 0}};
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(b, a), 100.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 100.0);
+}
+
+TEST(HausdorffTest, SymmetricByConstruction) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Polyline a = RandomLine(&rng, 5);
+    Polyline b = RandomLine(&rng, 8);
+    EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+  }
+}
+
+// --------------------------------------------------------------- Frechet --
+
+TEST(FrechetTest, IdenticalIsZero) {
+  Polyline a = MakeLine(0, 0, 10, 10, 6);
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, a), 0.0);
+}
+
+TEST(FrechetTest, ParallelLines) {
+  Polyline a = MakeLine(0, 0, 100, 0, 11);
+  Polyline b = MakeLine(0, 30, 100, 30, 11);
+  EXPECT_NEAR(FrechetDistance(a, b), 30.0, 1e-9);
+}
+
+TEST(FrechetTest, AtLeastHausdorff) {
+  // Discrete Frechet upper-bounds Hausdorff for any pair.
+  Rng rng(4);
+  for (int i = 0; i < 15; ++i) {
+    Polyline a = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(12)));
+    Polyline b = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(12)));
+    EXPECT_GE(FrechetDistance(a, b) + 1e-9, HausdorffDistance(a, b));
+  }
+}
+
+TEST(FrechetTest, OrderSensitiveUnlikeHausdorff) {
+  // Same point set, opposite direction: Hausdorff 0-ish, Frechet large.
+  Polyline a = MakeLine(0, 0, 100, 0, 11);
+  Polyline b = a;
+  std::reverse(b.begin(), b.end());
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 0.0);
+  EXPECT_GT(FrechetDistance(a, b), 50.0);
+}
+
+// ------------------------------------------------------------- dispatch --
+
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, IdentityAndSymmetryAndNonNegativity) {
+  const Metric m = GetParam();
+  Rng rng(static_cast<uint64_t>(m) + 10);
+  MetricParams params;
+  params.epsilon_meters = 300.0;
+  for (int i = 0; i < 8; ++i) {
+    Polyline a = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(10)));
+    Polyline b = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(10)));
+    EXPECT_NEAR(TrajectoryDistance(m, a, a, params), 0.0, 1e-9);
+    const double ab = TrajectoryDistance(m, a, b, params);
+    EXPECT_NEAR(ab, TrajectoryDistance(m, b, a, params), 1e-9);
+    EXPECT_GE(ab, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kDtw, Metric::kEdr,
+                                           Metric::kLcss, Metric::kHausdorff,
+                                           Metric::kFrechet),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(MetricNameTest, AllNamed) {
+  EXPECT_EQ(MetricName(Metric::kDtw), "DTW");
+  EXPECT_EQ(MetricName(Metric::kEdr), "EDR");
+  EXPECT_EQ(MetricName(Metric::kLcss), "LCSS");
+  EXPECT_EQ(MetricName(Metric::kHausdorff), "Hausdorff");
+  EXPECT_EQ(MetricName(Metric::kFrechet), "Frechet");
+}
+
+// -------------------------------------------------------------- resample --
+
+TEST(ResampleTest, ProducesRequestedCountWithFixedEndpoints) {
+  Polyline a = MakeLine(0, 0, 100, 50, 7);
+  Polyline r = ResampleByArcLength(a, 20);
+  ASSERT_EQ(r.size(), 20u);
+  EXPECT_NEAR(r.front().x, 0.0, 1e-9);
+  EXPECT_NEAR(r.back().x, 100.0, 1e-9);
+  EXPECT_NEAR(r.back().y, 50.0, 1e-9);
+}
+
+TEST(ResampleTest, UniformSpacingOnStraightLine) {
+  Polyline a = MakeLine(0, 0, 90, 0, 4);
+  Polyline r = ResampleByArcLength(a, 10);
+  for (size_t i = 1; i < r.size(); ++i) {
+    EXPECT_NEAR(geo::EuclideanMeters(r[i - 1], r[i]), 10.0, 1e-6);
+  }
+}
+
+TEST(ResampleTest, DegenerateInputs) {
+  Polyline single{{3, 4}};
+  Polyline r = ResampleByArcLength(single, 5);
+  ASSERT_EQ(r.size(), 5u);
+  for (const auto& p : r) EXPECT_EQ(p, (geo::XY{3, 4}));
+  // All points coincide.
+  Polyline repeated(4, geo::XY{1, 1});
+  EXPECT_EQ(ResampleByArcLength(repeated, 3).size(), 3u);
+}
+
+TEST(ResampleTest, FlattenInterleavesCoordinates) {
+  Polyline a{{1, 2}, {3, 4}};
+  EXPECT_EQ(FlattenPolyline(a), (std::vector<float>{1, 2, 3, 4}));
+}
+
+// ----------------------------------------------------------- dist matrix --
+
+TEST(DistanceMatrixTest, SymmetricZeroDiagonal) {
+  Rng rng(5);
+  std::vector<Polyline> lines;
+  for (int i = 0; i < 12; ++i) lines.push_back(RandomLine(&rng, 8));
+  DistanceMatrix m = ComputeDistanceMatrix(lines, Metric::kDtw);
+  ASSERT_EQ(m.size(), 12);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+    for (int j = 0; j < 12; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+  }
+}
+
+TEST(DistanceMatrixTest, ParallelMatchesSerial) {
+  Rng rng(6);
+  std::vector<Polyline> lines;
+  for (int i = 0; i < 20; ++i) lines.push_back(RandomLine(&rng, 6));
+  DistanceMatrix serial = ComputeDistanceMatrix(lines, Metric::kHausdorff);
+  ThreadPool pool(4);
+  DistanceMatrix parallel =
+      ComputeDistanceMatrix(lines, Metric::kHausdorff, {}, &pool);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(serial.at(i, j), parallel.at(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, GenericPairFunction) {
+  DistanceMatrix m = ComputeDistanceMatrix(
+      4, [](int i, int j) { return static_cast<double>(std::abs(i - j)); });
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace e2dtc::distance
+
+namespace e2dtc::distance {
+namespace {
+
+/// The distance matrix must be symmetric with a zero diagonal under every
+/// metric in the library, including the threshold- and gap-parameterized
+/// ones.
+class MatrixAllMetricsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MatrixAllMetricsTest, SymmetricZeroDiagonal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+  std::vector<Polyline> lines;
+  for (int i = 0; i < 8; ++i) {
+    Polyline line;
+    for (int p = 0; p < 6; ++p) {
+      line.push_back(geo::XY{rng.Uniform(0, 500), rng.Uniform(0, 500)});
+    }
+    lines.push_back(std::move(line));
+  }
+  MetricParams params;
+  params.epsilon_meters = 150.0;
+  DistanceMatrix m = ComputeDistanceMatrix(lines, GetParam(), params);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 0.0);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+      EXPECT_GE(m.at(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, MatrixAllMetricsTest,
+    ::testing::Values(Metric::kDtw, Metric::kEdr, Metric::kLcss,
+                      Metric::kHausdorff, Metric::kFrechet, Metric::kErp,
+                      Metric::kSspd),
+    [](const ::testing::TestParamInfo<Metric>& info) {
+      return MetricName(info.param);
+    });
+
+}  // namespace
+}  // namespace e2dtc::distance

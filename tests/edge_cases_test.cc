@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/e2dtc.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "distance/edr.h"
+#include "distance/lcss.h"
+#include "geo/grid.h"
+#include "geo/vocab.h"
+#include "nn/autograd.h"
+#include "nn/serialize.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace e2dtc {
+namespace {
+
+// ------------------------------------------- threshold-metric monotonicity --
+
+/// EDR cost is non-increasing and LCSS match length non-decreasing in
+/// epsilon: a larger tolerance can only match more.
+class EpsilonMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpsilonMonotonicityTest, EdrAndLcssMonotoneInEpsilon) {
+  Rng rng(GetParam());
+  distance::Polyline a, b;
+  const int na = 3 + static_cast<int>(rng.UniformU64(12));
+  const int nb = 3 + static_cast<int>(rng.UniformU64(12));
+  for (int i = 0; i < na; ++i) {
+    a.push_back(geo::XY{rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  for (int i = 0; i < nb; ++i) {
+    b.push_back(geo::XY{rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  double prev_edr = 1e18;
+  int prev_lcss = -1;
+  for (double eps : {10.0, 50.0, 150.0, 400.0, 1500.0}) {
+    const double edr = distance::EdrDistance(a, b, eps);
+    const int lcss = distance::LcssLength(a, b, eps);
+    EXPECT_LE(edr, prev_edr);
+    EXPECT_GE(lcss, prev_lcss);
+    prev_edr = edr;
+    prev_lcss = lcss;
+  }
+  // At huge epsilon everything matches: EDR -> length difference, LCSS ->
+  // min length.
+  EXPECT_DOUBLE_EQ(distance::EdrDistance(a, b, 1e9),
+                   static_cast<double>(std::abs(na - nb)));
+  EXPECT_EQ(distance::LcssLength(a, b, 1e9), std::min(na, nb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsilonMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------- grid fixed points --
+
+TEST(GridPropertyTest, CellOfItsOwnCenterIsIdentity) {
+  geo::BoundingBox box{120.0, 30.0, 120.12, 30.1};
+  geo::Grid grid = geo::Grid::Create(box, 250.0).value();
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t cell = static_cast<int64_t>(
+        rng.UniformU64(static_cast<uint64_t>(grid.num_cells())));
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(cell)), cell);
+  }
+}
+
+TEST(GridPropertyTest, NearbyPointsShareOrNeighborCells) {
+  geo::BoundingBox box{120.0, 30.0, 120.12, 30.1};
+  geo::Grid grid = geo::Grid::Create(box, 250.0).value();
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    geo::GeoPoint p{rng.Uniform(120.01, 120.11), rng.Uniform(30.01, 30.09),
+                    0};
+    // A point 10 m east stays within one column of the original cell.
+    const geo::XY xy = grid.projection().Project(p);
+    const geo::GeoPoint q =
+        grid.projection().Unproject(geo::XY{xy.x + 10.0, xy.y});
+    const int64_t ca = grid.CellOf(p);
+    const int64_t cb = grid.CellOf(q);
+    EXPECT_LE(std::abs((ca % grid.num_cols()) - (cb % grid.num_cols())), 1);
+    EXPECT_EQ(ca / grid.num_cols(), cb / grid.num_cols());
+  }
+}
+
+// ------------------------------------------------------ vocab UNK behavior --
+
+TEST(VocabEdgeTest, OutOfCorpusAreaMapsToUnk) {
+  geo::BoundingBox box{120.0, 30.0, 120.1, 30.08};
+  geo::Grid grid = geo::Grid::Create(box, 300.0).value();
+  geo::Trajectory t;
+  for (int i = 0; i < 20; ++i) {
+    t.points.push_back(geo::GeoPoint{120.0 + i * 0.004, 30.04, i * 5.0});
+  }
+  geo::Vocabulary vocab = geo::Vocabulary::Build(grid, {t}, 1);
+  // A trajectory through an untouched corner becomes UNK tokens.
+  geo::Trajectory stranger;
+  for (int i = 0; i < 5; ++i) {
+    stranger.points.push_back(geo::GeoPoint{120.09, 30.01 + i * 1e-4, i});
+  }
+  for (int tok : vocab.Encode(stranger)) {
+    EXPECT_EQ(tok, geo::Vocabulary::kUnk);
+  }
+}
+
+// ----------------------------------------------------- checkpoint hygiene --
+
+TEST(CheckpointEdgeTest, TruncatedPipelineFileErrors) {
+  // Train a tiny pipeline, save, truncate at several byte counts: every
+  // prefix must be rejected cleanly (no crash, no partial load).
+  data::SyntheticCityConfig cfg;
+  cfg.num_pois = 2;
+  cfg.trajectories_per_poi = 12;
+  cfg.min_points = 12;
+  cfg.max_points = 20;
+  cfg.seed = 17;
+  data::Dataset ds =
+      data::RelabelDataset(data::GenerateSyntheticCity(cfg).value(),
+                           data::GroundTruthConfig{})
+          .value();
+  core::E2dtcConfig train;
+  train.model.hidden_size = 12;
+  train.model.embedding_dim = 12;
+  train.model.num_layers = 1;
+  train.model.knn_k = 4;
+  train.pretrain.epochs = 1;
+  train.self_train.max_iters = 1;
+  auto pipeline = core::E2dtcPipeline::Fit(ds, train).value();
+  const std::string path = ::testing::TempDir() + "/truncate.e2dtc";
+  ASSERT_TRUE(pipeline->Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 100u);
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{9}, size_t{50},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    const std::string cut_path = ::testing::TempDir() + "/cut.e2dtc";
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(core::E2dtcPipeline::Load(cut_path).ok())
+        << "cut at " << cut;
+    std::filesystem::remove(cut_path);
+  }
+  // The untruncated file still loads.
+  EXPECT_TRUE(core::E2dtcPipeline::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointEdgeTest, LstmPipelineRoundTrips) {
+  data::SyntheticCityConfig cfg;
+  cfg.num_pois = 2;
+  cfg.trajectories_per_poi = 12;
+  cfg.min_points = 12;
+  cfg.max_points = 20;
+  cfg.seed = 19;
+  data::Dataset ds =
+      data::RelabelDataset(data::GenerateSyntheticCity(cfg).value(),
+                           data::GroundTruthConfig{})
+          .value();
+  core::E2dtcConfig train;
+  train.model.rnn = core::RnnKind::kLstm;
+  train.model.hidden_size = 12;
+  train.model.embedding_dim = 12;
+  train.model.num_layers = 1;
+  train.model.knn_k = 4;
+  train.pretrain.epochs = 1;
+  train.self_train.max_iters = 1;
+  auto pipeline = core::E2dtcPipeline::Fit(ds, train).value();
+  const std::string path = ::testing::TempDir() + "/lstm.e2dtc";
+  ASSERT_TRUE(pipeline->Save(path).ok());
+  auto loaded = core::E2dtcPipeline::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->config().model.rnn, core::RnnKind::kLstm);
+  EXPECT_EQ((*loaded)->Assign(ds.trajectories),
+            pipeline->Assign(ds.trajectories));
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- binary io strings --
+
+TEST(BinaryIoEdgeTest, StringWithEmbeddedNulsAndEmptyVectors) {
+  const std::string path = ::testing::TempDir() + "/nuls.bin";
+  std::string weird("a\0b\0c", 5);
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.WriteString(weird).ok());
+    ASSERT_TRUE(w.WriteFloats({}).ok());
+    ASSERT_TRUE(w.WriteString("").ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadString().value(), weird);
+  EXPECT_TRUE(r.ReadFloats().value().empty());
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_TRUE(r.AtEof());
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------- autograd corners --
+
+TEST(AutogradEdgeTest, BackwardThroughSharedSubexpressionOnce) {
+  // y = x^2; loss = y + y. dL/dx = 4x (y's backward must fire once with
+  // accumulated gradient 2, not twice with 1).
+  nn::Var x = nn::Var::Leaf(nn::Tensor(1, 1, {3.0f}), true);
+  nn::Var y = nn::Square(x);
+  nn::Backward(nn::Add(y, y));
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 12.0f);
+}
+
+TEST(AutogradEdgeTest, DiamondGraphGradient) {
+  // loss = (x + x^2) * x -> d/dx = 1*x + x + 2x*x + x^2 ... compute directly:
+  // f(x) = x^2 + x^3; f'(x) = 2x + 3x^2. At x=2: 16.
+  nn::Var x = nn::Var::Leaf(nn::Tensor(1, 1, {2.0f}), true);
+  nn::Var f = nn::Mul(nn::Add(x, nn::Square(x)), x);
+  nn::Backward(nn::Sum(f));
+  EXPECT_FLOAT_EQ(x.grad().scalar(), 16.0f);
+}
+
+TEST(AutogradEdgeTest, ConstantsOnlyGraphHasNoGradients) {
+  nn::Var a = nn::Var::Constant(nn::Tensor(2, 2, 1.0f));
+  nn::Var loss = nn::Sum(nn::Square(a));
+  nn::Backward(loss);  // no-op: nothing requires grad
+  EXPECT_TRUE(a.grad().empty());
+}
+
+TEST(AutogradEdgeTest, GatherSameRowManyTimes) {
+  nn::Var table = nn::Var::Leaf(nn::Tensor(2, 2, {1, 2, 3, 4}), true);
+  nn::Var g = nn::GatherRows(table, std::vector<int>(10, 1));
+  nn::Backward(nn::Sum(g));
+  EXPECT_FLOAT_EQ(table.grad().at(1, 0), 10.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 0.0f);
+}
+
+// ----------------------------------------------------------- ground truth --
+
+TEST(GroundTruthEdgeTest, EqualDistanceCentersFirstMatchWins) {
+  // A trajectory equidistant from two centers satisfying both: the first
+  // center in POI order claims it (Algorithm 2's loop order).
+  const geo::LocalProjection proj(120.0, 30.0);
+  std::vector<geo::GeoPoint> pois{proj.Unproject(geo::XY{-1000, 0}),
+                                  proj.Unproject(geo::XY{1000, 0})};
+  geo::Trajectory mid;
+  for (int i = 0; i < 10; ++i) {
+    mid.points.push_back(proj.Unproject(geo::XY{0, i * 10.0}, i));
+  }
+  data::GroundTruthConfig cfg;
+  cfg.sigma = 1.0;   // radius = 2000 m: both centers qualify
+  cfg.lambda = 0.9;
+  auto gt = data::GenerateGroundTruth({mid}, pois, cfg).value();
+  EXPECT_EQ(gt.labels[0], 0);
+}
+
+}  // namespace
+}  // namespace e2dtc

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "embedding/skipgram.h"
+#include "util/rng.h"
+#include "viz/tsne.h"
+
+namespace e2dtc {
+namespace {
+
+// --------------------------------------------------------------- skipgram --
+
+/// Corpus where tokens come in two disjoint "neighborhoods": sequences
+/// alternate within {4..8} or within {9..13}, never across.
+std::vector<std::vector<int>> TwoNeighborhoodCorpus(Rng* rng) {
+  std::vector<std::vector<int>> corpus;
+  for (int s = 0; s < 200; ++s) {
+    const int base = (s % 2 == 0) ? 4 : 9;
+    std::vector<int> seq;
+    for (int t = 0; t < 20; ++t) {
+      seq.push_back(base + static_cast<int>(rng->UniformU64(5)));
+    }
+    corpus.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+TEST(SkipGramTest, CooccurringTokensAreMoreSimilar) {
+  Rng rng(3);
+  auto corpus = TwoNeighborhoodCorpus(&rng);
+  embedding::SkipGramConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 3;
+  cfg.seed = 5;
+  auto table = embedding::TrainSkipGram(corpus, 14, cfg);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows(), 14);
+  ASSERT_EQ(table->cols(), 16);
+  // Average within-neighborhood similarity beats across-neighborhood.
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (int a = 4; a <= 8; ++a) {
+    for (int b = 4; b <= 8; ++b) {
+      if (a < b) {
+        within += embedding::CosineSimilarity(*table, a, b);
+        ++wn;
+      }
+    }
+    for (int b = 9; b <= 13; ++b) {
+      across += embedding::CosineSimilarity(*table, a, b);
+      ++an;
+    }
+  }
+  EXPECT_GT(within / wn, across / an + 0.2);
+}
+
+TEST(SkipGramTest, OutputShapeAndSpecialsUntouchedByTraining) {
+  Rng rng(7);
+  auto corpus = TwoNeighborhoodCorpus(&rng);
+  embedding::SkipGramConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  auto table = embedding::TrainSkipGram(corpus, 14, cfg);
+  ASSERT_TRUE(table.ok());
+  // Specials keep their (small) random init: norm far below trained rows.
+  double special_norm = 0.0, trained_norm = 0.0;
+  for (int d = 0; d < 8; ++d) {
+    special_norm += std::abs(table->at(0, d));
+    trained_norm += std::abs(table->at(5, d));
+  }
+  EXPECT_LT(special_norm, trained_norm);
+}
+
+TEST(SkipGramTest, ValidatesInput) {
+  embedding::SkipGramConfig cfg;
+  EXPECT_FALSE(embedding::TrainSkipGram({}, 10, cfg).ok());  // no tokens
+  EXPECT_FALSE(embedding::TrainSkipGram({{4, 5}}, 3, cfg).ok());  // tiny vocab
+  EXPECT_FALSE(embedding::TrainSkipGram({{4, 99}}, 10, cfg).ok());  // range
+  cfg.dim = 0;
+  EXPECT_FALSE(embedding::TrainSkipGram({{4, 5}}, 10, cfg).ok());
+}
+
+TEST(SkipGramTest, DeterministicForSeed) {
+  Rng rng(11);
+  auto corpus = TwoNeighborhoodCorpus(&rng);
+  embedding::SkipGramConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  cfg.seed = 42;
+  auto a = embedding::TrainSkipGram(corpus, 14, cfg);
+  auto b = embedding::TrainSkipGram(corpus, 14, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) {
+    EXPECT_FLOAT_EQ(a->data()[i], b->data()[i]);
+  }
+}
+
+// ------------------------------------------------------------------ t-SNE --
+
+std::vector<std::vector<float>> TwoBlobs(int per_blob, Rng* rng, int dim) {
+  std::vector<std::vector<float>> pts;
+  for (int b = 0; b < 2; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      std::vector<float> p(static_cast<size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        p[static_cast<size_t>(d)] = static_cast<float>(
+            rng->Gaussian(b == 0 ? -20.0 : 20.0, 1.0));
+      }
+      pts.push_back(std::move(p));
+    }
+  }
+  return pts;
+}
+
+double Dist2D(const std::array<double, 2>& a, const std::array<double, 2>& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+TEST(TsneTest, SeparatesTwoBlobs) {
+  Rng rng(13);
+  const int per = 30;
+  auto pts = TwoBlobs(per, &rng, 8);
+  viz::TsneConfig cfg;
+  cfg.perplexity = 10.0;
+  cfg.max_iters = 250;
+  auto r = viz::RunTsne(pts, cfg);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->points.size(), static_cast<size_t>(2 * per));
+  // Mean intra-blob distance must be well below inter-blob distance.
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (int i = 0; i < 2 * per; ++i) {
+    for (int j = i + 1; j < 2 * per; ++j) {
+      const double d = Dist2D(r->points[static_cast<size_t>(i)],
+                              r->points[static_cast<size_t>(j)]);
+      if ((i < per) == (j < per)) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  EXPECT_GT(inter / nx, 2.0 * (intra / ni));
+}
+
+TEST(TsneTest, DistanceMatrixVariantSeparatesBlobsToo) {
+  Rng rng(17);
+  const int per = 25;
+  auto pts = TwoBlobs(per, &rng, 4);
+  const int n = 2 * per;
+  std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (size_t d = 0; d < pts[0].size(); ++d) {
+        const double diff =
+            static_cast<double>(pts[static_cast<size_t>(i)][d]) -
+            pts[static_cast<size_t>(j)][d];
+        s += diff * diff;
+      }
+      dist[static_cast<size_t>(i) * n + j] = std::sqrt(s);
+    }
+  }
+  viz::TsneConfig cfg;
+  cfg.perplexity = 8.0;
+  cfg.max_iters = 250;
+  auto r = viz::RunTsneFromDistances(dist, n, cfg);
+  ASSERT_TRUE(r.ok());
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = Dist2D(r->points[static_cast<size_t>(i)],
+                              r->points[static_cast<size_t>(j)]);
+      if ((i < per) == (j < per)) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  EXPECT_GT(inter / nx, 2.0 * (intra / ni));
+}
+
+TEST(TsneTest, ValidatesInput) {
+  viz::TsneConfig cfg;
+  EXPECT_FALSE(viz::RunTsne({{1.0f}, {2.0f}}, cfg).ok());  // < 3 points
+  cfg.perplexity = 100.0;  // >= n
+  EXPECT_FALSE(viz::RunTsne({{1.0f}, {2.0f}, {3.0f}, {4.0f}}, cfg).ok());
+  viz::TsneConfig ok_cfg;
+  EXPECT_FALSE(
+      viz::RunTsneFromDistances(std::vector<double>(5, 0.0), 3, ok_cfg)
+          .ok());  // size mismatch
+  std::vector<std::vector<float>> ragged{{1.0f, 2.0f}, {1.0f}, {2.0f, 1.0f},
+                                         {0.0f, 0.0f}};
+  EXPECT_FALSE(viz::RunTsne(ragged, ok_cfg).ok());
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(19);
+  auto pts = TwoBlobs(10, &rng, 3);
+  viz::TsneConfig cfg;
+  cfg.perplexity = 5.0;
+  cfg.max_iters = 50;
+  auto a = viz::RunTsne(pts, cfg);
+  auto b = viz::RunTsne(pts, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->points[i][0], b->points[i][0]);
+    EXPECT_DOUBLE_EQ(a->points[i][1], b->points[i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace e2dtc

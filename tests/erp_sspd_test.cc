@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/erp.h"
+#include "distance/matrix.h"
+#include "distance/sspd.h"
+#include "util/rng.h"
+
+namespace e2dtc::distance {
+namespace {
+
+Polyline MakeLine(double x0, double y0, double x1, double y1, int n) {
+  Polyline line;
+  for (int i = 0; i < n; ++i) {
+    const double f = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    line.push_back(geo::XY{x0 + f * (x1 - x0), y0 + f * (y1 - y0)});
+  }
+  return line;
+}
+
+Polyline RandomLine(Rng* rng, int n, double span = 100.0) {
+  Polyline line;
+  for (int i = 0; i < n; ++i) {
+    line.push_back(
+        geo::XY{rng->Uniform(-span, span), rng->Uniform(-span, span)});
+  }
+  return line;
+}
+
+// ------------------------------------------------------------------- ERP --
+
+TEST(ErpTest, IdenticalIsZero) {
+  Polyline a = MakeLine(10, 10, 50, 20, 7);
+  EXPECT_DOUBLE_EQ(ErpDistance(a, a), 0.0);
+}
+
+TEST(ErpTest, EmptyAgainstLineCostsGapDistances) {
+  Polyline a{{3, 4}, {6, 8}};  // distances to origin: 5 and 10
+  EXPECT_DOUBLE_EQ(ErpDistance(a, {}), 15.0);
+  EXPECT_DOUBLE_EQ(ErpDistance({}, a), 15.0);
+  EXPECT_DOUBLE_EQ(ErpDistance({}, {}), 0.0);
+}
+
+TEST(ErpTest, EqualLengthAlignedSequencesSumPointDistances) {
+  // Far from the gap point, matching beats gapping; cost = sum of offsets.
+  Polyline a = MakeLine(1000, 0, 1040, 0, 5);
+  Polyline b = MakeLine(1000, 3, 1040, 3, 5);
+  EXPECT_NEAR(ErpDistance(a, b), 15.0, 1e-9);
+}
+
+TEST(ErpTest, GapPointMatters) {
+  Polyline a{{0, 0}};
+  Polyline b{{10, 0}, {20, 0}};
+  // With gap at origin: match (0,0)-(10,0) = 10, gap (20,0) = 20 -> 30;
+  // or gap both (10+20=30) + a against gap 0... best is 30.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, geo::XY{0, 0}), 30.0);
+  // With gap at (20, 0): match (0,0)-(10,0)=10, gap (20,0)=0 -> 10.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, geo::XY{20, 0}), 10.0);
+}
+
+TEST(ErpTest, SymmetricAndNonNegative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    Polyline a = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(8)));
+    Polyline b = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(8)));
+    const double ab = ErpDistance(a, b);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_NEAR(ab, ErpDistance(b, a), 1e-9);
+  }
+}
+
+TEST(ErpTest, TriangleInequalityHolds) {
+  // ERP is a true metric; sample random triples.
+  Rng rng(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    Polyline a = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(6)));
+    Polyline b = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(6)));
+    Polyline c = RandomLine(&rng, 2 + static_cast<int>(rng.UniformU64(6)));
+    const double ab = ErpDistance(a, b);
+    const double bc = ErpDistance(b, c);
+    const double ac = ErpDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-6) << "triangle violation at trial " << trial;
+  }
+}
+
+TEST(ErpTest, DispatchedThroughTrajectoryDistance) {
+  Polyline a = MakeLine(0, 0, 10, 0, 3);
+  Polyline b = MakeLine(0, 5, 10, 5, 3);
+  MetricParams params;
+  EXPECT_NEAR(TrajectoryDistance(Metric::kErp, a, b, params),
+              ErpDistance(a, b), 1e-12);
+  EXPECT_EQ(MetricName(Metric::kErp), "ERP");
+}
+
+// ------------------------------------------------------------------ SSPD --
+
+TEST(SspdTest, PointToSegmentGeometry) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointToSegment({5, 3}, {0, 0}, {10, 0}), 3.0);
+  // Beyond the end: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointToSegment({14, 3}, {0, 0}, {10, 0}), 5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointToSegment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(SspdTest, PointToPolylineTakesNearestSegment) {
+  Polyline line{{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(PointToPolyline({5, 2}, line), 2.0);
+  EXPECT_DOUBLE_EQ(PointToPolyline({12, 5}, line), 2.0);
+  EXPECT_TRUE(std::isinf(PointToPolyline({0, 0}, {})));
+}
+
+TEST(SspdTest, IdenticalIsZero) {
+  Polyline a = MakeLine(0, 0, 100, 50, 9);
+  EXPECT_DOUBLE_EQ(SspdDistance(a, a), 0.0);
+}
+
+TEST(SspdTest, ParallelLinesEqualOffset) {
+  Polyline a = MakeLine(0, 0, 100, 0, 11);
+  Polyline b = MakeLine(0, 7, 100, 7, 11);
+  EXPECT_NEAR(SspdDistance(a, b), 7.0, 1e-9);
+}
+
+TEST(SspdTest, SubsampledPathIsNearZero) {
+  // Points of the sparse version lie ON the dense polyline: SPD ~ 0 in one
+  // direction and small in the other.
+  Polyline dense = MakeLine(0, 0, 100, 0, 51);
+  Polyline sparse{dense[0], dense[25], dense[50]};
+  EXPECT_NEAR(SspdDistance(dense, sparse), 0.0, 1e-9);
+}
+
+TEST(SspdTest, RobustToSingleOutlierUnlikeHausdorff) {
+  Polyline a = MakeLine(0, 0, 100, 0, 21);
+  Polyline noisy = a;
+  noisy[10].y = 500.0;  // one wild GPS point
+  // Hausdorff jumps to ~500; SSPD only by the averaged share.
+  EXPECT_LT(SspdDistance(a, noisy), 30.0);
+}
+
+TEST(SspdTest, SymmetricByConstruction) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Polyline a = RandomLine(&rng, 4 + static_cast<int>(rng.UniformU64(8)));
+    Polyline b = RandomLine(&rng, 4 + static_cast<int>(rng.UniformU64(8)));
+    EXPECT_DOUBLE_EQ(SspdDistance(a, b), SspdDistance(b, a));
+  }
+}
+
+TEST(SspdTest, DispatchedThroughTrajectoryDistance) {
+  Polyline a = MakeLine(0, 0, 10, 0, 3);
+  Polyline b = MakeLine(0, 4, 10, 4, 3);
+  EXPECT_NEAR(TrajectoryDistance(Metric::kSspd, a, b), 4.0, 1e-9);
+  EXPECT_EQ(MetricName(Metric::kSspd), "SSPD");
+}
+
+/// Both new metrics obey the axioms sweep like the original five.
+class NewMetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(NewMetricAxiomsTest, IdentitySymmetryNonNegativity) {
+  const Metric m = GetParam();
+  Rng rng(static_cast<uint64_t>(m) + 99);
+  for (int i = 0; i < 8; ++i) {
+    Polyline a = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(8)));
+    Polyline b = RandomLine(&rng, 3 + static_cast<int>(rng.UniformU64(8)));
+    EXPECT_NEAR(TrajectoryDistance(m, a, a), 0.0, 1e-9);
+    const double ab = TrajectoryDistance(m, a, b);
+    EXPECT_NEAR(ab, TrajectoryDistance(m, b, a), 1e-9);
+    EXPECT_GE(ab, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NewMetrics, NewMetricAxiomsTest,
+                         ::testing::Values(Metric::kErp, Metric::kSspd),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+}  // namespace
+}  // namespace e2dtc::distance

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/pretrain.h"
+#include "data/synthetic.h"
+#include "geo/simplify.h"
+#include "geo/staypoints.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "viz/svg.h"
+
+namespace e2dtc::geo {
+namespace {
+
+const LocalProjection kProj(120.0, 30.0);
+
+Trajectory FromXY(const std::vector<XY>& pts, double dt = 5.0) {
+  Trajectory t;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    t.points.push_back(kProj.Unproject(pts[i], static_cast<double>(i) * dt));
+  }
+  return t;
+}
+
+// --------------------------------------------------------- Douglas-Peucker --
+
+TEST(SimplifyTest, StraightLineCollapsesToEndpoints) {
+  std::vector<XY> line;
+  for (int i = 0; i <= 20; ++i) line.push_back(XY{i * 50.0, 0.0});
+  std::vector<int> keep = DouglasPeuckerIndices(line, 1.0);
+  EXPECT_EQ(keep, (std::vector<int>{0, 20}));
+}
+
+TEST(SimplifyTest, CornerIsKept) {
+  // An L-shape: the corner deviates maximally and must survive.
+  std::vector<XY> line;
+  for (int i = 0; i <= 10; ++i) line.push_back(XY{i * 100.0, 0.0});
+  for (int i = 1; i <= 10; ++i) line.push_back(XY{1000.0, i * 100.0});
+  std::vector<int> keep = DouglasPeuckerIndices(line, 5.0);
+  EXPECT_EQ(keep.size(), 3u);  // start, corner, end
+  EXPECT_EQ(keep[1], 10);
+}
+
+TEST(SimplifyTest, ToleranceControlsAggressiveness) {
+  Rng rng(1);
+  std::vector<XY> line;
+  double x = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    line.push_back(XY{x, rng.Gaussian(0.0, 20.0)});
+    x += 30.0;
+  }
+  const size_t coarse = DouglasPeuckerIndices(line, 100.0).size();
+  const size_t fine = DouglasPeuckerIndices(line, 5.0).size();
+  EXPECT_LT(coarse, fine);
+  EXPECT_LE(fine, line.size());
+}
+
+TEST(SimplifyTest, SimplifiedPointsAreSubsetWithEndpoints) {
+  Rng rng(2);
+  std::vector<XY> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back(XY{i * 40.0, rng.Gaussian(0.0, 30.0)});
+  }
+  Trajectory t = FromXY(pts);
+  t.id = 9;
+  t.label = 2;
+  Trajectory s = SimplifyDouglasPeucker(t, 25.0);
+  EXPECT_EQ(s.id, 9);
+  EXPECT_EQ(s.label, 2);
+  ASSERT_GE(s.size(), 2);
+  EXPECT_EQ(s.points.front(), t.points.front());
+  EXPECT_EQ(s.points.back(), t.points.back());
+  // Every kept point exists in the original (timestamps preserved).
+  for (const auto& p : s.points) {
+    EXPECT_NE(std::find(t.points.begin(), t.points.end(), p),
+              t.points.end());
+  }
+}
+
+TEST(SimplifyTest, ErrorBoundHolds) {
+  // Every dropped point stays within tolerance of the simplified polyline.
+  Rng rng(3);
+  std::vector<XY> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back(XY{i * 25.0, 100.0 * std::sin(i * 0.3)});
+  }
+  const double tol = 15.0;
+  std::vector<int> keep = DouglasPeuckerIndices(pts, tol);
+  // Walk consecutive kept pairs and bound interior deviations.
+  for (size_t s = 1; s < keep.size(); ++s) {
+    const XY& a = pts[static_cast<size_t>(keep[s - 1])];
+    const XY& b = pts[static_cast<size_t>(keep[s])];
+    for (int i = keep[s - 1] + 1; i < keep[s]; ++i) {
+      const XY& p = pts[static_cast<size_t>(i)];
+      // Perpendicular distance to the segment [a, b].
+      const double dx = b.x - a.x, dy = b.y - a.y;
+      const double len2 = std::max(dx * dx + dy * dy, 1e-12);
+      double tt = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+      tt = std::clamp(tt, 0.0, 1.0);
+      const double d = EuclideanMeters(
+          p, XY{a.x + tt * dx, a.y + tt * dy});
+      EXPECT_LE(d, tol + 1e-6);
+    }
+  }
+}
+
+TEST(SimplifyTest, ShortInputsUntouched) {
+  Trajectory two = FromXY({{0, 0}, {100, 100}});
+  EXPECT_EQ(SimplifyDouglasPeucker(two, 10.0).size(), 2);
+  Trajectory one = FromXY({{5, 5}});
+  EXPECT_EQ(SimplifyDouglasPeucker(one, 10.0).size(), 1);
+}
+
+// -------------------------------------------------------------- staypoints --
+
+TEST(StayPointTest, DetectsALingerThenMove) {
+  std::vector<XY> pts;
+  // Linger near the origin for 10 samples (50 s)...
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(XY{rng.Gaussian(0.0, 10.0), rng.Gaussian(0.0, 10.0)});
+  }
+  // ...then drive away fast.
+  for (int i = 1; i <= 10; ++i) pts.push_back(XY{i * 400.0, 0.0});
+  Trajectory t = FromXY(pts, 10.0);  // 10 s sampling
+  StayPointConfig cfg;
+  cfg.distance_threshold_m = 150.0;
+  cfg.time_threshold_s = 60.0;
+  auto stays = DetectStayPoints(t, cfg);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].first_index, 0);
+  EXPECT_GE(stays[0].last_index, 8);
+  EXPECT_GE(stays[0].duration_s(), 60.0);
+  // Centroid near the origin.
+  const XY c = kProj.Project(stays[0].centroid);
+  EXPECT_LT(std::abs(c.x), 30.0);
+  EXPECT_LT(std::abs(c.y), 30.0);
+}
+
+TEST(StayPointTest, NoStayWhenMovingSteadily) {
+  std::vector<XY> pts;
+  for (int i = 0; i < 30; ++i) pts.push_back(XY{i * 300.0, 0.0});
+  Trajectory t = FromXY(pts, 5.0);
+  auto stays = DetectStayPoints(t, StayPointConfig{});
+  EXPECT_TRUE(stays.empty());
+}
+
+TEST(StayPointTest, TwoSeparateStays) {
+  std::vector<XY> pts;
+  for (int i = 0; i < 8; ++i) pts.push_back(XY{0.0, i * 5.0});
+  for (int i = 1; i <= 5; ++i) pts.push_back(XY{i * 500.0, 0.0});
+  for (int i = 0; i < 8; ++i) pts.push_back(XY{2500.0, i * 5.0});
+  Trajectory t = FromXY(pts, 30.0);
+  StayPointConfig cfg;
+  cfg.distance_threshold_m = 100.0;
+  cfg.time_threshold_s = 120.0;
+  auto stays = DetectStayPoints(t, cfg);
+  EXPECT_EQ(stays.size(), 2u);
+}
+
+TEST(StayPointTest, TopStayLocationsFindSyntheticPois) {
+  // Synthetic city: walks linger around their POIs by construction.
+  data::SyntheticCityConfig cfg;
+  cfg.num_pois = 3;
+  cfg.trajectories_per_poi = 20;
+  cfg.seed = 7;
+  cfg.mean_speed_mps = 2.0;  // slow: lots of lingering
+  cfg.span_meters = 12000.0;
+  data::Dataset ds = data::GenerateSyntheticCity(cfg).value();
+  StayPointConfig sp;
+  sp.distance_threshold_m = 400.0;
+  sp.time_threshold_s = 60.0;
+  auto centers = TopStayLocations(ds.trajectories, sp, 3, 1500.0);
+  ASSERT_EQ(centers.size(), 3u);
+  // Each detected center should be near a distinct true POI.
+  std::vector<bool> matched(3, false);
+  for (const auto& c : centers) {
+    for (size_t j = 0; j < ds.poi_centers.size(); ++j) {
+      if (HaversineMeters(c, ds.poi_centers[j]) < 2500.0) {
+        matched[j] = true;
+      }
+    }
+  }
+  EXPECT_EQ(std::count(matched.begin(), matched.end(), true), 3);
+}
+
+}  // namespace
+}  // namespace e2dtc::geo
+
+namespace e2dtc {
+namespace {
+
+// --------------------------------------------------------------------- SVG --
+
+TEST(SvgTest, RendersOneCirclePerPoint) {
+  std::vector<std::array<double, 2>> pts{{0, 0}, {1, 1}, {2, 0}};
+  std::vector<int> labels{0, 1, -1};
+  viz::ScatterOptions opts;
+  opts.title = "demo";
+  const std::string svg = viz::RenderScatterSvg(pts, labels, opts);
+  size_t circles = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 3u);
+  EXPECT_NE(svg.find("demo"), std::string::npos);
+  EXPECT_NE(svg.find("#999999"), std::string::npos);  // noise color
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, PointsStayInsideViewBox) {
+  std::vector<std::array<double, 2>> pts{{-100, -100}, {100, 100}, {0, 0}};
+  std::vector<int> labels{0, 0, 0};
+  viz::ScatterOptions opts;
+  opts.width = 200;
+  opts.height = 200;
+  const std::string svg = viz::RenderScatterSvg(pts, labels, opts);
+  // Parse all cx/cy values and bound them.
+  size_t pos = 0;
+  while ((pos = svg.find("cx=\"", pos)) != std::string::npos) {
+    const double cx = std::stod(svg.substr(pos + 4));
+    EXPECT_GE(cx, 0.0);
+    EXPECT_LE(cx, 200.0);
+    ++pos;
+  }
+}
+
+TEST(SvgTest, WriteToDiskRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/scatter.svg";
+  std::vector<std::array<double, 2>> pts{{0, 0}, {1, 1}};
+  ASSERT_TRUE(viz::WriteScatterSvg(path, pts, {0, 1}).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SvgTest, WriteToBadPathErrors) {
+  EXPECT_FALSE(
+      viz::WriteScatterSvg("/nonexistent_dir/x.svg", {{0, 0}}, {0}).ok());
+}
+
+// ------------------------------------------------------ parallel EncodeAll --
+
+TEST(ParallelEncodeTest, PoolMatchesSerial) {
+  data::SyntheticCityConfig cfg;
+  cfg.num_pois = 2;
+  cfg.trajectories_per_poi = 15;
+  cfg.seed = 9;
+  data::Dataset ds = data::GenerateSyntheticCity(cfg).value();
+  geo::BoundingBox box = geo::ComputeBoundingBox(ds.trajectories, 1e-3);
+  geo::Grid grid = geo::Grid::Create(box, 300.0).value();
+  geo::Vocabulary vocab = geo::Vocabulary::Build(grid, ds.trajectories);
+  Rng rng(11);
+  core::ModelConfig mc;
+  mc.hidden_size = 16;
+  mc.embedding_dim = 16;
+  mc.num_layers = 2;
+  core::Seq2SeqModel model(vocab.size(), mc, &rng);
+
+  nn::Tensor serial =
+      core::EncodeAll(model, vocab, ds.trajectories, 4, true);
+  ThreadPool pool(4);
+  nn::Tensor parallel =
+      core::EncodeAll(model, vocab, ds.trajectories, 4, true, &pool);
+  ASSERT_TRUE(serial.SameShape(parallel));
+  for (int64_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FLOAT_EQ(serial.data()[i], parallel.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace e2dtc

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/augment.h"
+#include "geo/grid.h"
+#include "geo/kdtree.h"
+#include "geo/point.h"
+#include "geo/trajectory.h"
+#include "geo/vocab.h"
+#include "util/rng.h"
+
+namespace e2dtc::geo {
+namespace {
+
+// ---------------------------------------------------------------- points --
+
+TEST(PointTest, HaversineZeroForSamePoint) {
+  GeoPoint p{120.0, 30.0, 0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(PointTest, HaversineOneDegreeLatitude) {
+  // 1 degree of latitude is ~111.2 km on the sphere.
+  GeoPoint a{0.0, 0.0, 0};
+  GeoPoint b{0.0, 1.0, 0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 300.0);
+}
+
+TEST(PointTest, HaversineSymmetric) {
+  GeoPoint a{120.1, 30.2, 0};
+  GeoPoint b{120.3, 30.1, 0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(ProjectionTest, RoundTripIsAccurate) {
+  LocalProjection proj(120.0, 30.0);
+  GeoPoint p{120.05, 30.03, 17.0};
+  GeoPoint back = proj.Unproject(proj.Project(p), p.t);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_DOUBLE_EQ(back.t, 17.0);
+}
+
+TEST(ProjectionTest, MatchesHaversineAtCityScale) {
+  LocalProjection proj(120.0, 30.0);
+  GeoPoint a{120.0, 30.0, 0};
+  GeoPoint b{120.02, 30.01, 0};
+  const double proj_dist = EuclideanMeters(proj.Project(a), proj.Project(b));
+  const double hav = HaversineMeters(a, b);
+  EXPECT_NEAR(proj_dist, hav, hav * 0.001);
+}
+
+// ------------------------------------------------------------ trajectory --
+
+Trajectory Line(double lon0, double lat0, double lon1, double lat1, int n) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) {
+    const double f = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    t.points.push_back(GeoPoint{lon0 + f * (lon1 - lon0),
+                                lat0 + f * (lat1 - lat0), i * 5.0});
+  }
+  return t;
+}
+
+TEST(TrajectoryTest, BoundingBoxCoversAllPoints) {
+  std::vector<Trajectory> ts{Line(120.0, 30.0, 120.1, 30.1, 5),
+                             Line(119.9, 29.95, 120.0, 30.0, 3)};
+  BoundingBox box = ComputeBoundingBox(ts);
+  EXPECT_DOUBLE_EQ(box.min_lon, 119.9);
+  EXPECT_DOUBLE_EQ(box.max_lon, 120.1);
+  EXPECT_DOUBLE_EQ(box.min_lat, 29.95);
+  EXPECT_DOUBLE_EQ(box.max_lat, 30.1);
+  for (const auto& t : ts) {
+    for (const auto& p : t.points) EXPECT_TRUE(box.Contains(p));
+  }
+}
+
+TEST(TrajectoryTest, PathLengthAndDuration) {
+  Trajectory t = Line(120.0, 30.0, 120.0, 30.01, 11);
+  EXPECT_NEAR(PathLengthMeters(t), HaversineMeters(t.points.front(),
+                                                   t.points.back()),
+              1.0);
+  EXPECT_DOUBLE_EQ(DurationSeconds(t), 50.0);
+  Trajectory single;
+  single.points.push_back(GeoPoint{0, 0, 5});
+  EXPECT_DOUBLE_EQ(DurationSeconds(single), 0.0);
+  EXPECT_DOUBLE_EQ(PathLengthMeters(single), 0.0);
+}
+
+TEST(TrajectoryTest, TotalPoints) {
+  std::vector<Trajectory> ts{Line(0, 0, 1, 1, 4), Line(0, 0, 1, 1, 7)};
+  EXPECT_EQ(TotalPoints(ts), 11);
+}
+
+// ------------------------------------------------------------------ grid --
+
+BoundingBox CityBox() { return BoundingBox{120.0, 30.0, 120.1, 30.08}; }
+
+TEST(GridTest, CreateValidatesInput) {
+  EXPECT_FALSE(Grid::Create(CityBox(), -5.0).ok());
+  EXPECT_FALSE(Grid::Create(BoundingBox{1, 1, 0, 0}, 100.0).ok());
+  EXPECT_FALSE(Grid::Create(BoundingBox{0, 0, 100, 80}, 1.0).ok());  // huge
+  EXPECT_TRUE(Grid::Create(CityBox(), 300.0).ok());
+}
+
+TEST(GridTest, DimensionsMatchSpan) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  // ~0.1 deg lon at lat 30 is ~9.6 km; 0.08 deg lat is ~8.9 km.
+  EXPECT_NEAR(grid.num_cols(), 32, 2);
+  EXPECT_NEAR(grid.num_rows(), 30, 2);
+  EXPECT_EQ(grid.num_cells(), static_cast<int64_t>(grid.num_cols()) *
+                                  grid.num_rows());
+}
+
+TEST(GridTest, CellOfCenterRoundTrip) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  for (int64_t cell : {int64_t{0}, grid.num_cells() / 2,
+                       grid.num_cells() - 1}) {
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(cell)), cell);
+  }
+}
+
+TEST(GridTest, OutOfBoxPointsClampToBoundary) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  const int64_t cell = grid.CellOf(GeoPoint{119.0, 29.0, 0});
+  EXPECT_GE(cell, 0);
+  EXPECT_LT(cell, grid.num_cells());
+  EXPECT_EQ(cell, grid.CellOf(GeoPoint{120.0, 30.0, 0}));
+}
+
+TEST(GridTest, NeighborCellCentersAreCellSizeApart) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  const XY a = grid.CellCenterXY(0);
+  const XY b = grid.CellCenterXY(1);
+  EXPECT_NEAR(EuclideanMeters(a, b), 300.0, 1e-6);
+}
+
+TEST(GridTest, DiscretizeProducesOneCellPerPoint) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Trajectory t = Line(120.0, 30.0, 120.05, 30.04, 9);
+  std::vector<int64_t> cells = grid.Discretize(t);
+  EXPECT_EQ(cells.size(), 9u);
+  for (int64_t c : cells) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, grid.num_cells());
+  }
+}
+
+// ------------------------------------------------------------------ vocab --
+
+std::vector<Trajectory> VocabCorpus() {
+  // Two trajectories along distinct rows of the grid.
+  return {Line(120.0, 30.0, 120.09, 30.0, 40),
+          Line(120.0, 30.07, 120.09, 30.07, 40)};
+}
+
+TEST(VocabTest, SpecialsAreReserved) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  EXPECT_EQ(Vocabulary::kPad, 0);
+  EXPECT_EQ(Vocabulary::kBos, 1);
+  EXPECT_EQ(Vocabulary::kEos, 2);
+  EXPECT_EQ(Vocabulary::kUnk, 3);
+  EXPECT_EQ(v.size(), v.num_cell_tokens() + Vocabulary::kNumSpecial);
+  EXPECT_EQ(v.CellOfToken(Vocabulary::kBos), -1);
+}
+
+TEST(VocabTest, TokensRoundTripToCells) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  ASSERT_GT(v.num_cell_tokens(), 5);
+  for (int tok = Vocabulary::kNumSpecial; tok < v.size(); ++tok) {
+    const int64_t cell = v.CellOfToken(tok);
+    EXPECT_GE(cell, 0);
+    EXPECT_EQ(v.TokenOfCell(cell), tok);
+  }
+}
+
+TEST(VocabTest, ColdCellMapsToUnk) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  // A cell in the untouched middle of the box.
+  const int64_t cold = grid.CellOf(GeoPoint{120.05, 30.035, 0});
+  EXPECT_EQ(v.TokenOfCell(cold), Vocabulary::kUnk);
+}
+
+TEST(VocabTest, MinCountFiltersRareCells) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  auto corpus = VocabCorpus();
+  Vocabulary all = Vocabulary::Build(grid, corpus, 1);
+  Vocabulary filtered = Vocabulary::Build(grid, corpus, 3);
+  EXPECT_LT(filtered.num_cell_tokens(), all.num_cell_tokens());
+}
+
+TEST(VocabTest, TokensOrderedByFrequency) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  for (int tok = Vocabulary::kNumSpecial + 1; tok < v.size(); ++tok) {
+    EXPECT_GE(v.TokenCount(tok - 1), v.TokenCount(tok));
+  }
+}
+
+TEST(VocabTest, EncodeCollapsesConsecutiveDuplicates) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  // Dense sampling: many consecutive points share a cell.
+  Trajectory dense = Line(120.0, 30.0, 120.01, 30.0, 50);
+  Vocabulary v = Vocabulary::Build(grid, {dense});
+  std::vector<int> raw = v.Encode(dense, false);
+  std::vector<int> collapsed = v.Encode(dense, true);
+  EXPECT_EQ(raw.size(), 50u);
+  EXPECT_LT(collapsed.size(), raw.size());
+  for (size_t i = 1; i < collapsed.size(); ++i) {
+    EXPECT_NE(collapsed[i], collapsed[i - 1]);
+  }
+}
+
+TEST(VocabTest, KnnTableRowsAreStochasticAndSelfFirst) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  const int k = 5;
+  Vocabulary::KnnTable table = v.BuildKnnTable(k, 300.0);
+  EXPECT_EQ(table.k, k);
+  for (int tok = 0; tok < v.size(); ++tok) {
+    double sum = 0.0;
+    for (int c = 0; c < k; ++c) {
+      sum += table.weights[static_cast<size_t>(tok) * k + c];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4) << "token " << tok;
+    // Self (or nearest == self) comes first with the largest weight.
+    EXPECT_EQ(table.indices[static_cast<size_t>(tok) * k], tok);
+    for (int c = 1; c < k; ++c) {
+      EXPECT_GE(table.weights[static_cast<size_t>(tok) * k],
+                table.weights[static_cast<size_t>(tok) * k + c]);
+    }
+  }
+}
+
+TEST(VocabTest, SpecialTokensPredictOnlyThemselves) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  Vocabulary::KnnTable table = v.BuildKnnTable(4, 300.0);
+  for (int tok = 0; tok < Vocabulary::kNumSpecial; ++tok) {
+    EXPECT_EQ(table.indices[static_cast<size_t>(tok) * 4], tok);
+    EXPECT_FLOAT_EQ(table.weights[static_cast<size_t>(tok) * 4], 1.0f);
+    EXPECT_FLOAT_EQ(table.weights[static_cast<size_t>(tok) * 4 + 1], 0.0f);
+  }
+}
+
+TEST(VocabTest, FromCellsRoundTrip) {
+  Grid grid = Grid::Create(CityBox(), 300.0).value();
+  Vocabulary v = Vocabulary::Build(grid, VocabCorpus());
+  Vocabulary copy = Vocabulary::FromCells(grid, v.cells(), v.counts());
+  EXPECT_EQ(copy.size(), v.size());
+  for (int tok = Vocabulary::kNumSpecial; tok < v.size(); ++tok) {
+    EXPECT_EQ(copy.CellOfToken(tok), v.CellOfToken(tok));
+    EXPECT_EQ(copy.TokenCount(tok), v.TokenCount(tok));
+  }
+}
+
+// ---------------------------------------------------------------- kdtree --
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.KNearest(XY{0, 0}, 3).empty());
+  EXPECT_TRUE(tree.RadiusSearch(XY{0, 0}, 10).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({XY{1, 2}});
+  auto nn = tree.KNearest(XY{0, 0}, 5);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], 0);
+}
+
+class KdTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeRandomTest, KNearestMatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  std::vector<XY> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(XY{rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000)});
+  }
+  KdTree tree(pts);
+  for (int trial = 0; trial < 10; ++trial) {
+    const XY q{rng.Uniform(-1200, 1200), rng.Uniform(-1200, 1200)};
+    const int k = 1 + static_cast<int>(rng.UniformU64(8));
+    auto got = tree.KNearest(q, k);
+    // Brute force.
+    std::vector<std::pair<double, int>> all;
+    for (int i = 0; i < n; ++i) {
+      all.push_back({EuclideanMeters(q, pts[static_cast<size_t>(i)]), i});
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(got.size(), static_cast<size_t>(std::min(k, n)));
+    for (size_t c = 0; c < got.size(); ++c) {
+      EXPECT_NEAR(EuclideanMeters(q, pts[static_cast<size_t>(got[c])]),
+                  all[c].first, 1e-9)
+          << "rank " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeRandomTest,
+                         ::testing::Values(2, 5, 17, 64, 200));
+
+TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
+  Rng rng(77);
+  std::vector<XY> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back(XY{rng.Uniform(-100, 100), rng.Uniform(-100, 100)});
+  }
+  KdTree tree(pts);
+  const XY q{10, -5};
+  const double radius = 40.0;
+  auto got = tree.RadiusSearch(q, radius);
+  std::set<int> got_set(got.begin(), got.end());
+  for (int i = 0; i < 120; ++i) {
+    const bool inside =
+        EuclideanMeters(q, pts[static_cast<size_t>(i)]) <= radius;
+    EXPECT_EQ(got_set.count(i) > 0, inside) << "point " << i;
+  }
+}
+
+// --------------------------------------------------------------- augment --
+
+Trajectory LongLine() { return Line(120.0, 30.0, 120.09, 30.05, 100); }
+
+TEST(AugmentTest, DownsampleKeepsEndpointsAndOrder) {
+  Rng rng(1);
+  Trajectory t = LongLine();
+  Trajectory down = Downsample(t, 0.5, &rng);
+  ASSERT_GE(down.size(), 2);
+  EXPECT_EQ(down.points.front(), t.points.front());
+  EXPECT_EQ(down.points.back(), t.points.back());
+  for (size_t i = 1; i < down.points.size(); ++i) {
+    EXPECT_GT(down.points[i].t, down.points[i - 1].t);
+  }
+}
+
+TEST(AugmentTest, DownsampleRateZeroIsIdentity) {
+  Rng rng(2);
+  Trajectory t = LongLine();
+  EXPECT_EQ(Downsample(t, 0.0, &rng).size(), t.size());
+}
+
+TEST(AugmentTest, DownsampleRateApproximatelyHonored) {
+  Rng rng(3);
+  Trajectory t = LongLine();
+  int total = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) total += Downsample(t, 0.4, &rng).size();
+  // Expected: 2 endpoints + 98 * 0.6 interior.
+  EXPECT_NEAR(total / static_cast<double>(trials), 2 + 98 * 0.6, 4.0);
+}
+
+TEST(AugmentTest, DistortMovesAboutRateFractionOfPoints) {
+  Rng rng(4);
+  Trajectory t = LongLine();
+  Trajectory d = Distort(t, 0.5, 30.0, &rng);
+  ASSERT_EQ(d.size(), t.size());
+  int moved = 0;
+  for (int i = 0; i < t.size(); ++i) {
+    if (HaversineMeters(t.points[static_cast<size_t>(i)],
+                        d.points[static_cast<size_t>(i)]) > 0.5) {
+      ++moved;
+    }
+  }
+  EXPECT_NEAR(moved, 50, 17);
+}
+
+TEST(AugmentTest, DistortNoiseHasRequestedScale) {
+  Rng rng(5);
+  Trajectory t = LongLine();
+  Trajectory d = Distort(t, 1.0, 30.0, &rng);
+  double sq = 0.0;
+  for (int i = 0; i < t.size(); ++i) {
+    const double dist = HaversineMeters(t.points[static_cast<size_t>(i)],
+                                        d.points[static_cast<size_t>(i)]);
+    sq += dist * dist;
+  }
+  // E[d^2] = 2 sigma^2 for isotropic 2-D noise.
+  EXPECT_NEAR(std::sqrt(sq / t.size()), 30.0 * std::sqrt(2.0), 8.0);
+}
+
+TEST(AugmentTest, DistortZeroRateIsIdentity) {
+  Rng rng(6);
+  Trajectory t = LongLine();
+  Trajectory d = Distort(t, 0.0, 30.0, &rng);
+  EXPECT_EQ(d.points, t.points);
+}
+
+TEST(AugmentTest, CorruptionVariantsEnumerateTheGrid) {
+  Rng rng(7);
+  AugmentConfig cfg;
+  auto variants = CorruptionVariants(LongLine(), cfg, &rng);
+  EXPECT_EQ(variants.size(), 16u);  // 4 drop rates x 4 distort rates
+  // The (0, 0) variant is the original.
+  EXPECT_EQ(variants[0].points, LongLine().points);
+}
+
+TEST(AugmentTest, PreservesIdAndLabel) {
+  Rng rng(8);
+  Trajectory t = LongLine();
+  t.id = 42;
+  t.label = 3;
+  Trajectory c = Corrupt(t, 0.3, 0.3, 20.0, &rng);
+  EXPECT_EQ(c.id, 42);
+  EXPECT_EQ(c.label, 3);
+}
+
+}  // namespace
+}  // namespace e2dtc::geo

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linalg.h"
+#include "util/rng.h"
+#include "viz/pca.h"
+
+namespace e2dtc {
+namespace {
+
+using nn::SymmetricEigen;
+using nn::Tensor;
+
+// --------------------------------------------------------------- eigen --
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Tensor a(3, 3);
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 1.0f;
+  a.at(2, 2) = 2.0f;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig->values.size(), 3u);
+  EXPECT_NEAR(eig->values[0], 1.0, 1e-8);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-8);
+  EXPECT_NEAR(eig->values[2], 3.0, 1e-8);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Tensor a(2, 2, {2, 1, 1, 2});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 1.0, 1e-8);
+  EXPECT_NEAR(eig->values[1], 3.0, 1e-8);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const float v0 = eig->vectors.at(0, 1);
+  const float v1 = eig->vectors.at(1, 1);
+  EXPECT_NEAR(std::abs(v0), std::sqrt(0.5), 1e-5);
+  EXPECT_NEAR(v0, v1, 1e-5);
+}
+
+TEST(SymmetricEigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(7);
+  const int n = 8;
+  Tensor a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.Gaussian());
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A == V diag(w) V^T.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int c = 0; c < n; ++c) {
+        sum += eig->values[static_cast<size_t>(c)] *
+               eig->vectors.at(i, c) * eig->vectors.at(j, c);
+      }
+      EXPECT_NEAR(sum, a.at(i, j), 1e-4) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(9);
+  const int n = 6;
+  Tensor a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.Gaussian());
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (int c1 = 0; c1 < n; ++c1) {
+    for (int c2 = c1; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) {
+        dot += static_cast<double>(eig->vectors.at(r, c1)) *
+               eig->vectors.at(r, c2);
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-5);
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, ValidatesInput) {
+  EXPECT_FALSE(SymmetricEigen(Tensor(2, 3)).ok());       // not square
+  EXPECT_FALSE(SymmetricEigen(Tensor()).ok());           // empty
+  Tensor asym(2, 2, {1, 5, -5, 1});
+  EXPECT_FALSE(SymmetricEigen(asym).ok());               // not symmetric
+}
+
+TEST(SymmetricEigenTest, TraceAndEigenvalueSumAgree) {
+  Rng rng(11);
+  const int n = 10;
+  Tensor a(n, n);
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.Gaussian());
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+    trace += a.at(i, i);
+  }
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  double sum = 0.0;
+  for (double w : eig->values) sum += w;
+  EXPECT_NEAR(sum, trace, 1e-4);
+}
+
+// ------------------------------------------------------------------- PCA --
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal y = x with tiny perpendicular noise.
+  Rng rng(13);
+  std::vector<std::vector<float>> pts;
+  for (int i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.Gaussian(0.0, 10.0));
+    const float noise = static_cast<float>(rng.Gaussian(0.0, 0.1));
+    pts.push_back({t + noise, t - noise});
+  }
+  auto pca = viz::RunPca(pts, 2);
+  ASSERT_TRUE(pca.ok());
+  // First component ~ (1,1)/sqrt(2) up to sign.
+  const auto& c0 = pca->components[0];
+  EXPECT_NEAR(std::abs(c0[0]), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(c0[0], c0[1], 0.05);
+  // It explains nearly all variance.
+  EXPECT_GT(pca->explained_variance_ratio[0], 0.99);
+  EXPECT_NEAR(pca->explained_variance_ratio[0] +
+                  pca->explained_variance_ratio[1],
+              1.0, 1e-6);
+}
+
+TEST(PcaTest, ProjectionIsCentered) {
+  std::vector<std::vector<float>> pts{{1, 2}, {3, 4}, {5, 0}, {7, 2}};
+  auto pca = viz::RunPca(pts, 1);
+  ASSERT_TRUE(pca.ok());
+  double mean = 0.0;
+  for (const auto& p : pca->projected) mean += p[0];
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-5);
+}
+
+TEST(PcaTest, ProjectionPreservesPairwiseVarianceOrder) {
+  // With all components kept, distances are preserved (rotation).
+  Rng rng(15);
+  std::vector<std::vector<float>> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({static_cast<float>(rng.Gaussian()),
+                   static_cast<float>(rng.Gaussian()),
+                   static_cast<float>(rng.Gaussian())});
+  }
+  auto pca = viz::RunPca(pts, 3);
+  ASSERT_TRUE(pca.ok());
+  auto dist = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double s = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      s += (static_cast<double>(a[d]) - b[d]) *
+           (static_cast<double>(a[d]) - b[d]);
+    }
+    return std::sqrt(s);
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t i = rng.UniformU64(30);
+    const size_t j = rng.UniformU64(30);
+    EXPECT_NEAR(dist(pts[i], pts[j]),
+                dist(pca->projected[i], pca->projected[j]), 1e-3);
+  }
+}
+
+TEST(PcaTest, ValidatesInput) {
+  EXPECT_FALSE(viz::RunPca({}, 1).ok());
+  EXPECT_FALSE(viz::RunPca({{1.0f}}, 1).ok());  // single point
+  std::vector<std::vector<float>> pts{{1, 2}, {3, 4}};
+  EXPECT_FALSE(viz::RunPca(pts, 0).ok());
+  EXPECT_FALSE(viz::RunPca(pts, 3).ok());  // more components than dims
+  std::vector<std::vector<float>> ragged{{1, 2}, {3}};
+  EXPECT_FALSE(viz::RunPca(ragged, 1).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc

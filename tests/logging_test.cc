@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace e2dtc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  E2DTC_LOG(Warning) << "warn " << 42;
+  E2DTC_LOG(Error) << "err";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("warn 42"), std::string::npos);
+  EXPECT_NE(out.find("err"), std::string::npos);
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  E2DTC_LOG(Debug) << "hidden-debug";
+  E2DTC_LOG(Info) << "hidden-info";
+  E2DTC_LOG(Warning) << "hidden-warning";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesSkipFormattingWork) {
+  // The stream operator short-circuits when disabled; a throwing/expensive
+  // operand must still be evaluated (C++ semantics) but not formatted into
+  // the buffer — verify the cheap observable part: nothing reaches stderr.
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("payload");
+  };
+  E2DTC_LOG(Info) << expensive();
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(evaluations, 1);  // argument evaluated, output suppressed
+}
+
+}  // namespace
+}  // namespace e2dtc

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+namespace {
+
+using ::e2dtc::testing::GradCheck;
+using ::e2dtc::testing::RandomTensor;
+
+constexpr double kTol = 2e-2;
+
+// ------------------------------------------------------ KnnProximityLoss --
+
+KnnCandidates MakeCandidates(Rng* rng, int n, int k, int vocab) {
+  KnnCandidates cand;
+  cand.k = k;
+  cand.indices.resize(static_cast<size_t>(n) * k);
+  cand.weights.resize(static_cast<size_t>(n) * k);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < k; ++c) {
+      cand.indices[static_cast<size_t>(i) * k + c] =
+          static_cast<int>(rng->UniformU64(static_cast<uint64_t>(vocab)));
+      const double w = rng->UniformDouble() + 0.1;
+      cand.weights[static_cast<size_t>(i) * k + c] = static_cast<float>(w);
+      sum += w;
+    }
+    for (int c = 0; c < k; ++c) {
+      cand.weights[static_cast<size_t>(i) * k + c] /= static_cast<float>(sum);
+    }
+  }
+  return cand;
+}
+
+/// Reference implementation: explicit per-sample softmax over candidates.
+double ReferenceKnnLoss(const Tensor& h, const Tensor& w, const Tensor& b,
+                        const KnnCandidates& cand) {
+  double total = 0.0;
+  const int n = cand.num_samples();
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> logits(static_cast<size_t>(cand.k));
+    double mx = -1e300;
+    for (int c = 0; c < cand.k; ++c) {
+      const int cell = cand.indices[static_cast<size_t>(i) * cand.k + c];
+      double dot = b.at(cell, 0);
+      for (int d = 0; d < h.cols(); ++d) dot += w.at(cell, d) * h.at(i, d);
+      logits[static_cast<size_t>(c)] = dot;
+      mx = std::max(mx, dot);
+    }
+    double denom = 0.0;
+    for (double l : logits) denom += std::exp(l - mx);
+    for (int c = 0; c < cand.k; ++c) {
+      total -= cand.weights[static_cast<size_t>(i) * cand.k + c] *
+               (logits[static_cast<size_t>(c)] - mx - std::log(denom));
+    }
+  }
+  return total;
+}
+
+TEST(KnnProximityLossTest, MatchesReferenceValue) {
+  Rng rng(1);
+  const int n = 5, k = 4, vocab = 10, hidden = 6;
+  KnnCandidates cand = MakeCandidates(&rng, n, k, vocab);
+  Tensor h = RandomTensor(n, hidden, &rng);
+  Tensor w = RandomTensor(vocab, hidden, &rng);
+  Tensor b = RandomTensor(vocab, 1, &rng);
+  Var loss = KnnProximityLoss(Var::Constant(h), Var::Constant(w),
+                              Var::Constant(b), cand);
+  EXPECT_NEAR(loss.value().scalar(), ReferenceKnnLoss(h, w, b, cand), 1e-3);
+}
+
+TEST(KnnProximityLossTest, GradCheckHidden) {
+  Rng rng(2);
+  const int n = 3, k = 3, vocab = 8, hidden = 4;
+  KnnCandidates cand = MakeCandidates(&rng, n, k, vocab);
+  Tensor w = RandomTensor(vocab, hidden, &rng);
+  Tensor b = RandomTensor(vocab, 1, &rng);
+  Var h = Var::Leaf(RandomTensor(n, hidden, &rng), true);
+  EXPECT_LT(GradCheck(h,
+                      [&](const Var& x) {
+                        return KnnProximityLoss(x, Var::Constant(w),
+                                                Var::Constant(b), cand);
+                      }),
+            kTol);
+}
+
+TEST(KnnProximityLossTest, GradCheckProjection) {
+  Rng rng(3);
+  const int n = 3, k = 3, vocab = 6, hidden = 4;
+  KnnCandidates cand = MakeCandidates(&rng, n, k, vocab);
+  Tensor h = RandomTensor(n, hidden, &rng);
+  Tensor b = RandomTensor(vocab, 1, &rng);
+  Var w = Var::Leaf(RandomTensor(vocab, hidden, &rng), true);
+  EXPECT_LT(GradCheck(w,
+                      [&](const Var& x) {
+                        return KnnProximityLoss(Var::Constant(h), x,
+                                                Var::Constant(b), cand);
+                      }),
+            kTol);
+  Var bias = Var::Leaf(b, true);
+  EXPECT_LT(GradCheck(bias,
+                      [&](const Var& x) {
+                        return KnnProximityLoss(Var::Constant(h),
+                                                Var::Constant(w.value()), x,
+                                                cand);
+                      }),
+            kTol);
+}
+
+TEST(KnnProximityLossTest, PerfectPredictionHasLowLoss) {
+  // One candidate dominating the weights and a huge logit on it -> loss ~ 0.
+  const int hidden = 2;
+  KnnCandidates cand;
+  cand.k = 2;
+  cand.indices = {0, 1};
+  cand.weights = {1.0f, 0.0f};
+  Tensor h(1, hidden, {10.0f, 0.0f});
+  Tensor w(2, hidden, {10.0f, 0.0f, -10.0f, 0.0f});
+  Tensor b(2, 1);
+  Var loss = KnnProximityLoss(Var::Constant(h), Var::Constant(w),
+                              Var::Constant(b), cand);
+  EXPECT_LT(loss.value().scalar(), 1e-3f);
+}
+
+// --------------------------------------------------- SoftmaxCrossEntropy --
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Var logits = Var::Constant(Tensor(4, 5));
+  Var loss = SoftmaxCrossEntropy(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(loss.value().scalar(), std::log(5.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradCheck) {
+  Rng rng(4);
+  Var logits = Var::Leaf(RandomTensor(4, 6, &rng), true);
+  const std::vector<int> targets{1, 0, 5, 3};
+  EXPECT_LT(GradCheck(logits,
+                      [&](const Var& x) {
+                        return SoftmaxCrossEntropy(x, targets);
+                      }),
+            kTol);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  Tensor t(1, 3);
+  t.at(0, 1) = 20.0f;
+  Var loss = SoftmaxCrossEntropy(Var::Constant(t), {1});
+  EXPECT_LT(loss.value().scalar(), 1e-3f);
+}
+
+// ---------------------------------------------------- Student-t / DEC Q --
+
+TEST(StudentTTest, RowsSumToOne) {
+  Rng rng(5);
+  Tensor v = RandomTensor(6, 4, &rng);
+  Tensor c = RandomTensor(3, 4, &rng);
+  Var q = StudentTAssignment(Var::Constant(v), Var::Constant(c));
+  ASSERT_EQ(q.rows(), 6);
+  ASSERT_EQ(q.cols(), 3);
+  for (int i = 0; i < 6; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      s += q.value().at(i, j);
+      EXPECT_GT(q.value().at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(StudentTTest, AutogradMatchesPlainTensorVersion) {
+  Rng rng(6);
+  Tensor v = RandomTensor(5, 3, &rng);
+  Tensor c = RandomTensor(4, 3, &rng);
+  Var q_var = StudentTAssignment(Var::Constant(v), Var::Constant(c));
+  Tensor q_val = StudentTAssignmentValue(v, c);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(q_var.value().at(i, j), q_val.at(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(StudentTTest, NearestCentroidGetsHighestProbability) {
+  Tensor v(1, 2, {0.1f, 0.0f});
+  Tensor c(2, 2, {0.0f, 0.0f, 5.0f, 5.0f});
+  Tensor q = StudentTAssignmentValue(v, c);
+  EXPECT_GT(q.at(0, 0), q.at(0, 1));
+  EXPECT_GT(q.at(0, 0), 0.9f);
+}
+
+TEST(StudentTTest, GradCheckThroughEmbeddingsAndCentroids) {
+  Rng rng(7);
+  Tensor c = RandomTensor(3, 4, &rng);
+  Var v = Var::Leaf(RandomTensor(4, 4, &rng), true);
+  EXPECT_LT(GradCheck(v,
+                      [&](const Var& x) {
+                        return Sum(Square(
+                            StudentTAssignment(x, Var::Constant(c))));
+                      }),
+            kTol);
+  Tensor v_val = RandomTensor(4, 4, &rng);
+  Var cent = Var::Leaf(c, true);
+  EXPECT_LT(GradCheck(cent,
+                      [&](const Var& x) {
+                        return Sum(Square(
+                            StudentTAssignment(Var::Constant(v_val), x)));
+                      }),
+            kTol);
+}
+
+// ---------------------------------------------------- TargetDistribution --
+
+TEST(TargetDistributionTest, RowsSumToOne) {
+  Rng rng(8);
+  Tensor v = RandomTensor(10, 4, &rng);
+  Tensor c = RandomTensor(3, 4, &rng);
+  Tensor q = StudentTAssignmentValue(v, c);
+  Tensor p = TargetDistribution(q);
+  for (int i = 0; i < 10; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 3; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(TargetDistributionTest, SharpensConfidentAssignments) {
+  // A row already dominated by one cluster gets MORE dominated in P.
+  Tensor q(2, 2, {0.8f, 0.2f, 0.5f, 0.5f});
+  Tensor p = TargetDistribution(q);
+  EXPECT_GT(p.at(0, 0), 0.8f);
+  EXPECT_LT(p.at(0, 1), 0.2f);
+}
+
+TEST(TargetDistributionTest, FrequencyNormalizationPenalizesBigClusters) {
+  // Cluster 0 is much more populated; ties should tilt toward cluster 1.
+  Tensor q(3, 2, {0.9f, 0.1f, 0.9f, 0.1f, 0.5f, 0.5f});
+  Tensor p = TargetDistribution(q);
+  EXPECT_GT(p.at(2, 1), p.at(2, 0));
+}
+
+// ------------------------------------------------------------------- KL --
+
+TEST(KlDivergenceTest, ZeroWhenEqual) {
+  Tensor p(2, 3, {0.2f, 0.3f, 0.5f, 0.1f, 0.6f, 0.3f});
+  Var q = Var::Constant(p);
+  Var kl = KlDivergence(p, q);
+  EXPECT_NEAR(kl.value().scalar(), 0.0f, 1e-5);
+}
+
+TEST(KlDivergenceTest, PositiveWhenDifferent) {
+  Tensor p(1, 2, {0.9f, 0.1f});
+  Tensor qv(1, 2, {0.5f, 0.5f});
+  Var kl = KlDivergence(p, Var::Constant(qv));
+  const double expected =
+      0.9 * std::log(0.9 / 0.5) + 0.1 * std::log(0.1 / 0.5);
+  EXPECT_NEAR(kl.value().scalar(), expected, 1e-5);
+}
+
+TEST(KlDivergenceTest, GradCheckThroughQ) {
+  Rng rng(9);
+  // Build a valid (positive) q by softmax of random logits.
+  Tensor p(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    double s = 0;
+    for (int j = 0; j < 4; ++j) {
+      p.at(i, j) = static_cast<float>(rng.UniformDouble() + 0.1);
+      s += p.at(i, j);
+    }
+    for (int j = 0; j < 4; ++j) p.at(i, j) /= static_cast<float>(s);
+  }
+  Var logits = Var::Leaf(RandomTensor(3, 4, &rng), true);
+  EXPECT_LT(GradCheck(logits,
+                      [&](const Var& x) {
+                        return KlDivergence(p, SoftmaxRows(x));
+                      }),
+            kTol);
+}
+
+// -------------------------------------------------------------- Triplet --
+
+TEST(TripletLossTest, ZeroWhenNegativeFarAndPositiveClose) {
+  Tensor a(2, 2, {0, 0, 1, 1});
+  Tensor pos(2, 2, {0.1f, 0, 1, 1.1f});
+  Tensor neg(2, 2, {10, 10, -10, -10});
+  Var loss = TripletLoss(Var::Constant(a), Var::Constant(pos),
+                         Var::Constant(neg), 1.0f);
+  EXPECT_FLOAT_EQ(loss.value().scalar(), 0.0f);
+}
+
+TEST(TripletLossTest, MarginViolationIsPositive) {
+  Tensor a(1, 2, {0, 0});
+  Tensor pos(1, 2, {2, 0});   // d^2 = 4
+  Tensor neg(1, 2, {1, 0});   // d^2 = 1
+  Var loss = TripletLoss(Var::Constant(a), Var::Constant(pos),
+                         Var::Constant(neg), 0.5f);
+  EXPECT_NEAR(loss.value().scalar(), 4.0 - 1.0 + 0.5, 1e-5);
+}
+
+TEST(TripletLossTest, GradCheckAllThreeInputs) {
+  Rng rng(10);
+  Tensor pos = RandomTensor(3, 4, &rng);
+  Tensor neg = RandomTensor(3, 4, &rng);
+  Var a = Var::Leaf(RandomTensor(3, 4, &rng), true);
+  EXPECT_LT(GradCheck(a,
+                      [&](const Var& x) {
+                        return TripletLoss(x, Var::Constant(pos),
+                                           Var::Constant(neg), 2.0f);
+                      }),
+            kTol);
+  Tensor anchor = RandomTensor(3, 4, &rng);
+  Var p = Var::Leaf(pos, true);
+  EXPECT_LT(GradCheck(p,
+                      [&](const Var& x) {
+                        return TripletLoss(Var::Constant(anchor), x,
+                                           Var::Constant(neg), 2.0f);
+                      }),
+            kTol);
+  Var n = Var::Leaf(neg, true);
+  EXPECT_LT(GradCheck(n,
+                      [&](const Var& x) {
+                        return TripletLoss(Var::Constant(anchor),
+                                           Var::Constant(pos), x, 2.0f);
+                      }),
+            kTol);
+}
+
+}  // namespace
+}  // namespace e2dtc::nn

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "core/seq2seq.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+namespace {
+
+using ::e2dtc::testing::GradCheck;
+using ::e2dtc::testing::RandomTensor;
+
+constexpr double kTol = 3e-2;
+
+TEST(LstmCellTest, OutputShapesAndBounds) {
+  Rng rng(1);
+  LstmCell cell(4, 6, &rng);
+  LstmCell::State s;
+  s.h = Var::Constant(Tensor(3, 6));
+  s.c = Var::Constant(Tensor(3, 6));
+  LstmCell::State out = cell.Forward(
+      Var::Constant(RandomTensor(3, 4, &rng)), s);
+  ASSERT_EQ(out.h.rows(), 3);
+  ASSERT_EQ(out.h.cols(), 6);
+  ASSERT_EQ(out.c.rows(), 3);
+  // h = o * tanh(c) is bounded in (-1, 1).
+  for (int64_t i = 0; i < out.h.value().size(); ++i) {
+    EXPECT_LT(std::abs(out.h.value().data()[i]), 1.0f);
+  }
+  EXPECT_FALSE(out.c.value().HasNonFinite());
+}
+
+TEST(LstmCellTest, ParameterCount) {
+  Rng rng(2);
+  LstmCell cell(5, 7, &rng);
+  // wx [5,28] + wh [7,28] + bx [1,28] + bh [1,28].
+  EXPECT_EQ(cell.ParameterCount(), 5 * 28 + 7 * 28 + 28 + 28);
+}
+
+TEST(LstmCellTest, CellStateAccumulatesAcrossSteps) {
+  // With forget gate ~ 1 (large bias), the cell state keeps growing.
+  Rng rng(3);
+  LstmCell cell(2, 4, &rng);
+  LstmCell::State s;
+  s.h = Var::Constant(Tensor(1, 4));
+  s.c = Var::Constant(Tensor(1, 4));
+  Var x = Var::Constant(RandomTensor(1, 2, &rng));
+  LstmCell::State s1 = cell.Forward(x, s);
+  LstmCell::State s2 = cell.Forward(x, s1);
+  // States evolve (not a fixed point from zero).
+  double diff = 0.0;
+  for (int d = 0; d < 4; ++d) {
+    diff += std::abs(s2.h.value().at(0, d) - s1.h.value().at(0, d));
+  }
+  EXPECT_GT(diff, 1e-5);
+}
+
+TEST(LstmCellTest, GradFlowsToInputAndState) {
+  Rng rng(4);
+  LstmCell cell(3, 4, &rng);
+  Var x = Var::Leaf(RandomTensor(2, 3, &rng), true);
+  EXPECT_LT(GradCheck(x,
+                      [&](const Var& v) {
+                        LstmCell::State s;
+                        s.h = Var::Constant(Tensor(2, 4, 0.1f));
+                        s.c = Var::Constant(Tensor(2, 4, 0.2f));
+                        LstmCell::State out = cell.Forward(v, s);
+                        return Sum(Add(Square(out.h), Square(out.c)));
+                      }),
+            kTol);
+  Var h0 = Var::Leaf(RandomTensor(2, 4, &rng, 0.3f), true);
+  Tensor x_val = RandomTensor(2, 3, &rng);
+  EXPECT_LT(GradCheck(h0,
+                      [&](const Var& v) {
+                        LstmCell::State s;
+                        s.h = v;
+                        s.c = Var::Constant(Tensor(2, 4, 0.2f));
+                        return Sum(Square(cell.Forward(
+                            Var::Constant(x_val), s).h));
+                      }),
+            kTol);
+}
+
+TEST(LstmCellTest, GradFlowsToParameters) {
+  Rng rng(5);
+  LstmCell cell(3, 4, &rng);
+  LstmCell::State s;
+  s.h = Var::Constant(RandomTensor(2, 4, &rng, 0.2f));
+  s.c = Var::Constant(RandomTensor(2, 4, &rng, 0.2f));
+  LstmCell::State out =
+      cell.Forward(Var::Constant(RandomTensor(2, 3, &rng)), s);
+  Backward(Sum(Square(out.h)));
+  for (const auto& p : cell.Parameters()) {
+    ASSERT_TRUE(p.grad().SameShape(p.value()));
+    EXPECT_GT(p.grad().SquaredNorm(), 0.0f) << p.node()->name;
+  }
+}
+
+TEST(LstmStackTest, LayerCountAndShapes) {
+  Rng rng(6);
+  LstmStack stack(3, 5, 8, &rng);
+  EXPECT_EQ(stack.num_layers(), 3);
+  auto state = stack.InitialState(4);
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_EQ(state[0].h.rows(), 4);
+  EXPECT_EQ(state[0].c.cols(), 8);
+  auto next = stack.Step(Var::Constant(RandomTensor(4, 5, &rng)), state);
+  ASSERT_EQ(next.size(), 3u);
+  EXPECT_EQ(next[2].h.rows(), 4);
+}
+
+TEST(LstmStackTest, DeterministicWithoutDropout) {
+  Rng rng(7);
+  LstmStack stack(2, 3, 4, &rng);
+  Var x = Var::Constant(RandomTensor(2, 3, &rng));
+  auto s0 = stack.InitialState(2);
+  auto a = stack.Step(x, s0);
+  auto b = stack.Step(x, s0);
+  for (int64_t i = 0; i < a.back().h.value().size(); ++i) {
+    EXPECT_FLOAT_EQ(a.back().h.value().data()[i],
+                    b.back().h.value().data()[i]);
+  }
+}
+
+TEST(LstmStackTest, TrainableOnToyObjective) {
+  // Drive the top hidden toward a target; loss must drop.
+  Rng rng(8);
+  LstmStack stack(2, 3, 4, &rng);
+  Tensor x_val = RandomTensor(2, 3, &rng);
+  Tensor target = RandomTensor(2, 4, &rng, 0.3f);
+  Sgd opt(stack.Parameters(), 0.5f, 0.9f);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    opt.ZeroGrad();
+    auto out = stack.Step(Var::Constant(x_val), stack.InitialState(2));
+    Var loss = Mean(Square(Sub(out.back().h, Var::Constant(target))));
+    Backward(loss);
+    opt.Step();
+    if (step == 0) first = loss.value().scalar();
+    last = loss.value().scalar();
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace e2dtc::nn
+
+namespace e2dtc::core {
+namespace {
+
+TEST(Seq2SeqLstmTest, LstmBackedModelEncodesAndDecodes) {
+  Rng rng(9);
+  ModelConfig cfg;
+  cfg.rnn = RnnKind::kLstm;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  cfg.knn_k = 3;
+  Seq2SeqModel model(12, cfg, &rng);
+
+  std::vector<std::vector<int>> seqs{{4, 5, 6}, {7, 8}};
+  std::vector<int> idx{0, 1};
+  data::PaddedBatch batch = data::PadSequences(seqs, idx, 0);
+  auto enc = model.Encode(batch, false, nullptr);
+  ASSERT_EQ(enc.state.layers.size(), 2u);
+  ASSERT_EQ(enc.state.layers[0].size(), 2u);  // h and c
+  EXPECT_EQ(enc.embedding.rows(), 2);
+
+  geo::Vocabulary::KnnTable knn;
+  knn.k = 3;
+  for (int v = 0; v < 12; ++v) {
+    knn.indices.insert(knn.indices.end(), {v, (v + 1) % 12, (v + 2) % 12});
+    knn.weights.insert(knn.weights.end(), {0.8f, 0.1f, 0.1f});
+  }
+  auto dec = model.DecodeLoss(enc.state, batch, knn, false, nullptr);
+  EXPECT_EQ(dec.num_tokens, 3 + 1 + 2 + 1);  // tokens + EOS per row...
+  EXPECT_GT(dec.loss_sum.value().scalar(), 0.0f);
+}
+
+TEST(Seq2SeqLstmTest, LstmPaddingInvariance) {
+  Rng rng(10);
+  ModelConfig cfg;
+  cfg.rnn = RnnKind::kLstm;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  Seq2SeqModel model(12, cfg, &rng);
+  std::vector<std::vector<int>> seqs{{4, 5}};
+  std::vector<std::vector<int>> both{{6, 7, 8, 9, 10}, {4, 5}};
+  data::PaddedBatch alone = data::PadSequences(seqs, {0}, 0);
+  data::PaddedBatch padded = data::PadSequences(both, {0, 1}, 0);
+  nn::Tensor a = model.EncodeInference(alone);
+  nn::Tensor b = model.EncodeInference(padded);
+  for (int d = 0; d < 8; ++d) EXPECT_NEAR(a.at(0, d), b.at(1, d), 1e-5);
+}
+
+TEST(Seq2SeqLstmTest, LstmTrainingReducesLoss) {
+  Rng rng(11);
+  ModelConfig cfg;
+  cfg.rnn = RnnKind::kLstm;
+  cfg.embedding_dim = 8;
+  cfg.hidden_size = 8;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  cfg.knn_k = 3;
+  Seq2SeqModel model(12, cfg, &rng);
+  geo::Vocabulary::KnnTable knn;
+  knn.k = 3;
+  for (int v = 0; v < 12; ++v) {
+    knn.indices.insert(knn.indices.end(), {v, (v + 1) % 12, (v + 2) % 12});
+    knn.weights.insert(knn.weights.end(), {0.8f, 0.1f, 0.1f});
+  }
+  std::vector<std::vector<int>> seqs{{4, 5, 6}, {7, 8, 9}};
+  data::PaddedBatch batch = data::PadSequences(seqs, {0, 1}, 0);
+  nn::Adam opt(model.Parameters(), 0.01f);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    opt.ZeroGrad();
+    auto enc = model.Encode(batch, true, &rng);
+    auto dec = model.DecodeLoss(enc.state, batch, knn, true, &rng);
+    nn::Var loss = nn::MulScalar(
+        dec.loss_sum, 1.0f / static_cast<float>(dec.num_tokens));
+    nn::Backward(loss);
+    opt.ClipGradNorm(5.0f);
+    opt.Step();
+    if (step == 0) first = loss.value().scalar();
+    last = loss.value().scalar();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+}  // namespace
+}  // namespace e2dtc::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/clustering_metrics.h"
+#include "util/rng.h"
+
+namespace e2dtc::metrics {
+namespace {
+
+// -------------------------------------------------------- Fowlkes-Mallows --
+
+TEST(FowlkesMallowsTest, PerfectIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(FowlkesMallows(labels, labels).value(), 1.0, 1e-12);
+}
+
+TEST(FowlkesMallowsTest, PermutationInvariant) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{7, 7, 3, 3};
+  EXPECT_NEAR(FowlkesMallows(pred, truth).value(), 1.0, 1e-12);
+}
+
+TEST(FowlkesMallowsTest, KnownSmallExample) {
+  // truth {a,b | c,d}, pred {a | b,c,d}: TP = 1 pair (c,d);
+  // pred pairs = 3, truth pairs = 2 -> FM = 1/sqrt(6).
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 1, 1};
+  EXPECT_NEAR(FowlkesMallows(pred, truth).value(), 1.0 / std::sqrt(6.0),
+              1e-9);
+}
+
+TEST(FowlkesMallowsTest, AllSingletonsGiveZero) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(FowlkesMallows(pred, truth).value(), 0.0);
+}
+
+TEST(FowlkesMallowsTest, InUnitInterval) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> pred(40), truth(40);
+    for (int i = 0; i < 40; ++i) {
+      pred[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(4));
+      truth[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(3));
+    }
+    const double fm = FowlkesMallows(pred, truth).value();
+    EXPECT_GE(fm, 0.0);
+    EXPECT_LE(fm, 1.0 + 1e-12);
+  }
+}
+
+// --------------------------------------------------------------- V-measure --
+
+TEST(VMeasureTest, PerfectIsOne) {
+  std::vector<int> labels{0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(VMeasure(labels, labels).value(), 1.0, 1e-9);
+}
+
+TEST(VMeasureTest, SingletonsAreHomogeneousButIncomplete) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 2, 3};
+  // Perfect homogeneity, completeness < 1 -> 0 < V < 1.
+  const double v = VMeasure(pred, truth).value();
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(VMeasureTest, OneClusterIsCompleteButInhomogeneous) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 0, 0, 0};
+  // Completeness 1 (H(pred|true) = 0), homogeneity 0 -> V = 0.
+  EXPECT_NEAR(VMeasure(pred, truth).value(), 0.0, 1e-9);
+}
+
+TEST(VMeasureTest, BetaShiftsTheBalance) {
+  // Over-clustered prediction: homogeneity 1, completeness < 1. Larger beta
+  // weights completeness more, lowering V.
+  std::vector<int> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> pred{0, 0, 1, 1, 2, 2, 3, 3};
+  const double v_low = VMeasure(pred, truth, 0.5).value();
+  const double v_high = VMeasure(pred, truth, 2.0).value();
+  EXPECT_GT(v_low, v_high);
+}
+
+TEST(VMeasureTest, SymmetricAtBetaOne) {
+  std::vector<int> a{0, 0, 1, 1, 2, 2};
+  std::vector<int> b{0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(VMeasure(a, b).value(), VMeasure(b, a).value(), 1e-9);
+}
+
+TEST(VMeasureTest, ValidatesBeta) {
+  EXPECT_FALSE(VMeasure({0, 1}, {0, 1}, -1.0).ok());
+}
+
+// ---------------------------------------------------------- Davies-Bouldin --
+
+TEST(DaviesBouldinTest, LowerForBetterSeparation) {
+  Rng rng(7);
+  std::vector<std::vector<float>> tight, loose;
+  std::vector<int> assign;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      const float cx = c == 0 ? -50.0f : 50.0f;
+      tight.push_back({cx + static_cast<float>(rng.Gaussian(0.0, 1.0)),
+                       static_cast<float>(rng.Gaussian(0.0, 1.0))});
+      loose.push_back({cx + static_cast<float>(rng.Gaussian(0.0, 20.0)),
+                       static_cast<float>(rng.Gaussian(0.0, 20.0))});
+      assign.push_back(c);
+    }
+  }
+  const double db_tight = DaviesBouldin(tight, assign).value();
+  const double db_loose = DaviesBouldin(loose, assign).value();
+  EXPECT_LT(db_tight, db_loose);
+  EXPECT_LT(db_tight, 0.1);
+}
+
+TEST(DaviesBouldinTest, ValidatesInput) {
+  std::vector<std::vector<float>> pts{{0, 0}, {1, 1}};
+  EXPECT_FALSE(DaviesBouldin(pts, {0, 0}).ok());       // one cluster
+  EXPECT_FALSE(DaviesBouldin(pts, {0}).ok());          // size mismatch
+  EXPECT_FALSE(DaviesBouldin({}, {}).ok());            // empty
+}
+
+TEST(DaviesBouldinTest, ScaleInvariantRatio) {
+  // Scaling all coordinates by a constant leaves the index unchanged.
+  std::vector<std::vector<float>> pts{{0, 0}, {1, 0}, {10, 0}, {11, 0}};
+  std::vector<std::vector<float>> scaled;
+  for (const auto& p : pts) scaled.push_back({p[0] * 7.0f, p[1] * 7.0f});
+  std::vector<int> assign{0, 0, 1, 1};
+  EXPECT_NEAR(DaviesBouldin(pts, assign).value(),
+              DaviesBouldin(scaled, assign).value(), 1e-6);
+}
+
+}  // namespace
+}  // namespace e2dtc::metrics

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "metrics/clustering_metrics.h"
+#include "metrics/hungarian.h"
+#include "metrics/silhouette.h"
+#include "util/rng.h"
+
+namespace e2dtc::metrics {
+namespace {
+
+// --------------------------------------------------------------- Hungarian --
+
+TEST(HungarianTest, TrivialSingleEntry) {
+  auto r = SolveAssignment({{5.0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(r->total_cost, 5.0);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Optimal: (0,1), (1,0), (2,2) with cost 1 + 2 + 2 = 5.
+  std::vector<std::vector<double>> cost{
+      {4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  auto r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_cost, 5.0);
+}
+
+TEST(HungarianTest, ValidatesShape) {
+  EXPECT_FALSE(SolveAssignment({}).ok());
+  EXPECT_FALSE(SolveAssignment({{1.0, 2.0}, {3.0}}).ok());
+}
+
+TEST(HungarianTest, HandlesNegativeCosts) {
+  std::vector<std::vector<double>> cost{{-5.0, 0.0}, {0.0, -5.0}};
+  auto r = SolveAssignment(cost);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_cost, -10.0);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+    for (auto& row : cost) {
+      for (auto& c : row) c = rng.Uniform(-10.0, 10.0);
+    }
+    auto r = SolveAssignment(cost);
+    ASSERT_TRUE(r.ok());
+    // Assignment must be a permutation.
+    std::vector<int> sorted = r->assignment;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+    // Brute-force optimum.
+    std::vector<int> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = std::numeric_limits<double>::infinity();
+    do {
+      double c = 0.0;
+      for (int i = 0; i < n; ++i) {
+        c += cost[static_cast<size_t>(i)][static_cast<size_t>(
+            perm[static_cast<size_t>(i)])];
+      }
+      best = std::min(best, c);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(r->total_cost, best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandomTest,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+// ------------------------------------------------------------------ UACC --
+
+TEST(UaccTest, PerfectClusteringIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(UnsupervisedAccuracy(labels, labels).value(), 1.0);
+}
+
+TEST(UaccTest, PermutedLabelsStillPerfect) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> pred{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(UnsupervisedAccuracy(pred, truth).value(), 1.0);
+}
+
+TEST(UaccTest, OneMisplacedPoint) {
+  std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  std::vector<int> pred{0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(UnsupervisedAccuracy(pred, truth).value(), 5.0 / 6.0, 1e-9);
+}
+
+TEST(UaccTest, MorePredictedClustersThanTrue) {
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> pred{0, 0, 1, 2};
+  EXPECT_NEAR(UnsupervisedAccuracy(pred, truth).value(), 0.5, 1e-9);
+}
+
+TEST(UaccTest, ValidatesInput) {
+  EXPECT_FALSE(UnsupervisedAccuracy({0, 1}, {0}).ok());
+  EXPECT_FALSE(UnsupervisedAccuracy({}, {}).ok());
+}
+
+// ------------------------------------------------------------------- NMI --
+
+TEST(NmiTest, PerfectIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, labels).value(), 1.0,
+              1e-9);
+}
+
+TEST(NmiTest, PermutationInvariant) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> pred{5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(pred, truth).value(), 1.0, 1e-9);
+}
+
+TEST(NmiTest, IndependentLabelingsNearZero) {
+  // Balanced 2x2 independence: MI = 0 exactly.
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(pred, truth).value(), 0.0, 1e-9);
+}
+
+TEST(NmiTest, ConstantPredictionIsZeroAgainstInformativeTruth) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(pred, truth).value(), 0.0);
+}
+
+TEST(NmiTest, BothConstantIsOne) {
+  std::vector<int> a{3, 3, 3};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, a).value(), 1.0);
+}
+
+TEST(NmiTest, InUnitInterval) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> pred(50), truth(50);
+    for (int i = 0; i < 50; ++i) {
+      pred[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(4));
+      truth[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(3));
+    }
+    const double nmi = NormalizedMutualInformation(pred, truth).value();
+    EXPECT_GE(nmi, -1e-9);
+    EXPECT_LE(nmi, 1.0 + 1e-9);
+  }
+}
+
+// -------------------------------------------------------------------- RI --
+
+TEST(RandIndexTest, PerfectIsOne) {
+  std::vector<int> labels{0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(RandIndex(labels, labels).value(), 1.0);
+}
+
+TEST(RandIndexTest, KnownSmallExample) {
+  // truth: {a,b | c}, pred: {a | b,c}.
+  // Pairs: (a,b): split but together in truth -> wrong;
+  //        (a,c): apart in both -> right; (b,c): together in pred only ->
+  //        wrong. RI = 1/3.
+  std::vector<int> truth{0, 0, 1};
+  std::vector<int> pred{0, 1, 1};
+  EXPECT_NEAR(RandIndex(pred, truth).value(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(RandIndexTest, SingletonsVsOneCluster) {
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> pred{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(RandIndex(pred, truth).value(), 0.0);
+}
+
+TEST(RandIndexTest, NeedsTwoPoints) {
+  EXPECT_FALSE(RandIndex({0}, {0}).ok());
+}
+
+// ------------------------------------------------------------------- ARI --
+
+TEST(AriTest, PerfectIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2};
+  EXPECT_NEAR(AdjustedRandIndex(labels, labels).value(), 1.0, 1e-9);
+}
+
+TEST(AriTest, RandomLabelingNearZero) {
+  Rng rng(43);
+  double total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> pred(60), truth(60);
+    for (int i = 0; i < 60; ++i) {
+      pred[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(3));
+      truth[static_cast<size_t>(i)] = static_cast<int>(rng.UniformU64(3));
+    }
+    total += AdjustedRandIndex(pred, truth).value();
+  }
+  EXPECT_NEAR(total / trials, 0.0, 0.05);
+}
+
+TEST(AriTest, WorseThanChanceIsNegative) {
+  // Anti-correlated labeling.
+  std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  std::vector<int> pred{0, 1, 1, 0, 0, 1};
+  EXPECT_LT(AdjustedRandIndex(pred, truth).value(), 0.0);
+}
+
+// ---------------------------------------------------------------- purity --
+
+TEST(PurityTest, PerfectIsOne) {
+  std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity(labels, labels).value(), 1.0);
+}
+
+TEST(PurityTest, MajorityRule) {
+  std::vector<int> truth{0, 0, 0, 1};
+  std::vector<int> pred{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Purity(pred, truth).value(), 0.75);
+}
+
+TEST(PurityTest, SingletonsAlwaysPure) {
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(Purity(pred, truth).value(), 1.0);
+}
+
+// --------------------------------------------------------- EvaluateClustering
+
+TEST(EvaluateClusteringTest, BundlesAllThree) {
+  std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  std::vector<int> pred{1, 1, 2, 2, 0, 0};
+  auto q = EvaluateClustering(pred, truth);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->uacc, 1.0);
+  EXPECT_NEAR(q->nmi, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q->ri, 1.0);
+}
+
+// ------------------------------------------------------------- contingency --
+
+TEST(ContingencyTest, CountsMatchInputs) {
+  std::vector<int> pred{0, 0, 1, 1, 1};
+  std::vector<int> truth{7, 7, 7, 9, 9};
+  auto c = BuildContingency(pred, truth);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_pred, 2);
+  EXPECT_EQ(c->num_true, 2);
+  EXPECT_EQ(c->at(0, 0), 2);  // pred 0 / truth 7
+  EXPECT_EQ(c->at(1, 0), 1);
+  EXPECT_EQ(c->at(1, 1), 2);
+}
+
+TEST(ContingencyTest, NoiseLabelsBecomeTheirOwnClass) {
+  std::vector<int> pred{-1, -1, 0};
+  std::vector<int> truth{0, 0, 0};
+  auto c = BuildContingency(pred, truth);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_pred, 2);
+}
+
+// ------------------------------------------------------------- silhouette --
+
+TEST(SilhouetteTest, WellSeparatedNearOne) {
+  std::vector<std::vector<float>> pts{
+      {0, 0}, {0.1f, 0}, {0, 0.1f}, {100, 100}, {100.1f, 100}, {100, 100.1f}};
+  std::vector<int> assign{0, 0, 0, 1, 1, 1};
+  EXPECT_GT(SilhouetteScore(pts, assign).value(), 0.95);
+}
+
+TEST(SilhouetteTest, RandomAssignmentNearOrBelowZero) {
+  std::vector<std::vector<float>> pts{
+      {0, 0}, {0.1f, 0}, {100, 100}, {100.1f, 100}};
+  std::vector<int> assign{0, 1, 0, 1};  // crosses the blobs
+  EXPECT_LT(SilhouetteScore(pts, assign).value(), 0.1);
+}
+
+TEST(SilhouetteTest, NeedsTwoClusters) {
+  std::vector<std::vector<float>> pts{{0, 0}, {1, 1}};
+  EXPECT_FALSE(SilhouetteScore(pts, {0, 0}).ok());
+}
+
+TEST(SilhouetteTest, DistanceFunctionOverloadAgrees) {
+  std::vector<std::vector<float>> pts{
+      {0, 0}, {1, 0}, {10, 0}, {11, 0}};
+  std::vector<int> assign{0, 0, 1, 1};
+  const double from_features = SilhouetteScore(pts, assign).value();
+  auto dist = [&](int i, int j) {
+    return std::abs(pts[static_cast<size_t>(i)][0] -
+                    pts[static_cast<size_t>(j)][0]);
+  };
+  const double from_dist = SilhouetteScore(4, dist, assign).value();
+  EXPECT_NEAR(from_features, from_dist, 1e-9);
+}
+
+}  // namespace
+}  // namespace e2dtc::metrics

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/gru.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+namespace {
+
+using ::e2dtc::testing::GradCheck;
+using ::e2dtc::testing::RandomTensor;
+
+constexpr double kTol = 3e-2;
+
+// ---------------------------------------------------------------- Linear --
+
+TEST(LinearTest, ForwardMatchesManualMatmulPlusBias) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng);
+  Tensor x_val = RandomTensor(4, 3, &rng);
+  Var y = layer.Forward(Var::Constant(x_val));
+  ASSERT_EQ(y.rows(), 4);
+  ASSERT_EQ(y.cols(), 2);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double expected = layer.bias().value().at(0, j);
+      for (int d = 0; d < 3; ++d) {
+        expected += x_val.at(i, d) * layer.weight().value().at(d, j);
+      }
+      EXPECT_NEAR(y.value().at(i, j), expected, 1e-4);
+    }
+  }
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Var y = layer.Forward(Var::Constant(Tensor(1, 3)));
+  EXPECT_FLOAT_EQ(y.value().at(0, 0), 0.0f);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(3);
+  Linear layer(10, 7, &rng);
+  EXPECT_EQ(layer.ParameterCount(), 10 * 7 + 7);
+}
+
+// ------------------------------------------------------------- Embedding --
+
+TEST(EmbeddingTest, GathersRows) {
+  Rng rng(4);
+  Embedding emb(5, 3, &rng);
+  Var out = emb.Forward({4, 0});
+  ASSERT_EQ(out.rows(), 2);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(out.value().at(0, d), emb.table().value().at(4, d));
+    EXPECT_FLOAT_EQ(out.value().at(1, d), emb.table().value().at(0, d));
+  }
+}
+
+TEST(EmbeddingTest, LoadTableReplacesWeights) {
+  Rng rng(5);
+  Embedding emb(3, 2, &rng);
+  Tensor table(3, 2, {1, 2, 3, 4, 5, 6});
+  emb.LoadTable(table);
+  Var out = emb.Forward({1});
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 3);
+  EXPECT_FLOAT_EQ(out.value().at(0, 1), 4);
+}
+
+// ----------------------------------------------------------- Module tree --
+
+class ToyModule : public Module {
+ public:
+  explicit ToyModule(Rng* rng) : child_(2, 2, rng) {
+    w_ = AddParameter("w", Tensor(1, 1, {2.0f}));
+    AddSubmodule("child", &child_);
+  }
+  Linear child_;
+  Var w_;
+};
+
+TEST(ModuleTest, NamedParametersArePrefixed) {
+  Rng rng(6);
+  ToyModule m(&rng);
+  auto named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].name, "w");
+  EXPECT_EQ(named[1].name, "child.weight");
+  EXPECT_EQ(named[2].name, "child.bias");
+}
+
+// ------------------------------------------------------------------- GRU --
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  Rng rng(7);
+  GruCell cell(4, 6, &rng);
+  Var h = Var::Constant(Tensor(3, 6));
+  Var x = Var::Constant(RandomTensor(3, 4, &rng));
+  Var h2 = cell.Forward(x, h);
+  ASSERT_EQ(h2.rows(), 3);
+  ASSERT_EQ(h2.cols(), 6);
+  // GRU outputs stay in (-1, 1) from a zero state (convex blend of tanh
+  // candidate and zero).
+  for (int64_t i = 0; i < h2.value().size(); ++i) {
+    EXPECT_LT(std::abs(h2.value().data()[i]), 1.0f);
+  }
+}
+
+TEST(GruCellTest, ZeroInputZeroStateStaysBounded) {
+  Rng rng(8);
+  GruCell cell(3, 5, &rng);
+  Var h = Var::Constant(Tensor(2, 5));
+  Var x = Var::Constant(Tensor(2, 3));
+  Var out = cell.Forward(x, h);
+  EXPECT_FALSE(out.value().HasNonFinite());
+}
+
+TEST(GruCellTest, GradFlowsToInputAndState) {
+  Rng rng(9);
+  GruCell cell(3, 4, &rng);
+  Var x = Var::Leaf(RandomTensor(2, 3, &rng), true);
+  EXPECT_LT(GradCheck(x,
+                      [&](const Var& v) {
+                        return Sum(Square(cell.Forward(
+                            v, Var::Constant(Tensor(2, 4, 0.1f)))));
+                      }),
+            kTol);
+  Var h = Var::Leaf(RandomTensor(2, 4, &rng, 0.3f), true);
+  Tensor x_val = RandomTensor(2, 3, &rng);
+  EXPECT_LT(GradCheck(h,
+                      [&](const Var& v) {
+                        return Sum(Square(
+                            cell.Forward(Var::Constant(x_val), v)));
+                      }),
+            kTol);
+}
+
+TEST(GruCellTest, GradFlowsToParameters) {
+  Rng rng(10);
+  GruCell cell(3, 4, &rng);
+  Var x = Var::Constant(RandomTensor(2, 3, &rng));
+  Var h = Var::Constant(RandomTensor(2, 4, &rng, 0.2f));
+  Backward(Sum(Square(cell.Forward(x, h))));
+  for (const auto& p : cell.Parameters()) {
+    ASSERT_TRUE(p.grad().SameShape(p.value()));
+    EXPECT_GT(p.grad().SquaredNorm(), 0.0f) << p.node()->name;
+  }
+}
+
+TEST(GruStackTest, LayerCountAndShapes) {
+  Rng rng(11);
+  GruStack stack(3, 5, 8, &rng);
+  EXPECT_EQ(stack.num_layers(), 3);
+  std::vector<Var> h = stack.InitialState(4);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0].rows(), 4);
+  EXPECT_EQ(h[0].cols(), 8);
+  Var x = Var::Constant(RandomTensor(4, 5, &rng));
+  std::vector<Var> h2 = stack.Step(x, h);
+  ASSERT_EQ(h2.size(), 3u);
+  for (const auto& layer : h2) {
+    EXPECT_EQ(layer.rows(), 4);
+    EXPECT_EQ(layer.cols(), 8);
+  }
+}
+
+TEST(GruStackTest, DeterministicWithoutDropout) {
+  Rng rng(12);
+  GruStack stack(2, 3, 4, &rng);
+  Var x = Var::Constant(RandomTensor(2, 3, &rng));
+  std::vector<Var> h = stack.InitialState(2);
+  Var a = stack.Step(x, h).back();
+  Var b = stack.Step(x, h).back();
+  for (int64_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_FLOAT_EQ(a.value().data()[i], b.value().data()[i]);
+  }
+}
+
+TEST(GruStackTest, ParameterCountScalesWithLayers) {
+  Rng rng(13);
+  GruStack one(1, 4, 8, &rng);
+  GruStack three(3, 4, 8, &rng);
+  // Layer 0: in=4; layers 1,2: in=8.
+  const int64_t layer0 = (4 * 24) + (8 * 24) + 24 + 24;
+  const int64_t layerN = (8 * 24) + (8 * 24) + 24 + 24;
+  EXPECT_EQ(one.ParameterCount(), layer0);
+  EXPECT_EQ(three.ParameterCount(), layer0 + 2 * layerN);
+}
+
+// ------------------------------------------------------------ Optimizers --
+
+TEST(OptimizerTest, ZeroGradClearsAccumulation) {
+  Var w = Var::Leaf(Tensor(1, 1, {1.0f}), true, "w");
+  Sgd opt({w}, 0.1f);
+  Backward(Sum(Square(w)));
+  EXPECT_NE(w.grad().scalar(), 0.0f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad().scalar(), 0.0f);
+}
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  Var w = Var::Leaf(Tensor(1, 1, {5.0f}), true, "w");
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    Backward(Sum(Square(w)));
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().scalar(), 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, SgdWithMomentumConvergesFaster) {
+  auto run = [](float momentum) {
+    Var w = Var::Leaf(Tensor(1, 1, {5.0f}), true, "w");
+    Sgd opt({w}, 0.01f, momentum);
+    for (int i = 0; i < 60; ++i) {
+      opt.ZeroGrad();
+      Backward(Sum(Square(w)));
+      opt.Step();
+    }
+    return std::abs(w.value().scalar());
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(OptimizerTest, AdamMinimizesRosenbrockish) {
+  // Minimize (w0 - 3)^2 + 10 (w1 + 2)^2.
+  Var w = Var::Leaf(Tensor(1, 2, {0.0f, 0.0f}), true, "w");
+  Adam opt({w}, 0.05f);
+  Tensor target(1, 2, {3.0f, -2.0f});
+  Tensor scale(1, 2, {1.0f, 10.0f});
+  for (int i = 0; i < 800; ++i) {
+    opt.ZeroGrad();
+    Var diff = Sub(w, Var::Constant(target));
+    Backward(Sum(Mul(Square(diff), Var::Constant(scale))));
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 3.0f, 0.05);
+  EXPECT_NEAR(w.value().at(0, 1), -2.0f, 0.05);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Var w = Var::Leaf(Tensor(1, 2, {0.0f, 0.0f}), true, "w");
+  Adam opt({w}, 0.1f);
+  w.node()->EnsureGrad();
+  w.node()->grad.at(0, 0) = 3.0f;
+  w.node()->grad.at(0, 1) = 4.0f;  // norm 5
+  const float norm = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(std::sqrt(w.grad().SquaredNorm()), 1.0f, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopBelowThreshold) {
+  Var w = Var::Leaf(Tensor(1, 1, {0.0f}), true, "w");
+  Sgd opt({w}, 0.1f);
+  w.node()->EnsureGrad();
+  w.node()->grad.at(0, 0) = 0.5f;
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(w.grad().at(0, 0), 0.5f);
+}
+
+TEST(OptimizerTest, SkipsParametersWithoutGradients) {
+  Var a = Var::Leaf(Tensor(1, 1, {1.0f}), true, "a");
+  Var b = Var::Leaf(Tensor(1, 1, {1.0f}), true, "b");
+  Adam opt({a, b}, 0.1f);
+  opt.ZeroGrad();
+  Backward(Sum(Square(a)));  // b untouched
+  opt.Step();
+  EXPECT_NE(a.value().scalar(), 1.0f);
+  EXPECT_FLOAT_EQ(b.value().scalar(), 1.0f);
+}
+
+// --------------------------------------------------------- Serialization --
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(20);
+  Linear a(4, 3, &rng);
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(SaveModule(path, a).ok());
+
+  Rng rng2(99);  // different init
+  Linear b(4, 3, &rng2);
+  ASSERT_TRUE(LoadModule(path, &b).ok());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(b.weight().value().at(i, j),
+                      a.weight().value().at(i, j));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ShapeMismatchErrors) {
+  Rng rng(21);
+  Linear a(4, 3, &rng);
+  const std::string path = ::testing::TempDir() + "/params_mismatch.bin";
+  ASSERT_TRUE(SaveModule(path, a).ok());
+  Linear wrong(5, 3, &rng);
+  Status s = LoadModule(path, &wrong);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileErrors) {
+  Rng rng(22);
+  Linear a(2, 2, &rng);
+  EXPECT_EQ(LoadModule("/nonexistent/params.bin", &a).code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializeTest, ParameterCountMismatchErrors) {
+  Rng rng(23);
+  Linear with_bias(2, 2, &rng);
+  Linear no_bias(2, 2, &rng, /*bias=*/false);
+  const std::string path = ::testing::TempDir() + "/params_count.bin";
+  ASSERT_TRUE(SaveModule(path, no_bias).ok());
+  EXPECT_FALSE(LoadModule(path, &with_bias).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace e2dtc::nn

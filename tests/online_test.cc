@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "metrics/clustering_metrics.h"
+
+namespace e2dtc::core {
+namespace {
+
+class OnlineClustererTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticCityConfig cfg;
+    cfg.num_pois = 3;
+    cfg.trajectories_per_poi = 40;
+    cfg.min_points = 24;
+    cfg.max_points = 48;
+    cfg.span_meters = 12000.0;
+    cfg.seed = 3;
+    dataset_ = new data::Dataset(
+        data::RelabelDataset(data::GenerateSyntheticCity(cfg).value(),
+                             data::GroundTruthConfig{})
+            .value());
+    E2dtcConfig train;
+    train.model.embedding_dim = 24;
+    train.model.hidden_size = 24;
+    train.model.num_layers = 2;
+    train.model.knn_k = 8;
+    train.model.cell_meters = 400.0;
+    train.pretrain.epochs = 3;
+    train.self_train.max_iters = 2;
+    pipeline_ = E2dtcPipeline::Fit(*dataset_, train).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete dataset_;
+  }
+
+  static data::Dataset* dataset_;
+  static E2dtcPipeline* pipeline_;
+};
+
+data::Dataset* OnlineClustererTest::dataset_ = nullptr;
+E2dtcPipeline* OnlineClustererTest::pipeline_ = nullptr;
+
+TEST_F(OnlineClustererTest, StartsFromPipelineCentroids) {
+  OnlineClusterer online(pipeline_);
+  EXPECT_EQ(online.k(), 3);
+  EXPECT_EQ(online.num_seen(), 0);
+  const nn::Tensor& c = online.centroids();
+  const nn::Tensor& trained = pipeline_->fit_result().centroids;
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], trained.data()[i]);
+  }
+}
+
+TEST_F(OnlineClustererTest, AssignMatchesPipelineBeforeAdaptation) {
+  OnlineClusterer online(pipeline_);
+  std::vector<int> a = online.Assign(dataset_->trajectories);
+  std::vector<int> b = pipeline_->Assign(dataset_->trajectories);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(OnlineClustererTest, AssignOneAgreesWithBatch) {
+  OnlineClusterer online(pipeline_);
+  std::vector<int> batch = online.Assign(
+      {dataset_->trajectories[0], dataset_->trajectories[1]});
+  EXPECT_EQ(online.AssignOne(dataset_->trajectories[0]), batch[0]);
+  EXPECT_EQ(online.AssignOne(dataset_->trajectories[1]), batch[1]);
+}
+
+TEST_F(OnlineClustererTest, AdaptationMovesCentroidsTowardData) {
+  OnlineClusterer online(pipeline_, /*count_prior=*/1.0);
+  nn::Tensor before = online.centroids();
+  std::vector<int> assigned =
+      online.AssignAndAdapt(dataset_->trajectories);
+  EXPECT_EQ(online.num_seen(), dataset_->size());
+  // Centroids moved...
+  double moved = 0.0;
+  for (int64_t i = 0; i < before.size(); ++i) {
+    moved += std::abs(before.data()[i] - online.centroids().data()[i]);
+  }
+  EXPECT_GT(moved, 1e-4);
+  // ...and quality does not collapse under adaptation.
+  auto before_q = metrics::EvaluateClustering(
+                      pipeline_->Assign(dataset_->trajectories),
+                      data::Labels(*dataset_))
+                      .value();
+  auto after_q =
+      metrics::EvaluateClustering(online.Assign(dataset_->trajectories),
+                                  data::Labels(*dataset_))
+          .value();
+  EXPECT_GE(after_q.nmi, before_q.nmi - 0.1);
+}
+
+TEST_F(OnlineClustererTest, LargerPriorAdaptsMoreConservatively) {
+  OnlineClusterer eager(pipeline_, 1.0);
+  OnlineClusterer cautious(pipeline_, 1000.0);
+  (void)eager.AssignAndAdapt(dataset_->trajectories);
+  (void)cautious.AssignAndAdapt(dataset_->trajectories);
+  auto drift = [&](const OnlineClusterer& o) {
+    double d = 0.0;
+    const nn::Tensor& trained = pipeline_->fit_result().centroids;
+    for (int64_t i = 0; i < trained.size(); ++i) {
+      d += std::abs(trained.data()[i] - o.centroids().data()[i]);
+    }
+    return d;
+  };
+  EXPECT_GT(drift(eager), drift(cautious));
+}
+
+TEST_F(OnlineClustererTest, EmptyBatchIsNoop) {
+  OnlineClusterer online(pipeline_);
+  EXPECT_TRUE(online.AssignAndAdapt({}).empty());
+  EXPECT_EQ(online.num_seen(), 0);
+}
+
+}  // namespace
+}  // namespace e2dtc::core

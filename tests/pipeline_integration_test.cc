@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/e2dtc.h"
+#include "core/t2vec.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "metrics/clustering_metrics.h"
+
+namespace e2dtc::core {
+namespace {
+
+/// Small but learnable synthetic city for integration tests.
+data::Dataset TestCity(uint64_t seed = 3) {
+  data::SyntheticCityConfig cfg;
+  cfg.seed = seed;
+  cfg.num_pois = 3;
+  cfg.trajectories_per_poi = 40;
+  cfg.min_points = 24;
+  cfg.max_points = 48;
+  cfg.span_meters = 12000.0;
+  data::Dataset ds = data::GenerateSyntheticCity(cfg).value();
+  return data::RelabelDataset(ds, data::GroundTruthConfig{}).value();
+}
+
+/// Short training schedule to keep the test fast.
+E2dtcConfig FastConfig() {
+  E2dtcConfig cfg;
+  cfg.model.embedding_dim = 24;
+  cfg.model.hidden_size = 24;
+  cfg.model.num_layers = 2;
+  cfg.model.knn_k = 8;
+  cfg.model.cell_meters = 400.0;
+  cfg.pretrain.epochs = 3;
+  cfg.pretrain.batch_size = 16;
+  cfg.self_train.max_iters = 3;
+  cfg.self_train.batch_size = 16;
+  return cfg;
+}
+
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  // Expensive fixture: fit once, share across tests.
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(TestCity());
+    auto fitted = E2dtcPipeline::Fit(*dataset_, FastConfig());
+    ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+    pipeline_ = fitted.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete dataset_;
+    pipeline_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static E2dtcPipeline* pipeline_;
+};
+
+data::Dataset* PipelineIntegrationTest::dataset_ = nullptr;
+E2dtcPipeline* PipelineIntegrationTest::pipeline_ = nullptr;
+
+TEST_F(PipelineIntegrationTest, AssignmentsCoverDataset) {
+  const auto& fit = pipeline_->fit_result();
+  EXPECT_EQ(fit.k, 3);
+  ASSERT_EQ(fit.assignments.size(),
+            static_cast<size_t>(dataset_->size()));
+  for (int a : fit.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+  EXPECT_EQ(fit.embeddings.rows(), dataset_->size());
+  EXPECT_EQ(fit.centroids.rows(), 3);
+}
+
+TEST_F(PipelineIntegrationTest, BeatsChanceByAWideMargin) {
+  const double uacc =
+      metrics::UnsupervisedAccuracy(pipeline_->fit_result().assignments,
+                                    data::Labels(*dataset_))
+          .value();
+  // Chance is ~1/3 for k=3; a working pipeline should be far above.
+  EXPECT_GT(uacc, 0.7);
+}
+
+TEST_F(PipelineIntegrationTest, SelfTrainingIsAtLeastAsGoodAsL0) {
+  const auto labels = data::Labels(*dataset_);
+  const double l0 =
+      metrics::NormalizedMutualInformation(
+          pipeline_->fit_result().l0_assignments, labels)
+          .value();
+  const double l2 = metrics::NormalizedMutualInformation(
+                        pipeline_->fit_result().assignments, labels)
+                        .value();
+  EXPECT_GE(l2, l0 - 0.05);  // allow small noise, but no collapse
+}
+
+TEST_F(PipelineIntegrationTest, HistoriesWereRecorded) {
+  const auto& fit = pipeline_->fit_result();
+  EXPECT_EQ(fit.pretrain_history.size(), 3u);
+  EXPECT_GE(fit.self_train_history.size(), 1u);
+  EXPECT_GT(fit.total_seconds, 0.0);
+  // Pre-training loss must improve or at least not explode.
+  EXPECT_LE(fit.pretrain_history.back().avg_token_loss,
+            fit.pretrain_history.front().avg_token_loss * 1.2);
+}
+
+TEST_F(PipelineIntegrationTest, EmbedAndAssignNewTrajectories) {
+  // Re-assign the training set through the public API.
+  std::vector<int> assigned = pipeline_->Assign(dataset_->trajectories);
+  ASSERT_EQ(assigned.size(), static_cast<size_t>(dataset_->size()));
+  // Should agree with the stored assignments almost everywhere (dropout off,
+  // same centroids).
+  int agree = 0;
+  for (size_t i = 0; i < assigned.size(); ++i) {
+    agree += (assigned[i] == pipeline_->fit_result().assignments[i]);
+  }
+  EXPECT_GT(agree, dataset_->size() * 9 / 10);
+}
+
+TEST_F(PipelineIntegrationTest, SoftAssignRowsAreDistributions) {
+  nn::Tensor q = pipeline_->SoftAssign(
+      {dataset_->trajectories[0], dataset_->trajectories[1]});
+  ASSERT_EQ(q.rows(), 2);
+  ASSERT_EQ(q.cols(), 3);
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) sum += q.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST_F(PipelineIntegrationTest, SaveLoadRoundTripPreservesBehavior) {
+  const std::string path = ::testing::TempDir() + "/pipeline.e2dtc";
+  ASSERT_TRUE(pipeline_->Save(path).ok());
+  auto loaded = E2dtcPipeline::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::vector<int> original = pipeline_->Assign(dataset_->trajectories);
+  std::vector<int> reloaded = (*loaded)->Assign(dataset_->trajectories);
+  EXPECT_EQ(original, reloaded);
+  nn::Tensor a = pipeline_->Embed({dataset_->trajectories[0]});
+  nn::Tensor b = (*loaded)->Embed({dataset_->trajectories[0]});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-6);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineValidationTest, RejectsBadInputs) {
+  E2dtcConfig cfg = FastConfig();
+  data::Dataset empty;
+  EXPECT_FALSE(E2dtcPipeline::Fit(empty, cfg).ok());
+
+  data::Dataset tiny = TestCity();
+  cfg.self_train.k = 1;
+  EXPECT_FALSE(E2dtcPipeline::Fit(tiny, cfg).ok());
+
+  cfg = FastConfig();
+  cfg.self_train.k = tiny.size() + 1;
+  EXPECT_FALSE(E2dtcPipeline::Fit(tiny, cfg).ok());
+}
+
+TEST(PipelineValidationTest, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/garbage.e2dtc";
+  {
+    std::ofstream out(path);
+    out << "this is not a pipeline";
+  }
+  EXPECT_FALSE(E2dtcPipeline::Load(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(E2dtcPipeline::Load("/nonexistent/x.e2dtc").ok());
+}
+
+TEST(T2vecBaselineTest, ProducesAssignmentsWithoutSelfTraining) {
+  data::Dataset ds = TestCity(11);
+  E2dtcConfig cfg = FastConfig();
+  auto r = FitT2vecKMeans(ds, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignments.size(), static_cast<size_t>(ds.size()));
+  EXPECT_EQ(r->embeddings.rows(), ds.size());
+  // The baseline's pipeline recorded no self-training epochs.
+  EXPECT_TRUE(r->pipeline->fit_result().self_train_history.empty());
+  const double uacc =
+      metrics::UnsupervisedAccuracy(r->assignments, data::Labels(ds))
+          .value();
+  EXPECT_GT(uacc, 0.55);  // representation alone already beats chance
+}
+
+}  // namespace
+}  // namespace e2dtc::core
+
+namespace e2dtc::core {
+namespace {
+
+TEST(AutoKTest, ElbowPicksTrueClusterCountWhenUnspecified) {
+  data::Dataset ds = TestCity(21);
+  const int true_k = ds.num_clusters;
+  ds.num_clusters = 0;  // pretend the label count is unknown
+  E2dtcConfig cfg = FastConfig();
+  cfg.self_train.k = 0;
+  auto pipeline = E2dtcPipeline::Fit(ds, cfg);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ((*pipeline)->fit_result().k, true_k);
+  EXPECT_EQ((*pipeline)->fit_result().centroids.rows(), true_k);
+}
+
+TEST(AutoKTest, TinyDatasetRejected) {
+  data::Dataset ds = TestCity(22);
+  ds.trajectories.resize(5);
+  ds.num_clusters = 0;
+  E2dtcConfig cfg = FastConfig();
+  cfg.self_train.k = 0;
+  EXPECT_FALSE(E2dtcPipeline::Fit(ds, cfg).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc::core
+
+namespace e2dtc::core {
+namespace {
+
+TEST(ThreadedEncodeTest, ThreadedFitMatchesSerialFit) {
+  data::Dataset ds = TestCity(31);
+  E2dtcConfig serial_cfg = FastConfig();
+  E2dtcConfig threaded_cfg = FastConfig();
+  threaded_cfg.num_encode_threads = 4;
+  auto serial = E2dtcPipeline::Fit(ds, serial_cfg).value();
+  auto threaded = E2dtcPipeline::Fit(ds, threaded_cfg).value();
+  // Encoding is inference: thread scheduling must not change any result.
+  EXPECT_EQ(serial->fit_result().assignments,
+            threaded->fit_result().assignments);
+  nn::Tensor a = serial->Embed({ds.trajectories[0]});
+  nn::Tensor b = threaded->Embed({ds.trajectories[0]});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace e2dtc::core

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/roadnet.h"
+#include "util/rng.h"
+
+namespace e2dtc::geo {
+namespace {
+
+/// A 1-D chain 0 - 1 - 2 - 3 with unit spacing.
+RoadNetwork Chain(int n) {
+  RoadNetwork net;
+  for (int i = 0; i < n; ++i) net.AddNode(XY{static_cast<double>(i), 0.0});
+  for (int i = 1; i < n; ++i) EXPECT_TRUE(net.AddEdge(i - 1, i).ok());
+  return net;
+}
+
+TEST(RoadNetworkTest, AddNodesAndEdges) {
+  RoadNetwork net;
+  EXPECT_EQ(net.AddNode(XY{0, 0}), 0);
+  EXPECT_EQ(net.AddNode(XY{3, 4}), 1);
+  ASSERT_TRUE(net.AddEdge(0, 1).ok());
+  EXPECT_EQ(net.num_nodes(), 2);
+  EXPECT_EQ(net.num_edges(), 1);
+  ASSERT_EQ(net.neighbors(0).size(), 1u);
+  EXPECT_EQ(net.neighbors(0)[0].first, 1);
+  EXPECT_DOUBLE_EQ(net.neighbors(0)[0].second, 5.0);
+}
+
+TEST(RoadNetworkTest, EdgeValidation) {
+  RoadNetwork net;
+  net.AddNode(XY{0, 0});
+  EXPECT_FALSE(net.AddEdge(0, 0).ok());   // self loop
+  EXPECT_FALSE(net.AddEdge(0, 1).ok());   // out of range
+  EXPECT_FALSE(net.AddEdge(-1, 0).ok());
+}
+
+TEST(RoadNetworkTest, ShortestPathOnChain) {
+  RoadNetwork net = Chain(5);
+  auto path = net.ShortestPath(0, 4);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(net.PathLength(*path), 4.0);
+}
+
+TEST(RoadNetworkTest, ShortestPathPrefersShortcut) {
+  // Square 0-1-2-3 plus diagonal 0-2; path 0->2 takes the diagonal.
+  RoadNetwork net;
+  net.AddNode(XY{0, 0});
+  net.AddNode(XY{10, 0});
+  net.AddNode(XY{10, 10});
+  net.AddNode(XY{0, 10});
+  ASSERT_TRUE(net.AddEdge(0, 1).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2).ok());
+  ASSERT_TRUE(net.AddEdge(2, 3).ok());
+  ASSERT_TRUE(net.AddEdge(3, 0).ok());
+  ASSERT_TRUE(net.AddEdge(0, 2).ok());  // diagonal, length ~14.14 < 20
+  auto path = net.ShortestPath(0, 2);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<int>{0, 2}));
+}
+
+TEST(RoadNetworkTest, UnreachableAndInvalidEndpoints) {
+  RoadNetwork net;
+  net.AddNode(XY{0, 0});
+  net.AddNode(XY{1, 0});  // isolated
+  net.AddNode(XY{2, 0});
+  ASSERT_TRUE(net.AddEdge(0, 2).ok());
+  EXPECT_EQ(net.ShortestPath(0, 1).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(net.ShortestPath(0, 9).ok());
+  auto self = net.ShortestPath(2, 2);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(*self, (std::vector<int>{2}));
+}
+
+TEST(RoadNetworkTest, DijkstraMatchesBruteForceOnRandomGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    RoadNetwork net;
+    const int n = 12;
+    for (int i = 0; i < n; ++i) {
+      net.AddNode(XY{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.4)) ASSERT_TRUE(net.AddEdge(i, j).ok());
+      }
+    }
+    // Floyd-Warshall reference.
+    std::vector<std::vector<double>> d(
+        static_cast<size_t>(n),
+        std::vector<double>(static_cast<size_t>(n), 1e18));
+    for (int i = 0; i < n; ++i) {
+      d[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0.0;
+      for (const auto& [j, w] : net.neighbors(i)) {
+        d[static_cast<size_t>(i)][static_cast<size_t>(j)] = w;
+      }
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          d[static_cast<size_t>(i)][static_cast<size_t>(j)] = std::min(
+              d[static_cast<size_t>(i)][static_cast<size_t>(j)],
+              d[static_cast<size_t>(i)][static_cast<size_t>(k)] +
+                  d[static_cast<size_t>(k)][static_cast<size_t>(j)]);
+        }
+      }
+    }
+    for (int q = 0; q < 10; ++q) {
+      const int a = static_cast<int>(rng.UniformU64(n));
+      const int b = static_cast<int>(rng.UniformU64(n));
+      auto path = net.ShortestPath(a, b);
+      if (d[static_cast<size_t>(a)][static_cast<size_t>(b)] >= 1e17) {
+        EXPECT_FALSE(path.ok());
+      } else {
+        ASSERT_TRUE(path.ok());
+        EXPECT_NEAR(net.PathLength(*path),
+                    d[static_cast<size_t>(a)][static_cast<size_t>(b)], 1e-6);
+      }
+    }
+  }
+}
+
+TEST(RoadNetworkTest, NearestNodeAndSnap) {
+  RoadNetwork net = Chain(3);  // nodes at x = 0, 1, 2 on y = 0
+  EXPECT_EQ(net.NearestNode(XY{1.9, 5.0}), 2);
+  auto snap = net.SnapPoint(XY{0.5, 2.0});
+  ASSERT_TRUE(snap.ok());
+  EXPECT_DOUBLE_EQ(snap->distance, 2.0);
+  EXPECT_NEAR(snap->point.x, 0.5, 1e-12);
+  EXPECT_NEAR(snap->point.y, 0.0, 1e-12);
+  EXPECT_EQ(snap->edge_a, 0);
+  EXPECT_EQ(snap->edge_b, 1);
+}
+
+TEST(RoadNetworkTest, SnapRequiresEdges) {
+  RoadNetwork net;
+  net.AddNode(XY{0, 0});
+  EXPECT_FALSE(net.SnapPoint(XY{1, 1}).ok());
+}
+
+TEST(GridRoadNetworkTest, CountsAndConnectivity) {
+  Rng rng(5);
+  RoadNetwork net = MakeGridRoadNetwork(1000.0, 4, 5, 0.0, 0.0, &rng);
+  EXPECT_EQ(net.num_nodes(), 20);
+  // 4 rows x 4 horizontal edges + 3 rows-of-vertical x 5 = 16 + 15.
+  EXPECT_EQ(net.num_edges(), 31);
+  // Fully connected: opposite corners reachable.
+  EXPECT_TRUE(net.ShortestPath(0, 19).ok());
+}
+
+TEST(GridRoadNetworkTest, DiagonalsShortenPaths) {
+  Rng rng(7);
+  RoadNetwork straight = MakeGridRoadNetwork(1000.0, 6, 6, 0.0, 0.0, &rng);
+  Rng rng2(7);
+  RoadNetwork diag = MakeGridRoadNetwork(1000.0, 6, 6, 0.0, 1.0, &rng2);
+  const double straight_len =
+      straight.PathLength(*straight.ShortestPath(0, 35));
+  const double diag_len = diag.PathLength(*diag.ShortestPath(0, 35));
+  EXPECT_LT(diag_len, straight_len);
+}
+
+TEST(SnapToRoadsTest, SnappedPointsLieOnNetwork) {
+  Rng rng(9);
+  RoadNetwork net = MakeGridRoadNetwork(2000.0, 5, 5, 0.0, 0.0, &rng);
+  const LocalProjection proj(120.0, 30.0);
+  Trajectory t;
+  for (int i = 0; i < 10; ++i) {
+    t.points.push_back(proj.Unproject(
+        XY{rng.Uniform(-900, 900), rng.Uniform(-900, 900)}, i * 5.0));
+  }
+  auto snapped = SnapToRoads(net, proj, t);
+  ASSERT_TRUE(snapped.ok());
+  ASSERT_EQ(snapped->size(), t.size());
+  for (int i = 0; i < snapped->size(); ++i) {
+    auto re_snap = net.SnapPoint(proj.Project(snapped->points[
+        static_cast<size_t>(i)]));
+    ASSERT_TRUE(re_snap.ok());
+    EXPECT_LT(re_snap->distance, 1e-6);  // already on the network
+    // Timestamps preserved.
+    EXPECT_DOUBLE_EQ(snapped->points[static_cast<size_t>(i)].t,
+                     t.points[static_cast<size_t>(i)].t);
+  }
+}
+
+TEST(SamplePathTest, StrideAndEndpoints) {
+  RoadNetwork net = Chain(4);  // total length 3
+  auto path = net.ShortestPath(0, 3);
+  ASSERT_TRUE(path.ok());
+  std::vector<XY> pts = SamplePath(net, *path, 0.5);
+  ASSERT_GE(pts.size(), 2u);
+  EXPECT_EQ(pts.front(), net.node(0));
+  EXPECT_EQ(pts.back(), net.node(3));
+  // Consecutive spacing ~ stride (except possibly the final hop).
+  for (size_t i = 1; i + 1 < pts.size(); ++i) {
+    EXPECT_NEAR(EuclideanMeters(pts[i - 1], pts[i]), 0.5, 1e-9);
+  }
+}
+
+TEST(SamplePathTest, EmptyAndSingleNodePaths) {
+  RoadNetwork net = Chain(2);
+  EXPECT_TRUE(SamplePath(net, {}, 1.0).empty());
+  std::vector<XY> single = SamplePath(net, {1}, 1.0);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], net.node(1));
+}
+
+}  // namespace
+}  // namespace e2dtc::geo

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace e2dtc::nn {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.cols(), 0);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.size(), 6);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(t.at(i, j), 1.5f);
+  }
+}
+
+TEST(TensorTest, DataConstructorAndAccessors) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4);
+  EXPECT_FLOAT_EQ(t.row(1)[0], 3);
+}
+
+TEST(TensorTest, ScalarFactory) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_FLOAT_EQ(s.scalar(), 2.5f);
+}
+
+TEST(TensorTest, AddAndAddScaled) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {10, 20, 30});
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 33);
+  a.AddScaled(b, -0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 6);
+}
+
+TEST(TensorTest, ScaleSumNorm) {
+  Tensor a(1, 4, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(a.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(a.SquaredNorm(), 30.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a.Sum(), -4.0f);
+}
+
+TEST(TensorTest, HasNonFinite) {
+  Tensor a(1, 2, {1.0f, 2.0f});
+  EXPECT_FALSE(a.HasNonFinite());
+  a.at(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(a.HasNonFinite());
+  a.at(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(a.HasNonFinite());
+}
+
+TEST(TensorTest, MatmulKnownValues) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c;
+  c.Matmul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, MatmulIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Gaussian(4, 4, 1.0f, &rng);
+  Tensor eye(4, 4);
+  for (int i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  Tensor c;
+  c.Matmul(a, eye);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(c.at(i, j), a.at(i, j));
+  }
+}
+
+TEST(TensorTest, TransposedMatmulHelpersMatchExplicit) {
+  Rng rng(5);
+  Tensor a = Tensor::Gaussian(5, 3, 1.0f, &rng);
+  Tensor b = Tensor::Gaussian(5, 4, 1.0f, &rng);
+  // expected = a^T * b via explicit transpose.
+  Tensor at = a.Transposed();
+  Tensor expected;
+  expected.Matmul(at, b);
+  Tensor got(3, 4);
+  got.AddTransposedMatmul(a, b);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(got.at(i, j), expected.at(i, j), 1e-4);
+    }
+  }
+}
+
+TEST(TensorTest, MatmulTransposedHelperMatchesExplicit) {
+  Rng rng(7);
+  Tensor a = Tensor::Gaussian(4, 6, 1.0f, &rng);
+  Tensor b = Tensor::Gaussian(5, 6, 1.0f, &rng);
+  Tensor bt = b.Transposed();
+  Tensor expected;
+  expected.Matmul(a, bt);
+  Tensor got(4, 5);
+  got.AddMatmulTransposed(a, b);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(got.at(i, j), expected.at(i, j), 1e-4);
+    }
+  }
+}
+
+TEST(TensorTest, TransposedTwiceIsIdentity) {
+  Rng rng(9);
+  Tensor a = Tensor::Gaussian(3, 7, 1.0f, &rng);
+  Tensor tt = a.Transposed().Transposed();
+  ASSERT_TRUE(tt.SameShape(a));
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(tt.data()[i], a.data()[i]);
+  }
+}
+
+TEST(TensorTest, SliceRows) {
+  Tensor a(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = a.SliceRows(1, 2);
+  ASSERT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 6);
+}
+
+TEST(TensorTest, UniformInitWithinLimits) {
+  Rng rng(11);
+  Tensor t = Tensor::Uniform(10, 10, 0.25f, &rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), 0.25f);
+  }
+}
+
+TEST(TensorTest, XavierScaleDependsOnFanInOut) {
+  Rng rng(13);
+  Tensor t = Tensor::Xavier(50, 50, &rng);
+  const float limit = std::sqrt(6.0f / 100.0f);
+  float mx = 0.0f;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    mx = std::max(mx, std::abs(t.data()[i]));
+  }
+  EXPECT_LE(mx, limit + 1e-6f);
+  EXPECT_GT(mx, limit * 0.5f);  // something should come close to the limit
+}
+
+TEST(TensorTest, GaussianInitHasRoughlyRightSpread) {
+  Rng rng(15);
+  Tensor t = Tensor::Gaussian(100, 100, 0.5f, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(t.size())), 0.5, 0.02);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t(1, 100, 1.0f);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("[1x100]"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+/// Property sweep: random matmuls match a naive triple loop.
+class MatmulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapeTest, MatchesNaiveTripleLoop) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000 + k * 100 + m));
+  Tensor a = Tensor::Gaussian(n, k, 1.0f, &rng);
+  Tensor b = Tensor::Gaussian(k, m, 1.0f, &rng);
+  Tensor c;
+  c.Matmul(a, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double expected = 0.0;
+      for (int x = 0; x < k; ++x) {
+        expected += static_cast<double>(a.at(i, x)) * b.at(x, j);
+      }
+      EXPECT_NEAR(c.at(i, j), expected, 1e-3)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapeTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 1},
+                      std::tuple{3, 1, 4}, std::tuple{2, 7, 3},
+                      std::tuple{8, 8, 8}, std::tuple{5, 16, 2},
+                      std::tuple{16, 3, 16}, std::tuple{10, 10, 1}));
+
+}  // namespace
+}  // namespace e2dtc::nn

@@ -1,0 +1,52 @@
+#ifndef E2DTC_TESTS_TEST_UTIL_H_
+#define E2DTC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+namespace e2dtc::testing {
+
+/// Finite-difference gradient check: builds the graph via `make_loss` (which
+/// must return a scalar Var computed from `input`), runs Backward, and
+/// compares every input gradient entry against a central difference.
+/// Returns the maximum relative error observed.
+inline double GradCheck(nn::Var input,
+                        const std::function<nn::Var(const nn::Var&)>&
+                            make_loss,
+                        float eps = 1e-3f) {
+  input.node()->EnsureGrad();
+  input.node()->ZeroGrad();  // the same leaf may be checked repeatedly
+  nn::Var loss = make_loss(input);
+  nn::Backward(loss);
+  const nn::Tensor analytic = input.grad();
+
+  double max_rel_err = 0.0;
+  nn::Tensor& value = input.mutable_value();
+  for (int64_t i = 0; i < value.size(); ++i) {
+    const float saved = value.data()[i];
+    value.data()[i] = saved + eps;
+    const float up = make_loss(input).value().scalar();
+    value.data()[i] = saved - eps;
+    const float down = make_loss(input).value().scalar();
+    value.data()[i] = saved;
+    const double numeric = (static_cast<double>(up) - down) / (2.0 * eps);
+    const double a = analytic.data()[i];
+    const double denom = std::max({std::abs(numeric), std::abs(a), 1e-4});
+    max_rel_err = std::max(max_rel_err, std::abs(numeric - a) / denom);
+  }
+  return max_rel_err;
+}
+
+/// Gaussian random test tensor.
+inline nn::Tensor RandomTensor(int rows, int cols, Rng* rng,
+                               float scale = 1.0f) {
+  return nn::Tensor::Gaussian(rows, cols, scale, rng);
+}
+
+}  // namespace e2dtc::testing
+
+#endif  // E2DTC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "util/binary_io.h"
+#include "util/csv.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes{
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::OutOfRange("").code(),      Status::FailedPrecondition("").code(),
+      Status::Internal("").code(),        Status::IOError("").code(),
+      Status::NotImplemented("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    E2DTC_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    E2DTC_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformU64(17), 17u);
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformDoubleIsInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> p = rng.Permutation(50);
+  std::set<int> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 49);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[static_cast<size_t>(
+      rng.Categorical(w))];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[1]), 3.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+// ----------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"a", "bb", "ccc"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseIntValid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+  EXPECT_EQ(ParseInt("0").value(), 0);
+}
+
+TEST(StringUtilTest, ParseIntInvalid) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.Ok());
+    ASSERT_TRUE(w.WriteRow({"a", "b,with,commas", "c\"quoted\""}).ok());
+    ASSERT_TRUE(w.WriteNumericRow({1.5, -2.0, 3.25}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rows = ReadCsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<std::string>{"a", "b,with,commas", "c\"quoted\""}));
+  EXPECT_EQ((*rows)[1][0], "1.5");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, ReadMissingFileErrors) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/never.csv").ok());
+}
+
+TEST(CsvTest, WriterToBadPathReportsNotOk) {
+  CsvWriter w("/nonexistent_dir/x.csv");
+  EXPECT_FALSE(w.Ok());
+  EXPECT_FALSE(w.WriteRow({"a"}).ok());
+}
+
+// ------------------------------------------------------------- binary io --
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  const std::string path = ::testing::TempDir() + "/bin_roundtrip";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.Ok());
+    ASSERT_TRUE(w.WriteU32(0xdeadbeef).ok());
+    ASSERT_TRUE(w.WriteU64(1ULL << 40).ok());
+    ASSERT_TRUE(w.WriteI32(-17).ok());
+    ASSERT_TRUE(w.WriteF32(1.5f).ok());
+    ASSERT_TRUE(w.WriteF64(-2.25).ok());
+    ASSERT_TRUE(w.WriteString("hello world").ok());
+    ASSERT_TRUE(w.WriteFloats({1.0f, 2.0f, 3.0f}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.Ok());
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 1ULL << 40);
+  EXPECT_EQ(r.ReadI32().value(), -17);
+  EXPECT_FLOAT_EQ(r.ReadF32().value(), 1.5f);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), -2.25);
+  EXPECT_EQ(r.ReadString().value(), "hello world");
+  EXPECT_EQ(r.ReadFloats().value(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(r.AtEof());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIoTest, TruncatedReadErrors) {
+  const std::string path = ::testing::TempDir() + "/bin_truncated";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.WriteU32(5).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------- timing --
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3, 10.0);
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadFallback) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t sum = 0;
+  pool.ParallelFor(10, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, EmptyParallelForIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](int64_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace e2dtc

@@ -1,0 +1,261 @@
+// e2dtc command-line tool: generate data, fit a model, assign clusters, and
+// evaluate — the whole pipeline without writing C++.
+//
+//   e2dtc_cli generate --preset hangzhou --scale 1.0 --out city.csv
+//   e2dtc_cli fit      --data city.csv --model model.bin [--k 7]
+//   e2dtc_cli assign   --model model.bin --data city.csv --out labels.csv
+//   e2dtc_cli eval     --data city.csv --labels labels.csv
+//   e2dtc_cli export   --data city.csv --labels labels.csv --out t.geojson
+//   e2dtc_cli info     --model model.bin
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/e2dtc.h"
+#include "data/geojson.h"
+#include "data/ground_truth.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "metrics/clustering_metrics.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace e2dtc;
+
+/// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string preset = flags.Get("preset", "hangzhou");
+  const double scale = flags.GetDouble("scale", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.Get("out", "city.csv");
+  data::SyntheticCityConfig cfg;
+  if (preset == "geolife") {
+    cfg = data::GeoLifePreset(scale, seed);
+  } else if (preset == "porto") {
+    cfg = data::PortoPreset(scale, seed);
+  } else if (preset == "hangzhou") {
+    cfg = data::HangzhouPreset(scale, seed);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 1;
+  }
+  auto raw = data::GenerateSyntheticCity(cfg);
+  if (!raw.ok()) return Fail(raw.status());
+  auto ds = data::RelabelDataset(*raw, data::GroundTruthConfig{});
+  if (!ds.ok()) return Fail(ds.status());
+  Status st = data::SaveDatasetCsv(out, *ds);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %d trajectories (%d clusters) to %s\n", ds->size(),
+              ds->num_clusters, out.c_str());
+  return 0;
+}
+
+int CmdFit(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  const std::string model_path = flags.Get("model", "model.e2dtc");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "fit requires --data\n");
+    return 1;
+  }
+  auto ds = data::LoadDatasetCsv(data_path);
+  if (!ds.ok()) return Fail(ds.status());
+
+  core::E2dtcConfig cfg;
+  cfg.self_train.k = flags.GetInt("k", 0);
+  cfg.model.hidden_size = flags.GetInt("hidden", 48);
+  cfg.model.embedding_dim = cfg.model.hidden_size;
+  cfg.model.cell_meters = flags.GetDouble("cell", 300.0);
+  cfg.pretrain.epochs = flags.GetInt("pretrain-epochs", 8);
+  cfg.self_train.max_iters = flags.GetInt("selftrain-epochs", 6);
+  if (flags.Get("rnn", "gru") == "lstm") {
+    cfg.model.rnn = core::RnnKind::kLstm;
+  }
+
+  auto pipeline = core::E2dtcPipeline::Fit(*ds, cfg);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  const core::FitResult& fit = (*pipeline)->fit_result();
+  std::printf("fit %d trajectories into %d clusters in %.1fs\n", ds->size(),
+              fit.k, fit.total_seconds);
+  if (!data::Labels(*ds).empty() && data::Labels(*ds)[0] >= 0) {
+    auto q = metrics::EvaluateClustering(fit.assignments,
+                                         data::Labels(*ds));
+    if (q.ok()) {
+      std::printf("against ground truth: UACC %.3f  NMI %.3f  RI %.3f\n",
+                  q->uacc, q->nmi, q->ri);
+    }
+  }
+  Status st = (*pipeline)->Save(model_path);
+  if (!st.ok()) return Fail(st);
+  std::printf("saved model to %s\n", model_path.c_str());
+  return 0;
+}
+
+int CmdAssign(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "model.e2dtc");
+  const std::string data_path = flags.Get("data", "");
+  const std::string out = flags.Get("out", "labels.csv");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "assign requires --data\n");
+    return 1;
+  }
+  auto pipeline = core::E2dtcPipeline::Load(model_path);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  auto ds = data::LoadDatasetCsv(data_path);
+  if (!ds.ok()) return Fail(ds.status());
+  std::vector<int> assigned = (*pipeline)->Assign(ds->trajectories);
+  CsvWriter w(out);
+  (void)w.WriteRow({"traj_id", "cluster"});
+  for (size_t i = 0; i < assigned.size(); ++i) {
+    (void)w.WriteRow(
+        {StrFormat("%lld",
+                   static_cast<long long>(ds->trajectories[i].id)),
+         StrFormat("%d", assigned[i])});
+  }
+  Status st = w.Close();
+  if (!st.ok()) return Fail(st);
+  std::printf("assigned %zu trajectories; labels in %s\n", assigned.size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  const std::string labels_path = flags.Get("labels", "");
+  if (data_path.empty() || labels_path.empty()) {
+    std::fprintf(stderr, "eval requires --data and --labels\n");
+    return 1;
+  }
+  auto ds = data::LoadDatasetCsv(data_path);
+  if (!ds.ok()) return Fail(ds.status());
+  auto rows = ReadCsv(labels_path);
+  if (!rows.ok()) return Fail(rows.status());
+  std::map<int64_t, int> by_id;
+  for (size_t r = 1; r < rows->size(); ++r) {
+    if ((*rows)[r].size() != 2) continue;
+    auto id = ParseInt((*rows)[r][0]);
+    auto label = ParseInt((*rows)[r][1]);
+    if (id.ok() && label.ok()) {
+      by_id[*id] = static_cast<int>(*label);
+    }
+  }
+  std::vector<int> pred, truth;
+  for (const auto& t : ds->trajectories) {
+    auto it = by_id.find(t.id);
+    if (it == by_id.end()) continue;
+    pred.push_back(it->second);
+    truth.push_back(t.label);
+  }
+  auto q = metrics::EvaluateClustering(pred, truth);
+  if (!q.ok()) return Fail(q.status());
+  std::printf("%zu trajectories matched\n", pred.size());
+  std::printf("UACC %.4f  NMI %.4f  RI %.4f\n", q->uacc, q->nmi, q->ri);
+  const double ari = metrics::AdjustedRandIndex(pred, truth).ValueOr(0.0);
+  const double vm = metrics::VMeasure(pred, truth).ValueOr(0.0);
+  std::printf("ARI  %.4f  V-measure %.4f\n", ari, vm);
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  const std::string data_path = flags.Get("data", "");
+  const std::string labels_path = flags.Get("labels", "");
+  const std::string out = flags.Get("out", "trips.geojson");
+  if (data_path.empty()) {
+    std::fprintf(stderr, "export requires --data\n");
+    return 1;
+  }
+  auto ds = data::LoadDatasetCsv(data_path);
+  if (!ds.ok()) return Fail(ds.status());
+  std::vector<int> assignments;
+  if (!labels_path.empty()) {
+    auto rows = ReadCsv(labels_path);
+    if (!rows.ok()) return Fail(rows.status());
+    std::map<int64_t, int> by_id;
+    for (size_t r = 1; r < rows->size(); ++r) {
+      if ((*rows)[r].size() != 2) continue;
+      auto id = ParseInt((*rows)[r][0]);
+      auto label = ParseInt((*rows)[r][1]);
+      if (id.ok() && label.ok()) by_id[*id] = static_cast<int>(*label);
+    }
+    assignments.reserve(ds->trajectories.size());
+    for (const auto& t : ds->trajectories) {
+      auto it = by_id.find(t.id);
+      assignments.push_back(it == by_id.end() ? -1 : it->second);
+    }
+  }
+  Status st = data::SaveGeoJson(
+      out, *ds, assignments.empty() ? nullptr : &assignments);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %d trajectories to %s\n", ds->size(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "model.e2dtc");
+  auto pipeline = core::E2dtcPipeline::Load(model_path);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  const auto& cfg = (*pipeline)->config().model;
+  std::printf("model: %s\n", model_path.c_str());
+  std::printf("  rnn: %s, layers %d, hidden %d, embedding %d\n",
+              cfg.rnn == core::RnnKind::kLstm ? "LSTM" : "GRU",
+              cfg.num_layers, cfg.hidden_size, cfg.embedding_dim);
+  std::printf("  grid: %.0f m cells, vocab %d tokens\n", cfg.cell_meters,
+              (*pipeline)->vocab().size());
+  std::printf("  clusters: %d\n", (*pipeline)->fit_result().k);
+  std::printf("  parameters: %lld\n",
+              static_cast<long long>((*pipeline)->model().ParameterCount()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: e2dtc_cli <generate|fit|assign|eval|export|info> "
+                 "[--flag value ...]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "fit") return CmdFit(flags);
+  if (cmd == "assign") return CmdAssign(flags);
+  if (cmd == "eval") return CmdEval(flags);
+  if (cmd == "export") return CmdExport(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}
