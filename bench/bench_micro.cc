@@ -17,6 +17,8 @@
 #include "nn/gru.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -257,6 +259,80 @@ void BM_SkipGramEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SkipGramEpoch);
+
+// --- obs overhead --------------------------------------------------------
+// The disabled variants are the numbers that matter: instrumentation sits
+// on training hot paths and must cost a single relaxed atomic load when no
+// sink is attached (<2% of any real batch).
+
+void BM_CounterIncrementDisabled(benchmark::State& state) {
+  const bool was = obs::MetricsEnabled();
+  obs::EnableMetrics(false);
+  obs::Counter counter =
+      obs::Registry::Global().counter("bench.micro.counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  obs::EnableMetrics(was);
+}
+BENCHMARK(BM_CounterIncrementDisabled);
+
+void BM_CounterIncrementEnabled(benchmark::State& state) {
+  const bool was = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  obs::Counter counter =
+      obs::Registry::Global().counter("bench.micro.counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  obs::EnableMetrics(was);
+}
+BENCHMARK(BM_CounterIncrementEnabled);
+
+void BM_HistogramRecordDisabled(benchmark::State& state) {
+  const bool was = obs::MetricsEnabled();
+  obs::EnableMetrics(false);
+  obs::Histogram hist = obs::Registry::Global().histogram(
+      "bench.micro.hist", obs::ExponentialBuckets(1.0, 2.0, 12));
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v += 0.5;
+  }
+  obs::EnableMetrics(was);
+}
+BENCHMARK(BM_HistogramRecordDisabled);
+
+void BM_HistogramRecordEnabled(benchmark::State& state) {
+  const bool was = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  obs::Histogram hist = obs::Registry::Global().histogram(
+      "bench.micro.hist", obs::ExponentialBuckets(1.0, 2.0, 12));
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v += 0.5;
+  }
+  obs::EnableMetrics(was);
+}
+BENCHMARK(BM_HistogramRecordEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // Tracing off (the default): a span is one relaxed load + no clock reads.
+  for (auto _ : state) {
+    E2DTC_TRACE_SPAN("bench.micro.span");
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::StartTracing();
+  for (auto _ : state) {
+    E2DTC_TRACE_SPAN("bench.micro.span");
+  }
+  obs::StopTracing();
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 }  // namespace
 

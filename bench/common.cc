@@ -7,12 +7,23 @@
 #include "core/t2vec.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace e2dtc::bench {
+
+namespace {
+// Every bench harness collects metrics so the CSV mirrors under
+// bench_results/ come with counter/histogram context. Runs at static init
+// time (this TU is always linked: every bench calls into the harness).
+const bool kMetricsOn = [] {
+  obs::EnableMetrics(true);
+  return true;
+}();
+}  // namespace
 
 std::string PresetName(PresetId id) {
   switch (id) {
@@ -208,6 +219,22 @@ void WriteScoresCsv(const std::string& filename, const std::string& dataset,
                       StrFormat("%.3f", s.seconds)});
   }
   (void)w.Close();
+
+  std::string stem = filename;
+  const size_t dot = stem.rfind('.');
+  if (dot != std::string::npos) stem.resize(dot);
+  WriteMetricsSnapshotJson(stem + ".metrics.json");
+}
+
+void WriteMetricsSnapshotJson(const std::string& filename) {
+  const std::string json =
+      obs::Registry::Global().Snapshot().ToJson().Dump();
+  std::FILE* f =
+      std::fopen((ResultsDir() + "/" + filename).c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace e2dtc::bench

@@ -67,9 +67,16 @@ std::string ResultsDir();
 /// Prints a metrics row: "<method>  UACC  NMI  RI  (time s)".
 void PrintScoreRow(const MethodScore& score);
 
-/// Writes rows of (method, uacc, nmi, ri, seconds) for one dataset.
+/// Writes rows of (method, uacc, nmi, ri, seconds) for one dataset, plus a
+/// sibling `<stem>.metrics.json` obs-metrics snapshot so every bench result
+/// carries its counter/histogram context (batches, k-means iterations,
+/// queue waits, ...). Metrics collection is enabled for the whole bench
+/// process as a side effect of linking this harness.
 void WriteScoresCsv(const std::string& filename, const std::string& dataset,
                     const std::vector<MethodScore>& scores);
+
+/// Writes the current global metrics snapshot as JSON under ResultsDir().
+void WriteMetricsSnapshotJson(const std::string& filename);
 
 }  // namespace e2dtc::bench
 

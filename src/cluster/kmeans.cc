@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -156,14 +158,22 @@ KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
 
 Result<KMeansResult> KMeans(const FeatureMatrix& points,
                             const KMeansOptions& options) {
+  E2DTC_TRACE_SPAN("kmeans.run");
+  static obs::Counter runs_counter =
+      obs::Registry::Global().counter("kmeans.runs");
+  static obs::Counter iterations_counter =
+      obs::Registry::Global().counter("kmeans.lloyd_iterations");
   E2DTC_RETURN_IF_ERROR(ValidateInput(points, options.k));
+  runs_counter.Increment();
   Rng rng(options.seed);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   const int restarts = std::max(1, options.num_init);
   for (int r = 0; r < restarts; ++r) {
+    E2DTC_TRACE_SPAN("kmeans.restart");
     KMeansResult run =
         Lloyd(points, PlusPlusInit(points, options.k, &rng), options);
+    iterations_counter.Increment(static_cast<uint64_t>(run.iterations));
     if (run.inertia < best.inertia) best = std::move(run);
   }
   return best;

@@ -63,6 +63,37 @@ struct ModelConfig {
   uint64_t seed = 7;
 };
 
+/// Per-epoch stats from phase-2 pre-training. Defined here (not on
+/// Pretrainer) so PretrainConfig can carry a live progress callback typed on
+/// it; Pretrainer::EpochStats aliases this for existing callers.
+struct PretrainEpochStats {
+  int epoch = 0;
+  double avg_token_loss = 0.0;
+  double grad_norm = 0.0;  ///< Pre-clip norm of the last step.
+  double tokens_per_second = 0.0;  ///< Target-token throughput this epoch.
+  double seconds = 0.0;
+};
+
+/// Per-epoch stats from phase-3 self-training; SelfTrainer::EpochStats
+/// aliases this.
+struct SelfTrainEpochStats {
+  int epoch = 0;
+  double recon_loss = 0.0;    ///< Per-token L_r.
+  double cluster_loss = 0.0;  ///< Per-sample L_c.
+  double triplet_loss = 0.0;  ///< Per-batch-mean L_t.
+  double grad_norm = 0.0;     ///< Pre-clip norm of the last step.
+  double changed_fraction = 1.0;  ///< Hard assignments changed vs. prev.
+  double seconds = 0.0;
+};
+
+/// Live per-epoch observers: invoked right after each epoch's stats are
+/// final, on the training thread. Callers (CLI progress lines, run-report
+/// sinks, future early stopping) must be cheap and must not mutate the
+/// trainer.
+using PretrainEpochCallback = std::function<void(const PretrainEpochStats&)>;
+using SelfTrainEpochCallback =
+    std::function<void(const SelfTrainEpochStats&)>;
+
 /// Which optimizer a training phase uses. The paper uses Adam (lr 1e-4,
 /// 500 iterations on ~86k trajectories). At this repo's reduced bench scale
 /// Adam's per-parameter step normalization amplifies gradient noise enough
@@ -84,6 +115,8 @@ struct PretrainConfig {
   int variants_per_trajectory = 1;
   geo::AugmentConfig augment;
   uint64_t seed = 11;
+  /// Optional live progress hook, called once per finished epoch.
+  PretrainEpochCallback epoch_callback;
 };
 
 /// Phase-3 self-training (Section V-D, Algorithm 1).
@@ -109,6 +142,9 @@ struct SelfTrainConfig {
   /// right after the Algorithm 1 line-7 refresh, before the delta check.
   /// Used by the Fig. 5 learning-process harness.
   std::function<void(int, const std::vector<int>&)> epoch_observer;
+  /// Optional live progress hook, called once per finished epoch (including
+  /// the final, possibly-converged one).
+  SelfTrainEpochCallback epoch_callback;
 };
 
 /// Everything needed to fit the full pipeline.

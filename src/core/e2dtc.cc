@@ -5,6 +5,8 @@
 #include "cluster/elbow.h"
 #include "cluster/kmeans.h"
 #include "embedding/skipgram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -14,6 +16,12 @@ namespace e2dtc::core {
 
 Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     const data::Dataset& dataset, const E2dtcConfig& config) {
+  E2DTC_TRACE_SPAN("fit");
+  static obs::Counter fits_counter = obs::Registry::Global().counter("fits");
+  static obs::Counter fit_trajectories_counter =
+      obs::Registry::Global().counter("fit.trajectories");
+  fits_counter.Increment();
+  fit_trajectories_counter.Increment(dataset.trajectories.size());
   if (dataset.trajectories.empty()) {
     return Status::InvalidArgument("empty dataset");
   }
@@ -46,7 +54,11 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   Stopwatch total_watch;
 
   // ---- Phase 1: trajectory embedding (grid + vocabulary + skip-gram). ----
+  // Phase boundaries are traced with an optional span so the existing
+  // straight-line structure (phase N's outputs feed phase N+1) stays intact.
+  std::optional<obs::ScopedSpan> phase_span;
   Stopwatch phase_watch;
+  phase_span.emplace("fit.embed");
   const geo::BoundingBox box =
       geo::ComputeBoundingBox(dataset.trajectories, /*margin_deg=*/1e-3);
   E2DTC_ASSIGN_OR_RETURN(geo::Grid grid,
@@ -69,6 +81,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
 
   // Skip-gram cell vectors initialize the token embedding table (Eq. 7).
   {
+    E2DTC_TRACE_SPAN("fit.skipgram");
     std::vector<std::vector<int>> corpus;
     corpus.reserve(dataset.trajectories.size());
     for (const auto& t : dataset.trajectories) {
@@ -112,6 +125,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   fit.embed_seconds = phase_watch.ElapsedSeconds();
 
   // ---- Phase 2: pre-training. ----
+  phase_span.emplace("fit.pretrain");
   phase_watch.Restart();
   Pretrainer pretrainer(pipeline->model_.get(), &vocab, &*pipeline->knn_,
                         config.pretrain);
@@ -120,6 +134,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
 
   // ---- k-means initialization on the pre-trained embeddings. This is both
   // Algorithm 1's centroid init and the t2vec + k-means baseline (L0). ----
+  phase_span.emplace("fit.cluster_init");
   phase_watch.Restart();
   fit.l0_embeddings = EncodeAll(*pipeline->model_, vocab,
                                 dataset.trajectories,
@@ -158,6 +173,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   }
 
   // ---- Phase 3: self-training (skipped in the L0 ablation). ----
+  phase_span.emplace("fit.self_train");
   if (config.self_train.loss_mode == LossMode::kL0) {
     fit.assignments = fit.l0_assignments;
     fit.embeddings = fit.l0_embeddings;
@@ -174,6 +190,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     fit.self_train_history = std::move(st.history);
     fit.self_train_converged = st.converged;
   }
+  phase_span.reset();
   fit.cluster_seconds = phase_watch.ElapsedSeconds();
   fit.total_seconds = total_watch.ElapsedSeconds();
   E2DTC_LOG(Debug) << "fit done in " << fit.total_seconds << "s (embed "

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "data/batching.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -19,6 +21,15 @@ Pretrainer::Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
 
 std::vector<Pretrainer::EpochStats> Pretrainer::Train(
     const std::vector<geo::Trajectory>& trajectories) {
+  E2DTC_TRACE_SPAN("pretrain.train");
+  static obs::Counter batches_counter =
+      obs::Registry::Global().counter("pretrain.batches");
+  static obs::Counter tokens_counter =
+      obs::Registry::Global().counter("pretrain.tokens");
+  static obs::Gauge tokens_per_sec_gauge =
+      obs::Registry::Global().gauge("pretrain.tokens_per_second");
+  static obs::Histogram batch_hist = obs::Registry::Global().histogram(
+      "pretrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
   const bool collapse = model_->config().collapse_consecutive;
   const int n = static_cast<int>(trajectories.size());
   E2DTC_CHECK_GT(n, 0);
@@ -42,6 +53,7 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
   E2DTC_CHECK(!drops.empty() && !distorts.empty());
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    E2DTC_TRACE_SPAN("pretrain.epoch");
     Stopwatch watch;
     // Each example pairs a freshly corrupted source with its original.
     std::vector<int> example_traj;     // example -> trajectory index
@@ -76,6 +88,8 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
     EpochStats stats;
     stats.epoch = epoch;
     for (const auto& batch_examples : batches) {
+      E2DTC_TRACE_SPAN("pretrain.batch");
+      Stopwatch batch_watch;
       std::vector<int> tgt_indices;
       tgt_indices.reserve(batch_examples.size());
       for (int ex : batch_examples) {
@@ -99,14 +113,22 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
 
       loss_sum += static_cast<double>(dec.loss_sum.value().scalar());
       token_sum += dec.num_tokens;
+      batches_counter.Increment();
+      tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
+      batch_hist.Record(batch_watch.ElapsedMillis());
     }
     stats.avg_token_loss =
         token_sum > 0 ? loss_sum / static_cast<double>(token_sum) : 0.0;
     stats.seconds = watch.ElapsedSeconds();
+    stats.tokens_per_second =
+        stats.seconds > 0.0 ? static_cast<double>(token_sum) / stats.seconds
+                            : 0.0;
+    tokens_per_sec_gauge.Set(stats.tokens_per_second);
     E2DTC_LOG(Debug) << "pretrain epoch " << epoch << " loss/token "
                      << stats.avg_token_loss << " (" << stats.seconds
                      << "s)";
     history.push_back(stats);
+    if (config_.epoch_callback) config_.epoch_callback(stats);
   }
   return history;
 }
@@ -115,7 +137,11 @@ nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,
                      const std::vector<geo::Trajectory>& trajectories,
                      int batch_size, bool collapse_consecutive,
                      ThreadPool* pool) {
+  E2DTC_TRACE_SPAN("encode_all");
+  static obs::Counter encoded_counter =
+      obs::Registry::Global().counter("encode.trajectories");
   const int n = static_cast<int>(trajectories.size());
+  encoded_counter.Increment(static_cast<uint64_t>(n));
   std::vector<std::vector<int>> seqs(static_cast<size_t>(n));
   std::vector<int> lengths(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -133,6 +159,7 @@ nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,
 
   nn::Tensor out(n, model.hidden_size());
   auto encode_batch = [&](int64_t b) {
+    E2DTC_TRACE_SPAN("encode_all.batch");
     const auto& batch_indices = batches[static_cast<size_t>(b)];
     data::PaddedBatch batch =
         data::PadSequences(seqs, batch_indices, geo::Vocabulary::kPad);

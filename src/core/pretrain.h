@@ -18,12 +18,9 @@ namespace e2dtc::core {
 /// f_theta.
 class Pretrainer {
  public:
-  struct EpochStats {
-    int epoch = 0;
-    double avg_token_loss = 0.0;
-    double grad_norm = 0.0;  ///< Pre-clip norm of the last step.
-    double seconds = 0.0;
-  };
+  /// See PretrainEpochStats in core/config.h (shared with the live
+  /// PretrainConfig::epoch_callback hook).
+  using EpochStats = PretrainEpochStats;
 
   /// All pointers are borrowed and must outlive the trainer.
   Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,

@@ -1,0 +1,166 @@
+#include "core/run_report.h"
+
+#include "obs/run_report.h"
+
+namespace e2dtc::core {
+
+namespace {
+
+const char* LossModeName(LossMode mode) {
+  switch (mode) {
+    case LossMode::kL0:
+      return "L0";
+    case LossMode::kL1:
+      return "L1";
+    case LossMode::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+const char* OptimizerName(OptimizerKind kind) {
+  return kind == OptimizerKind::kAdam ? "adam" : "sgd";
+}
+
+}  // namespace
+
+obs::Json ConfigJson(const E2dtcConfig& config) {
+  obs::Json model = obs::Json::Object();
+  model.Set("rnn", config.model.rnn == RnnKind::kLstm ? "lstm" : "gru");
+  model.Set("bidirectional_encoder", config.model.bidirectional_encoder);
+  model.Set("cell_meters", config.model.cell_meters);
+  model.Set("vocab_min_count", config.model.vocab_min_count);
+  model.Set("collapse_consecutive", config.model.collapse_consecutive);
+  model.Set("embedding_dim", config.model.embedding_dim);
+  model.Set("hidden_size", config.model.hidden_size);
+  model.Set("num_layers", config.model.num_layers);
+  model.Set("dropout", static_cast<double>(config.model.dropout));
+  model.Set("knn_k", config.model.knn_k);
+  model.Set("mean_pool_embedding", config.model.mean_pool_embedding);
+  model.Set("freeze_embedding_table", config.model.freeze_embedding_table);
+  model.Set("skipgram_epochs", config.model.skipgram_epochs);
+  model.Set("skipgram_window", config.model.skipgram_window);
+  model.Set("skipgram_negatives", config.model.skipgram_negatives);
+  model.Set("cell_embedding_smooth_rounds",
+            config.model.cell_embedding_smooth_rounds);
+  model.Set("knn_alpha_meters", config.model.knn_alpha_meters);
+  model.Set("seed", config.model.seed);
+
+  obs::Json pretrain = obs::Json::Object();
+  pretrain.Set("epochs", config.pretrain.epochs);
+  pretrain.Set("batch_size", config.pretrain.batch_size);
+  pretrain.Set("optimizer", OptimizerName(config.pretrain.optimizer));
+  pretrain.Set("lr", static_cast<double>(config.pretrain.lr));
+  pretrain.Set("momentum", static_cast<double>(config.pretrain.momentum));
+  pretrain.Set("grad_clip", static_cast<double>(config.pretrain.grad_clip));
+  pretrain.Set("variants_per_trajectory",
+               config.pretrain.variants_per_trajectory);
+  pretrain.Set("seed", config.pretrain.seed);
+
+  obs::Json self_train = obs::Json::Object();
+  self_train.Set("k", config.self_train.k);
+  self_train.Set("max_iters", config.self_train.max_iters);
+  self_train.Set("beta", static_cast<double>(config.self_train.beta));
+  self_train.Set("gamma", static_cast<double>(config.self_train.gamma));
+  self_train.Set("triplet_margin",
+                 static_cast<double>(config.self_train.triplet_margin));
+  self_train.Set("delta", config.self_train.delta);
+  self_train.Set("batch_size", config.self_train.batch_size);
+  self_train.Set("optimizer", OptimizerName(config.self_train.optimizer));
+  self_train.Set("lr", static_cast<double>(config.self_train.lr));
+  self_train.Set("momentum",
+                 static_cast<double>(config.self_train.momentum));
+  self_train.Set("grad_clip",
+                 static_cast<double>(config.self_train.grad_clip));
+  self_train.Set("loss_mode", LossModeName(config.self_train.loss_mode));
+  self_train.Set("seed", config.self_train.seed);
+
+  obs::Json out = obs::Json::Object();
+  out.Set("type", "config");
+  out.Set("model", std::move(model));
+  out.Set("pretrain", std::move(pretrain));
+  out.Set("self_train", std::move(self_train));
+  out.Set("num_encode_threads", config.num_encode_threads);
+  return out;
+}
+
+obs::Json PretrainEpochJson(const PretrainEpochStats& stats) {
+  obs::Json out = obs::Json::Object();
+  out.Set("type", "pretrain_epoch");
+  out.Set("epoch", stats.epoch);
+  out.Set("avg_token_loss", stats.avg_token_loss);
+  out.Set("grad_norm", stats.grad_norm);
+  out.Set("tokens_per_second", stats.tokens_per_second);
+  out.Set("seconds", stats.seconds);
+  return out;
+}
+
+obs::Json SelfTrainEpochJson(const SelfTrainEpochStats& stats) {
+  obs::Json out = obs::Json::Object();
+  out.Set("type", "self_train_epoch");
+  out.Set("epoch", stats.epoch);
+  out.Set("recon_loss", stats.recon_loss);
+  out.Set("cluster_loss", stats.cluster_loss);
+  out.Set("triplet_loss", stats.triplet_loss);
+  out.Set("grad_norm", stats.grad_norm);
+  out.Set("changed_fraction", stats.changed_fraction);
+  out.Set("seconds", stats.seconds);
+  return out;
+}
+
+obs::Json PhaseTimingsJson(const FitResult& fit) {
+  obs::Json out = obs::Json::Object();
+  out.Set("type", "phase_timings");
+  out.Set("embed_seconds", fit.embed_seconds);
+  out.Set("pretrain_seconds", fit.pretrain_seconds);
+  out.Set("cluster_seconds", fit.cluster_seconds);
+  out.Set("total_seconds", fit.total_seconds);
+  return out;
+}
+
+obs::Json FitResultJson(const FitResult& fit) {
+  obs::Json out = obs::Json::Object();
+  out.Set("type", "result");
+  out.Set("k", fit.k);
+  out.Set("num_trajectories", static_cast<int64_t>(fit.assignments.size()));
+  out.Set("self_train_converged", fit.self_train_converged);
+  out.Set("pretrain_epochs", static_cast<int64_t>(fit.pretrain_history.size()));
+  out.Set("self_train_epochs",
+          static_cast<int64_t>(fit.self_train_history.size()));
+  // Cluster occupancy: how many trajectories landed in each final cluster.
+  std::vector<int64_t> sizes(static_cast<size_t>(fit.k > 0 ? fit.k : 0), 0);
+  for (int a : fit.assignments) {
+    if (a >= 0 && a < static_cast<int>(sizes.size())) {
+      ++sizes[static_cast<size_t>(a)];
+    }
+  }
+  obs::Json sizes_json = obs::Json::Array();
+  for (int64_t s : sizes) sizes_json.Append(s);
+  out.Set("cluster_sizes", std::move(sizes_json));
+  return out;
+}
+
+Status WriteRunReport(const std::string& path, const E2dtcConfig& config,
+                      const FitResult& fit,
+                      const std::vector<obs::Json>& extra_events) {
+  obs::RunReportWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IOError("cannot open run report file: " + path);
+  }
+  writer.Write(ConfigJson(config));
+  for (const auto& stats : fit.pretrain_history) {
+    writer.Write(PretrainEpochJson(stats));
+  }
+  for (const auto& stats : fit.self_train_history) {
+    writer.Write(SelfTrainEpochJson(stats));
+  }
+  writer.Write(PhaseTimingsJson(fit));
+  writer.Write(FitResultJson(fit));
+  for (const auto& event : extra_events) writer.Write(event);
+  if (!writer.Close()) {
+    return Status::IOError("failed writing run report: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace e2dtc::core

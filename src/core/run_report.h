@@ -1,0 +1,32 @@
+#ifndef E2DTC_CORE_RUN_REPORT_H_
+#define E2DTC_CORE_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/e2dtc.h"
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace e2dtc::core {
+
+/// JSON views of the pipeline's structures, used by the JSONL run report and
+/// reusable by any other sink (dashboards, bench harnesses).
+obs::Json ConfigJson(const E2dtcConfig& config);
+obs::Json PretrainEpochJson(const PretrainEpochStats& stats);
+obs::Json SelfTrainEpochJson(const SelfTrainEpochStats& stats);
+obs::Json PhaseTimingsJson(const FitResult& fit);
+obs::Json FitResultJson(const FitResult& fit);
+
+/// Serializes one full fit as a JSONL run report: a "config" line, one
+/// "pretrain_epoch" line per phase-2 epoch, one "self_train_epoch" line per
+/// phase-3 epoch, a "phase_timings" line, a "result" line, then any
+/// `extra_events` verbatim (callers append evaluation scores, captured log
+/// lines, ...). Every line carries a "type" member.
+Status WriteRunReport(const std::string& path, const E2dtcConfig& config,
+                      const FitResult& fit,
+                      const std::vector<obs::Json>& extra_events = {});
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_RUN_REPORT_H_

@@ -6,6 +6,8 @@
 #include "core/triplet.h"
 #include "data/batching.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -51,6 +53,15 @@ SelfTrainer::SelfTrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
 SelfTrainer::TrainResult SelfTrainer::Train(
     const std::vector<geo::Trajectory>& trajectories,
     const nn::Tensor& initial_centroids) {
+  E2DTC_TRACE_SPAN("selftrain.train");
+  static obs::Counter batches_counter =
+      obs::Registry::Global().counter("selftrain.batches");
+  static obs::Counter tokens_counter =
+      obs::Registry::Global().counter("selftrain.tokens");
+  static obs::Gauge changed_gauge =
+      obs::Registry::Global().gauge("selftrain.changed_fraction");
+  static obs::Histogram batch_hist = obs::Registry::Global().histogram(
+      "selftrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
   const bool collapse = model_->config().collapse_consecutive;
   const int n = static_cast<int>(trajectories.size());
   const int k = initial_centroids.rows();
@@ -86,15 +97,20 @@ SelfTrainer::TrainResult SelfTrainer::Train(
   std::vector<int> prev_assignments;
 
   for (int epoch = 0; epoch < config_.max_iters; ++epoch) {
+    E2DTC_TRACE_SPAN("selftrain.epoch");
     Stopwatch watch;
     // Lines 4-7: refresh embeddings, Q, target P, and hard assignments.
-    nn::Tensor embeddings = EncodeAll(*model_, *vocab_, trajectories,
-                                      config_.batch_size, collapse,
-                                      encode_pool_);
-    nn::Tensor q = nn::StudentTAssignmentValue(embeddings,
-                                               centroids.value());
-    nn::Tensor p = nn::TargetDistribution(q);
-    std::vector<int> assignments = HardAssignments(q);
+    nn::Tensor embeddings;
+    nn::Tensor q, p;
+    std::vector<int> assignments;
+    {
+      E2DTC_TRACE_SPAN("selftrain.refresh");
+      embeddings = EncodeAll(*model_, *vocab_, trajectories,
+                             config_.batch_size, collapse, encode_pool_);
+      q = nn::StudentTAssignmentValue(embeddings, centroids.value());
+      p = nn::TargetDistribution(q);
+      assignments = HardAssignments(q);
+    }
     if (config_.epoch_observer) config_.epoch_observer(epoch, assignments);
 
     EpochStats stats;
@@ -103,12 +119,14 @@ SelfTrainer::TrainResult SelfTrainer::Train(
     if (!prev_assignments.empty()) {
       stats.changed_fraction = ChangedFraction(assignments,
                                                prev_assignments);
+      changed_gauge.Set(stats.changed_fraction);
       if (stats.changed_fraction <= config_.delta) {
         result.converged = true;
         result.assignments = std::move(assignments);
         result.embeddings = std::move(embeddings);
         stats.seconds = watch.ElapsedSeconds();
         result.history.push_back(stats);
+        if (config_.epoch_callback) config_.epoch_callback(stats);
         break;
       }
     }
@@ -122,6 +140,8 @@ SelfTrainer::TrainResult SelfTrainer::Train(
     int64_t sample_sum = 0;
     int batch_count = 0;
     for (const auto& batch_indices : batches) {
+      E2DTC_TRACE_SPAN("selftrain.batch");
+      Stopwatch batch_watch;
       const int b = static_cast<int>(batch_indices.size());
       if (b < 2) continue;  // triplet/negative sampling needs pairs
       optimizer->ZeroGrad();
@@ -191,7 +211,7 @@ SelfTrainer::TrainResult SelfTrainer::Train(
       }
 
       nn::Backward(loss);
-      optimizer->ClipGradNorm(config_.grad_clip);
+      stats.grad_norm = optimizer->ClipGradNorm(config_.grad_clip);
       optimizer->Step();
 
       recon_sum += static_cast<double>(dec.loss_sum.value().scalar());
@@ -202,6 +222,9 @@ SelfTrainer::TrainResult SelfTrainer::Train(
         triplet_sum += static_cast<double>(triplet.value().scalar());
       }
       ++batch_count;
+      batches_counter.Increment();
+      tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
+      batch_hist.Record(batch_watch.ElapsedMillis());
     }
     stats.recon_loss =
         token_sum > 0 ? recon_sum / static_cast<double>(token_sum) : 0.0;
@@ -215,6 +238,7 @@ SelfTrainer::TrainResult SelfTrainer::Train(
                      << " Lt " << stats.triplet_loss << " changed "
                      << stats.changed_fraction;
     result.history.push_back(stats);
+    if (config_.epoch_callback) config_.epoch_callback(stats);
   }
 
   // Final state (also reached when max_iters ran out without convergence).

@@ -20,14 +20,9 @@ namespace e2dtc::core {
 /// corrupted positive, in-batch negative).
 class SelfTrainer {
  public:
-  struct EpochStats {
-    int epoch = 0;
-    double recon_loss = 0.0;    ///< Per-token L_r.
-    double cluster_loss = 0.0;  ///< Per-sample L_c.
-    double triplet_loss = 0.0;  ///< Per-batch-mean L_t.
-    double changed_fraction = 1.0;  ///< Hard assignments changed vs. prev.
-    double seconds = 0.0;
-  };
+  /// See SelfTrainEpochStats in core/config.h (shared with the live
+  /// SelfTrainConfig::epoch_callback hook).
+  using EpochStats = SelfTrainEpochStats;
 
   struct TrainResult {
     std::vector<int> assignments;  ///< Final hard assignments.

@@ -7,6 +7,8 @@
 #include "distance/erp.h"
 #include "distance/lcss.h"
 #include "distance/sspd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -70,6 +72,12 @@ DistanceMatrix ComputeDistanceMatrix(const std::vector<Polyline>& lines,
 DistanceMatrix ComputeDistanceMatrix(
     int n, const std::function<double(int, int)>& pair_distance,
     ThreadPool* pool) {
+  E2DTC_TRACE_SPAN("distance.matrix");
+  static obs::Counter pairs_counter =
+      obs::Registry::Global().counter("distance.pairs_computed");
+  pairs_counter.Increment(
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(n > 0 ? n - 1 : 0) /
+      2);
   DistanceMatrix m(n);
   auto compute_row = [&](int64_t i) {
     for (int j = static_cast<int>(i) + 1; j < n; ++j) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace e2dtc::embedding {
@@ -10,6 +12,9 @@ namespace e2dtc::embedding {
 Result<nn::Tensor> TrainSkipGram(
     const std::vector<std::vector<int>>& sequences, int vocab_size,
     const SkipGramConfig& cfg) {
+  E2DTC_TRACE_SPAN("skipgram.train");
+  static obs::Counter steps_counter =
+      obs::Registry::Global().counter("skipgram.center_steps");
   if (vocab_size < cfg.first_real_token + 1) {
     return Status::InvalidArgument("vocab too small");
   }
@@ -70,6 +75,10 @@ Result<nn::Tensor> TrainSkipGram(
   auto sigmoid = [](float x) { return 1.0f / (1.0f + std::exp(-x)); };
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    E2DTC_TRACE_SPAN("skipgram.epoch");
+    // One increment per epoch, outside the token loop: total_tokens center
+    // updates happen per epoch regardless of windowing.
+    steps_counter.Increment(static_cast<uint64_t>(total_tokens));
     for (const auto& seq : sequences) {
       const int len = static_cast<int>(seq.size());
       for (int pos = 0; pos < len; ++pos) {

@@ -1,0 +1,108 @@
+#ifndef E2DTC_OBS_JSON_H_
+#define E2DTC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace e2dtc::obs {
+
+/// Minimal ordered JSON value used by the observability sinks (metrics
+/// snapshots, trace export, JSONL run reports) and by tests that parse those
+/// artifacts back. Objects preserve insertion order so emitted files are
+/// stable and diffable. Deliberately dependency-free: obs sits below util in
+/// the layering so even ThreadPool can be instrumented.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+
+  /// Array element count / object member count.
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+  const Json& at(size_t i) const { return items_[i]; }
+
+  /// Appends to an array (converts a null value into an array).
+  void Append(Json v) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+
+  /// Sets an object member, replacing an existing key in place.
+  void Set(const std::string& key, Json v) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    for (auto& kv : members_) {
+      if (kv.first == key) {
+        kv.second = std::move(v);
+        return;
+      }
+    }
+    members_.emplace_back(key, std::move(v));
+  }
+
+  /// Member lookup; returns nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const {
+    for (const auto& kv : members_) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes to a compact single-line JSON string.
+  std::string Dump() const;
+
+  /// Parses `text` into `*out`. Returns false (with a human-readable message
+  /// in `*error` when non-null) on malformed input or trailing garbage.
+  static bool Parse(const std::string& text, Json* out,
+                    std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_JSON_H_

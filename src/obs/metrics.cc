@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+namespace e2dtc::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const uint64_t* MetricsSnapshot::FindCounter(const std::string& name) const {
+  for (const auto& kv : counters) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+const double* MetricsSnapshot::FindGauge(const std::string& name) const {
+  for (const auto& kv : gauges) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json counters_json = Json::Object();
+  for (const auto& kv : counters) counters_json.Set(kv.first, kv.second);
+  Json gauges_json = Json::Object();
+  for (const auto& kv : gauges) gauges_json.Set(kv.first, kv.second);
+  Json histograms_json = Json::Object();
+  for (const auto& h : histograms) {
+    Json hj = Json::Object();
+    Json bounds = Json::Array();
+    for (double b : h.bounds) bounds.Append(b);
+    Json buckets = Json::Array();
+    for (uint64_t c : h.bucket_counts) buckets.Append(c);
+    hj.Set("bounds", std::move(bounds));
+    hj.Set("bucket_counts", std::move(buckets));
+    hj.Set("count", h.count);
+    hj.Set("sum", h.sum);
+    histograms_json.Set(h.name, std::move(hj));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters_json));
+  out.Set("gauges", std::move(gauges_json));
+  out.Set("histograms", std::move(histograms_json));
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<internal::CounterCell>();
+  return Counter(cell.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = gauges_[name];
+  if (cell == nullptr) cell = std::make_unique<internal::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = histograms_[name];
+  if (cell == nullptr) {
+    cell = std::make_unique<internal::HistogramCell>(std::move(upper_bounds));
+  }
+  return Histogram(cell.get());
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& kv : counters_) {
+    snap.counters.emplace_back(
+        kv.first, kv.second->value.load(std::memory_order_relaxed));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& kv : gauges_) {
+    snap.gauges.emplace_back(kv.first,
+                             kv.second->value.load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& kv : histograms_) {
+    HistogramSnapshot h;
+    h.name = kv.first;
+    h.bounds = kv.second->bounds;
+    h.bucket_counts.reserve(kv.second->bucket_counts.size());
+    for (const auto& c : kv.second->bucket_counts) {
+      h.bucket_counts.push_back(c.load(std::memory_order_relaxed));
+    }
+    h.count = kv.second->count.load(std::memory_order_relaxed);
+    h.sum = kv.second->sum.load(std::memory_order_relaxed);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) {
+    kv.second->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& kv : gauges_) {
+    kv.second->value.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& kv : histograms_) {
+    for (auto& c : kv.second->bucket_counts) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    kv.second->count.store(0, std::memory_order_relaxed);
+    kv.second->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace e2dtc::obs

@@ -1,0 +1,166 @@
+#ifndef E2DTC_OBS_METRICS_H_
+#define E2DTC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace e2dtc::obs {
+
+/// Global metrics switch. Disabled by default so uninstrumented runs pay a
+/// single relaxed atomic load per recording site (bench_micro demonstrates
+/// the disabled path is sub-nanosecond). Sinks (CLI flags, benches, tests)
+/// flip it on.
+bool MetricsEnabled();
+void EnableMetrics(bool enabled);
+
+namespace internal {
+
+struct CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramCell {
+  explicit HistogramCell(std::vector<double> upper_bounds)
+      : bounds(std::move(upper_bounds)),
+        bucket_counts(bounds.size() + 1) {}
+
+  int BucketFor(double v) const {
+    int lo = 0, hi = static_cast<int>(bounds.size());
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (v <= bounds[static_cast<size_t>(mid)]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;  // == bounds.size() is the overflow bucket
+  }
+
+  void Record(double v) {
+    bucket_counts[static_cast<size_t>(BucketFor(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    double expected = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(expected, expected + v,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double> bounds;  ///< Inclusive upper bounds, ascending.
+  std::vector<std::atomic<uint64_t>> bucket_counts;  ///< bounds.size() + 1.
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+}  // namespace internal
+
+/// Cheap copyable handles over registry-owned cells. Cells live for the
+/// registry's lifetime, so handles cached in function-local statics on hot
+/// paths never dangle. All recording is a no-op while metrics are disabled.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (MetricsEnabled()) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(internal::CounterCell* cell) : cell_(cell) {}
+  internal::CounterCell* cell_;
+};
+
+class Gauge {
+ public:
+  void Set(double v) {
+    if (MetricsEnabled()) cell_->value.store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(internal::GaugeCell* cell) : cell_(cell) {}
+  internal::GaugeCell* cell_;
+};
+
+class Histogram {
+ public:
+  void Record(double v) {
+    if (MetricsEnabled()) cell_->Record(v);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(internal::HistogramCell* cell) : cell_(cell) {}
+  internal::HistogramCell* cell_;
+};
+
+/// `count` bucket upper bounds starting at `start` and growing by `factor`:
+/// the standard shape for latency histograms.
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookup helpers for tests/tools; nullptr when the name is unknown.
+  const uint64_t* FindCounter(const std::string& name) const;
+  const double* FindGauge(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  Json ToJson() const;
+};
+
+/// Thread-safe name -> metric registry. Lookup takes a lock; recording
+/// through the returned handles is lock-free, so hot paths resolve their
+/// handle once (function-local static) and record through it.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `upper_bounds` must be ascending; ignored if `name` already exists.
+  Histogram histogram(const std::string& name,
+                      std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every cell (handles stay valid). For tests and bench harnesses.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<internal::CounterCell>> counters_;
+  std::map<std::string, std::unique_ptr<internal::GaugeCell>> gauges_;
+  std::map<std::string, std::unique_ptr<internal::HistogramCell>> histograms_;
+};
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_METRICS_H_

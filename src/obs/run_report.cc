@@ -1,0 +1,72 @@
+#include "obs/run_report.h"
+
+namespace e2dtc::obs {
+
+RunReportWriter::RunReportWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) write_failed_ = true;  // Close() must report failure
+}
+
+RunReportWriter::~RunReportWriter() { Close(); }
+
+void RunReportWriter::Write(const Json& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  const std::string line = event.Dump();
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    write_failed_ = true;
+  }
+  std::fflush(file_);
+}
+
+bool RunReportWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return !write_failed_;
+  if (std::fclose(file_) != 0) write_failed_ = true;
+  file_ = nullptr;
+  return !write_failed_;
+}
+
+bool ReadJsonl(const std::string& path, std::vector<Json>* out,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  int c;
+  int line_number = 1;
+  auto flush_line = [&]() -> bool {
+    if (line.empty()) return true;
+    Json value;
+    std::string parse_error;
+    if (!Json::Parse(line, &value, &parse_error)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_number) + ": " +
+                 parse_error;
+      }
+      return false;
+    }
+    out->push_back(std::move(value));
+    return true;
+  };
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      if (!flush_line()) {
+        std::fclose(f);
+        return false;
+      }
+      line.clear();
+      ++line_number;
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  const bool ok = flush_line();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace e2dtc::obs

@@ -1,0 +1,50 @@
+#ifndef E2DTC_OBS_RUN_REPORT_H_
+#define E2DTC_OBS_RUN_REPORT_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace e2dtc::obs {
+
+/// Structured run-report sink: one JSON object per line (JSONL), flushed per
+/// event so a crashed run still leaves the epochs it finished. Thread-safe;
+/// the logging sink may write from worker threads while the fit loop writes
+/// epoch events. Error handling is by bool (obs sits below util, so no
+/// Status here); core wraps failures into Status for callers.
+class RunReportWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit RunReportWriter(const std::string& path);
+  ~RunReportWriter();
+
+  RunReportWriter(const RunReportWriter&) = delete;
+  RunReportWriter& operator=(const RunReportWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && !write_failed_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one event line. No-op after a failed open.
+  void Write(const Json& event);
+
+  /// Flushes and closes; returns false if any write failed. Idempotent.
+  bool Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool write_failed_ = false;
+  std::mutex mu_;
+};
+
+/// Reads a JSONL file back into one Json per line (blank lines skipped).
+/// Returns false with `*error` set on I/O or parse failure.
+bool ReadJsonl(const std::string& path, std::vector<Json>* out,
+               std::string* error = nullptr);
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_RUN_REPORT_H_

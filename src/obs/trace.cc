@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace e2dtc::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_us;
+  uint64_t dur_us;
+  uint32_t tid;
+};
+
+/// Per-thread event buffer. The owning thread appends under `mu` (uncontended
+/// except during collection/clear); the exporter locks each buffer briefly.
+/// Buffers are shared_ptr-owned by both the thread_local handle and the
+/// global list so events survive thread exit until the next StartTracing().
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+std::atomic<bool> g_tracing_active{false};
+
+struct BufferList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+BufferList& Buffers() {
+  static BufferList* list = new BufferList();  // never destroyed
+  return *list;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    b->tid = list.next_tid++;
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::vector<TraceEvent> CollectEvents() {
+  BufferList& list = Buffers();
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const auto& b : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+}  // namespace
+
+uint64_t MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  // + 1 keeps the result strictly positive: callers (ThreadPool queue-wait)
+  // use 0 as a "not stamped" sentinel, which the anchoring call would
+  // otherwise collide with.
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - epoch)
+                 .count()) +
+         1;
+}
+
+bool TracingActive() {
+  return g_tracing_active.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  BufferList& list = Buffers();
+  {
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (const auto& b : list.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      b->events.clear();
+    }
+  }
+  g_tracing_active.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  g_tracing_active.store(false, std::memory_order_relaxed);
+}
+
+size_t TraceEventCount() {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  size_t n = 0;
+  for (const auto& b : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = CollectEvents();
+  Json trace_events = Json::Array();
+  for (const TraceEvent& e : events) {
+    Json ev = Json::Object();
+    ev.Set("name", e.name);
+    ev.Set("cat", "e2dtc");
+    ev.Set("ph", "X");
+    ev.Set("ts", e.start_us);
+    ev.Set("dur", e.dur_us);
+    ev.Set("pid", 1);
+    ev.Set("tid", static_cast<uint64_t>(e.tid));
+    trace_events.Append(std::move(ev));
+  }
+  Json root = Json::Object();
+  root.Set("displayTimeUnit", "ms");
+  root.Set("traceEvents", std::move(trace_events));
+  return root.Dump();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const bool write_ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                        json.size();
+  const bool close_ok = std::fclose(f) == 0;
+  return write_ok && close_ok;
+}
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(TraceEvent{name, start_us, dur_us, buffer.tid});
+}
+
+}  // namespace internal
+
+}  // namespace e2dtc::obs

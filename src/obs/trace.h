@@ -1,0 +1,75 @@
+#ifndef E2DTC_OBS_TRACE_H_
+#define E2DTC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace e2dtc::obs {
+
+/// Microseconds on the process-local monotonic clock (steady_clock anchored
+/// at first use; always strictly positive so 0 can serve as a "not stamped"
+/// sentinel). Shared by trace spans and the thread-pool queue-wait
+/// instrumentation so their timelines line up.
+uint64_t MonotonicMicros();
+
+/// Whether a trace collection is running. Spans created while inactive cost
+/// one relaxed atomic load and record nothing.
+bool TracingActive();
+
+/// Starts a collection, discarding any previously buffered events.
+void StartTracing();
+
+/// Stops the collection; buffered events stay available for export.
+void StopTracing();
+
+/// Number of completed spans currently buffered (across all threads).
+size_t TraceEventCount();
+
+/// Serializes the buffered spans as Chrome trace-event JSON — the format
+/// chrome://tracing and Perfetto load directly: an object with a
+/// "traceEvents" array of complete ("ph":"X") events, timestamps in
+/// microseconds.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+namespace internal {
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us);
+}  // namespace internal
+
+/// RAII span. `name` must outlive the collection (string literals at every
+/// built-in call site). Construction while tracing is inactive is a no-op;
+/// a span started during a collection that is stopped before the span ends
+/// is dropped (the collection boundary is the fit's caller, so in practice
+/// spans nest strictly inside it).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(TracingActive() ? name : nullptr),
+        start_us_(name_ != nullptr ? MonotonicMicros() : 0) {}
+  ~ScopedSpan() {
+    if (name_ != nullptr && TracingActive()) {
+      internal::RecordSpan(name_, start_us_, MonotonicMicros() - start_us_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+};
+
+}  // namespace e2dtc::obs
+
+#define E2DTC_OBS_CONCAT_INNER(a, b) a##b
+#define E2DTC_OBS_CONCAT(a, b) E2DTC_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope.
+///   E2DTC_TRACE_SPAN("pretrain.epoch");
+#define E2DTC_TRACE_SPAN(name) \
+  ::e2dtc::obs::ScopedSpan E2DTC_OBS_CONCAT(e2dtc_trace_span_, __LINE__)(name)
+
+#endif  // E2DTC_OBS_TRACE_H_

@@ -3,12 +3,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
+#include <memory>
+#include <mutex>
 
 namespace e2dtc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+std::mutex g_sink_mu;
+std::shared_ptr<LogSink> g_sink;  // copied out under the lock per emit
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -23,28 +31,92 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-06 12:34:56.789" into `buf` (must hold >= 24 bytes).
+void FormatWallClock(char* buf, size_t buf_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char date[20];
+  std::strftime(date, sizeof(date), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(buf, buf_size, "%s.%03d", date, millis);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("E2DTC_LOG_LEVEL");
+  if (value == nullptr) return;
+  // Case-insensitive match on the canonical names.
+  char lower[16];
+  size_t i = 0;
+  for (; value[i] != '\0' && i + 1 < sizeof(lower); ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[i])));
+  }
+  lower[i] = '\0';
+  if (std::strcmp(lower, "debug") == 0) {
+    g_level.store(LogLevel::kDebug);
+  } else if (std::strcmp(lower, "info") == 0) {
+    g_level.store(LogLevel::kInfo);
+  } else if (std::strcmp(lower, "warning") == 0 ||
+             std::strcmp(lower, "warn") == 0) {
+    g_level.store(LogLevel::kWarning);
+  } else if (std::strcmp(lower, "error") == 0) {
+    g_level.store(LogLevel::kError);
+  }
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (sink) {
+    g_sink = std::make_shared<LogSink>(std::move(sink));
+  } else {
+    g_sink.reset();
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load()), level_(level) {
+    : enabled_(false), level_(level) {
+  std::call_once(g_env_once, InitLogLevelFromEnv);
+  enabled_ = level >= g_level.load();
   if (!enabled_) return;
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  char timestamp[32];
+  FormatWallClock(timestamp, sizeof(timestamp));
+  stream_ << "[" << LevelTag(level_) << " " << timestamp << " " << base
+          << ":" << line << "] ";
+  prefix_length_ = static_cast<size_t>(stream_.tellp());
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string full = stream_.str();
+  std::fputs(full.c_str(), stderr);
+  std::fputc('\n', stderr);
   std::fflush(stderr);
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink != nullptr) {
+    (*sink)(level_, full.substr(prefix_length_));
+  }
 }
 
 }  // namespace internal

@@ -1,6 +1,7 @@
 #ifndef E2DTC_UTIL_LOGGING_H_
 #define E2DTC_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,15 +10,32 @@ namespace e2dtc {
 /// Log severity, in increasing order.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+/// Sets the global minimum severity that is emitted. Defaults to kInfo, or
+/// to E2DTC_LOG_LEVEL from the environment (see InitLogLevelFromEnv).
 void SetLogLevel(LogLevel level);
 
 /// Returns the current global minimum severity.
 LogLevel GetLogLevel();
 
+/// Applies the E2DTC_LOG_LEVEL environment variable (one of debug, info,
+/// warning, error; case-insensitive) to the global threshold. Called
+/// automatically on the first log statement; callable explicitly to re-read
+/// (tests, long-lived servers reacting to config pushes). Unset or
+/// unrecognized values leave the threshold unchanged.
+void InitLogLevelFromEnv();
+
+/// Pluggable secondary sink: receives (level, message body) for every
+/// emitted log line, after the level filter and in addition to stderr. Used
+/// by the obs run report to capture warnings/errors into the JSONL stream.
+/// Pass nullptr to remove. The sink must not log (re-entrancy is not
+/// supported) and may be invoked concurrently from multiple threads.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
 namespace internal {
 
-/// Stream-style log line; emits to stderr on destruction.
+/// Stream-style log line; emits to stderr (and the sink, if any) on
+/// destruction, prefixed with level, wall-clock timestamp, and file:line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -35,6 +53,7 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  size_t prefix_length_ = 0;  ///< Bytes of prefix before the message body.
   std::ostringstream stream_;
 };
 

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace e2dtc {
+
+namespace {
+
+/// Handles resolved once; recording is a relaxed atomic op (no-op while
+/// metrics are disabled).
+obs::Counter& TasksExecutedCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("threadpool.tasks_executed");
+  return c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge g = obs::Registry::Global().gauge("threadpool.queue_depth");
+  return g;
+}
+
+obs::Histogram& QueueWaitHistogram() {
+  // 1 us .. ~1 s in x4 steps: the pool serves sub-millisecond encode batches
+  // but can back up behind a slow distance-matrix row.
+  static obs::Histogram h = obs::Registry::Global().histogram(
+      "threadpool.queue_wait_us", obs::ExponentialBuckets(1.0, 4.0, 11));
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -25,10 +53,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const uint64_t enqueue_us =
+      obs::MetricsEnabled() ? obs::MonotonicMicros() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(QueuedTask{std::move(task), enqueue_us});
     ++in_flight_;
+    QueueDepthGauge().Set(static_cast<double>(tasks_.size()));
   }
   task_available_.notify_one();
 }
@@ -57,7 +88,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -68,8 +99,14 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      QueueDepthGauge().Set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (task.enqueue_us != 0) {
+      QueueWaitHistogram().Record(
+          static_cast<double>(obs::MonotonicMicros() - task.enqueue_us));
+    }
+    task.fn();
+    TasksExecutedCounter().Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -2,6 +2,7 @@
 #define E2DTC_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -37,10 +38,17 @@ class ThreadPool {
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
  private:
+  /// Queued task plus its enqueue time (0 when metrics are disabled at
+  /// submit time) for the obs queue-wait histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_us = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

@@ -11,9 +11,43 @@ trap 'rm -rf "${WORK}"' EXIT
 "${CLI}" generate --preset hangzhou --scale 0.2 --seed 5 \
     --out "${WORK}/city.csv" | grep -q "wrote"
 
-"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/model.e2dtc" \
+# Fit with every observability sink attached: Chrome trace, metrics
+# snapshot, JSONL run report, plus an explicit log level.
+FIT_OUT="$("${CLI}" fit --data "${WORK}/city.csv" \
+    --model "${WORK}/model.e2dtc" \
     --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
-    | grep -q "saved model"
+    --log-level warning \
+    --trace-out "${WORK}/trace.json" \
+    --metrics-out "${WORK}/metrics.json" \
+    --run-report "${WORK}/report.jsonl")"
+echo "${FIT_OUT}" | grep -q "saved model"
+echo "${FIT_OUT}" | grep -q "phase timings"
+
+# Trace: Chrome trace-event JSON with spans for all three phases.
+grep -q "traceEvents" "${WORK}/trace.json"
+grep -q "fit.embed" "${WORK}/trace.json"
+grep -q "fit.pretrain" "${WORK}/trace.json"
+grep -q "fit.self_train" "${WORK}/trace.json"
+grep -q "pretrain.epoch" "${WORK}/trace.json"
+
+# Metrics snapshot: counters from the training hot paths.
+grep -q "pretrain.batches" "${WORK}/metrics.json"
+grep -q "kmeans.runs" "${WORK}/metrics.json"
+
+# Run report: config line, per-epoch lines for both phases, final result.
+grep -q '"type":"config"' "${WORK}/report.jsonl"
+grep -q '"type":"pretrain_epoch"' "${WORK}/report.jsonl"
+grep -q '"type":"self_train_epoch"' "${WORK}/report.jsonl"
+grep -q '"type":"phase_timings"' "${WORK}/report.jsonl"
+grep -q '"type":"result"' "${WORK}/report.jsonl"
+grep -q "changed_fraction" "${WORK}/report.jsonl"
+
+# Bad --log-level values fail loudly.
+if "${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/m2.e2dtc" \
+    --log-level shouty 2>/dev/null; then
+  echo "expected bad --log-level to fail" >&2
+  exit 1
+fi
 
 "${CLI}" info --model "${WORK}/model.e2dtc" | grep -q "rnn: GRU"
 

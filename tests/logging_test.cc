@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/logging.h"
 
 namespace e2dtc {
@@ -7,7 +14,11 @@ namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+  void TearDown() override {
+    SetLogLevel(LogLevel::kInfo);
+    SetLogSink(nullptr);
+    unsetenv("E2DTC_LOG_LEVEL");
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrip) {
@@ -54,6 +65,81 @@ TEST_F(LoggingTest, SuppressedMessagesSkipFormattingWork) {
   E2DTC_LOG(Info) << expensive();
   EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
   EXPECT_EQ(evaluations, 1);  // argument evaluated, output suppressed
+}
+
+TEST_F(LoggingTest, PrefixCarriesWallClockTimestamp) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  E2DTC_LOG(Info) << "stamped";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[I YYYY-MM-DD HH:MM:SS.mmm <file>:<line>] stamped"
+  const size_t start = out.find("[I ");
+  ASSERT_NE(start, std::string::npos);
+  const std::string stamp = out.substr(start + 3, 23);
+  ASSERT_EQ(stamp.size(), 23u);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], ' ');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(stamp[0])));
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(stamp[22])));
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvParsesLevels) {
+  setenv("E2DTC_LOG_LEVEL", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  setenv("E2DTC_LOG_LEVEL", "DEBUG", 1);  // case-insensitive
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  setenv("E2DTC_LOG_LEVEL", "warn", 1);  // accepted alias for warning
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+
+  // Unrecognized values leave the threshold unchanged.
+  setenv("E2DTC_LOG_LEVEL", "verbose", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SinkReceivesBodyAfterLevelFilter) {
+  SetLogLevel(LogLevel::kWarning);
+  std::mutex mu;
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&mu, &captured](LogLevel level, const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu);
+    captured.emplace_back(level, body);
+  });
+  ::testing::internal::CaptureStderr();
+  E2DTC_LOG(Info) << "filtered out";
+  E2DTC_LOG(Warning) << "kept " << 7;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  // The sink gets the message body only — no "[W ...]" prefix.
+  EXPECT_EQ(captured[0].second, "kept 7");
+  // stderr still gets the full prefixed line.
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("kept 7"), std::string::npos);
+}
+
+TEST_F(LoggingTest, RemovingSinkStopsCapture) {
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel, const std::string& body) {
+    captured.push_back(body);
+  });
+  ::testing::internal::CaptureStderr();
+  E2DTC_LOG(Warning) << "one";
+  SetLogSink(nullptr);
+  E2DTC_LOG(Warning) << "two";
+  (void)::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "one");
 }
 
 }  // namespace

@@ -1,0 +1,492 @@
+// Tests for the e2dtc::obs observability substrate: JSON round-trips, the
+// metrics registry under concurrency, Chrome trace export well-formedness,
+// and the JSONL run-report sink (obs writer + core serialization).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/config.h"
+#include "core/e2dtc.h"
+#include "core/run_report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(ObsJsonTest, DumpsScalarsAndContainers) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("flag", true);
+  obj.Set("count", 42);
+  obj.Set("pi", 3.5);
+  obj.Set("name", "e2dtc");
+  obj.Set("nothing", obs::Json());
+  obs::Json arr = obs::Json::Array();
+  arr.Append(1);
+  arr.Append(2);
+  obj.Set("seq", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            "{\"flag\":true,\"count\":42,\"pi\":3.5,\"name\":\"e2dtc\","
+            "\"nothing\":null,\"seq\":[1,2]}");
+}
+
+TEST(ObsJsonTest, SetReplacesInPlacePreservingOrder) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("a", 1);
+  obj.Set("b", 2);
+  obj.Set("a", 3);
+  EXPECT_EQ(obj.Dump(), "{\"a\":3,\"b\":2}");
+}
+
+TEST(ObsJsonTest, EscapesStrings) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("s", "tab\there \"quoted\"\nnewline");
+  const std::string dumped = obj.Dump();
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+
+  obs::Json back;
+  ASSERT_TRUE(obs::Json::Parse(dumped, &back));
+  ASSERT_NE(back.Find("s"), nullptr);
+  EXPECT_EQ(back.Find("s")->str(), "tab\there \"quoted\"\nnewline");
+}
+
+TEST(ObsJsonTest, ParseRoundTripsNestedValues) {
+  obs::Json obj = obs::Json::Object();
+  obj.Set("neg", -12.25);
+  obj.Set("big", static_cast<int64_t>(1) << 40);
+  obs::Json inner = obs::Json::Object();
+  inner.Set("ok", false);
+  obj.Set("inner", std::move(inner));
+
+  obs::Json back;
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(obj.Dump(), &back, &error)) << error;
+  EXPECT_DOUBLE_EQ(back.Find("neg")->number(), -12.25);
+  EXPECT_DOUBLE_EQ(back.Find("big")->number(),
+                   static_cast<double>(static_cast<int64_t>(1) << 40));
+  ASSERT_NE(back.Find("inner"), nullptr);
+  EXPECT_FALSE(back.Find("inner")->Find("ok")->bool_value());
+}
+
+TEST(ObsJsonTest, ParseRejectsMalformedInput) {
+  obs::Json out;
+  std::string error;
+  EXPECT_FALSE(obs::Json::Parse("{\"a\":}", &out, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(obs::Json::Parse("[1,2", &out));
+  EXPECT_FALSE(obs::Json::Parse("", &out));
+  EXPECT_FALSE(obs::Json::Parse("{} trailing", &out));
+  EXPECT_FALSE(obs::Json::Parse("{\"a\" 1}", &out));
+}
+
+TEST(ObsJsonTest, ParseHandlesUnicodeEscapes) {
+  obs::Json out;
+  ASSERT_TRUE(obs::Json::Parse("\"caf\\u00e9\"", &out));
+  EXPECT_EQ(out.str(), "caf\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().Reset();
+    obs::EnableMetrics(true);
+  }
+  void TearDown() override {
+    obs::EnableMetrics(false);
+    obs::Registry::Global().Reset();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterGaugeHistogramBasics) {
+  obs::Counter counter = obs::Registry::Global().counter("test.counter");
+  counter.Increment();
+  counter.Increment(4);
+  obs::Gauge gauge = obs::Registry::Global().gauge("test.gauge");
+  gauge.Set(2.5);
+  obs::Histogram hist =
+      obs::Registry::Global().histogram("test.hist", {1.0, 10.0, 100.0});
+  hist.Record(0.5);    // bucket 0 (<= 1)
+  hist.Record(5.0);    // bucket 1 (<= 10)
+  hist.Record(1000.0); // overflow bucket
+
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  ASSERT_NE(snap.FindCounter("test.counter"), nullptr);
+  EXPECT_EQ(*snap.FindCounter("test.counter"), 5u);
+  ASSERT_NE(snap.FindGauge("test.gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(*snap.FindGauge("test.gauge"), 2.5);
+  const obs::HistogramSnapshot* h = snap.FindHistogram("test.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_DOUBLE_EQ(h->sum, 1005.5);
+  ASSERT_EQ(h->bucket_counts.size(), 4u);
+  EXPECT_EQ(h->bucket_counts[0], 1u);
+  EXPECT_EQ(h->bucket_counts[1], 1u);
+  EXPECT_EQ(h->bucket_counts[2], 0u);
+  EXPECT_EQ(h->bucket_counts[3], 1u);
+}
+
+TEST_F(ObsMetricsTest, DisabledRecordingIsDropped) {
+  obs::Counter counter = obs::Registry::Global().counter("test.disabled");
+  obs::EnableMetrics(false);
+  counter.Increment(100);
+  obs::EnableMetrics(true);
+  counter.Increment();
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  EXPECT_EQ(*snap.FindCounter("test.disabled"), 1u);
+}
+
+TEST_F(ObsMetricsTest, SameNameReturnsSameCell) {
+  obs::Counter a = obs::Registry::Global().counter("test.shared");
+  obs::Counter b = obs::Registry::Global().counter("test.shared");
+  a.Increment();
+  b.Increment();
+  EXPECT_EQ(*obs::Registry::Global().Snapshot().FindCounter("test.shared"),
+            2u);
+}
+
+TEST_F(ObsMetricsTest, ExponentialBucketsShape) {
+  const std::vector<double> bounds = obs::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentRecordingUnderThreadPool) {
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 1000;
+  obs::Counter counter = obs::Registry::Global().counter("test.concurrent");
+  obs::Histogram hist = obs::Registry::Global().histogram(
+      "test.concurrent_hist", obs::ExponentialBuckets(1.0, 2.0, 8));
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&counter, &hist, t] {
+      for (int i = 0; i < kIncrementsPerTask; ++i) {
+        counter.Increment();
+        hist.Record(static_cast<double>(t % 7));
+      }
+    });
+  }
+  pool.Wait();
+
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  EXPECT_EQ(*snap.FindCounter("test.concurrent"),
+            static_cast<uint64_t>(kTasks) * kIncrementsPerTask);
+  const obs::HistogramSnapshot* h = snap.FindHistogram("test.concurrent_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<uint64_t>(kTasks) * kIncrementsPerTask);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h->bucket_counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, h->count);
+}
+
+TEST_F(ObsMetricsTest, ThreadPoolSelfInstrumentation) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  const uint64_t* executed = snap.FindCounter("threadpool.tasks_executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_GE(*executed, 10u);
+  const obs::HistogramSnapshot* wait =
+      snap.FindHistogram("threadpool.queue_wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GE(wait->count, 10u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotToJsonShape) {
+  obs::Registry::Global().counter("test.json_counter").Increment(7);
+  obs::Registry::Global().gauge("test.json_gauge").Set(1.5);
+  obs::Registry::Global().histogram("test.json_hist", {1.0}).Record(0.5);
+
+  const obs::Json json = obs::Registry::Global().Snapshot().ToJson();
+  ASSERT_NE(json.Find("counters"), nullptr);
+  ASSERT_NE(json.Find("counters")->Find("test.json_counter"), nullptr);
+  EXPECT_DOUBLE_EQ(json.Find("counters")->Find("test.json_counter")->number(),
+                   7.0);
+  ASSERT_NE(json.Find("gauges"), nullptr);
+  EXPECT_DOUBLE_EQ(json.Find("gauges")->Find("test.json_gauge")->number(),
+                   1.5);
+  const obs::Json* hist = json.Find("histograms")->Find("test.json_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("bounds")->size(), 1u);
+  EXPECT_EQ(hist->Find("bucket_counts")->size(), 2u);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number(), 1.0);
+
+  // The dumped snapshot must parse back (it is what --metrics-out writes).
+  obs::Json back;
+  std::string error;
+  EXPECT_TRUE(obs::Json::Parse(json.Dump(), &back, &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::StopTracing(); }
+};
+
+TEST_F(ObsTraceTest, InactiveByDefaultAndSpansAreDropped) {
+  ASSERT_FALSE(obs::TracingActive());
+  { E2DTC_TRACE_SPAN("dropped"); }
+  obs::StartTracing();
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+  obs::StopTracing();
+}
+
+TEST_F(ObsTraceTest, RecordsNestedSpans) {
+  obs::StartTracing();
+  {
+    E2DTC_TRACE_SPAN("outer");
+    { E2DTC_TRACE_SPAN("inner"); }
+  }
+  obs::StopTracing();
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceJsonIsWellFormed) {
+  obs::StartTracing();
+  {
+    E2DTC_TRACE_SPAN("main_thread_span");
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([] { E2DTC_TRACE_SPAN("pool_span"); });
+    }
+    pool.Wait();
+  }
+  obs::StopTracing();
+
+  obs::Json trace;
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(obs::ChromeTraceJson(), &trace, &error))
+      << error;
+  const obs::Json* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 5u);
+
+  int main_spans = 0, pool_spans = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const obs::Json& e = events->at(i);
+    ASSERT_NE(e.Find("name"), nullptr);
+    EXPECT_EQ(e.Find("ph")->str(), "X");
+    EXPECT_EQ(e.Find("cat")->str(), "e2dtc");
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Find("tid")->is_number());
+    if (e.Find("name")->str() == "main_thread_span") ++main_spans;
+    if (e.Find("name")->str() == "pool_span") ++pool_spans;
+  }
+  EXPECT_EQ(main_spans, 1);
+  EXPECT_EQ(pool_spans, 4);
+}
+
+TEST_F(ObsTraceTest, StartTracingClearsPreviousCollection) {
+  obs::StartTracing();
+  { E2DTC_TRACE_SPAN("first"); }
+  obs::StopTracing();
+  EXPECT_EQ(obs::TraceEventCount(), 1u);
+  obs::StartTracing();
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+  obs::StopTracing();
+}
+
+TEST_F(ObsTraceTest, WriteChromeTraceRoundTrip) {
+  obs::StartTracing();
+  { E2DTC_TRACE_SPAN("file_span"); }
+  obs::StopTracing();
+
+  const std::string path = TempPath("e2dtc_obs_test_trace.json");
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  obs::Json trace;
+  ASSERT_TRUE(obs::Json::Parse(content, &trace));
+  EXPECT_EQ(trace.Find("traceEvents")->size(), 1u);
+  EXPECT_EQ(trace.Find("traceEvents")->at(0).Find("name")->str(),
+            "file_span");
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+
+TEST(ObsRunReportTest, WriterRoundTripsJsonl) {
+  const std::string path = TempPath("e2dtc_obs_test_report.jsonl");
+  {
+    obs::RunReportWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    obs::Json a = obs::Json::Object();
+    a.Set("type", "first");
+    a.Set("value", 1);
+    writer.Write(a);
+    obs::Json b = obs::Json::Object();
+    b.Set("type", "second");
+    writer.Write(b);
+    EXPECT_TRUE(writer.Close());
+  }
+  std::vector<obs::Json> lines;
+  std::string error;
+  ASSERT_TRUE(obs::ReadJsonl(path, &lines, &error)) << error;
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].Find("type")->str(), "first");
+  EXPECT_DOUBLE_EQ(lines[0].Find("value")->number(), 1.0);
+  EXPECT_EQ(lines[1].Find("type")->str(), "second");
+}
+
+TEST(ObsRunReportTest, WriterReportsBadPath) {
+  obs::RunReportWriter writer("/nonexistent_dir_e2dtc/report.jsonl");
+  EXPECT_FALSE(writer.ok());
+  writer.Write(obs::Json::Object());  // must not crash
+  EXPECT_FALSE(writer.Close());
+}
+
+TEST(ObsRunReportTest, ReadJsonlReportsParseErrorWithLine) {
+  const std::string path = TempPath("e2dtc_obs_test_bad.jsonl");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"ok\":1}\nnot json\n", f);
+  std::fclose(f);
+  std::vector<obs::Json> lines;
+  std::string error;
+  EXPECT_FALSE(obs::ReadJsonl(path, &lines, &error));
+  EXPECT_NE(error.find("2"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(CoreRunReportTest, WriteRunReportSerializesFit) {
+  core::E2dtcConfig config;
+  config.self_train.k = 3;
+
+  core::FitResult fit;
+  fit.k = 3;
+  fit.assignments = {0, 1, 2, 1};
+  fit.self_train_converged = true;
+  fit.embed_seconds = 0.5;
+  fit.pretrain_seconds = 1.5;
+  fit.cluster_seconds = 1.0;
+  fit.total_seconds = 3.0;
+
+  core::PretrainEpochStats pe;
+  pe.epoch = 0;
+  pe.avg_token_loss = 2.25;
+  pe.grad_norm = 0.75;
+  pe.tokens_per_second = 1000.0;
+  pe.seconds = 1.5;
+  fit.pretrain_history.push_back(pe);
+
+  core::SelfTrainEpochStats se;
+  se.epoch = 0;
+  se.recon_loss = 1.25;
+  se.cluster_loss = 0.5;
+  se.triplet_loss = 0.125;
+  se.grad_norm = 0.25;
+  se.changed_fraction = 0.1;
+  se.seconds = 0.5;
+  fit.self_train_history.push_back(se);
+
+  obs::Json eval = obs::Json::Object();
+  eval.Set("type", "evaluation");
+  eval.Set("nmi", 0.9);
+
+  const std::string path = TempPath("e2dtc_obs_test_run.jsonl");
+  const Status status = core::WriteRunReport(path, config, fit, {eval});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::vector<obs::Json> lines;
+  std::string error;
+  ASSERT_TRUE(obs::ReadJsonl(path, &lines, &error)) << error;
+  std::remove(path.c_str());
+
+  // config, 1 pretrain epoch, 1 self-train epoch, timings, result, eval.
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].Find("type")->str(), "config");
+  ASSERT_NE(lines[0].Find("pretrain"), nullptr);
+  EXPECT_TRUE(lines[0].Find("pretrain")->Find("epochs")->is_number());
+
+  EXPECT_EQ(lines[1].Find("type")->str(), "pretrain_epoch");
+  EXPECT_DOUBLE_EQ(lines[1].Find("avg_token_loss")->number(), 2.25);
+  EXPECT_DOUBLE_EQ(lines[1].Find("grad_norm")->number(), 0.75);
+  EXPECT_DOUBLE_EQ(lines[1].Find("tokens_per_second")->number(), 1000.0);
+
+  EXPECT_EQ(lines[2].Find("type")->str(), "self_train_epoch");
+  EXPECT_DOUBLE_EQ(lines[2].Find("recon_loss")->number(), 1.25);
+  EXPECT_DOUBLE_EQ(lines[2].Find("changed_fraction")->number(), 0.1);
+  EXPECT_DOUBLE_EQ(lines[2].Find("grad_norm")->number(), 0.25);
+
+  EXPECT_EQ(lines[3].Find("type")->str(), "phase_timings");
+  EXPECT_DOUBLE_EQ(lines[3].Find("total_seconds")->number(), 3.0);
+
+  EXPECT_EQ(lines[4].Find("type")->str(), "result");
+  EXPECT_DOUBLE_EQ(lines[4].Find("k")->number(), 3.0);
+  EXPECT_TRUE(lines[4].Find("self_train_converged")->bool_value());
+  const obs::Json* sizes = lines[4].Find("cluster_sizes");
+  ASSERT_NE(sizes, nullptr);
+  ASSERT_EQ(sizes->size(), 3u);
+  EXPECT_DOUBLE_EQ(sizes->at(1).number(), 2.0);
+
+  EXPECT_EQ(lines[5].Find("type")->str(), "evaluation");
+}
+
+TEST(CoreRunReportTest, WriteRunReportFailsOnBadPath) {
+  core::E2dtcConfig config;
+  core::FitResult fit;
+  const Status status =
+      core::WriteRunReport("/nonexistent_dir_e2dtc/run.jsonl", config, fit);
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch callbacks (config-level plumbing)
+
+TEST(EpochCallbackTest, StatsTypesCarryObservabilityFields) {
+  // Compile-time shape check that instrumented training populates: the
+  // aliases keep Pretrainer::EpochStats/SelfTrainer::EpochStats working.
+  static_assert(
+      std::is_same_v<core::Pretrainer::EpochStats, core::PretrainEpochStats>);
+  static_assert(std::is_same_v<core::SelfTrainer::EpochStats,
+                               core::SelfTrainEpochStats>);
+  core::PretrainConfig pc;
+  std::vector<int> seen;
+  pc.epoch_callback = [&seen](const core::PretrainEpochStats& stats) {
+    seen.push_back(stats.epoch);
+  };
+  core::PretrainEpochStats stats;
+  stats.epoch = 7;
+  pc.epoch_callback(stats);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 7);
+}
+
+}  // namespace
+}  // namespace e2dtc

@@ -10,15 +10,21 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/e2dtc.h"
+#include "core/run_report.h"
 #include "data/geojson.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "metrics/clustering_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace {
@@ -56,6 +62,26 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Applies --log-level={debug,info,warning,error}; returns false on an
+/// unknown name. The E2DTC_LOG_LEVEL env var remains the default.
+bool ApplyLogLevelFlag(const Flags& flags) {
+  const std::string level = flags.Get("log-level", "");
+  if (level.empty()) return true;
+  if (level == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (level == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (level == "warning") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (level == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "unknown --log-level '%s'\n", level.c_str());
+    return false;
+  }
+  return true;
+}
+
 int CmdGenerate(const Flags& flags) {
   const std::string preset = flags.Get("preset", "hangzhou");
   const double scale = flags.GetDouble("scale", 1.0);
@@ -86,6 +112,9 @@ int CmdGenerate(const Flags& flags) {
 int CmdFit(const Flags& flags) {
   const std::string data_path = flags.Get("data", "");
   const std::string model_path = flags.Get("model", "model.e2dtc");
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string report_out = flags.Get("run-report", "");
   if (data_path.empty()) {
     std::fprintf(stderr, "fit requires --data\n");
     return 1;
@@ -103,19 +132,98 @@ int CmdFit(const Flags& flags) {
   if (flags.Get("rnn", "gru") == "lstm") {
     cfg.model.rnn = core::RnnKind::kLstm;
   }
+  // Live epoch progress (visible with --log-level debug).
+  cfg.pretrain.epoch_callback = [](const core::PretrainEpochStats& s) {
+    E2DTC_LOG(Debug) << "pretrain " << s.epoch << ": loss/token "
+                     << s.avg_token_loss << ", " << s.tokens_per_second
+                     << " tok/s";
+  };
+  cfg.self_train.epoch_callback = [](const core::SelfTrainEpochStats& s) {
+    E2DTC_LOG(Debug) << "self-train " << s.epoch << ": Lr " << s.recon_loss
+                     << " Lc " << s.cluster_loss << " changed "
+                     << s.changed_fraction;
+  };
+
+  // Observability sinks. Warnings/errors logged during the fit are captured
+  // into the run report through the logging sink.
+  std::mutex captured_mu;
+  std::vector<obs::Json> captured_logs;
+  if (!report_out.empty()) {
+    SetLogSink([&](LogLevel level, const std::string& message) {
+      if (level < LogLevel::kWarning) return;
+      obs::Json event = obs::Json::Object();
+      event.Set("type", "log");
+      event.Set("level", level == LogLevel::kError ? "error" : "warning");
+      event.Set("message", message);
+      std::lock_guard<std::mutex> lock(captured_mu);
+      captured_logs.push_back(std::move(event));
+    });
+  }
+  if (!metrics_out.empty()) obs::EnableMetrics(true);
+  if (!trace_out.empty()) obs::StartTracing();
 
   auto pipeline = core::E2dtcPipeline::Fit(*ds, cfg);
+
+  if (!trace_out.empty()) {
+    obs::StopTracing();
+    if (!obs::WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "failed writing trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", obs::TraceEventCount(),
+                trace_out.c_str());
+  }
   if (!pipeline.ok()) return Fail(pipeline.status());
   const core::FitResult& fit = (*pipeline)->fit_result();
   std::printf("fit %d trajectories into %d clusters in %.1fs\n", ds->size(),
               fit.k, fit.total_seconds);
+  std::printf(
+      "phase timings: embed %.2fs, pretrain %.2fs, cluster %.2fs "
+      "(total %.2fs)\n",
+      fit.embed_seconds, fit.pretrain_seconds, fit.cluster_seconds,
+      fit.total_seconds);
+  std::vector<obs::Json> extra_events;
   if (!data::Labels(*ds).empty() && data::Labels(*ds)[0] >= 0) {
     auto q = metrics::EvaluateClustering(fit.assignments,
                                          data::Labels(*ds));
     if (q.ok()) {
       std::printf("against ground truth: UACC %.3f  NMI %.3f  RI %.3f\n",
                   q->uacc, q->nmi, q->ri);
+      obs::Json eval = obs::Json::Object();
+      eval.Set("type", "evaluation");
+      eval.Set("uacc", q->uacc);
+      eval.Set("nmi", q->nmi);
+      eval.Set("ri", q->ri);
+      extra_events.push_back(std::move(eval));
     }
+  }
+  if (!report_out.empty()) {
+    SetLogSink(nullptr);
+    {
+      std::lock_guard<std::mutex> lock(captured_mu);
+      for (auto& event : captured_logs) {
+        extra_events.push_back(std::move(event));
+      }
+    }
+    Status report_st =
+        core::WriteRunReport(report_out, cfg, fit, extra_events);
+    if (!report_st.ok()) return Fail(report_st);
+    std::printf("wrote run report to %s\n", report_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const obs::Json snapshot =
+        obs::Registry::Global().Snapshot().ToJson();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed writing metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    const std::string json = snapshot.Dump();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
   }
   Status st = (*pipeline)->Save(model_path);
   if (!st.ok()) return Fail(st);
@@ -245,11 +353,15 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: e2dtc_cli <generate|fit|assign|eval|export|info> "
-                 "[--flag value ...]\n");
+                 "[--flag value ...]\n"
+                 "  common flags: --log-level {debug,info,warning,error}\n"
+                 "  fit flags: --trace-out FILE (chrome://tracing JSON), "
+                 "--metrics-out FILE, --run-report FILE (JSONL)\n");
     return 1;
   }
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
+  if (!ApplyLogLevelFlag(flags)) return 1;
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "fit") return CmdFit(flags);
   if (cmd == "assign") return CmdAssign(flags);
