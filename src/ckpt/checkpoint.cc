@@ -1,0 +1,298 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "util/binary_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace e2dtc::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kMagic = 0x4B433245;  // "E2CK" little-endian
+constexpr uint32_t kVersion = 1;
+constexpr char kSuffix[] = ".e2ck";
+
+obs::Counter SaveCounter() {
+  static obs::Counter c = obs::Registry::Global().counter("ckpt.saves");
+  return c;
+}
+
+obs::Counter SaveFailureCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("ckpt.save_failures");
+  return c;
+}
+
+obs::Counter ResumeCounter() {
+  static obs::Counter c = obs::Registry::Global().counter("ckpt.resumes");
+  return c;
+}
+
+Status WriteTensor(BinaryWriter* w, const nn::Tensor& t) {
+  E2DTC_RETURN_IF_ERROR(w->WriteI32(t.rows()));
+  E2DTC_RETURN_IF_ERROR(w->WriteI32(t.cols()));
+  return w->WriteFloats(t.storage());
+}
+
+Result<nn::Tensor> ReadTensor(BinaryReader* r) {
+  E2DTC_ASSIGN_OR_RETURN(int32_t rows, r->ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(int32_t cols, r->ReadI32());
+  E2DTC_ASSIGN_OR_RETURN(std::vector<float> data, r->ReadFloats());
+  if (rows < 0 || cols < 0 ||
+      static_cast<int64_t>(data.size()) != static_cast<int64_t>(rows) * cols) {
+    return Status::IOError("corrupt tensor in checkpoint");
+  }
+  return nn::Tensor(rows, cols, std::move(data));
+}
+
+Status WriteIntVec(BinaryWriter* w, const std::vector<int32_t>& v) {
+  E2DTC_RETURN_IF_ERROR(w->WriteU64(v.size()));
+  for (int32_t x : v) E2DTC_RETURN_IF_ERROR(w->WriteI32(x));
+  return Status::OK();
+}
+
+Result<std::vector<int32_t>> ReadIntVec(BinaryReader* r) {
+  E2DTC_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > (1ULL << 32)) return Status::IOError("implausible int count");
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    E2DTC_ASSIGN_OR_RETURN(x, r->ReadI32());
+  }
+  return v;
+}
+
+Status WriteRows(BinaryWriter* w, const std::vector<std::vector<double>>& m) {
+  E2DTC_RETURN_IF_ERROR(w->WriteU64(m.size()));
+  for (const auto& row : m) {
+    E2DTC_RETURN_IF_ERROR(w->WriteU64(row.size()));
+    for (double x : row) E2DTC_RETURN_IF_ERROR(w->WriteF64(x));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> ReadRows(BinaryReader* r) {
+  E2DTC_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > (1ULL << 24)) return Status::IOError("implausible row count");
+  std::vector<std::vector<double>> m(static_cast<size_t>(n));
+  for (auto& row : m) {
+    E2DTC_ASSIGN_OR_RETURN(uint64_t cols, r->ReadU64());
+    if (cols > (1ULL << 16)) return Status::IOError("implausible col count");
+    row.resize(static_cast<size_t>(cols));
+    for (auto& x : row) {
+      E2DTC_ASSIGN_OR_RETURN(x, r->ReadF64());
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string_view TrainPhaseName(TrainPhase phase) {
+  return phase == TrainPhase::kPretrain ? "pretrain" : "self_train";
+}
+
+Status SaveSnapshot(const std::string& path, const PhaseSnapshot& snap) {
+  return AtomicWrite(path, [&](BinaryWriter* w) -> Status {
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kMagic));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kVersion));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(static_cast<int32_t>(snap.phase)));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(snap.epochs_done));
+
+    for (uint64_t s : snap.rng.s) E2DTC_RETURN_IF_ERROR(w->WriteU64(s));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(snap.rng.has_spare_gaussian ? 1 : 0));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(snap.rng.spare_gaussian));
+
+    E2DTC_RETURN_IF_ERROR(
+        w->WriteU32(static_cast<uint32_t>(snap.params.size())));
+    for (const auto& [name, tensor] : snap.params) {
+      E2DTC_RETURN_IF_ERROR(w->WriteString(name));
+      E2DTC_RETURN_IF_ERROR(WriteTensor(w, tensor));
+    }
+
+    E2DTC_RETURN_IF_ERROR(w->WriteF32(snap.optimizer.lr));
+    E2DTC_RETURN_IF_ERROR(
+        w->WriteU64(static_cast<uint64_t>(snap.optimizer.step)));
+    E2DTC_RETURN_IF_ERROR(
+        w->WriteU32(static_cast<uint32_t>(snap.optimizer.slots.size())));
+    for (const auto& slot : snap.optimizer.slots) {
+      E2DTC_RETURN_IF_ERROR(w->WriteU32(static_cast<uint32_t>(slot.size())));
+      for (const auto& t : slot) E2DTC_RETURN_IF_ERROR(WriteTensor(w, t));
+    }
+
+    E2DTC_RETURN_IF_ERROR(WriteTensor(w, snap.centroids));
+    E2DTC_RETURN_IF_ERROR(WriteIntVec(w, snap.prev_assignments));
+    E2DTC_RETURN_IF_ERROR(WriteTensor(w, snap.l0_embeddings));
+    E2DTC_RETURN_IF_ERROR(WriteIntVec(w, snap.l0_assignments));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(snap.k));
+
+    E2DTC_RETURN_IF_ERROR(WriteRows(w, snap.pretrain_stats));
+    E2DTC_RETURN_IF_ERROR(WriteRows(w, snap.self_train_stats));
+    return w->WriteCrcFooter();
+  });
+}
+
+Result<PhaseSnapshot> LoadSnapshot(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open for reading: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) return Status::IOError("bad snapshot magic: " + path);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kVersion) {
+    return Status::IOError(
+        StrFormat("unsupported snapshot version %u: %s", version,
+                  path.c_str()));
+  }
+
+  PhaseSnapshot snap;
+  E2DTC_ASSIGN_OR_RETURN(int32_t phase, r.ReadI32());
+  if (phase != 0 && phase != 1) {
+    return Status::IOError(StrFormat("bad snapshot phase %d: %s", phase,
+                                     path.c_str()));
+  }
+  snap.phase = static_cast<TrainPhase>(phase);
+  E2DTC_ASSIGN_OR_RETURN(snap.epochs_done, r.ReadI32());
+
+  for (auto& s : snap.rng.s) {
+    E2DTC_ASSIGN_OR_RETURN(s, r.ReadU64());
+  }
+  E2DTC_ASSIGN_OR_RETURN(uint32_t has_spare, r.ReadU32());
+  snap.rng.has_spare_gaussian = has_spare != 0;
+  E2DTC_ASSIGN_OR_RETURN(snap.rng.spare_gaussian, r.ReadF64());
+
+  E2DTC_ASSIGN_OR_RETURN(uint32_t param_count, r.ReadU32());
+  snap.params.reserve(param_count);
+  for (uint32_t i = 0; i < param_count; ++i) {
+    E2DTC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    E2DTC_ASSIGN_OR_RETURN(nn::Tensor t, ReadTensor(&r));
+    snap.params.emplace_back(std::move(name), std::move(t));
+  }
+
+  E2DTC_ASSIGN_OR_RETURN(snap.optimizer.lr, r.ReadF32());
+  E2DTC_ASSIGN_OR_RETURN(uint64_t step, r.ReadU64());
+  snap.optimizer.step = static_cast<int64_t>(step);
+  E2DTC_ASSIGN_OR_RETURN(uint32_t slot_count, r.ReadU32());
+  snap.optimizer.slots.resize(slot_count);
+  for (auto& slot : snap.optimizer.slots) {
+    E2DTC_ASSIGN_OR_RETURN(uint32_t tensor_count, r.ReadU32());
+    slot.reserve(tensor_count);
+    for (uint32_t i = 0; i < tensor_count; ++i) {
+      E2DTC_ASSIGN_OR_RETURN(nn::Tensor t, ReadTensor(&r));
+      slot.push_back(std::move(t));
+    }
+  }
+
+  E2DTC_ASSIGN_OR_RETURN(snap.centroids, ReadTensor(&r));
+  E2DTC_ASSIGN_OR_RETURN(snap.prev_assignments, ReadIntVec(&r));
+  E2DTC_ASSIGN_OR_RETURN(snap.l0_embeddings, ReadTensor(&r));
+  E2DTC_ASSIGN_OR_RETURN(snap.l0_assignments, ReadIntVec(&r));
+  E2DTC_ASSIGN_OR_RETURN(snap.k, r.ReadI32());
+
+  E2DTC_ASSIGN_OR_RETURN(snap.pretrain_stats, ReadRows(&r));
+  E2DTC_ASSIGN_OR_RETURN(snap.self_train_stats, ReadRows(&r));
+  E2DTC_RETURN_IF_ERROR(r.VerifyCrcFooter());
+  return snap;
+}
+
+Checkpointer::Checkpointer(CheckpointOptions options)
+    : options_(std::move(options)) {}
+
+Status Checkpointer::Init() {
+  if (!enabled()) return Status::OK();
+  if (options_.every < 1) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  if (options_.keep < 1) {
+    return Status::InvalidArgument("checkpoint retention must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint directory " +
+                           options_.dir + ": " + ec.message());
+  }
+  if (options_.resume) {
+    resume_snapshot_ = LoadLatest();
+    if (resume_snapshot_.has_value()) {
+      ResumeCounter().Increment();
+      E2DTC_LOG(Info) << "resuming from checkpoint: phase "
+                      << TrainPhaseName(resume_snapshot_->phase) << ", "
+                      << resume_snapshot_->epochs_done << " epoch(s) done";
+    } else {
+      E2DTC_LOG(Info) << "no readable checkpoint in " << options_.dir
+                      << "; starting from scratch";
+    }
+  }
+  return Status::OK();
+}
+
+bool Checkpointer::ShouldSave(int epochs_done, bool is_last) const {
+  if (!enabled()) return false;
+  return is_last || epochs_done % options_.every == 0;
+}
+
+std::string Checkpointer::PathFor(const PhaseSnapshot& snap) const {
+  return (fs::path(options_.dir) /
+          StrFormat("ckpt-p%d-e%05d%s", static_cast<int>(snap.phase),
+                    snap.epochs_done, kSuffix))
+      .string();
+}
+
+Status Checkpointer::Save(const PhaseSnapshot& snap) {
+  Status st = SaveSnapshot(PathFor(snap), snap);
+  if (!st.ok()) {
+    SaveFailureCounter().Increment();
+    return st;
+  }
+  SaveCounter().Increment();
+
+  std::vector<std::string> files = ListCheckpoints();
+  const size_t keep = static_cast<size_t>(options_.keep);
+  if (files.size() > keep) {
+    for (size_t i = 0; i + keep < files.size(); ++i) {
+      std::error_code ec;
+      fs::remove(files[i], ec);  // retention is best-effort
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Checkpointer::ListCheckpoints() const {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.size() > sizeof(kSuffix) - 1 &&
+        name.compare(name.size() - (sizeof(kSuffix) - 1),
+                     sizeof(kSuffix) - 1, kSuffix) == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::optional<PhaseSnapshot> Checkpointer::LoadLatest(
+    std::optional<TrainPhase> phase) const {
+  std::vector<std::string> files = ListCheckpoints();
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    Result<PhaseSnapshot> snap = LoadSnapshot(*it);
+    if (!snap.ok()) {
+      E2DTC_LOG(Warning) << "skipping unreadable checkpoint: "
+                         << snap.status().ToString();
+      continue;
+    }
+    if (phase.has_value() && snap->phase != *phase) continue;
+    return std::move(snap).value();
+  }
+  return std::nullopt;
+}
+
+}  // namespace e2dtc::ckpt

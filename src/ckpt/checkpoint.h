@@ -1,0 +1,124 @@
+#ifndef E2DTC_CKPT_CHECKPOINT_H_
+#define E2DTC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace e2dtc::ckpt {
+
+/// Which training phase a snapshot was taken in.
+enum class TrainPhase : int32_t { kPretrain = 0, kSelfTrain = 1 };
+
+std::string_view TrainPhaseName(TrainPhase phase);
+
+/// Complete training state at an epoch boundary: everything needed for a
+/// resumed run to be bitwise identical to one that never stopped. Model
+/// parameters include frozen ones (the cell-embedding table), so a resume
+/// can skip phase 1 entirely. Self-training context (centroids, previous
+/// assignments, the pretrain-time embeddings and k) rides along so a
+/// kSelfTrain snapshot is self-contained.
+///
+/// Epoch-stats histories are stored as opaque numeric rows; core owns the
+/// field meanings (see core/resume.h) so this layer stays below core.
+struct PhaseSnapshot {
+  TrainPhase phase = TrainPhase::kPretrain;
+  /// Epochs fully completed in `phase` (0 = phase entered, nothing done).
+  int32_t epochs_done = 0;
+
+  Rng::State rng;
+  std::vector<std::pair<std::string, nn::Tensor>> params;
+  nn::OptimizerState optimizer;
+
+  /// Self-training bookkeeping; empty/zero during pretraining.
+  nn::Tensor centroids;
+  std::vector<int32_t> prev_assignments;
+  nn::Tensor l0_embeddings;
+  std::vector<int32_t> l0_assignments;
+  int32_t k = 0;
+
+  /// Epoch-stats histories, one row per completed epoch.
+  std::vector<std::vector<double>> pretrain_stats;
+  std::vector<std::vector<double>> self_train_stats;
+};
+
+/// Serializes `snap` to `path` crash-safely: the file is written to a temp
+/// name, fsynced, and renamed into place, and ends with a CRC-32 footer.
+/// Readers therefore see the old file, the new file, or a checksum failure —
+/// never silent garbage.
+Status SaveSnapshot(const std::string& path, const PhaseSnapshot& snap);
+
+/// Loads and integrity-checks a snapshot; IOError (naming the offset) on
+/// truncation or bit rot.
+Result<PhaseSnapshot> LoadSnapshot(const std::string& path);
+
+struct CheckpointOptions {
+  /// Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+  /// Save every N epochs (the final epoch of a phase is always saved).
+  int every = 1;
+  /// How many checkpoint files to retain; older ones are deleted.
+  int keep = 3;
+  /// Load the newest readable checkpoint at Init and expose it for resume.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Manages a directory of PhaseSnapshot files: atomic saves, a retention
+/// policy, and newest-readable-first loading so one corrupt file degrades
+/// to the previous checkpoint instead of killing the resume.
+///
+/// Files are named ckpt-p<phase>-e<epoch%05d>.e2ck, so lexicographic order
+/// is chronological order (pretrain sorts before self-train).
+class Checkpointer {
+ public:
+  explicit Checkpointer(CheckpointOptions options);
+
+  /// Creates the directory; with options.resume, loads the newest readable
+  /// snapshot into resume_snapshot(). No-op when disabled.
+  Status Init();
+
+  bool enabled() const { return options_.enabled(); }
+  const CheckpointOptions& options() const { return options_; }
+
+  /// True when epoch `epochs_done` (1-based count of completed epochs)
+  /// should be persisted: every `options.every` epochs, or `is_last`.
+  bool ShouldSave(int epochs_done, bool is_last) const;
+
+  /// Atomically writes `snap` and applies the retention policy. Failures are
+  /// returned (and counted) but leave previous checkpoints intact.
+  Status Save(const PhaseSnapshot& snap);
+
+  /// Newest snapshot that passes its integrity check, skipping (with a
+  /// logged warning) any that do not; nullopt when none are readable.
+  /// Restrict to one phase by passing it.
+  std::optional<PhaseSnapshot> LoadLatest(
+      std::optional<TrainPhase> phase = std::nullopt) const;
+
+  /// Checkpoint file paths, oldest first.
+  std::vector<std::string> ListCheckpoints() const;
+
+  /// The snapshot loaded by Init when resuming; consumed by the pipeline.
+  const std::optional<PhaseSnapshot>& resume_snapshot() const {
+    return resume_snapshot_;
+  }
+
+ private:
+  std::string PathFor(const PhaseSnapshot& snap) const;
+
+  CheckpointOptions options_;
+  std::optional<PhaseSnapshot> resume_snapshot_;
+};
+
+}  // namespace e2dtc::ckpt
+
+#endif  // E2DTC_CKPT_CHECKPOINT_H_

@@ -1,0 +1,36 @@
+#include "ckpt/fault_injection.h"
+
+#include "util/string_util.h"
+
+namespace e2dtc::ckpt {
+
+Status FaultInjector::BeforeWrite(const std::string& path, uint64_t offset,
+                                  char* data, size_t* n) {
+  const uint64_t index = writes_seen_++;
+  if (dead_) {
+    // The simulated process already crashed; nothing else reaches disk.
+    ++faults_injected_;
+    *n = 0;
+    return Status::OK();
+  }
+  if (index != trigger_write_) return Status::OK();
+  ++faults_injected_;
+  switch (mode_) {
+    case FaultMode::kFailWrite:
+      return Status::IOError(StrFormat(
+          "injected write failure at offset %llu: %s",
+          static_cast<unsigned long long>(offset), path.c_str()));
+    case FaultMode::kTornWrite:
+      *n /= 2;
+      dead_ = true;
+      return Status::OK();
+    case FaultMode::kBitFlip:
+      if (*n > 0) {
+        data[(bit_ / 8) % *n] ^= static_cast<char>(1u << (bit_ % 8));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace e2dtc::ckpt

@@ -1,0 +1,69 @@
+#ifndef E2DTC_CKPT_FAULT_INJECTION_H_
+#define E2DTC_CKPT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/binary_io.h"
+
+namespace e2dtc::ckpt {
+
+/// What the injector does to the trigger write.
+enum class FaultMode {
+  /// The write returns Status::IOError, as if the syscall failed (disk full,
+  /// EIO). The writer's caller must surface the error; AtomicWrite must leave
+  /// any existing destination file untouched.
+  kFailWrite,
+  /// The trigger write lands only halfway and every later write is dropped,
+  /// as if the process died mid-file. Readers must reject the torn file via
+  /// the CRC footer.
+  kTornWrite,
+  /// One bit of the trigger write is flipped on its way to disk (silent
+  /// media corruption). Readers must reject the file via the CRC footer.
+  kBitFlip,
+};
+
+/// Deterministic fault injector for the BinaryWriter seam. Counts every
+/// write it observes and fires `mode` on the `trigger_write`-th one
+/// (0-based, process-global across all writers while installed), so tests
+/// can reproduce the exact same failure every run. Install either via
+/// SetWriteInterceptor or the RAII ScopedFaultInjection below.
+class FaultInjector : public WriteInterceptor {
+ public:
+  /// `bit` selects which bit kBitFlip flips, as bit (bit % 8) of byte
+  /// (bit / 8) mod the write's size; other modes ignore it.
+  FaultInjector(FaultMode mode, uint64_t trigger_write, uint64_t bit = 0)
+      : mode_(mode), trigger_write_(trigger_write), bit_(bit) {}
+
+  Status BeforeWrite(const std::string& path, uint64_t offset, char* data,
+                     size_t* n) override;
+
+  /// Writes observed since construction.
+  uint64_t writes_seen() const { return writes_seen_; }
+  /// Faults actually fired (0 or 1, plus dropped-write count for kTornWrite).
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  const FaultMode mode_;
+  const uint64_t trigger_write_;
+  const uint64_t bit_;
+  uint64_t writes_seen_ = 0;
+  uint64_t faults_injected_ = 0;
+  bool dead_ = false;  ///< After a torn write, the "process" wrote no more.
+};
+
+/// Installs an injector for the current scope and removes it on exit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector) {
+    SetWriteInterceptor(injector);
+  }
+  ~ScopedFaultInjection() { SetWriteInterceptor(nullptr); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace e2dtc::ckpt
+
+#endif  // E2DTC_CKPT_FAULT_INJECTION_H_

@@ -1,10 +1,13 @@
 #ifndef E2DTC_CORE_CONFIG_H_
 #define E2DTC_CORE_CONFIG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "core/health.h"
 #include "geo/augment.h"
 
 namespace e2dtc::core {
@@ -72,6 +75,8 @@ struct PretrainEpochStats {
   double grad_norm = 0.0;  ///< Pre-clip norm of the last step.
   double tokens_per_second = 0.0;  ///< Target-token throughput this epoch.
   double seconds = 0.0;
+  /// Batches whose update was dropped by the health guardrails.
+  int skipped_batches = 0;
 };
 
 /// Per-epoch stats from phase-3 self-training; SelfTrainer::EpochStats
@@ -84,6 +89,8 @@ struct SelfTrainEpochStats {
   double grad_norm = 0.0;     ///< Pre-clip norm of the last step.
   double changed_fraction = 1.0;  ///< Hard assignments changed vs. prev.
   double seconds = 0.0;
+  /// Batches whose update was dropped by the health guardrails.
+  int skipped_batches = 0;
 };
 
 /// Live per-epoch observers: invoked right after each epoch's stats are
@@ -117,6 +124,18 @@ struct PretrainConfig {
   uint64_t seed = 11;
   /// Optional live progress hook, called once per finished epoch.
   PretrainEpochCallback epoch_callback;
+  /// Numerical-health guardrails (skip poisoned batches, roll back on
+  /// persistent poison); see core/health.h.
+  HealthConfig health;
+  /// Fault-tolerance hooks, wired by E2dtcPipeline::Fit (all borrowed).
+  /// Non-null `checkpointer` persists a full-state snapshot at epoch
+  /// boundaries; `resume` (a snapshot whose phase matches) restores it so
+  /// the run continues bitwise-identically; `cancel` is polled between
+  /// batches — when it flips true the current batch finishes, a final
+  /// checkpoint is written, and Train returns Status::Cancelled.
+  ckpt::Checkpointer* checkpointer = nullptr;
+  const ckpt::PhaseSnapshot* resume = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Phase-3 self-training (Section V-D, Algorithm 1).
@@ -145,6 +164,19 @@ struct SelfTrainConfig {
   /// Optional live progress hook, called once per finished epoch (including
   /// the final, possibly-converged one).
   SelfTrainEpochCallback epoch_callback;
+  /// Numerical-health guardrails; see core/health.h.
+  HealthConfig health;
+  /// Fault-tolerance hooks, wired by E2dtcPipeline::Fit (all borrowed);
+  /// same semantics as on PretrainConfig.
+  ckpt::Checkpointer* checkpointer = nullptr;
+  const ckpt::PhaseSnapshot* resume = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+  /// Pipeline context baked into every self-training checkpoint so a
+  /// resumed run can skip phases 1-2 entirely (borrowed; may be null when
+  /// not checkpointing): the L0 baseline and the pretrain history rows.
+  const nn::Tensor* ckpt_l0_embeddings = nullptr;
+  const std::vector<int>* ckpt_l0_assignments = nullptr;
+  const std::vector<std::vector<double>>* ckpt_pretrain_stats = nullptr;
 };
 
 /// Everything needed to fit the full pipeline.
@@ -156,6 +188,14 @@ struct E2dtcConfig {
   /// self-training refreshes, and serving. <= 1 keeps everything on the
   /// calling thread. Training math is unaffected: encoding is inference.
   int num_encode_threads = 1;
+  /// Crash-safe checkpointing: where and how often to persist full-state
+  /// snapshots, and whether to resume from the newest one. Disabled while
+  /// `checkpoint.dir` is empty.
+  ckpt::CheckpointOptions checkpoint;
+  /// Cooperative cancellation (SIGINT/SIGTERM): when non-null and flipped
+  /// true, training finishes its current batch, writes a final checkpoint,
+  /// and Fit returns Status::Cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace e2dtc::core

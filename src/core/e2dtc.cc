@@ -4,6 +4,7 @@
 
 #include "cluster/elbow.h"
 #include "cluster/kmeans.h"
+#include "core/resume.h"
 #include "embedding/skipgram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +54,20 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   fit.k = k;
   Stopwatch total_watch;
 
+  ckpt::Checkpointer checkpointer(config.checkpoint);
+  E2DTC_RETURN_IF_ERROR(checkpointer.Init());
+  const std::optional<ckpt::PhaseSnapshot>& resume_snap =
+      checkpointer.resume_snapshot();
+  const bool resume_self_train =
+      resume_snap.has_value() &&
+      resume_snap->phase == ckpt::TrainPhase::kSelfTrain;
+  if (resume_snap.has_value()) fit.resumed = true;
+  if (resume_self_train && config.self_train.loss_mode == LossMode::kL0) {
+    return Status::InvalidArgument(
+        "cannot resume a self-training checkpoint under loss_mode L0 "
+        "(the L0 ablation never runs phase 3)");
+  }
+
   // ---- Phase 1: trajectory embedding (grid + vocabulary + skip-gram). ----
   // Phase boundaries are traced with an optional span so the existing
   // straight-line structure (phase N's outputs feed phase N+1) stays intact.
@@ -80,7 +95,9 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
                                                     config.model, &rng);
 
   // Skip-gram cell vectors initialize the token embedding table (Eq. 7).
-  {
+  // Skipped when resuming: the snapshot restores every named parameter,
+  // including the (frozen) embedding table, so this work would be discarded.
+  if (!resume_snap.has_value()) {
     E2DTC_TRACE_SPAN("fit.skipgram");
     std::vector<std::vector<int>> corpus;
     corpus.reserve(dataset.trajectories.size());
@@ -127,49 +144,76 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   // ---- Phase 2: pre-training. ----
   phase_span.emplace("fit.pretrain");
   phase_watch.Restart();
-  Pretrainer pretrainer(pipeline->model_.get(), &vocab, &*pipeline->knn_,
-                        config.pretrain);
-  fit.pretrain_history = pretrainer.Train(dataset.trajectories);
-  fit.pretrain_seconds = phase_watch.ElapsedSeconds();
-
-  // ---- k-means initialization on the pre-trained embeddings. This is both
-  // Algorithm 1's centroid init and the t2vec + k-means baseline (L0). ----
-  phase_span.emplace("fit.cluster_init");
-  phase_watch.Restart();
-  fit.l0_embeddings = EncodeAll(*pipeline->model_, vocab,
-                                dataset.trajectories,
-                                config.pretrain.batch_size,
-                                config.model.collapse_consecutive,
-                                pipeline->encode_pool_.get());
-  if (auto_k) {
-    cluster::KMeansOptions elbow_km;
-    elbow_km.seed = config.self_train.seed;
-    const int k_max =
-        std::min(22, static_cast<int>(dataset.trajectories.size()) / 4);
-    E2DTC_ASSIGN_OR_RETURN(
-        cluster::ElbowResult elbow,
-        cluster::ElbowScan(TensorRows(fit.l0_embeddings), 2,
-                           std::max(3, k_max), elbow_km));
-    k = elbow.best_k;
+  nn::Tensor centroids;
+  if (resume_self_train) {
+    // A self-training snapshot is self-contained: it carries the pretrain
+    // history and the k-means initialization, so phase 2 and the cluster
+    // init below replay from the snapshot instead of recomputing (and the
+    // restored RNG state keeps the resumed run bitwise-identical).
+    fit.pretrain_history = PretrainHistoryFromRows(resume_snap->pretrain_stats);
+    fit.pretrain_seconds = phase_watch.ElapsedSeconds();
+    phase_span.emplace("fit.cluster_init");
+    phase_watch.Restart();
+    fit.l0_embeddings = resume_snap->l0_embeddings;
+    fit.l0_assignments.assign(resume_snap->l0_assignments.begin(),
+                              resume_snap->l0_assignments.end());
+    k = resume_snap->k;
     fit.k = k;
-    E2DTC_LOG(Debug) << "auto-selected k = " << k << " via elbow";
-  }
-  cluster::KMeansOptions km;
-  km.k = k;
-  km.seed = config.self_train.seed;
-  // k-means on the embeddings is milliseconds; buy init robustness (a bad
-  // centroid draw here is the dominant run-to-run variance source).
-  km.num_init = 10;
-  E2DTC_ASSIGN_OR_RETURN(
-      cluster::KMeansResult km_result,
-      cluster::KMeans(TensorRows(fit.l0_embeddings), km));
-  fit.l0_assignments = km_result.assignments;
+    centroids = resume_snap->centroids;
+  } else {
+    PretrainConfig pt_cfg = config.pretrain;
+    pt_cfg.checkpointer = &checkpointer;
+    pt_cfg.cancel = config.cancel;
+    pt_cfg.resume = resume_snap.has_value() ? &*resume_snap : nullptr;
+    Pretrainer pretrainer(pipeline->model_.get(), &vocab, &*pipeline->knn_,
+                          pt_cfg);
+    E2DTC_ASSIGN_OR_RETURN(PretrainResult pretrain,
+                           pretrainer.Train(dataset.trajectories));
+    fit.pretrain_history = std::move(pretrain.history);
+    fit.health_skipped_batches += pretrain.skipped_batches;
+    fit.health_rollbacks += pretrain.rollbacks;
+    fit.pretrain_seconds = phase_watch.ElapsedSeconds();
 
-  nn::Tensor centroids(k, pipeline->model_->hidden_size());
-  for (int j = 0; j < k; ++j) {
-    std::copy(km_result.centroids[static_cast<size_t>(j)].begin(),
-              km_result.centroids[static_cast<size_t>(j)].end(),
-              centroids.row(j));
+    // ---- k-means initialization on the pre-trained embeddings. This is
+    // both Algorithm 1's centroid init and the t2vec + k-means baseline
+    // (L0). ----
+    phase_span.emplace("fit.cluster_init");
+    phase_watch.Restart();
+    fit.l0_embeddings = EncodeAll(*pipeline->model_, vocab,
+                                  dataset.trajectories,
+                                  config.pretrain.batch_size,
+                                  config.model.collapse_consecutive,
+                                  pipeline->encode_pool_.get());
+    if (auto_k) {
+      cluster::KMeansOptions elbow_km;
+      elbow_km.seed = config.self_train.seed;
+      const int k_max =
+          std::min(22, static_cast<int>(dataset.trajectories.size()) / 4);
+      E2DTC_ASSIGN_OR_RETURN(
+          cluster::ElbowResult elbow,
+          cluster::ElbowScan(TensorRows(fit.l0_embeddings), 2,
+                             std::max(3, k_max), elbow_km));
+      k = elbow.best_k;
+      fit.k = k;
+      E2DTC_LOG(Debug) << "auto-selected k = " << k << " via elbow";
+    }
+    cluster::KMeansOptions km;
+    km.k = k;
+    km.seed = config.self_train.seed;
+    // k-means on the embeddings is milliseconds; buy init robustness (a bad
+    // centroid draw here is the dominant run-to-run variance source).
+    km.num_init = 10;
+    E2DTC_ASSIGN_OR_RETURN(
+        cluster::KMeansResult km_result,
+        cluster::KMeans(TensorRows(fit.l0_embeddings), km));
+    fit.l0_assignments = km_result.assignments;
+
+    centroids = nn::Tensor(k, pipeline->model_->hidden_size());
+    for (int j = 0; j < k; ++j) {
+      std::copy(km_result.centroids[static_cast<size_t>(j)].begin(),
+                km_result.centroids[static_cast<size_t>(j)].end(),
+                centroids.row(j));
+    }
   }
 
   // ---- Phase 3: self-training (skipped in the L0 ablation). ----
@@ -179,16 +223,30 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     fit.embeddings = fit.l0_embeddings;
     fit.centroids = std::move(centroids);
   } else {
+    SelfTrainConfig st_cfg = config.self_train;
+    st_cfg.checkpointer = &checkpointer;
+    st_cfg.cancel = config.cancel;
+    st_cfg.resume = resume_self_train ? &*resume_snap : nullptr;
+    // Pipeline context folded into phase-3 snapshots so a kSelfTrain
+    // checkpoint is self-contained (see the resume path above).
+    const std::vector<std::vector<double>> pretrain_rows =
+        PretrainRows(fit.pretrain_history);
+    st_cfg.ckpt_l0_embeddings = &fit.l0_embeddings;
+    st_cfg.ckpt_l0_assignments = &fit.l0_assignments;
+    st_cfg.ckpt_pretrain_stats = &pretrain_rows;
     SelfTrainer self_trainer(pipeline->model_.get(), &vocab,
-                             &*pipeline->knn_, config.self_train,
+                             &*pipeline->knn_, st_cfg,
                              pipeline->encode_pool_.get());
-    SelfTrainer::TrainResult st =
-        self_trainer.Train(dataset.trajectories, centroids);
+    E2DTC_ASSIGN_OR_RETURN(
+        SelfTrainer::TrainResult st,
+        self_trainer.Train(dataset.trajectories, centroids));
     fit.assignments = std::move(st.assignments);
     fit.embeddings = std::move(st.embeddings);
     fit.centroids = std::move(st.centroids);
     fit.self_train_history = std::move(st.history);
     fit.self_train_converged = st.converged;
+    fit.health_skipped_batches += st.skipped_batches;
+    fit.health_rollbacks += st.rollbacks;
   }
   phase_span.reset();
   fit.cluster_seconds = phase_watch.ElapsedSeconds();

@@ -34,6 +34,13 @@ struct FitResult {
   std::vector<SelfTrainer::EpochStats> self_train_history;
   bool self_train_converged = false;
 
+  /// Fault-tolerance bookkeeping: whether this fit continued from a
+  /// checkpoint, and totals from the numerical-health guardrails across
+  /// both training phases.
+  bool resumed = false;
+  int health_skipped_batches = 0;
+  int health_rollbacks = 0;
+
   double embed_seconds = 0.0;     ///< Phase 1: grid/vocab/skip-gram.
   double pretrain_seconds = 0.0;  ///< Phase 2.
   double cluster_seconds = 0.0;   ///< k-means init + phase 3.

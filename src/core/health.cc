@@ -1,0 +1,93 @@
+#include "core/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace e2dtc::core {
+
+namespace {
+
+obs::Counter SkippedCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("health.skipped_batches");
+  return c;
+}
+
+obs::Counter NonFiniteCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("health.nonfinite_batches");
+  return c;
+}
+
+obs::Counter DivergedCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("health.diverged_batches");
+  return c;
+}
+
+obs::Counter RollbackCounter() {
+  static obs::Counter c = obs::Registry::Global().counter("health.rollbacks");
+  return c;
+}
+
+double Median(const std::deque<double>& window) {
+  std::vector<double> v(window.begin(), window.end());
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+HealthMonitor::Verdict HealthMonitor::Check(double loss, double grad_norm) {
+  if (!config_.enabled) return Verdict::kOk;
+
+  const bool non_finite = !std::isfinite(loss) || !std::isfinite(grad_norm);
+  bool diverged = false;
+  if (!non_finite &&
+      static_cast<int>(window_.size()) >= config_.min_history) {
+    const double median = Median(window_);
+    diverged = median > 0.0 && loss > config_.divergence_factor * median;
+  }
+
+  if (!non_finite && !diverged) {
+    consecutive_skips_ = 0;
+    window_.push_back(loss);
+    while (static_cast<int>(window_.size()) > config_.median_window) {
+      window_.pop_front();
+    }
+    return Verdict::kOk;
+  }
+
+  ++skipped_batches_;
+  ++consecutive_skips_;
+  SkippedCounter().Increment();
+  if (non_finite) {
+    NonFiniteCounter().Increment();
+    E2DTC_LOG(Warning) << "non-finite batch (loss " << loss << ", grad norm "
+                       << grad_norm << "); skipping update";
+  } else {
+    DivergedCounter().Increment();
+    E2DTC_LOG(Warning) << "diverging batch (loss " << loss << " > "
+                       << config_.divergence_factor
+                       << "x trailing median); skipping update";
+  }
+  if (consecutive_skips_ >= config_.max_consecutive_skips) {
+    return Verdict::kRollback;
+  }
+  return Verdict::kSkipBatch;
+}
+
+void HealthMonitor::OnRollback() {
+  ++rollbacks_;
+  consecutive_skips_ = 0;
+  window_.clear();
+  RollbackCounter().Increment();
+}
+
+}  // namespace e2dtc::core

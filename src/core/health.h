@@ -1,0 +1,70 @@
+#ifndef E2DTC_CORE_HEALTH_H_
+#define E2DTC_CORE_HEALTH_H_
+
+#include <deque>
+
+namespace e2dtc::core {
+
+/// Numerical-health guardrails for the training loops. A long Algorithm 1
+/// run must survive a NaN blow-up or a diverging step without aborting the
+/// process, so the trainers consult a HealthMonitor after each backward pass
+/// and before applying the optimizer step.
+struct HealthConfig {
+  bool enabled = true;
+  /// A batch diverges when its loss exceeds this multiple of the trailing
+  /// median batch loss. Generous on purpose: losses are noisy early on, and
+  /// a false positive discards useful gradient signal.
+  double divergence_factor = 25.0;
+  /// Trailing healthy-loss window the median is computed over.
+  int median_window = 32;
+  /// Divergence checks only start once this many healthy batches are in the
+  /// window (the median of 2 losses means nothing).
+  int min_history = 8;
+  /// After this many consecutive poisoned batches, skipping is clearly not
+  /// working (the parameters themselves are likely poisoned): escalate to a
+  /// rollback.
+  int max_consecutive_skips = 4;
+  /// Learning-rate multiplier applied on rollback, so the retry does not
+  /// drive straight back into the same blow-up.
+  float rollback_lr_scale = 0.5f;
+  /// Rollbacks allowed per phase before the trainer gives up and surfaces
+  /// an Internal error (a model this unstable needs a human).
+  int max_rollbacks = 2;
+};
+
+/// Per-phase guardrail state machine. Feed it every batch's loss and
+/// pre-clip gradient norm; it answers what to do with the step.
+class HealthMonitor {
+ public:
+  enum class Verdict {
+    kOk,         ///< Healthy: apply the optimizer step.
+    kSkipBatch,  ///< Poisoned: drop this batch's update, keep going.
+    kRollback,   ///< Persistent poison: restore the last good checkpoint.
+  };
+
+  explicit HealthMonitor(const HealthConfig& config) : config_(config) {}
+
+  /// Classifies one batch. Call after Backward + ClipGradNorm, before
+  /// Step(); on kSkipBatch/kRollback the caller must not Step().
+  Verdict Check(double loss, double grad_norm);
+
+  /// Tell the monitor a rollback actually happened: resets the skip streak
+  /// and the loss window (pre-rollback losses no longer describe the
+  /// restored parameters).
+  void OnRollback();
+
+  int skipped_batches() const { return skipped_batches_; }
+  int rollbacks() const { return rollbacks_; }
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  HealthConfig config_;
+  std::deque<double> window_;
+  int consecutive_skips_ = 0;
+  int skipped_batches_ = 0;
+  int rollbacks_ = 0;
+};
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_HEALTH_H_

@@ -10,7 +10,9 @@ namespace e2dtc::core {
 namespace {
 
 constexpr uint32_t kMagic = 0x50443245;  // "E2DP"
-constexpr uint32_t kVersion = 3;
+// v4 appends a CRC-32 integrity footer and writes atomically; v3 files (no
+// footer) are still loadable.
+constexpr uint32_t kVersion = 4;
 
 Status WriteTensor(BinaryWriter* w, const nn::Tensor& t) {
   E2DTC_RETURN_IF_ERROR(w->WriteI32(t.rows()));
@@ -32,54 +34,54 @@ Result<nn::Tensor> ReadTensor(BinaryReader* r) {
 }  // namespace
 
 Status E2dtcPipeline::Save(const std::string& path) const {
-  BinaryWriter w(path);
-  if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(kMagic));
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(kVersion));
+  return AtomicWrite(path, [&](BinaryWriter* w) -> Status {
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kMagic));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kVersion));
 
-  // Model configuration (the parts Load needs to rebuild the network).
-  const ModelConfig& mc = config_.model;
-  E2DTC_RETURN_IF_ERROR(
-      w.WriteU32(mc.rnn == RnnKind::kLstm ? 1u : 0u));
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(mc.bidirectional_encoder ? 1u : 0u));
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(mc.cell_meters));
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.vocab_min_count));
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(mc.collapse_consecutive ? 1 : 0));
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.embedding_dim));
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.hidden_size));
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.num_layers));
-  E2DTC_RETURN_IF_ERROR(w.WriteF32(mc.dropout));
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(mc.knn_k));
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(mc.knn_alpha_meters));
-  E2DTC_RETURN_IF_ERROR(w.WriteU64(mc.seed));
-
-  // Grid + vocabulary.
-  const geo::Grid& grid = vocab_->grid();
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().min_lon));
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().min_lat));
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().max_lon));
-  E2DTC_RETURN_IF_ERROR(w.WriteF64(grid.box().max_lat));
-  E2DTC_RETURN_IF_ERROR(
-      w.WriteU64(static_cast<uint64_t>(vocab_->cells().size())));
-  for (size_t i = 0; i < vocab_->cells().size(); ++i) {
+    // Model configuration (the parts Load needs to rebuild the network).
+    const ModelConfig& mc = config_.model;
     E2DTC_RETURN_IF_ERROR(
-        w.WriteU64(static_cast<uint64_t>(vocab_->cells()[i])));
+        w->WriteU32(mc.rnn == RnnKind::kLstm ? 1u : 0u));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(mc.bidirectional_encoder ? 1u : 0u));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(mc.cell_meters));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(mc.vocab_min_count));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(mc.collapse_consecutive ? 1 : 0));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(mc.embedding_dim));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(mc.hidden_size));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(mc.num_layers));
+    E2DTC_RETURN_IF_ERROR(w->WriteF32(mc.dropout));
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(mc.knn_k));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(mc.knn_alpha_meters));
+    E2DTC_RETURN_IF_ERROR(w->WriteU64(mc.seed));
+
+    // Grid + vocabulary.
+    const geo::Grid& grid = vocab_->grid();
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(grid.box().min_lon));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(grid.box().min_lat));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(grid.box().max_lon));
+    E2DTC_RETURN_IF_ERROR(w->WriteF64(grid.box().max_lat));
     E2DTC_RETURN_IF_ERROR(
-        w.WriteU64(static_cast<uint64_t>(vocab_->counts()[i])));
-  }
+        w->WriteU64(static_cast<uint64_t>(vocab_->cells().size())));
+    for (size_t i = 0; i < vocab_->cells().size(); ++i) {
+      E2DTC_RETURN_IF_ERROR(
+          w->WriteU64(static_cast<uint64_t>(vocab_->cells()[i])));
+      E2DTC_RETURN_IF_ERROR(
+          w->WriteU64(static_cast<uint64_t>(vocab_->counts()[i])));
+    }
 
-  // Network parameters, name-tagged.
-  const auto params = model_->NamedParameters();
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(params.size())));
-  for (const auto& p : params) {
-    E2DTC_RETURN_IF_ERROR(w.WriteString(p.name));
-    E2DTC_RETURN_IF_ERROR(WriteTensor(&w, p.var.value()));
-  }
+    // Network parameters, name-tagged.
+    const auto params = model_->NamedParameters();
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(static_cast<uint32_t>(params.size())));
+    for (const auto& p : params) {
+      E2DTC_RETURN_IF_ERROR(w->WriteString(p.name));
+      E2DTC_RETURN_IF_ERROR(WriteTensor(w, p.var.value()));
+    }
 
-  // Clustering state.
-  E2DTC_RETURN_IF_ERROR(w.WriteI32(fit_result_.k));
-  E2DTC_RETURN_IF_ERROR(WriteTensor(&w, fit_result_.centroids));
-  return w.Close();
+    // Clustering state.
+    E2DTC_RETURN_IF_ERROR(w->WriteI32(fit_result_.k));
+    E2DTC_RETURN_IF_ERROR(WriteTensor(w, fit_result_.centroids));
+    return w->WriteCrcFooter();
+  });
 }
 
 Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Load(
@@ -89,7 +91,7 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Load(
   E2DTC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) return Status::IOError("bad pipeline magic: " + path);
   E2DTC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kVersion) {
+  if (version != 3 && version != kVersion) {
     return Status::IOError(StrFormat("unsupported version %u", version));
   }
 
@@ -161,6 +163,9 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Load(
 
   E2DTC_ASSIGN_OR_RETURN(pipeline->fit_result_.k, r.ReadI32());
   E2DTC_ASSIGN_OR_RETURN(pipeline->fit_result_.centroids, ReadTensor(&r));
+  if (version >= 4) {
+    E2DTC_RETURN_IF_ERROR(r.VerifyCrcFooter());
+  }
   pipeline->config_.self_train.k = pipeline->fit_result_.k;
   return pipeline;
 }

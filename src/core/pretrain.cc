@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "core/health.h"
+#include "core/resume.h"
 #include "data/batching.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace e2dtc::core {
@@ -19,7 +22,7 @@ Pretrainer::Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
   E2DTC_CHECK(model != nullptr && vocab != nullptr && knn != nullptr);
 }
 
-std::vector<Pretrainer::EpochStats> Pretrainer::Train(
+Result<PretrainResult> Pretrainer::Train(
     const std::vector<geo::Trajectory>& trajectories) {
   E2DTC_TRACE_SPAN("pretrain.train");
   static obs::Counter batches_counter =
@@ -46,14 +49,63 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
   std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(
       model_->TrainableParameters(), config_.optimizer, config_.lr,
       config_.momentum);
-  std::vector<EpochStats> history;
+  PretrainResult result;
+  HealthMonitor health(config_.health);
+  ckpt::Checkpointer* ckptr =
+      config_.checkpointer != nullptr && config_.checkpointer->enabled()
+          ? config_.checkpointer
+          : nullptr;
 
   const auto& drops = config_.augment.drop_rates;
   const auto& distorts = config_.augment.distort_rates;
   E2DTC_CHECK(!drops.empty() && !distorts.empty());
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  int start_epoch = 0;
+  if (config_.resume != nullptr &&
+      config_.resume->phase == ckpt::TrainPhase::kPretrain) {
+    E2DTC_RETURN_IF_ERROR(
+        ApplyTrainingState(*config_.resume, model_, optimizer.get(), &rng));
+    start_epoch = config_.resume->epochs_done;
+    result.history = PretrainHistoryFromRows(config_.resume->pretrain_stats);
+    result.resumed = true;
+    E2DTC_LOG(Info) << "pretraining resumed at epoch " << start_epoch;
+  }
+
+  // State at the last completed epoch boundary: the disk checkpoint source
+  // and the in-memory rollback target for the health guardrails. Mid-epoch
+  // progress is deliberately never captured — discarding the partial epoch
+  // and replaying it from the boundary is what makes a resumed run bitwise
+  // identical to an uninterrupted one.
+  const bool track_boundary = config_.health.enabled || ckptr != nullptr ||
+                              config_.cancel != nullptr;
+  ckpt::PhaseSnapshot boundary;
+  auto capture_boundary = [&](int epochs_done) {
+    boundary.phase = ckpt::TrainPhase::kPretrain;
+    boundary.epochs_done = epochs_done;
+    CaptureTrainingState(*model_, *optimizer, rng, &boundary);
+    boundary.pretrain_stats = PretrainRows(result.history);
+  };
+  if (track_boundary) capture_boundary(start_epoch);
+
+  auto cancelled = [&] {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_relaxed);
+  };
+  auto cancel_out = [&]() -> Status {
+    if (ckptr != nullptr) {
+      Status st = ckptr->Save(boundary);
+      if (!st.ok()) {
+        E2DTC_LOG(Warning) << "final checkpoint failed: " << st.ToString();
+      }
+    }
+    return Status::Cancelled(StrFormat(
+        "pretraining cancelled after %d completed epoch(s)",
+        boundary.epochs_done));
+  };
+
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     E2DTC_TRACE_SPAN("pretrain.epoch");
+    if (cancelled()) return cancel_out();
     Stopwatch watch;
     // Each example pairs a freshly corrupted source with its original.
     std::vector<int> example_traj;     // example -> trajectory index
@@ -87,8 +139,10 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
     int64_t token_sum = 0;
     EpochStats stats;
     stats.epoch = epoch;
+    bool rollback_requested = false;
     for (const auto& batch_examples : batches) {
       E2DTC_TRACE_SPAN("pretrain.batch");
+      if (cancelled()) return cancel_out();
       Stopwatch batch_watch;
       std::vector<int> tgt_indices;
       tgt_indices.reserve(batch_examples.size());
@@ -109,6 +163,19 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
           dec.loss_sum, 1.0f / static_cast<float>(dec.num_tokens));
       nn::Backward(loss);
       stats.grad_norm = optimizer->ClipGradNorm(config_.grad_clip);
+
+      const double batch_loss =
+          static_cast<double>(loss.value().scalar());
+      const HealthMonitor::Verdict verdict =
+          health.Check(batch_loss, stats.grad_norm);
+      if (verdict == HealthMonitor::Verdict::kRollback) {
+        rollback_requested = true;
+        break;
+      }
+      if (verdict == HealthMonitor::Verdict::kSkipBatch) {
+        ++stats.skipped_batches;
+        continue;
+      }
       optimizer->Step();
 
       loss_sum += static_cast<double>(dec.loss_sum.value().scalar());
@@ -116,6 +183,24 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
       batches_counter.Increment();
       tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
       batch_hist.Record(batch_watch.ElapsedMillis());
+    }
+    if (rollback_requested) {
+      if (health.rollbacks() >= config_.health.max_rollbacks) {
+        return Status::Internal(StrFormat(
+            "pretraining keeps producing poisoned batches after %d "
+            "rollback(s); giving up at epoch %d",
+            health.rollbacks(), epoch));
+      }
+      health.OnRollback();
+      E2DTC_RETURN_IF_ERROR(
+          ApplyTrainingState(boundary, model_, optimizer.get(), &rng));
+      optimizer->set_lr(optimizer->lr() * config_.health.rollback_lr_scale);
+      result.history = PretrainHistoryFromRows(boundary.pretrain_stats);
+      E2DTC_LOG(Warning) << "pretraining rolled back to epoch boundary "
+                         << boundary.epochs_done << " with lr "
+                         << optimizer->lr();
+      epoch = boundary.epochs_done - 1;  // the loop's ++ re-enters there
+      continue;
     }
     stats.avg_token_loss =
         token_sum > 0 ? loss_sum / static_cast<double>(token_sum) : 0.0;
@@ -127,10 +212,24 @@ std::vector<Pretrainer::EpochStats> Pretrainer::Train(
     E2DTC_LOG(Debug) << "pretrain epoch " << epoch << " loss/token "
                      << stats.avg_token_loss << " (" << stats.seconds
                      << "s)";
-    history.push_back(stats);
+    result.history.push_back(stats);
+
+    if (track_boundary) capture_boundary(epoch + 1);
+    if (ckptr != nullptr &&
+        ckptr->ShouldSave(epoch + 1, epoch + 1 == config_.epochs)) {
+      Status st = ckptr->Save(boundary);
+      if (!st.ok()) {
+        E2DTC_LOG(Warning) << "checkpoint save failed (training continues): "
+                           << st.ToString();
+      }
+    }
+    // After the boundary capture, so state a callback corrupts (tests use
+    // this as a fault-injection point) is recoverable by rollback.
     if (config_.epoch_callback) config_.epoch_callback(stats);
   }
-  return history;
+  result.skipped_batches = health.skipped_batches();
+  result.rollbacks = health.rollbacks();
+  return result;
 }
 
 nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,

@@ -5,12 +5,22 @@
 
 #include "core/seq2seq.h"
 #include "nn/optimizer.h"
+#include "util/result.h"
 
 namespace e2dtc {
 class ThreadPool;
 }
 
 namespace e2dtc::core {
+
+/// Everything Pretrainer::Train produces: the per-epoch history plus the
+/// fault-tolerance bookkeeping surfaced into FitResult and the run report.
+struct PretrainResult {
+  std::vector<PretrainEpochStats> history;
+  int skipped_batches = 0;  ///< Updates dropped by the health guardrails.
+  int rollbacks = 0;        ///< Restores to the last good epoch boundary.
+  bool resumed = false;     ///< Continued from a checkpoint snapshot.
+};
 
 /// Phase-2 pre-training (paper Section V-C): the model reconstructs each
 /// original trajectory Ta from a corrupted variant Ta' (random drop rate r1,
@@ -27,8 +37,13 @@ class Pretrainer {
              const geo::Vocabulary::KnnTable* knn,
              const PretrainConfig& config);
 
-  /// Runs config.epochs over `trajectories`; returns per-epoch stats.
-  std::vector<EpochStats> Train(
+  /// Runs config.epochs over `trajectories`. Respects the fault-tolerance
+  /// hooks on PretrainConfig: resumes from config.resume when its phase
+  /// matches, checkpoints via config.checkpointer at epoch boundaries, and
+  /// returns Status::Cancelled when config.cancel flips (after writing a
+  /// final checkpoint). Returns Internal when the health guardrails
+  /// exhausted their rollback budget.
+  Result<PretrainResult> Train(
       const std::vector<geo::Trajectory>& trajectories);
 
  private:

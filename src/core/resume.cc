@@ -1,0 +1,112 @@
+#include "core/resume.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace e2dtc::core {
+
+namespace {
+double At(const std::vector<double>& row, size_t i) {
+  return i < row.size() ? row[i] : 0.0;
+}
+}  // namespace
+
+std::vector<std::vector<double>> PretrainRows(
+    const std::vector<PretrainEpochStats>& history) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(history.size());
+  for (const auto& s : history) {
+    rows.push_back({static_cast<double>(s.epoch), s.avg_token_loss,
+                    s.grad_norm, s.tokens_per_second, s.seconds,
+                    static_cast<double>(s.skipped_batches)});
+  }
+  return rows;
+}
+
+std::vector<PretrainEpochStats> PretrainHistoryFromRows(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<PretrainEpochStats> history;
+  history.reserve(rows.size());
+  for (const auto& row : rows) {
+    PretrainEpochStats s;
+    s.epoch = static_cast<int>(At(row, 0));
+    s.avg_token_loss = At(row, 1);
+    s.grad_norm = At(row, 2);
+    s.tokens_per_second = At(row, 3);
+    s.seconds = At(row, 4);
+    s.skipped_batches = static_cast<int>(At(row, 5));
+    history.push_back(s);
+  }
+  return history;
+}
+
+std::vector<std::vector<double>> SelfTrainRows(
+    const std::vector<SelfTrainEpochStats>& history) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(history.size());
+  for (const auto& s : history) {
+    rows.push_back({static_cast<double>(s.epoch), s.recon_loss,
+                    s.cluster_loss, s.triplet_loss, s.grad_norm,
+                    s.changed_fraction, s.seconds,
+                    static_cast<double>(s.skipped_batches)});
+  }
+  return rows;
+}
+
+std::vector<SelfTrainEpochStats> SelfTrainHistoryFromRows(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<SelfTrainEpochStats> history;
+  history.reserve(rows.size());
+  for (const auto& row : rows) {
+    SelfTrainEpochStats s;
+    s.epoch = static_cast<int>(At(row, 0));
+    s.recon_loss = At(row, 1);
+    s.cluster_loss = At(row, 2);
+    s.triplet_loss = At(row, 3);
+    s.grad_norm = At(row, 4);
+    s.changed_fraction = At(row, 5);
+    s.seconds = At(row, 6);
+    s.skipped_batches = static_cast<int>(At(row, 7));
+    history.push_back(s);
+  }
+  return history;
+}
+
+void CaptureTrainingState(const Seq2SeqModel& model,
+                          const nn::Optimizer& optimizer, const Rng& rng,
+                          ckpt::PhaseSnapshot* snap) {
+  snap->params.clear();
+  for (const auto& p : model.NamedParameters()) {
+    snap->params.emplace_back(p.name, p.var.value());
+  }
+  snap->optimizer = optimizer.ExportState();
+  snap->rng = rng.GetState();
+}
+
+Status ApplyTrainingState(const ckpt::PhaseSnapshot& snap,
+                          Seq2SeqModel* model, nn::Optimizer* optimizer,
+                          Rng* rng) {
+  std::unordered_map<std::string, const nn::Tensor*> saved;
+  saved.reserve(snap.params.size());
+  for (const auto& [name, tensor] : snap.params) saved.emplace(name, &tensor);
+
+  for (auto& p : model->NamedParameters()) {
+    auto it = saved.find(p.name);
+    if (it == saved.end()) {
+      return Status::InvalidArgument("snapshot missing parameter: " + p.name);
+    }
+    if (!it->second->SameShape(p.var.value())) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot shape mismatch for %s: [%dx%d] vs model [%dx%d]",
+          p.name.c_str(), it->second->rows(), it->second->cols(),
+          p.var.value().rows(), p.var.value().cols()));
+    }
+    p.var.mutable_value() = *it->second;
+  }
+  E2DTC_RETURN_IF_ERROR(optimizer->ImportState(snap.optimizer));
+  rng->SetState(snap.rng);
+  return Status::OK();
+}
+
+}  // namespace e2dtc::core

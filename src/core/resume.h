@@ -1,0 +1,46 @@
+#ifndef E2DTC_CORE_RESUME_H_
+#define E2DTC_CORE_RESUME_H_
+
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "core/config.h"
+#include "core/seq2seq.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace e2dtc::core {
+
+/// Conversions between the typed per-epoch stats in core/config.h and the
+/// opaque numeric rows a ckpt::PhaseSnapshot carries (the ckpt layer sits
+/// below core, so it cannot name these structs). Field order is part of the
+/// snapshot format: append new fields at the end only.
+std::vector<std::vector<double>> PretrainRows(
+    const std::vector<PretrainEpochStats>& history);
+std::vector<PretrainEpochStats> PretrainHistoryFromRows(
+    const std::vector<std::vector<double>>& rows);
+std::vector<std::vector<double>> SelfTrainRows(
+    const std::vector<SelfTrainEpochStats>& history);
+std::vector<SelfTrainEpochStats> SelfTrainHistoryFromRows(
+    const std::vector<std::vector<double>>& rows);
+
+/// Copies the phase-independent training state — every named model
+/// parameter (frozen ones included), the optimizer's moment buffers, and
+/// the RNG engine — into `snap`. Phase, epoch cursor, and self-training
+/// bookkeeping are the caller's to fill.
+void CaptureTrainingState(const Seq2SeqModel& model,
+                          const nn::Optimizer& optimizer, const Rng& rng,
+                          ckpt::PhaseSnapshot* snap);
+
+/// Restores what CaptureTrainingState saved. Parameters are matched by
+/// name and shape-checked; the optimizer must have the same parameter
+/// layout it had at capture time. InvalidArgument on any mismatch, leaving
+/// the model partially updated only on error (callers treat that as fatal).
+Status ApplyTrainingState(const ckpt::PhaseSnapshot& snap,
+                          Seq2SeqModel* model, nn::Optimizer* optimizer,
+                          Rng* rng);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_RESUME_H_

@@ -92,6 +92,7 @@ obs::Json PretrainEpochJson(const PretrainEpochStats& stats) {
   out.Set("grad_norm", stats.grad_norm);
   out.Set("tokens_per_second", stats.tokens_per_second);
   out.Set("seconds", stats.seconds);
+  out.Set("skipped_batches", stats.skipped_batches);
   return out;
 }
 
@@ -105,6 +106,7 @@ obs::Json SelfTrainEpochJson(const SelfTrainEpochStats& stats) {
   out.Set("grad_norm", stats.grad_norm);
   out.Set("changed_fraction", stats.changed_fraction);
   out.Set("seconds", stats.seconds);
+  out.Set("skipped_batches", stats.skipped_batches);
   return out;
 }
 
@@ -127,6 +129,9 @@ obs::Json FitResultJson(const FitResult& fit) {
   out.Set("pretrain_epochs", static_cast<int64_t>(fit.pretrain_history.size()));
   out.Set("self_train_epochs",
           static_cast<int64_t>(fit.self_train_history.size()));
+  out.Set("resumed", fit.resumed);
+  out.Set("health_skipped_batches", fit.health_skipped_batches);
+  out.Set("health_rollbacks", fit.health_rollbacks);
   // Cluster occupancy: how many trajectories landed in each final cluster.
   std::vector<int64_t> sizes(static_cast<size_t>(fit.k > 0 ? fit.k : 0), 0);
   for (int a : fit.assignments) {

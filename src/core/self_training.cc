@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/health.h"
 #include "core/pretrain.h"
+#include "core/resume.h"
 #include "core/triplet.h"
 #include "data/batching.h"
 #include "nn/optimizer.h"
@@ -11,6 +13,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace e2dtc::core {
 
@@ -50,7 +53,7 @@ SelfTrainer::SelfTrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
   E2DTC_CHECK(config.loss_mode != LossMode::kL0);
 }
 
-SelfTrainer::TrainResult SelfTrainer::Train(
+Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     const std::vector<geo::Trajectory>& trajectories,
     const nn::Tensor& initial_centroids) {
   E2DTC_TRACE_SPAN("selftrain.train");
@@ -95,9 +98,80 @@ SelfTrainer::TrainResult SelfTrainer::Train(
 
   TrainResult result;
   std::vector<int> prev_assignments;
+  HealthMonitor health(config_.health);
+  ckpt::Checkpointer* ckptr =
+      config_.checkpointer != nullptr && config_.checkpointer->enabled()
+          ? config_.checkpointer
+          : nullptr;
 
-  for (int epoch = 0; epoch < config_.max_iters; ++epoch) {
+  int start_epoch = 0;
+  if (config_.resume != nullptr &&
+      config_.resume->phase == ckpt::TrainPhase::kSelfTrain) {
+    const ckpt::PhaseSnapshot& snap = *config_.resume;
+    if (!snap.centroids.SameShape(initial_centroids)) {
+      return Status::InvalidArgument(
+          "snapshot centroids do not match this run's cluster count");
+    }
+    E2DTC_RETURN_IF_ERROR(
+        ApplyTrainingState(snap, model_, optimizer.get(), &rng));
+    centroids.mutable_value() = snap.centroids;
+    prev_assignments.assign(snap.prev_assignments.begin(),
+                            snap.prev_assignments.end());
+    result.history = SelfTrainHistoryFromRows(snap.self_train_stats);
+    start_epoch = snap.epochs_done;
+    result.resumed = true;
+    E2DTC_LOG(Info) << "self-training resumed at epoch " << start_epoch;
+  }
+
+  // Last completed epoch boundary: disk-checkpoint source and health
+  // rollback target. See the matching comment in pretrain.cc — mid-epoch
+  // state is never captured, which is what keeps resumes bitwise identical.
+  const bool track_boundary = config_.health.enabled || ckptr != nullptr ||
+                              config_.cancel != nullptr;
+  ckpt::PhaseSnapshot boundary;
+  auto capture_boundary = [&](int epochs_done) {
+    boundary.phase = ckpt::TrainPhase::kSelfTrain;
+    boundary.epochs_done = epochs_done;
+    CaptureTrainingState(*model_, *optimizer, rng, &boundary);
+    boundary.centroids = centroids.value();
+    boundary.prev_assignments.assign(prev_assignments.begin(),
+                                     prev_assignments.end());
+    boundary.k = k;
+    boundary.self_train_stats = SelfTrainRows(result.history);
+    // Pipeline context so a kSelfTrain snapshot is self-contained: a
+    // resumed run skips phases 1-2 and k-means entirely.
+    if (config_.ckpt_l0_embeddings != nullptr) {
+      boundary.l0_embeddings = *config_.ckpt_l0_embeddings;
+    }
+    if (config_.ckpt_l0_assignments != nullptr) {
+      boundary.l0_assignments.assign(config_.ckpt_l0_assignments->begin(),
+                                     config_.ckpt_l0_assignments->end());
+    }
+    if (config_.ckpt_pretrain_stats != nullptr) {
+      boundary.pretrain_stats = *config_.ckpt_pretrain_stats;
+    }
+  };
+  if (track_boundary) capture_boundary(start_epoch);
+
+  auto cancelled = [&] {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_relaxed);
+  };
+  auto cancel_out = [&]() -> Status {
+    if (ckptr != nullptr) {
+      Status st = ckptr->Save(boundary);
+      if (!st.ok()) {
+        E2DTC_LOG(Warning) << "final checkpoint failed: " << st.ToString();
+      }
+    }
+    return Status::Cancelled(StrFormat(
+        "self-training cancelled after %d completed epoch(s)",
+        boundary.epochs_done));
+  };
+
+  for (int epoch = start_epoch; epoch < config_.max_iters; ++epoch) {
     E2DTC_TRACE_SPAN("selftrain.epoch");
+    if (cancelled()) return cancel_out();
     Stopwatch watch;
     // Lines 4-7: refresh embeddings, Q, target P, and hard assignments.
     nn::Tensor embeddings;
@@ -139,8 +213,10 @@ SelfTrainer::TrainResult SelfTrainer::Train(
     int64_t token_sum = 0;
     int64_t sample_sum = 0;
     int batch_count = 0;
+    bool rollback_requested = false;
     for (const auto& batch_indices : batches) {
       E2DTC_TRACE_SPAN("selftrain.batch");
+      if (cancelled()) return cancel_out();
       Stopwatch batch_watch;
       const int b = static_cast<int>(batch_indices.size());
       if (b < 2) continue;  // triplet/negative sampling needs pairs
@@ -212,6 +288,18 @@ SelfTrainer::TrainResult SelfTrainer::Train(
 
       nn::Backward(loss);
       stats.grad_norm = optimizer->ClipGradNorm(config_.grad_clip);
+
+      const double batch_loss = static_cast<double>(loss.value().scalar());
+      const HealthMonitor::Verdict verdict =
+          health.Check(batch_loss, stats.grad_norm);
+      if (verdict == HealthMonitor::Verdict::kRollback) {
+        rollback_requested = true;
+        break;
+      }
+      if (verdict == HealthMonitor::Verdict::kSkipBatch) {
+        ++stats.skipped_batches;
+        continue;
+      }
       optimizer->Step();
 
       recon_sum += static_cast<double>(dec.loss_sum.value().scalar());
@@ -226,6 +314,27 @@ SelfTrainer::TrainResult SelfTrainer::Train(
       tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
       batch_hist.Record(batch_watch.ElapsedMillis());
     }
+    if (rollback_requested) {
+      if (health.rollbacks() >= config_.health.max_rollbacks) {
+        return Status::Internal(StrFormat(
+            "self-training keeps producing poisoned batches after %d "
+            "rollback(s); giving up at epoch %d",
+            health.rollbacks(), epoch));
+      }
+      health.OnRollback();
+      E2DTC_RETURN_IF_ERROR(
+          ApplyTrainingState(boundary, model_, optimizer.get(), &rng));
+      centroids.mutable_value() = boundary.centroids;
+      prev_assignments.assign(boundary.prev_assignments.begin(),
+                              boundary.prev_assignments.end());
+      result.history = SelfTrainHistoryFromRows(boundary.self_train_stats);
+      optimizer->set_lr(optimizer->lr() * config_.health.rollback_lr_scale);
+      E2DTC_LOG(Warning) << "self-training rolled back to epoch boundary "
+                         << boundary.epochs_done << " with lr "
+                         << optimizer->lr();
+      epoch = boundary.epochs_done - 1;  // the loop's ++ re-enters there
+      continue;
+    }
     stats.recon_loss =
         token_sum > 0 ? recon_sum / static_cast<double>(token_sum) : 0.0;
     stats.cluster_loss =
@@ -238,6 +347,18 @@ SelfTrainer::TrainResult SelfTrainer::Train(
                      << " Lt " << stats.triplet_loss << " changed "
                      << stats.changed_fraction;
     result.history.push_back(stats);
+
+    if (track_boundary) capture_boundary(epoch + 1);
+    if (ckptr != nullptr &&
+        ckptr->ShouldSave(epoch + 1, epoch + 1 == config_.max_iters)) {
+      Status st = ckptr->Save(boundary);
+      if (!st.ok()) {
+        E2DTC_LOG(Warning) << "checkpoint save failed (training continues): "
+                           << st.ToString();
+      }
+    }
+    // After the boundary capture, so state a callback corrupts (tests use
+    // this as a fault-injection point) is recoverable by rollback.
     if (config_.epoch_callback) config_.epoch_callback(stats);
   }
 
@@ -251,6 +372,8 @@ SelfTrainer::TrainResult SelfTrainer::Train(
     result.assignments = HardAssignments(q);
   }
   result.centroids = centroids.value();
+  result.skipped_batches = health.skipped_batches();
+  result.rollbacks = health.rollbacks();
   return result;
 }
 

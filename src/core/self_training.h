@@ -5,6 +5,7 @@
 
 #include "core/seq2seq.h"
 #include "nn/losses.h"
+#include "util/result.h"
 
 namespace e2dtc {
 class ThreadPool;
@@ -30,6 +31,9 @@ class SelfTrainer {
     nn::Tensor embeddings;         ///< [N, H] final embeddings.
     std::vector<EpochStats> history;
     bool converged = false;  ///< Stopped via the delta criterion.
+    int skipped_batches = 0;  ///< Updates dropped by the health guardrails.
+    int rollbacks = 0;        ///< Restores to the last good epoch boundary.
+    bool resumed = false;     ///< Continued from a checkpoint snapshot.
   };
 
   /// All pointers are borrowed and must outlive the trainer.
@@ -40,9 +44,14 @@ class SelfTrainer {
               ThreadPool* encode_pool = nullptr);
 
   /// Runs Algorithm 1 lines 3-10 from the given k-means centroids.
-  /// `initial_centroids` is [k, H].
-  TrainResult Train(const std::vector<geo::Trajectory>& trajectories,
-                    const nn::Tensor& initial_centroids);
+  /// `initial_centroids` is [k, H]. Respects the fault-tolerance hooks on
+  /// SelfTrainConfig: resumes from config.resume when its phase matches
+  /// (replacing the centroids with the snapshot's), checkpoints via
+  /// config.checkpointer at epoch boundaries, and returns Status::Cancelled
+  /// when config.cancel flips (after writing a final checkpoint). Returns
+  /// Internal when the health guardrails exhausted their rollback budget.
+  Result<TrainResult> Train(const std::vector<geo::Trajectory>& trajectories,
+                            const nn::Tensor& initial_centroids);
 
  private:
   Seq2SeqModel* model_;

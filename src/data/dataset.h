@@ -15,6 +15,8 @@ struct Dataset {
   std::vector<geo::Trajectory> trajectories;
   std::vector<geo::GeoPoint> poi_centers;  ///< k cluster centers.
   int num_clusters = 0;
+  /// Invalid GPS samples skipped by a lenient load (CsvLoadOptions).
+  int dropped_points = 0;
 
   int size() const { return static_cast<int>(trajectories.size()); }
 };

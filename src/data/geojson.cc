@@ -54,6 +54,27 @@ Status SaveGeoJson(const std::string& path, const Dataset& dataset,
       assignments->size() != dataset.trajectories.size()) {
     return Status::InvalidArgument("assignment count mismatch");
   }
+  // Non-finite coordinates would render as bare `nan`/`inf` tokens, which
+  // are not valid JSON — refuse rather than emit a broken file.
+  for (size_t j = 0; j < dataset.poi_centers.size(); ++j) {
+    const auto& p = dataset.poi_centers[j];
+    if (!geo::IsValidLonLat(p.lon, p.lat)) {
+      return Status::InvalidArgument(StrFormat(
+          "POI center %zu has a non-finite or out-of-range coordinate "
+          "(lon=%g, lat=%g)",
+          j, p.lon, p.lat));
+    }
+  }
+  for (const auto& t : dataset.trajectories) {
+    for (const auto& p : t.points) {
+      if (!geo::IsValidLonLat(p.lon, p.lat)) {
+        return Status::InvalidArgument(StrFormat(
+            "trajectory %lld has a non-finite or out-of-range GPS point "
+            "(lon=%g, lat=%g)",
+            static_cast<long long>(t.id), p.lon, p.lat));
+      }
+    }
+  }
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << ToGeoJson(dataset, assignments);

@@ -1,8 +1,11 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace e2dtc::data {
@@ -28,7 +31,8 @@ Status SaveDatasetCsv(const std::string& path, const Dataset& dataset) {
   return w.Close();
 }
 
-Result<Dataset> LoadDatasetCsv(const std::string& path) {
+Result<Dataset> LoadDatasetCsv(const std::string& path,
+                               const CsvLoadOptions& options) {
   E2DTC_ASSIGN_OR_RETURN(auto rows, ReadCsv(path));
   if (rows.empty()) return Status::IOError("empty dataset file: " + path);
 
@@ -48,11 +52,29 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
     E2DTC_ASSIGN_OR_RETURN(double lat, ParseDouble(row[3]));
     E2DTC_ASSIGN_OR_RETURN(double t, ParseDouble(row[4]));
     if (id == -1) {
-      // POI pseudo-row; label is the cluster index.
+      // POI pseudo-row; label is the cluster index. Always strict: dropping
+      // a POI would silently renumber the ground-truth clusters.
       if (static_cast<size_t>(label) != ds.poi_centers.size()) {
         return Status::IOError("POI rows out of order");
       }
+      if (!geo::IsValidLonLat(lon, lat)) {
+        return Status::InvalidArgument(StrFormat(
+            "row %zu: invalid POI center (lon=%g, lat=%g)", r, lon, lat));
+      }
       ds.poi_centers.push_back(geo::GeoPoint{lon, lat, 0.0});
+      continue;
+    }
+    if (!geo::IsValidLonLat(lon, lat) || !std::isfinite(t)) {
+      if (!options.lenient_gps) {
+        return Status::InvalidArgument(StrFormat(
+            "row %zu: invalid GPS sample (lon=%g, lat=%g, t=%g); longitude "
+            "must be in [-180, 180], latitude in [-90, 90], all fields "
+            "finite",
+            r, lon, lat, t));
+      }
+      // Dropped before the trajectory lookup, so a trajectory whose samples
+      // are all invalid is never created (no empty trajectories downstream).
+      ++ds.dropped_points;
       continue;
     }
     auto [it, inserted] = index_of.try_emplace(id, ds.trajectories.size());
@@ -69,6 +91,13 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
   ds.num_clusters = ds.poi_centers.empty()
                         ? max_label + 1
                         : static_cast<int>(ds.poi_centers.size());
+  if (ds.dropped_points > 0) {
+    static obs::Counter dropped_counter =
+        obs::Registry::Global().counter("data.dropped_points");
+    dropped_counter.Increment(ds.dropped_points);
+    E2DTC_LOG(Warning) << "dropped " << ds.dropped_points
+                       << " invalid GPS sample(s) while loading " << path;
+  }
   return ds;
 }
 

@@ -14,8 +14,22 @@ namespace e2dtc::data {
 /// cluster index, so a round trip preserves Algorithm 2's inputs.
 Status SaveDatasetCsv(const std::string& path, const Dataset& dataset);
 
-/// Reads a dataset written by SaveDatasetCsv. Errors on malformed rows.
-Result<Dataset> LoadDatasetCsv(const std::string& path);
+/// Controls LoadDatasetCsv's handling of invalid GPS samples: non-finite or
+/// out-of-range lon/lat (outside [-180, 180] x [-90, 90]) and non-finite
+/// timestamps.
+struct CsvLoadOptions {
+  /// false (default): reject the file with Status::InvalidArgument naming
+  /// the offending row. true: drop the offending points, counting them in
+  /// Dataset::dropped_points and the data.dropped_points metric. POI
+  /// pseudo-rows are always strict — dropping one would silently renumber
+  /// the ground-truth clusters.
+  bool lenient_gps = false;
+};
+
+/// Reads a dataset written by SaveDatasetCsv. Errors on malformed rows and
+/// (unless options.lenient_gps) on invalid GPS samples.
+Result<Dataset> LoadDatasetCsv(const std::string& path,
+                               const CsvLoadOptions& options = {});
 
 }  // namespace e2dtc::data
 

@@ -17,6 +17,13 @@ struct GeoPoint {
   bool operator==(const GeoPoint&) const = default;
 };
 
+/// True when (lon, lat) is a plausible WGS-84 coordinate: both components
+/// finite and within [-180, 180] x [-90, 90] degrees.
+inline bool IsValidLonLat(double lon, double lat) {
+  return std::isfinite(lon) && std::isfinite(lat) && lon >= -180.0 &&
+         lon <= 180.0 && lat >= -90.0 && lat <= 90.0;
+}
+
 /// A point in a local planar projection, meters.
 struct XY {
   double x = 0.0;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/string_util.h"
+
 namespace e2dtc::nn {
 
 Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
@@ -12,6 +14,32 @@ Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
 
 void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.node()->ZeroGrad();
+}
+
+Status Optimizer::CheckStateShape(const OptimizerState& state,
+                                  size_t expected_slots) const {
+  if (state.slots.size() != expected_slots) {
+    return Status::InvalidArgument(
+        StrFormat("optimizer state has %zu slots, expected %zu",
+                  state.slots.size(), expected_slots));
+  }
+  for (size_t s = 0; s < state.slots.size(); ++s) {
+    if (state.slots[s].size() != params_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "optimizer state slot %zu covers %zu parameters, expected %zu", s,
+          state.slots[s].size(), params_.size()));
+    }
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (!state.slots[s][i].SameShape(params_[i].value())) {
+        return Status::InvalidArgument(StrFormat(
+            "optimizer state slot %zu tensor %zu is [%dx%d], parameter is "
+            "[%dx%d]",
+            s, i, state.slots[s][i].rows(), state.slots[s][i].cols(),
+            params_[i].value().rows(), params_[i].value().cols()));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 float Optimizer::ClipGradNorm(float max_norm) {
@@ -56,6 +84,22 @@ void Sgd::Step() {
   }
 }
 
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state;
+  state.lr = lr_;
+  state.step = 0;
+  if (momentum_ > 0.0f) state.slots.push_back(velocity_);
+  return state;
+}
+
+Status Sgd::ImportState(const OptimizerState& state) {
+  const size_t expected_slots = momentum_ > 0.0f ? 1 : 0;
+  E2DTC_RETURN_IF_ERROR(CheckStateShape(state, expected_slots));
+  lr_ = state.lr;
+  if (momentum_ > 0.0f) velocity_ = state.slots[0];
+  return Status::OK();
+}
+
 Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
            float eps)
     : Optimizer(std::move(params)),
@@ -90,6 +134,24 @@ void Adam::Step() {
       w[j] -= step_size * m[j] / (std::sqrt(v[j]) + eps_);
     }
   }
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.lr = lr_;
+  state.step = t_;
+  state.slots.push_back(m_);
+  state.slots.push_back(v_);
+  return state;
+}
+
+Status Adam::ImportState(const OptimizerState& state) {
+  E2DTC_RETURN_IF_ERROR(CheckStateShape(state, 2));
+  lr_ = state.lr;
+  t_ = state.step;
+  m_ = state.slots[0];
+  v_ = state.slots[1];
+  return Status::OK();
 }
 
 }  // namespace e2dtc::nn

@@ -4,8 +4,20 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/status.h"
 
 namespace e2dtc::nn {
+
+/// Snapshot of an optimizer's mutable state, for crash-safe checkpoints.
+/// `slots` holds per-slot, per-parameter moment buffers (Sgd: {velocity} or
+/// nothing; Adam: {m, v}), indexed slots[slot][param] in params() order.
+/// Restoring an exported state makes subsequent Step() calls bitwise
+/// identical to a run that never paused.
+struct OptimizerState {
+  float lr = 0.0f;
+  int64_t step = 0;
+  std::vector<std::vector<Tensor>> slots;
+};
 
 /// Base optimizer over a fixed parameter set.
 class Optimizer {
@@ -23,9 +35,25 @@ class Optimizer {
   /// Applies one update using the accumulated gradients.
   virtual void Step() = 0;
 
+  virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+
+  /// Copies out the full mutable state (learning rate, step counter,
+  /// moment buffers).
+  virtual OptimizerState ExportState() const = 0;
+
+  /// Restores a previously exported state. Fails with InvalidArgument if the
+  /// slot layout or tensor shapes do not match this optimizer's parameters.
+  virtual Status ImportState(const OptimizerState& state) = 0;
+
   const std::vector<Var>& params() const { return params_; }
 
  protected:
+  /// Shared ImportState validation: checks the expected slot count and that
+  /// every slot tensor matches the corresponding parameter's shape.
+  Status CheckStateShape(const OptimizerState& state,
+                         size_t expected_slots) const;
+
   std::vector<Var> params_;
 };
 
@@ -35,8 +63,11 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
   void Step() override;
 
-  float lr() const { return lr_; }
-  void set_lr(float lr) { lr_ = lr; }
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
  private:
   float lr_;
@@ -51,9 +82,12 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f);
   void Step() override;
 
-  float lr() const { return lr_; }
-  void set_lr(float lr) { lr_ = lr; }
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
   int64_t step_count() const { return t_; }
+
+  OptimizerState ExportState() const override;
+  Status ImportState(const OptimizerState& state) override;
 
  private:
   float lr_;

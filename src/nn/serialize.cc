@@ -9,24 +9,26 @@ namespace e2dtc::nn {
 
 namespace {
 constexpr uint32_t kMagic = 0x54443245;  // "E2DT" little-endian
-constexpr uint32_t kVersion = 1;
+// v1: magic | version | count | params. v2 appends a CRC-32 footer and is
+// written atomically (tmp + fsync + rename); v1 files still load.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 Status SaveParameters(const std::string& path,
                       const std::vector<NamedParameter>& params) {
-  BinaryWriter w(path);
-  if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(kMagic));
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(kVersion));
-  E2DTC_RETURN_IF_ERROR(w.WriteU32(static_cast<uint32_t>(params.size())));
-  for (const auto& p : params) {
-    E2DTC_RETURN_IF_ERROR(w.WriteString(p.name));
-    const Tensor& t = p.var.value();
-    E2DTC_RETURN_IF_ERROR(w.WriteI32(t.rows()));
-    E2DTC_RETURN_IF_ERROR(w.WriteI32(t.cols()));
-    E2DTC_RETURN_IF_ERROR(w.WriteFloats(t.storage()));
-  }
-  return w.Close();
+  return AtomicWrite(path, [&](BinaryWriter* w) -> Status {
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kMagic));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(kVersion));
+    E2DTC_RETURN_IF_ERROR(w->WriteU32(static_cast<uint32_t>(params.size())));
+    for (const auto& p : params) {
+      E2DTC_RETURN_IF_ERROR(w->WriteString(p.name));
+      const Tensor& t = p.var.value();
+      E2DTC_RETURN_IF_ERROR(w->WriteI32(t.rows()));
+      E2DTC_RETURN_IF_ERROR(w->WriteI32(t.cols()));
+      E2DTC_RETURN_IF_ERROR(w->WriteFloats(t.storage()));
+    }
+    return w->WriteCrcFooter();
+  });
 }
 
 Status LoadParameters(const std::string& path,
@@ -36,7 +38,7 @@ Status LoadParameters(const std::string& path,
   E2DTC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) return Status::IOError("bad checkpoint magic: " + path);
   E2DTC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::IOError(
         StrFormat("unsupported checkpoint version %u", version));
   }
@@ -55,6 +57,8 @@ Status LoadParameters(const std::string& path,
     }
     loaded.emplace(std::move(name), Tensor(rows, cols, std::move(data)));
   }
+  // v1 files predate the integrity footer; v2+ must checksum clean.
+  if (version >= 2) E2DTC_RETURN_IF_ERROR(r.VerifyCrcFooter());
 
   if (loaded.size() != params->size()) {
     return Status::InvalidArgument(StrFormat(

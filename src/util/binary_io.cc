@@ -1,21 +1,56 @@
 #include "util/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
 
 namespace e2dtc {
 
+namespace {
+WriteInterceptor* g_write_interceptor = nullptr;
+}  // namespace
+
+void SetWriteInterceptor(WriteInterceptor* interceptor) {
+  g_write_interceptor = interceptor;
+}
+
 BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary) {
+    : out_(path, std::ios::binary), path_(path) {
   E2DTC_CHECK(std::endian::native == std::endian::little);
 }
 
 Status BinaryWriter::WriteBytes(const void* data, size_t n) {
-  if (!out_) return Status::IOError("binary stream is not writable");
-  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  if (!out_) return Status::IOError("binary write failed");
+  if (!out_) {
+    return Status::IOError("binary stream is not writable: " + path_);
+  }
+  // The CRC covers the *intended* bytes: an injected (or real) bit flip or
+  // torn write after this point is exactly what the footer check catches.
+  crc_ = Crc32Update(crc_, data, n);
+  if (g_write_interceptor != nullptr) {
+    std::vector<char> buf(static_cast<const char*>(data),
+                          static_cast<const char*>(data) + n);
+    size_t m = n;
+    E2DTC_RETURN_IF_ERROR(
+        g_write_interceptor->BeforeWrite(path_, offset_, buf.data(), &m));
+    out_.write(buf.data(), static_cast<std::streamsize>(m));
+  } else {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+  if (!out_) {
+    return Status::IOError(StrFormat("binary write failed at offset %llu: %s",
+                                     static_cast<unsigned long long>(offset_),
+                                     path_.c_str()));
+  }
+  offset_ += n;
   return Status::OK();
 }
 
@@ -35,23 +70,34 @@ Status BinaryWriter::WriteFloats(const std::vector<float>& v) {
   return WriteBytes(v.data(), v.size() * sizeof(float));
 }
 
+Status BinaryWriter::WriteCrcFooter() {
+  const uint32_t footer = crc_;
+  return WriteU32(footer);
+}
+
 Status BinaryWriter::Close() {
   out_.close();
-  if (out_.fail()) return Status::IOError("binary close failed");
+  if (out_.fail()) return Status::IOError("binary close failed: " + path_);
   return Status::OK();
 }
 
 BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary) {
+    : in_(path, std::ios::binary), path_(path) {
   E2DTC_CHECK(std::endian::native == std::endian::little);
 }
 
 Status BinaryReader::ReadBytes(void* data, size_t n) {
-  if (!in_) return Status::IOError("binary stream is not readable");
+  if (!in_) {
+    return Status::IOError("binary stream is not readable: " + path_);
+  }
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   if (in_.gcount() != static_cast<std::streamsize>(n)) {
-    return Status::IOError("binary read truncated");
+    return Status::IOError(StrFormat(
+        "binary read truncated at offset %llu (wanted %zu bytes): %s",
+        static_cast<unsigned long long>(offset_), n, path_.c_str()));
   }
+  crc_ = Crc32Update(crc_, data, n);
+  offset_ += n;
   return Status::OK();
 }
 
@@ -100,9 +146,61 @@ Result<std::vector<float>> BinaryReader::ReadFloats() {
   return v;
 }
 
+Status BinaryReader::VerifyCrcFooter() {
+  const uint32_t computed = crc_;
+  const uint64_t footer_offset = offset_;
+  E2DTC_ASSIGN_OR_RETURN(uint32_t stored, ReadU32());
+  if (stored != computed) {
+    return Status::IOError(StrFormat(
+        "checksum mismatch: footer at offset %llu holds %08x, content "
+        "hashes to %08x (file truncated or bit-flipped): %s",
+        static_cast<unsigned long long>(footer_offset), stored, computed,
+        path_.c_str()));
+  }
+  return Status::OK();
+}
+
 bool BinaryReader::AtEof() {
   if (!in_) return true;
   return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+namespace {
+
+Status FsyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWrite(const std::string& path,
+                   const std::function<Status(BinaryWriter*)>& fill) {
+  const std::string tmp = path + ".tmp";
+  Status st;
+  {
+    BinaryWriter w(tmp);
+    if (!w.Ok()) return Status::IOError("cannot open for writing: " + tmp);
+    st = fill(&w);
+    if (st.ok()) st = w.Close();
+  }
+  if (st.ok()) st = FsyncPath(tmp, /*directory=*/false);
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  if (!st.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // best effort; never clobber `path`
+    return st;
+  }
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  return FsyncPath(dir.empty() ? "." : dir, /*directory=*/true);
 }
 
 }  // namespace e2dtc

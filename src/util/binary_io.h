@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,28 @@
 
 namespace e2dtc {
 
+/// Test seam for fault injection (see ckpt::FaultInjector): a process-global
+/// hook consulted before every BinaryWriter byte write. The hook may mutate
+/// the bytes about to be written (bit rot), shorten `*n` (a torn write from
+/// a crash or full disk), or return a non-OK Status (a failed syscall).
+/// Install only in tests; not thread-safe against concurrent writers.
+class WriteInterceptor {
+ public:
+  virtual ~WriteInterceptor() = default;
+  virtual Status BeforeWrite(const std::string& path, uint64_t offset,
+                             char* data, size_t* n) = 0;
+};
+
+/// Installs `interceptor` as the global write hook (nullptr to clear).
+void SetWriteInterceptor(WriteInterceptor* interceptor);
+
 /// Little-endian binary writer used by model serialization. All multi-byte
 /// values are written little-endian regardless of host order (this library
 /// only targets little-endian hosts; E2DTC_CHECKed at open).
+///
+/// The writer maintains a running CRC-32 of every byte written, so formats
+/// can end with WriteCrcFooter() and readers can reject truncated or
+/// bit-flipped files (see BinaryReader::VerifyCrcFooter).
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -31,12 +51,23 @@ class BinaryWriter {
   Status WriteFloats(const std::vector<float>& v);
   Status Close();
 
+  /// Bytes written so far (before any injected truncation).
+  uint64_t offset() const { return offset_; }
+  /// Running CRC-32 of everything written so far.
+  uint32_t crc() const { return crc_; }
+  /// Appends the running CRC-32 as a u32 footer. Must be the last write.
+  Status WriteCrcFooter();
+
  private:
   Status WriteBytes(const void* data, size_t n);
   std::ofstream out_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint32_t crc_ = 0;
 };
 
-/// Reader matching BinaryWriter's format.
+/// Reader matching BinaryWriter's format. Tracks a running CRC-32 and the
+/// byte offset so corruption errors can name where the file went bad.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -53,10 +84,30 @@ class BinaryReader {
   /// True once the end of the file has been reached.
   bool AtEof();
 
+  /// Bytes consumed so far.
+  uint64_t offset() const { return offset_; }
+  /// Running CRC-32 of everything read so far.
+  uint32_t crc() const { return crc_; }
+  /// Reads the trailing u32 CRC footer and checks it against the running
+  /// CRC of everything read before it. Returns IOError naming the offset on
+  /// mismatch — the file was truncated, bit-flipped, or torn mid-write.
+  Status VerifyCrcFooter();
+
  private:
   Status ReadBytes(void* data, size_t n);
   std::ifstream in_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint32_t crc_ = 0;
 };
+
+/// Crash-safe file replacement: `fill` writes the content to `path + ".tmp"`,
+/// which is then fsynced and atomically renamed onto `path` (the parent
+/// directory is fsynced too). On any failure the temp file is removed and
+/// an existing `path` is left untouched, so readers never observe a torn
+/// file — they see either the old content or the new.
+Status AtomicWrite(const std::string& path,
+                   const std::function<Status(BinaryWriter*)>& fill);
 
 }  // namespace e2dtc
 

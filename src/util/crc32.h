@@ -1,0 +1,22 @@
+#ifndef E2DTC_UTIL_CRC32_H_
+#define E2DTC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace e2dtc {
+
+/// Incremental CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the integrity
+/// footer used by every binary checkpoint format in this library. Feed the
+/// previous return value back as `crc` to checksum a stream in pieces;
+/// start from 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Update(0, data, n);
+}
+
+}  // namespace e2dtc
+
+#endif  // E2DTC_UTIL_CRC32_H_

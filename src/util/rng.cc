@@ -112,4 +112,18 @@ int Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = state_[i];
+  state.has_spare_gaussian = has_spare_gaussian_;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_spare_gaussian_ = state.has_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 }  // namespace e2dtc

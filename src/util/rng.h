@@ -61,6 +61,18 @@ class Rng {
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
 
+  /// Full engine state, serializable for crash-safe checkpoints. Restoring a
+  /// saved State resumes the exact stream — including the cached Box-Muller
+  /// spare — so a resumed run draws the same values as an uninterrupted one.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_gaussian = false;
+    double spare_gaussian = 0.0;
+  };
+
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t state_[4];
   bool has_spare_gaussian_ = false;

@@ -16,6 +16,7 @@ enum class StatusCode {
   kInternal = 5,
   kIOError = 6,
   kNotImplemented = 7,
+  kCancelled = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -57,6 +58,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -75,4 +75,61 @@ if "${CLI}" fit 2>/dev/null; then
   exit 1
 fi
 
+# ---- Fault tolerance: SIGTERM mid-fit, then --resume. ----
+# Baseline: uninterrupted fit with a fixed schedule.
+"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/base.e2dtc" \
+    --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
+    --run-report "${WORK}/base_report.jsonl" > /dev/null
+
+# Same fit, killed mid-run. The CLI must finish the current batch, write a
+# final checkpoint, flush the run report, and exit 130.
+"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/int.e2dtc" \
+    --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
+    --checkpoint-dir "${WORK}/ckpts" \
+    --run-report "${WORK}/int_report.jsonl" > "${WORK}/int_out.txt" 2>&1 &
+FIT_PID=$!
+sleep 0.4
+kill -TERM "${FIT_PID}" 2>/dev/null || true
+RC=0
+wait "${FIT_PID}" || RC=$?
+if [[ "${RC}" -eq 0 ]]; then
+  # The run finished before the signal landed; the resume below still
+  # exercises the checkpoint path (resuming a completed phase is a no-op).
+  echo "note: fit finished before SIGTERM"
+else
+  [[ "${RC}" -eq 130 ]] || {
+    echo "expected exit 130 after SIGTERM, got ${RC}" >&2
+    cat "${WORK}/int_out.txt" >&2
+    exit 1
+  }
+  grep -q '"type":"cancelled"' "${WORK}/int_report.jsonl"
+fi
+ls "${WORK}/ckpts" | grep -q '\.e2ck$'
+
+# Resume and compare: the resumed run must reproduce the uninterrupted
+# model bitwise and report resumed:true.
+"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/res.e2dtc" \
+    --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
+    --checkpoint-dir "${WORK}/ckpts" --resume true \
+    --run-report "${WORK}/res_report.jsonl" | grep -q "saved model"
+cmp "${WORK}/base.e2dtc" "${WORK}/res.e2dtc" || {
+  echo "resumed model differs from uninterrupted baseline" >&2
+  exit 1
+}
+if [[ "${RC}" -ne 0 ]]; then
+  grep -q '"resumed":true' "${WORK}/res_report.jsonl"
+fi
+
+# ---- GPS validation: strict load rejects, --lenient-gps drops. ----
+cp "${WORK}/city.csv" "${WORK}/dirty.csv"
+echo "90001,0,500.0,30.0,0" >> "${WORK}/dirty.csv"
+if "${CLI}" fit --data "${WORK}/dirty.csv" --model "${WORK}/m3.e2dtc" \
+    --hidden 24 --pretrain-epochs 1 --selftrain-epochs 1 2>/dev/null; then
+  echo "expected strict load to reject out-of-range GPS" >&2
+  exit 1
+fi
+"${CLI}" fit --data "${WORK}/dirty.csv" --model "${WORK}/m3.e2dtc" \
+    --hidden 24 --pretrain-epochs 1 --selftrain-epochs 1 \
+    --lenient-gps true 2>&1 | grep -q "saved model"
+
 echo "cli smoke ok"

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -516,6 +517,79 @@ TEST(IoTest, EmptyFileErrors) {
   { std::ofstream out(path); }
   EXPECT_FALSE(LoadDatasetCsv(path).ok());
   std::filesystem::remove(path);
+}
+
+TEST(IoTest, InvalidGpsSamplesRejectedStrictly) {
+  const std::string path = ::testing::TempDir() + "/bad_gps.csv";
+  const char* bad_rows[] = {
+      "1,0,500.0,30.0,0\n",   // longitude out of range
+      "1,0,120.0,-95.0,0\n",  // latitude out of range
+      "1,0,nan,30.0,0\n",     // non-finite longitude
+      "1,0,120.0,inf,0\n",    // non-finite latitude
+      "1,0,120.0,30.0,nan\n"  // non-finite timestamp
+  };
+  for (const char* row : bad_rows) {
+    {
+      std::ofstream out(path);
+      out << "traj_id,label,lon,lat,t\n" << row;
+    }
+    auto ds = LoadDatasetCsv(path);
+    ASSERT_FALSE(ds.ok()) << "accepted: " << row;
+    EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+    // The error names the offending row.
+    EXPECT_NE(ds.status().message().find("row 1"), std::string::npos)
+        << ds.status().message();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, LenientLoadDropsAndCountsInvalidSamples) {
+  const std::string path = ::testing::TempDir() + "/lenient_gps.csv";
+  {
+    std::ofstream out(path);
+    out << "traj_id,label,lon,lat,t\n";
+    out << "1,0,120.0,30.0,0\n";
+    out << "1,0,500.0,30.0,1\n";  // dropped: bad longitude
+    out << "1,0,120.1,30.1,2\n";
+    out << "2,1,nan,nan,0\n";  // dropped: trajectory 2 never materializes
+    out << "3,1,121.0,31.0,0\n";
+  }
+  CsvLoadOptions opts;
+  opts.lenient_gps = true;
+  auto ds = LoadDatasetCsv(path, opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->dropped_points, 2);
+  ASSERT_EQ(ds->trajectories.size(), 2u);
+  EXPECT_EQ(ds->trajectories[0].points.size(), 2u);
+  EXPECT_EQ(ds->trajectories[1].points.size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, InvalidPoiCenterAlwaysRejected) {
+  const std::string path = ::testing::TempDir() + "/bad_poi.csv";
+  {
+    std::ofstream out(path);
+    out << "traj_id,label,lon,lat,t\n";
+    out << "-1,0,999.0,30.0,0\n";
+  }
+  CsvLoadOptions opts;
+  opts.lenient_gps = true;  // Leniency must not extend to POI rows.
+  EXPECT_FALSE(LoadDatasetCsv(path, opts).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(GeoJsonTest, NonFiniteCoordinatesRejected) {
+  Dataset ds;
+  geo::Trajectory t;
+  t.id = 1;
+  t.points.push_back(
+      geo::GeoPoint{std::numeric_limits<double>::quiet_NaN(), 30.0, 0.0});
+  ds.trajectories.push_back(t);
+  const std::string path = ::testing::TempDir() + "/bad.geojson";
+  Status st = SaveGeoJson(path, ds, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 //   e2dtc_cli eval     --data city.csv --labels labels.csv
 //   e2dtc_cli export   --data city.csv --labels labels.csv --out t.geojson
 //   e2dtc_cli info     --model model.bin
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -52,10 +54,27 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stoi(it->second);
   }
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+  }
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Flipped by SIGINT/SIGTERM; the pipeline polls it between batches,
+/// finishes the in-flight work, writes a final checkpoint, and returns
+/// Status::Cancelled. A second signal falls through to the default handler
+/// (immediate kill).
+std::atomic<bool> g_cancel{false};
+
+void HandleShutdownSignal(int sig) {
+  g_cancel.store(true, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -119,11 +138,18 @@ int CmdFit(const Flags& flags) {
     std::fprintf(stderr, "fit requires --data\n");
     return 1;
   }
-  auto ds = data::LoadDatasetCsv(data_path);
+  data::CsvLoadOptions load_opts;
+  load_opts.lenient_gps = flags.GetBool("lenient-gps", false);
+  auto ds = data::LoadDatasetCsv(data_path, load_opts);
   if (!ds.ok()) return Fail(ds.status());
 
   core::E2dtcConfig cfg;
   cfg.self_train.k = flags.GetInt("k", 0);
+  cfg.checkpoint.dir = flags.Get("checkpoint-dir", "");
+  cfg.checkpoint.every = flags.GetInt("checkpoint-every", 1);
+  cfg.checkpoint.keep = flags.GetInt("checkpoint-keep", 3);
+  cfg.checkpoint.resume = flags.GetBool("resume", false);
+  cfg.cancel = &g_cancel;
   cfg.model.hidden_size = flags.GetInt("hidden", 48);
   cfg.model.embedding_dim = cfg.model.hidden_size;
   cfg.model.cell_meters = flags.GetDouble("cell", 300.0);
@@ -162,7 +188,35 @@ int CmdFit(const Flags& flags) {
   if (!metrics_out.empty()) obs::EnableMetrics(true);
   if (!trace_out.empty()) obs::StartTracing();
 
+  const auto write_metrics = [&metrics_out]() -> bool {
+    if (metrics_out.empty()) return true;
+    const obs::Json snapshot = obs::Registry::Global().Snapshot().ToJson();
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed writing metrics to %s\n",
+                   metrics_out.c_str());
+      return false;
+    }
+    const std::string json = snapshot.Dump();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+    return true;
+  };
+  const auto drain_captured_logs = [&]() {
+    SetLogSink(nullptr);
+    std::vector<obs::Json> events;
+    std::lock_guard<std::mutex> lock(captured_mu);
+    for (auto& event : captured_logs) events.push_back(std::move(event));
+    captured_logs.clear();
+    return events;
+  };
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
   auto pipeline = core::E2dtcPipeline::Fit(*ds, cfg);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 
   if (!trace_out.empty()) {
     obs::StopTracing();
@@ -174,10 +228,42 @@ int CmdFit(const Flags& flags) {
     std::printf("wrote %zu trace events to %s\n", obs::TraceEventCount(),
                 trace_out.c_str());
   }
-  if (!pipeline.ok()) return Fail(pipeline.status());
+  if (!pipeline.ok()) {
+    if (pipeline.status().code() == StatusCode::kCancelled) {
+      // Graceful shutdown: the trainer already wrote a final checkpoint to
+      // --checkpoint-dir (when set); flush the remaining observability
+      // sinks so the partial run stays inspectable, then exit with the
+      // conventional interrupted exit code.
+      std::fprintf(stderr, "interrupted: %s\n",
+                   pipeline.status().message().c_str());
+      if (!report_out.empty()) {
+        std::vector<obs::Json> events = drain_captured_logs();
+        obs::Json cancelled = obs::Json::Object();
+        cancelled.Set("type", "cancelled");
+        cancelled.Set("message", pipeline.status().message());
+        events.push_back(std::move(cancelled));
+        Status report_st = core::WriteRunReport(report_out, cfg,
+                                                core::FitResult{}, events);
+        if (report_st.ok()) {
+          std::printf("wrote run report to %s\n", report_out.c_str());
+        } else {
+          std::fprintf(stderr, "error: %s\n",
+                       report_st.ToString().c_str());
+        }
+      }
+      write_metrics();
+      return 130;
+    }
+    return Fail(pipeline.status());
+  }
   const core::FitResult& fit = (*pipeline)->fit_result();
   std::printf("fit %d trajectories into %d clusters in %.1fs\n", ds->size(),
               fit.k, fit.total_seconds);
+  if (fit.resumed) std::printf("resumed from checkpoint\n");
+  if (fit.health_skipped_batches > 0 || fit.health_rollbacks > 0) {
+    std::printf("health guardrails: skipped %d batch(es), %d rollback(s)\n",
+                fit.health_skipped_batches, fit.health_rollbacks);
+  }
   std::printf(
       "phase timings: embed %.2fs, pretrain %.2fs, cluster %.2fs "
       "(total %.2fs)\n",
@@ -199,32 +285,15 @@ int CmdFit(const Flags& flags) {
     }
   }
   if (!report_out.empty()) {
-    SetLogSink(nullptr);
-    {
-      std::lock_guard<std::mutex> lock(captured_mu);
-      for (auto& event : captured_logs) {
-        extra_events.push_back(std::move(event));
-      }
+    for (auto& event : drain_captured_logs()) {
+      extra_events.push_back(std::move(event));
     }
     Status report_st =
         core::WriteRunReport(report_out, cfg, fit, extra_events);
     if (!report_st.ok()) return Fail(report_st);
     std::printf("wrote run report to %s\n", report_out.c_str());
   }
-  if (!metrics_out.empty()) {
-    const obs::Json snapshot =
-        obs::Registry::Global().Snapshot().ToJson();
-    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "failed writing metrics to %s\n",
-                   metrics_out.c_str());
-      return 1;
-    }
-    const std::string json = snapshot.Dump();
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
-  }
+  if (!write_metrics()) return 1;
   Status st = (*pipeline)->Save(model_path);
   if (!st.ok()) return Fail(st);
   std::printf("saved model to %s\n", model_path.c_str());
@@ -356,7 +425,15 @@ int main(int argc, char** argv) {
                  "[--flag value ...]\n"
                  "  common flags: --log-level {debug,info,warning,error}\n"
                  "  fit flags: --trace-out FILE (chrome://tracing JSON), "
-                 "--metrics-out FILE, --run-report FILE (JSONL)\n");
+                 "--metrics-out FILE, --run-report FILE (JSONL),\n"
+                 "    --checkpoint-dir DIR, --checkpoint-every N, "
+                 "--checkpoint-keep N, --resume true,\n"
+                 "    --lenient-gps true (drop invalid GPS samples instead "
+                 "of failing)\n"
+                 "  fit handles SIGINT/SIGTERM gracefully: it finishes the "
+                 "current batch,\n"
+                 "  writes a final checkpoint, flushes the observability "
+                 "sinks, and exits 130\n");
     return 1;
   }
   const std::string cmd = argv[1];

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds the repo under a sanitizer and runs the tier-1 test suite against
+# it. Intended as the CI fault-tolerance gate: the checkpoint/fault-injection
+# tests in particular exercise error paths (torn writes, failed syscalls,
+# rollbacks) that only a sanitizer build inspects for leaks and UB.
+#
+#   tools/run_sanitized.sh [address|undefined|thread] [ctest-args...]
+#
+# The sanitized build lives in build-<sanitizer>/ next to the regular build
+# so the two never share object files.
+set -euo pipefail
+
+SAN="${1:-address}"
+shift || true
+case "${SAN}" in
+  address|undefined|thread) ;;
+  *)
+    echo "usage: $0 [address|undefined|thread] [ctest-args...]" >&2
+    exit 2
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SAN}"
+
+cmake -S "${ROOT}" -B "${BUILD}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DE2DTC_SANITIZE="${SAN}" > /dev/null
+cmake --build "${BUILD}" -j "$(nproc)"
+
+# Fail on any sanitizer report, even ones that would not crash the test.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cd "${BUILD}"
+ctest -L tier1 --output-on-failure -j "$(nproc)" "$@"
+echo "tier-1 suite clean under -fsanitize=${SAN}"
