@@ -1,7 +1,19 @@
 // Engineering micro-benchmarks (google-benchmark): the building blocks the
 // experiment harnesses lean on. Not a paper table — used to track kernel
 // regressions.
+//
+// Special mode: `bench_micro --gemm_json=PATH` skips google-benchmark and
+// writes a machine-readable GEMM comparison (seed-era loops vs the kernel
+// layer, at the 3-layer GRU training shapes) to PATH. See docs/performance.md.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "cluster/kmeans.h"
 #include "distance/dtw.h"
@@ -15,8 +27,10 @@
 #include "metrics/hungarian.h"
 #include "nn/linalg.h"
 #include "nn/gru.h"
+#include "nn/kernels.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -161,6 +175,220 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
 BENCHMARK(BM_Matmul)->Range(16, 128);
+
+// --- GEMM suite ----------------------------------------------------------
+// The shapes a 3-layer GRU (hidden 256, gates 3H=768) actually hits in
+// training: forward gate pre-activations at small and large batch, the
+// weight-gradient (TN) and input-gradient (NT) products of the backward
+// pass, and the small gate shape the determinism test trains at. Each shape
+// is measured against the pre-kernel seed loops (replicated below verbatim
+// so the comparison survives future Tensor changes).
+
+// Seed-era Tensor::Matmul: i-k-j order, float accumulation, and a sparsity
+// branch that stalls dense inputs. Kept as the honest baseline.
+void SeedMatmulNN(int n, int k, int m, const float* a, const float* b,
+                  float* c) {
+  std::fill(c, c + static_cast<size_t>(n) * m, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// Seed-era Tensor::AddTransposedMatmul (c += a^T b, a stored [k,n]).
+void SeedMatmulTN(int n, int k, int m, const float* a, const float* b,
+                  float* c) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<size_t>(kk) * n;
+    const float* brow = b + static_cast<size_t>(kk) * m;
+    for (int i = 0; i < n; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+// Seed-era Tensor::AddMatmulTransposed (c += a b^T, b stored [m,k]).
+void SeedMatmulNT(int n, int k, int m, const float* a, const float* b,
+                  float* c) {
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      double dot = 0.0;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] += static_cast<float>(dot);
+    }
+  }
+}
+
+enum class GemmOp { kNN, kTN, kNT };
+
+struct GemmCase {
+  const char* name;
+  GemmOp op;
+  int n, k, m;
+};
+
+// a/b operand element counts for each op's storage convention.
+size_t GemmASize(const GemmCase& c) {
+  return static_cast<size_t>(c.op == GemmOp::kTN ? c.k : c.n) *
+         (c.op == GemmOp::kTN ? c.n : c.k);
+}
+size_t GemmBSize(const GemmCase& c) {
+  return static_cast<size_t>(c.op == GemmOp::kNT ? c.m : c.k) *
+         (c.op == GemmOp::kNT ? c.k : c.m);
+}
+
+constexpr GemmCase kGemmCases[] = {
+    {"gru_gate_fwd_b32", GemmOp::kNN, 32, 256, 768},
+    {"gru_gate_fwd_b256", GemmOp::kNN, 256, 256, 768},
+    {"gru_gate_dweight", GemmOp::kTN, 256, 256, 768},
+    {"gru_gate_dinput", GemmOp::kNT, 256, 768, 256},
+    {"gru_gate_fwd_small", GemmOp::kNN, 32, 64, 192},
+};
+
+void RunGemm(const GemmCase& c, bool seed, const float* a, const float* b,
+             float* out) {
+  switch (c.op) {
+    case GemmOp::kNN:
+      seed ? SeedMatmulNN(c.n, c.k, c.m, a, b, out)
+           : nn::kernels::MatmulNN(c.n, c.k, c.m, a, b, out, false);
+      break;
+    case GemmOp::kTN:
+      seed ? SeedMatmulTN(c.n, c.k, c.m, a, b, out)
+           : nn::kernels::MatmulTN(c.n, c.k, c.m, a, b, out);
+      break;
+    case GemmOp::kNT:
+      seed ? SeedMatmulNT(c.n, c.k, c.m, a, b, out)
+           : nn::kernels::MatmulNT(c.n, c.k, c.m, a, b, out);
+      break;
+  }
+}
+
+void BM_Gemm(benchmark::State& state, const GemmCase& c, bool seed) {
+  Rng rng(11);
+  std::vector<float> a(GemmASize(c)), b(GemmBSize(c)),
+      out(static_cast<size_t>(c.n) * c.m, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    RunGemm(c, seed, a.data(), b.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{c.n} * c.k * c.m);
+}
+
+void RegisterGemmBenchmarks() {
+  for (const GemmCase& c : kGemmCases) {
+    for (bool seed : {true, false}) {
+      std::string name = std::string("BM_Gemm/") + c.name +
+                         (seed ? "/seed" : "/kernel");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&c, seed](benchmark::State& st) { BM_Gemm(st, c, seed); });
+    }
+  }
+}
+
+// Best-of-reps wall time per call, with iteration count auto-scaled so each
+// rep runs long enough to time reliably on a busy box.
+double MinSecondsPerCall(const GemmCase& c, bool seed) {
+  Rng rng(12);
+  std::vector<float> a(GemmASize(c)), b(GemmBSize(c)),
+      out(static_cast<size_t>(c.n) * c.m, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  using Clock = std::chrono::steady_clock;
+  auto time_iters = [&](int iters) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      RunGemm(c, seed, a.data(), b.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count() / iters;
+  };
+  const double est = time_iters(1);  // also warms caches and the pool
+  const int iters =
+      static_cast<int>(std::clamp(0.025 / std::max(est, 1e-9), 1.0, 512.0));
+  double best = est;
+  for (int rep = 0; rep < 5; ++rep) best = std::min(best, time_iters(iters));
+  return best;
+}
+
+int RunGemmReport(const std::string& path) {
+  obs::Json cases = obs::Json::Array();
+  for (const GemmCase& c : kGemmCases) {
+    const double macs = static_cast<double>(c.n) * c.k * c.m;
+    const double seed_s = MinSecondsPerCall(c, /*seed=*/true);
+    nn::kernels::SetNumThreads(1);
+    const double k1_s = MinSecondsPerCall(c, /*seed=*/false);
+    nn::kernels::SetNumThreads(4);
+    const double k4_s = MinSecondsPerCall(c, /*seed=*/false);
+    nn::kernels::SetNumThreads(0);
+
+    obs::Json entry = obs::Json::Object();
+    entry.Set("name", c.name);
+    entry.Set("op", c.op == GemmOp::kNN   ? "NN"
+                    : c.op == GemmOp::kTN ? "TN"
+                                          : "NT");
+    entry.Set("n", c.n);
+    entry.Set("k", c.k);
+    entry.Set("m", c.m);
+    entry.Set("macs", macs);
+    entry.Set("seed_ms", seed_s * 1e3);
+    entry.Set("kernel_1t_ms", k1_s * 1e3);
+    entry.Set("kernel_4t_ms", k4_s * 1e3);
+    entry.Set("seed_gflops", 2.0 * macs / seed_s * 1e-9);
+    entry.Set("kernel_1t_gflops", 2.0 * macs / k1_s * 1e-9);
+    entry.Set("kernel_4t_gflops", 2.0 * macs / k4_s * 1e-9);
+    entry.Set("speedup_1t", seed_s / k1_s);
+    entry.Set("speedup_4t", seed_s / k4_s);
+    cases.Append(std::move(entry));
+  }
+
+  obs::Json host = obs::Json::Object();
+  host.Set("hardware_concurrency",
+           static_cast<int>(std::thread::hardware_concurrency()));
+#if defined(E2DTC_BENCH_KERNEL_NATIVE) && E2DTC_BENCH_KERNEL_NATIVE
+  host.Set("kernel_native_build", true);
+#else
+  host.Set("kernel_native_build", false);
+#endif
+  host.Set("kernel_threads_tested", [] {
+    obs::Json a = obs::Json::Array();
+    a.Append(1);
+    a.Append(4);
+    return a;
+  }());
+
+  obs::Json root = obs::Json::Object();
+  root.Set("schema", "e2dtc.bench.gemm.v1");
+  root.Set("note",
+           "seed_* replays the pre-kernel Tensor loops compiled in this "
+           "TU; kernel_* is nn::kernels via the same entry points the "
+           "training path uses. Times are best-of-5 min wall time. With "
+           "hardware_concurrency < 4 the 4t column measures oversubscribed "
+           "dispatch, not parallel scaling.");
+  root.Set("timing_policy", "best-of-5 min, iterations scaled to >=25ms");
+  root.Set("host", std::move(host));
+  root.Set("cases", std::move(cases));
+
+  std::ofstream out(path);
+  if (!out) return 1;
+  out << root.Dump() << "\n";
+  return out.good() ? 0 : 1;
+}
 
 void BM_GruStepForwardBackward(benchmark::State& state) {
   Rng rng(6);
@@ -336,4 +564,26 @@ BENCHMARK(BM_TraceSpanEnabled);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string gemm_json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr std::string_view kFlag = "--gemm_json=";
+    std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      gemm_json = std::string(arg.substr(kFlag.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!gemm_json.empty()) return RunGemmReport(gemm_json);
+  RegisterGemmBenchmarks();
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

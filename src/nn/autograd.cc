@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/kernels.h"
 #include "util/rng.h"
 
 namespace e2dtc::nn {
@@ -177,6 +178,90 @@ Var Matmul(const Var& a, const Var& b) {
   return Var(MakeOpNode(std::move(out), {a.node(), b.node()}, backward));
 }
 
+Var Affine(const Var& x, const Var& w, const Var& b) {
+  E2DTC_CHECK_EQ(x.cols(), w.rows());
+  E2DTC_CHECK(b.rows() == 1 && b.cols() == w.cols());
+  Tensor out;
+  out.Matmul(x.value(), w.value());
+  kernels::AddBiasRow(out.data(), b.value().data(), out.rows(), out.cols());
+  auto backward = [](Node* n) {
+    Node* x_in = n->inputs[0].get();
+    Node* w_in = n->inputs[1].get();
+    Node* b_in = n->inputs[2].get();
+    if (x_in->requires_grad) {
+      x_in->EnsureGrad();
+      x_in->grad.AddMatmulTransposed(n->grad, w_in->value);
+    }
+    if (w_in->requires_grad) {
+      w_in->EnsureGrad();
+      w_in->grad.AddTransposedMatmul(x_in->value, n->grad);
+    }
+    if (b_in->requires_grad) {
+      b_in->EnsureGrad();
+      kernels::ColumnSumAdd(n->grad.data(), n->grad.rows(), n->grad.cols(),
+                            b_in->grad.data());
+    }
+  };
+  return Var(
+      MakeOpNode(std::move(out), {x.node(), w.node(), b.node()}, backward));
+}
+
+Var DualAffine(const Var& x, const Var& wx, const Var& bx, const Var& h,
+               const Var& wh, const Var& bh) {
+  E2DTC_CHECK_EQ(x.cols(), wx.rows());
+  E2DTC_CHECK_EQ(h.cols(), wh.rows());
+  E2DTC_CHECK_EQ(x.rows(), h.rows());
+  E2DTC_CHECK_EQ(wx.cols(), wh.cols());
+  E2DTC_CHECK(bx.rows() == 1 && bx.cols() == wx.cols());
+  E2DTC_CHECK(bh.rows() == 1 && bh.cols() == wh.cols());
+  Tensor out;
+  out.Matmul(x.value(), wx.value());
+  // h*wh accumulates straight into x*wx's output — the [n,m] gate
+  // pre-activation never exists twice.
+  kernels::MatmulNN(out.rows(), h.cols(), out.cols(), h.value().data(),
+                    wh.value().data(), out.data(), /*accumulate=*/true);
+  kernels::AddBiasRow(out.data(), bx.value().data(), out.rows(), out.cols());
+  kernels::AddBiasRow(out.data(), bh.value().data(), out.rows(), out.cols());
+  auto backward = [](Node* n) {
+    Node* x_in = n->inputs[0].get();
+    Node* wx_in = n->inputs[1].get();
+    Node* bx_in = n->inputs[2].get();
+    Node* h_in = n->inputs[3].get();
+    Node* wh_in = n->inputs[4].get();
+    Node* bh_in = n->inputs[5].get();
+    if (x_in->requires_grad) {
+      x_in->EnsureGrad();
+      x_in->grad.AddMatmulTransposed(n->grad, wx_in->value);
+    }
+    if (wx_in->requires_grad) {
+      wx_in->EnsureGrad();
+      wx_in->grad.AddTransposedMatmul(x_in->value, n->grad);
+    }
+    if (bx_in->requires_grad) {
+      bx_in->EnsureGrad();
+      kernels::ColumnSumAdd(n->grad.data(), n->grad.rows(), n->grad.cols(),
+                            bx_in->grad.data());
+    }
+    if (h_in->requires_grad) {
+      h_in->EnsureGrad();
+      h_in->grad.AddMatmulTransposed(n->grad, wh_in->value);
+    }
+    if (wh_in->requires_grad) {
+      wh_in->EnsureGrad();
+      wh_in->grad.AddTransposedMatmul(h_in->value, n->grad);
+    }
+    if (bh_in->requires_grad) {
+      bh_in->EnsureGrad();
+      kernels::ColumnSumAdd(n->grad.data(), n->grad.rows(), n->grad.cols(),
+                            bh_in->grad.data());
+    }
+  };
+  return Var(MakeOpNode(
+      std::move(out),
+      {x.node(), wx.node(), bx.node(), h.node(), wh.node(), bh.node()},
+      backward));
+}
+
 Var Transpose(const Var& a) {
   Tensor out = a.value().Transposed();
   auto backward = [](Node* n) {
@@ -329,15 +414,31 @@ Var Log(const Var& a, float eps) {
 }
 
 Var Sigmoid(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
+  // Gate activation: hot enough in the RNN cells to bypass the
+  // std::function-per-element UnaryOp helper for the kernel loops.
+  Tensor out(a.rows(), a.cols());
+  kernels::SigmoidForward(a.value().data(), out.data(), out.size());
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    kernels::SigmoidBackwardAdd(n->value.data(), n->grad.data(),
+                                in->grad.data(), n->value.size());
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
 }
 
 Var Tanh(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  Tensor out(a.rows(), a.cols());
+  kernels::TanhForward(a.value().data(), out.data(), out.size());
+  auto backward = [](Node* n) {
+    Node* in = n->inputs[0].get();
+    if (!in->requires_grad) return;
+    in->EnsureGrad();
+    kernels::TanhBackwardAdd(n->value.data(), n->grad.data(),
+                             in->grad.data(), n->value.size());
+  };
+  return Var(MakeOpNode(std::move(out), {a.node()}, backward));
 }
 
 Var Relu(const Var& a) {

@@ -82,6 +82,18 @@ void Backward(const Var& root);
 /// Matrix product [n,k] x [k,m] -> [n,m].
 Var Matmul(const Var& a, const Var& b);
 
+/// Fused affine map x [n,k] * w [k,m] + b [1,m] (bias broadcast across
+/// rows) as ONE graph node. Forward and backward run entirely on the
+/// kernel layer (nn/kernels.h); compared with Matmul+Add this skips a
+/// full [n,m] temporary and an extra backward pass over it.
+Var Affine(const Var& x, const Var& w, const Var& b);
+
+/// Fused RNN-gate pre-activation x*wx + bx + h*wh + bh as ONE graph node
+/// ([n,m] output; both biases [1,m]). The second product accumulates
+/// directly into the first's output — no intermediate gate tensors.
+Var DualAffine(const Var& x, const Var& wx, const Var& bx, const Var& h,
+               const Var& wh, const Var& bh);
+
 /// Transpose [n,m] -> [m,n].
 Var Transpose(const Var& a);
 

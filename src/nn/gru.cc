@@ -21,8 +21,10 @@ GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
 
 Var GruCell::Forward(const Var& x, const Var& h) const {
   const int hsz = hidden_size_;
-  Var xg = Add(Matmul(x, wx_), bx_);  // [B, 3H]
-  Var hg = Add(Matmul(h, wh_), bh_);  // [B, 3H]
+  // xg and hg stay separate ops (not one DualAffine): the reset gate
+  // multiplies hg's n-slice BEFORE it joins xg's.
+  Var xg = Affine(x, wx_, bx_);  // [B, 3H]
+  Var hg = Affine(h, wh_, bh_);  // [B, 3H]
   Var r = Sigmoid(Add(SliceCols(xg, 0, hsz), SliceCols(hg, 0, hsz)));
   Var z = Sigmoid(Add(SliceCols(xg, hsz, hsz), SliceCols(hg, hsz, hsz)));
   Var n = Tanh(

@@ -1,0 +1,381 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::nn::kernels {
+
+namespace {
+
+/// The one multiply-accumulate every kernel and reference loop uses.
+/// Contraction must be pinned in source: left to -ffp-contract=fast the
+/// compiler fuses s += x*y into an FMA in some loops and not others
+/// (vectorized tile vs scalar reference), and the 1-2 ulp rounding
+/// difference breaks the bit-for-bit kernel==reference contract. With
+/// hardware FMA (this TU builds with -march=native by default) std::fma
+/// is a single instruction scalar or vectorized; without it, explicit
+/// mul-then-add is the only rounding the ISA can do anyway.
+inline float MulAdd(float x, float y, float s) {
+#ifdef __FMA__
+  return std::fma(x, y, s);
+#else
+  return s + x * y;
+#endif
+}
+
+obs::Counter& GemmMacsCounter() {
+  static obs::Counter c = obs::Registry::Global().counter("nn.gemm.macs");
+  return c;
+}
+
+obs::Counter& GemmParallelCounter() {
+  static obs::Counter c =
+      obs::Registry::Global().counter("nn.gemm.parallel_dispatches");
+  return c;
+}
+
+// ---- Threading ----------------------------------------------------------
+//
+// One process-wide pool, created lazily on the first matmul big enough to
+// split. SetNumThreads must not race with in-flight kernel calls (callers
+// configure threading at startup / test setup, not mid-training).
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // 0 = hardware concurrency
+int g_pool_threads = -1;      // what g_pool was built with
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+/// Pool to split `macs` multiply-accumulates over, or nullptr for the
+/// serial path. Never splits from inside a pool worker: the encode pool
+/// runs whole forward passes per task, and nesting parallel regions would
+/// only oversubscribe (results are identical either way — see contract).
+ThreadPool* PoolFor(int64_t macs, int64_t panels) {
+  if (macs < kParallelMinMacs || panels < 2) return nullptr;
+  if (ThreadPool::OnWorkerThread()) return nullptr;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int want = ResolveThreads(g_requested_threads);
+  if (want <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool_threads != want) {
+    g_pool.reset();
+    g_pool = std::make_unique<ThreadPool>(want);
+    g_pool_threads = want;
+  }
+  return g_pool.get();
+}
+
+// ---- GEMM core ----------------------------------------------------------
+//
+// One NN kernel does all the work; the TN/NT variants transpose their
+// strided operand into thread-local scratch first (an exact copy, so the
+// accumulation contract is unchanged). The tiled panel below computes each
+// output element as float partial sums over kBlockK-long k-runs in
+// ascending order, widened to double across runs — bitwise identical to
+// ReferenceMatmulNN for every shape, tile configuration, and thread count.
+
+/// One MR-row panel of C: c[i0..i0+MR) (+)= a[i0..i0+MR) * b.
+template <int MR>
+void PanelNN(int i0, int k, int m, const float* __restrict a,
+             const float* __restrict b, float* __restrict c,
+             bool accumulate) {
+  constexpr int NR = kColPanel;
+  const float* arow[MR];
+  for (int r = 0; r < MR; ++r) arow[r] = a + static_cast<size_t>(i0 + r) * k;
+
+  int j0 = 0;
+  for (; j0 + NR <= m; j0 += NR) {
+    // Register tile: MR x NR float accumulators per k-block, MR x NR double
+    // accumulators across blocks. With MR=8, NR=32 the float tile is 16
+    // AVX-512 registers; GCC keeps it enregistered at -O3.
+    double dtile[MR][NR];
+    for (int r = 0; r < MR; ++r) {
+      for (int t = 0; t < NR; ++t) dtile[r][t] = 0.0;
+    }
+    for (int kb = 0; kb < k; kb += kBlockK) {
+      const int ke = std::min(k, kb + kBlockK);
+      float acc[MR][NR];
+      for (int r = 0; r < MR; ++r) {
+        for (int t = 0; t < NR; ++t) acc[r][t] = 0.0f;
+      }
+      for (int kk = kb; kk < ke; ++kk) {
+        const float* __restrict brow = b + static_cast<size_t>(kk) * m + j0;
+        for (int r = 0; r < MR; ++r) {
+          const float ar = arow[r][kk];
+          for (int t = 0; t < NR; ++t) acc[r][t] = MulAdd(ar, brow[t], acc[r][t]);
+        }
+      }
+      for (int r = 0; r < MR; ++r) {
+        for (int t = 0; t < NR; ++t) dtile[r][t] += static_cast<double>(acc[r][t]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      float* __restrict crow = c + static_cast<size_t>(i0 + r) * m + j0;
+      if (accumulate) {
+        for (int t = 0; t < NR; ++t) crow[t] += static_cast<float>(dtile[r][t]);
+      } else {
+        for (int t = 0; t < NR; ++t) crow[t] = static_cast<float>(dtile[r][t]);
+      }
+    }
+  }
+  // Column remainder (m % NR): scalar, same block structure and k order.
+  for (; j0 < m; ++j0) {
+    for (int r = 0; r < MR; ++r) {
+      double d = 0.0;
+      for (int kb = 0; kb < k; kb += kBlockK) {
+        const int ke = std::min(k, kb + kBlockK);
+        float s = 0.0f;
+        for (int kk = kb; kk < ke; ++kk) {
+          s = MulAdd(arow[r][kk], b[static_cast<size_t>(kk) * m + j0], s);
+        }
+        d += static_cast<double>(s);
+      }
+      float* cell = c + static_cast<size_t>(i0 + r) * m + j0;
+      *cell = accumulate ? *cell + static_cast<float>(d)
+                         : static_cast<float>(d);
+    }
+  }
+}
+
+/// Rows [i0, i0+rows): full kRowPanel tiles, then narrowing remainder tiles.
+void RowRangeNN(int i0, int rows, int k, int m, const float* a, const float* b,
+                float* c, bool accumulate) {
+  int i = i0;
+  for (; i + kRowPanel <= i0 + rows; i += kRowPanel) {
+    PanelNN<kRowPanel>(i, k, m, a, b, c, accumulate);
+  }
+  const int rem = i0 + rows - i;
+  if (rem >= 4) {
+    PanelNN<4>(i, k, m, a, b, c, accumulate);
+    i += 4;
+  }
+  if (i0 + rows - i >= 2) {
+    PanelNN<2>(i, k, m, a, b, c, accumulate);
+    i += 2;
+  }
+  if (i0 + rows - i == 1) PanelNN<1>(i, k, m, a, b, c, accumulate);
+}
+
+void GemmNN(int n, int k, int m, const float* a, const float* b, float* c,
+            bool accumulate) {
+  if (n <= 0 || m <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      std::memset(c, 0, sizeof(float) * static_cast<size_t>(n) * m);
+    }
+    return;
+  }
+  const int64_t macs = int64_t{n} * k * m;
+  GemmMacsCounter().Increment(static_cast<uint64_t>(macs));
+  const int64_t panels = (n + kRowPanel - 1) / kRowPanel;
+  ThreadPool* pool = PoolFor(macs, panels);
+  if (pool == nullptr) {
+    RowRangeNN(0, n, k, m, a, b, c, accumulate);
+    return;
+  }
+  GemmParallelCounter().Increment();
+  // Panel p always owns rows [p*kRowPanel, ...): the partition is a pure
+  // function of n, so per-element accumulation order never depends on the
+  // worker count or chunk assignment.
+  pool->ParallelFor(panels, [&](int64_t p) {
+    const int begin = static_cast<int>(p) * kRowPanel;
+    const int rows = std::min(kRowPanel, n - begin);
+    RowRangeNN(begin, rows, k, m, a, b, c, accumulate);
+  });
+}
+
+/// Thread-local transpose scratch, reused across calls (backward passes
+/// transpose a weight or activation every matmul node).
+std::vector<float>& TransposeScratch() {
+  thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = n < 0 ? 0 : n;
+  // Rebuild lazily: drop the pool now so the next matmul sizes it right.
+  g_pool.reset();
+  g_pool_threads = -1;
+}
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return ResolveThreads(g_requested_threads);
+}
+
+void MatmulNN(int n, int k, int m, const float* a, const float* b, float* c,
+              bool accumulate) {
+  GemmNN(n, k, m, a, b, c, accumulate);
+}
+
+void MatmulTN(int n, int k, int m, const float* a, const float* b, float* c) {
+  // a is [k,n]; copy a^T into scratch so the k-loop is contiguous.
+  std::vector<float>& at = TransposeScratch();
+  at.resize(static_cast<size_t>(n) * k);
+  Transpose(a, k, n, at.data());
+  GemmNN(n, k, m, at.data(), b, c, /*accumulate=*/true);
+}
+
+void MatmulNT(int n, int k, int m, const float* a, const float* b, float* c) {
+  // b is [m,k]; copy b^T into scratch so row-major NN streaming applies.
+  std::vector<float>& bt = TransposeScratch();
+  bt.resize(static_cast<size_t>(k) * m);
+  Transpose(b, m, k, bt.data());
+  GemmNN(n, k, m, a, bt.data(), c, /*accumulate=*/true);
+}
+
+void ReferenceMatmulNN(int n, int k, int m, const float* a, const float* b,
+                       float* c, bool accumulate) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double d = 0.0;
+      for (int kb = 0; kb < k; kb += kBlockK) {
+        const int ke = std::min(k, kb + kBlockK);
+        float s = 0.0f;
+        for (int kk = kb; kk < ke; ++kk) {
+          s = MulAdd(a[static_cast<size_t>(i) * k + kk],
+                     b[static_cast<size_t>(kk) * m + j], s);
+        }
+        d += static_cast<double>(s);
+      }
+      float* cell = c + static_cast<size_t>(i) * m + j;
+      *cell = accumulate ? *cell + static_cast<float>(d)
+                         : static_cast<float>(d);
+    }
+  }
+}
+
+void ReferenceMatmulTN(int n, int k, int m, const float* a, const float* b,
+                       float* c) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double d = 0.0;
+      for (int kb = 0; kb < k; kb += kBlockK) {
+        const int ke = std::min(k, kb + kBlockK);
+        float s = 0.0f;
+        for (int kk = kb; kk < ke; ++kk) {
+          s = MulAdd(a[static_cast<size_t>(kk) * n + i],
+                     b[static_cast<size_t>(kk) * m + j], s);
+        }
+        d += static_cast<double>(s);
+      }
+      c[static_cast<size_t>(i) * m + j] += static_cast<float>(d);
+    }
+  }
+}
+
+void ReferenceMatmulNT(int n, int k, int m, const float* a, const float* b,
+                       float* c) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double d = 0.0;
+      for (int kb = 0; kb < k; kb += kBlockK) {
+        const int ke = std::min(k, kb + kBlockK);
+        float s = 0.0f;
+        for (int kk = kb; kk < ke; ++kk) {
+          s = MulAdd(a[static_cast<size_t>(i) * k + kk],
+                     b[static_cast<size_t>(j) * k + kk], s);
+        }
+        d += static_cast<double>(s);
+      }
+      c[static_cast<size_t>(i) * m + j] += static_cast<float>(d);
+    }
+  }
+}
+
+void Transpose(const float* a, int rows, int cols, float* out) {
+  constexpr int T = 32;  // 4 KiB tile pair: both footprints stay in L1.
+  for (int i0 = 0; i0 < rows; i0 += T) {
+    const int ie = std::min(rows, i0 + T);
+    for (int j0 = 0; j0 < cols; j0 += T) {
+      const int je = std::min(cols, j0 + T);
+      for (int i = i0; i < ie; ++i) {
+        const float* __restrict src = a + static_cast<size_t>(i) * cols;
+        for (int j = j0; j < je; ++j) {
+          out[static_cast<size_t>(j) * rows + i] = src[j];
+        }
+      }
+    }
+  }
+}
+
+double Dot(const float* a, const float* b, int64_t n) {
+  double d = 0.0;
+  for (int64_t kb = 0; kb < n; kb += kBlockK) {
+    const int64_t ke = std::min<int64_t>(n, kb + kBlockK);
+    float s = 0.0f;
+    for (int64_t i = kb; i < ke; ++i) s = MulAdd(a[i], b[i], s);
+    d += static_cast<double>(s);
+  }
+  return d;
+}
+
+double SquaredDistance(const float* a, const float* b, int64_t n) {
+  double d = 0.0;
+  for (int64_t kb = 0; kb < n; kb += kBlockK) {
+    const int64_t ke = std::min<int64_t>(n, kb + kBlockK);
+    float s = 0.0f;
+    for (int64_t i = kb; i < ke; ++i) {
+      const float diff = a[i] - b[i];
+      s = MulAdd(diff, diff, s);
+    }
+    d += static_cast<double>(s);
+  }
+  return d;
+}
+
+void Axpy(float alpha, const float* __restrict x, float* __restrict y,
+          int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddBiasRow(float* c, const float* __restrict bias, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* __restrict crow = c + static_cast<size_t>(r) * cols;
+    for (int j = 0; j < cols; ++j) crow[j] += bias[j];
+  }
+}
+
+void ColumnSumAdd(const float* g, int rows, int cols, float* __restrict dst) {
+  for (int r = 0; r < rows; ++r) {
+    const float* __restrict grow = g + static_cast<size_t>(r) * cols;
+    for (int j = 0; j < cols; ++j) dst[j] += grow[j];
+  }
+}
+
+void SigmoidForward(const float* __restrict x, float* __restrict y,
+                    int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void SigmoidBackwardAdd(const float* __restrict y, const float* __restrict g,
+                        float* __restrict dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] += y[i] * (1.0f - y[i]) * g[i];
+}
+
+void TanhForward(const float* __restrict x, float* __restrict y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void TanhBackwardAdd(const float* __restrict y, const float* __restrict g,
+                     float* __restrict dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dx[i] += (1.0f - y[i] * y[i]) * g[i];
+}
+
+}  // namespace e2dtc::nn::kernels

@@ -1,0 +1,109 @@
+#ifndef E2DTC_NN_KERNELS_H_
+#define E2DTC_NN_KERNELS_H_
+
+#include <cstdint>
+
+namespace e2dtc {
+class ThreadPool;
+}
+
+namespace e2dtc::nn::kernels {
+
+/// Compute-kernel layer: cache-blocked, register-tiled, branch-free GEMM
+/// variants plus the fused elementwise primitives the GRU/LSTM gates and the
+/// loss heads use. Every forward/backward step of the training pipeline
+/// funnels through these.
+///
+/// # Accumulation contract (precision + determinism)
+///
+/// Every matmul-family output element is computed as
+///
+///   C[i,j] (+)= (float) sum_over_k_blocks( double( block_partial ) )
+///
+/// where each block partial accumulates at most kBlockK products in float,
+/// in ascending-k order. This unifies the accumulation precision across the
+/// whole family (the seed code mixed float- and double-accumulated loops)
+/// and pins a *fixed accumulation order per element* that is independent of
+/// tiling and thread count: parallelism is over disjoint row panels, so no
+/// reduction ever crosses a thread boundary. Consequently results are
+/// bitwise identical for any SetNumThreads() value — the property the
+/// checkpoint/resume layer (PR 2) relies on. Multiply-accumulate
+/// contraction is pinned in source (hardware FMA when the kernel TU is
+/// built with it, explicit mul-then-add otherwise) rather than left to
+/// -ffp-contract, so vectorized and scalar loops round identically. The
+/// contract holds within one build; builds with different ISA flags (see
+/// E2DTC_KERNEL_NATIVE) may round differently from each other.
+///
+/// The Reference* functions implement the same contract as naive,
+/// never-threaded triple loops in this same translation unit; the tiled
+/// kernels must match them bit-for-bit at every shape and thread count
+/// (enforced by tests/tensor_test.cc).
+
+/// Products per float-accumulated k-block.
+inline constexpr int kBlockK = 64;
+/// Output rows per register tile (row-panel granularity of parallelism).
+inline constexpr int kRowPanel = 8;
+/// Output columns per register tile (two 16-float vectors on AVX-512).
+inline constexpr int kColPanel = 32;
+/// Multiply-accumulate count below which a matmul always runs on the
+/// calling thread: ~an L2-resident [64,64]x[64,64] product; parallel
+/// dispatch overhead beats the win below this.
+inline constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
+
+/// Worker threads the kernels may use. 1 disables threading; 0 resolves to
+/// std::thread::hardware_concurrency(). The pool is created lazily on the
+/// first large-enough matmul and rebuilt on count changes. Thread-count
+/// changes never change numeric results (see contract above).
+void SetNumThreads(int n);
+int NumThreads();
+
+/// c[n,m] = a[n,k] * b[k,m], or += when `accumulate`.
+void MatmulNN(int n, int k, int m, const float* a, const float* b, float* c,
+              bool accumulate);
+
+/// c[n,m] += a^T * b with a stored [k,n], b [k,m] (weight-gradient shape).
+void MatmulTN(int n, int k, int m, const float* a, const float* b, float* c);
+
+/// c[n,m] += a * b^T with a stored [n,k], b [m,k] (input-gradient shape).
+void MatmulNT(int n, int k, int m, const float* a, const float* b, float* c);
+
+/// Naive same-contract references (never threaded; test oracles).
+void ReferenceMatmulNN(int n, int k, int m, const float* a, const float* b,
+                       float* c, bool accumulate);
+void ReferenceMatmulTN(int n, int k, int m, const float* a, const float* b,
+                       float* c);
+void ReferenceMatmulNT(int n, int k, int m, const float* a, const float* b,
+                       float* c);
+
+/// out[cols,rows] = a^T with a stored [rows,cols]. Blocked copy, exact.
+void Transpose(const float* a, int rows, int cols, float* out);
+
+/// Dot product under the same k-block accumulation contract; returns the
+/// double cross-block sum (callers keep full precision as long as useful).
+double Dot(const float* a, const float* b, int64_t n);
+
+/// sum((a[i]-b[i])^2) under the same k-block accumulation contract.
+double SquaredDistance(const float* a, const float* b, int64_t n);
+
+/// y[i] += alpha * x[i].
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+/// c[r,:] += bias[0,:] for every row; c is [rows,cols] row-major.
+void AddBiasRow(float* c, const float* bias, int rows, int cols);
+
+/// dst[0,j] += sum_r g[r,j] (row-broadcast gradient reduction). Rows are
+/// accumulated in ascending order — deterministic.
+void ColumnSumAdd(const float* g, int rows, int cols, float* dst);
+
+/// Elementwise logistic sigmoid / tanh forward and their fused backward
+/// accumulations (dx[i] += dfn(y[i]) * g[i]). Branch-free loops over raw
+/// pointers; replaces the per-element std::function dispatch the autograd
+/// UnaryOp helper pays.
+void SigmoidForward(const float* x, float* y, int64_t n);
+void SigmoidBackwardAdd(const float* y, const float* g, float* dx, int64_t n);
+void TanhForward(const float* x, float* y, int64_t n);
+void TanhBackwardAdd(const float* y, const float* g, float* dx, int64_t n);
+
+}  // namespace e2dtc::nn::kernels
+
+#endif  // E2DTC_NN_KERNELS_H_

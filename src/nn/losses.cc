@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "nn/kernels.h"
+
 namespace e2dtc::nn {
 
 namespace {
@@ -52,8 +54,7 @@ Var KnnProximityLoss(const Var& h, const Var& proj_weight,
     for (int c = 0; c < k; ++c) {
       const int cell = cand.indices[static_cast<size_t>(i) * k + c];
       const float* wrow = wv.row(cell);
-      double dot = bv.at(cell, 0);
-      for (int d = 0; d < hidden; ++d) dot += wrow[d] * hrow[d];
+      const double dot = bv.at(cell, 0) + kernels::Dot(wrow, hrow, hidden);
       logits[static_cast<size_t>(c)] = static_cast<float>(dot);
       mx = std::max(mx, logits[static_cast<size_t>(c)]);
     }
@@ -93,12 +94,9 @@ Var KnnProximityLoss(const Var& h, const Var& proj_weight,
         if (dlogit == 0.0f) continue;
         const int cell = (*indices)[flat];
         const float* wrow = w_in->value.row(cell);
-        if (need_h) {
-          for (int d = 0; d < hidden; ++d) hgrad[d] += dlogit * wrow[d];
-        }
+        if (need_h) kernels::Axpy(dlogit, wrow, hgrad, hidden);
         if (need_w) {
-          float* wgrad = w_in->grad.row(cell);
-          for (int d = 0; d < hidden; ++d) wgrad[d] += dlogit * hrow[d];
+          kernels::Axpy(dlogit, hrow, w_in->grad.row(cell), hidden);
         }
         if (need_b) b_in->grad.at(cell, 0) += dlogit;
       }
@@ -175,12 +173,8 @@ Tensor StudentTAssignmentValue(const Tensor& v, const Tensor& centroids) {
     double denom = 0.0;
     float* qi = q.row(i);
     for (int j = 0; j < k; ++j) {
-      const float* cj = centroids.row(j);
-      double d2 = 0.0;
-      for (int d = 0; d < v.cols(); ++d) {
-        const double diff = vi[d] - cj[d];
-        d2 += diff * diff;
-      }
+      const double d2 = kernels::SquaredDistance(vi, centroids.row(j),
+                                                 v.cols());
       qi[j] = static_cast<float>(1.0 / (1.0 + d2));
       denom += qi[j];
     }

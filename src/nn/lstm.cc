@@ -20,8 +20,7 @@ LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
 
 LstmCell::State LstmCell::Forward(const Var& x, const State& state) const {
   const int hsz = hidden_size_;
-  Var gates = Add(Add(Matmul(x, wx_), bx_),
-                  Add(Matmul(state.h, wh_), bh_));  // [B, 4H]
+  Var gates = DualAffine(x, wx_, bx_, state.h, wh_, bh_);  // [B, 4H]
   Var i = Sigmoid(SliceCols(gates, 0, hsz));
   Var f = Sigmoid(SliceCols(gates, hsz, hsz));
   Var g = Tanh(SliceCols(gates, 2 * hsz, hsz));

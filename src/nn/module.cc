@@ -53,9 +53,8 @@ Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
 }
 
 Var Linear::Forward(const Var& x) const {
-  Var y = Matmul(x, weight_);
-  if (bias_.defined()) y = Add(y, bias_);
-  return y;
+  if (bias_.defined()) return Affine(x, weight_, bias_);
+  return Matmul(x, weight_);
 }
 
 Embedding::Embedding(int vocab_size, int dim, Rng* rng)

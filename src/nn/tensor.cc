@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/kernels.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -50,16 +51,12 @@ void Tensor::Fill(float v) {
 
 void Tensor::Add(const Tensor& other) {
   E2DTC_CHECK(SameShape(other));
-  const float* src = other.data();
-  float* dst = data();
-  for (int64_t i = 0; i < size(); ++i) dst[i] += src[i];
+  kernels::Axpy(1.0f, other.data(), data(), size());
 }
 
 void Tensor::AddScaled(const Tensor& other, float scale) {
   E2DTC_CHECK(SameShape(other));
-  const float* src = other.data();
-  float* dst = data();
-  for (int64_t i = 0; i < size(); ++i) dst[i] += scale * src[i];
+  kernels::Axpy(scale, other.data(), data(), size());
 }
 
 void Tensor::Scale(float scale) {
@@ -90,18 +87,12 @@ void Tensor::Matmul(const Tensor& a, const Tensor& b) {
   E2DTC_CHECK(this != &a && this != &b);
   rows_ = a.rows_;
   cols_ = b.cols_;
-  data_.assign(static_cast<size_t>(rows_) * cols_, 0.0f);
-  // i-k-j loop order: streams through b and the output row-major.
-  for (int i = 0; i < a.rows_; ++i) {
-    const float* arow = a.row(i);
-    float* crow = row(i);
-    for (int k = 0; k < a.cols_; ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(k);
-      for (int j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  data_.resize(static_cast<size_t>(rows_) * cols_);
+  // Dense inputs (activations / weights): the kernel layer runs the
+  // branch-free blocked loop; no zero-skipping (a sparsity branch in the
+  // k-loop defeats vectorization and costs more than it saves).
+  kernels::MatmulNN(rows_, a.cols_, cols_, a.data(), b.data(), data(),
+                    /*accumulate=*/false);
 }
 
 void Tensor::AddTransposedMatmul(const Tensor& a, const Tensor& b) {
@@ -109,16 +100,8 @@ void Tensor::AddTransposedMatmul(const Tensor& a, const Tensor& b) {
   E2DTC_CHECK_EQ(a.rows_, b.rows_);
   E2DTC_CHECK_EQ(rows_, a.cols_);
   E2DTC_CHECK_EQ(cols_, b.cols_);
-  for (int k = 0; k < a.rows_; ++k) {
-    const float* arow = a.row(k);
-    const float* brow = b.row(k);
-    for (int i = 0; i < rows_; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = row(i);
-      for (int j = 0; j < cols_; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  E2DTC_CHECK(this != &a && this != &b);
+  kernels::MatmulTN(rows_, a.rows_, cols_, a.data(), b.data(), data());
 }
 
 void Tensor::AddMatmulTransposed(const Tensor& a, const Tensor& b) {
@@ -126,24 +109,13 @@ void Tensor::AddMatmulTransposed(const Tensor& a, const Tensor& b) {
   E2DTC_CHECK_EQ(a.cols_, b.cols_);
   E2DTC_CHECK_EQ(rows_, a.rows_);
   E2DTC_CHECK_EQ(cols_, b.rows_);
-  for (int i = 0; i < rows_; ++i) {
-    const float* arow = a.row(i);
-    float* crow = row(i);
-    for (int j = 0; j < cols_; ++j) {
-      const float* brow = b.row(j);
-      double dot = 0.0;
-      for (int k = 0; k < a.cols_; ++k) dot += arow[k] * brow[k];
-      crow[j] += static_cast<float>(dot);
-    }
-  }
+  E2DTC_CHECK(this != &a && this != &b);
+  kernels::MatmulNT(rows_, a.cols_, cols_, a.data(), b.data(), data());
 }
 
 Tensor Tensor::Transposed() const {
   Tensor t(cols_, rows_);
-  for (int i = 0; i < rows_; ++i) {
-    const float* src = row(i);
-    for (int j = 0; j < cols_; ++j) t.at(j, i) = src[j];
-  }
+  kernels::Transpose(data(), rows_, cols_, t.data());
   return t;
 }
 

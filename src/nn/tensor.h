@@ -100,12 +100,19 @@ class Tensor {
 
   /// this = a * b (matrix product). Shapes: [n,k] x [k,m] -> [n,m].
   /// `this` is resized; must not alias a or b.
+  ///
+  /// The whole matmul family runs on the blocked parallel kernel layer
+  /// (nn/kernels.h) under one accumulation contract: float partial sums per
+  /// kBlockK-long k-run, widened to double across runs, fixed order per
+  /// element — results are bitwise independent of the kernel thread count.
   void Matmul(const Tensor& a, const Tensor& b);
 
   /// this += a^T * b. Shapes: a [k,n], b [k,m] -> this [n,m].
+  /// Must not alias a or b. Same kernel accumulation contract as Matmul.
   void AddTransposedMatmul(const Tensor& a, const Tensor& b);
 
   /// this += a * b^T. Shapes: a [n,k], b [m,k] -> this [n,m].
+  /// Must not alias a or b. Same kernel accumulation contract as Matmul.
   void AddMatmulTransposed(const Tensor& a, const Tensor& b);
 
   /// Transposed copy.

@@ -30,7 +30,12 @@ obs::Histogram& QueueWaitHistogram() {
   return h;
 }
 
+/// Set for the lifetime of every worker thread of every pool.
+thread_local bool t_on_worker_thread = false;
+
 }  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -69,14 +74,28 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+int64_t ThreadPool::ParallelForChunkSize(int64_t n, int num_workers) {
+  if (n <= 0) return 1;
+  const int64_t workers = std::max<int64_t>(1, num_workers);
+  // Oversplit so a worker finishing a cheap chunk can steal from the queue.
+  // One chunk per worker (the old policy) made the slowest chunk the
+  // critical path: for triangular per-index costs that left all but one
+  // worker idle for half the wall time.
+  const int64_t target_chunks = workers * kChunksPerWorker;
+  return std::max<int64_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   const int64_t workers = num_threads();
-  if (workers == 1 || n == 1) {
+  // Inline fallbacks: trivial loops, single-worker pools, and calls from a
+  // worker thread. The latter would deadlock in Wait(): the caller's own
+  // task is still counted in flight, so in_flight_ can never reach zero.
+  if (workers == 1 || n == 1 || OnWorkerThread()) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const int64_t chunk = std::max<int64_t>(1, (n + workers - 1) / workers);
+  const int64_t chunk = ParallelForChunkSize(n, static_cast<int>(workers));
   for (int64_t begin = 0; begin < n; begin += chunk) {
     const int64_t end = std::min(n, begin + chunk);
     Submit([begin, end, &fn] {
@@ -87,6 +106,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
   while (true) {
     QueuedTask task;
     {

@@ -12,10 +12,17 @@
 namespace e2dtc {
 
 /// Fixed-size worker pool used to parallelize embarrassingly parallel loops
-/// (pairwise distance matrices, batched encoding). On a single-core host the
-/// pool degenerates to one worker and adds negligible overhead.
+/// (pairwise distance matrices, batched encoding, GEMM row panels). On a
+/// single-core host the pool degenerates to one worker and adds negligible
+/// overhead.
 class ThreadPool {
  public:
+  /// How many chunks ParallelFor creates per worker. Oversplitting lets the
+  /// queue rebalance skewed workloads (e.g. triangular pairwise-distance
+  /// rows, where early indices cost far more than late ones): a worker that
+  /// drew a cheap chunk pulls another instead of idling.
+  static constexpr int64_t kChunksPerWorker = 4;
+
   /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
   /// (at least 1).
   explicit ThreadPool(int num_threads = 0);
@@ -34,8 +41,22 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is chunked contiguously so cache locality is preserved.
+  /// Work is chunked contiguously (cache locality) but oversplit
+  /// kChunksPerWorker-fold so skewed per-index costs still balance.
+  ///
+  /// Safe to call from inside a pool worker: it detects re-entrancy and runs
+  /// the loop inline on the calling thread (Wait() from a worker would
+  /// deadlock, since the waiting task itself counts as in flight).
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// ParallelFor's re-entrancy guard and by the nn kernel layer to avoid
+  /// nesting parallel regions.
+  static bool OnWorkerThread();
+
+  /// Chunk size ParallelFor uses for `n` items on `num_workers` workers.
+  /// Pure; exposed so the oversplit policy is unit-testable.
+  static int64_t ParallelForChunkSize(int64_t n, int num_workers);
 
  private:
   /// Queued task plus its enqueue time (0 when metrics are disabled at

@@ -17,7 +17,9 @@
 #include "core/pretrain.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
+#include "nn/kernels.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
 
@@ -531,6 +533,73 @@ TEST(HealthRecoveryTest, PoisonedParametersTriggerRollbackAndRecovery) {
   // the phase totals above carry the recovery record.)
   ASSERT_EQ(result->history.size(), 4u);
   EXPECT_TRUE(std::isfinite(result->history.back().avg_token_loss));
+}
+
+/// The GEMM kernel layer guarantees bitwise-identical results at any thread
+/// count (fixed row-panel partition, fixed per-element accumulation order)
+/// — the property every crash/resume equivalence above leans on. Train one
+/// real epoch at 1 and at 4 kernel threads and require identical model
+/// bits. The model is sized so the gate GEMMs ([32,64]x[64,192]) cross
+/// kParallelMinMacs and the 4-thread run genuinely splits across the pool.
+TEST(KernelDeterminismTest, TrainingEpochBitwiseIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = SmallCity();
+  const geo::BoundingBox box =
+      geo::ComputeBoundingBox(ds.trajectories, 1e-3);
+  auto grid = geo::Grid::Create(box, 400.0);
+  ASSERT_TRUE(grid.ok());
+  geo::Vocabulary vocab = geo::Vocabulary::Build(*grid, ds.trajectories, 1);
+  geo::Vocabulary::KnnTable knn = vocab.BuildKnnTable(6, 100.0);
+
+  core::ModelConfig mc;
+  mc.embedding_dim = 64;
+  mc.hidden_size = 64;
+  mc.num_layers = 1;
+  mc.knn_k = 6;
+
+  auto train_once = [&](int threads) {
+    nn::kernels::SetNumThreads(threads);
+    Rng rng(17);
+    core::Seq2SeqModel model(vocab.size(), mc, &rng);
+    core::PretrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = 32;
+    core::Pretrainer trainer(&model, &vocab, &knn, cfg);
+    auto result = trainer.Train(ds.trajectories);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::pair<std::string, nn::Tensor>> params;
+    for (const auto& p : model.NamedParameters()) {
+      params.emplace_back(p.name, p.var.value());
+    }
+    return params;
+  };
+
+  obs::EnableMetrics(true);
+  const auto dispatches = [] {
+    const obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+    const uint64_t* v = snap.FindCounter("nn.gemm.parallel_dispatches");
+    return v == nullptr ? uint64_t{0} : *v;
+  };
+  const uint64_t before = dispatches();
+  const auto serial = train_once(1);
+  const uint64_t after_serial = dispatches();
+  const auto threaded = train_once(4);
+  const uint64_t after_threaded = dispatches();
+  nn::kernels::SetNumThreads(0);
+  obs::EnableMetrics(false);
+
+  // The serial run must not dispatch; the threaded run must.
+  EXPECT_EQ(after_serial, before);
+  EXPECT_GT(after_threaded, after_serial);
+
+  ASSERT_EQ(serial.size(), threaded.size());
+  ASSERT_FALSE(serial.empty());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, threaded[i].first);
+    ASSERT_TRUE(serial[i].second.SameShape(threaded[i].second));
+    EXPECT_EQ(serial[i].second.storage(), threaded[i].second.storage())
+        << "parameter " << serial[i].first
+        << " differs between 1-thread and 4-thread training";
+  }
 }
 
 /// When the parameters are re-poisoned after every rollback, the trainer

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
+#include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
 
@@ -207,7 +210,212 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 1},
                       std::tuple{3, 1, 4}, std::tuple{2, 7, 3},
                       std::tuple{8, 8, 8}, std::tuple{5, 16, 2},
-                      std::tuple{16, 3, 16}, std::tuple{10, 10, 1}));
+                      std::tuple{16, 3, 16}, std::tuple{10, 10, 1},
+                      std::tuple{1, 300, 17}, std::tuple{33, 77, 29},
+                      std::tuple{64, 64, 96}));
+
+// ------------------------------------------------------------------------
+// Kernel-vs-reference equivalence harness. The tiled kernels must match the
+// naive same-contract Reference* loops BIT FOR BIT at every shape and every
+// thread count (see the accumulation contract in nn/kernels.h). Shapes
+// deliberately include B=1, odd k (block remainders), cols < kColPanel
+// (pure column-remainder path), and one shape large enough to cross the
+// kParallelMinMacs threshold so 4-thread runs actually split.
+// ------------------------------------------------------------------------
+
+/// Restores the global kernel thread setting on scope exit so test order
+/// never leaks a setting.
+class ScopedKernelThreads {
+ public:
+  explicit ScopedKernelThreads(int n) { kernels::SetNumThreads(n); }
+  ~ScopedKernelThreads() { kernels::SetNumThreads(0); }
+};
+
+std::vector<float> RandomVec(int64_t n, Rng* rng, float zero_fraction = 0.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = (zero_fraction > 0.0f && rng->Bernoulli(zero_fraction))
+            ? 0.0f
+            : static_cast<float>(rng->Gaussian(0.0, 1.0));
+  }
+  return v;
+}
+
+class KernelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelEquivalenceTest, TiledMatchesReferenceBitForBitAtAnyThreadCount) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 7919 + k * 131 + m));
+  const std::vector<float> a = RandomVec(int64_t{n} * k, &rng);
+  const std::vector<float> b = RandomVec(int64_t{k} * m, &rng);
+  const std::vector<float> at = [&] {  // a^T, [k,n], for the TN variant
+    std::vector<float> t(a.size());
+    kernels::Transpose(a.data(), n, k, t.data());
+    return t;
+  }();
+  const std::vector<float> bt = [&] {  // b^T, [m,k], for the NT variant
+    std::vector<float> t(b.size());
+    kernels::Transpose(b.data(), k, m, t.data());
+    return t;
+  }();
+  const std::vector<float> seed = RandomVec(int64_t{n} * m, &rng);
+  const size_t c_bytes = seed.size() * sizeof(float);
+
+  std::vector<float> want = seed;
+  kernels::ReferenceMatmulNN(n, k, m, a.data(), b.data(), want.data(),
+                             /*accumulate=*/false);
+  std::vector<float> want_acc = seed;
+  kernels::ReferenceMatmulNN(n, k, m, a.data(), b.data(), want_acc.data(),
+                             /*accumulate=*/true);
+  std::vector<float> want_tn = seed;
+  kernels::ReferenceMatmulTN(n, k, m, at.data(), b.data(), want_tn.data());
+  std::vector<float> want_nt = seed;
+  kernels::ReferenceMatmulNT(n, k, m, a.data(), bt.data(), want_nt.data());
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ScopedKernelThreads scoped(threads);
+    std::vector<float> got = seed;
+    kernels::MatmulNN(n, k, m, a.data(), b.data(), got.data(),
+                      /*accumulate=*/false);
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), c_bytes), 0);
+    got = seed;
+    kernels::MatmulNN(n, k, m, a.data(), b.data(), got.data(),
+                      /*accumulate=*/true);
+    EXPECT_EQ(std::memcmp(got.data(), want_acc.data(), c_bytes), 0);
+    got = seed;
+    kernels::MatmulTN(n, k, m, at.data(), b.data(), got.data());
+    EXPECT_EQ(std::memcmp(got.data(), want_tn.data(), c_bytes), 0);
+    got = seed;
+    kernels::MatmulNT(n, k, m, a.data(), bt.data(), got.data());
+    EXPECT_EQ(std::memcmp(got.data(), want_nt.data(), c_bytes), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelEquivalenceTest,
+    ::testing::Values(std::tuple{1, 1, 1},      // degenerate
+                      std::tuple{1, 65, 7},     // B=1, odd k, tiny cols
+                      std::tuple{2, 17, 31},    // cols < kColPanel
+                      std::tuple{7, 64, 32},    // row remainder, exact tiles
+                      std::tuple{8, 63, 33},    // k and col remainders
+                      std::tuple{9, 129, 65},   // every remainder path
+                      std::tuple{13, 100, 19},  // odd everything
+                      std::tuple{64, 64, 96},   // crosses kParallelMinMacs
+                      std::tuple{67, 70, 96})); // threshold + row remainder
+
+TEST(KernelsTest, ResultsBitwiseIdenticalAcrossThreadCounts) {
+  // The determinism contract directly: same inputs, thread counts 1 and 4,
+  // identical bits. The shape exceeds kParallelMinMacs so the 4-thread run
+  // really does dispatch to the pool.
+  const int n = 64, k = 128, m = 64;
+  ASSERT_GE(int64_t{n} * k * m, kernels::kParallelMinMacs);
+  Rng rng(42);
+  const std::vector<float> a = RandomVec(int64_t{n} * k, &rng);
+  const std::vector<float> b = RandomVec(int64_t{k} * m, &rng);
+  std::vector<float> c1(static_cast<size_t>(n) * m);
+  std::vector<float> c4(c1.size());
+  {
+    ScopedKernelThreads scoped(1);
+    kernels::MatmulNN(n, k, m, a.data(), b.data(), c1.data(), false);
+  }
+  {
+    ScopedKernelThreads scoped(4);
+    kernels::MatmulNN(n, k, m, a.data(), b.data(), c4.data(), false);
+  }
+  EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)), 0);
+}
+
+TEST(KernelsTest, BlockedAccumulationSurvivesIllConditionedSums) {
+  // Known-answer catastrophic-cancellation case. Per 64-wide k-block the
+  // product sums are 2^27, 1, -2^27, 1. A single float accumulator absorbs
+  // the +1 into 2^27 (ulp there is 16) and returns 1.0; the kernel contract
+  // (float within a block, double across blocks) returns exactly 2.0.
+  const int k = 4 * kernels::kBlockK;
+  Tensor a(1, k, 0.0f);
+  Tensor b(k, 1, 0.0f);
+  const float big = 134217728.0f;  // 2^27
+  a.at(0, 0 * kernels::kBlockK) = big;
+  b.at(0 * kernels::kBlockK, 0) = 1.0f;
+  a.at(0, 1 * kernels::kBlockK) = 1.0f;
+  b.at(1 * kernels::kBlockK, 0) = 1.0f;
+  a.at(0, 2 * kernels::kBlockK) = big;
+  b.at(2 * kernels::kBlockK, 0) = -1.0f;
+  a.at(0, 3 * kernels::kBlockK) = 1.0f;
+  b.at(3 * kernels::kBlockK, 0) = 1.0f;
+
+  // The old single-float-accumulator behavior, for contrast.
+  float naive = 0.0f;
+  for (int i = 0; i < k; ++i) naive += a.at(0, i) * b.at(i, 0);
+  ASSERT_EQ(naive, 1.0f);
+
+  Tensor c;
+  c.Matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 2.0f);
+  EXPECT_EQ(kernels::Dot(a.data(), b.data(), k), 2.0);
+}
+
+TEST(KernelsTest, DenseMatmulWithManyZerosMatchesReference) {
+  // The seed Matmul skipped a[i,k] == 0 in the inner loop; the kernel is
+  // branch-free. Equivalence on zero-heavy inputs shows the branch was a
+  // pure (de)optimization, not a semantic feature.
+  const int n = 33, k = 130, m = 29;
+  Rng rng(7);
+  const std::vector<float> a = RandomVec(int64_t{n} * k, &rng,
+                                         /*zero_fraction=*/0.6f);
+  const std::vector<float> b = RandomVec(int64_t{k} * m, &rng,
+                                         /*zero_fraction=*/0.3f);
+  std::vector<float> want(static_cast<size_t>(n) * m);
+  kernels::ReferenceMatmulNN(n, k, m, a.data(), b.data(), want.data(), false);
+  std::vector<float> got(want.size());
+  kernels::MatmulNN(n, k, m, a.data(), b.data(), got.data(), false);
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)),
+            0);
+  // And against an all-double oracle, within float tolerance.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double expected = 0.0;
+      for (int x = 0; x < k; ++x) {
+        expected += static_cast<double>(a[static_cast<size_t>(i) * k + x]) *
+                    b[static_cast<size_t>(x) * m + j];
+      }
+      ASSERT_NEAR(got[static_cast<size_t>(i) * m + j], expected, 1e-4);
+    }
+  }
+}
+
+TEST(KernelsTest, DotAndSquaredDistanceMatchDoubleOracle) {
+  const int n = 300;  // odd block remainder (300 = 4*64 + 44)
+  Rng rng(11);
+  const std::vector<float> a = RandomVec(n, &rng);
+  const std::vector<float> b = RandomVec(n, &rng);
+  double dot = 0.0, d2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    const double diff = static_cast<double>(a[i]) - b[i];
+    d2 += diff * diff;
+  }
+  EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n), dot, 1e-4);
+  EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n), d2, 1e-4);
+}
+
+TEST(KernelsTest, TransposeRoundTripsOddShapes) {
+  const int rows = 37, cols = 41;  // both straddle the 32-wide tile
+  Rng rng(13);
+  const std::vector<float> a = RandomVec(int64_t{rows} * cols, &rng);
+  std::vector<float> t(a.size());
+  std::vector<float> back(a.size());
+  kernels::Transpose(a.data(), rows, cols, t.data());
+  kernels::Transpose(t.data(), cols, rows, back.data());
+  EXPECT_EQ(std::memcmp(back.data(), a.data(), a.size() * sizeof(float)), 0);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      ASSERT_EQ(t[static_cast<size_t>(j) * rows + i],
+                a[static_cast<size_t>(i) * cols + j]);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace e2dtc::nn

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include "util/binary_io.h"
 #include "util/csv.h"
@@ -381,6 +385,84 @@ TEST(ThreadPoolTest, SubmitAndWait) {
 TEST(ThreadPoolTest, EmptyParallelForIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](int64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ChunkSizeOversplitsBeyondOnePerWorker) {
+  // The old policy (one chunk per worker) made the slowest chunk the
+  // critical path; the oversplit policy must create ~kChunksPerWorker
+  // chunks per worker whenever there is enough work to split that fine.
+  for (int workers : {1, 2, 4, 8}) {
+    for (int64_t n : {1, 7, 16, 100, 1000, 100000}) {
+      const int64_t chunk = ThreadPool::ParallelForChunkSize(n, workers);
+      ASSERT_GE(chunk, 1);
+      const int64_t chunks = (n + chunk - 1) / chunk;
+      const int64_t target = workers * ThreadPool::kChunksPerWorker;
+      // Chunks cover [0, n) exactly.
+      ASSERT_GE(chunk * chunks, n);
+      ASSERT_LT(chunk * (chunks - 1), n);
+      // Never more chunks than the target (no pointless task spam)...
+      EXPECT_LE(chunks, std::max<int64_t>(1, target))
+          << "n=" << n << " workers=" << workers;
+      // ...and at least ceil(target/2) of them once n is large enough to
+      // split that fine (ceil rounding can halve the count, never worse).
+      if (n >= target) {
+        EXPECT_GE(chunks, (target + 1) / 2)
+            << "n=" << n << " workers=" << workers;
+      } else {
+        EXPECT_EQ(chunk, 1) << "n=" << n << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRebalancesSkewedPerItemCost) {
+  // Regression test for the one-chunk-per-worker policy. 16 items on 4
+  // workers where items 0-3 each cost ~30 ms and the rest ~1 ms: the old
+  // policy put all four expensive items into chunk 0 on one worker
+  // (wall ~ 123 ms); with 4x oversplit every item is its own chunk, so the
+  // expensive items spread across workers (wall ~ 35 ms).
+  constexpr int kWorkers = 4;
+  constexpr int64_t kItems = 16;
+  ASSERT_EQ(ThreadPool::ParallelForChunkSize(kItems, kWorkers), 1);
+  ThreadPool pool(kWorkers);
+  std::vector<std::atomic<int>> hits(kItems);
+  std::array<std::atomic<std::thread::id>, kItems> owner;
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(kItems, [&](int64_t i) {
+    ++hits[static_cast<size_t>(i)];
+    owner[static_cast<size_t>(i)] = std::this_thread::get_id();
+    std::this_thread::sleep_for(std::chrono::milliseconds(i < 4 ? 30 : 1));
+  });
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::set<std::thread::id> distinct;
+  for (const auto& o : owner) distinct.insert(o.load());
+  EXPECT_GE(distinct.size(), 2u);
+  // Sleeps release the core, so even a single-CPU host overlaps them; the
+  // old policy cannot go below ~120 ms no matter the host.
+  EXPECT_LT(elapsed_ms, 110.0);
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerThreadRunsInline) {
+  // Nested ParallelFor from inside a pool task must not deadlock (Wait()
+  // would count the caller's own task as in flight forever) — it runs the
+  // inner loop inline on the calling thread.
+  ThreadPool pool(2);
+  std::atomic<int> inner_sum{0};
+  std::atomic<bool> saw_worker_flag{false};
+  pool.Submit([&] {
+    saw_worker_flag = ThreadPool::OnWorkerThread();
+    pool.ParallelFor(10, [&](int64_t i) {
+      inner_sum += static_cast<int>(i);
+    });
+  });
+  pool.Wait();
+  EXPECT_TRUE(saw_worker_flag.load());
+  EXPECT_EQ(inner_sum.load(), 45);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());  // main thread is not a worker
 }
 
 }  // namespace

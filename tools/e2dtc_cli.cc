@@ -23,6 +23,7 @@
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "metrics/clustering_metrics.h"
+#include "nn/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
@@ -79,6 +80,21 @@ void HandleShutdownSignal(int sig) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Applies --kernel-threads N (GEMM worker threads; 0 = auto-detect,
+/// 1 = serial). Any value yields bitwise-identical results — see the
+/// accumulation contract in nn/kernels.h — so this is purely a
+/// throughput knob.
+bool ApplyKernelThreadsFlag(const Flags& flags) {
+  const int threads = flags.GetInt("kernel-threads", -1);
+  if (threads == -1) return true;
+  if (threads < 0) {
+    std::fprintf(stderr, "--kernel-threads must be >= 0 (got %d)\n", threads);
+    return false;
+  }
+  nn::kernels::SetNumThreads(threads);
+  return true;
 }
 
 /// Applies --log-level={debug,info,warning,error}; returns false on an
@@ -423,7 +439,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: e2dtc_cli <generate|fit|assign|eval|export|info> "
                  "[--flag value ...]\n"
-                 "  common flags: --log-level {debug,info,warning,error}\n"
+                 "  common flags: --log-level {debug,info,warning,error}, "
+                 "--kernel-threads N (0 = auto; results identical at any "
+                 "N)\n"
                  "  fit flags: --trace-out FILE (chrome://tracing JSON), "
                  "--metrics-out FILE, --run-report FILE (JSONL),\n"
                  "    --checkpoint-dir DIR, --checkpoint-every N, "
@@ -439,6 +457,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
   if (!ApplyLogLevelFlag(flags)) return 1;
+  if (!ApplyKernelThreadsFlag(flags)) return 1;
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "fit") return CmdFit(flags);
   if (cmd == "assign") return CmdAssign(flags);
