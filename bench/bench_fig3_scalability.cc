@@ -12,8 +12,9 @@
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace e2dtc;
+  bench::ApplyThreadFlags(argc, argv);
   std::printf("=== Fig. 3: scalability (clustering time vs datasize) ===\n");
 
   CsvWriter csv(bench::ResultsDir() + "/fig3_scalability.csv");

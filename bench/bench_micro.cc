@@ -2,21 +2,30 @@
 // experiment harnesses lean on. Not a paper table — used to track kernel
 // regressions.
 //
-// Special mode: `bench_micro --gemm_json=PATH` skips google-benchmark and
-// writes a machine-readable GEMM comparison (seed-era loops vs the kernel
-// layer, at the 3-layer GRU training shapes) to PATH. See docs/performance.md.
+// Special modes (skip google-benchmark, write machine-readable JSON):
+//   bench_micro --gemm_json=PATH      seed-era Tensor loops vs nn::kernels
+//                                     at the 3-layer GRU training shapes
+//   bench_micro --distance_json=PATH  seed-era per-pair distance matrix /
+//                                     scalar k-means assignment vs the tiled
+//                                     batched engine and the GEMM-backed
+//                                     assignment
+// See docs/performance.md.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "cluster/kmeans.h"
 #include "distance/dtw.h"
+#include "distance/matrix.h"
 #include "distance/edr.h"
 #include "distance/erp.h"
 #include "distance/hausdorff.h"
@@ -390,6 +399,254 @@ int RunGemmReport(const std::string& path) {
   return out.good() ? 0 : 1;
 }
 
+// --- distance engine + clustering suite ----------------------------------
+// Seed-era hot loops replicated verbatim as the honest baselines for the
+// tiled batched distance engine and the GEMM-backed k-means assignment.
+
+// Trajectory population matched to the bench presets: 24-56 points, planar
+// meters within a ~5 km extent.
+std::vector<distance::Polyline> RandomLines(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<distance::Polyline> lines;
+  lines.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lines.push_back(
+        RandomLine(&rng, 24 + static_cast<int>(rng.UniformU64(33))));
+  }
+  return lines;
+}
+
+// Seed-era ComputeDistanceMatrix body: one TrajectoryDistance call per pair,
+// each paying two fresh DP rows, no batching. Serial — the seed's
+// parallelism only sharded rows over threads.
+distance::DistanceMatrix SeedDistanceMatrix(
+    const std::vector<distance::Polyline>& lines, distance::Metric metric) {
+  const int n = static_cast<int>(lines.size());
+  distance::DistanceMatrix m(n);
+  const distance::MetricParams params;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m.set(i, j,
+            distance::TrajectoryDistance(metric, lines[static_cast<size_t>(i)],
+                                         lines[static_cast<size_t>(j)],
+                                         params));
+    }
+  }
+  return m;
+}
+
+cluster::FeatureMatrix RandomFeatures(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  cluster::FeatureMatrix rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(static_cast<size_t>(dim));
+    for (auto& v : p) v = static_cast<float>(rng.Gaussian());
+    rows.push_back(std::move(p));
+  }
+  return rows;
+}
+
+// Seed-era Lloyd assignment: per (point, centroid) scalar SquaredDistance
+// with full double accumulation.
+double SeedSquaredDistance(const std::vector<float>& a,
+                           const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double SeedAssign(const cluster::FeatureMatrix& points,
+                  const cluster::FeatureMatrix& centroids,
+                  std::vector<int>* assignments) {
+  const int n = static_cast<int>(points.size());
+  const int k = static_cast<int>(centroids.size());
+  assignments->assign(static_cast<size_t>(n), 0);
+  double inertia = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_j = 0;
+    for (int j = 0; j < k; ++j) {
+      const double d = SeedSquaredDistance(points[static_cast<size_t>(i)],
+                                           centroids[static_cast<size_t>(j)]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    (*assignments)[static_cast<size_t>(i)] = best_j;
+    inertia += best;
+  }
+  return inertia;
+}
+
+void BM_DistanceMatrixSeed(benchmark::State& state) {
+  auto lines = RandomLines(static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SeedDistanceMatrix(lines, distance::Metric::kDtw).data().data());
+  }
+}
+BENCHMARK(BM_DistanceMatrixSeed)->Arg(200);
+
+void BM_DistanceMatrixEngine(benchmark::State& state) {
+  auto lines = RandomLines(static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distance::ComputeDistanceMatrix(lines, distance::Metric::kDtw)
+            .data()
+            .data());
+  }
+}
+BENCHMARK(BM_DistanceMatrixEngine)->Arg(200);
+
+void BM_KMeansAssignSeed(benchmark::State& state) {
+  auto points = RandomFeatures(static_cast<int>(state.range(0)), 128, 32);
+  auto centroids = RandomFeatures(20, 128, 33);
+  std::vector<int> assignments;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeedAssign(points, centroids, &assignments));
+  }
+}
+BENCHMARK(BM_KMeansAssignSeed)->Arg(2000);
+
+void BM_KMeansAssignKernel(benchmark::State& state) {
+  auto points = RandomFeatures(static_cast<int>(state.range(0)), 128, 32);
+  auto centroids = RandomFeatures(20, 128, 33);
+  std::vector<int> assignments;
+  double inertia = 0.0;
+  for (auto _ : state) {
+    cluster::AssignToNearestCentroids(points, centroids, nullptr,
+                                      &assignments, nullptr, &inertia);
+    benchmark::DoNotOptimize(inertia);
+  }
+}
+BENCHMARK(BM_KMeansAssignKernel)->Arg(2000);
+
+/// Times one invocation of `fn`, best of `reps`.
+template <typename Fn>
+double MinSeconds(int reps, const Fn& fn) {
+  using Clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+int RunDistanceReport(const std::string& path) {
+  obs::Json root = obs::Json::Object();
+  root.Set("schema", "e2dtc.bench.distance.v1");
+  root.Set(
+      "note",
+      "seed_* replays the pre-engine loops compiled in this TU: per-pair "
+      "TrajectoryDistance matrix fill and the scalar Lloyd assignment. "
+      "engine_*/kernel_* are the tiled lane-batched distance engine "
+      "(distance::ComputeDistanceMatrix) and the GEMM-backed assignment "
+      "(cluster::AssignToNearestCentroids). Engine threads above "
+      "hardware_concurrency are capped (results are bitwise identical at "
+      "any thread count either way).");
+  obs::Json host = obs::Json::Object();
+  host.Set("hardware_concurrency",
+           static_cast<int>(std::thread::hardware_concurrency()));
+#if defined(E2DTC_BENCH_KERNEL_NATIVE) && E2DTC_BENCH_KERNEL_NATIVE
+  host.Set("kernel_native_build", true);
+#else
+  host.Set("kernel_native_build", false);
+#endif
+  root.Set("host", std::move(host));
+
+  {
+    // DTW distance matrix, n = 1000 (~500k pairs).
+    const int n = 1000;
+    auto lines = RandomLines(n, 31);
+    distance::DistanceMatrix seed_m, engine_1t, engine_4t;
+    const double seed_s = MinSeconds(2, [&] {
+      seed_m = SeedDistanceMatrix(lines, distance::Metric::kDtw);
+    });
+    // Interleave the 1t/4t reps so a background-load spike on a shared box
+    // hits both configurations instead of biasing whichever ran last.
+    double e1_s = std::numeric_limits<double>::infinity();
+    double e4_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      distance::SetNumThreads(1);
+      e1_s = std::min(e1_s, MinSeconds(1, [&] {
+               engine_1t = distance::ComputeDistanceMatrix(
+                   lines, distance::Metric::kDtw);
+             }));
+      distance::SetNumThreads(4);
+      e4_s = std::min(e4_s, MinSeconds(1, [&] {
+               engine_4t = distance::ComputeDistanceMatrix(
+                   lines, distance::Metric::kDtw);
+             }));
+    }
+    distance::SetNumThreads(1);
+    const bool threads_bitwise =
+        std::memcmp(engine_1t.data().data(), engine_4t.data().data(),
+                    static_cast<size_t>(n) * n * sizeof(double)) == 0;
+    const bool seed_bitwise =
+        std::memcmp(engine_1t.data().data(), seed_m.data().data(),
+                    static_cast<size_t>(n) * n * sizeof(double)) == 0;
+
+    obs::Json entry = obs::Json::Object();
+    entry.Set("name", "dtw_matrix_n1000");
+    entry.Set("n", n);
+    entry.Set("pairs", static_cast<int64_t>(n) * (n - 1) / 2);
+    entry.Set("seed_s", seed_s);
+    entry.Set("engine_1t_s", e1_s);
+    entry.Set("engine_4t_s", e4_s);
+    entry.Set("speedup_1t", seed_s / e1_s);
+    entry.Set("speedup_4t", seed_s / e4_s);
+    entry.Set("bitwise_equal_across_threads", threads_bitwise);
+    entry.Set("bitwise_equal_to_seed", seed_bitwise);
+    root.Set("dtw_matrix", std::move(entry));
+  }
+
+  {
+    // Lloyd assignment, n = 2000 points, dim = 128, k = 20.
+    const int n = 2000, dim = 128, k = 20;
+    auto points = RandomFeatures(n, dim, 32);
+    auto centroids = RandomFeatures(k, dim, 33);
+    std::vector<int> seed_assign, kernel_assign, ref_assign;
+    double seed_inertia = 0.0, kernel_inertia = 0.0;
+    const double seed_s = MinSeconds(5, [&] {
+      seed_inertia = SeedAssign(points, centroids, &seed_assign);
+    });
+    const double kernel_s = MinSeconds(5, [&] {
+      cluster::AssignToNearestCentroids(points, centroids, nullptr,
+                                        &kernel_assign, nullptr,
+                                        &kernel_inertia);
+    });
+    cluster::ReferenceAssignToNearestCentroids(points, centroids, &ref_assign,
+                                               nullptr, nullptr);
+
+    obs::Json entry = obs::Json::Object();
+    entry.Set("name", "kmeans_assign_n2000_d128_k20");
+    entry.Set("n", n);
+    entry.Set("dim", dim);
+    entry.Set("k", k);
+    entry.Set("seed_ms", seed_s * 1e3);
+    entry.Set("kernel_ms", kernel_s * 1e3);
+    entry.Set("speedup", seed_s / kernel_s);
+    entry.Set("matches_scalar_reference", kernel_assign == ref_assign);
+    entry.Set("matches_seed_argmin", kernel_assign == seed_assign);
+    entry.Set("seed_inertia", seed_inertia);
+    entry.Set("kernel_inertia", kernel_inertia);
+    root.Set("kmeans_assign", std::move(entry));
+  }
+
+  std::ofstream out(path);
+  if (!out) return 1;
+  out << root.Dump() << "\n";
+  return out.good() ? 0 : 1;
+}
+
 void BM_GruStepForwardBackward(benchmark::State& state) {
   Rng rng(6);
   const int batch = 32;
@@ -565,18 +822,32 @@ BENCHMARK(BM_TraceSpanEnabled);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ApplyThreadFlags(argc, argv);
   std::string gemm_json;
+  std::string distance_json;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    constexpr std::string_view kFlag = "--gemm_json=";
+    constexpr std::string_view kGemmFlag = "--gemm_json=";
+    constexpr std::string_view kDistanceFlag = "--distance_json=";
     std::string_view arg = argv[i];
-    if (arg.substr(0, kFlag.size()) == kFlag) {
-      gemm_json = std::string(arg.substr(kFlag.size()));
+    if (arg.substr(0, kGemmFlag.size()) == kGemmFlag) {
+      gemm_json = std::string(arg.substr(kGemmFlag.size()));
+      continue;
+    }
+    if (arg.substr(0, kDistanceFlag.size()) == kDistanceFlag) {
+      distance_json = std::string(arg.substr(kDistanceFlag.size()));
+      continue;
+    }
+    // --distance-threads / --kernel-threads were consumed above; strip them
+    // (and their values) so google-benchmark's strict parser never sees them.
+    if (arg == "--distance-threads" || arg == "--kernel-threads") {
+      if (i + 1 < argc) ++i;
       continue;
     }
     args.push_back(argv[i]);
   }
   if (!gemm_json.empty()) return RunGemmReport(gemm_json);
+  if (!distance_json.empty()) return RunDistanceReport(distance_json);
   RegisterGemmBenchmarks();
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

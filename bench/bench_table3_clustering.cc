@@ -7,8 +7,9 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace e2dtc;
+  bench::ApplyThreadFlags(argc, argv);
   std::printf("=== Table III: clustering performance of all approaches ===\n");
 
   const int kClassicRuns = 3;  // paper: 20 repetitions; scaled down

@@ -1,9 +1,12 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "cluster/kmedoids.h"
+#include "nn/kernels.h"
 #include "core/t2vec.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
@@ -24,6 +27,21 @@ const bool kMetricsOn = [] {
   return true;
 }();
 }  // namespace
+
+void ApplyThreadFlags(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    const int value = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--distance-threads") == 0 && value >= 0) {
+      distance::SetNumThreads(value);
+      std::printf("distance engine threads: %d%s\n", value,
+                  value == 0 ? " (auto)" : "");
+    } else if (std::strcmp(argv[i], "--kernel-threads") == 0 && value >= 0) {
+      nn::kernels::SetNumThreads(value);
+      std::printf("kernel threads: %d%s\n", value,
+                  value == 0 ? " (auto)" : "");
+    }
+  }
+}
 
 std::string PresetName(PresetId id) {
   switch (id) {

@@ -14,6 +14,12 @@
 /// them as CSV under ./bench_results/.
 namespace e2dtc::bench {
 
+/// Parses --distance-threads N and --kernel-threads N from a bench's argv
+/// and applies them (distance::SetNumThreads / nn::kernels::SetNumThreads).
+/// Both engines guarantee bitwise-identical results at any thread count, so
+/// these only move wall clock. Unknown flags are ignored.
+void ApplyThreadFlags(int argc, char** argv);
+
 /// The paper's three datasets, reproduced via the synthetic-city presets +
 /// Algorithm 2 ground truth (DESIGN.md section 2).
 enum class PresetId { kGeoLife, kPorto, kHangzhou };

@@ -4,23 +4,140 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace e2dtc::cluster {
 
 double SquaredDistance(const std::vector<float>& a,
                        const std::vector<float>& b) {
   E2DTC_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
+  return nn::kernels::SquaredDistance(a.data(), b.data(),
+                                      static_cast<int64_t>(a.size()));
+}
+
+namespace {
+
+/// Row-flattens a FeatureMatrix and computes per-row squared norms with
+/// kernels::Dot (the same accumulation contract the GEMM cross terms use).
+void FlattenWithNorms(const FeatureMatrix& rows, size_t dim,
+                      std::vector<float>* flat, std::vector<double>* norms) {
+  const size_t n = rows.size();
+  flat->resize(n * dim);
+  norms->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), flat->begin() + i * dim);
+    (*norms)[i] = nn::kernels::Dot(rows[i].data(), rows[i].data(),
+                                   static_cast<int64_t>(dim));
   }
-  return s;
+}
+
+}  // namespace
+
+void AssignToNearestCentroids(const FeatureMatrix& points,
+                              const FeatureMatrix& centroids,
+                              ThreadPool* pool, std::vector<int>* assignments,
+                              std::vector<double>* best_d2, double* inertia) {
+  const int n = static_cast<int>(points.size());
+  const int k = static_cast<int>(centroids.size());
+  E2DTC_CHECK(n > 0 && k > 0);
+  const size_t dim = points[0].size();
+
+  std::vector<float> x_flat, c_flat;
+  std::vector<double> x_norm, c_norm;
+  FlattenWithNorms(points, dim, &x_flat, &x_norm);
+  FlattenWithNorms(centroids, dim, &c_flat, &c_norm);
+
+  // cross[j, i] = c_j . x_i. Transposed so the long point axis is the GEMM's
+  // column dimension: k is usually far below the kernel's column-panel width,
+  // and a [n, k] output would run entirely on the scalar remainder path.
+  std::vector<float> cross(static_cast<size_t>(k) * n, 0.0f);
+  nn::kernels::MatmulNT(k, static_cast<int>(dim), n, c_flat.data(),
+                        x_flat.data(), cross.data());
+
+  assignments->assign(static_cast<size_t>(n), 0);
+  std::vector<double> local_d2;
+  std::vector<double>& d2 = best_d2 != nullptr ? *best_d2 : local_d2;
+  d2.assign(static_cast<size_t>(n),
+            std::numeric_limits<double>::infinity());
+
+  auto sweep = [&](int64_t begin, int64_t end) {
+    for (int j = 0; j < k; ++j) {
+      const float* cj = cross.data() + static_cast<size_t>(j) * n;
+      const double cn = c_norm[static_cast<size_t>(j)];
+      for (int64_t i = begin; i < end; ++i) {
+        const double d =
+            x_norm[static_cast<size_t>(i)] + cn - 2.0 * double{cj[i]};
+        // Strict < with ascending j: ties go to the lowest centroid index.
+        if (d < d2[static_cast<size_t>(i)]) {
+          d2[static_cast<size_t>(i)] = d;
+          (*assignments)[static_cast<size_t>(i)] = j;
+        }
+      }
+    }
+    // The norm expansion can go epsilon-negative where the true distance
+    // is ~0; clamp so inertia and the reseed scan never see d2 < 0.
+    for (int64_t i = begin; i < end; ++i) {
+      d2[static_cast<size_t>(i)] = std::max(d2[static_cast<size_t>(i)], 0.0);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelForRange(n, sweep);
+  } else {
+    sweep(0, n);
+  }
+  if (inertia != nullptr) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += d2[static_cast<size_t>(i)];
+    *inertia = total;
+  }
+}
+
+void ReferenceAssignToNearestCentroids(const FeatureMatrix& points,
+                                       const FeatureMatrix& centroids,
+                                       std::vector<int>* assignments,
+                                       std::vector<double>* best_d2,
+                                       double* inertia) {
+  const int n = static_cast<int>(points.size());
+  const int k = static_cast<int>(centroids.size());
+  E2DTC_CHECK(n > 0 && k > 0);
+  const size_t dim = points[0].size();
+  assignments->assign(static_cast<size_t>(n), 0);
+  std::vector<double> local_d2;
+  std::vector<double>& d2 = best_d2 != nullptr ? *best_d2 : local_d2;
+  d2.assign(static_cast<size_t>(n), 0.0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto& x = points[static_cast<size_t>(i)];
+    const double xn =
+        nn::kernels::Dot(x.data(), x.data(), static_cast<int64_t>(dim));
+    double best = std::numeric_limits<double>::infinity();
+    int best_j = 0;
+    for (int j = 0; j < k; ++j) {
+      const auto& c = centroids[static_cast<size_t>(j)];
+      // Round the cross term to float: that is exactly what the GEMM's
+      // per-element output is, so both paths compare identical doubles.
+      const float cross = static_cast<float>(
+          nn::kernels::Dot(c.data(), x.data(), static_cast<int64_t>(dim)));
+      const double cn =
+          nn::kernels::Dot(c.data(), c.data(), static_cast<int64_t>(dim));
+      const double d = xn + cn - 2.0 * double{cross};
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    best = std::max(best, 0.0);
+    (*assignments)[static_cast<size_t>(i)] = best_j;
+    d2[static_cast<size_t>(i)] = best;
+    total += best;
+  }
+  if (inertia != nullptr) *inertia = total;
 }
 
 namespace {
@@ -86,26 +203,15 @@ KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
   KMeansResult result;
   result.assignments.assign(static_cast<size_t>(n), 0);
   double prev_inertia = std::numeric_limits<double>::infinity();
+  std::vector<double> best_d2;
+  std::vector<double> reseed_d2;
 
   for (int iter = 0; iter < options.max_iters; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    double inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_j = 0;
-      for (int j = 0; j < k; ++j) {
-        const double d = SquaredDistance(points[static_cast<size_t>(i)],
-                                         centroids[static_cast<size_t>(j)]);
-        if (d < best) {
-          best = d;
-          best_j = j;
-        }
-      }
-      result.assignments[static_cast<size_t>(i)] = best_j;
-      inertia += best;
-    }
-    result.inertia = inertia;
+    // Assignment step (blocked GEMM; see AssignToNearestCentroids).
+    AssignToNearestCentroids(points, centroids, options.pool,
+                             &result.assignments, &best_d2, &result.inertia);
+    const double inertia = result.inertia;
 
     // Update step.
     FeatureMatrix sums(static_cast<size_t>(k),
@@ -118,21 +224,29 @@ KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
       auto& s = sums[static_cast<size_t>(j)];
       for (size_t d = 0; d < dim; ++d) s[d] += p[d];
     }
+    // Empty clusters re-seed with the point farthest from its assigned
+    // centroid, using the distances *cached from the assignment step*. The
+    // seed code recomputed SquaredDistance(points[i], centroids[a]) inside
+    // this loop — against a centroids array it was mutating, so the scan
+    // mixed pre- and post-update centroids (and after one re-seed, distances
+    // to a re-seeded centroid). Each picked index is struck out so two empty
+    // clusters cannot re-seed onto the same point.
+    bool reseed_primed = false;
     for (int j = 0; j < k; ++j) {
       if (counts[static_cast<size_t>(j)] == 0) {
-        // Re-seed an empty cluster with the point farthest from its centroid.
+        if (!reseed_primed) {
+          reseed_d2 = best_d2;
+          reseed_primed = true;
+        }
         double worst = -1.0;
         int worst_i = 0;
         for (int i = 0; i < n; ++i) {
-          const int a = result.assignments[static_cast<size_t>(i)];
-          const double d =
-              SquaredDistance(points[static_cast<size_t>(i)],
-                              centroids[static_cast<size_t>(a)]);
-          if (d > worst) {
-            worst = d;
+          if (reseed_d2[static_cast<size_t>(i)] > worst) {
+            worst = reseed_d2[static_cast<size_t>(i)];
             worst_i = i;
           }
         }
+        reseed_d2[static_cast<size_t>(worst_i)] = -1.0;
         centroids[static_cast<size_t>(j)] =
             points[static_cast<size_t>(worst_i)];
       } else {
@@ -144,8 +258,14 @@ KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
       }
     }
 
-    if (prev_inertia - inertia <=
-        options.tol * std::max(prev_inertia, 1e-12)) {
+    // Converged on relative inertia improvement. The isfinite guard matters:
+    // prev_inertia starts at +inf, where `inf - inertia <= tol * inf` is
+    // `inf <= inf` — the seed code broke out of every run after a single
+    // Lloyd iteration (and so never gave a re-seeded centroid an assignment
+    // pass).
+    if (std::isfinite(prev_inertia) &&
+        prev_inertia - inertia <=
+            options.tol * std::max(prev_inertia, 1e-12)) {
       break;
     }
     prev_inertia = inertia;

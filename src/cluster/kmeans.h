@@ -6,6 +6,10 @@
 
 #include "util/result.h"
 
+namespace e2dtc {
+class ThreadPool;
+}
+
 namespace e2dtc::cluster {
 
 /// Row-major feature matrix: points[i] is the i-th sample.
@@ -20,6 +24,10 @@ struct KMeansOptions {
   uint64_t seed = 42;
   /// Number of k-means++ restarts; the best-inertia run wins.
   int num_init = 4;
+  /// Optional pool for the assignment step's post-GEMM argmin sweep; the
+  /// GEMM itself threads via nn::kernels::SetNumThreads. Results are
+  /// identical with or without a pool (per-point argmins are independent).
+  ThreadPool* pool = nullptr;
 };
 
 /// k-means output.
@@ -42,8 +50,32 @@ Result<KMeansResult> KMeansFrom(const FeatureMatrix& points,
                                 const KMeansOptions& options);
 
 /// Squared Euclidean distance between two equal-length feature rows.
+/// Delegates to nn::kernels::SquaredDistance (k-block accumulation
+/// contract, AVX-512 when built natively).
 double SquaredDistance(const std::vector<float>& a,
                        const std::vector<float>& b);
+
+/// Lloyd assignment step as a blocked GEMM: d(i,j) = ||x_i||^2 + ||c_j||^2
+/// - 2 x_i.c_j with the cross terms from one kernels::MatmulNT call and the
+/// norms from kernels::Dot. Distances accumulate in double, are clamped at
+/// zero, and ties break to the lowest centroid index — bitwise identical to
+/// ReferenceAssignToNearestCentroids (enforced by tests). `best_d2` (per
+/// point squared distance to its centroid) and `inertia` may be null.
+/// Requires a non-empty, non-ragged matrix and 1 <= k <= n.
+void AssignToNearestCentroids(const FeatureMatrix& points,
+                              const FeatureMatrix& centroids,
+                              ThreadPool* pool, std::vector<int>* assignments,
+                              std::vector<double>* best_d2, double* inertia);
+
+/// Never-threaded scalar oracle for AssignToNearestCentroids: the same
+/// formula per (i,j) with the cross term from a single kernels::Dot (the
+/// GEMM computes exactly float(double-block-accumulated dot) per element,
+/// so the two paths agree bit-for-bit).
+void ReferenceAssignToNearestCentroids(const FeatureMatrix& points,
+                                       const FeatureMatrix& centroids,
+                                       std::vector<int>* assignments,
+                                       std::vector<double>* best_d2,
+                                       double* inertia);
 
 }  // namespace e2dtc::cluster
 

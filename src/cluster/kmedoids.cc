@@ -5,10 +5,46 @@
 
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace e2dtc::cluster {
 
 namespace {
+
+/// Nearest-medoid assignment for every point; returns the summed cost.
+/// Parallelized over point ranges when a pool is given — per-point argmins
+/// are independent and the cost is reduced serially in ascending order, so
+/// the result is identical to the serial sweep.
+double AssignAll(int n, const DistanceFn& dist,
+                 const std::vector<int>& medoids, ThreadPool* pool,
+                 std::vector<int>* assignments, std::vector<double>* best) {
+  const int k = static_cast<int>(medoids.size());
+  best->assign(static_cast<size_t>(n), 0.0);
+  auto sweep = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      double b = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (int j = 0; j < k; ++j) {
+        const double dij =
+            dist(static_cast<int>(i), medoids[static_cast<size_t>(j)]);
+        if (dij < b) {
+          b = dij;
+          best_j = j;
+        }
+      }
+      (*assignments)[static_cast<size_t>(i)] = best_j;
+      (*best)[static_cast<size_t>(i)] = b;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelForRange(n, sweep);
+  } else {
+    sweep(0, n);
+  }
+  double cost = 0.0;
+  for (int i = 0; i < n; ++i) cost += (*best)[static_cast<size_t>(i)];
+  return cost;
+}
 
 /// k-medoids++ seeding: like k-means++ but in dissimilarity space.
 std::vector<int> PlusPlusInit(int n, const DistanceFn& dist, int k,
@@ -60,35 +96,26 @@ Result<KMedoidsResult> KMedoids(int n, const DistanceFn& dist,
   result.assignments.assign(static_cast<size_t>(n), 0);
 
   const int k = options.k;
+  std::vector<double> best_dist(static_cast<size_t>(n), 0.0);
   for (int iter = 0; iter < options.max_iters; ++iter) {
     result.iterations = iter + 1;
     // Assignment step.
-    double cost = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_j = 0;
-      for (int j = 0; j < k; ++j) {
-        const double dij = dist(i, result.medoids[static_cast<size_t>(j)]);
-        if (dij < best) {
-          best = dij;
-          best_j = j;
-        }
-      }
-      result.assignments[static_cast<size_t>(i)] = best_j;
-      cost += best;
-    }
-    result.total_cost = cost;
+    result.total_cost = AssignAll(n, dist, result.medoids, options.pool,
+                                  &result.assignments, &best_dist);
 
     // Update step: each cluster's new medoid minimizes intra-cluster cost.
+    // Clusters are independent, so they update in parallel; within a cluster
+    // the candidate scan stays sequential (its early-out threshold tightens
+    // as candidates are scanned in member order).
     std::vector<std::vector<int>> members(static_cast<size_t>(k));
     for (int i = 0; i < n; ++i) {
       members[static_cast<size_t>(result.assignments[static_cast<size_t>(i)])]
           .push_back(i);
     }
-    bool changed = false;
-    for (int j = 0; j < k; ++j) {
+    std::vector<char> cluster_changed(static_cast<size_t>(k), 0);
+    auto update_cluster = [&](int64_t j) {
       const auto& cluster = members[static_cast<size_t>(j)];
-      if (cluster.empty()) continue;  // keep the old medoid
+      if (cluster.empty()) return;  // keep the old medoid
       double best_cost = std::numeric_limits<double>::infinity();
       int best_medoid = result.medoids[static_cast<size_t>(j)];
       for (int cand : cluster) {
@@ -104,28 +131,24 @@ Result<KMedoidsResult> KMedoids(int n, const DistanceFn& dist,
       }
       if (best_medoid != result.medoids[static_cast<size_t>(j)]) {
         result.medoids[static_cast<size_t>(j)] = best_medoid;
-        changed = true;
+        cluster_changed[static_cast<size_t>(j)] = 1;
       }
+    };
+    if (options.pool != nullptr && options.pool->num_threads() > 1) {
+      options.pool->ParallelFor(k, update_cluster);
+    } else {
+      for (int j = 0; j < k; ++j) update_cluster(j);
+    }
+    bool changed = false;
+    for (int j = 0; j < k; ++j) {
+      changed |= cluster_changed[static_cast<size_t>(j)] != 0;
     }
     if (!changed) break;
   }
 
   // Final assignment against the converged medoids.
-  double cost = 0.0;
-  for (int i = 0; i < n; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    int best_j = 0;
-    for (int j = 0; j < k; ++j) {
-      const double dij = dist(i, result.medoids[static_cast<size_t>(j)]);
-      if (dij < best) {
-        best = dij;
-        best_j = j;
-      }
-    }
-    result.assignments[static_cast<size_t>(i)] = best_j;
-    cost += best;
-  }
-  result.total_cost = cost;
+  result.total_cost = AssignAll(n, dist, result.medoids, options.pool,
+                                &result.assignments, &best_dist);
   return result;
 }
 

@@ -7,6 +7,10 @@
 
 #include "util/result.h"
 
+namespace e2dtc {
+class ThreadPool;
+}
+
 namespace e2dtc::cluster {
 
 /// Accessor for a symmetric pairwise dissimilarity; dist(i,i) must be 0.
@@ -17,6 +21,10 @@ struct KMedoidsOptions {
   int k = 2;
   int max_iters = 50;
   uint64_t seed = 42;
+  /// Optional pool for the assignment sweep and per-cluster medoid updates.
+  /// `dist` must be thread-safe when set (a precomputed DistanceMatrix is).
+  /// Results are identical with or without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// K-Medoids output.

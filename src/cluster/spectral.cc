@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/linalg.h"
+#include "util/thread_pool.h"
 
 namespace e2dtc::cluster {
 
@@ -18,15 +19,29 @@ Result<SpectralResult> SpectralClustering(int n, const DistanceFn& dist,
   }
 
   // Pairwise distances (dense) + bandwidth from the requested quantile.
+  // Rows fill in parallel when a pool is given (each (i, j>i) pair is
+  // written by exactly one row task); `upper` is gathered afterwards so its
+  // order — and the quantile — never depends on scheduling.
   std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  auto fill_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      for (int j = static_cast<int>(i) + 1; j < n; ++j) {
+        const double dij = dist(static_cast<int>(i), j);
+        d[static_cast<size_t>(i) * n + j] = dij;
+        d[static_cast<size_t>(j) * n + i] = dij;
+      }
+    }
+  };
+  if (options.pool != nullptr && options.pool->num_threads() > 1) {
+    options.pool->ParallelForRange(n, fill_rows);
+  } else {
+    fill_rows(0, n);
+  }
   std::vector<double> upper;
   upper.reserve(static_cast<size_t>(n) * (n - 1) / 2);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      const double dij = dist(i, j);
-      d[static_cast<size_t>(i) * n + j] = dij;
-      d[static_cast<size_t>(j) * n + i] = dij;
-      upper.push_back(dij);
+      upper.push_back(d[static_cast<size_t>(i) * n + j]);
     }
   }
   std::sort(upper.begin(), upper.end());
@@ -114,6 +129,7 @@ Result<SpectralResult> SpectralClustering(int n, const DistanceFn& dist,
   KMeansOptions km;
   km.k = options.k;
   km.seed = options.seed;
+  km.pool = options.pool;
   E2DTC_ASSIGN_OR_RETURN(KMeansResult kmr, KMeans(result.embedding, km));
   result.assignments = std::move(kmr.assignments);
   return result;

@@ -25,6 +25,10 @@ struct SpectralOptions {
   /// symmetrization); 0 = dense graph.
   int neighbors = 0;
   uint64_t seed = 42;
+  /// Optional pool for the O(n^2) pairwise-distance fill (the dominant cost
+  /// for trajectory metrics) and the embedding k-means. `dist` must be
+  /// thread-safe when set. Results are identical with or without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct SpectralResult {

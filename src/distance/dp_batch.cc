@@ -1,0 +1,363 @@
+#include "distance/dp_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#if defined(__AVX512F__) && defined(__FMA__)
+#include <immintrin.h>
+#define E2DTC_DP_AVX512 1
+#endif
+
+namespace e2dtc::distance::batch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int B = kLanes;
+
+size_t RowLen(int m_max) { return (static_cast<size_t>(m_max) + 1) * B; }
+
+#ifdef E2DTC_DP_AVX512
+
+/// Exactly-rounded vector sqrt for non-negative finite inputs, ~4x the
+/// throughput of vsqrtpd on Skylake-class cores (where the hardware zmm
+/// sqrt retires one result per ~20 cycles and is the DP bottleneck).
+///
+/// g approximates sqrt(x) and h approximates 1/(2 sqrt(x)); each coupled
+/// Newton step (Goldschmidt form) squares the relative error, so the
+/// vrsqrt14pd seed (2^-14) reaches ~2^-53 after two steps — a faithful
+/// approximation. Markstein's theorem then makes the final fused step
+/// g' = fma(fma(-g, g, x), h, g) the *correctly rounded* result: the
+/// residual fma(-g, g, x) is computed without intermediate rounding.
+/// Zero, denormal and tiny-normal lanes (where the rsqrt seed can
+/// overflow or lose precision) fall back to the hardware sqrt — in the
+/// distance DP those are lanes where two trajectory points coincide.
+inline __m512d Sqrt8(__m512d x) {
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d y0 = _mm512_rsqrt14_pd(x);
+  __m512d g = _mm512_mul_pd(x, y0);
+  __m512d h = _mm512_mul_pd(half, y0);
+  const __m512d r0 = _mm512_fnmadd_pd(g, h, half);
+  g = _mm512_fmadd_pd(g, r0, g);
+  h = _mm512_fmadd_pd(h, r0, h);
+  // Second step refines g only: Markstein's correction needs h merely as a
+  // faithful-ish 1/(2 sqrt(x)) — its ~2^-28 error enters multiplied by the
+  // ~2^-53 residual e, far below the final rounding.
+  const __m512d r1 = _mm512_fnmadd_pd(g, h, half);
+  g = _mm512_fmadd_pd(g, r1, g);
+  const __m512d e = _mm512_fnmadd_pd(g, g, x);
+  g = _mm512_fmadd_pd(e, h, g);
+  const __mmask8 tiny =
+      _mm512_cmp_pd_mask(x, _mm512_set1_pd(0x1p-1021), _CMP_LT_OQ);
+  if (tiny != 0) g = _mm512_mask_sqrt_pd(g, tiny, x);
+  return g;
+}
+
+#endif  // E2DTC_DP_AVX512
+
+}  // namespace
+
+int PackColumns(const Polyline* const* cols,
+                const std::vector<double>* const* gap_cols, int count,
+                BatchScratch* s) {
+  s->len.assign(B, 0);
+  int m_max = 0;
+  for (int l = 0; l < count; ++l) {
+    s->len[static_cast<size_t>(l)] = static_cast<int>(cols[l]->size());
+    m_max = std::max(m_max, s->len[static_cast<size_t>(l)]);
+  }
+  const size_t packed = static_cast<size_t>(m_max) * B;
+  s->bx.assign(packed, 0.0);
+  s->by.assign(packed, 0.0);
+  if (gap_cols != nullptr) s->bgap.assign(packed, 0.0);
+  for (int l = 0; l < count; ++l) {
+    const Polyline& c = *cols[l];
+    const int m = s->len[static_cast<size_t>(l)];
+    if (m == 0) continue;  // stays (0,0); the engine falls back for the pair
+    for (int j = 0; j < m_max; ++j) {
+      // Pad short lanes by repeating the last point: padded cells never feed
+      // a cell at j <= the lane's true length, so results are unaffected.
+      const int jj = j < m ? j : m - 1;
+      s->bx[static_cast<size_t>(j) * B + l] = c[static_cast<size_t>(jj)].x;
+      s->by[static_cast<size_t>(j) * B + l] = c[static_cast<size_t>(jj)].y;
+      if (gap_cols != nullptr) {
+        s->bgap[static_cast<size_t>(j) * B + l] =
+            (*gap_cols[l])[static_cast<size_t>(jj)];
+      }
+    }
+  }
+  return m_max;
+}
+
+bool HasAvx512DtwKernel() {
+#ifdef E2DTC_DP_AVX512
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ExactSqrt8(const double* x, double* out) {
+#ifdef E2DTC_DP_AVX512
+  _mm512_storeu_pd(out, Sqrt8(_mm512_loadu_pd(x)));
+#else
+  for (int l = 0; l < kLanes; ++l) out[l] = std::sqrt(x[l]);
+#endif
+}
+
+void DtwBatch(const Polyline& a, int m_max, BatchScratch* s, double* out) {
+  s->prev.assign(RowLen(m_max), kInf);
+  s->cur.assign(RowLen(m_max), kInf);
+  double* __restrict prev = s->prev.data();
+  double* __restrict cur = s->cur.data();
+  for (int l = 0; l < B; ++l) prev[l] = 0.0;
+  const double* __restrict bx = s->bx.data();
+  const double* __restrict by = s->by.data();
+#ifdef E2DTC_DP_AVX512
+  // Hand-scheduled row sweep: `left` (the loop-carried cur[j-1] vector)
+  // stays in a register, so the recurrence chain is one vminpd + one
+  // vaddpd per column group, and Sqrt8 replaces the ~20-cycle vsqrtpd.
+  // dx*dx + dy*dy is an explicit mul+add (no FMA) to round exactly like
+  // the portable scalar metric TUs.
+  const __m512d vinf = _mm512_set1_pd(kInf);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const __m512d ax = _mm512_set1_pd(a[i - 1].x);
+    const __m512d ay = _mm512_set1_pd(a[i - 1].y);
+    __m512d left = vinf;
+    // diag for column j is prev[(j-1)*B] — i.e. last iteration's `up` —
+    // so carry it in a register instead of reloading.
+    __m512d diag = _mm512_loadu_pd(prev);
+    _mm512_storeu_pd(cur, vinf);
+    for (int j = 1; j <= m_max; ++j) {
+      const __m512d vbx = _mm512_loadu_pd(bx + static_cast<size_t>(j - 1) * B);
+      const __m512d vby = _mm512_loadu_pd(by + static_cast<size_t>(j - 1) * B);
+      const __m512d dx = _mm512_sub_pd(ax, vbx);
+      const __m512d dy = _mm512_sub_pd(ay, vby);
+      const __m512d d2 =
+          _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy));
+      const __m512d d = Sqrt8(d2);
+      const __m512d up = _mm512_loadu_pd(prev + static_cast<size_t>(j) * B);
+      __m512d best = _mm512_min_pd(up, diag);
+      best = _mm512_min_pd(best, left);
+      const __m512d v = _mm512_add_pd(d, best);
+      _mm512_storeu_pd(cur + static_cast<size_t>(j) * B, v);
+      left = v;
+      diag = up;
+    }
+    std::swap(prev, cur);
+  }
+#else
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const double ax = a[i - 1].x;
+    const double ay = a[i - 1].y;
+    double left[B];
+    for (int l = 0; l < B; ++l) {
+      cur[l] = kInf;
+      left[l] = kInf;
+    }
+    for (int j = 1; j <= m_max; ++j) {
+      const double* __restrict bxj = bx + static_cast<size_t>(j - 1) * B;
+      const double* __restrict byj = by + static_cast<size_t>(j - 1) * B;
+      const double* __restrict up = prev + static_cast<size_t>(j) * B;
+      const double* __restrict diag = prev + static_cast<size_t>(j - 1) * B;
+      double* __restrict cj = cur + static_cast<size_t>(j) * B;
+      for (int l = 0; l < B; ++l) {
+        const double dx = ax - bxj[l];
+        const double dy = ay - byj[l];
+        const double d = std::sqrt(dx * dx + dy * dy);
+        double best = std::min(up[l], diag[l]);
+        best = std::min(best, left[l]);
+        const double v = d + best;
+        cj[l] = v;
+        left[l] = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+#endif
+  for (int l = 0; l < B; ++l) {
+    out[l] = prev[static_cast<size_t>(s->len[static_cast<size_t>(l)]) * B + l];
+  }
+}
+
+void EdrBatch(const Polyline& a, double epsilon_meters, int m_max,
+              BatchScratch* s, int* out) {
+  s->iprev.assign(RowLen(m_max), 0);
+  s->icur.assign(RowLen(m_max), 0);
+  int* __restrict prev = s->iprev.data();
+  int* __restrict cur = s->icur.data();
+  for (int j = 0; j <= m_max; ++j) {
+    for (int l = 0; l < B; ++l) prev[static_cast<size_t>(j) * B + l] = j;
+  }
+  const double* __restrict bx = s->bx.data();
+  const double* __restrict by = s->by.data();
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const double ax = a[i - 1].x;
+    const double ay = a[i - 1].y;
+    int left[B];
+    for (int l = 0; l < B; ++l) {
+      cur[l] = static_cast<int>(i);
+      left[l] = static_cast<int>(i);
+    }
+    for (int j = 1; j <= m_max; ++j) {
+      const double* __restrict bxj = bx + static_cast<size_t>(j - 1) * B;
+      const double* __restrict byj = by + static_cast<size_t>(j - 1) * B;
+      const int* __restrict up = prev + static_cast<size_t>(j) * B;
+      const int* __restrict diag = prev + static_cast<size_t>(j - 1) * B;
+      int* __restrict cj = cur + static_cast<size_t>(j) * B;
+      for (int l = 0; l < B; ++l) {
+        const double dx = ax - bxj[l];
+        const double dy = ay - byj[l];
+        const int match =
+            std::sqrt(dx * dx + dy * dy) <= epsilon_meters ? 0 : 1;
+        int v = std::min(diag[l] + match, up[l] + 1);
+        v = std::min(v, left[l] + 1);
+        cj[l] = v;
+        left[l] = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  for (int l = 0; l < B; ++l) {
+    out[l] = prev[static_cast<size_t>(s->len[static_cast<size_t>(l)]) * B + l];
+  }
+}
+
+void LcssBatch(const Polyline& a, double epsilon_meters, int m_max,
+               BatchScratch* s, int* out) {
+  s->iprev.assign(RowLen(m_max), 0);
+  s->icur.assign(RowLen(m_max), 0);
+  int* __restrict prev = s->iprev.data();
+  int* __restrict cur = s->icur.data();
+  const double* __restrict bx = s->bx.data();
+  const double* __restrict by = s->by.data();
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const double ax = a[i - 1].x;
+    const double ay = a[i - 1].y;
+    int left[B];
+    for (int l = 0; l < B; ++l) {
+      cur[l] = 0;
+      left[l] = 0;
+    }
+    for (int j = 1; j <= m_max; ++j) {
+      const double* __restrict bxj = bx + static_cast<size_t>(j - 1) * B;
+      const double* __restrict byj = by + static_cast<size_t>(j - 1) * B;
+      const int* __restrict up = prev + static_cast<size_t>(j) * B;
+      const int* __restrict diag = prev + static_cast<size_t>(j - 1) * B;
+      int* __restrict cj = cur + static_cast<size_t>(j) * B;
+      for (int l = 0; l < B; ++l) {
+        const double dx = ax - bxj[l];
+        const double dy = ay - byj[l];
+        const bool match = std::sqrt(dx * dx + dy * dy) <= epsilon_meters;
+        const int v = match ? diag[l] + 1 : std::max(up[l], left[l]);
+        cj[l] = v;
+        left[l] = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  for (int l = 0; l < B; ++l) {
+    out[l] = prev[static_cast<size_t>(s->len[static_cast<size_t>(l)]) * B + l];
+  }
+}
+
+void ErpBatch(const Polyline& a, const double* gap_a, int m_max,
+              BatchScratch* s, double* out) {
+  s->prev.assign(RowLen(m_max), 0.0);
+  s->cur.assign(RowLen(m_max), 0.0);
+  double* __restrict prev = s->prev.data();
+  double* __restrict cur = s->cur.data();
+  const double* __restrict bx = s->bx.data();
+  const double* __restrict by = s->by.data();
+  const double* __restrict bgap = s->bgap.data();
+  // Row 0: prefix sums of the column gap penalties, per lane.
+  for (int j = 1; j <= m_max; ++j) {
+    const double* __restrict gj = bgap + static_cast<size_t>(j - 1) * B;
+    const double* __restrict pm = prev + static_cast<size_t>(j - 1) * B;
+    double* __restrict pj = prev + static_cast<size_t>(j) * B;
+    for (int l = 0; l < B; ++l) pj[l] = pm[l] + gj[l];
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const double ax = a[i - 1].x;
+    const double ay = a[i - 1].y;
+    const double ga = gap_a[i - 1];
+    double left[B];
+    for (int l = 0; l < B; ++l) {
+      const double v = prev[l] + ga;
+      cur[l] = v;
+      left[l] = v;
+    }
+    for (int j = 1; j <= m_max; ++j) {
+      const double* __restrict bxj = bx + static_cast<size_t>(j - 1) * B;
+      const double* __restrict byj = by + static_cast<size_t>(j - 1) * B;
+      const double* __restrict gj = bgap + static_cast<size_t>(j - 1) * B;
+      const double* __restrict up = prev + static_cast<size_t>(j) * B;
+      const double* __restrict diag = prev + static_cast<size_t>(j - 1) * B;
+      double* __restrict cj = cur + static_cast<size_t>(j) * B;
+      for (int l = 0; l < B; ++l) {
+        const double dx = ax - bxj[l];
+        const double dy = ay - byj[l];
+        const double match = diag[l] + std::sqrt(dx * dx + dy * dy);
+        const double skip_a = up[l] + ga;
+        const double skip_b = left[l] + gj[l];
+        double v = std::min(match, skip_a);
+        v = std::min(v, skip_b);
+        cj[l] = v;
+        left[l] = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  for (int l = 0; l < B; ++l) {
+    out[l] = prev[static_cast<size_t>(s->len[static_cast<size_t>(l)]) * B + l];
+  }
+}
+
+void FrechetBatch(const Polyline& a, int m_max, BatchScratch* s, double* out) {
+  // 1-indexed DP with a sentinel column: cur[0] = +inf always; prev[0] is
+  // -inf for the first row only, so max(min(..., prev[0]), d) reduces to d
+  // at cell (1,1) and to the seed's branchy boundary forms elsewhere. The
+  // values computed are identical to FrechetDistance's (extra +/-inf
+  // arguments never change a min/max over finite reach values).
+  s->prev.assign(RowLen(m_max), kInf);
+  s->cur.assign(RowLen(m_max), kInf);
+  double* __restrict prev = s->prev.data();
+  double* __restrict cur = s->cur.data();
+  const double* __restrict bx = s->bx.data();
+  const double* __restrict by = s->by.data();
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const double ax = a[i - 1].x;
+    const double ay = a[i - 1].y;
+    const double boundary = i == 1 ? -kInf : kInf;
+    double left[B];
+    for (int l = 0; l < B; ++l) {
+      prev[l] = boundary;
+      cur[l] = kInf;
+      left[l] = kInf;
+    }
+    for (int j = 1; j <= m_max; ++j) {
+      const double* __restrict bxj = bx + static_cast<size_t>(j - 1) * B;
+      const double* __restrict byj = by + static_cast<size_t>(j - 1) * B;
+      const double* __restrict up = prev + static_cast<size_t>(j) * B;
+      const double* __restrict diag = prev + static_cast<size_t>(j - 1) * B;
+      double* __restrict cj = cur + static_cast<size_t>(j) * B;
+      for (int l = 0; l < B; ++l) {
+        const double dx = ax - bxj[l];
+        const double dy = ay - byj[l];
+        const double d = std::sqrt(dx * dx + dy * dy);
+        double reach = std::min(up[l], diag[l]);
+        reach = std::min(reach, left[l]);
+        const double v = std::max(reach, d);
+        cj[l] = v;
+        left[l] = v;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  for (int l = 0; l < B; ++l) {
+    out[l] = prev[static_cast<size_t>(s->len[static_cast<size_t>(l)]) * B + l];
+  }
+}
+
+}  // namespace e2dtc::distance::batch

@@ -1,0 +1,90 @@
+#ifndef E2DTC_DISTANCE_DP_BATCH_H_
+#define E2DTC_DISTANCE_DP_BATCH_H_
+
+#include <vector>
+
+#include "distance/metrics.h"
+
+namespace e2dtc::distance::batch {
+
+/// Lane-batched DP kernels: one shared "row" trajectory against kLanes
+/// "column" trajectories at once, with the DP state interleaved by lane so
+/// the inner loop is kLanes independent recurrences the compiler can keep in
+/// one vector register (8 doubles on AVX-512).
+///
+/// # Why batching is exact
+///
+/// Each lane runs the same recurrence as the per-pair scalar metric on the
+/// same operands: per-lane IEEE ops inside a vector are identical to their
+/// scalar counterparts, sqrt is exactly rounded, and min/max are exact. The
+/// TU is compiled with -ffp-contract=off so `dx*dx + dy*dy` rounds the same
+/// way here as in the portable scalar TUs — results are bitwise identical
+/// to DtwDistance/EdrDistance/... per pair (pinned by
+/// DistanceEngineTest.BatchedEngineMatchesScalarPairs).
+///
+/// Lanes shorter than the batch's m_max are padded by repeating their last
+/// point. Padded cells only feed cells with *larger* j, never smaller, so a
+/// lane's result — read at its own true length — is untouched by padding.
+/// Empty polylines and metric-specific empty-input special cases are the
+/// caller's job (the engine falls back to the scalar metric for those
+/// pairs).
+inline constexpr int kLanes = 8;
+
+/// Packed columns + DP rows, reused across batches (the engine keeps one per
+/// worker thread). All buffers are sized/overwritten by PackColumns and the
+/// kernels before use — no state survives between batches.
+struct BatchScratch {
+  std::vector<double> bx;    ///< Column x, lane-interleaved [m_max][kLanes].
+  std::vector<double> by;    ///< Column y, same layout.
+  std::vector<double> bgap;  ///< ERP gap distances, same layout.
+  std::vector<int> len;      ///< True length per lane (kLanes entries).
+  std::vector<double> prev;  ///< DP rows, (m_max+1)*kLanes.
+  std::vector<double> cur;
+  std::vector<int> iprev;    ///< Integer DP rows (EDR/LCSS).
+  std::vector<int> icur;
+};
+
+/// True when this build's DtwBatch runs the AVX-512 kernel (rsqrt-seeded,
+/// Markstein-corrected exact sqrt); false on the portable std::sqrt path.
+bool HasAvx512DtwKernel();
+
+/// Computes out[l] = sqrt(x[l]) for kLanes non-negative finite inputs,
+/// bitwise identical to std::sqrt. On AVX-512 builds this is the software
+/// sqrt the DTW kernel uses: a vrsqrt14pd seed, two coupled Newton
+/// iterations (Goldschmidt form), and a final Markstein fused correction
+/// g' = fma(fma(-g, g, x), h, g), which rounds correctly once g is a
+/// faithful approximation; zero/denormal lanes take the hardware sqrt.
+/// Pinned against std::sqrt bit-for-bit by DistanceEngineTest.
+void ExactSqrt8(const double* x, double* out);
+
+/// Packs `count` (<= kLanes) column polylines into lane-interleaved SoA
+/// layout; when `gap_cols` is non-null, also packs the per-point gap
+/// distances (ERP). Returns the padded row length m_max. Unused lanes get
+/// length 0; empty polylines are padded with (0,0) and must be handled by
+/// the caller.
+int PackColumns(const Polyline* const* cols,
+                const std::vector<double>* const* gap_cols, int count,
+                BatchScratch* s);
+
+/// Each kernel writes out[lane] for all kLanes lanes (garbage for lanes the
+/// caller will overwrite: padding lanes, empty inputs).
+void DtwBatch(const Polyline& a, int m_max, BatchScratch* s, double* out);
+
+/// Raw (unnormalized) EDR edit counts.
+void EdrBatch(const Polyline& a, double epsilon_meters, int m_max,
+              BatchScratch* s, int* out);
+
+/// LCSS subsequence lengths.
+void LcssBatch(const Polyline& a, double epsilon_meters, int m_max,
+               BatchScratch* s, int* out);
+
+/// ERP; `gap_a[i]` = EuclideanMeters(a[i], gap), precomputed once per row
+/// trajectory by the engine.
+void ErpBatch(const Polyline& a, const double* gap_a, int m_max,
+              BatchScratch* s, double* out);
+
+void FrechetBatch(const Polyline& a, int m_max, BatchScratch* s, double* out);
+
+}  // namespace e2dtc::distance::batch
+
+#endif  // E2DTC_DISTANCE_DP_BATCH_H_

@@ -5,15 +5,17 @@
 
 namespace e2dtc::distance {
 
-double DtwDistance(const Polyline& a, const Polyline& b) {
+double DtwDistance(const Polyline& a, const Polyline& b, PairScratch* scratch) {
   if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
   // Roll the DP over the shorter sequence to bound memory.
   const Polyline& rows = a.size() >= b.size() ? a : b;
   const Polyline& cols = a.size() >= b.size() ? b : a;
   const size_t m = cols.size();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> cur(m + 1, kInf);
+  scratch->prev.assign(m + 1, kInf);
+  scratch->cur.assign(m + 1, kInf);
+  double* prev = scratch->prev.data();
+  double* cur = scratch->cur.data();
   prev[0] = 0.0;
   for (size_t i = 1; i <= rows.size(); ++i) {
     cur[0] = kInf;
@@ -24,6 +26,11 @@ double DtwDistance(const Polyline& a, const Polyline& b) {
     std::swap(prev, cur);
   }
   return prev[m];
+}
+
+double DtwDistance(const Polyline& a, const Polyline& b) {
+  PairScratch scratch;
+  return DtwDistance(a, b, &scratch);
 }
 
 }  // namespace e2dtc::distance

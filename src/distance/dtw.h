@@ -2,6 +2,7 @@
 #define E2DTC_DISTANCE_DTW_H_
 
 #include "distance/metrics.h"
+#include "distance/scratch.h"
 
 namespace e2dtc::distance {
 
@@ -9,6 +10,10 @@ namespace e2dtc::distance {
 /// Euclidean point distance over all monotone alignments. O(|a||b|) time,
 /// O(min(|a|,|b|)) space. Returns +inf if either input is empty.
 double DtwDistance(const Polyline& a, const Polyline& b);
+
+/// Same, with caller-provided DP rows (no per-pair allocation; identical
+/// results).
+double DtwDistance(const Polyline& a, const Polyline& b, PairScratch* scratch);
 
 }  // namespace e2dtc::distance
 

@@ -4,14 +4,16 @@
 
 namespace e2dtc::distance {
 
-double EdrDistance(const Polyline& a, const Polyline& b,
-                   double epsilon_meters) {
+double EdrDistance(const Polyline& a, const Polyline& b, double epsilon_meters,
+                   PairScratch* scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0) return static_cast<double>(m);
   if (m == 0) return static_cast<double>(n);
-  std::vector<int> prev(m + 1);
-  std::vector<int> cur(m + 1);
+  scratch->iprev.assign(m + 1, 0);
+  scratch->icur.assign(m + 1, 0);
+  int* prev = scratch->iprev.data();
+  int* cur = scratch->icur.data();
   for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
   for (size_t i = 1; i <= n; ++i) {
     cur[0] = static_cast<int>(i);
@@ -25,11 +27,24 @@ double EdrDistance(const Polyline& a, const Polyline& b,
   return static_cast<double>(prev[m]);
 }
 
+double EdrDistance(const Polyline& a, const Polyline& b,
+                   double epsilon_meters) {
+  PairScratch scratch;
+  return EdrDistance(a, b, epsilon_meters, &scratch);
+}
+
 double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
-                             double epsilon_meters) {
+                             double epsilon_meters, PairScratch* scratch) {
   const size_t denom = std::max(a.size(), b.size());
   if (denom == 0) return 0.0;
-  return EdrDistance(a, b, epsilon_meters) / static_cast<double>(denom);
+  return EdrDistance(a, b, epsilon_meters, scratch) /
+         static_cast<double>(denom);
+}
+
+double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
+                             double epsilon_meters) {
+  PairScratch scratch;
+  return NormalizedEdrDistance(a, b, epsilon_meters, &scratch);
 }
 
 }  // namespace e2dtc::distance

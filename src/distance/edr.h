@@ -2,6 +2,7 @@
 #define E2DTC_DISTANCE_EDR_H_
 
 #include "distance/metrics.h"
+#include "distance/scratch.h"
 
 namespace e2dtc::distance {
 
@@ -11,10 +12,14 @@ namespace e2dtc::distance {
 /// Returns the raw edit count.
 double EdrDistance(const Polyline& a, const Polyline& b,
                    double epsilon_meters);
+double EdrDistance(const Polyline& a, const Polyline& b, double epsilon_meters,
+                   PairScratch* scratch);
 
 /// EDR normalized to [0,1] by max(|a|,|b|); 0 for two empty inputs.
 double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
                              double epsilon_meters);
+double NormalizedEdrDistance(const Polyline& a, const Polyline& b,
+                             double epsilon_meters, PairScratch* scratch);
 
 }  // namespace e2dtc::distance
 

@@ -4,15 +4,18 @@
 
 namespace e2dtc::distance {
 
-double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap) {
+double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap,
+                   PairScratch* scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   // Degenerate rows/columns: everything matches against the gap point.
-  std::vector<double> prev(m + 1, 0.0);
+  scratch->prev.assign(m + 1, 0.0);
+  scratch->cur.assign(m + 1, 0.0);
+  double* prev = scratch->prev.data();
+  double* cur = scratch->cur.data();
   for (size_t j = 1; j <= m; ++j) {
     prev[j] = prev[j - 1] + geo::EuclideanMeters(b[j - 1], gap);
   }
-  std::vector<double> cur(m + 1, 0.0);
   for (size_t i = 1; i <= n; ++i) {
     const double gap_a = geo::EuclideanMeters(a[i - 1], gap);
     cur[0] = prev[0] + gap_a;
@@ -27,6 +30,11 @@ double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap) {
     std::swap(prev, cur);
   }
   return prev[m];
+}
+
+double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap) {
+  PairScratch scratch;
+  return ErpDistance(a, b, gap, &scratch);
 }
 
 }  // namespace e2dtc::distance

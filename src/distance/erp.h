@@ -2,6 +2,7 @@
 #define E2DTC_DISTANCE_ERP_H_
 
 #include "distance/metrics.h"
+#include "distance/scratch.h"
 
 namespace e2dtc::distance {
 
@@ -12,6 +13,8 @@ namespace e2dtc::distance {
 /// `gap` defaults to the projection origin (0, 0).
 double ErpDistance(const Polyline& a, const Polyline& b,
                    const geo::XY& gap = geo::XY{0.0, 0.0});
+double ErpDistance(const Polyline& a, const Polyline& b, const geo::XY& gap,
+                   PairScratch* scratch);
 
 }  // namespace e2dtc::distance
 

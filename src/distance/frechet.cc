@@ -5,13 +5,16 @@
 
 namespace e2dtc::distance {
 
-double FrechetDistance(const Polyline& a, const Polyline& b) {
+double FrechetDistance(const Polyline& a, const Polyline& b,
+                       PairScratch* scratch) {
   if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
   const size_t n = a.size();
   const size_t m = b.size();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> prev(m, kInf);
-  std::vector<double> cur(m, kInf);
+  scratch->prev.assign(m, kInf);
+  scratch->cur.assign(m, kInf);
+  double* prev = scratch->prev.data();
+  double* cur = scratch->cur.data();
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < m; ++j) {
       const double d = geo::EuclideanMeters(a[i], b[j]);
@@ -30,6 +33,11 @@ double FrechetDistance(const Polyline& a, const Polyline& b) {
     std::swap(prev, cur);
   }
   return prev[m - 1];
+}
+
+double FrechetDistance(const Polyline& a, const Polyline& b) {
+  PairScratch scratch;
+  return FrechetDistance(a, b, &scratch);
 }
 
 }  // namespace e2dtc::distance

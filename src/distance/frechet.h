@@ -2,6 +2,7 @@
 #define E2DTC_DISTANCE_FRECHET_H_
 
 #include "distance/metrics.h"
+#include "distance/scratch.h"
 
 namespace e2dtc::distance {
 
@@ -9,6 +10,8 @@ namespace e2dtc::distance {
 /// couplings of the maximum matched point distance. O(|a||b|) DP.
 /// Returns +inf if either input is empty.
 double FrechetDistance(const Polyline& a, const Polyline& b);
+double FrechetDistance(const Polyline& a, const Polyline& b,
+                       PairScratch* scratch);
 
 }  // namespace e2dtc::distance
 

@@ -4,13 +4,17 @@
 
 namespace e2dtc::distance {
 
-int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters) {
+int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters,
+               PairScratch* scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return 0;
-  std::vector<int> prev(m + 1, 0);
-  std::vector<int> cur(m + 1, 0);
+  scratch->iprev.assign(m + 1, 0);
+  scratch->icur.assign(m + 1, 0);
+  int* prev = scratch->iprev.data();
+  int* cur = scratch->icur.data();
   for (size_t i = 1; i <= n; ++i) {
+    cur[0] = 0;
     for (size_t j = 1; j <= m; ++j) {
       if (geo::EuclideanMeters(a[i - 1], b[j - 1]) <= epsilon_meters) {
         cur[j] = prev[j - 1] + 1;
@@ -23,12 +27,23 @@ int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters) {
   return prev[m];
 }
 
+int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters) {
+  PairScratch scratch;
+  return LcssLength(a, b, epsilon_meters, &scratch);
+}
+
 double LcssDistance(const Polyline& a, const Polyline& b,
-                    double epsilon_meters) {
+                    double epsilon_meters, PairScratch* scratch) {
   if (a.empty() && b.empty()) return 0.0;
   if (a.empty() || b.empty()) return 1.0;
-  const double lcss = LcssLength(a, b, epsilon_meters);
+  const double lcss = LcssLength(a, b, epsilon_meters, scratch);
   return 1.0 - lcss / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double LcssDistance(const Polyline& a, const Polyline& b,
+                    double epsilon_meters) {
+  PairScratch scratch;
+  return LcssDistance(a, b, epsilon_meters, &scratch);
 }
 
 }  // namespace e2dtc::distance

@@ -2,17 +2,22 @@
 #define E2DTC_DISTANCE_LCSS_H_
 
 #include "distance/metrics.h"
+#include "distance/scratch.h"
 
 namespace e2dtc::distance {
 
 /// Length of the Longest Common SubSequence (Vlachos et al., ICDE'02):
 /// points match when within epsilon meters. O(|a||b|) time.
 int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters);
+int LcssLength(const Polyline& a, const Polyline& b, double epsilon_meters,
+               PairScratch* scratch);
 
 /// LCSS dissimilarity in [0,1]: 1 - LCSS/min(|a|,|b|). Two empty inputs
 /// have distance 0; one empty input has distance 1.
 double LcssDistance(const Polyline& a, const Polyline& b,
                     double epsilon_meters);
+double LcssDistance(const Polyline& a, const Polyline& b,
+                    double epsilon_meters, PairScratch* scratch);
 
 }  // namespace e2dtc::distance
 

@@ -1,11 +1,18 @@
 #include "distance/matrix.h"
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "distance/dp_batch.h"
 #include "distance/dtw.h"
 #include "distance/edr.h"
 #include "distance/frechet.h"
 #include "distance/hausdorff.h"
 #include "distance/erp.h"
 #include "distance/lcss.h"
+#include "distance/scratch.h"
 #include "distance/sspd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -56,39 +63,265 @@ double TrajectoryDistance(Metric metric, const Polyline& a, const Polyline& b,
   return 0.0;
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine pool (mirrors nn::kernels): lazily built, rebuilt on count changes.
+// Default is 1 worker = serial, the seed behavior.
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_num_threads = 1;
+int g_pool_threads = -1;  // what g_pool was built with
+
+/// Resolves the pool a matrix computation should run on: the caller's
+/// explicit pool if any, else the engine pool when configured for > 1
+/// worker. Returns nullptr for serial execution (also from inside a worker
+/// thread, where nested dispatch would deadlock Wait()).
+ThreadPool* EnginePool(ThreadPool* explicit_pool) {
+  if (explicit_pool != nullptr) {
+    return explicit_pool->num_threads() > 1 ? explicit_pool : nullptr;
+  }
+  if (ThreadPool::OnWorkerThread()) return nullptr;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  int want = g_num_threads;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  // Cap at the core count: oversubscribed workers on a saturated host only
+  // add context-switch overhead, and the tile/batch grid makes results
+  // identical at any worker count anyway.
+  if (want == 0 || want > hw) want = hw;
+  if (want <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool_threads != want) {
+    g_pool.reset();
+    g_pool = std::make_unique<ThreadPool>(want);
+    g_pool_threads = want;
+  }
+  return g_pool.get();
+}
+
+// ---------------------------------------------------------------------------
+// Triangular tiling. The upper triangle is cut into fixed kPairTile x
+// kPairTile blocks of (i,j) pairs, enumerated as a flat list the pool's
+// ParallelFor chunks over. Every tile holds a comparable amount of work
+// (diagonal tiles about half), unlike the seed's per-row sharding where row
+// i carried n-i-1 pairs. The grid is a pure function of n — never of the
+// thread count — which is what keeps the result byte-identical across
+// SetNumThreads values.
+constexpr int kPairTile = 64;
+
+struct Tile {
+  int i0, i1, j0, j1;
+};
+
+std::vector<Tile> MakeTiles(int n) {
+  std::vector<Tile> tiles;
+  for (int i0 = 0; i0 < n; i0 += kPairTile) {
+    for (int j0 = i0; j0 < n; j0 += kPairTile) {
+      tiles.push_back(Tile{i0, std::min(i0 + kPairTile, n), j0,
+                           std::min(j0 + kPairTile, n)});
+    }
+  }
+  return tiles;
+}
+
+/// Per-worker scratch arenas. Workers are long-lived, so the DP buffers are
+/// allocated once per thread and reused across every batch and pair; the
+/// kernels fully overwrite what they read, so no state crosses pairs.
+thread_local batch::BatchScratch t_batch_scratch;
+
+bool IsDpMetric(Metric m) {
+  switch (m) {
+    case Metric::kDtw:
+    case Metric::kEdr:
+    case Metric::kLcss:
+    case Metric::kErp:
+    case Metric::kFrechet:
+      return true;
+    case Metric::kHausdorff:
+    case Metric::kSspd:
+      return false;
+  }
+  return false;
+}
+
+void RecordPairs(int n) {
+  static obs::Counter pairs_counter =
+      obs::Registry::Global().counter("distance.pairs_computed");
+  pairs_counter.Increment(
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(n > 0 ? n - 1 : 0) /
+      2);
+}
+
+/// Scalar tile: every (i,j) pair with i < j inside the tile, one call each.
+void ComputeScalarTile(const std::function<double(int, int)>& pair_distance,
+                       const Tile& t, DistanceMatrix* m) {
+  for (int i = t.i0; i < t.i1; ++i) {
+    for (int j = std::max(t.j0, i + 1); j < t.j1; ++j) {
+      m->set(i, j, pair_distance(i, j));
+    }
+  }
+}
+
+/// Batched DP tile: pack each group of kLanes column trajectories once,
+/// then sweep every row trajectory of the tile over the packed lanes. The
+/// batch grid (absolute j in groups of kLanes from the tile's left edge,
+/// itself a multiple of kPairTile) is independent of both the thread count
+/// and the row index, so lane composition — and therefore every bit of the
+/// output — is reproducible.
+void ComputeDpTile(const std::vector<Polyline>& lines, Metric metric,
+                   const MetricParams& params,
+                   const std::vector<std::vector<double>>* gap_dists,
+                   const Tile& t, DistanceMatrix* m) {
+  batch::BatchScratch& bs = t_batch_scratch;
+  const Polyline* cols[batch::kLanes];
+  const std::vector<double>* gcols[batch::kLanes];
+  double dout[batch::kLanes];
+  int iout[batch::kLanes];
+  for (int j0 = t.j0; j0 < t.j1; j0 += batch::kLanes) {
+    const int count = std::min(batch::kLanes, t.j1 - j0);
+    for (int l = 0; l < count; ++l) {
+      cols[l] = &lines[static_cast<size_t>(j0 + l)];
+      if (gap_dists != nullptr) {
+        gcols[l] = &(*gap_dists)[static_cast<size_t>(j0 + l)];
+      }
+    }
+    const int m_max = batch::PackColumns(
+        cols, gap_dists != nullptr ? gcols : nullptr, count, &bs);
+    // Only rows with at least one lane strictly above the diagonal.
+    const int i_end = std::min(t.i1, j0 + count - 1);
+    for (int i = t.i0; i < i_end; ++i) {
+      const Polyline& a = lines[static_cast<size_t>(i)];
+      const bool batched = !a.empty() && m_max > 0;
+      if (batched) {
+        switch (metric) {
+          case Metric::kDtw:
+            batch::DtwBatch(a, m_max, &bs, dout);
+            break;
+          case Metric::kEdr:
+            batch::EdrBatch(a, params.epsilon_meters, m_max, &bs, iout);
+            break;
+          case Metric::kLcss:
+            batch::LcssBatch(a, params.epsilon_meters, m_max, &bs, iout);
+            break;
+          case Metric::kErp:
+            batch::ErpBatch(a, (*gap_dists)[static_cast<size_t>(i)].data(),
+                            m_max, &bs, dout);
+            break;
+          case Metric::kFrechet:
+            batch::FrechetBatch(a, m_max, &bs, dout);
+            break;
+          default:
+            E2DTC_CHECK_MSG(false, "not a DP metric");
+        }
+      }
+      for (int l = 0; l < count; ++l) {
+        const int j = j0 + l;
+        if (j <= i) continue;
+        const Polyline& b = lines[static_cast<size_t>(j)];
+        double v;
+        if (!batched || b.empty()) {
+          // Empty inputs hit metric-specific special cases (inf, 1.0, ...);
+          // keep the scalar implementations authoritative for those.
+          v = TrajectoryDistance(metric, a, b, params);
+        } else {
+          switch (metric) {
+            case Metric::kEdr:
+              v = static_cast<double>(iout[l]) /
+                  static_cast<double>(std::max(a.size(), b.size()));
+              break;
+            case Metric::kLcss:
+              v = 1.0 - static_cast<double>(iout[l]) /
+                            static_cast<double>(std::min(a.size(), b.size()));
+              break;
+            default:
+              v = dout[l];
+              break;
+          }
+        }
+        m->set(i, j, v);
+      }
+    }
+  }
+}
+
+void RunTiles(const std::vector<Tile>& tiles,
+              const std::function<void(const Tile&)>& run_tile,
+              ThreadPool* pool) {
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(tiles.size()), [&](int64_t t) {
+      run_tile(tiles[static_cast<size_t>(t)]);
+    });
+  } else {
+    for (const Tile& t : tiles) run_tile(t);
+  }
+}
+
+}  // namespace
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_num_threads = n < 0 ? 1 : n;
+  g_pool.reset();
+  g_pool_threads = -1;
+}
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_num_threads;
+}
+
 DistanceMatrix ComputeDistanceMatrix(const std::vector<Polyline>& lines,
                                      Metric metric, const MetricParams& params,
                                      ThreadPool* pool) {
   const int n = static_cast<int>(lines.size());
-  return ComputeDistanceMatrix(
-      n,
-      [&](int i, int j) {
-        return TrajectoryDistance(metric, lines[static_cast<size_t>(i)],
-                                  lines[static_cast<size_t>(j)], params);
-      },
-      pool);
+  if (!IsDpMetric(metric)) {
+    return ComputeDistanceMatrix(
+        n,
+        [&](int i, int j) {
+          return TrajectoryDistance(metric, lines[static_cast<size_t>(i)],
+                                    lines[static_cast<size_t>(j)], params);
+        },
+        pool);
+  }
+  E2DTC_TRACE_SPAN("distance.matrix");
+  RecordPairs(n);
+  DistanceMatrix m(n);
+  // Hoisted per-trajectory precomputation: ERP's gap penalties depend only
+  // on the trajectory, not the pair; the seed recomputed them for every
+  // pair a trajectory appeared in (O(n) times each).
+  std::vector<std::vector<double>> gap_dists;
+  if (metric == Metric::kErp) {
+    gap_dists.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const Polyline& line = lines[static_cast<size_t>(i)];
+      auto& g = gap_dists[static_cast<size_t>(i)];
+      g.resize(line.size());
+      for (size_t p = 0; p < line.size(); ++p) {
+        g[p] = geo::EuclideanMeters(line[p], params.erp_gap);
+      }
+    }
+  }
+  const std::vector<Tile> tiles = MakeTiles(n);
+  const std::vector<std::vector<double>>* gaps =
+      metric == Metric::kErp ? &gap_dists : nullptr;
+  RunTiles(
+      tiles,
+      [&](const Tile& t) { ComputeDpTile(lines, metric, params, gaps, t, &m); },
+      EnginePool(pool));
+  return m;
 }
 
 DistanceMatrix ComputeDistanceMatrix(
     int n, const std::function<double(int, int)>& pair_distance,
     ThreadPool* pool) {
   E2DTC_TRACE_SPAN("distance.matrix");
-  static obs::Counter pairs_counter =
-      obs::Registry::Global().counter("distance.pairs_computed");
-  pairs_counter.Increment(
-      static_cast<uint64_t>(n) * static_cast<uint64_t>(n > 0 ? n - 1 : 0) /
-      2);
+  RecordPairs(n);
   DistanceMatrix m(n);
-  auto compute_row = [&](int64_t i) {
-    for (int j = static_cast<int>(i) + 1; j < n; ++j) {
-      m.set(static_cast<int>(i), j, pair_distance(static_cast<int>(i), j));
-    }
-  };
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(n, compute_row);
-  } else {
-    for (int64_t i = 0; i < n; ++i) compute_row(i);
-  }
+  const std::vector<Tile> tiles = MakeTiles(n);
+  RunTiles(
+      tiles,
+      [&](const Tile& t) { ComputeScalarTile(pair_distance, t, &m); },
+      EnginePool(pool));
   return m;
 }
 

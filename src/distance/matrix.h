@@ -32,14 +32,28 @@ class DistanceMatrix {
   std::vector<double> data_;
 };
 
-/// Computes all pairwise distances under `metric`. When `pool` is non-null
-/// the upper triangle is computed in parallel (row-sharded).
+/// Worker threads the distance engine may use when no explicit pool is
+/// passed to ComputeDistanceMatrix (mirrors nn::kernels::SetNumThreads).
+/// 1 disables threading (the default); 0 resolves to
+/// std::thread::hardware_concurrency(). The pool is created lazily and
+/// rebuilt on count changes. Entries of the matrix are independent and the
+/// tile grid is a pure function of n, so the result is byte-identical at
+/// any thread count. The CLI exposes this as --distance-threads.
+void SetNumThreads(int n);
+int NumThreads();
+
+/// Computes all pairwise distances under `metric`. The upper triangle is
+/// enumerated as fixed-size (i,j) tiles scheduled on `pool` (or the engine's
+/// own pool, see SetNumThreads) so skewed row costs balance; the DP metrics
+/// (DTW/EDR/LCSS/ERP/Frechet) run lane-batched (see distance/dp_batch.h)
+/// with per-thread scratch arenas — no per-pair allocation.
 DistanceMatrix ComputeDistanceMatrix(const std::vector<Polyline>& lines,
                                      Metric metric,
                                      const MetricParams& params = {},
                                      ThreadPool* pool = nullptr);
 
-/// Generic variant: any symmetric pair function.
+/// Generic variant: any symmetric pair function. `pair_distance` must be
+/// safe to call concurrently when a pool is used.
 DistanceMatrix ComputeDistanceMatrix(
     int n, const std::function<double(int, int)>& pair_distance,
     ThreadPool* pool = nullptr);

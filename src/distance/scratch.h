@@ -1,0 +1,23 @@
+#ifndef E2DTC_DISTANCE_SCRATCH_H_
+#define E2DTC_DISTANCE_SCRATCH_H_
+
+#include <vector>
+
+namespace e2dtc::distance {
+
+/// Reusable per-thread DP buffers for the pairwise metrics. A distance
+/// matrix over n trajectories evaluates n(n-1)/2 pairs; without this arena
+/// every DP metric allocated (and freed) two rows per pair. Each metric
+/// `assign()`s the rows it needs before use, so a scratch carries no state
+/// between pairs — reusing one is exactly equivalent to fresh vectors
+/// (pinned by DistanceEngineTest.ScratchReuseDoesNotLeakState).
+struct PairScratch {
+  std::vector<double> prev;  ///< DP row i-1 (DTW/ERP/Frechet).
+  std::vector<double> cur;   ///< DP row i.
+  std::vector<int> iprev;    ///< Integer DP row i-1 (EDR/LCSS).
+  std::vector<int> icur;     ///< Integer DP row i.
+};
+
+}  // namespace e2dtc::distance
+
+#endif  // E2DTC_DISTANCE_SCRATCH_H_

@@ -5,11 +5,15 @@
 #include <limits>
 #include <unordered_map>
 
+#include "nn/kernels.h"
+#include "util/thread_pool.h"
+
 namespace e2dtc::metrics {
 
 Result<double> SilhouetteScore(int n,
                                const std::function<double(int, int)>& dist,
-                               const std::vector<int>& assignments) {
+                               const std::vector<int>& assignments,
+                               ThreadPool* pool) {
   if (static_cast<int>(assignments.size()) != n) {
     return Status::InvalidArgument("assignment size mismatch");
   }
@@ -20,45 +24,52 @@ Result<double> SilhouetteScore(int n,
     return Status::InvalidArgument("silhouette needs >= 2 clusters");
   }
 
-  double total = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const int own = assignments[static_cast<size_t>(i)];
-    const auto& mine = clusters[own];
-    if (mine.size() <= 1) continue;  // singleton: s = 0
-    double a = 0.0;
-    for (int j : mine) {
-      if (j != i) a += dist(i, j);
+  // Per-point scores, reduced serially in index order below: the sum is
+  // byte-identical whether the rows were computed serially or on the pool.
+  std::vector<double> s(static_cast<size_t>(n), 0.0);
+  auto score_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int own = assignments[static_cast<size_t>(i)];
+      const auto& mine = clusters.at(own);
+      if (mine.size() <= 1) continue;  // singleton: s = 0
+      double a = 0.0;
+      for (int j : mine) {
+        if (j != static_cast<int>(i)) a += dist(static_cast<int>(i), j);
+      }
+      a /= static_cast<double>(mine.size() - 1);
+      double b = std::numeric_limits<double>::infinity();
+      for (const auto& [label, members] : clusters) {
+        if (label == own) continue;
+        double mean = 0.0;
+        for (int j : members) mean += dist(static_cast<int>(i), j);
+        mean /= static_cast<double>(members.size());
+        b = std::min(b, mean);
+      }
+      const double denom = std::max(a, b);
+      if (denom > 0.0) s[static_cast<size_t>(i)] = (b - a) / denom;
     }
-    a /= static_cast<double>(mine.size() - 1);
-    double b = std::numeric_limits<double>::infinity();
-    for (const auto& [label, members] : clusters) {
-      if (label == own) continue;
-      double mean = 0.0;
-      for (int j : members) mean += dist(i, j);
-      mean /= static_cast<double>(members.size());
-      b = std::min(b, mean);
-    }
-    const double denom = std::max(a, b);
-    if (denom > 0.0) total += (b - a) / denom;
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelForRange(n, score_range);
+  } else {
+    score_range(0, n);
   }
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += s[static_cast<size_t>(i)];
   return total / static_cast<double>(n);
 }
 
-Result<double> SilhouetteScore(
-    const std::vector<std::vector<float>>& points,
-    const std::vector<int>& assignments) {
+Result<double> SilhouetteScore(const std::vector<std::vector<float>>& points,
+                               const std::vector<int>& assignments,
+                               ThreadPool* pool) {
   const int n = static_cast<int>(points.size());
   auto dist = [&points](int i, int j) {
-    double s = 0.0;
     const auto& a = points[static_cast<size_t>(i)];
     const auto& b = points[static_cast<size_t>(j)];
-    for (size_t d = 0; d < a.size(); ++d) {
-      const double diff = static_cast<double>(a[d]) - b[d];
-      s += diff * diff;
-    }
-    return std::sqrt(s);
+    return std::sqrt(nn::kernels::SquaredDistance(
+        a.data(), b.data(), static_cast<int64_t>(a.size())));
   };
-  return SilhouetteScore(n, dist, assignments);
+  return SilhouetteScore(n, dist, assignments, pool);
 }
 
 }  // namespace e2dtc::metrics

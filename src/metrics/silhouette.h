@@ -6,6 +6,10 @@
 
 #include "util/result.h"
 
+namespace e2dtc {
+class ThreadPool;
+}
+
 namespace e2dtc::metrics {
 
 /// Mean silhouette coefficient over all points, computed against an
@@ -13,14 +17,22 @@ namespace e2dtc::metrics {
 /// the mean intra-cluster distance and b the smallest mean distance to
 /// another cluster; singleton clusters contribute s = 0.
 /// Errors if there are fewer than 2 clusters or sizes mismatch.
+///
+/// When `pool` is set, per-point scores are computed across the pool (the
+/// O(n^2) dist sweep dominates) and reduced in ascending point order, so the
+/// result is identical to the serial one. `dist` must be thread-safe then —
+/// a precomputed DistanceMatrix accessor is.
 Result<double> SilhouetteScore(int n,
                                const std::function<double(int, int)>& dist,
-                               const std::vector<int>& assignments);
+                               const std::vector<int>& assignments,
+                               ThreadPool* pool = nullptr);
 
-/// Euclidean convenience overload over feature vectors.
-Result<double> SilhouetteScore(
-    const std::vector<std::vector<float>>& points,
-    const std::vector<int>& assignments);
+/// Euclidean convenience overload over feature vectors; the pairwise
+/// distances run on nn::kernels::SquaredDistance (AVX-512 when built
+/// natively).
+Result<double> SilhouetteScore(const std::vector<std::vector<float>>& points,
+                               const std::vector<int>& assignments,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace e2dtc::metrics
 

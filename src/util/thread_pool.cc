@@ -86,21 +86,26 @@ int64_t ThreadPool::ParallelForChunkSize(int64_t n, int num_workers) {
 }
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  ParallelForRange(n, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
   const int64_t workers = num_threads();
   // Inline fallbacks: trivial loops, single-worker pools, and calls from a
   // worker thread. The latter would deadlock in Wait(): the caller's own
   // task is still counted in flight, so in_flight_ can never reach zero.
   if (workers == 1 || n == 1 || OnWorkerThread()) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   const int64_t chunk = ParallelForChunkSize(n, static_cast<int>(workers));
   for (int64_t begin = 0; begin < n; begin += chunk) {
     const int64_t end = std::min(n, begin + chunk);
-    Submit([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
-    });
+    Submit([begin, end, &fn] { fn(begin, end); });
   }
   Wait();
 }

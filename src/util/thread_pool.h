@@ -49,6 +49,14 @@ class ThreadPool {
   /// deadlock, since the waiting task itself counts as in flight).
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Range flavor: runs fn(begin, end) once per contiguous chunk instead of
+  /// once per index — one std::function call per chunk, so tight per-index
+  /// bodies (k-means assignment, silhouette rows) keep their inner loop
+  /// vectorizable. Same chunking, re-entrancy and inline-fallback rules as
+  /// ParallelFor, which is implemented on top of this.
+  void ParallelForRange(
+      int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
   /// True when the calling thread is a worker of *any* ThreadPool. Used by
   /// ParallelFor's re-entrancy guard and by the nn kernel layer to avoid
   /// nesting parallel regions.

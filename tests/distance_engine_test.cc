@@ -1,0 +1,251 @@
+// Pins the three contracts the tiled distance engine advertises:
+//  * DistanceEngineDeterminismTest — matrices are byte-identical at any
+//    thread count (1 worker vs an explicit 8-worker pool vs serial).
+//  * DistanceEngineTest.BatchedEngineMatchesScalarPairs — the lane-batched
+//    DP kernels reproduce the per-pair scalar metrics bit-for-bit.
+//  * DistanceEngineTest.ScratchReuseDoesNotLeakState — a poisoned
+//    PairScratch gives the same answer as fresh vectors.
+// Plus the exactness proof for the AVX-512 software sqrt (ExactSqrt8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "distance/dp_batch.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/frechet.h"
+#include "distance/lcss.h"
+#include "distance/matrix.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::distance {
+namespace {
+
+Polyline RandomLine(Rng* rng, int n, double span = 5000.0) {
+  Polyline line;
+  for (int i = 0; i < n; ++i) {
+    line.push_back(
+        geo::XY{rng->Uniform(-span, span), rng->Uniform(-span, span)});
+  }
+  return line;
+}
+
+// Mixed-length corpus, including empty and single-point trajectories so the
+// engine's scalar fallbacks for degenerate pairs are exercised too.
+std::vector<Polyline> MakeCorpus(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Polyline> lines;
+  lines.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int len = 4 + static_cast<int>(rng.UniformU64(45));
+    if (i % 17 == 0) len = 0;       // empty
+    if (i % 13 == 0) len = 1;       // single point
+    lines.push_back(RandomLine(&rng, len));
+  }
+  return lines;
+}
+
+constexpr Metric kAllMetrics[] = {
+    Metric::kDtw,   Metric::kEdr,     Metric::kLcss, Metric::kHausdorff,
+    Metric::kFrechet, Metric::kErp,   Metric::kSspd,
+};
+
+bool BitwiseEqual(const DistanceMatrix& a, const DistanceMatrix& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+// --------------------------------------------- thread-count determinism --
+
+// The matrix must be byte-identical whether tiles run serially, on one
+// worker, or interleaved across 8 workers. The explicit pool bypasses the
+// engine's hardware-concurrency cap, so real multi-worker scheduling (tiles
+// completing out of order) is exercised even on a 1-core host.
+TEST(DistanceEngineDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<Polyline> lines = MakeCorpus(40, 7);
+  for (Metric m : kAllMetrics) {
+    SCOPED_TRACE(MetricName(m));
+    SetNumThreads(1);
+    const DistanceMatrix serial = ComputeDistanceMatrix(lines, m);
+    ThreadPool pool8(8);
+    const DistanceMatrix threaded =
+        ComputeDistanceMatrix(lines, m, MetricParams{}, &pool8);
+    EXPECT_TRUE(BitwiseEqual(serial, threaded));
+  }
+}
+
+TEST(DistanceEngineDeterminismTest, GenericOverloadMatchesAcrossPools) {
+  const std::vector<Polyline> lines = MakeCorpus(30, 11);
+  auto pair = [&](int i, int j) {
+    return DtwDistance(lines[i], lines[j]);
+  };
+  const int n = static_cast<int>(lines.size());
+  const DistanceMatrix serial = ComputeDistanceMatrix(n, pair);
+  ThreadPool pool8(8);
+  const DistanceMatrix threaded = ComputeDistanceMatrix(n, pair, &pool8);
+  EXPECT_TRUE(BitwiseEqual(serial, threaded));
+}
+
+// ------------------------------------------------ engine vs scalar pairs --
+
+// The tiled/batched engine must agree bit-for-bit with the naive loop that
+// calls the scalar per-pair metric — the contract that lets callers opt in
+// to the engine without re-validating downstream numerics.
+TEST(DistanceEngineTest, BatchedEngineMatchesScalarPairs) {
+  const std::vector<Polyline> lines = MakeCorpus(35, 19);
+  const int n = static_cast<int>(lines.size());
+  for (Metric m : kAllMetrics) {
+    SCOPED_TRACE(MetricName(m));
+    MetricParams params;
+    params.epsilon_meters = 150.0;
+    params.erp_gap = geo::XY{10.0, -20.0};
+    const DistanceMatrix engine = ComputeDistanceMatrix(lines, m, params);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        const double want = i == j ? 0.0
+                                   : TrajectoryDistance(m, lines[i], lines[j],
+                                                        params);
+        const double got = engine.at(i, j);
+        // Bitwise comparison: NaN never appears, but +-inf does (empty
+        // inputs under DTW/Frechet), so compare representations.
+        EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+            << "pair (" << i << "," << j << "): want " << want << " got "
+            << got;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- scratch arenas --
+
+// A PairScratch carries no state between pairs: pre-filling every buffer
+// with poison must not change any metric's answer.
+TEST(DistanceEngineTest, ScratchReuseDoesNotLeakState) {
+  Rng rng(23);
+  const Polyline a = RandomLine(&rng, 31);
+  const Polyline b = RandomLine(&rng, 17);
+
+  PairScratch scratch;
+  const double poison = -1234.5;
+  scratch.prev.assign(512, poison);
+  scratch.cur.assign(512, poison);
+  scratch.iprev.assign(512, -77);
+  scratch.icur.assign(512, -77);
+
+  EXPECT_EQ(DtwDistance(a, b), DtwDistance(a, b, &scratch));
+  EXPECT_EQ(EdrDistance(a, b, 150.0), EdrDistance(a, b, 150.0, &scratch));
+  EXPECT_EQ(NormalizedEdrDistance(a, b, 150.0),
+            NormalizedEdrDistance(a, b, 150.0, &scratch));
+  EXPECT_EQ(LcssLength(a, b, 150.0), LcssLength(a, b, 150.0, &scratch));
+  EXPECT_EQ(LcssDistance(a, b, 150.0), LcssDistance(a, b, 150.0, &scratch));
+  const geo::XY gap{5.0, 5.0};
+  EXPECT_EQ(ErpDistance(a, b, gap), ErpDistance(a, b, gap, &scratch));
+  EXPECT_EQ(FrechetDistance(a, b), FrechetDistance(a, b, &scratch));
+
+  // And again back-to-back with the now-dirty scratch (state from the
+  // previous call, not synthetic poison).
+  EXPECT_EQ(DtwDistance(b, a), DtwDistance(b, a, &scratch));
+  EXPECT_EQ(FrechetDistance(b, a), FrechetDistance(b, a, &scratch));
+}
+
+// The batch scratch makes the same promise across batches: running a batch
+// with a scratch that just processed different columns gives the same
+// result as a fresh scratch.
+TEST(DistanceEngineTest, BatchScratchReuseMatchesFresh) {
+  Rng rng(29);
+  const Polyline row = RandomLine(&rng, 24);
+  std::vector<Polyline> cols_a, cols_b;
+  for (int l = 0; l < batch::kLanes; ++l) {
+    cols_a.push_back(RandomLine(&rng, 8 + l * 3));
+    cols_b.push_back(RandomLine(&rng, 30 - l * 2));
+  }
+  auto run = [&](const std::vector<Polyline>& cols, batch::BatchScratch* s,
+                 double* out) {
+    const Polyline* ptrs[batch::kLanes];
+    for (int l = 0; l < batch::kLanes; ++l) ptrs[l] = &cols[l];
+    const int m_max = batch::PackColumns(ptrs, nullptr, batch::kLanes, s);
+    batch::DtwBatch(row, m_max, s, out);
+  };
+
+  batch::BatchScratch fresh;
+  double want[batch::kLanes];
+  run(cols_b, &fresh, want);
+
+  batch::BatchScratch reused;
+  double scratch_out[batch::kLanes];
+  run(cols_a, &reused, scratch_out);  // dirty the buffers
+  double got[batch::kLanes];
+  run(cols_b, &reused, got);
+  for (int l = 0; l < batch::kLanes; ++l) {
+    EXPECT_EQ(want[l], got[l]) << "lane " << l;
+  }
+}
+
+// ---------------------------------------------------------- exact sqrt8 --
+
+// The DTW kernel's software sqrt must be bitwise identical to std::sqrt on
+// every non-negative finite input class: zero, denormals, the rsqrt-seed
+// boundary, perfect squares (exactness stress for the Markstein step), and
+// random magnitudes across the exponent range.
+TEST(DistanceEngineTest, ExactSqrt8MatchesStdSqrt) {
+  std::vector<double> inputs = {
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      0x1p-1074,
+      0x1p-1030,
+      0x1p-1022,  // smallest normal
+      0x1p-1021,  // hardware-fallback threshold
+      std::nextafter(0x1p-1021, 0.0),
+      1.0,
+      2.0,
+      4.0,
+      0.25,
+      1e-300,
+      1e300,
+      std::numeric_limits<double>::max(),
+  };
+  Rng rng(31);
+  for (int i = 0; i < 4096; ++i) {
+    const double mag = rng.Uniform(-300.0, 300.0);
+    inputs.push_back(rng.Uniform(0.5, 2.0) * std::pow(10.0, mag));
+  }
+  // Perfect squares and their neighbors.
+  for (int i = 0; i < 1024; ++i) {
+    const double r = rng.Uniform(1.0, 1e8);
+    inputs.push_back(r * r);
+    inputs.push_back(std::nextafter(r * r, 0.0));
+    inputs.push_back(std::nextafter(r * r, 1e300));
+  }
+  while (inputs.size() % batch::kLanes != 0) inputs.push_back(1.0);
+
+  for (size_t i = 0; i < inputs.size(); i += batch::kLanes) {
+    double out[batch::kLanes];
+    batch::ExactSqrt8(&inputs[i], out);
+    for (int l = 0; l < batch::kLanes; ++l) {
+      const double want = std::sqrt(inputs[i + l]);
+      EXPECT_EQ(std::memcmp(&want, &out[l], sizeof(double)), 0)
+          << "sqrt(" << inputs[i + l] << "): want " << want << " got "
+          << out[l];
+    }
+  }
+}
+
+// --------------------------------------------------- engine knob basics --
+
+TEST(DistanceEngineTest, SetNumThreadsRoundTrips) {
+  const int before = NumThreads();
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(-5);  // negative clamps to 1
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(before);
+}
+
+}  // namespace
+}  // namespace e2dtc::distance

@@ -1,0 +1,220 @@
+// Pins the GEMM-backed Lloyd assignment step to its scalar oracle and the
+// empty-cluster re-seeding semantics:
+//  * KMeansKernelTest — AssignToNearestCentroids (blocked MatmulNT + norm
+//    expansion) is bitwise identical to ReferenceAssignToNearestCentroids,
+//    with or without a pool, including exact ties (duplicate centroids must
+//    lose to the lowest index).
+//  * KMeansReseedTest — empty clusters re-seed from the distances cached at
+//    assignment time: the farthest point wins, and two empty clusters pick
+//    two distinct points (regression for the mid-update centroid scan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::cluster {
+namespace {
+
+FeatureMatrix RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  FeatureMatrix points(static_cast<size_t>(n),
+                       std::vector<float>(static_cast<size_t>(dim)));
+  for (auto& row : points) {
+    for (auto& v : row) v = static_cast<float>(rng.Uniform(-10.0, 10.0));
+  }
+  return points;
+}
+
+void ExpectBitwiseEqualAssignment(const std::vector<int>& a_assign,
+                                  const std::vector<double>& a_d2,
+                                  double a_inertia,
+                                  const std::vector<int>& b_assign,
+                                  const std::vector<double>& b_d2,
+                                  double b_inertia) {
+  ASSERT_EQ(a_assign.size(), b_assign.size());
+  for (size_t i = 0; i < a_assign.size(); ++i) {
+    EXPECT_EQ(a_assign[i], b_assign[i]) << "point " << i;
+    EXPECT_EQ(std::memcmp(&a_d2[i], &b_d2[i], sizeof(double)), 0)
+        << "point " << i << ": " << a_d2[i] << " vs " << b_d2[i];
+  }
+  EXPECT_EQ(std::memcmp(&a_inertia, &b_inertia, sizeof(double)), 0);
+}
+
+// ----------------------------------------------- kernel vs scalar oracle --
+
+TEST(KMeansKernelTest, MatchesReferenceOnRandomInputs) {
+  // Odd dim and n exercise the GEMM's remainder paths; several shapes cover
+  // k below and above typical panel widths.
+  struct Shape {
+    int n, dim, k;
+  };
+  for (const Shape s : {Shape{300, 37, 7}, Shape{64, 128, 20},
+                        Shape{101, 5, 1}, Shape{50, 48, 50}}) {
+    SCOPED_TRACE(testing::Message() << "n=" << s.n << " dim=" << s.dim
+                                    << " k=" << s.k);
+    const FeatureMatrix points = RandomPoints(s.n, s.dim, 91);
+    const FeatureMatrix centroids = RandomPoints(s.k, s.dim, 92);
+
+    std::vector<int> kernel_assign, ref_assign;
+    std::vector<double> kernel_d2, ref_d2;
+    double kernel_inertia = 0.0, ref_inertia = 0.0;
+    AssignToNearestCentroids(points, centroids, /*pool=*/nullptr,
+                             &kernel_assign, &kernel_d2, &kernel_inertia);
+    ReferenceAssignToNearestCentroids(points, centroids, &ref_assign, &ref_d2,
+                                      &ref_inertia);
+    ExpectBitwiseEqualAssignment(kernel_assign, kernel_d2, kernel_inertia,
+                                 ref_assign, ref_d2, ref_inertia);
+  }
+}
+
+TEST(KMeansKernelTest, PoolDoesNotChangeResults) {
+  const FeatureMatrix points = RandomPoints(257, 33, 17);
+  const FeatureMatrix centroids = RandomPoints(9, 33, 18);
+
+  std::vector<int> serial_assign, pooled_assign;
+  std::vector<double> serial_d2, pooled_d2;
+  double serial_inertia = 0.0, pooled_inertia = 0.0;
+  AssignToNearestCentroids(points, centroids, nullptr, &serial_assign,
+                           &serial_d2, &serial_inertia);
+  ThreadPool pool(8);
+  AssignToNearestCentroids(points, centroids, &pool, &pooled_assign,
+                           &pooled_d2, &pooled_inertia);
+  ExpectBitwiseEqualAssignment(serial_assign, serial_d2, serial_inertia,
+                               pooled_assign, pooled_d2, pooled_inertia);
+}
+
+TEST(KMeansKernelTest, TiesBreakToLowestCentroidIndex) {
+  // Centroids 0 and 2 are identical, as are 1 and 3: every point ties
+  // exactly between two centroids, and the duplicate at the higher index
+  // must never win — in both the kernel path and the oracle.
+  const FeatureMatrix points = RandomPoints(120, 16, 5);
+  FeatureMatrix centroids = RandomPoints(2, 16, 6);
+  centroids.push_back(centroids[0]);
+  centroids.push_back(centroids[1]);
+
+  std::vector<int> kernel_assign, ref_assign;
+  std::vector<double> kernel_d2, ref_d2;
+  AssignToNearestCentroids(points, centroids, nullptr, &kernel_assign,
+                           &kernel_d2, nullptr);
+  ReferenceAssignToNearestCentroids(points, centroids, &ref_assign, &ref_d2,
+                                    nullptr);
+  for (size_t i = 0; i < kernel_assign.size(); ++i) {
+    EXPECT_LT(kernel_assign[i], 2) << "point " << i;
+    EXPECT_EQ(kernel_assign[i], ref_assign[i]) << "point " << i;
+  }
+}
+
+TEST(KMeansKernelTest, ExactHitsClampToZero) {
+  // Points placed exactly on centroids: the norm expansion can round
+  // epsilon-negative, and the contract clamps best_d2 at zero.
+  const FeatureMatrix centroids = RandomPoints(6, 24, 33);
+  FeatureMatrix points;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& c : centroids) points.push_back(c);
+  }
+  std::vector<int> assign;
+  std::vector<double> d2;
+  double inertia = 0.0;
+  AssignToNearestCentroids(points, centroids, nullptr, &assign, &d2,
+                           &inertia);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(assign[i], static_cast<int>(i % centroids.size()));
+    EXPECT_GE(d2[i], 0.0);
+    EXPECT_EQ(d2[i], 0.0) << "point " << i;
+  }
+  EXPECT_EQ(inertia, 0.0);
+}
+
+// ------------------------------------------------- empty-cluster reseed --
+
+TEST(KMeansReseedTest, EmptyClusterTakesFarthestPoint) {
+  // A tight group at the origin plus one far outlier; the second initial
+  // centroid is so remote it captures nothing. The re-seed must land on the
+  // outlier (the point farthest from its assigned centroid), giving it its
+  // own cluster.
+  FeatureMatrix points = {{0.0f, 0.0f}, {0.1f, 0.0f}, {0.0f, 0.1f},
+                          {0.1f, 0.1f}, {1000.0f, 0.0f}};
+  const FeatureMatrix init = {{0.0f, 0.0f}, {50000.0f, 50000.0f}};
+  KMeansOptions options;
+  options.max_iters = 10;
+  const KMeansResult result = KMeansFrom(points, init, options).value();
+  std::vector<int> counts(2, 0);
+  for (int a : result.assignments) ++counts[static_cast<size_t>(a)];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  // The outlier sits alone; the origin group stays together.
+  EXPECT_EQ(counts[result.assignments[4]], 1);
+  EXPECT_EQ(result.assignments[0], result.assignments[1]);
+  EXPECT_EQ(result.assignments[0], result.assignments[2]);
+  EXPECT_EQ(result.assignments[0], result.assignments[3]);
+}
+
+TEST(KMeansReseedTest, TwoEmptyClustersReseedDistinctPoints) {
+  // Two remote initial centroids both come up empty in the same iteration.
+  // The strike-out rule must hand them *different* points — the farthest
+  // and second-farthest — so each outlier ends up in its own cluster. (The
+  // seed code re-scored against mid-update centroids, which could hand both
+  // empties the same point and leave a cluster permanently empty.)
+  FeatureMatrix points = {{0.0f, 0.0f},    {0.1f, 0.0f}, {0.0f, 0.1f},
+                          {0.1f, 0.1f},    {1000.0f, 0.0f},
+                          {0.0f, 800.0f}};
+  const FeatureMatrix init = {{0.0f, 0.0f},
+                              {50000.0f, 50000.0f},
+                              {-60000.0f, 60000.0f}};
+  KMeansOptions options;
+  options.max_iters = 10;
+  const KMeansResult result = KMeansFrom(points, init, options).value();
+  std::vector<int> counts(3, 0);
+  for (int a : result.assignments) ++counts[static_cast<size_t>(a)];
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GT(counts[static_cast<size_t>(j)], 0) << "cluster " << j;
+  }
+  // Each outlier alone, in distinct clusters, apart from the origin group.
+  EXPECT_NE(result.assignments[4], result.assignments[5]);
+  EXPECT_EQ(counts[result.assignments[4]], 1);
+  EXPECT_EQ(counts[result.assignments[5]], 1);
+  std::set<int> group = {result.assignments[0], result.assignments[1],
+                         result.assignments[2], result.assignments[3]};
+  EXPECT_EQ(group.size(), 1u);
+  EXPECT_EQ(group.count(result.assignments[4]), 0u);
+}
+
+TEST(KMeansReseedTest, FullKMeansStillConvergesWithPool) {
+  // End-to-end sanity: four well-separated blobs, k = 4, pool enabled —
+  // every blob must come out as one pure cluster.
+  Rng rng(77);
+  FeatureMatrix points;
+  std::vector<int> truth;
+  const float centers[4][2] = {{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  for (int b = 0; b < 4; ++b) {
+    for (int i = 0; i < 25; ++i) {
+      points.push_back({centers[b][0] + static_cast<float>(rng.Uniform(-1, 1)),
+                        centers[b][1] + static_cast<float>(rng.Uniform(-1, 1))});
+      truth.push_back(b);
+    }
+  }
+  ThreadPool pool(8);
+  KMeansOptions options;
+  options.k = 4;
+  options.pool = &pool;
+  const KMeansResult result = KMeans(points, options).value();
+  // Same-blob points share a label; different blobs never do.
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      if (truth[i] == truth[j]) {
+        EXPECT_EQ(result.assignments[i], result.assignments[j]);
+      } else {
+        EXPECT_NE(result.assignments[i], result.assignments[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2dtc::cluster

@@ -446,6 +446,36 @@ TEST(ThreadPoolTest, ParallelForRebalancesSkewedPerItemCost) {
   EXPECT_LT(elapsed_ms, 110.0);
 }
 
+TEST(ThreadPoolTest, ParallelForRangeCoversAllIndicesExactlyOnce) {
+  // Chunks must tile [0, n) with no gap, overlap, or out-of-bounds index,
+  // and each chunk must arrive as one [begin, end) callback.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.ParallelForRange(101, [&](int64_t begin, int64_t end) {
+    ASSERT_LE(0, begin);
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, 101);
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSingleWorkerRunsInline) {
+  // With one worker the range flavor must run on the calling thread (no
+  // atomics needed by callers), as one whole-range chunk.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  int64_t sum = 0;
+  pool.ParallelForRange(64, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sum, 64 * 63 / 2);
+}
+
 TEST(ThreadPoolTest, ParallelForFromWorkerThreadRunsInline) {
   // Nested ParallelFor from inside a pool task must not deadlock (Wait()
   // would count the caller's own task as in flight forever) — it runs the

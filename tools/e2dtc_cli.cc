@@ -22,6 +22,7 @@
 #include "data/ground_truth.h"
 #include "data/io.h"
 #include "data/synthetic.h"
+#include "distance/matrix.h"
 #include "metrics/clustering_metrics.h"
 #include "nn/kernels.h"
 #include "obs/metrics.h"
@@ -94,6 +95,22 @@ bool ApplyKernelThreadsFlag(const Flags& flags) {
     return false;
   }
   nn::kernels::SetNumThreads(threads);
+  return true;
+}
+
+/// Applies --distance-threads N (distance-engine worker threads; 0 =
+/// auto-detect, 1 = serial). Distance matrices are bitwise identical at any
+/// thread count — the tile/batch grid is a pure function of the input (see
+/// distance/matrix.h) — so this too is purely a throughput knob.
+bool ApplyDistanceThreadsFlag(const Flags& flags) {
+  const int threads = flags.GetInt("distance-threads", -1);
+  if (threads == -1) return true;
+  if (threads < 0) {
+    std::fprintf(stderr, "--distance-threads must be >= 0 (got %d)\n",
+                 threads);
+    return false;
+  }
+  distance::SetNumThreads(threads);
   return true;
 }
 
@@ -286,6 +303,17 @@ int CmdFit(const Flags& flags) {
       fit.embed_seconds, fit.pretrain_seconds, fit.cluster_seconds,
       fit.total_seconds);
   std::vector<obs::Json> extra_events;
+  {
+    // Thread knobs live outside E2dtcConfig (they are process-global), so
+    // the run report records them as an explicit event.
+    obs::Json threads = obs::Json::Object();
+    threads.Set("type", "thread_config");
+    threads.Set("kernel_threads",
+                static_cast<int64_t>(nn::kernels::NumThreads()));
+    threads.Set("distance_threads",
+                static_cast<int64_t>(distance::NumThreads()));
+    extra_events.push_back(std::move(threads));
+  }
   if (!data::Labels(*ds).empty() && data::Labels(*ds)[0] >= 0) {
     auto q = metrics::EvaluateClustering(fit.assignments,
                                          data::Labels(*ds));
@@ -441,7 +469,9 @@ int main(int argc, char** argv) {
                  "[--flag value ...]\n"
                  "  common flags: --log-level {debug,info,warning,error}, "
                  "--kernel-threads N (0 = auto; results identical at any "
-                 "N)\n"
+                 "N),\n"
+                 "    --distance-threads N (distance-engine workers; same "
+                 "guarantee)\n"
                  "  fit flags: --trace-out FILE (chrome://tracing JSON), "
                  "--metrics-out FILE, --run-report FILE (JSONL),\n"
                  "    --checkpoint-dir DIR, --checkpoint-every N, "
@@ -458,6 +488,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   if (!ApplyLogLevelFlag(flags)) return 1;
   if (!ApplyKernelThreadsFlag(flags)) return 1;
+  if (!ApplyDistanceThreadsFlag(flags)) return 1;
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "fit") return CmdFit(flags);
   if (cmd == "assign") return CmdAssign(flags);
