@@ -18,20 +18,17 @@ constexpr uint32_t kMagic = 0x4B433245;  // "E2CK" little-endian
 constexpr uint32_t kVersion = 1;
 constexpr char kSuffix[] = ".e2ck";
 
-obs::Counter SaveCounter() {
-  static obs::Counter c = obs::Registry::Global().counter("ckpt.saves");
-  return c;
-}
-
-obs::Counter SaveFailureCounter() {
-  static obs::Counter c =
+/// Metric-name catalog for the checkpoint layer, resolved once per process.
+struct Instruments {
+  obs::Counter saves = obs::Registry::Global().counter("ckpt.saves");
+  obs::Counter save_failures =
       obs::Registry::Global().counter("ckpt.save_failures");
-  return c;
-}
+  obs::Counter resumes = obs::Registry::Global().counter("ckpt.resumes");
+};
 
-obs::Counter ResumeCounter() {
-  static obs::Counter c = obs::Registry::Global().counter("ckpt.resumes");
-  return c;
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
 }
 
 Status WriteTensor(BinaryWriter* w, const nn::Tensor& t) {
@@ -219,7 +216,7 @@ Status Checkpointer::Init() {
   if (options_.resume) {
     resume_snapshot_ = LoadLatest();
     if (resume_snapshot_.has_value()) {
-      ResumeCounter().Increment();
+      Instr().resumes.Increment();
       E2DTC_LOG(Info) << "resuming from checkpoint: phase "
                       << TrainPhaseName(resume_snapshot_->phase) << ", "
                       << resume_snapshot_->epochs_done << " epoch(s) done";
@@ -246,10 +243,10 @@ std::string Checkpointer::PathFor(const PhaseSnapshot& snap) const {
 Status Checkpointer::Save(const PhaseSnapshot& snap) {
   Status st = SaveSnapshot(PathFor(snap), snap);
   if (!st.ok()) {
-    SaveFailureCounter().Increment();
+    Instr().save_failures.Increment();
     return st;
   }
-  SaveCounter().Increment();
+  Instr().saves.Increment();
 
   std::vector<std::string> files = ListCheckpoints();
   const size_t keep = static_cast<size_t>(options_.keep);

@@ -23,6 +23,18 @@ double SquaredDistance(const std::vector<float>& a,
 
 namespace {
 
+/// Metric-name catalog for the k-means layer, resolved once per process.
+struct Instruments {
+  obs::Counter runs = obs::Registry::Global().counter("kmeans.runs");
+  obs::Counter lloyd_iterations =
+      obs::Registry::Global().counter("kmeans.lloyd_iterations");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
 /// Row-flattens a FeatureMatrix and computes per-row squared norms with
 /// kernels::Dot (the same accumulation contract the GEMM cross terms use).
 void FlattenWithNorms(const FeatureMatrix& rows, size_t dim,
@@ -279,12 +291,8 @@ KMeansResult Lloyd(const FeatureMatrix& points, FeatureMatrix centroids,
 Result<KMeansResult> KMeans(const FeatureMatrix& points,
                             const KMeansOptions& options) {
   E2DTC_TRACE_SPAN("kmeans.run");
-  static obs::Counter runs_counter =
-      obs::Registry::Global().counter("kmeans.runs");
-  static obs::Counter iterations_counter =
-      obs::Registry::Global().counter("kmeans.lloyd_iterations");
   E2DTC_RETURN_IF_ERROR(ValidateInput(points, options.k));
-  runs_counter.Increment();
+  Instr().runs.Increment();
   Rng rng(options.seed);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
@@ -293,7 +301,7 @@ Result<KMeansResult> KMeans(const FeatureMatrix& points,
     E2DTC_TRACE_SPAN("kmeans.restart");
     KMeansResult run =
         Lloyd(points, PlusPlusInit(points, options.k, &rng), options);
-    iterations_counter.Increment(static_cast<uint64_t>(run.iterations));
+    Instr().lloyd_iterations.Increment(static_cast<uint64_t>(run.iterations));
     if (run.inertia < best.inertia) best = std::move(run);
   }
   return best;

@@ -15,14 +15,27 @@
 
 namespace e2dtc::core {
 
+namespace {
+
+/// Metric-name catalog for the pipeline facade, resolved once per process.
+struct Instruments {
+  obs::Counter fits = obs::Registry::Global().counter("fits");
+  obs::Counter fit_trajectories =
+      obs::Registry::Global().counter("fit.trajectories");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     const data::Dataset& dataset, const E2dtcConfig& config) {
   E2DTC_TRACE_SPAN("fit");
-  static obs::Counter fits_counter = obs::Registry::Global().counter("fits");
-  static obs::Counter fit_trajectories_counter =
-      obs::Registry::Global().counter("fit.trajectories");
-  fits_counter.Increment();
-  fit_trajectories_counter.Increment(dataset.trajectories.size());
+  Instr().fits.Increment();
+  Instr().fit_trajectories.Increment(dataset.trajectories.size());
   if (dataset.trajectories.empty()) {
     return Status::InvalidArgument("empty dataset");
   }

@@ -11,27 +11,21 @@ namespace e2dtc::core {
 
 namespace {
 
-obs::Counter SkippedCounter() {
-  static obs::Counter c =
+/// Metric-name catalog for the health guardrails, resolved once per
+/// process.
+struct Instruments {
+  obs::Counter skipped =
       obs::Registry::Global().counter("health.skipped_batches");
-  return c;
-}
-
-obs::Counter NonFiniteCounter() {
-  static obs::Counter c =
+  obs::Counter nonfinite =
       obs::Registry::Global().counter("health.nonfinite_batches");
-  return c;
-}
-
-obs::Counter DivergedCounter() {
-  static obs::Counter c =
+  obs::Counter diverged =
       obs::Registry::Global().counter("health.diverged_batches");
-  return c;
-}
+  obs::Counter rollbacks = obs::Registry::Global().counter("health.rollbacks");
+};
 
-obs::Counter RollbackCounter() {
-  static obs::Counter c = obs::Registry::Global().counter("health.rollbacks");
-  return c;
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
 }
 
 double Median(const std::deque<double>& window) {
@@ -66,13 +60,13 @@ HealthMonitor::Verdict HealthMonitor::Check(double loss, double grad_norm) {
 
   ++skipped_batches_;
   ++consecutive_skips_;
-  SkippedCounter().Increment();
+  Instr().skipped.Increment();
   if (non_finite) {
-    NonFiniteCounter().Increment();
+    Instr().nonfinite.Increment();
     E2DTC_LOG(Warning) << "non-finite batch (loss " << loss << ", grad norm "
                        << grad_norm << "); skipping update";
   } else {
-    DivergedCounter().Increment();
+    Instr().diverged.Increment();
     E2DTC_LOG(Warning) << "diverging batch (loss " << loss << " > "
                        << config_.divergence_factor
                        << "x trailing median); skipping update";
@@ -87,7 +81,7 @@ void HealthMonitor::OnRollback() {
   ++rollbacks_;
   consecutive_skips_ = 0;
   window_.clear();
-  RollbackCounter().Increment();
+  Instr().rollbacks.Increment();
 }
 
 }  // namespace e2dtc::core

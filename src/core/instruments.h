@@ -1,0 +1,34 @@
+#ifndef E2DTC_CORE_INSTRUMENTS_H_
+#define E2DTC_CORE_INSTRUMENTS_H_
+
+#include "obs/metrics.h"
+
+namespace e2dtc::core {
+
+/// Metric-name catalogs for the trainers, acquired once at trainer
+/// construction (registry lookup takes a lock; recording through the cached
+/// handles is lock-free). Declaring them here keeps every metric name a
+/// trainer emits in one visible place instead of scattered through hot
+/// loops as function-local statics.
+
+struct PretrainInstruments {
+  obs::Counter batches = obs::Registry::Global().counter("pretrain.batches");
+  obs::Counter tokens = obs::Registry::Global().counter("pretrain.tokens");
+  obs::Gauge tokens_per_second =
+      obs::Registry::Global().gauge("pretrain.tokens_per_second");
+  obs::Histogram batch_ms = obs::Registry::Global().histogram(
+      "pretrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
+};
+
+struct SelfTrainInstruments {
+  obs::Counter batches = obs::Registry::Global().counter("selftrain.batches");
+  obs::Counter tokens = obs::Registry::Global().counter("selftrain.tokens");
+  obs::Gauge changed_fraction =
+      obs::Registry::Global().gauge("selftrain.changed_fraction");
+  obs::Histogram batch_ms = obs::Registry::Global().histogram(
+      "selftrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
+};
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_INSTRUMENTS_H_

@@ -3,9 +3,13 @@
 #include <algorithm>
 
 #include "core/health.h"
+#include "core/instruments.h"
 #include "core/resume.h"
+#include "core/train_telemetry.h"
 #include "data/batching.h"
+#include "nn/kernels.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -14,6 +18,23 @@
 #include "util/thread_pool.h"
 
 namespace e2dtc::core {
+
+namespace {
+
+/// Telemetry series the pretrainer emits, one sample per epoch (step =
+/// epoch index). Resolved once per Train() call; recording is a no-op
+/// while telemetry is disabled.
+struct PretrainTelemetry {
+  obs::TimeSeriesRecorder& rec = obs::TimeSeriesRecorder::Global();
+  obs::Series loss_recon = rec.series("pretrain.loss.recon");
+  obs::Series tokens_per_second = rec.series("pretrain.tokens_per_second");
+  obs::Series epoch_seconds = rec.series("pretrain.epoch_seconds");
+  obs::Series gemm_macs = rec.series("pretrain.gemm_macs");
+  obs::Series gemm_gflops = rec.series("pretrain.gemm_gflops");
+  obs::Series gemm_dispatches = rec.series("pretrain.gemm_dispatches");
+};
+
+}  // namespace
 
 Pretrainer::Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
                        const geo::Vocabulary::KnnTable* knn,
@@ -25,14 +46,7 @@ Pretrainer::Pretrainer(Seq2SeqModel* model, const geo::Vocabulary* vocab,
 Result<PretrainResult> Pretrainer::Train(
     const std::vector<geo::Trajectory>& trajectories) {
   E2DTC_TRACE_SPAN("pretrain.train");
-  static obs::Counter batches_counter =
-      obs::Registry::Global().counter("pretrain.batches");
-  static obs::Counter tokens_counter =
-      obs::Registry::Global().counter("pretrain.tokens");
-  static obs::Gauge tokens_per_sec_gauge =
-      obs::Registry::Global().gauge("pretrain.tokens_per_second");
-  static obs::Histogram batch_hist = obs::Registry::Global().histogram(
-      "pretrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
+  PretrainTelemetry telemetry;
   const bool collapse = model_->config().collapse_consecutive;
   const int n = static_cast<int>(trajectories.size());
   E2DTC_CHECK_GT(n, 0);
@@ -49,6 +63,7 @@ Result<PretrainResult> Pretrainer::Train(
   std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(
       model_->TrainableParameters(), config_.optimizer, config_.lr,
       config_.momentum);
+  InstallGradTelemetry(optimizer.get(), *model_, "pretrain");
   PretrainResult result;
   HealthMonitor health(config_.health);
   ckpt::Checkpointer* ckptr =
@@ -107,6 +122,8 @@ Result<PretrainResult> Pretrainer::Train(
     E2DTC_TRACE_SPAN("pretrain.epoch");
     if (cancelled()) return cancel_out();
     Stopwatch watch;
+    const nn::kernels::DispatchStats gemm_start =
+        nn::kernels::GetDispatchStats();
     // Each example pairs a freshly corrupted source with its original.
     std::vector<int> example_traj;     // example -> trajectory index
     std::vector<std::vector<int>> sources;
@@ -180,9 +197,9 @@ Result<PretrainResult> Pretrainer::Train(
 
       loss_sum += static_cast<double>(dec.loss_sum.value().scalar());
       token_sum += dec.num_tokens;
-      batches_counter.Increment();
-      tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
-      batch_hist.Record(batch_watch.ElapsedMillis());
+      instr_.batches.Increment();
+      instr_.tokens.Increment(static_cast<uint64_t>(dec.num_tokens));
+      instr_.batch_ms.Record(batch_watch.ElapsedMillis());
     }
     if (rollback_requested) {
       if (health.rollbacks() >= config_.health.max_rollbacks) {
@@ -208,7 +225,22 @@ Result<PretrainResult> Pretrainer::Train(
     stats.tokens_per_second =
         stats.seconds > 0.0 ? static_cast<double>(token_sum) / stats.seconds
                             : 0.0;
-    tokens_per_sec_gauge.Set(stats.tokens_per_second);
+    instr_.tokens_per_second.Set(stats.tokens_per_second);
+    telemetry.loss_recon.Record(epoch, stats.avg_token_loss);
+    telemetry.tokens_per_second.Record(epoch, stats.tokens_per_second);
+    telemetry.epoch_seconds.Record(epoch, stats.seconds);
+    {
+      const nn::kernels::DispatchStats gemm_end =
+          nn::kernels::GetDispatchStats();
+      const double macs =
+          static_cast<double>(gemm_end.macs - gemm_start.macs);
+      telemetry.gemm_macs.Record(epoch, macs);
+      telemetry.gemm_dispatches.Record(
+          epoch,
+          static_cast<double>(gemm_end.dispatches - gemm_start.dispatches));
+      telemetry.gemm_gflops.Record(
+          epoch, stats.seconds > 0.0 ? 2.0 * macs / stats.seconds / 1e9 : 0.0);
+    }
     E2DTC_LOG(Debug) << "pretrain epoch " << epoch << " loss/token "
                      << stats.avg_token_loss << " (" << stats.seconds
                      << "s)";
@@ -237,10 +269,14 @@ nn::Tensor EncodeAll(const Seq2SeqModel& model, const geo::Vocabulary& vocab,
                      int batch_size, bool collapse_consecutive,
                      ThreadPool* pool) {
   E2DTC_TRACE_SPAN("encode_all");
-  static obs::Counter encoded_counter =
-      obs::Registry::Global().counter("encode.trajectories");
+  // Free-function catalog (EncodeAll has no construction point to hoist to).
+  struct EncodeInstruments {
+    obs::Counter trajectories =
+        obs::Registry::Global().counter("encode.trajectories");
+  };
+  static EncodeInstruments* encode_instr = new EncodeInstruments();
   const int n = static_cast<int>(trajectories.size());
-  encoded_counter.Increment(static_cast<uint64_t>(n));
+  encode_instr->trajectories.Increment(static_cast<uint64_t>(n));
   std::vector<std::vector<int>> seqs(static_cast<size_t>(n));
   std::vector<int> lengths(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {

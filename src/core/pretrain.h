@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/instruments.h"
 #include "core/seq2seq.h"
 #include "nn/optimizer.h"
 #include "util/result.h"
@@ -51,6 +52,7 @@ class Pretrainer {
   const geo::Vocabulary* vocab_;
   const geo::Vocabulary::KnnTable* knn_;
   PretrainConfig config_;
+  PretrainInstruments instr_;
 };
 
 /// Batched inference over a whole corpus: the [N, H] trajectory embeddings

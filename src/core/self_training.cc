@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include <cmath>
+#include <cstdio>
+
 #include "core/health.h"
 #include "core/pretrain.h"
 #include "core/resume.h"
+#include "core/train_telemetry.h"
 #include "core/triplet.h"
 #include "data/batching.h"
+#include "nn/kernels.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -16,6 +22,69 @@
 #include "util/string_util.h"
 
 namespace e2dtc::core {
+
+namespace {
+
+/// Telemetry series for the self-training loop, one sample per epoch
+/// (step = epoch index). The per-cluster size series are resolved lazily in
+/// Train() because k is a runtime value.
+struct SelfTrainTelemetry {
+  explicit SelfTrainTelemetry(int k) {
+    obs::TimeSeriesRecorder& rec = obs::TimeSeriesRecorder::Global();
+    cluster_sizes.reserve(static_cast<size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      char name[48];
+      std::snprintf(name, sizeof(name), "selftrain.cluster_size.%02d", j);
+      cluster_sizes.push_back(rec.series(name));
+    }
+  }
+
+  obs::TimeSeriesRecorder& rec = obs::TimeSeriesRecorder::Global();
+  obs::Series loss_recon = rec.series("selftrain.loss.recon");
+  obs::Series loss_kl = rec.series("selftrain.loss.kl");
+  obs::Series loss_triplet = rec.series("selftrain.loss.triplet");
+  obs::Series loss_joint = rec.series("selftrain.loss.joint");
+  obs::Series delta = rec.series("selftrain.delta");
+  obs::Series entropy = rec.series("selftrain.entropy");
+  obs::Series centroid_drift = rec.series("selftrain.centroid_drift");
+  obs::Series epoch_seconds = rec.series("selftrain.epoch_seconds");
+  obs::Series gemm_macs = rec.series("selftrain.gemm_macs");
+  obs::Series gemm_gflops = rec.series("selftrain.gemm_gflops");
+  obs::Series gemm_dispatches = rec.series("selftrain.gemm_dispatches");
+  std::vector<obs::Series> cluster_sizes;
+};
+
+/// Mean Shannon entropy (nats) of the soft-assignment rows of Q (Eq. 9):
+/// high entropy = diffuse assignments, approaching 0 as clusters sharpen —
+/// the self-training signal the target distribution P amplifies.
+double MeanRowEntropy(const nn::Tensor& q) {
+  double total = 0.0;
+  for (int i = 0; i < q.rows(); ++i) {
+    const float* row = q.row(i);
+    double h = 0.0;
+    for (int j = 0; j < q.cols(); ++j) {
+      const double p = static_cast<double>(row[j]);
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    total += h;
+  }
+  return q.rows() > 0 ? total / q.rows() : 0.0;
+}
+
+/// L2 norm of the centroid movement between consecutive epochs.
+double CentroidDrift(const nn::Tensor& prev, const nn::Tensor& cur) {
+  double sq = 0.0;
+  const float* a = prev.data();
+  const float* b = cur.data();
+  const int64_t n = static_cast<int64_t>(prev.rows()) * prev.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace
 
 std::vector<int> HardAssignments(const nn::Tensor& q) {
   std::vector<int> out(static_cast<size_t>(q.rows()));
@@ -57,14 +126,6 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     const std::vector<geo::Trajectory>& trajectories,
     const nn::Tensor& initial_centroids) {
   E2DTC_TRACE_SPAN("selftrain.train");
-  static obs::Counter batches_counter =
-      obs::Registry::Global().counter("selftrain.batches");
-  static obs::Counter tokens_counter =
-      obs::Registry::Global().counter("selftrain.tokens");
-  static obs::Gauge changed_gauge =
-      obs::Registry::Global().gauge("selftrain.changed_fraction");
-  static obs::Histogram batch_hist = obs::Registry::Global().histogram(
-      "selftrain.batch_ms", obs::ExponentialBuckets(0.5, 2.0, 14));
   const bool collapse = model_->config().collapse_consecutive;
   const int n = static_cast<int>(trajectories.size());
   const int k = initial_centroids.rows();
@@ -91,6 +152,11 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
   params.push_back(centroids);
   std::unique_ptr<nn::Optimizer> optimizer = MakeOptimizer(
       std::move(params), config_.optimizer, config_.lr, config_.momentum);
+  InstallGradTelemetry(optimizer.get(), *model_, "selftrain");
+  SelfTrainTelemetry telemetry(k);
+  // Previous epoch's centroids, kept only while telemetry is live (the
+  // drift series needs a [k, H] copy per epoch).
+  nn::Tensor prev_centroids;
 
   Rng rng(config_.seed);
   const auto& drops = geo::AugmentConfig{}.drop_rates;
@@ -173,6 +239,8 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     E2DTC_TRACE_SPAN("selftrain.epoch");
     if (cancelled()) return cancel_out();
     Stopwatch watch;
+    const nn::kernels::DispatchStats gemm_start =
+        nn::kernels::GetDispatchStats();
     // Lines 4-7: refresh embeddings, Q, target P, and hard assignments.
     nn::Tensor embeddings;
     nn::Tensor q, p;
@@ -187,13 +255,29 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     }
     if (config_.epoch_observer) config_.epoch_observer(epoch, assignments);
 
+    if (obs::TelemetryEnabled()) {
+      telemetry.entropy.Record(epoch, MeanRowEntropy(q));
+      std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+      for (int a : assignments) ++sizes[static_cast<size_t>(a)];
+      for (int j = 0; j < k; ++j) {
+        telemetry.cluster_sizes[static_cast<size_t>(j)].Record(
+            epoch, static_cast<double>(sizes[static_cast<size_t>(j)]));
+      }
+      if (prev_centroids.SameShape(centroids.value())) {
+        telemetry.centroid_drift.Record(
+            epoch, CentroidDrift(prev_centroids, centroids.value()));
+      }
+      prev_centroids = centroids.value();
+    }
+
     EpochStats stats;
     stats.epoch = epoch;
     // Lines 8-9: delta stopping criterion on changed assignments.
     if (!prev_assignments.empty()) {
       stats.changed_fraction = ChangedFraction(assignments,
                                                prev_assignments);
-      changed_gauge.Set(stats.changed_fraction);
+      instr_.changed_fraction.Set(stats.changed_fraction);
+      telemetry.delta.Record(epoch, stats.changed_fraction);
       if (stats.changed_fraction <= config_.delta) {
         result.converged = true;
         result.assignments = std::move(assignments);
@@ -310,9 +394,9 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
         triplet_sum += static_cast<double>(triplet.value().scalar());
       }
       ++batch_count;
-      batches_counter.Increment();
-      tokens_counter.Increment(static_cast<uint64_t>(dec.num_tokens));
-      batch_hist.Record(batch_watch.ElapsedMillis());
+      instr_.batches.Increment();
+      instr_.tokens.Increment(static_cast<uint64_t>(dec.num_tokens));
+      instr_.batch_ms.Record(batch_watch.ElapsedMillis());
     }
     if (rollback_requested) {
       if (health.rollbacks() >= config_.health.max_rollbacks) {
@@ -342,6 +426,31 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     stats.triplet_loss =
         batch_count > 0 ? triplet_sum / batch_count : 0.0;
     stats.seconds = watch.ElapsedSeconds();
+    // Loss decomposition (Eq. 14): joint = L_r + beta * L_c + gamma * L_t,
+    // matching the per-batch objective's weighting exactly (L_c there is
+    // beta/b * KL-sum == beta * per-sample KL).
+    telemetry.loss_recon.Record(epoch, stats.recon_loss);
+    telemetry.loss_kl.Record(epoch, stats.cluster_loss);
+    telemetry.loss_triplet.Record(epoch, stats.triplet_loss);
+    telemetry.loss_joint.Record(
+        epoch, stats.recon_loss +
+                   static_cast<double>(config_.beta) * stats.cluster_loss +
+                   (use_triplet ? static_cast<double>(config_.gamma) *
+                                      stats.triplet_loss
+                                : 0.0));
+    telemetry.epoch_seconds.Record(epoch, stats.seconds);
+    {
+      const nn::kernels::DispatchStats gemm_end =
+          nn::kernels::GetDispatchStats();
+      const double macs =
+          static_cast<double>(gemm_end.macs - gemm_start.macs);
+      telemetry.gemm_macs.Record(epoch, macs);
+      telemetry.gemm_dispatches.Record(
+          epoch,
+          static_cast<double>(gemm_end.dispatches - gemm_start.dispatches));
+      telemetry.gemm_gflops.Record(
+          epoch, stats.seconds > 0.0 ? 2.0 * macs / stats.seconds / 1e9 : 0.0);
+    }
     E2DTC_LOG(Debug) << "self-train epoch " << epoch << " Lr "
                      << stats.recon_loss << " Lc " << stats.cluster_loss
                      << " Lt " << stats.triplet_loss << " changed "

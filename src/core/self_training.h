@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/instruments.h"
 #include "core/seq2seq.h"
 #include "nn/losses.h"
 #include "util/result.h"
@@ -59,6 +60,7 @@ class SelfTrainer {
   const geo::Vocabulary::KnnTable* knn_;
   SelfTrainConfig config_;
   ThreadPool* encode_pool_;
+  SelfTrainInstruments instr_;
 };
 
 /// Hard assignment: argmax_j q_ij of a soft-assignment matrix.

@@ -1,0 +1,84 @@
+#include "core/train_telemetry.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "obs/telemetry.h"
+
+namespace e2dtc::core {
+
+void InstallGradTelemetry(nn::Optimizer* optimizer, const Seq2SeqModel& model,
+                          const std::string& phase) {
+  // Resolve each optimizer parameter to a module group once, at install
+  // time: hierarchical names come from the model's parameter tree, extra
+  // leaves (centroids) fall back to their node name.
+  std::map<const nn::Node*, std::string> group_by_node;
+  for (const nn::NamedParameter& np : model.NamedParameters()) {
+    group_by_node[np.var.node().get()] =
+        np.name.substr(0, np.name.find('.'));
+  }
+  const std::vector<nn::Var>& params = optimizer->params();
+  std::vector<std::string> group_names;
+  std::vector<size_t> param_group(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::string group;
+    auto it = group_by_node.find(params[i].node().get());
+    if (it != group_by_node.end()) {
+      group = it->second;
+    } else if (!params[i].node()->name.empty()) {
+      group = params[i].node()->name;
+    } else {
+      group = "param" + std::to_string(i);
+    }
+    size_t g = 0;
+    while (g < group_names.size() && group_names[g] != group) ++g;
+    if (g == group_names.size()) group_names.push_back(group);
+    param_group[i] = g;
+  }
+
+  obs::TimeSeriesRecorder& recorder = obs::TimeSeriesRecorder::Global();
+  struct GroupSeries {
+    obs::Series grad;
+    obs::Series ratio;
+  };
+  std::vector<GroupSeries> series;
+  series.reserve(group_names.size());
+  for (const std::string& g : group_names) {
+    series.push_back({recorder.series(phase + ".grad_norm." + g),
+                      recorder.series(phase + ".update_ratio." + g)});
+  }
+  obs::Series total = recorder.series(phase + ".grad_norm.total");
+
+  optimizer->SetStepObserver(
+      [series = std::move(series), total, param_group = std::move(param_group)](
+          int64_t step, const std::vector<nn::Var>& step_params,
+          float lr) mutable {
+        if (!obs::TelemetryEnabled()) return;
+        const size_t n_groups = series.size();
+        std::vector<double> grad_sq(n_groups, 0.0);
+        std::vector<double> weight_sq(n_groups, 0.0);
+        double total_sq = 0.0;
+        for (size_t i = 0; i < step_params.size(); ++i) {
+          const nn::Tensor& g = step_params[i].grad();
+          if (!g.SameShape(step_params[i].value())) continue;  // no grad
+          const double sq = static_cast<double>(g.SquaredNorm());
+          grad_sq[param_group[i]] += sq;
+          weight_sq[param_group[i]] +=
+              static_cast<double>(step_params[i].value().SquaredNorm());
+          total_sq += sq;
+        }
+        total.Record(step, std::sqrt(total_sq));
+        for (size_t g = 0; g < n_groups; ++g) {
+          const double norm = std::sqrt(grad_sq[g]);
+          series[g].grad.Record(step, norm);
+          series[g].ratio.Record(
+              step, lr * norm / (std::sqrt(weight_sq[g]) + 1e-12));
+        }
+      });
+}
+
+}  // namespace e2dtc::core

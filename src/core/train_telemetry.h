@@ -1,0 +1,31 @@
+#ifndef E2DTC_CORE_TRAIN_TELEMETRY_H_
+#define E2DTC_CORE_TRAIN_TELEMETRY_H_
+
+#include <string>
+
+#include "core/seq2seq.h"
+#include "nn/optimizer.h"
+
+namespace e2dtc::core {
+
+/// Installs a telemetry StepObserver on `optimizer` that records, per
+/// optimizer step and per top-level module group (the first component of
+/// each parameter's hierarchical name from model.NamedParameters(); extra
+/// parameters such as the self-training "centroids" leaf group under their
+/// own leaf name):
+///
+///   <phase>.grad_norm.<group>      post-clip gradient L2 norm
+///   <phase>.grad_norm.total        global post-clip norm
+///   <phase>.update_ratio.<group>   lr * ||g|| / (||w|| + eps)
+///
+/// The observer fires after the trainer's ClipGradNorm and before the
+/// parameter update (see Optimizer::SetStepObserver), so the norms are
+/// exactly what the update consumes. It self-gates on TelemetryEnabled():
+/// installing it unconditionally costs one std::function call and a relaxed
+/// load per optimizer step when telemetry is off.
+void InstallGradTelemetry(nn::Optimizer* optimizer, const Seq2SeqModel& model,
+                          const std::string& phase);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_TRAIN_TELEMETRY_H_

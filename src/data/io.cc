@@ -10,6 +10,21 @@
 
 namespace e2dtc::data {
 
+namespace {
+
+/// Metric-name catalog for dataset IO, resolved once per process.
+struct Instruments {
+  obs::Counter dropped_points =
+      obs::Registry::Global().counter("data.dropped_points");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
+}  // namespace
+
 Status SaveDatasetCsv(const std::string& path, const Dataset& dataset) {
   CsvWriter w(path);
   if (!w.Ok()) return Status::IOError("cannot open for writing: " + path);
@@ -92,9 +107,7 @@ Result<Dataset> LoadDatasetCsv(const std::string& path,
                         ? max_label + 1
                         : static_cast<int>(ds.poi_centers.size());
   if (ds.dropped_points > 0) {
-    static obs::Counter dropped_counter =
-        obs::Registry::Global().counter("data.dropped_points");
-    dropped_counter.Increment(ds.dropped_points);
+    Instr().dropped_points.Increment(ds.dropped_points);
     E2DTC_LOG(Warning) << "dropped " << ds.dropped_points
                        << " invalid GPS sample(s) while loading " << path;
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 #if defined(__AVX512F__) && defined(__FMA__)
 #include <immintrin.h>
 #define E2DTC_DP_AVX512 1
@@ -17,6 +19,27 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr int B = kLanes;
 
 size_t RowLen(int m_max) { return (static_cast<size_t>(m_max) + 1) * B; }
+
+/// Metric-name catalog for the lane-batched DP kernels, resolved once per
+/// process. One Increment pair per *Batch call (a whole kLanes-wide DP
+/// table), so the gated-counter cost is invisible next to the sweep.
+struct Instruments {
+  obs::Counter dispatches =
+      obs::Registry::Global().counter("distance.dp.batch_dispatches");
+  obs::Counter cells = obs::Registry::Global().counter("distance.dp.cells");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
+/// Records one batched DP sweep of an |a| x m_max table across kLanes lanes.
+void RecordSweep(size_t a_len, int m_max) {
+  Instruments& instr = Instr();
+  instr.dispatches.Increment();
+  instr.cells.Increment(a_len * static_cast<size_t>(m_max) * B);
+}
 
 #ifdef E2DTC_DP_AVX512
 
@@ -107,6 +130,7 @@ void ExactSqrt8(const double* x, double* out) {
 }
 
 void DtwBatch(const Polyline& a, int m_max, BatchScratch* s, double* out) {
+  RecordSweep(a.size(), m_max);
   s->prev.assign(RowLen(m_max), kInf);
   s->cur.assign(RowLen(m_max), kInf);
   double* __restrict prev = s->prev.data();
@@ -183,6 +207,7 @@ void DtwBatch(const Polyline& a, int m_max, BatchScratch* s, double* out) {
 
 void EdrBatch(const Polyline& a, double epsilon_meters, int m_max,
               BatchScratch* s, int* out) {
+  RecordSweep(a.size(), m_max);
   s->iprev.assign(RowLen(m_max), 0);
   s->icur.assign(RowLen(m_max), 0);
   int* __restrict prev = s->iprev.data();
@@ -226,6 +251,7 @@ void EdrBatch(const Polyline& a, double epsilon_meters, int m_max,
 
 void LcssBatch(const Polyline& a, double epsilon_meters, int m_max,
                BatchScratch* s, int* out) {
+  RecordSweep(a.size(), m_max);
   s->iprev.assign(RowLen(m_max), 0);
   s->icur.assign(RowLen(m_max), 0);
   int* __restrict prev = s->iprev.data();
@@ -264,6 +290,7 @@ void LcssBatch(const Polyline& a, double epsilon_meters, int m_max,
 
 void ErpBatch(const Polyline& a, const double* gap_a, int m_max,
               BatchScratch* s, double* out) {
+  RecordSweep(a.size(), m_max);
   s->prev.assign(RowLen(m_max), 0.0);
   s->cur.assign(RowLen(m_max), 0.0);
   double* __restrict prev = s->prev.data();
@@ -320,6 +347,7 @@ void FrechetBatch(const Polyline& a, int m_max, BatchScratch* s, double* out) {
   // at cell (1,1) and to the seed's branchy boundary forms elsewhere. The
   // values computed are identical to FrechetDistance's (extra +/-inf
   // arguments never change a min/max over finite reach values).
+  RecordSweep(a.size(), m_max);
   s->prev.assign(RowLen(m_max), kInf);
   s->cur.assign(RowLen(m_max), kInf);
   double* __restrict prev = s->prev.data();

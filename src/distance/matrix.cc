@@ -144,10 +144,19 @@ bool IsDpMetric(Metric m) {
   return false;
 }
 
-void RecordPairs(int n) {
-  static obs::Counter pairs_counter =
+/// Metric-name catalog for the distance engine, resolved once per process.
+struct Instruments {
+  obs::Counter pairs_computed =
       obs::Registry::Global().counter("distance.pairs_computed");
-  pairs_counter.Increment(
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
+void RecordPairs(int n) {
+  Instr().pairs_computed.Increment(
       static_cast<uint64_t>(n) * static_cast<uint64_t>(n > 0 ? n - 1 : 0) /
       2);
 }

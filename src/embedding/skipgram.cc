@@ -9,12 +9,25 @@
 
 namespace e2dtc::embedding {
 
+namespace {
+
+/// Metric-name catalog for the skip-gram trainer, resolved once per process.
+struct Instruments {
+  obs::Counter center_steps =
+      obs::Registry::Global().counter("skipgram.center_steps");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
+}
+
+}  // namespace
+
 Result<nn::Tensor> TrainSkipGram(
     const std::vector<std::vector<int>>& sequences, int vocab_size,
     const SkipGramConfig& cfg) {
   E2DTC_TRACE_SPAN("skipgram.train");
-  static obs::Counter steps_counter =
-      obs::Registry::Global().counter("skipgram.center_steps");
   if (vocab_size < cfg.first_real_token + 1) {
     return Status::InvalidArgument("vocab too small");
   }
@@ -78,7 +91,7 @@ Result<nn::Tensor> TrainSkipGram(
     E2DTC_TRACE_SPAN("skipgram.epoch");
     // One increment per epoch, outside the token loop: total_tokens center
     // updates happen per epoch regardless of windowing.
-    steps_counter.Increment(static_cast<uint64_t>(total_tokens));
+    Instr().center_steps.Increment(static_cast<uint64_t>(total_tokens));
     for (const auto& seq : sequences) {
       const int len = static_cast<int>(seq.size());
       for (int pos = 0; pos < len; ++pos) {

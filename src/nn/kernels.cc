@@ -1,6 +1,7 @@
 #include "nn/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -32,16 +33,25 @@ inline float MulAdd(float x, float y, float s) {
 #endif
 }
 
-obs::Counter& GemmMacsCounter() {
-  static obs::Counter c = obs::Registry::Global().counter("nn.gemm.macs");
-  return c;
+/// Metric-name catalog for the kernel layer, resolved once per process.
+struct Instruments {
+  obs::Counter gemm_macs = obs::Registry::Global().counter("nn.gemm.macs");
+  obs::Counter gemm_parallel =
+      obs::Registry::Global().counter("nn.gemm.parallel_dispatches");
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
 }
 
-obs::Counter& GemmParallelCounter() {
-  static obs::Counter c =
-      obs::Registry::Global().counter("nn.gemm.parallel_dispatches");
-  return c;
-}
+/// Always-on tallies behind GetDispatchStats(). Separate from the gated obs
+/// counters above so epoch-boundary telemetry works without the metrics
+/// switch; bumped only on the GemmNN entry path (once per call), never per
+/// panel, so there is no cross-thread contention.
+std::atomic<uint64_t> g_dispatches{0};
+std::atomic<uint64_t> g_parallel_dispatches{0};
+std::atomic<uint64_t> g_macs{0};
 
 // ---- Threading ----------------------------------------------------------
 //
@@ -179,14 +189,17 @@ void GemmNN(int n, int k, int m, const float* a, const float* b, float* c,
     return;
   }
   const int64_t macs = int64_t{n} * k * m;
-  GemmMacsCounter().Increment(static_cast<uint64_t>(macs));
+  g_dispatches.fetch_add(1, std::memory_order_relaxed);
+  g_macs.fetch_add(static_cast<uint64_t>(macs), std::memory_order_relaxed);
+  Instr().gemm_macs.Increment(static_cast<uint64_t>(macs));
   const int64_t panels = (n + kRowPanel - 1) / kRowPanel;
   ThreadPool* pool = PoolFor(macs, panels);
   if (pool == nullptr) {
     RowRangeNN(0, n, k, m, a, b, c, accumulate);
     return;
   }
-  GemmParallelCounter().Increment();
+  g_parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
+  Instr().gemm_parallel.Increment();
   // Panel p always owns rows [p*kRowPanel, ...): the partition is a pure
   // function of n, so per-element accumulation order never depends on the
   // worker count or chunk assignment.
@@ -205,6 +218,15 @@ std::vector<float>& TransposeScratch() {
 }
 
 }  // namespace
+
+DispatchStats GetDispatchStats() {
+  DispatchStats stats;
+  stats.dispatches = g_dispatches.load(std::memory_order_relaxed);
+  stats.parallel_dispatches =
+      g_parallel_dispatches.load(std::memory_order_relaxed);
+  stats.macs = g_macs.load(std::memory_order_relaxed);
+  return stats;
+}
 
 void SetNumThreads(int n) {
   std::lock_guard<std::mutex> lock(g_pool_mu);

@@ -57,6 +57,18 @@ inline constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
 void SetNumThreads(int n);
 int NumThreads();
 
+/// Always-on dispatch accounting: three relaxed atomics bumped once per
+/// matmul-family call (invisible next to the >= kParallelMinMacs of work a
+/// call that matters does). Telemetry sites read the totals at phase/epoch
+/// boundaries and record deltas — dispatch counts, MAC/FLOP totals, and
+/// achieved GFLOP/s — without the metrics switch having to be on.
+struct DispatchStats {
+  uint64_t dispatches = 0;           ///< GEMM-family calls issued.
+  uint64_t parallel_dispatches = 0;  ///< Calls split across the pool.
+  uint64_t macs = 0;                 ///< Total multiply-accumulates.
+};
+DispatchStats GetDispatchStats();
+
 /// c[n,m] = a[n,k] * b[k,m], or += when `accumulate`.
 void MatmulNN(int n, int k, int m, const float* a, const float* b, float* c,
               bool accumulate);

@@ -70,6 +70,7 @@ Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  NotifyStep();
   for (size_t i = 0; i < params_.size(); ++i) {
     Node* n = params_[i].node().get();
     if (!n->grad.SameShape(n->value)) continue;  // no grad this step
@@ -116,6 +117,7 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  NotifyStep();
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));

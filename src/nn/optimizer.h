@@ -1,6 +1,7 @@
 #ifndef E2DTC_NN_OPTIMIZER_H_
 #define E2DTC_NN_OPTIMIZER_H_
 
+#include <functional>
 #include <vector>
 
 #include "nn/autograd.h"
@@ -48,13 +49,37 @@ class Optimizer {
 
   const std::vector<Var>& params() const { return params_; }
 
+  /// Observer invoked at the top of every Step() — i.e. after the caller's
+  /// ClipGradNorm and before the update is applied, so gradients are exactly
+  /// what the update will consume. Receives the 0-based count of prior
+  /// Step() calls on this optimizer instance (not persisted across
+  /// checkpoint resume), the parameter set, and the current learning rate.
+  /// Telemetry installs one to record per-module gradient norms and
+  /// update-to-weight ratios; it must not mutate values or gradients. Pass
+  /// an empty function to remove.
+  using StepObserver = std::function<void(
+      int64_t step, const std::vector<Var>& params, float lr)>;
+  void SetStepObserver(StepObserver observer) {
+    step_observer_ = std::move(observer);
+  }
+
  protected:
   /// Shared ImportState validation: checks the expected slot count and that
   /// every slot tensor matches the corresponding parameter's shape.
   Status CheckStateShape(const OptimizerState& state,
                          size_t expected_slots) const;
 
+  /// Subclass Step() implementations call this before touching parameters.
+  void NotifyStep() {
+    if (step_observer_) step_observer_(observed_steps_, params_, lr());
+    ++observed_steps_;
+  }
+
   std::vector<Var> params_;
+
+ private:
+  StepObserver step_observer_;
+  int64_t observed_steps_ = 0;
 };
 
 /// Plain SGD with optional momentum.

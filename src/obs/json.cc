@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace e2dtc::obs {
 
@@ -53,15 +54,21 @@ void AppendNumber(double d, std::string* out) {
     *out += "null";
     return;
   }
-  // Integers print without a fractional part so counters stay readable.
-  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+  // Integers print without a fractional part ("5", never "5.0") so counters
+  // and step indices stay readable; the bound is 2^53, above which doubles
+  // cannot represent every integer and the %g path takes over.
+  if (d == std::floor(d) && std::fabs(d) < 9007199254740992.0) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
     *out += buf;
     return;
   }
+  // max_digits10 (17 for IEEE double) guarantees parse(dump(x)) == x, which
+  // with deterministic formatting makes dump a fixed point: telemetry files
+  // rewritten through Json diff clean (see JsonNumberRoundTrip test).
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, d);
   *out += buf;
 }
 

@@ -1,0 +1,254 @@
+#include "obs/telemetry.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace e2dtc::obs {
+
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{false};
+
+}  // namespace
+
+bool TelemetryEnabled() {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTelemetry(bool enabled) {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void SeriesCell::Record(int64_t step, uint64_t wall_us, double value) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (size == capacity) {
+    ring[head] = {step, wall_us, value};
+    head = (head + 1) % capacity;
+    ++dropped;
+  } else {
+    ring[(head + size) % capacity] = {step, wall_us, value};
+    ++size;
+  }
+}
+
+}  // namespace internal
+
+void Series::RecordSlow(int64_t step, double value) {
+  cell_->Record(step, MonotonicMicros(), value);
+}
+
+TimeSeriesRecorder& TimeSeriesRecorder::Global() {
+  // Never destroyed so handles cached for the process lifetime stay valid
+  // during static teardown (same pattern as Registry::Global).
+  static TimeSeriesRecorder* recorder = new TimeSeriesRecorder();
+  return *recorder;
+}
+
+Series TimeSeriesRecorder::series(const std::string& name, size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    if (capacity == 0) capacity = 1;
+    it = series_
+             .emplace(name,
+                      std::make_unique<internal::SeriesCell>(capacity))
+             .first;
+  }
+  return Series(it->second.get());
+}
+
+std::vector<SeriesSnapshot> TimeSeriesRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(series_.size());
+  for (const auto& [name, cell] : series_) {
+    SeriesSnapshot snap;
+    snap.name = name;
+    std::lock_guard<std::mutex> cell_lock(cell->mu);
+    snap.dropped = cell->dropped;
+    snap.samples.reserve(cell->size);
+    for (size_t i = 0; i < cell->size; ++i) {
+      snap.samples.push_back(cell->ring[(cell->head + i) % cell->capacity]);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+size_t TimeSeriesRecorder::SampleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, cell] : series_) {
+    (void)name;
+    std::lock_guard<std::mutex> cell_lock(cell->mu);
+    total += cell->size;
+  }
+  return total;
+}
+
+void TimeSeriesRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : series_) {
+    (void)name;
+    std::lock_guard<std::mutex> cell_lock(cell->mu);
+    cell->head = 0;
+    cell->size = 0;
+    cell->dropped = 0;
+  }
+}
+
+bool TimeSeriesRecorder::WriteJsonl(const std::string& path) const {
+  const std::vector<SeriesSnapshot> snapshot = Snapshot();
+
+  // Crash-safe flush: write a sibling tmp file, fsync it, then rename over
+  // the target — the AtomicWrite discipline from util/binary_io, restated
+  // locally because obs must stay dependency-free. Readers never observe a
+  // torn file; at worst the old contents survive a crash.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  bool ok = true;
+  auto write_line = [&](const Json& j) {
+    if (!ok) return;
+    const std::string line = j.Dump();
+    ok = std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+         std::fputc('\n', f) != EOF;
+  };
+
+  size_t total_samples = 0;
+  for (const auto& s : snapshot) total_samples += s.samples.size();
+
+  Json header;
+  header.Set("type", "telemetry_header");
+  header.Set("version", 1);
+  header.Set("series_count", static_cast<int64_t>(snapshot.size()));
+  header.Set("sample_count", static_cast<int64_t>(total_samples));
+  write_line(header);
+
+  for (const auto& s : snapshot) {
+    Json meta;
+    meta.Set("type", "series");
+    meta.Set("name", s.name);
+    meta.Set("count", static_cast<int64_t>(s.samples.size()));
+    meta.Set("dropped", static_cast<int64_t>(s.dropped));
+    write_line(meta);
+  }
+  for (const auto& s : snapshot) {
+    for (const TelemetrySample& sample : s.samples) {
+      Json line;
+      line.Set("type", "sample");
+      line.Set("series", s.name);
+      line.Set("step", sample.step);
+      line.Set("wall_us", static_cast<int64_t>(sample.wall_us));
+      line.Set("value", sample.value);
+      write_line(line);
+    }
+  }
+
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --- Thread-pool utilization accounting ------------------------------------
+
+namespace {
+
+std::atomic<int> g_pool_workers{0};
+std::atomic<int> g_busy_workers{0};
+
+struct Sampler {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+};
+
+Sampler& GetSampler() {
+  static Sampler* sampler = new Sampler();
+  return *sampler;
+}
+
+}  // namespace
+
+void AddPoolWorkers(int delta) {
+  g_pool_workers.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void AddBusyWorkers(int delta) {
+  g_busy_workers.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int PoolWorkers() { return g_pool_workers.load(std::memory_order_relaxed); }
+
+int BusyWorkers() { return g_busy_workers.load(std::memory_order_relaxed); }
+
+void StartUtilizationSampler(int period_ms) {
+  if (period_ms <= 0) period_ms = 20;
+  Sampler& s = GetSampler();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.running) return;
+  s.running = true;
+  s.thread = std::thread([period_ms] {
+    Sampler& self = GetSampler();
+    Series busy =
+        TimeSeriesRecorder::Global().series("threadpool.busy_workers");
+    Series total =
+        TimeSeriesRecorder::Global().series("threadpool.total_workers");
+    Series util =
+        TimeSeriesRecorder::Global().series("threadpool.utilization");
+    int64_t tick = 0;
+    std::unique_lock<std::mutex> lock(self.mu);
+    while (self.running) {
+      self.cv.wait_for(lock, std::chrono::milliseconds(period_ms),
+                       [&self] { return !self.running; });
+      if (!self.running) break;
+      lock.unlock();
+      const int n_total = PoolWorkers();
+      const int n_busy = BusyWorkers();
+      busy.Record(tick, n_busy);
+      total.Record(tick, n_total);
+      util.Record(tick, n_total > 0
+                            ? static_cast<double>(n_busy) / n_total
+                            : 0.0);
+      ++tick;
+      lock.lock();
+    }
+  });
+}
+
+void StopUtilizationSampler() {
+  Sampler& s = GetSampler();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.running) return;
+    s.running = false;
+    to_join = std::move(s.thread);
+  }
+  s.cv.notify_all();
+  to_join.join();
+}
+
+}  // namespace e2dtc::obs

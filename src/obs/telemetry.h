@@ -1,0 +1,147 @@
+#ifndef E2DTC_OBS_TELEMETRY_H_
+#define E2DTC_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace e2dtc::obs {
+
+/// Global telemetry switch, independent of the metrics switch: metrics are
+/// point-in-time aggregates, telemetry is the per-step time-series stream
+/// behind learning curves (paper Fig. 5) and utilization dashboards.
+/// Disabled by default so uninstrumented runs pay one relaxed atomic load
+/// per recording site (bench_micro --telemetry_overhead demonstrates the
+/// disabled path matches the ~1.5 ns Counter sites).
+bool TelemetryEnabled();
+void EnableTelemetry(bool enabled);
+
+/// One sample of a time series: the caller-supplied step (epoch index,
+/// optimizer step, sampler tick — monotonically non-decreasing per series by
+/// convention), the process-monotonic wall clock at record time
+/// (obs::MonotonicMicros, so samples line up with trace spans), and the
+/// value.
+struct TelemetrySample {
+  int64_t step = 0;
+  uint64_t wall_us = 0;
+  double value = 0.0;
+};
+
+namespace internal {
+
+/// Registry-owned bounded ring of samples. Recording locks a per-series
+/// mutex (appends are rare relative to the work they measure — one per
+/// epoch / optimizer step / sampler tick — so a mutex beats the complexity
+/// of a lock-free ring); when full, the oldest sample is overwritten and
+/// `dropped` counts the loss so sinks can report truncation.
+struct SeriesCell {
+  explicit SeriesCell(size_t cap) : capacity(cap), ring(cap) {}
+
+  void Record(int64_t step, uint64_t wall_us, double value);
+
+  const size_t capacity;
+  std::mutex mu;
+  std::vector<TelemetrySample> ring;  ///< Circular; `head` = oldest.
+  size_t head = 0;
+  size_t size = 0;
+  uint64_t dropped = 0;
+};
+
+}  // namespace internal
+
+/// Cheap copyable handle over a recorder-owned series cell (same contract
+/// as obs::Counter: cells live for the recorder's lifetime, recording is a
+/// no-op while telemetry is disabled). Hot paths resolve their handle once
+/// — per-module Instruments struct or loop-hoisted local — and record
+/// through it.
+class Series {
+ public:
+  void Record(int64_t step, double value) {
+    if (TelemetryEnabled()) RecordSlow(step, value);
+  }
+
+ private:
+  friend class TimeSeriesRecorder;
+  explicit Series(internal::SeriesCell* cell) : cell_(cell) {}
+  void RecordSlow(int64_t step, double value);
+  internal::SeriesCell* cell_;
+};
+
+/// Point-in-time copy of one series, oldest sample first.
+struct SeriesSnapshot {
+  std::string name;
+  uint64_t dropped = 0;
+  std::vector<TelemetrySample> samples;
+};
+
+/// Thread-safe name -> bounded time-series registry with a crash-safe JSONL
+/// sink. Handle lookup takes the registry lock; recording through a Series
+/// touches only that series' cell.
+class TimeSeriesRecorder {
+ public:
+  /// Ring capacity when series() is called without one: generous enough for
+  /// per-optimizer-step recording over any toy/bench run while bounding a
+  /// runaway series to ~192 KiB.
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  /// The process-wide recorder every built-in instrumentation site uses.
+  static TimeSeriesRecorder& Global();
+
+  TimeSeriesRecorder() = default;
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Returns the handle for `name`, creating the series on first use.
+  /// `capacity` is fixed at creation and ignored on later lookups.
+  Series series(const std::string& name, size_t capacity = kDefaultCapacity);
+
+  /// Point-in-time copy of every series, names ascending.
+  std::vector<SeriesSnapshot> Snapshot() const;
+
+  /// Total samples currently buffered across all series.
+  size_t SampleCount() const;
+
+  /// Drops all samples (handles stay valid). For tests and bench harnesses.
+  void Reset();
+
+  /// Writes the current snapshot as JSONL — a `telemetry_header` line, one
+  /// `series` metadata line per series, then one `sample` line per sample —
+  /// using the same crash-safe discipline as ckpt's AtomicWrite (tmp file in
+  /// the target directory -> flush -> fsync -> rename), reimplemented here
+  /// because obs sits below util in the layering. Returns false on I/O
+  /// failure (tmp file removed best-effort).
+  bool WriteJsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<internal::SeriesCell>> series_;
+};
+
+/// --- Thread-pool utilization accounting -----------------------------------
+///
+/// util::ThreadPool sits above obs, so the busy/total worker tallies live
+/// here as process-wide relaxed atomics the pool bumps unconditionally (two
+/// relaxed RMWs per task, invisible next to the task body). The sampler
+/// below turns them into series.
+void AddPoolWorkers(int delta);   ///< Pool ctor/dtor: +/- worker count.
+void AddBusyWorkers(int delta);   ///< Worker loop: +1 before fn(), -1 after.
+int PoolWorkers();
+int BusyWorkers();
+
+/// Starts the background ticker thread sampling `threadpool.busy_workers`,
+/// `threadpool.total_workers`, and `threadpool.utilization` (busy/total, 0
+/// when no pools exist) into the global recorder every `period_ms`. The
+/// sampler is started only by sinks that asked for telemetry (e2dtc_cli
+/// --telemetry-out) and never by library code, so tests stay quiesced.
+/// Idempotent while running; Stop joins the thread and is safe to call
+/// without a prior Start.
+void StartUtilizationSampler(int period_ms = 20);
+void StopUtilizationSampler();
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_TELEMETRY_H_

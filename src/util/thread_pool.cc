@@ -3,31 +3,30 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace e2dtc {
 
 namespace {
 
-/// Handles resolved once; recording is a relaxed atomic op (no-op while
-/// metrics are disabled).
-obs::Counter& TasksExecutedCounter() {
-  static obs::Counter c =
+/// Metric-name catalog for the pool, resolved once per process. Recording
+/// through the handles is a relaxed atomic op (no-op while metrics are
+/// disabled).
+struct Instruments {
+  obs::Counter tasks_executed =
       obs::Registry::Global().counter("threadpool.tasks_executed");
-  return c;
-}
-
-obs::Gauge& QueueDepthGauge() {
-  static obs::Gauge g = obs::Registry::Global().gauge("threadpool.queue_depth");
-  return g;
-}
-
-obs::Histogram& QueueWaitHistogram() {
+  obs::Gauge queue_depth =
+      obs::Registry::Global().gauge("threadpool.queue_depth");
   // 1 us .. ~1 s in x4 steps: the pool serves sub-millisecond encode batches
   // but can back up behind a slow distance-matrix row.
-  static obs::Histogram h = obs::Registry::Global().histogram(
+  obs::Histogram queue_wait_us = obs::Registry::Global().histogram(
       "threadpool.queue_wait_us", obs::ExponentialBuckets(1.0, 4.0, 11));
-  return h;
+};
+
+Instruments& Instr() {
+  static Instruments* instr = new Instruments();
+  return *instr;
 }
 
 /// Set for the lifetime of every worker thread of every pool.
@@ -46,6 +45,9 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // Feeds the telemetry utilization sampler (obs sits below util, so the
+  // tallies live there). Unconditional: two relaxed RMWs per pool lifetime.
+  obs::AddPoolWorkers(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -55,6 +57,7 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& w : workers_) w.join();
+  obs::AddPoolWorkers(-static_cast<int>(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -64,7 +67,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(QueuedTask{std::move(task), enqueue_us});
     ++in_flight_;
-    QueueDepthGauge().Set(static_cast<double>(tasks_.size()));
+    Instr().queue_depth.Set(static_cast<double>(tasks_.size()));
   }
   task_available_.notify_one();
 }
@@ -124,14 +127,16 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
-      QueueDepthGauge().Set(static_cast<double>(tasks_.size()));
+      Instr().queue_depth.Set(static_cast<double>(tasks_.size()));
     }
     if (task.enqueue_us != 0) {
-      QueueWaitHistogram().Record(
+      Instr().queue_wait_us.Record(
           static_cast<double>(obs::MonotonicMicros() - task.enqueue_us));
     }
+    obs::AddBusyWorkers(1);
     task.fn();
-    TasksExecutedCounter().Increment();
+    obs::AddBusyWorkers(-1);
+    Instr().tasks_executed.Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -1,12 +1,61 @@
 #include "viz/svg.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace e2dtc::viz {
+
+namespace {
+
+/// Largest "nice" step (1, 2, or 5 times a power of ten) that yields at
+/// most `max_ticks` intervals over `span`.
+double NiceStep(double span, int max_ticks) {
+  if (span <= 0.0 || max_ticks < 1) return 1.0;
+  const double raw = span / max_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double m : {1.0, 2.0, 5.0}) {
+    if (raw <= m * mag) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+/// Tick positions covering [lo, hi] at NiceStep spacing.
+std::vector<double> Ticks(double lo, double hi, int max_ticks) {
+  const double step = NiceStep(hi - lo, max_ticks);
+  std::vector<double> out;
+  double t = std::ceil(lo / step) * step;
+  // Snap near-zero ticks: 0.30000000000000004 makes an ugly label.
+  for (; t <= hi + step * 1e-9; t += step) {
+    out.push_back(std::fabs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  return out;
+}
+
+std::string TickLabel(double v, bool log_scale) {
+  return StrFormat("%.6g", log_scale ? std::pow(10.0, v) : v);
+}
+
+/// Minimal XML text escaping for labels/titles.
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string RenderScatterSvg(
     const std::vector<std::array<double, 2>>& points,
@@ -71,6 +120,186 @@ Status WriteScatterSvg(const std::string& path,
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   out << RenderScatterSvg(points, labels, options);
+  out.close();
+  if (out.fail()) return Status::IOError("svg write failed: " + path);
+  return Status::OK();
+}
+
+std::string RenderLineChartSvg(const std::vector<LineSeries>& series,
+                               const LineChartOptions& options) {
+  E2DTC_CHECK(!options.palette.empty());
+  const int w = options.width;
+  const int h = options.height;
+  const double left = 64.0, right = 16.0;
+  const double top = options.title.empty() ? 16.0 : 32.0;
+  const double bottom = options.x_label.empty() ? 34.0 : 48.0;
+  const double plot_w = std::max(1.0, w - left - right);
+  const double plot_h = std::max(1.0, h - top - bottom);
+
+  // Log scale only when every plotted y is positive; silently fall back to
+  // linear otherwise (a report should never die on a zero sample).
+  bool log_y = options.log_y;
+  if (log_y) {
+    for (const auto& s : series) {
+      for (const auto& p : s.points) {
+        if (p[1] <= 0.0) log_y = false;
+      }
+    }
+  }
+  auto ty = [log_y](double y) { return log_y ? std::log10(y) : y; };
+
+  bool any = false;
+  double min_x = 0.0, max_x = 1.0, min_y = 0.0, max_y = 1.0;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      if (!std::isfinite(p[0]) || !std::isfinite(ty(p[1]))) continue;
+      if (!any) {
+        min_x = max_x = p[0];
+        min_y = max_y = ty(p[1]);
+        any = true;
+      } else {
+        min_x = std::min(min_x, p[0]);
+        max_x = std::max(max_x, p[0]);
+        min_y = std::min(min_y, ty(p[1]));
+        max_y = std::max(max_y, ty(p[1]));
+      }
+    }
+  }
+  if (max_x - min_x < 1e-12) {
+    min_x -= 0.5;
+    max_x += 0.5;
+  }
+  if (max_y - min_y < 1e-12) {
+    const double pad = std::max(0.5, std::fabs(max_y) * 0.05);
+    min_y -= pad;
+    max_y += pad;
+  } else {
+    const double pad = (max_y - min_y) * 0.05;
+    min_y -= pad;
+    max_y += pad;
+  }
+
+  auto px = [&](double x) {
+    return left + (x - min_x) / (max_x - min_x) * plot_w;
+  };
+  auto py = [&](double y) {
+    return top + (1.0 - (ty(y) - min_y) / (max_y - min_y)) * plot_h;
+  };
+
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+      "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+      w, h, w, h);
+  svg += StrFormat("  <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+                   w, h);
+  if (!options.title.empty()) {
+    svg += StrFormat(
+        "  <text x=\"%d\" y=\"20\" font-family=\"sans-serif\" "
+        "font-size=\"14\" text-anchor=\"middle\">%s</text>\n",
+        w / 2, EscapeXml(options.title).c_str());
+  }
+
+  // Gridlines + tick labels.
+  for (double t : Ticks(min_y, max_y, 5)) {
+    const double y = top + (1.0 - (t - min_y) / (max_y - min_y)) * plot_h;
+    svg += StrFormat(
+        "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#e0e0e0\"/>\n",
+        left, y, left + plot_w, y);
+    svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+        "font-size=\"10\" text-anchor=\"end\" fill=\"#555555\">%s</text>\n",
+        left - 6.0, y + 3.5, TickLabel(t, log_y).c_str());
+  }
+  for (double t : Ticks(min_x, max_x, 6)) {
+    const double x = px(t);
+    svg += StrFormat(
+        "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#e0e0e0\"/>\n",
+        x, top, x, top + plot_h);
+    svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+        "font-size=\"10\" text-anchor=\"middle\" fill=\"#555555\">%s"
+        "</text>\n",
+        x, top + plot_h + 14.0, TickLabel(t, false).c_str());
+  }
+  // Axes frame.
+  svg += StrFormat(
+      "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"none\" stroke=\"#333333\"/>\n",
+      left, top, plot_w, plot_h);
+  if (!options.x_label.empty()) {
+    svg += StrFormat(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+        "font-size=\"11\" text-anchor=\"middle\">%s</text>\n",
+        left + plot_w / 2.0, top + plot_h + 32.0,
+        EscapeXml(options.x_label).c_str());
+  }
+  if (!options.y_label.empty()) {
+    svg += StrFormat(
+        "  <text x=\"14\" y=\"%.1f\" font-family=\"sans-serif\" "
+        "font-size=\"11\" text-anchor=\"middle\" "
+        "transform=\"rotate(-90 14 %.1f)\">%s%s</text>\n",
+        top + plot_h / 2.0, top + plot_h / 2.0,
+        EscapeXml(options.y_label).c_str(), log_y ? " (log)" : "");
+  }
+
+  // Series polylines.
+  size_t color_idx = 0;
+  for (const auto& s : series) {
+    if (s.points.empty()) continue;
+    const std::string& color =
+        options.palette[color_idx++ % options.palette.size()];
+    std::string pts;
+    for (const auto& p : s.points) {
+      if (!std::isfinite(p[0]) || !std::isfinite(ty(p[1]))) continue;
+      pts += StrFormat("%.2f,%.2f ", px(p[0]), py(p[1]));
+    }
+    svg += StrFormat(
+        "  <polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"1.8\"/>\n",
+        pts.c_str(), color.c_str());
+    if (s.points.size() == 1) {
+      // A single sample draws no polyline segment; mark it.
+      svg += StrFormat(
+          "  <circle cx=\"%.2f\" cy=\"%.2f\" r=\"2.5\" fill=\"%s\"/>\n",
+          px(s.points[0][0]), py(s.points[0][1]), color.c_str());
+    }
+  }
+
+  // Legend (top-right, inside the plot area).
+  const bool want_legend =
+      series.size() > 1 || (series.size() == 1 && !series[0].label.empty());
+  if (want_legend) {
+    double ly = top + 14.0;
+    color_idx = 0;
+    for (const auto& s : series) {
+      if (s.points.empty()) continue;
+      const std::string& color =
+          options.palette[color_idx++ % options.palette.size()];
+      const double lx = left + plot_w - 150.0;
+      svg += StrFormat(
+          "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+          "stroke=\"%s\" stroke-width=\"2.5\"/>\n",
+          lx, ly - 3.5, lx + 18.0, ly - 3.5, color.c_str());
+      svg += StrFormat(
+          "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+          "font-size=\"10\">%s</text>\n",
+          lx + 23.0, ly, EscapeXml(s.label).c_str());
+      ly += 14.0;
+    }
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+Status WriteLineChartSvg(const std::string& path,
+                         const std::vector<LineSeries>& series,
+                         const LineChartOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << RenderLineChartSvg(series, options);
   out.close();
   if (out.fail()) return Status::IOError("svg write failed: " + path);
   return Status::OK();

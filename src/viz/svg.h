@@ -35,6 +35,41 @@ Status WriteScatterSvg(const std::string& path,
                        const std::vector<int>& labels,
                        const ScatterOptions& options = {});
 
+/// One named polyline of a line chart: (x, y) points in draw order.
+struct LineSeries {
+  std::string label;
+  std::vector<std::array<double, 2>> points;
+};
+
+/// Options for SVG line charts (learning curves, utilization timelines).
+struct LineChartOptions {
+  int width = 880;
+  int height = 360;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Plot y on log10 scale; non-positive values fall back to linear.
+  bool log_y = false;
+  /// Same categorical palette as ScatterOptions; series index into it
+  /// modulo size.
+  std::vector<std::string> palette{
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b4", "#59a14f",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+};
+
+/// Renders one or more series as an SVG line chart with auto-scaled axes,
+/// ~5 labeled ticks per axis, gridlines, and a legend (when more than one
+/// series or a label is present). Empty series are skipped; a chart with no
+/// points renders axes only. This is what tools/e2dtc_report uses for every
+/// learning-curve and utilization dashboard.
+std::string RenderLineChartSvg(const std::vector<LineSeries>& series,
+                               const LineChartOptions& options = {});
+
+/// Renders and writes the chart to `path`.
+Status WriteLineChartSvg(const std::string& path,
+                         const std::vector<LineSeries>& series,
+                         const LineChartOptions& options = {});
+
 }  // namespace e2dtc::viz
 
 #endif  // E2DTC_VIZ_SVG_H_

@@ -82,10 +82,13 @@ fi
     --run-report "${WORK}/base_report.jsonl" > /dev/null
 
 # Same fit, killed mid-run. The CLI must finish the current batch, write a
-# final checkpoint, flush the run report, and exit 130.
+# final checkpoint, flush EVERY observability sink (run report, trace,
+# telemetry), and exit 130.
 "${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/int.e2dtc" \
     --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
     --checkpoint-dir "${WORK}/ckpts" \
+    --trace-out "${WORK}/int_trace.json" \
+    --telemetry-out "${WORK}/int_tel.jsonl" \
     --run-report "${WORK}/int_report.jsonl" > "${WORK}/int_out.txt" 2>&1 &
 FIT_PID=$!
 sleep 0.4
@@ -104,6 +107,11 @@ else
   }
   grep -q '"type":"cancelled"' "${WORK}/int_report.jsonl"
 fi
+# Whether interrupted or not, the trace and telemetry files must exist and
+# be valid (interrupt must not leave a truncated or missing sink).
+grep -q "traceEvents" "${WORK}/int_trace.json"
+grep -q '"type":"telemetry_header"' "${WORK}/int_tel.jsonl"
+grep -q '"type":"sample"' "${WORK}/int_tel.jsonl"
 ls "${WORK}/ckpts" | grep -q '\.e2ck$'
 
 # Resume and compare: the resumed run must reproduce the uninterrupted

@@ -3,8 +3,10 @@
 // and the JSONL run-report sink (obs writer + core serialization).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -99,6 +101,48 @@ TEST(ObsJsonTest, ParseHandlesUnicodeEscapes) {
   obs::Json out;
   ASSERT_TRUE(obs::Json::Parse("\"caf\\u00e9\"", &out));
   EXPECT_EQ(out.str(), "caf\xc3\xa9");
+}
+
+TEST(ObsJsonTest, JsonNumberRoundTrip) {
+  // serialize -> parse -> serialize is a fixed point: every double survives
+  // bit-exactly (max_digits10 emission) and re-dumps to the same text, so
+  // telemetry files rewritten through Json diff clean.
+  const double values[] = {0.0,
+                           -0.0,
+                           0.1,
+                           -0.1,
+                           1.0 / 3.0,
+                           1e-7,
+                           -1e-7,
+                           1e300,
+                           -1e300,
+                           2.2250738585072014e-308,  // smallest normal
+                           3.141592653589793,
+                           9007199254740992.0,       // 2^53
+                           9007199254740993.0,       // 2^53 + 1 (rounds)
+                           9007199254740991.0,       // 2^53 - 1 (exact int)
+                           -9007199254740991.0,
+                           123456789.0,
+                           -42.0};
+  for (double v : values) {
+    const std::string dumped = obs::Json(v).Dump();
+    obs::Json parsed;
+    std::string error;
+    ASSERT_TRUE(obs::Json::Parse(dumped, &parsed, &error))
+        << dumped << ": " << error;
+    EXPECT_EQ(parsed.number(), v) << dumped;
+    EXPECT_EQ(parsed.Dump(), dumped) << v;
+  }
+  // Integers emit without a trailing ".0" so counters stay readable.
+  EXPECT_EQ(obs::Json(5.0).Dump(), "5");
+  EXPECT_EQ(obs::Json(-42.0).Dump(), "-42");
+  EXPECT_EQ(obs::Json(static_cast<int64_t>(123)).Dump(), "123");
+  // Non-integers keep their fractional text.
+  EXPECT_EQ(obs::Json(3.5).Dump(), "3.5");
+  // Non-finite values serialize as null (JSON has no inf/nan).
+  EXPECT_EQ(obs::Json(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(obs::Json(std::nan("")).Dump(), "null");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end telemetry smoke test: a short training run with --telemetry-out
+# must produce a JSONL stream that e2dtc_report can render into a non-empty
+# summary table and SVG dashboards — the acceptance path for the telemetry
+# subsystem. Run by ctest with the CLI and report binaries as $1 and $2.
+set -euo pipefail
+
+CLI="$1"
+REPORT="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+"${CLI}" generate --preset hangzhou --scale 0.1 --seed 11 \
+    --out "${WORK}/city.csv" | grep -q "wrote"
+
+# 2-epoch toy fit with telemetry plus the run report (e2dtc_report accepts
+# both file kinds and merges them into one run).
+FIT_OUT="$("${CLI}" fit --data "${WORK}/city.csv" \
+    --model "${WORK}/model.e2dtc" \
+    --hidden 24 --pretrain-epochs 2 --selftrain-epochs 2 \
+    --telemetry-out "${WORK}/tel.jsonl" \
+    --run-report "${WORK}/report.jsonl")"
+echo "${FIT_OUT}" | grep -q "saved model"
+echo "${FIT_OUT}" | grep -q "telemetry samples"
+
+# The telemetry stream carries every family of series the dashboards need:
+# loss decomposition, per-module gradient norms, update ratios, kernel
+# accounting, δ/entropy convergence, and the utilization sampler.
+grep -q '"type":"telemetry_header"' "${WORK}/tel.jsonl"
+grep -q '"series":"pretrain.loss.recon"' "${WORK}/tel.jsonl"
+grep -q '"series":"pretrain.grad_norm.total"' "${WORK}/tel.jsonl"
+grep -q '"series":"pretrain.update_ratio.' "${WORK}/tel.jsonl"
+grep -q '"series":"pretrain.gemm_gflops"' "${WORK}/tel.jsonl"
+grep -q '"series":"selftrain.loss.joint"' "${WORK}/tel.jsonl"
+grep -q '"series":"selftrain.entropy"' "${WORK}/tel.jsonl"
+grep -q '"series":"selftrain.delta"' "${WORK}/tel.jsonl"
+grep -q '"series":"selftrain.cluster_size.00"' "${WORK}/tel.jsonl"
+grep -q '"series":"threadpool.utilization"' "${WORK}/tel.jsonl"
+
+# Summary table mode: every series named, with sample counts.
+SUMMARY="$("${REPORT}" "${WORK}/tel.jsonl" "${WORK}/report.jsonl")"
+echo "${SUMMARY}" | grep -q "series"
+echo "${SUMMARY}" | grep -q "pretrain.loss.recon"
+echo "${SUMMARY}" | grep -q "selftrain.delta"
+
+# Dashboard mode: SVG charts for every dashboard family plus per-series
+# charts and the written summary.
+"${REPORT}" "${WORK}/tel.jsonl" "${WORK}/report.jsonl" \
+    --out "${WORK}/dash" | grep -q "SVG"
+for f in losses.svg grad_norms.svg update_ratios.svg convergence.svg \
+         cluster_sizes.svg utilization.svg throughput.svg summary.txt; do
+  [[ -s "${WORK}/dash/${f}" ]] || { echo "missing/empty ${f}" >&2; exit 1; }
+done
+grep -q "<svg" "${WORK}/dash/losses.svg"
+grep -q "</svg>" "${WORK}/dash/losses.svg"
+grep -q "polyline" "${WORK}/dash/losses.svg"
+[[ -s "${WORK}/dash/series/selftrain.delta.svg" ]]
+[[ -s "${WORK}/dash/series/threadpool.utilization.svg" ]]
+grep -q "pretrain.loss.recon" "${WORK}/dash/summary.txt"
+
+# Run-report-only input still renders (synthesized canonical series).
+"${REPORT}" "${WORK}/report.jsonl" | grep -q "selftrain.loss.kl"
+
+# Compare mode: a run against itself has no regressions and exits 0.
+"${REPORT}" --compare "${WORK}/tel.jsonl" "${WORK}/tel.jsonl" \
+    | grep -q "0 regressed"
+
+# Bad inputs fail loudly.
+if "${REPORT}" "${WORK}/does_not_exist.jsonl" 2>/dev/null; then
+  echo "expected missing input to fail" >&2
+  exit 1
+fi
+if "${REPORT}" 2>/dev/null; then
+  echo "expected flagless invocation to fail" >&2
+  exit 1
+fi
+
+echo "report smoke ok"

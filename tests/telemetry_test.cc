@@ -1,0 +1,259 @@
+// Tests for the obs telemetry layer: bounded time-series rings, the
+// crash-safe JSONL sink, concurrent recording from pool workers (the
+// sanitize gates run this suite under tsan), thread-pool utilization
+// accounting, and the optimizer StepObserver hook telemetry hangs off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// RAII guard: enables telemetry for one test, then disables and clears the
+/// global recorder so tests stay order-independent.
+struct ScopedTelemetry {
+  ScopedTelemetry() { obs::EnableTelemetry(true); }
+  ~ScopedTelemetry() {
+    obs::EnableTelemetry(false);
+    obs::TimeSeriesRecorder::Global().Reset();
+  }
+};
+
+const obs::SeriesSnapshot* Find(const std::vector<obs::SeriesSnapshot>& all,
+                                const std::string& name) {
+  for (const auto& s : all) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TelemetryTest, DisabledRecordingIsANoOp) {
+  obs::TimeSeriesRecorder rec;
+  obs::EnableTelemetry(false);
+  obs::Series s = rec.series("noop.series");
+  for (int i = 0; i < 100; ++i) s.Record(i, 1.0);
+  EXPECT_EQ(rec.SampleCount(), 0u);
+}
+
+TEST(TelemetryTest, RingBoundsMemoryAndCountsDrops) {
+  ScopedTelemetry scoped;
+  obs::TimeSeriesRecorder rec;
+  obs::Series s = rec.series("bounded", 4);
+  for (int i = 0; i < 10; ++i) s.Record(i, i * 10.0);
+  auto all = rec.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].dropped, 6u);
+  ASSERT_EQ(all[0].samples.size(), 4u);
+  // Oldest-first, and the survivors are the last four records.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[0].samples[i].step, static_cast<int64_t>(6 + i));
+    EXPECT_DOUBLE_EQ(all[0].samples[i].value, (6 + i) * 10.0);
+  }
+}
+
+TEST(TelemetryTest, SnapshotOrdersSeriesByNameAndSamplesByAge) {
+  ScopedTelemetry scoped;
+  obs::TimeSeriesRecorder rec;
+  obs::Series b = rec.series("zeta");
+  obs::Series a = rec.series("alpha");
+  a.Record(0, 1.0);
+  a.Record(1, 2.0);
+  b.Record(0, 3.0);
+  auto all = rec.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "alpha");
+  EXPECT_EQ(all[1].name, "zeta");
+  ASSERT_EQ(all[0].samples.size(), 2u);
+  EXPECT_LE(all[0].samples[0].wall_us, all[0].samples[1].wall_us);
+  EXPECT_EQ(rec.SampleCount(), 3u);
+  rec.Reset();
+  EXPECT_EQ(rec.SampleCount(), 0u);
+  // Handles stay valid after Reset.
+  a.Record(5, 9.0);
+  EXPECT_EQ(rec.SampleCount(), 1u);
+}
+
+TEST(TelemetryTest, WriteJsonlRoundTripsAndOverwritesAtomically) {
+  ScopedTelemetry scoped;
+  obs::TimeSeriesRecorder rec;
+  obs::Series s = rec.series("loss.recon");
+  s.Record(0, 0.125);
+  s.Record(1, 0.0625);
+  const std::string path = TempPath("e2dtc_telemetry_test.jsonl");
+  // Pre-existing content must be replaced whole (rename over), never
+  // appended to or left truncated.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("stale content\n", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(rec.WriteJsonl(path));
+
+  std::vector<obs::Json> lines;
+  std::string error;
+  ASSERT_TRUE(obs::ReadJsonl(path, &lines, &error)) << error;
+  ASSERT_GE(lines.size(), 4u);  // header + series meta + 2 samples
+  EXPECT_EQ(lines[0].Find("type")->str(), "telemetry_header");
+  EXPECT_EQ(lines[0].Find("sample_count")->number(), 2.0);
+  EXPECT_EQ(lines[1].Find("type")->str(), "series");
+  EXPECT_EQ(lines[1].Find("name")->str(), "loss.recon");
+  int samples = 0;
+  for (const auto& line : lines) {
+    if (line.Find("type")->str() != "sample") continue;
+    EXPECT_EQ(line.Find("series")->str(), "loss.recon");
+    EXPECT_EQ(line.Find("step")->number(), samples);
+    ++samples;
+  }
+  EXPECT_EQ(samples, 2);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(
+      std::filesystem::exists(path + ".tmp"));  // tmp never left behind
+}
+
+TEST(TelemetryTest, WriteJsonlFailsOnBadPath) {
+  obs::TimeSeriesRecorder rec;
+  EXPECT_FALSE(rec.WriteJsonl("/nonexistent-dir/telemetry.jsonl"));
+}
+
+// Satellite 4: pool workers appending to distinct series while the main
+// thread snapshots. Run under tsan by the sanitize gate (ctest -L sanitize).
+TEST(TelemetryConcurrencyTest, WorkersRecordWhileSnapshotting) {
+  ScopedTelemetry scoped;
+  obs::TimeSeriesRecorder rec;
+  constexpr int kWorkers = 4;
+  constexpr int kSamples = 2000;
+  ThreadPool pool(kWorkers);
+  std::atomic<bool> done{false};
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.Submit([&rec, w] {
+      obs::Series s = rec.series("worker." + std::to_string(w));
+      for (int i = 0; i < kSamples; ++i) s.Record(i, w + i * 0.5);
+    });
+  }
+  std::thread snapshotter([&rec, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      auto all = rec.Snapshot();
+      for (const auto& s : all) {
+        // Every intermediate snapshot must be internally consistent:
+        // monotonically increasing steps, no torn samples.
+        EXPECT_LE(s.samples.size(), static_cast<size_t>(kSamples));
+        for (size_t i = 1; i < s.samples.size(); ++i) {
+          EXPECT_LT(s.samples[i - 1].step, s.samples[i].step);
+        }
+      }
+    }
+  });
+  pool.Wait();
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  auto all = rec.Snapshot();
+  ASSERT_EQ(all.size(), static_cast<size_t>(kWorkers));
+  for (int w = 0; w < kWorkers; ++w) {
+    const auto* s = Find(all, "worker." + std::to_string(w));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->samples.size(), static_cast<size_t>(kSamples));
+    EXPECT_EQ(s->dropped, 0u);
+    EXPECT_DOUBLE_EQ(s->samples.back().value, w + (kSamples - 1) * 0.5);
+  }
+}
+
+TEST(TelemetryPoolAccountingTest, PoolLifetimeTracksWorkerCount) {
+  const int before = obs::PoolWorkers();
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(obs::PoolWorkers(), before + 3);
+    // A blocked task shows up as a busy worker.
+    std::atomic<bool> release{false};
+    std::atomic<bool> started{false};
+    pool.Submit([&] {
+      started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+    while (!started.load()) std::this_thread::yield();
+    EXPECT_GE(obs::BusyWorkers(), 1);
+    release.store(true);
+    pool.Wait();
+  }
+  EXPECT_EQ(obs::PoolWorkers(), before);
+  EXPECT_EQ(obs::BusyWorkers(), 0);
+}
+
+TEST(TelemetryPoolAccountingTest, UtilizationSamplerRecordsSeries) {
+  ScopedTelemetry scoped;
+  obs::StartUtilizationSampler(/*period_ms=*/1);
+  ThreadPool pool(2);
+  pool.ParallelFor(64, [](int64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  obs::StopUtilizationSampler();
+  auto all = obs::TimeSeriesRecorder::Global().Snapshot();
+  const auto* util = Find(all, "threadpool.utilization");
+  const auto* total = Find(all, "threadpool.total_workers");
+  ASSERT_NE(util, nullptr);
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(util->samples.size(), 1u);
+  for (const auto& sample : util->samples) {
+    EXPECT_GE(sample.value, 0.0);
+    EXPECT_LE(sample.value, 1.0);
+  }
+  // Stop is idempotent and Start/Stop cycles are safe.
+  obs::StopUtilizationSampler();
+}
+
+TEST(OptimizerStepObserverTest, FiresAfterClipBeforeUpdate) {
+  nn::Var param =
+      nn::Var::Leaf(nn::Tensor(1, 2, {1.0f, 2.0f}), /*requires_grad=*/true);
+  param.node()->EnsureGrad();
+  nn::Sgd sgd({param}, /*lr=*/0.5f);
+
+  std::vector<int64_t> steps;
+  std::vector<float> seen_values, seen_grads, seen_lrs;
+  sgd.SetStepObserver([&](int64_t step, const std::vector<nn::Var>& params,
+                          float lr) {
+    steps.push_back(step);
+    seen_values.push_back(params[0].value().data()[0]);
+    seen_grads.push_back(params[0].grad().data()[0]);
+    seen_lrs.push_back(lr);
+  });
+
+  param.node()->grad.data()[0] = 1.0f;
+  param.node()->grad.data()[1] = 1.0f;
+  sgd.Step();
+  param.node()->grad.data()[0] = 1.0f;
+  sgd.Step();
+
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0], 0);
+  EXPECT_EQ(steps[1], 1);
+  // First call observed the pre-update value (update applied after).
+  EXPECT_FLOAT_EQ(seen_values[0], 1.0f);
+  EXPECT_FLOAT_EQ(seen_values[1], 0.5f);
+  EXPECT_FLOAT_EQ(seen_grads[0], 1.0f);
+  EXPECT_FLOAT_EQ(seen_lrs[0], 0.5f);
+
+  // Removing the observer stops callbacks.
+  sgd.SetStepObserver(nullptr);
+  sgd.Step();
+  EXPECT_EQ(steps.size(), 2u);
+}
+
+}  // namespace
+}  // namespace e2dtc

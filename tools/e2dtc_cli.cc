@@ -26,6 +26,7 @@
 #include "metrics/clustering_metrics.h"
 #include "nn/kernels.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -167,6 +168,7 @@ int CmdFit(const Flags& flags) {
   const std::string trace_out = flags.Get("trace-out", "");
   const std::string metrics_out = flags.Get("metrics-out", "");
   const std::string report_out = flags.Get("run-report", "");
+  const std::string telemetry_out = flags.Get("telemetry-out", "");
   if (data_path.empty()) {
     std::fprintf(stderr, "fit requires --data\n");
     return 1;
@@ -220,7 +222,27 @@ int CmdFit(const Flags& flags) {
   }
   if (!metrics_out.empty()) obs::EnableMetrics(true);
   if (!trace_out.empty()) obs::StartTracing();
+  if (!telemetry_out.empty()) {
+    obs::EnableTelemetry(true);
+    obs::StartUtilizationSampler();
+  }
 
+  // Flushes the telemetry ring to JSONL. Runs on the success path AND the
+  // interrupted path (same contract as the trace flush), so a SIGINT'd run
+  // still leaves its learning curves on disk for e2dtc_report.
+  const auto write_telemetry = [&telemetry_out]() -> bool {
+    if (telemetry_out.empty()) return true;
+    obs::StopUtilizationSampler();
+    if (!obs::TimeSeriesRecorder::Global().WriteJsonl(telemetry_out)) {
+      std::fprintf(stderr, "failed writing telemetry to %s\n",
+                   telemetry_out.c_str());
+      return false;
+    }
+    std::printf("wrote %zu telemetry samples to %s\n",
+                obs::TimeSeriesRecorder::Global().SampleCount(),
+                telemetry_out.c_str());
+    return true;
+  };
   const auto write_metrics = [&metrics_out]() -> bool {
     if (metrics_out.empty()) return true;
     const obs::Json snapshot = obs::Registry::Global().Snapshot().ToJson();
@@ -285,6 +307,7 @@ int CmdFit(const Flags& flags) {
         }
       }
       write_metrics();
+      write_telemetry();
       return 130;
     }
     return Fail(pipeline.status());
@@ -338,6 +361,7 @@ int CmdFit(const Flags& flags) {
     std::printf("wrote run report to %s\n", report_out.c_str());
   }
   if (!write_metrics()) return 1;
+  if (!write_telemetry()) return 1;
   Status st = (*pipeline)->Save(model_path);
   if (!st.ok()) return Fail(st);
   std::printf("saved model to %s\n", model_path.c_str());
@@ -474,6 +498,8 @@ int main(int argc, char** argv) {
                  "guarantee)\n"
                  "  fit flags: --trace-out FILE (chrome://tracing JSON), "
                  "--metrics-out FILE, --run-report FILE (JSONL),\n"
+                 "    --telemetry-out FILE (per-step time-series JSONL; "
+                 "render with e2dtc_report),\n"
                  "    --checkpoint-dir DIR, --checkpoint-every N, "
                  "--checkpoint-keep N, --resume true,\n"
                  "    --lenient-gps true (drop invalid GPS samples instead "

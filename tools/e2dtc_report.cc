@@ -1,0 +1,391 @@
+// e2dtc_report: offline dashboard generator for training-dynamics telemetry.
+//
+//   e2dtc_report run.jsonl [more.jsonl ...]            terminal summary table
+//   e2dtc_report run.jsonl --out report/               + SVG dashboards
+//   e2dtc_report --compare base.jsonl cand.jsonl       diff two runs
+//                [--threshold 0.10]
+//
+// Inputs are JSONL files written either by `e2dtc_cli fit --telemetry-out`
+// (obs::TimeSeriesRecorder sample streams) or by `--run-report` (per-epoch
+// event lines); run-report epochs are synthesized into the same canonical
+// series names so both file kinds render through one path. Multiple files
+// merge into one run (e.g. a telemetry file plus its run report).
+//
+// --compare loads two runs, compares the final value of every shared series,
+// and flags those that regressed beyond the threshold (relative change in the
+// series' bad direction: up for losses/seconds/δ, down for throughput and
+// utilization). Exits 1 when any series regressed, so CI can gate on it.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "viz/svg.h"
+
+namespace {
+
+using e2dtc::obs::Json;
+
+struct SeriesData {
+  std::vector<std::array<double, 2>> points;  ///< (step, value), load order.
+  uint64_t dropped = 0;
+};
+
+using SeriesMap = std::map<std::string, SeriesData>;
+
+double Num(const Json& obj, const char* key, double fallback = 0.0) {
+  const Json* v = obj.Find(key);
+  return (v != nullptr && v->is_number()) ? v->number() : fallback;
+}
+
+void AddPoint(SeriesMap* series, const std::string& name, double step,
+              double value) {
+  if (!std::isfinite(value)) return;
+  (*series)[name].points.push_back({step, value});
+}
+
+/// Folds one JSONL event into the series map. Telemetry `sample` lines map
+/// directly; run-report epoch lines synthesize the same canonical names the
+/// trainers record, but only as a fallback — when a telemetry stream already
+/// carries a series, its samples win (the run report is coarser).
+void FoldEvent(const Json& event, SeriesMap* series, SeriesMap* synthesized) {
+  const Json* type = event.Find("type");
+  if (type == nullptr || !type->is_string()) return;
+  const std::string& t = type->str();
+  if (t == "sample") {
+    const Json* name = event.Find("series");
+    if (name == nullptr || !name->is_string()) return;
+    AddPoint(series, name->str(), Num(event, "step"), Num(event, "value"));
+  } else if (t == "series") {
+    const Json* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) return;
+    (*series)[name->str()].dropped +=
+        static_cast<uint64_t>(Num(event, "dropped"));
+  } else if (t == "pretrain_epoch") {
+    const double epoch = Num(event, "epoch");
+    AddPoint(synthesized, "pretrain.loss.recon", epoch,
+             Num(event, "avg_token_loss"));
+    AddPoint(synthesized, "pretrain.grad_norm.total", epoch,
+             Num(event, "grad_norm"));
+    AddPoint(synthesized, "pretrain.tokens_per_second", epoch,
+             Num(event, "tokens_per_second"));
+    AddPoint(synthesized, "pretrain.epoch_seconds", epoch,
+             Num(event, "seconds"));
+  } else if (t == "self_train_epoch") {
+    const double epoch = Num(event, "epoch");
+    AddPoint(synthesized, "selftrain.loss.recon", epoch,
+             Num(event, "recon_loss"));
+    AddPoint(synthesized, "selftrain.loss.kl", epoch,
+             Num(event, "cluster_loss"));
+    AddPoint(synthesized, "selftrain.loss.triplet", epoch,
+             Num(event, "triplet_loss"));
+    AddPoint(synthesized, "selftrain.grad_norm.total", epoch,
+             Num(event, "grad_norm"));
+    AddPoint(synthesized, "selftrain.delta", epoch,
+             Num(event, "changed_fraction"));
+    AddPoint(synthesized, "selftrain.epoch_seconds", epoch,
+             Num(event, "seconds"));
+  }
+}
+
+bool LoadRun(const std::vector<std::string>& paths, SeriesMap* out) {
+  SeriesMap synthesized;
+  for (const auto& path : paths) {
+    std::vector<Json> events;
+    std::string error;
+    if (!e2dtc::obs::ReadJsonl(path, &events, &error)) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    for (const auto& event : events) FoldEvent(event, out, &synthesized);
+  }
+  for (auto& [name, data] : synthesized) {
+    auto it = out->find(name);
+    if (it == out->end() || it->second.points.empty()) {
+      (*out)[name] = std::move(data);
+    }
+  }
+  // Drop series that carried only metadata (a `series` line whose samples
+  // were all rotated out of the ring) and order samples by step.
+  for (auto it = out->begin(); it != out->end();) {
+    if (it->second.points.empty()) {
+      it = out->erase(it);
+      continue;
+    }
+    std::stable_sort(it->second.points.begin(), it->second.points.end(),
+                     [](const std::array<double, 2>& a,
+                        const std::array<double, 2>& b) {
+                       return a[0] < b[0];
+                     });
+    ++it;
+  }
+  return true;
+}
+
+struct SeriesStats {
+  size_t n = 0;
+  double first = 0.0, last = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+};
+
+SeriesStats Stats(const SeriesData& data) {
+  SeriesStats s;
+  s.n = data.points.size();
+  if (s.n == 0) return s;
+  s.first = data.points.front()[1];
+  s.last = data.points.back()[1];
+  s.min = s.max = s.first;
+  double sum = 0.0;
+  for (const auto& p : data.points) {
+    s.min = std::min(s.min, p[1]);
+    s.max = std::max(s.max, p[1]);
+    sum += p[1];
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  return s;
+}
+
+void PrintSummary(const SeriesMap& series, std::FILE* f) {
+  size_t name_width = 6;
+  for (const auto& [name, data] : series) {
+    name_width = std::max(name_width, name.size());
+  }
+  std::fprintf(f, "%-*s %6s %12s %12s %12s %12s %12s\n",
+               static_cast<int>(name_width), "series", "n", "first", "last",
+               "min", "max", "mean");
+  size_t total_samples = 0;
+  uint64_t total_dropped = 0;
+  for (const auto& [name, data] : series) {
+    const SeriesStats s = Stats(data);
+    std::fprintf(f, "%-*s %6zu %12.6g %12.6g %12.6g %12.6g %12.6g",
+                 static_cast<int>(name_width), name.c_str(), s.n, s.first,
+                 s.last, s.min, s.max, s.mean);
+    if (data.dropped > 0) {
+      std::fprintf(f, "  (dropped %llu)",
+                   static_cast<unsigned long long>(data.dropped));
+    }
+    std::fputc('\n', f);
+    total_samples += s.n;
+    total_dropped += data.dropped;
+  }
+  std::fprintf(f, "%zu series, %zu samples", series.size(), total_samples);
+  if (total_dropped > 0) {
+    std::fprintf(f, ", %llu dropped (ring overflow)",
+                 static_cast<unsigned long long>(total_dropped));
+  }
+  std::fputc('\n', f);
+}
+
+/// One dashboard: every series whose name matches any of the prefixes (or,
+/// with `contains`, any name containing the token) drawn on one chart.
+struct Dashboard {
+  const char* file;
+  const char* title;
+  const char* y_label;
+  bool log_y;
+  std::vector<std::string> prefixes;
+};
+
+bool MatchesAny(const std::string& name,
+                const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (name.size() >= p.size() && name.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SanitizeFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+bool WriteDashboards(const SeriesMap& series, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "series", ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+
+  const std::vector<Dashboard> dashboards = {
+      {"losses.svg", "Loss decomposition (Eq. 8/11/13/14)", "loss", false,
+       {"pretrain.loss.", "selftrain.loss."}},
+      {"grad_norms.svg", "Gradient L2 norms", "||g||", true,
+       {"pretrain.grad_norm.", "selftrain.grad_norm."}},
+      {"update_ratios.svg", "Update-to-weight ratios", "lr*||g||/||w||",
+       true, {"pretrain.update_ratio.", "selftrain.update_ratio."}},
+      {"convergence.svg", "Self-training convergence", "value", false,
+       {"selftrain.delta", "selftrain.entropy", "selftrain.centroid_drift"}},
+      {"cluster_sizes.svg", "Cluster occupancy per epoch", "trajectories",
+       false, {"selftrain.cluster_size."}},
+      {"utilization.svg", "Thread-pool utilization", "workers / fraction",
+       false, {"threadpool."}},
+      {"throughput.svg", "Throughput", "tok/s, GFLOP/s, dispatches", true,
+       {"pretrain.tokens_per_second", "pretrain.gemm_",
+        "selftrain.gemm_"}},
+  };
+
+  int written = 0;
+  for (const auto& d : dashboards) {
+    std::vector<e2dtc::viz::LineSeries> lines;
+    for (const auto& [name, data] : series) {
+      if (!MatchesAny(name, d.prefixes)) continue;
+      lines.push_back({name, data.points});
+    }
+    if (lines.empty()) continue;
+    e2dtc::viz::LineChartOptions opts;
+    opts.title = d.title;
+    opts.x_label = "step";
+    opts.y_label = d.y_label;
+    opts.log_y = d.log_y;
+    const std::string path = (fs::path(dir) / d.file).string();
+    e2dtc::Status st = e2dtc::viz::WriteLineChartSvg(path, lines, opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return false;
+    }
+    ++written;
+  }
+
+  // Per-series charts: one SVG per series so every curve the acceptance
+  // criteria name (each loss component, each grad-norm group, δ, entropy,
+  // utilization) is individually inspectable.
+  for (const auto& [name, data] : series) {
+    e2dtc::viz::LineChartOptions opts;
+    opts.title = name;
+    opts.x_label = "step";
+    const std::string path =
+        (fs::path(dir) / "series" / (SanitizeFilename(name) + ".svg"))
+            .string();
+    e2dtc::Status st =
+        e2dtc::viz::WriteLineChartSvg(path, {{name, data.points}}, opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return false;
+    }
+    ++written;
+  }
+
+  const std::string summary_path = (fs::path(dir) / "summary.txt").string();
+  std::FILE* f = std::fopen(summary_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", summary_path.c_str());
+    return false;
+  }
+  PrintSummary(series, f);
+  std::fclose(f);
+  std::printf("wrote %d SVG chart(s) and summary.txt to %s\n", written,
+              dir.c_str());
+  return true;
+}
+
+/// Direction of "better" for --compare. Throughput-flavored series improve
+/// upward; everything else (losses, grad norms, δ, wall time, queue depth)
+/// improves downward, which is also the safe default for unknown names.
+bool HigherIsBetter(const std::string& name) {
+  return name.find("tokens_per_second") != std::string::npos ||
+         name.find("gflops") != std::string::npos ||
+         name.find("utilization") != std::string::npos;
+}
+
+int Compare(const std::string& base_path, const std::string& cand_path,
+            double threshold) {
+  SeriesMap base, cand;
+  if (!LoadRun({base_path}, &base) || !LoadRun({cand_path}, &cand)) return 1;
+  size_t name_width = 6;
+  for (const auto& [name, data] : base) {
+    if (cand.count(name) > 0) name_width = std::max(name_width, name.size());
+  }
+  std::printf("%-*s %12s %12s %9s\n", static_cast<int>(name_width), "series",
+              "baseline", "candidate", "change");
+  int shared = 0, regressed = 0;
+  for (const auto& [name, base_data] : base) {
+    auto it = cand.find(name);
+    if (it == cand.end()) continue;
+    ++shared;
+    const double b = Stats(base_data).last;
+    const double c = Stats(it->second).last;
+    const double denom = std::fabs(b) > 1e-12 ? std::fabs(b) : 1e-12;
+    const double rel = (c - b) / denom;
+    const bool worse = HigherIsBetter(name) ? rel < -threshold
+                                            : rel > threshold;
+    std::printf("%-*s %12.6g %12.6g %+8.1f%%%s\n",
+                static_cast<int>(name_width), name.c_str(), b, c, rel * 100.0,
+                worse ? "  REGRESSED" : "");
+    if (worse) ++regressed;
+  }
+  std::printf("%d shared series, %d regressed beyond %.0f%%\n", shared,
+              regressed, threshold * 100.0);
+  return regressed > 0 ? 1 : 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: e2dtc_report FILE.jsonl [FILE.jsonl ...] [--out DIR]\n"
+      "       e2dtc_report --compare BASE.jsonl CAND.jsonl "
+      "[--threshold 0.10]\n"
+      "  Reads telemetry (--telemetry-out) and/or run-report (--run-report)\n"
+      "  JSONL files, prints a per-series summary table, and with --out\n"
+      "  renders SVG learning-curve/utilization dashboards plus one chart\n"
+      "  per series. --compare diffs the final value of every shared series\n"
+      "  between two runs and exits 1 if any regressed beyond the "
+      "threshold.\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_dir;
+  std::string compare_base, compare_cand;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--compare" && i + 2 < argc) {
+      compare_base = argv[++i];
+      compare_cand = argv[++i];
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (!compare_base.empty()) {
+    if (!inputs.empty() || !out_dir.empty()) return Usage();
+    return Compare(compare_base, compare_cand, threshold);
+  }
+  if (inputs.empty()) return Usage();
+  SeriesMap series;
+  if (!LoadRun(inputs, &series)) return 1;
+  if (series.empty()) {
+    std::fprintf(stderr,
+                 "no series found (expected telemetry `sample` lines or "
+                 "run-report epoch events)\n");
+    return 1;
+  }
+  PrintSummary(series, stdout);
+  if (!out_dir.empty() && !WriteDashboards(series, out_dir)) return 1;
+  return 0;
+}
