@@ -13,8 +13,16 @@
 //                                     disabled-path cost of a telemetry
 //                                     Series::Record site vs the obs
 //                                     Counter sites (within-noise verdict)
-// See docs/performance.md.
+//   bench_micro --obs_http_json=PATH  training-step medians with and without
+//                                     a live /metrics scraper at 1 Hz
+//                                     (within-noise verdict)
+// See docs/performance.md and docs/observability.md.
 #include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -43,6 +51,9 @@
 #include "nn/kernels.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
+#include "core/status.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -851,6 +862,185 @@ void BM_SeriesRecordEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_SeriesRecordEnabled);
 
+/// Populates the global registry + recorder with a training-shaped set of
+/// metrics so exposition benchmarks render a realistic document, and
+/// returns handles for the hot-loop workload to record through.
+struct ObsHttpWorkloadInstruments {
+  obs::Counter batches;
+  obs::Histogram batch_ms;
+  obs::Series loss;
+};
+
+ObsHttpWorkloadInstruments PopulateObsHttpWorkload() {
+  obs::Registry& reg = obs::Registry::Global();
+  for (int i = 0; i < 16; ++i) {
+    reg.counter("bench.obshttp.counter" + std::to_string(i)).Increment(i);
+    reg.gauge("bench.obshttp.gauge" + std::to_string(i)).Set(i * 0.5);
+  }
+  obs::Histogram hist = reg.histogram("bench.obshttp.batch_ms",
+                                      obs::ExponentialBuckets(0.1, 2.0, 14));
+  for (int i = 0; i < 256; ++i) hist.Record(0.1 * i);
+  obs::TimeSeriesRecorder& rec = obs::TimeSeriesRecorder::Global();
+  for (int s = 0; s < 8; ++s) {
+    obs::Series series =
+        rec.series("bench.obshttp.series" + std::to_string(s));
+    for (int i = 0; i < 512; ++i) series.Record(i, 1.0 / (1 + i));
+  }
+  return ObsHttpWorkloadInstruments{
+      reg.counter("bench.obshttp.batches"),
+      hist,
+      rec.series("bench.obshttp.loss"),
+  };
+}
+
+void BM_MetricsExposition(benchmark::State& state) {
+  // Full /metrics render over a training-shaped registry: counters, gauges,
+  // a histogram with quantile synthesis, and telemetry latest-sample gauges.
+  const bool metrics_was = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  obs::EnableTelemetry(true);
+  PopulateObsHttpWorkload();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = obs::PrometheusTextFromGlobals();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  obs::EnableTelemetry(false);
+  obs::EnableMetrics(metrics_was);
+}
+BENCHMARK(BM_MetricsExposition);
+
+/// One blocking GET against 127.0.0.1:`port`; returns bytes received (0 on
+/// failure). The bench-side scraper mirrors what Prometheus does to a
+/// training run: full TCP round trip, read to EOF.
+size_t ScrapeOnce(int port, const char* target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  char request[128];
+  const int len = std::snprintf(
+      request, sizeof(request),
+      "GET %s HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n", target);
+  (void)::send(fd, request, static_cast<size_t>(len), MSG_NOSIGNAL);
+  size_t total = 0;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return total;
+}
+
+/// Runs `steps` simulated training steps (a GEMM at GRU-gate shape plus the
+/// per-batch instrumentation writes) and returns the median step
+/// milliseconds. The median is the right statistic for the scrape-overhead
+/// question: a 1 Hz scraper perturbs a handful of steps, and the claim under
+/// test is that the typical step does not move.
+double MedianStepMs(int steps, ObsHttpWorkloadInstruments& inst) {
+  constexpr int kDim = 96;  // hidden 32, 3 gates: the pretrain GEMM shape
+  std::vector<float> a(kDim * kDim, 0.5f);
+  std::vector<float> b(kDim * kDim, 0.25f);
+  std::vector<float> c(kDim * kDim, 0.0f);
+  std::vector<double> ms(static_cast<size_t>(steps));
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < steps; ++i) {
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < 8; ++rep) {
+      nn::kernels::MatmulNN(kDim, kDim, kDim, a.data(), b.data(), c.data(),
+                            /*accumulate=*/false);
+    }
+    inst.batches.Increment();
+    inst.batch_ms.Record(1.0);
+    inst.loss.Record(i, 1.0 / (1 + i));
+    ms[static_cast<size_t>(i)] =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  }
+  std::nth_element(ms.begin(), ms.begin() + steps / 2, ms.end());
+  return ms[static_cast<size_t>(steps / 2)];
+}
+
+int RunObsHttpScrapeReport(const std::string& path) {
+  obs::Json root = obs::Json::Object();
+  root.Set("schema", "e2dtc.bench.obs_http.v1");
+  root.Set(
+      "note",
+      "Median simulated-training-step time without and with the live "
+      "introspection server being scraped at 1 Hz (full HTTP GET /metrics "
+      "round trips from a separate thread). within_noise requires the "
+      "scraped median to stay within 10% + 20us of the baseline: exposition "
+      "renders from atomic snapshots on server threads, so the hot path "
+      "should not feel the scraper.");
+
+  obs::EnableMetrics(true);
+  obs::EnableTelemetry(true);
+  ObsHttpWorkloadInstruments inst = PopulateObsHttpWorkload();
+  // ~2.5 s per arm at ~0.16 ms/step, so the 1 Hz scraper lands a handful of
+  // full GET round trips inside the measured window.
+  const int kSteps = 15000;
+  (void)MedianStepMs(500, inst);  // warm caches and the kernel thread pool
+  const double baseline_ms = MedianStepMs(kSteps, inst);
+
+  obs::HttpServer server({});
+  core::RegisterIntrospectionEndpoints(&server);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "obs_http bench: server start failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::atomic<size_t> last_bytes{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      last_bytes.store(ScrapeOnce(server.port(), "/metrics"),
+                       std::memory_order_relaxed);
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < 100 && !stop.load(std::memory_order_relaxed); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  });
+  const double scraped_ms = MedianStepMs(kSteps, inst);
+  stop.store(true);
+  scraper.join();
+  server.Stop();
+  obs::EnableTelemetry(false);
+  obs::EnableMetrics(false);
+
+  const double ratio = scraped_ms / std::max(baseline_ms, 1e-9);
+  const bool within_noise = scraped_ms <= baseline_ms * 1.10 + 0.02;
+  root.Set("steps_per_arm", kSteps);
+  root.Set("baseline_median_step_ms", baseline_ms);
+  root.Set("scraped_median_step_ms", scraped_ms);
+  root.Set("ratio", ratio);
+  root.Set("scrapes_completed", scrapes.load());
+  root.Set("exposition_bytes",
+           static_cast<uint64_t>(last_bytes.load()));
+  root.Set("within_noise", within_noise);
+
+  std::ofstream out(path);
+  if (!out) return 1;
+  out << root.Dump() << "\n";
+  if (!out.good()) return 1;
+  std::printf(
+      "obs http scrape overhead: baseline %.4f ms, scraped %.4f ms "
+      "(%d scrapes, %zu B exposition) -> %s\n",
+      baseline_ms, scraped_ms, scrapes.load(), last_bytes.load(),
+      within_noise ? "within noise" : "REGRESSED");
+  return 0;
+}
+
 /// --telemetry_overhead=PATH: times the disabled telemetry recording path
 /// against the obs::Counter sites already accepted on the hot paths and
 /// writes a JSON verdict. Template (not std::function) so each op inlines
@@ -926,11 +1116,13 @@ int main(int argc, char** argv) {
   std::string gemm_json;
   std::string distance_json;
   std::string telemetry_json;
+  std::string obs_http_json;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     constexpr std::string_view kGemmFlag = "--gemm_json=";
     constexpr std::string_view kDistanceFlag = "--distance_json=";
     constexpr std::string_view kTelemetryFlag = "--telemetry_overhead=";
+    constexpr std::string_view kObsHttpFlag = "--obs_http_json=";
     std::string_view arg = argv[i];
     if (arg.substr(0, kGemmFlag.size()) == kGemmFlag) {
       gemm_json = std::string(arg.substr(kGemmFlag.size()));
@@ -942,6 +1134,10 @@ int main(int argc, char** argv) {
     }
     if (arg.substr(0, kTelemetryFlag.size()) == kTelemetryFlag) {
       telemetry_json = std::string(arg.substr(kTelemetryFlag.size()));
+      continue;
+    }
+    if (arg.substr(0, kObsHttpFlag.size()) == kObsHttpFlag) {
+      obs_http_json = std::string(arg.substr(kObsHttpFlag.size()));
       continue;
     }
     // --distance-threads / --kernel-threads were consumed above; strip them
@@ -957,6 +1153,7 @@ int main(int argc, char** argv) {
   if (!telemetry_json.empty()) {
     return RunTelemetryOverheadReport(telemetry_json);
   }
+  if (!obs_http_json.empty()) return RunObsHttpScrapeReport(obs_http_json);
   RegisterGemmBenchmarks();
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

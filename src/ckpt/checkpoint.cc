@@ -241,12 +241,14 @@ std::string Checkpointer::PathFor(const PhaseSnapshot& snap) const {
 }
 
 Status Checkpointer::Save(const PhaseSnapshot& snap) {
-  Status st = SaveSnapshot(PathFor(snap), snap);
+  const std::string path = PathFor(snap);
+  Status st = SaveSnapshot(path, snap);
   if (!st.ok()) {
     Instr().save_failures.Increment();
     return st;
   }
   Instr().saves.Increment();
+  last_saved_path_ = path;
 
   std::vector<std::string> files = ListCheckpoints();
   const size_t keep = static_cast<size_t>(options_.keep);

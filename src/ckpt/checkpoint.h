@@ -112,11 +112,16 @@ class Checkpointer {
     return resume_snapshot_;
   }
 
+  /// Path of the most recent successful Save; empty before the first one.
+  /// Live-status surfaces (/statusz) report it with its age.
+  const std::string& last_saved_path() const { return last_saved_path_; }
+
  private:
   std::string PathFor(const PhaseSnapshot& snap) const;
 
   CheckpointOptions options_;
   std::optional<PhaseSnapshot> resume_snapshot_;
+  std::string last_saved_path_;
 };
 
 }  // namespace e2dtc::ckpt

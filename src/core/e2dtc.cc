@@ -5,6 +5,7 @@
 #include "cluster/elbow.h"
 #include "cluster/kmeans.h"
 #include "core/resume.h"
+#include "core/status.h"
 #include "embedding/skipgram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,6 +88,9 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
   std::optional<obs::ScopedSpan> phase_span;
   Stopwatch phase_watch;
   phase_span.emplace("fit.embed");
+  TrainStatus::Global().Reset();
+  TrainStatus::Global().SetResumed(fit.resumed);
+  TrainStatus::Global().EnterPhase(FitPhase::kEmbed, /*total_epochs=*/0);
   const geo::BoundingBox box =
       geo::ComputeBoundingBox(dataset.trajectories, /*margin_deg=*/1e-3);
   E2DTC_ASSIGN_OR_RETURN(geo::Grid grid,
@@ -166,6 +170,8 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     fit.pretrain_history = PretrainHistoryFromRows(resume_snap->pretrain_stats);
     fit.pretrain_seconds = phase_watch.ElapsedSeconds();
     phase_span.emplace("fit.cluster_init");
+    TrainStatus::Global().EnterPhase(FitPhase::kClusterInit,
+                                     /*total_epochs=*/0);
     phase_watch.Restart();
     fit.l0_embeddings = resume_snap->l0_embeddings;
     fit.l0_assignments.assign(resume_snap->l0_assignments.begin(),
@@ -191,6 +197,8 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     // both Algorithm 1's centroid init and the t2vec + k-means baseline
     // (L0). ----
     phase_span.emplace("fit.cluster_init");
+    TrainStatus::Global().EnterPhase(FitPhase::kClusterInit,
+                                     /*total_epochs=*/0);
     phase_watch.Restart();
     fit.l0_embeddings = EncodeAll(*pipeline->model_, vocab,
                                   dataset.trajectories,
@@ -262,6 +270,11 @@ Result<std::unique_ptr<E2dtcPipeline>> E2dtcPipeline::Fit(
     fit.health_rollbacks += st.rollbacks;
   }
   phase_span.reset();
+  TrainStatus::Global().EnterPhase(FitPhase::kDone, /*total_epochs=*/0);
+  // EnterPhase zeroes the per-phase tallies; restore the fit-wide totals so
+  // a post-run scrape still sees them.
+  TrainStatus::Global().SetHealth(fit.health_skipped_batches,
+                                  fit.health_rollbacks);
   fit.cluster_seconds = phase_watch.ElapsedSeconds();
   fit.total_seconds = total_watch.ElapsedSeconds();
   E2DTC_LOG(Debug) << "fit done in " << fit.total_seconds << "s (embed "

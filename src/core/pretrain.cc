@@ -5,6 +5,7 @@
 #include "core/health.h"
 #include "core/instruments.h"
 #include "core/resume.h"
+#include "core/status.h"
 #include "core/train_telemetry.h"
 #include "data/batching.h"
 #include "nn/kernels.h"
@@ -85,6 +86,8 @@ Result<PretrainResult> Pretrainer::Train(
     result.resumed = true;
     E2DTC_LOG(Info) << "pretraining resumed at epoch " << start_epoch;
   }
+  TrainStatus& status = TrainStatus::Global();
+  status.EnterPhase(FitPhase::kPretrain, config_.epochs, start_epoch);
 
   // State at the last completed epoch boundary: the disk checkpoint source
   // and the in-memory rollback target for the health guardrails. Mid-epoch
@@ -111,6 +114,8 @@ Result<PretrainResult> Pretrainer::Train(
       Status st = ckptr->Save(boundary);
       if (!st.ok()) {
         E2DTC_LOG(Warning) << "final checkpoint failed: " << st.ToString();
+      } else {
+        status.OnCheckpoint(ckptr->last_saved_path());
       }
     }
     return Status::Cancelled(StrFormat(
@@ -194,6 +199,7 @@ Result<PretrainResult> Pretrainer::Train(
         continue;
       }
       optimizer->Step();
+      status.OnBatch();
 
       loss_sum += static_cast<double>(dec.loss_sum.value().scalar());
       token_sum += dec.num_tokens;
@@ -203,12 +209,14 @@ Result<PretrainResult> Pretrainer::Train(
     }
     if (rollback_requested) {
       if (health.rollbacks() >= config_.health.max_rollbacks) {
+        status.OnGiveUp();
         return Status::Internal(StrFormat(
             "pretraining keeps producing poisoned batches after %d "
             "rollback(s); giving up at epoch %d",
             health.rollbacks(), epoch));
       }
       health.OnRollback();
+      status.SetHealth(health.skipped_batches(), health.rollbacks());
       E2DTC_RETURN_IF_ERROR(
           ApplyTrainingState(boundary, model_, optimizer.get(), &rng));
       optimizer->set_lr(optimizer->lr() * config_.health.rollback_lr_scale);
@@ -245,6 +253,10 @@ Result<PretrainResult> Pretrainer::Train(
                      << stats.avg_token_loss << " (" << stats.seconds
                      << "s)";
     result.history.push_back(stats);
+    // Pretraining has no KL/triplet terms, so joint == recon.
+    status.OnEpochEnd(epoch + 1, stats.avg_token_loss, 0.0, 0.0,
+                      stats.avg_token_loss, stats.grad_norm, stats.seconds);
+    status.SetHealth(health.skipped_batches(), health.rollbacks());
 
     if (track_boundary) capture_boundary(epoch + 1);
     if (ckptr != nullptr &&
@@ -253,6 +265,8 @@ Result<PretrainResult> Pretrainer::Train(
       if (!st.ok()) {
         E2DTC_LOG(Warning) << "checkpoint save failed (training continues): "
                            << st.ToString();
+      } else {
+        status.OnCheckpoint(ckptr->last_saved_path());
       }
     }
     // After the boundary capture, so state a callback corrupts (tests use

@@ -8,6 +8,7 @@
 #include "core/health.h"
 #include "core/pretrain.h"
 #include "core/resume.h"
+#include "core/status.h"
 #include "core/train_telemetry.h"
 #include "core/triplet.h"
 #include "data/batching.h"
@@ -188,6 +189,8 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     result.resumed = true;
     E2DTC_LOG(Info) << "self-training resumed at epoch " << start_epoch;
   }
+  TrainStatus& status = TrainStatus::Global();
+  status.EnterPhase(FitPhase::kSelfTrain, config_.max_iters, start_epoch);
 
   // Last completed epoch boundary: disk-checkpoint source and health
   // rollback target. See the matching comment in pretrain.cc — mid-epoch
@@ -228,6 +231,8 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
       Status st = ckptr->Save(boundary);
       if (!st.ok()) {
         E2DTC_LOG(Warning) << "final checkpoint failed: " << st.ToString();
+      } else {
+        status.OnCheckpoint(ckptr->last_saved_path());
       }
     }
     return Status::Cancelled(StrFormat(
@@ -385,6 +390,7 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
         continue;
       }
       optimizer->Step();
+      status.OnBatch();
 
       recon_sum += static_cast<double>(dec.loss_sum.value().scalar());
       token_sum += dec.num_tokens;
@@ -400,12 +406,14 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
     }
     if (rollback_requested) {
       if (health.rollbacks() >= config_.health.max_rollbacks) {
+        status.OnGiveUp();
         return Status::Internal(StrFormat(
             "self-training keeps producing poisoned batches after %d "
             "rollback(s); giving up at epoch %d",
             health.rollbacks(), epoch));
       }
       health.OnRollback();
+      status.SetHealth(health.skipped_batches(), health.rollbacks());
       E2DTC_RETURN_IF_ERROR(
           ApplyTrainingState(boundary, model_, optimizer.get(), &rng));
       centroids.mutable_value() = boundary.centroids;
@@ -456,6 +464,15 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
                      << " Lt " << stats.triplet_loss << " changed "
                      << stats.changed_fraction;
     result.history.push_back(stats);
+    status.OnEpochEnd(
+        epoch + 1, stats.recon_loss, stats.cluster_loss, stats.triplet_loss,
+        stats.recon_loss +
+            static_cast<double>(config_.beta) * stats.cluster_loss +
+            (use_triplet
+                 ? static_cast<double>(config_.gamma) * stats.triplet_loss
+                 : 0.0),
+        stats.grad_norm, stats.seconds);
+    status.SetHealth(health.skipped_batches(), health.rollbacks());
 
     if (track_boundary) capture_boundary(epoch + 1);
     if (ckptr != nullptr &&
@@ -464,6 +481,8 @@ Result<SelfTrainer::TrainResult> SelfTrainer::Train(
       if (!st.ok()) {
         E2DTC_LOG(Warning) << "checkpoint save failed (training continues): "
                            << st.ToString();
+      } else {
+        status.OnCheckpoint(ckptr->last_saved_path());
       }
     }
     // After the boundary capture, so state a callback corrupts (tests use

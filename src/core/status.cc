@@ -1,0 +1,307 @@
+#include "core/status.h"
+
+#include "nn/kernels.h"
+#include "obs/build_info.h"
+#include "obs/exposition.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace e2dtc::core {
+
+const char* FitPhaseName(FitPhase phase) {
+  switch (phase) {
+    case FitPhase::kIdle:
+      return "idle";
+    case FitPhase::kEmbed:
+      return "embed";
+    case FitPhase::kPretrain:
+      return "pretrain";
+    case FitPhase::kClusterInit:
+      return "cluster_init";
+    case FitPhase::kSelfTrain:
+      return "self_train";
+    case FitPhase::kDone:
+      return "done";
+    case FitPhase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+TrainStatus& TrainStatus::Global() {
+  static TrainStatus* status = new TrainStatus();
+  return *status;
+}
+
+void TrainStatus::Reset() {
+  phase_.store(0, std::memory_order_relaxed);
+  epoch_.store(0, std::memory_order_relaxed);
+  total_epochs_.store(0, std::memory_order_relaxed);
+  steps_.store(0, std::memory_order_relaxed);
+  steps_at_phase_.store(0, std::memory_order_relaxed);
+  phase_enter_us_.store(obs::MonotonicMicros(), std::memory_order_relaxed);
+  resumed_.store(false, std::memory_order_relaxed);
+  recon_.store(0.0, std::memory_order_relaxed);
+  kl_.store(0.0, std::memory_order_relaxed);
+  triplet_.store(0.0, std::memory_order_relaxed);
+  joint_.store(0.0, std::memory_order_relaxed);
+  grad_norm_.store(0.0, std::memory_order_relaxed);
+  last_epoch_s_.store(0.0, std::memory_order_relaxed);
+  avg_epoch_s_.store(0.0, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
+  rollbacks_.store(0, std::memory_order_relaxed);
+  gave_up_.store(false, std::memory_order_relaxed);
+  ckpt_us_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_path_.clear();
+  }
+}
+
+void TrainStatus::EnterPhase(FitPhase phase, int total_epochs,
+                             int start_epoch) {
+  phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+  total_epochs_.store(total_epochs, std::memory_order_relaxed);
+  epoch_.store(start_epoch, std::memory_order_relaxed);
+  steps_at_phase_.store(steps_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  phase_enter_us_.store(obs::MonotonicMicros(), std::memory_order_relaxed);
+  // Epoch timing is per-phase: a pretrain epoch says nothing about a
+  // self-train epoch's duration, so the ETA basis resets.
+  last_epoch_s_.store(0.0, std::memory_order_relaxed);
+  avg_epoch_s_.store(0.0, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
+  rollbacks_.store(0, std::memory_order_relaxed);
+}
+
+void TrainStatus::OnEpochEnd(int epochs_done, double recon, double kl,
+                             double triplet, double joint, double grad_norm,
+                             double seconds) {
+  epoch_.store(epochs_done, std::memory_order_relaxed);
+  recon_.store(recon, std::memory_order_relaxed);
+  kl_.store(kl, std::memory_order_relaxed);
+  triplet_.store(triplet, std::memory_order_relaxed);
+  joint_.store(joint, std::memory_order_relaxed);
+  grad_norm_.store(grad_norm, std::memory_order_relaxed);
+  last_epoch_s_.store(seconds, std::memory_order_relaxed);
+  // EMA with alpha 0.5: recent epochs dominate (self-training epochs
+  // shorten as clusters sharpen), first epoch seeds it directly.
+  const double prev = avg_epoch_s_.load(std::memory_order_relaxed);
+  avg_epoch_s_.store(prev <= 0.0 ? seconds : 0.5 * prev + 0.5 * seconds,
+                     std::memory_order_relaxed);
+}
+
+void TrainStatus::SetHealth(int skipped_batches, int rollbacks) {
+  skipped_.store(skipped_batches, std::memory_order_relaxed);
+  rollbacks_.store(rollbacks, std::memory_order_relaxed);
+}
+
+void TrainStatus::OnGiveUp() {
+  gave_up_.store(true, std::memory_order_relaxed);
+  phase_.store(static_cast<int>(FitPhase::kFailed),
+               std::memory_order_relaxed);
+}
+
+void TrainStatus::OnCheckpoint(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_path_ = path;
+  }
+  ckpt_us_.store(obs::MonotonicMicros(), std::memory_order_relaxed);
+}
+
+void TrainStatus::SetResumed(bool resumed) {
+  resumed_.store(resumed, std::memory_order_relaxed);
+}
+
+StatusSnapshot TrainStatus::Snapshot() const {
+  StatusSnapshot snap;
+  snap.phase = static_cast<FitPhase>(phase_.load(std::memory_order_relaxed));
+  snap.epoch = epoch_.load(std::memory_order_relaxed);
+  snap.total_epochs = total_epochs_.load(std::memory_order_relaxed);
+  snap.steps_total = steps_.load(std::memory_order_relaxed);
+  snap.resumed = resumed_.load(std::memory_order_relaxed);
+  snap.recon_loss = recon_.load(std::memory_order_relaxed);
+  snap.kl_loss = kl_.load(std::memory_order_relaxed);
+  snap.triplet_loss = triplet_.load(std::memory_order_relaxed);
+  snap.joint_loss = joint_.load(std::memory_order_relaxed);
+  snap.grad_norm = grad_norm_.load(std::memory_order_relaxed);
+  snap.last_epoch_seconds = last_epoch_s_.load(std::memory_order_relaxed);
+  snap.avg_epoch_seconds = avg_epoch_s_.load(std::memory_order_relaxed);
+  snap.health_skipped_batches = skipped_.load(std::memory_order_relaxed);
+  snap.health_rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  snap.health_gave_up = gave_up_.load(std::memory_order_relaxed);
+
+  const uint64_t now_us = obs::MonotonicMicros();
+  const uint64_t phase_us = phase_enter_us_.load(std::memory_order_relaxed);
+  const uint64_t phase_steps =
+      snap.steps_total - steps_at_phase_.load(std::memory_order_relaxed);
+  const double phase_seconds =
+      now_us > phase_us ? static_cast<double>(now_us - phase_us) / 1e6 : 0.0;
+  snap.steps_per_second =
+      phase_seconds > 0.0 ? static_cast<double>(phase_steps) / phase_seconds
+                          : 0.0;
+  const int remaining = snap.total_epochs - snap.epoch;
+  snap.eta_seconds =
+      remaining > 0 && snap.avg_epoch_seconds > 0.0
+          ? static_cast<double>(remaining) * snap.avg_epoch_seconds
+          : 0.0;
+
+  const uint64_t ckpt_us = ckpt_us_.load(std::memory_order_relaxed);
+  if (ckpt_us > 0) {
+    snap.last_checkpoint_age_seconds =
+        now_us > ckpt_us ? static_cast<double>(now_us - ckpt_us) / 1e6 : 0.0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    snap.last_checkpoint_path = ckpt_path_;
+  }
+  return snap;
+}
+
+obs::Json StatuszJson() {
+  const StatusSnapshot snap = TrainStatus::Global().Snapshot();
+  obs::Json doc = obs::Json::Object();
+
+  obs::Json train = obs::Json::Object();
+  train.Set("phase", FitPhaseName(snap.phase));
+  train.Set("epoch", snap.epoch);
+  train.Set("total_epochs", snap.total_epochs);
+  train.Set("steps_total", snap.steps_total);
+  train.Set("steps_per_second", snap.steps_per_second);
+  train.Set("resumed", snap.resumed);
+  obs::Json loss = obs::Json::Object();
+  loss.Set("recon", snap.recon_loss);
+  loss.Set("kl", snap.kl_loss);
+  loss.Set("triplet", snap.triplet_loss);
+  loss.Set("joint", snap.joint_loss);
+  loss.Set("grad_norm", snap.grad_norm);
+  train.Set("loss", std::move(loss));
+  train.Set("last_epoch_seconds", snap.last_epoch_seconds);
+  train.Set("avg_epoch_seconds", snap.avg_epoch_seconds);
+  train.Set("eta_seconds", snap.eta_seconds);
+  doc.Set("train", std::move(train));
+
+  obs::Json health = obs::Json::Object();
+  health.Set("ok", !snap.health_gave_up);
+  health.Set("skipped_batches", snap.health_skipped_batches);
+  health.Set("rollbacks", snap.health_rollbacks);
+  health.Set("gave_up", snap.health_gave_up);
+  doc.Set("health", std::move(health));
+
+  obs::Json checkpoint = obs::Json::Object();
+  checkpoint.Set("path", snap.last_checkpoint_path);
+  checkpoint.Set("age_seconds", snap.last_checkpoint_age_seconds);
+  doc.Set("checkpoint", std::move(checkpoint));
+
+  const nn::kernels::DispatchStats kernels = nn::kernels::GetDispatchStats();
+  obs::Json dispatch = obs::Json::Object();
+  dispatch.Set("dispatches", kernels.dispatches);
+  dispatch.Set("parallel_dispatches", kernels.parallel_dispatches);
+  dispatch.Set("macs", kernels.macs);
+  doc.Set("kernels", std::move(dispatch));
+
+  obs::Json pool = obs::Json::Object();
+  const int workers = obs::PoolWorkers();
+  const int busy = obs::BusyWorkers();
+  pool.Set("workers", workers);
+  pool.Set("busy", busy);
+  pool.Set("utilization",
+           workers > 0 ? static_cast<double>(busy) / workers : 0.0);
+  doc.Set("threadpool", std::move(pool));
+
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  obs::Json build_json = obs::Json::Object();
+  build_json.Set("version", build.version);
+  build_json.Set("compiler", build.compiler);
+  build_json.Set("build_type", build.build_type);
+  build_json.Set("kernel_native", build.kernel_native);
+  doc.Set("build", std::move(build_json));
+  doc.Set("uptime_seconds", obs::ProcessUptimeSeconds());
+  doc.Set("profile_active", obs::CpuProfileActive());
+  return doc;
+}
+
+void RegisterIntrospectionEndpoints(obs::HttpServer* server) {
+  server->Handle("/metrics", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = obs::kPrometheusContentType;
+    response.body = obs::PrometheusTextFromGlobals();
+    return response;
+  });
+
+  server->Handle("/statusz", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson().Dump();
+    response.body.push_back('\n');
+    return response;
+  });
+
+  server->Handle("/healthz", [](const obs::HttpRequest&) {
+    const StatusSnapshot snap = TrainStatus::Global().Snapshot();
+    obs::HttpResponse response;
+    if (snap.health_gave_up) {
+      response.status = 503;
+      response.body = "unhealthy: numerical-health guardrail gave up after ";
+      response.body += std::to_string(snap.health_rollbacks);
+      response.body += " rollback(s)\n";
+    } else {
+      response.body = "ok (skipped_batches=";
+      response.body += std::to_string(snap.health_skipped_batches);
+      response.body += ", rollbacks=";
+      response.body += std::to_string(snap.health_rollbacks);
+      response.body += ")\n";
+    }
+    return response;
+  });
+
+  server->Handle("/readyz", [](const obs::HttpRequest&) {
+    const StatusSnapshot snap = TrainStatus::Global().Snapshot();
+    // Ready = the model exists and is being (or has been) trained: phases
+    // pretrain onward, with the guardrail not given up. Idle/embed/failed
+    // report 503 so an orchestrator holds traffic.
+    const bool ready = !snap.health_gave_up &&
+                       snap.phase >= FitPhase::kPretrain &&
+                       snap.phase <= FitPhase::kDone;
+    obs::HttpResponse response;
+    if (!ready) {
+      response.status = 503;
+      response.body = std::string("not ready (phase=") +
+                      FitPhaseName(snap.phase) + ")\n";
+    } else {
+      response.body = std::string("ready (phase=") +
+                      FitPhaseName(snap.phase) + ")\n";
+    }
+    return response;
+  });
+
+  server->Handle("/profilez", [](const obs::HttpRequest& request) {
+    const double seconds = request.ParamOr("seconds", 1.0);
+    const int hz = static_cast<int>(request.ParamOr("hz", 99.0));
+    obs::HttpResponse response;
+    std::string error;
+    // The handler thread blocks for the profile window; the server's other
+    // handler threads keep /metrics and friends responsive meanwhile.
+    if (!obs::CollectCpuProfile(seconds, hz, &response.body, &error)) {
+      response.status = 503;
+      response.body = "profile unavailable: " + error + "\n";
+    }
+    return response;
+  });
+
+  server->Handle("/", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body =
+        "e2dtc introspection plane\n"
+        "  /metrics            Prometheus text exposition\n"
+        "  /statusz            training status JSON\n"
+        "  /healthz            numerical-health liveness\n"
+        "  /readyz             readiness (model trained/training)\n"
+        "  /profilez?seconds=N sampling CPU profile (collapsed stacks)\n";
+    return response;
+  });
+}
+
+}  // namespace e2dtc::core

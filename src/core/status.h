@@ -1,0 +1,138 @@
+#ifndef E2DTC_CORE_STATUS_H_
+#define E2DTC_CORE_STATUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/http_server.h"
+#include "obs/json.h"
+
+namespace e2dtc::core {
+
+/// Where the pipeline currently is. Unlike ckpt::TrainPhase (which only
+/// names checkpointable phases), this covers the whole Fit lifecycle so
+/// /statusz and /readyz can tell "embedding" from "training" from "done".
+enum class FitPhase : int {
+  kIdle = 0,
+  kEmbed = 1,
+  kPretrain = 2,
+  kClusterInit = 3,
+  kSelfTrain = 4,
+  kDone = 5,
+  kFailed = 6,
+};
+
+const char* FitPhaseName(FitPhase phase);
+
+/// Point-in-time copy of the live training state, safe to take from any
+/// thread at any moment.
+struct StatusSnapshot {
+  FitPhase phase = FitPhase::kIdle;
+  int epoch = 0;         ///< Completed epochs in the current phase.
+  int total_epochs = 0;  ///< Scheduled epochs for the current phase.
+  uint64_t steps_total = 0;  ///< Optimizer steps applied across all phases.
+  double steps_per_second = 0.0;  ///< Over the current phase.
+  bool resumed = false;
+
+  /// Loss decomposition from the last completed epoch. Pretraining fills
+  /// only recon; self-training fills all four (joint = Eq. 14 weighting).
+  double recon_loss = 0.0;
+  double kl_loss = 0.0;
+  double triplet_loss = 0.0;
+  double joint_loss = 0.0;
+  double grad_norm = 0.0;
+
+  double last_epoch_seconds = 0.0;
+  double avg_epoch_seconds = 0.0;  ///< EMA; the ETA basis.
+  double eta_seconds = 0.0;  ///< Remaining epochs x recent epoch rate.
+
+  /// Numerical-health guardrail state for the current phase.
+  int health_skipped_batches = 0;
+  int health_rollbacks = 0;
+  bool health_gave_up = false;
+
+  std::string last_checkpoint_path;      ///< Empty when none saved yet.
+  double last_checkpoint_age_seconds = -1.0;  ///< -1 when none saved yet.
+};
+
+/// Process-wide live-training status board. Trainers write through relaxed
+/// atomics (a handful of stores per epoch, one counter bump per optimizer
+/// step — invisible next to the work they describe); HTTP handlers and any
+/// other observer read a consistent-enough snapshot without ever taking a
+/// lock a training thread holds. The only mutex guards the rarely-written
+/// checkpoint-path string, touched at checkpoint saves — never inside the
+/// batch hot path.
+class TrainStatus {
+ public:
+  static TrainStatus& Global();
+
+  TrainStatus() = default;
+  TrainStatus(const TrainStatus&) = delete;
+  TrainStatus& operator=(const TrainStatus&) = delete;
+
+  /// Clears everything back to kIdle. Fit() calls this on entry so one
+  /// process running several fits (tests) never shows stale state.
+  void Reset();
+
+  /// Phase transition. `start_epoch` seeds the cursor on resumed runs.
+  void EnterPhase(FitPhase phase, int total_epochs, int start_epoch = 0);
+
+  /// One applied optimizer step (called after Optimizer::Step).
+  void OnBatch() {
+    steps_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Epoch boundary: cursor, loss decomposition, and timing.
+  void OnEpochEnd(int epochs_done, double recon, double kl, double triplet,
+                  double joint, double grad_norm, double seconds);
+
+  /// Health-guardrail tallies for the current phase (monitor totals).
+  void SetHealth(int skipped_batches, int rollbacks);
+  /// The guardrail exhausted max_rollbacks; /healthz goes 503.
+  void OnGiveUp();
+
+  void OnCheckpoint(const std::string& path);
+  void SetResumed(bool resumed);
+
+  StatusSnapshot Snapshot() const;
+
+ private:
+  std::atomic<int> phase_{0};
+  std::atomic<int> epoch_{0};
+  std::atomic<int> total_epochs_{0};
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> steps_at_phase_{0};
+  std::atomic<uint64_t> phase_enter_us_{0};
+  std::atomic<bool> resumed_{false};
+
+  std::atomic<double> recon_{0.0};
+  std::atomic<double> kl_{0.0};
+  std::atomic<double> triplet_{0.0};
+  std::atomic<double> joint_{0.0};
+  std::atomic<double> grad_norm_{0.0};
+  std::atomic<double> last_epoch_s_{0.0};
+  std::atomic<double> avg_epoch_s_{0.0};
+
+  std::atomic<int> skipped_{0};
+  std::atomic<int> rollbacks_{0};
+  std::atomic<bool> gave_up_{false};
+
+  mutable std::mutex ckpt_mu_;
+  std::string ckpt_path_;
+  std::atomic<uint64_t> ckpt_us_{0};  ///< MonotonicMicros at last save.
+};
+
+/// The /statusz document: the TrainStatus snapshot plus kernel dispatch
+/// stats, thread-pool utilization, process uptime, and build identity.
+obs::Json StatuszJson();
+
+/// Wires the whole introspection surface onto `server` (call before
+/// Start): /metrics, /statusz, /healthz, /readyz, /profilez, and a tiny
+/// text index at /.
+void RegisterIntrospectionEndpoints(obs::HttpServer* server);
+
+}  // namespace e2dtc::core
+
+#endif  // E2DTC_CORE_STATUS_H_

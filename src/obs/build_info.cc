@@ -1,0 +1,46 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// CMake injects the identity macros onto this TU only (see
+// src/CMakeLists.txt); the fallbacks keep standalone compiles working.
+#ifndef E2DTC_GIT_DESCRIBE
+#define E2DTC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef E2DTC_BUILD_TYPE
+#define E2DTC_BUILD_TYPE "unspecified"
+#endif
+#ifndef E2DTC_BUILD_KERNEL_NATIVE
+#define E2DTC_BUILD_KERNEL_NATIVE 0
+#endif
+#ifdef __VERSION__
+#define E2DTC_COMPILER_BANNER __VERSION__
+#else
+#define E2DTC_COMPILER_BANNER "unknown"
+#endif
+
+namespace e2dtc::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{
+      E2DTC_GIT_DESCRIBE,
+      E2DTC_COMPILER_BANNER,
+      E2DTC_BUILD_TYPE,
+      E2DTC_BUILD_KERNEL_NATIVE != 0,
+  };
+  return info;
+}
+
+double ProcessUptimeSeconds() {
+  return static_cast<double>(MonotonicMicros()) / 1e6;
+}
+
+void UpdateProcessGauges() {
+  static Gauge uptime = Registry::Global().gauge("process.uptime_seconds");
+  static Gauge native = Registry::Global().gauge("build.kernel_native");
+  uptime.Set(ProcessUptimeSeconds());
+  native.Set(GetBuildInfo().kernel_native ? 1.0 : 0.0);
+}
+
+}  // namespace e2dtc::obs

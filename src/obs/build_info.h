@@ -1,0 +1,35 @@
+#ifndef E2DTC_OBS_BUILD_INFO_H_
+#define E2DTC_OBS_BUILD_INFO_H_
+
+namespace e2dtc::obs {
+
+/// Compile-time identity of this binary, injected by CMake onto
+/// build_info.cc (git describe at configure time, compiler banner, build
+/// type, kernel -march=native flag). Scrapes and run reports use it to tie
+/// numbers back to an exact build.
+struct BuildInfo {
+  const char* version;     ///< `git describe --always --dirty`, or "unknown".
+  const char* compiler;    ///< __VERSION__ banner.
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, or "unspecified".
+  bool kernel_native;      ///< E2DTC_KERNEL_NATIVE option.
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Seconds since the process-monotonic anchor (obs::MonotonicMicros' first
+/// use — the CLI touches the clock at startup so this tracks process age).
+double ProcessUptimeSeconds();
+
+/// Registers/refreshes the identity gauges in the global registry:
+/// `process.uptime_seconds` and `build.kernel_native` (0/1). The string
+/// fields ride as labels on the synthesized `e2dtc_build_info` family in the
+/// Prometheus exposition, since the registry is numbers-only by design.
+/// Subject to the usual MetricsEnabled() gate; every sink that scrapes or
+/// snapshots (HTTP plane, --metrics-out, run reports) has metrics on, and
+/// the exposition layer additionally renders identity straight from
+/// GetBuildInfo() so /metrics carries it unconditionally.
+void UpdateProcessGauges();
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_BUILD_INFO_H_

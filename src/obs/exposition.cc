@@ -1,0 +1,207 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+
+#include "obs/build_info.h"
+
+namespace e2dtc::obs {
+
+namespace {
+
+/// %.17g round-trips doubles; trims to the short form when exact.
+void AppendValue(std::string* out, double v) {
+  if (std::isnan(v)) {
+    out->append("NaN");
+    return;
+  }
+  if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lg", &parsed);
+  if (parsed == v) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%g", v);
+    std::sscanf(shorter, "%lg", &parsed);
+    if (parsed == v) {
+      out->append(shorter);
+      return;
+    }
+  }
+  out->append(buf);
+}
+
+/// Label values escape `\`, `"`, and newline per the exposition format.
+void AppendLabelValue(std::string* out, const char* value) {
+  for (const char* p = value; *p != '\0'; ++p) {
+    switch (*p) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(*p);
+    }
+  }
+}
+
+void AppendHeader(std::string* out, const std::string& family,
+                  const char* type, const std::string& help) {
+  out->append("# HELP ").append(family).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(family).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "e2dtc_";
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+double HistogramQuantile(const HistogramSnapshot& histogram, double quantile) {
+  if (histogram.count == 0) return std::nan("");
+  const double target = quantile * static_cast<double>(histogram.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+    cumulative += histogram.bucket_counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= histogram.bounds.size()) {
+      // Overflow bucket: no finite upper edge, clamp to the last bound.
+      return histogram.bounds.empty() ? std::nan("") : histogram.bounds.back();
+    }
+    const double upper = histogram.bounds[i];
+    const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+    const uint64_t in_bucket = histogram.bucket_counts[i];
+    if (in_bucket == 0) return upper;
+    const double before = static_cast<double>(cumulative - in_bucket);
+    const double frac = (target - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return histogram.bounds.empty() ? std::nan("") : histogram.bounds.back();
+}
+
+std::string PrometheusText(const MetricsSnapshot& metrics,
+                           const std::vector<SeriesSnapshot>& telemetry) {
+  std::string out;
+  out.reserve(4096);
+
+  // Identity first, so even an empty registry scrape names the binary.
+  const BuildInfo& build = GetBuildInfo();
+  AppendHeader(&out, "e2dtc_build_info",
+               "gauge", "Build identity; value is constant 1.");
+  out.append("e2dtc_build_info{version=\"");
+  AppendLabelValue(&out, build.version);
+  out.append("\",compiler=\"");
+  AppendLabelValue(&out, build.compiler);
+  out.append("\",build_type=\"");
+  AppendLabelValue(&out, build.build_type);
+  out.append("\",kernel_native=\"");
+  out.append(build.kernel_native ? "1" : "0");
+  out.append("\"} 1\n");
+
+  for (const auto& [name, value] : metrics.counters) {
+    const std::string family = PrometheusName(name) + "_total";
+    AppendHeader(&out, family, "counter", "Counter " + name + ".");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out.append(family).append(" ").append(buf).append("\n");
+  }
+
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string family = PrometheusName(name);
+    AppendHeader(&out, family, "gauge", "Gauge " + name + ".");
+    out.append(family).append(" ");
+    AppendValue(&out, value);
+    out.append("\n");
+  }
+
+  for (const auto& histogram : metrics.histograms) {
+    const std::string family = PrometheusName(histogram.name);
+    AppendHeader(&out, family, "histogram", "Histogram " + histogram.name + ".");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bounds.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      out.append(family).append("_bucket{le=\"");
+      AppendValue(&out, histogram.bounds[i]);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "\"} %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      out.append(buf);
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %llu\n",
+                  static_cast<unsigned long long>(histogram.count));
+    out.append(family).append(buf);
+    out.append(family).append("_sum ");
+    AppendValue(&out, histogram.sum);
+    out.append("\n");
+    std::snprintf(buf, sizeof(buf), "_count %llu\n",
+                  static_cast<unsigned long long>(histogram.count));
+    out.append(family).append(buf);
+
+    // Server-side quantile estimates as a companion gauge family.
+    const std::string qfamily = family + "_quantile";
+    AppendHeader(&out, qfamily, "gauge",
+                 "Estimated quantiles of " + histogram.name + ".");
+    for (const double q : {0.5, 0.9, 0.99}) {
+      out.append(qfamily).append("{quantile=\"");
+      AppendValue(&out, q);
+      out.append("\"} ");
+      AppendValue(&out, HistogramQuantile(histogram, q));
+      out.append("\n");
+    }
+  }
+
+  uint64_t dropped_total = 0;
+  for (const auto& series : telemetry) {
+    dropped_total += series.dropped;
+    if (series.samples.empty()) continue;
+    const TelemetrySample& last = series.samples.back();
+    const std::string family = "e2dtc_ts_" +
+                               PrometheusName(series.name).substr(6);
+    AppendHeader(&out, family, "gauge",
+                 "Latest sample of telemetry series " + series.name + ".");
+    out.append(family).append(" ");
+    AppendValue(&out, last.value);
+    out.append("\n");
+    const std::string step_family = family + "_step";
+    AppendHeader(&out, step_family, "gauge",
+                 "Step index of the latest " + series.name + " sample.");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld\n",
+                  static_cast<long long>(last.step));
+    out.append(step_family).append(" ").append(buf);
+  }
+  AppendHeader(&out, "e2dtc_telemetry_dropped_samples_total", "counter",
+               "Telemetry samples lost to ring-buffer overflow.");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(dropped_total));
+  out.append("e2dtc_telemetry_dropped_samples_total").append(buf);
+
+  return out;
+}
+
+std::string PrometheusTextFromGlobals() {
+  UpdateProcessGauges();
+  return PrometheusText(Registry::Global().Snapshot(),
+                        TimeSeriesRecorder::Global().Snapshot());
+}
+
+}  // namespace e2dtc::obs

@@ -1,0 +1,50 @@
+#ifndef E2DTC_OBS_EXPOSITION_H_
+#define E2DTC_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace e2dtc::obs {
+
+/// Content-Type for the text returned by PrometheusText.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps an internal dotted metric/series name onto a legal Prometheus
+/// identifier: "e2dtc_" prefix, [a-zA-Z0-9_:] kept, everything else
+/// (dots, dashes, spaces) folded to '_'. "pretrain.batch_ms" ->
+/// "e2dtc_pretrain_batch_ms".
+std::string PrometheusName(const std::string& name);
+
+/// Approximate `quantile` (in (0,1)) from a histogram snapshot by linear
+/// interpolation within the containing bucket — the classic
+/// histogram_quantile() estimate, precomputed server-side so scrape-less
+/// eyeballs get p50/p90/p99 too. Returns NaN for an empty histogram; the
+/// overflow bucket clamps to the last finite bound.
+double HistogramQuantile(const HistogramSnapshot& histogram, double quantile);
+
+/// Renders Prometheus text exposition format v0.0.4:
+///   - every counter as `<name>_total`, every gauge verbatim;
+///   - every histogram as cumulative `_bucket{le=...}` + `_sum`/`_count`
+///     plus a synthesized `<name>_quantile{quantile=...}` gauge family for
+///     p50/p90/p99;
+///   - the latest sample of every telemetry series as a gauge
+///     (`e2dtc_ts_<name>`) with its step alongside (`..._step`), plus an
+///     aggregate `e2dtc_telemetry_dropped_samples_total`;
+///   - `e2dtc_build_info{version=...,compiler=...,build_type=...,
+///     kernel_native=...} 1`, synthesized from GetBuildInfo() since the
+///     registry is numbers-only (uptime arrives as the registry gauge
+///     `process.uptime_seconds`, refreshed by PrometheusTextFromGlobals).
+std::string PrometheusText(const MetricsSnapshot& metrics,
+                           const std::vector<SeriesSnapshot>& telemetry);
+
+/// PrometheusText over the global registry + recorder, refreshing the
+/// process identity gauges first. What GET /metrics serves.
+std::string PrometheusTextFromGlobals();
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_EXPOSITION_H_

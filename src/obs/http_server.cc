@@ -1,0 +1,297 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace e2dtc::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;  ///< Introspection GETs are tiny.
+constexpr int kRecvTimeoutSeconds = 5;     ///< Slow-loris bound per socket.
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+/// Writes the full response; best-effort (a scraper that hung up mid-write
+/// is its own problem). MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE
+/// in a process whose signal handlers belong to the trainer.
+void WriteResponse(int fd, const HttpResponse& response) {
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
+  std::string wire(header, static_cast<size_t>(header_len));
+  wire += response.body;
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the header block or the size cap. Returns false
+/// on timeout/EOF-before-headers/oversize — all of which get a 400.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[2048];
+  while (head->size() < kMaxRequestBytes) {
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return false;
+}
+
+}  // namespace
+
+double HttpRequest::ParamOr(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return fallback;
+  return v;
+}
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (listen(listen_fd_, 16) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  const int threads = options_.handler_threads < 1 ? 1 : options_.handler_threads;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { HandlerLoop(); });
+  }
+  listener_ = std::thread([this] { ListenLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  // The listener has stopped feeding the queue; wake the workers so they
+  // drain what is left and observe stop_.
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::ListenLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check stop_.
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    timeval tv{};
+    tv.tv_sec = kRecvTimeoutSeconds;
+    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (static_cast<int>(pending_.size()) < options_.max_pending) {
+        pending_.push_back(conn);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      HttpResponse overload;
+      overload.status = 503;
+      overload.body = "handler queue full\n";
+      WriteResponse(conn, overload);
+      close(conn);
+    }
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) {
+        // stop_ is set and the queue is drained (the listener is joined
+        // before workers, so no more connections arrive).
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+
+  if (!ReadRequestHead(fd, &head)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+    WriteResponse(fd, response);
+    if (options_.access_log) options_.access_log(request, response, 0.0);
+    return;
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    request.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t qpos = target.find('?');
+    if (qpos != std::string::npos) {
+      request.query = target.substr(qpos + 1);
+      target.resize(qpos);
+    }
+    request.path = target;
+    // key=value&key=value; bare keys map to "".
+    size_t pos = 0;
+    while (pos < request.query.size()) {
+      size_t amp = request.query.find('&', pos);
+      if (amp == std::string::npos) amp = request.query.size();
+      const std::string pair = request.query.substr(pos, amp - pos);
+      const size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        if (eq == std::string::npos) {
+          request.params[pair] = "";
+        } else {
+          request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+        }
+      }
+      pos = amp + 1;
+    }
+
+    const auto it = handlers_.find(request.path);
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else if (it == handlers_.end()) {
+      response.status = 404;
+      response.body = "unknown endpoint\n";
+    } else {
+      response = it->second(request);
+    }
+  }
+
+  WriteResponse(fd, response);
+  if (options_.access_log) {
+    const double millis =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    options_.access_log(request, response, millis);
+  }
+}
+
+}  // namespace e2dtc::obs

@@ -1,0 +1,111 @@
+#ifndef E2DTC_OBS_HTTP_SERVER_H_
+#define E2DTC_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace e2dtc::obs {
+
+/// One parsed introspection request. Only the request line matters for this
+/// plane: GET-only, exact-path routing, query string split into key=value
+/// pairs. Headers are read (to find the end of the request) but not kept.
+struct HttpRequest {
+  std::string method;
+  std::string path;                           ///< Target before '?'.
+  std::string query;                          ///< Raw query string, no '?'.
+  std::map<std::string, std::string> params;  ///< Parsed query parameters.
+
+  /// Returns params[key] parsed as a double, or `fallback` when the key is
+  /// absent or unparseable. Covers /profilez?seconds=N style knobs.
+  double ParamOr(const std::string& key, double fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal dependency-free HTTP/1.1 introspection server: one listener
+/// thread doing a poll()-gated accept loop plus a small bounded handler
+/// pool. Every response is Connection: close (scrapes are one-shot), every
+/// handler runs off the training threads, and Stop() joins everything, so
+/// the existing SIGINT/SIGTERM path can tear the plane down by letting the
+/// server object go out of scope. This listener/handler machinery is the
+/// deliberate seed of the future e2dtc::serve layer.
+///
+/// obs sits below util, so errors surface as bool + message rather than
+/// util::Status, and access logging is a caller-supplied hook (the CLI
+/// wires it to util's LogHttpAccess).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// (request, response, handling time in ms) after each completed exchange.
+  using AccessLog =
+      std::function<void(const HttpRequest&, const HttpResponse&, double)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  ///< 0 picks an ephemeral port; see port() after Start.
+    int handler_threads = 2;
+    int max_pending = 16;  ///< Accepted-but-unhandled cap; overflow gets 503.
+    AccessLog access_log;  ///< Optional; null means no access logging.
+  };
+
+  explicit HttpServer(Options options);
+  ~HttpServer();  ///< Calls Stop().
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start(); unknown paths get 404, non-GET methods 405, garbage 400.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the listener + handler threads. Returns
+  /// false with `*error` set (errno text) when the socket setup fails; the
+  /// server is then inert and Stop() is a no-op.
+  bool Start(std::string* error);
+
+  /// Graceful shutdown: stops accepting, drains queued connections (each
+  /// still gets a response), joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 to the kernel-assigned one). Valid
+  /// after a successful Start().
+  int port() const { return port_; }
+
+ private:
+  void ListenLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted connection fds awaiting a handler.
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_HTTP_SERVER_H_

@@ -1,0 +1,214 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace e2dtc::obs {
+
+namespace {
+
+constexpr int kMaxFrames = 48;
+constexpr int kMaxSamples = 16384;  ///< 30 s at 500 Hz with headroom.
+// How many innermost frames to drop from each sample: the signal handler
+// itself and the kernel's signal trampoline sit on top of every stack.
+constexpr int kSkipFrames = 2;
+
+/// Sample storage is preallocated and written only from the SIGPROF handler
+/// via an atomic slot claim — no allocation, no locks, async-signal-safe.
+void* g_frames[kMaxSamples][kMaxFrames];
+uint8_t g_depths[kMaxSamples];
+std::atomic<int> g_sample_count{0};
+std::atomic<bool> g_collecting{false};
+std::atomic<bool> g_active{false};  ///< The one-profile-at-a-time latch.
+
+void ProfSignalHandler(int /*signum*/) {
+  if (!g_collecting.load(std::memory_order_relaxed)) return;
+  const int slot = g_sample_count.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSamples) return;
+  const int depth = backtrace(g_frames[slot], kMaxFrames);
+  g_depths[slot] = static_cast<uint8_t>(depth < 0 ? 0 : depth);
+}
+
+/// Resolves one return address to a human frame name, demangling C++
+/// symbols and falling back to `module+0xoffset`.
+std::string SymbolizeFrame(void* address) {
+  // Return addresses point one past the call; step back one byte so calls
+  // at the end of a function attribute to the right symbol.
+  void* pc = static_cast<char*>(address) - 1;
+  Dl_info info{};
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);
+      return name;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  const char* module_path =
+      (info.dli_fname != nullptr) ? info.dli_fname : "?";
+  const char* base = module_path;
+  for (const char* p = module_path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  const uintptr_t offset =
+      info.dli_fbase != nullptr
+          ? reinterpret_cast<uintptr_t>(pc) -
+                reinterpret_cast<uintptr_t>(info.dli_fbase)
+          : reinterpret_cast<uintptr_t>(pc);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s+0x%zx", base,
+                static_cast<size_t>(offset));
+  return buf;
+}
+
+/// Frame names contain scrubbed separators so the collapsed format stays
+/// parseable: ';' splits frames, ' ' splits stack from count.
+std::string ScrubFrameName(std::string name) {
+  for (char& c : name) {
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+bool CpuProfileActive() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool CollectCpuProfile(double seconds, int hz, std::string* out,
+                       std::string* error) {
+  if (!(seconds > 0.0) || seconds > 60.0) {
+    if (error != nullptr) *error = "seconds must be in (0, 60]";
+    return false;
+  }
+  if (hz < 1 || hz > 1000) {
+    if (error != nullptr) *error = "hz must be in [1, 1000]";
+    return false;
+  }
+  bool expected = false;
+  if (!g_active.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    if (error != nullptr) *error = "a profile is already running";
+    return false;
+  }
+
+  // Prime backtrace outside the handler: its first call may dlopen
+  // libgcc for the unwinder, which is not async-signal-safe.
+  void* prime[4];
+  backtrace(prime, 4);
+
+  g_sample_count.store(0, std::memory_order_relaxed);
+  g_collecting.store(true, std::memory_order_release);
+
+  struct sigaction action{};
+  action.sa_handler = ProfSignalHandler;
+  action.sa_flags = SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  struct sigaction previous_action{};
+  if (sigaction(SIGPROF, &action, &previous_action) != 0) {
+    g_collecting.store(false, std::memory_order_release);
+    g_active.store(false, std::memory_order_release);
+    if (error != nullptr) *error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+
+  const long interval_us = 1000000L / hz;
+  itimerval timer{};
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    sigaction(SIGPROF, &previous_action, nullptr);
+    g_collecting.store(false, std::memory_order_release);
+    g_active.store(false, std::memory_order_release);
+    if (error != nullptr) *error = "setitimer(ITIMER_PROF) failed";
+    return false;
+  }
+
+  // Wall-clock sleep on this (idle) thread; SIGPROF fires on whichever
+  // thread is burning CPU. Loop over nanosleep to absorb EINTR.
+  timespec deadline{};
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += static_cast<time_t>(seconds);
+  deadline.tv_nsec +=
+      static_cast<long>((seconds - static_cast<time_t>(seconds)) * 1e9);
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1000000000L;
+  }
+  for (;;) {
+    timespec now{};
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    if (now.tv_sec > deadline.tv_sec ||
+        (now.tv_sec == deadline.tv_sec && now.tv_nsec >= deadline.tv_nsec)) {
+      break;
+    }
+    timespec remaining{deadline.tv_sec - now.tv_sec,
+                       deadline.tv_nsec - now.tv_nsec};
+    if (remaining.tv_nsec < 0) {
+      remaining.tv_sec -= 1;
+      remaining.tv_nsec += 1000000000L;
+    }
+    nanosleep(&remaining, nullptr);
+  }
+
+  itimerval disarm{};
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_collecting.store(false, std::memory_order_release);
+  sigaction(SIGPROF, &previous_action, nullptr);
+
+  // Symbolize and fold. Cache per-address names: hot stacks repeat.
+  const int raw_count = g_sample_count.load(std::memory_order_relaxed);
+  const int sample_count = raw_count < kMaxSamples ? raw_count : kMaxSamples;
+  std::map<void*, std::string> name_cache;
+  std::map<std::string, uint64_t> folded;
+  for (int s = 0; s < sample_count; ++s) {
+    const int depth = g_depths[s];
+    if (depth <= kSkipFrames) continue;
+    std::string stack;
+    // Root (outermost) frame first, per the collapsed-stack convention.
+    for (int f = depth - 1; f >= kSkipFrames; --f) {
+      void* address = g_frames[s][f];
+      auto it = name_cache.find(address);
+      if (it == name_cache.end()) {
+        it = name_cache
+                 .emplace(address, ScrubFrameName(SymbolizeFrame(address)))
+                 .first;
+      }
+      if (!stack.empty()) stack.push_back(';');
+      stack.append(it->second);
+    }
+    ++folded[stack];
+  }
+
+  if (out != nullptr) {
+    for (const auto& [stack, count] : folded) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(count));
+      out->append(stack).append(buf);
+    }
+  }
+
+  g_active.store(false, std::memory_order_release);
+  return true;
+}
+
+}  // namespace e2dtc::obs

@@ -1,0 +1,36 @@
+#ifndef E2DTC_OBS_PROFILER_H_
+#define E2DTC_OBS_PROFILER_H_
+
+#include <string>
+
+namespace e2dtc::obs {
+
+/// True while a sampling profile is in flight. Only one profile can run at
+/// a time (SIGPROF and ITIMER_PROF are process-wide); concurrent requests
+/// are rejected rather than queued.
+bool CpuProfileActive();
+
+/// Collects a SIGPROF-driven sampling CPU profile: installs a backtrace(3)
+/// signal handler, arms ITIMER_PROF at `hz` (process CPU time, so idle
+/// threads cost nothing and busy training threads dominate — exactly the
+/// frames you want), sleeps `seconds` of wall time, then disarms,
+/// symbolizes the collected stacks via dladdr + __cxa_demangle, and appends
+/// collapsed-stack lines to `*out`:
+///
+///     outermost;caller;callee 42
+///
+/// — one line per unique stack, root first, ready for flamegraph.pl or
+/// speedscope. Frames with no exported symbol render as
+/// `module+0xoffset` (link with ENABLE_EXPORTS/-rdynamic for names).
+///
+/// The handler is async-signal-safe: samples land in a preallocated global
+/// buffer claimed with one atomic fetch_add; symbolization happens after
+/// disarming. Returns false with `*error` set when a profile is already
+/// running or `seconds`/`hz` are out of range. A profile window where the
+/// process was entirely idle yields an empty `*out` and still returns true.
+bool CollectCpuProfile(double seconds, int hz, std::string* out,
+                       std::string* error);
+
+}  // namespace e2dtc::obs
+
+#endif  // E2DTC_OBS_PROFILER_H_

@@ -76,6 +76,16 @@ void InitLogLevelFromEnv() {
   }
 }
 
+void LogHttpAccess(const std::string& method, const std::string& target,
+                   int status, size_t body_bytes, double millis) {
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "-> %d (%zu B, %.2f ms)", status,
+                body_bytes, millis);
+  internal::LogMessage(LogLevel::kDebug, "http", 0)
+      << "http " << (method.empty() ? "?" : method) << " "
+      << (target.empty() ? "?" : target) << " " << tail;
+}
+
 void SetLogSink(LogSink sink) {
   std::lock_guard<std::mutex> lock(g_sink_mu);
   if (sink) {

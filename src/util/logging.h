@@ -32,6 +32,16 @@ void InitLogLevelFromEnv();
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void SetLogSink(LogSink sink);
 
+/// Emits one introspection-server access-log line through the standard
+/// pipeline (level filter, stderr, sink), e.g.
+///   `http GET /metrics?x=1 -> 200 (4096 B, 0.42 ms)`
+/// at kDebug, so scrapes are auditable under --log-level debug without
+/// spamming default-level runs. Lives here (util, above obs) because the
+/// dependency-free HttpServer only takes an access-log callback; the CLI
+/// wires this function in as that callback.
+void LogHttpAccess(const std::string& method, const std::string& target,
+                   int status, size_t body_bytes, double millis);
+
 namespace internal {
 
 /// Stream-style log line; emits to stderr (and the sink, if any) on

@@ -6,7 +6,15 @@ set -euo pipefail
 
 CLI="$1"
 WORK="$(mktemp -d)"
-trap 'rm -rf "${WORK}"' EXIT
+# HTTP_PID is the introspection-section background fit (unbounded epoch
+# schedule): it must die with the script, or a failure exit leaks a
+# CPU-burning process that only ends with the machine.
+HTTP_PID=""
+cleanup() {
+  if [[ -n "${HTTP_PID}" ]]; then kill -9 "${HTTP_PID}" 2>/dev/null || true; fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
 
 "${CLI}" generate --preset hangzhou --scale 0.2 --seed 5 \
     --out "${WORK}/city.csv" | grep -q "wrote"
@@ -127,6 +135,125 @@ cmp "${WORK}/base.e2dtc" "${WORK}/res.e2dtc" || {
 if [[ "${RC}" -ne 0 ]]; then
   grep -q '"resumed":true' "${WORK}/res_report.jsonl"
 fi
+
+# ---- Live introspection plane: scrape the HTTP exporter mid-training. ----
+# Effectively-unbounded pretrain schedule so the fit cannot complete while
+# the scrape sequence runs (a warm-cache 500-epoch fit can finish in ~1 s,
+# leaving /profilez nothing to sample); the run is always killed (SIGTERM)
+# once the scrapes are done.
+"${CLI}" fit --data "${WORK}/city.csv" --model "${WORK}/http.e2dtc" \
+    --hidden 24 --pretrain-epochs 1000000 --selftrain-epochs 2 \
+    --http-port 0 > "${WORK}/http_out.txt" 2>&1 &
+HTTP_PID=$!
+
+# The CLI announces the kernel-resolved ephemeral port on stdout.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n \
+      's#.*introspection server listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "${WORK}/http_out.txt" | head -n 1)"
+  [[ -n "${PORT}" ]] && break
+  sleep 0.1
+done
+[[ -n "${PORT}" ]] || {
+  echo "introspection server never announced its port" >&2
+  cat "${WORK}/http_out.txt" >&2
+  exit 1
+}
+
+# Raw-socket scrape via bash /dev/tcp; prints the full response. Callers
+# capture the output ($(scrape ...)) and inspect it with bash pattern
+# matching or full-input filters — never `grep -q`/`head` in a pipeline:
+# under pipefail an early-exiting consumer closes the pipe while the
+# producer is still writing, SIGPIPE-kills it, and fails the whole
+# pipeline even though the content matched.
+scrape() {
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+  printf 'GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+# Response body only (everything after the header/body blank line).
+body() { sed -e '1,/^\r*$/d'; }
+# First line of a captured response (the HTTP status line), sans pipes.
+status_line() { printf '%s' "${1%%$'\n'*}"; }
+
+kill -0 "${HTTP_PID}" || {
+  echo "fit exited before introspection scrapes" >&2
+  cat "${WORK}/http_out.txt" >&2
+  exit 1
+}
+
+# /metrics: 200, Prometheus content type, build identity, and every
+# non-comment body line shaped like `name{labels}? value`.
+METRICS="$(scrape /metrics)"
+[[ "$(status_line "${METRICS}")" == *" 200 "* ]] || {
+  echo "/metrics did not return 200" >&2
+  exit 1
+}
+[[ "${METRICS}" == *"version=0.0.4"* ]]
+[[ "${METRICS}" == *"e2dtc_build_info{"* ]]
+[[ "${METRICS}" == *"# TYPE"* ]]
+[[ "${METRICS}" == *"e2dtc_process_uptime_seconds"* ]]
+BAD_LINES="$(echo "${METRICS}" | body | tr -d '\r' | grep -v '^#' \
+    | grep -v '^$' \
+    | grep -Ev '^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? (-?[0-9][^ ]*|NaN|[+-]Inf)$' \
+    || true)"
+[[ -z "${BAD_LINES}" ]] || {
+  echo "malformed Prometheus exposition lines:" >&2
+  echo "${BAD_LINES}" >&2
+  exit 1
+}
+
+# /healthz: 200 while the guardrail is happy.
+HEALTH="$(scrape /healthz)"
+[[ "$(status_line "${HEALTH}")" == *" 200 "* ]]
+
+# /statusz: valid JSON whose step cursor advances between two scrapes.
+STATUSZ="$(scrape /statusz)"
+STEPS1=""
+if [[ "${STATUSZ}" =~ \"steps_total\":([0-9]+) ]]; then
+  STEPS1="${BASH_REMATCH[1]}"
+fi
+[[ -n "${STEPS1}" ]] || { echo "/statusz missing steps_total" >&2; exit 1; }
+STEPS2="${STEPS1}"
+for _ in $(seq 1 50); do
+  STATUSZ="$(scrape /statusz)"
+  STEPS2=""
+  if [[ "${STATUSZ}" =~ \"steps_total\":([0-9]+) ]]; then
+    STEPS2="${BASH_REMATCH[1]}"
+  fi
+  if [[ -n "${STEPS2}" && "${STEPS2}" -gt "${STEPS1}" ]]; then break; fi
+  sleep 0.1
+done
+[[ -n "${STEPS2}" && "${STEPS2}" -gt "${STEPS1}" ]] || {
+  echo "statusz steps_total never advanced (${STEPS1} -> ${STEPS2})" >&2
+  exit 1
+}
+[[ "${STATUSZ}" == *'"phase":"pretrain"'* ]]
+
+# /profilez: one second of sampling yields non-empty collapsed stacks
+# (`frame;frame count` lines).
+PROFILE="$(scrape "/profilez?seconds=1")"
+[[ "${PROFILE}" =~ \ [0-9]+($'\n'|$) ]] || {
+  echo "/profilez returned no collapsed stacks; raw response:" >&2
+  echo "${PROFILE}" >&2
+  echo "---- fit output:" >&2
+  cat "${WORK}/http_out.txt" >&2
+  exit 1
+}
+
+# SIGTERM: the graceful-shutdown path must stop the listener too.
+kill -TERM "${HTTP_PID}" 2>/dev/null || true
+HTTP_RC=0
+wait "${HTTP_PID}" || HTTP_RC=$?
+HTTP_PID=""  # reaped; don't let the EXIT trap kill a recycled pid
+[[ "${HTTP_RC}" -eq 130 || "${HTTP_RC}" -eq 0 ]] || {
+  echo "expected exit 130 (or 0) after SIGTERM, got ${HTTP_RC}" >&2
+  cat "${WORK}/http_out.txt" >&2
+  exit 1
+}
+grep -q "introspection server stopped" "${WORK}/http_out.txt"
 
 # ---- GPS validation: strict load rejects, --lenient-gps drops. ----
 cp "${WORK}/city.csv" "${WORK}/dirty.csv"

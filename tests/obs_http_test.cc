@@ -1,0 +1,487 @@
+// Tests for the live introspection plane: HTTP server plumbing, Prometheus
+// exposition, /statusz-family handlers, and the sampling profiler. Suite
+// names all start with "ObsHttp" so the sanitizer gate's -R filter picks
+// them up (tests/CMakeLists.txt E2DTC_SANITIZE_FILTER).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+
+namespace e2dtc {
+namespace {
+
+// --- Raw-socket test client ------------------------------------------------
+
+/// Sends `request` verbatim to 127.0.0.1:`port` and returns everything the
+/// server writes until it closes the connection (responses are always
+/// Connection: close). Empty string on connect failure.
+std::string RawExchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& target) {
+  return RawExchange(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: t\r\nConnection: "
+                               "close\r\n\r\n");
+}
+
+/// "HTTP/1.1 200 OK\r\n..." -> 200; -1 when the status line is malformed.
+int StatusCode(const std::string& response) {
+  const size_t space = response.find(' ');
+  if (space == std::string::npos) return -1;
+  return std::atoi(response.c_str() + space + 1);
+}
+
+/// Everything after the blank line separating headers from body.
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// True when `line` has the Prometheus sample shape
+/// `name{labels}? <value>` with a legal metric identifier and a
+/// float-parseable value (NaN/+Inf/-Inf included).
+bool IsPrometheusSampleLine(const std::string& line) {
+  size_t i = 0;
+  auto ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto ident_char = [&](char c) {
+    return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (i >= line.size() || !ident_start(line[i])) return false;
+  while (i < line.size() && ident_char(line[i])) ++i;
+  if (i < line.size() && line[i] == '{') {
+    const size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  const std::string value = line.substr(i + 1);
+  if (value.empty()) return false;
+  if (value == "NaN" || value == "+Inf" || value == "-Inf") return true;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Asserts every non-empty non-comment line in `text` is a valid sample.
+void ExpectValidPrometheusText(const std::string& text) {
+  size_t start = 0;
+  int samples = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(IsPrometheusSampleLine(line)) << "bad line: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0) << "exposition produced no samples";
+}
+
+// --- HTTP server plumbing --------------------------------------------------
+
+TEST(ObsHttpServerTest, ServesHandlerOnEphemeralPort) {
+  obs::HttpServer::Options opts;
+  obs::HttpServer server(std::move(opts));
+  server.Handle("/ping", [](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.body = "pong\n";
+    return resp;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+
+  const std::string response = Get(server.port(), "/ping");
+  EXPECT_EQ(StatusCode(response), 200);
+  EXPECT_EQ(Body(response), "pong\n");
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(ObsHttpServerTest, ParsesQueryParameters) {
+  obs::HttpServer server({});
+  server.Handle("/echo", [](const obs::HttpRequest& request) {
+    obs::HttpResponse resp;
+    resp.body = std::to_string(request.ParamOr("seconds", -1.0)) + "|" +
+                std::to_string(request.ParamOr("missing", 7.0));
+    return resp;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const std::string body =
+      Body(Get(server.port(), "/echo?seconds=2.5&junk=abc"));
+  EXPECT_NE(body.find("2.5"), std::string::npos) << body;
+  EXPECT_NE(body.find("7"), std::string::npos) << body;
+  server.Stop();
+}
+
+TEST(ObsHttpServerTest, RejectsUnknownPathMethodAndGarbage) {
+  obs::HttpServer server({});
+  server.Handle("/ok", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+
+  EXPECT_EQ(StatusCode(Get(port, "/nope")), 404);
+  EXPECT_EQ(StatusCode(RawExchange(
+                port, "POST /ok HTTP/1.1\r\nHost: t\r\n\r\n")),
+            405);
+  EXPECT_EQ(StatusCode(RawExchange(port, "complete garbage\r\n\r\n")), 400);
+  server.Stop();
+}
+
+TEST(ObsHttpServerTest, AccessLogSeesEachExchange) {
+  std::atomic<int> logged{0};
+  obs::HttpServer::Options opts;
+  opts.access_log = [&](const obs::HttpRequest& request,
+                        const obs::HttpResponse& response, double millis) {
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.path, "/ok");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_GE(millis, 0.0);
+    logged.fetch_add(1);
+  };
+  obs::HttpServer server(std::move(opts));
+  server.Handle("/ok", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{};
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Get(server.port(), "/ok");
+  Get(server.port(), "/ok");
+  server.Stop();
+  EXPECT_EQ(logged.load(), 2);
+}
+
+TEST(ObsHttpServerTest, ConcurrentScrapesWhileRecording) {
+  // The /metrics contract: readable mid-training without blocking the hot
+  // path. Writers hammer a counter + a telemetry series while several
+  // scrapers pull full expositions; every response must be a 200 with
+  // well-formed text.
+  obs::EnableMetrics(true);
+  obs::EnableTelemetry(true);
+  obs::HttpServer server({});
+  server.Handle("/metrics", [](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = obs::kPrometheusContentType;
+    resp.body = obs::PrometheusTextFromGlobals();
+    return resp;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&stop, w] {
+      obs::Counter counter =
+          obs::Registry::Global().counter("httptest.scrape_race");
+      obs::Series series = obs::TimeSeriesRecorder::Global().series(
+          "httptest.series" + std::to_string(w));
+      int64_t step = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Increment();
+        ++step;
+        series.Record(step, static_cast<double>(step));
+      }
+    });
+  }
+
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int s = 0; s < 4; ++s) {
+    scrapers.emplace_back([&ok, port] {
+      for (int i = 0; i < 5; ++i) {
+        const std::string response = Get(port, "/metrics");
+        if (StatusCode(response) != 200) continue;
+        ExpectValidPrometheusText(Body(response));
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  server.Stop();
+  obs::EnableMetrics(false);
+  obs::EnableTelemetry(false);
+  EXPECT_EQ(ok.load(), 20);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(ObsHttpExpositionTest, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("pretrain.batch_ms"),
+            "e2dtc_pretrain_batch_ms");
+  EXPECT_EQ(obs::PrometheusName("a-b c.d"), "e2dtc_a_b_c_d");
+  EXPECT_EQ(obs::PrometheusName("ok_name:sub"), "e2dtc_ok_name:sub");
+}
+
+TEST(ObsHttpExpositionTest, HistogramQuantileInterpolates) {
+  obs::HistogramSnapshot h;
+  h.name = "t";
+  h.bounds = {1.0, 2.0, 4.0};
+  h.bucket_counts = {10, 10, 0, 0};  // 20 samples, none past 2.0
+  h.count = 20;
+  h.sum = 25.0;
+  // p50 sits exactly at the end of the first bucket.
+  EXPECT_NEAR(obs::HistogramQuantile(h, 0.5), 1.0, 1e-9);
+  // p75 is halfway through the (1, 2] bucket.
+  EXPECT_NEAR(obs::HistogramQuantile(h, 0.75), 1.5, 1e-9);
+
+  obs::HistogramSnapshot empty;
+  empty.bounds = {1.0};
+  empty.bucket_counts = {0, 0};
+  EXPECT_TRUE(std::isnan(obs::HistogramQuantile(empty, 0.5)));
+
+  obs::HistogramSnapshot overflow;
+  overflow.bounds = {1.0};
+  overflow.bucket_counts = {0, 5};  // everything past the last bound
+  overflow.count = 5;
+  EXPECT_NEAR(obs::HistogramQuantile(overflow, 0.99), 1.0, 1e-9);
+}
+
+TEST(ObsHttpExpositionTest, RendersCountersGaugesHistogramsAndTelemetry) {
+  obs::MetricsSnapshot metrics;
+  metrics.counters.push_back({"pretrain.batches", 42});
+  metrics.gauges.push_back({"cluster.inertia", 3.5});
+  obs::HistogramSnapshot h;
+  h.name = "kernels.matmul_ms";
+  h.bounds = {1.0, 10.0};
+  h.bucket_counts = {3, 2, 1};
+  h.count = 6;
+  h.sum = 20.0;
+  metrics.histograms.push_back(h);
+
+  obs::SeriesSnapshot series;
+  series.name = "pretrain.loss";
+  series.dropped = 4;
+  series.samples = {{1, 100, 0.9}, {2, 200, 0.8}};
+
+  const std::string text = obs::PrometheusText(metrics, {series});
+  ExpectValidPrometheusText(text);
+
+  // Counter family gets the _total suffix.
+  EXPECT_NE(text.find("e2dtc_pretrain_batches_total 42"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("e2dtc_cluster_inertia 3.5"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("e2dtc_kernels_matmul_ms_bucket{le=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("e2dtc_kernels_matmul_ms_bucket{le=\"10\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("e2dtc_kernels_matmul_ms_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("e2dtc_kernels_matmul_ms_count 6"), std::string::npos);
+  // Synthesized quantile companion family.
+  EXPECT_NE(text.find("e2dtc_kernels_matmul_ms_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  // Telemetry latest sample + step companion + dropped aggregate.
+  EXPECT_NE(text.find("e2dtc_ts_pretrain_loss 0.8"), std::string::npos);
+  EXPECT_NE(text.find("e2dtc_ts_pretrain_loss_step 2"), std::string::npos);
+  EXPECT_NE(text.find("e2dtc_telemetry_dropped_samples_total 4"),
+            std::string::npos);
+  // Build identity labels ride along on every exposition.
+  EXPECT_NE(text.find("e2dtc_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("version=\""), std::string::npos);
+}
+
+TEST(ObsHttpExpositionTest, GlobalExpositionIncludesUptime) {
+  const std::string text = obs::PrometheusTextFromGlobals();
+  ExpectValidPrometheusText(text);
+  EXPECT_NE(text.find("e2dtc_process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("e2dtc_build_kernel_native"), std::string::npos);
+}
+
+// --- /statusz, /healthz, /readyz -------------------------------------------
+
+TEST(ObsHttpStatusTest, StatuszTracksTrainStatus) {
+  core::TrainStatus& status = core::TrainStatus::Global();
+  status.Reset();
+  status.EnterPhase(core::FitPhase::kPretrain, 10, 2);
+  status.OnBatch();
+  status.OnBatch();
+  status.OnEpochEnd(3, 0.5, 0.0, 0.0, 0.5, 1.25, 2.0);
+  status.OnCheckpoint("ckpts/ckpt-p0-e00003.e2ck");
+
+  obs::HttpServer server({});
+  core::RegisterIntrospectionEndpoints(&server);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+
+  const std::string response = Get(port, "/statusz");
+  EXPECT_EQ(StatusCode(response), 200);
+  obs::Json doc;
+  std::string parse_error;
+  ASSERT_TRUE(obs::Json::Parse(Body(response), &doc, &parse_error))
+      << parse_error;
+  const obs::Json* train = doc.Find("train");
+  ASSERT_NE(train, nullptr);
+  EXPECT_EQ(train->Find("phase")->str(), "pretrain");
+  EXPECT_EQ(train->Find("epoch")->number(), 3);
+  EXPECT_EQ(train->Find("total_epochs")->number(), 10);
+  EXPECT_EQ(train->Find("steps_total")->number(), 2);
+  EXPECT_EQ(train->Find("loss")->Find("recon")->number(), 0.5);
+  const obs::Json* ckpt = doc.Find("checkpoint");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_EQ(ckpt->Find("path")->str(), "ckpts/ckpt-p0-e00003.e2ck");
+  EXPECT_GE(ckpt->Find("age_seconds")->number(), 0.0);
+  ASSERT_NE(doc.Find("kernels"), nullptr);
+  ASSERT_NE(doc.Find("threadpool"), nullptr);
+
+  // Healthy + in a training phase: both probes green.
+  EXPECT_EQ(StatusCode(Get(port, "/healthz")), 200);
+  EXPECT_EQ(StatusCode(Get(port, "/readyz")), 200);
+
+  // Guardrail exhaustion flips both to 503.
+  status.OnGiveUp();
+  EXPECT_EQ(StatusCode(Get(port, "/healthz")), 503);
+  EXPECT_EQ(StatusCode(Get(port, "/readyz")), 503);
+
+  server.Stop();
+  status.Reset();
+}
+
+TEST(ObsHttpStatusTest, ReadyzWaitsForTrainingPhases) {
+  core::TrainStatus& status = core::TrainStatus::Global();
+  status.Reset();  // kIdle
+  obs::HttpServer server({});
+  core::RegisterIntrospectionEndpoints(&server);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  // Idle and embedding are pre-ready; healthz is fine throughout.
+  EXPECT_EQ(StatusCode(Get(server.port(), "/readyz")), 503);
+  EXPECT_EQ(StatusCode(Get(server.port(), "/healthz")), 200);
+  status.EnterPhase(core::FitPhase::kEmbed, 0);
+  EXPECT_EQ(StatusCode(Get(server.port(), "/readyz")), 503);
+  status.EnterPhase(core::FitPhase::kSelfTrain, 5);
+  EXPECT_EQ(StatusCode(Get(server.port(), "/readyz")), 200);
+  status.EnterPhase(core::FitPhase::kDone, 0);
+  EXPECT_EQ(StatusCode(Get(server.port(), "/readyz")), 200);
+  server.Stop();
+  status.Reset();
+}
+
+}  // namespace
+
+// --- Sampling profiler -----------------------------------------------------
+
+/// External-linkage CPU burner so the profiler has a symbolizable frame to
+/// find (dladdr needs an exported symbol; the test target links with
+/// ENABLE_EXPORTS). noinline + volatile sink keep the frame real under -O3.
+__attribute__((noinline)) uint64_t ObsHttpProfileBurn(
+    const std::atomic<bool>* stop) {
+  volatile uint64_t acc = 1;
+  while (!stop->load(std::memory_order_relaxed)) {
+    for (int i = 0; i < 4096; ++i) acc = acc * 2862933555777941757ULL + 3037;
+  }
+  return acc;
+}
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+TEST(ObsHttpProfilerTest, CapturesBurnFrameInCollapsedStacks) {
+  if (kSanitized) {
+    GTEST_SKIP() << "SIGPROF sampling is unreliable under sanitizers";
+  }
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] { ObsHttpProfileBurn(&stop); });
+
+  std::string out, error;
+  const bool ok = obs::CollectCpuProfile(0.4, 250, &out, &error);
+  stop.store(true);
+  burner.join();
+  ASSERT_TRUE(ok) << error;
+  EXPECT_FALSE(obs::CpuProfileActive());
+  ASSERT_FALSE(out.empty());
+
+  // Collapsed-stack shape: `frame;frame;... count` per line.
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+  }
+  // The burner's demangled name survives symbolization.
+  EXPECT_NE(out.find("ObsHttpProfileBurn"), std::string::npos)
+      << "no burner frame in:\n"
+      << out;
+}
+
+TEST(ObsHttpProfilerTest, RejectsOutOfRangeArguments) {
+  std::string out, error;
+  EXPECT_FALSE(obs::CollectCpuProfile(0.0, 99, &out, &error));
+  EXPECT_FALSE(obs::CollectCpuProfile(120.0, 99, &out, &error));
+  EXPECT_FALSE(obs::CollectCpuProfile(1.0, 0, &out, &error));
+  EXPECT_FALSE(obs::CollectCpuProfile(1.0, 5000, &out, &error));
+}
+
+}  // namespace
+}  // namespace e2dtc

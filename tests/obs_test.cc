@@ -145,6 +145,46 @@ TEST(ObsJsonTest, JsonNumberRoundTrip) {
   EXPECT_EQ(obs::Json(std::nan("")).Dump(), "null");
 }
 
+TEST(ObsJsonTest, JsonStringRoundTrip) {
+  // Every control character U+0000..U+001F must be escaped on Dump (short
+  // forms \b \t \n \f \r where JSON has them, \u00XX otherwise) and restored
+  // byte-exactly by Parse — both as values and as object keys. A string with
+  // an embedded NUL exercises that Dump never truncates at '\0'.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string raw = "a";
+    raw.push_back(static_cast<char>(c));
+    raw += "z";
+    const std::string dumped = obs::Json(raw).Dump();
+    // The raw control byte must not leak into the serialized text.
+    for (char byte : dumped) {
+      EXPECT_GE(static_cast<unsigned char>(byte), 0x20u)
+          << "unescaped control char 0x" << std::hex << c;
+    }
+    obs::Json parsed;
+    std::string error;
+    ASSERT_TRUE(obs::Json::Parse(dumped, &parsed, &error))
+        << dumped << ": " << error;
+    EXPECT_EQ(parsed.str(), raw) << "control char 0x" << std::hex << c;
+
+    // Same contract for keys.
+    obs::Json obj = obs::Json::Object();
+    obj.Set(raw, obs::Json(1.0));
+    obs::Json obj_parsed;
+    ASSERT_TRUE(obs::Json::Parse(obj.Dump(), &obj_parsed, &error))
+        << obj.Dump() << ": " << error;
+    const obs::Json* found = obj_parsed.Find(raw);
+    ASSERT_NE(found, nullptr) << "key lost for control char 0x" << std::hex
+                              << c;
+    EXPECT_EQ(found->number(), 1.0);
+  }
+  // Spot-check the canonical short escapes and the quote/backslash pair.
+  EXPECT_EQ(obs::Json(std::string("\b\t\n\f\r")).Dump(),
+            "\"\\b\\t\\n\\f\\r\"");
+  EXPECT_EQ(obs::Json(std::string("q\"b\\e")).Dump(), "\"q\\\"b\\\\e\"");
+  const std::string nul("x\0y", 3);
+  EXPECT_EQ(obs::Json(nul).Dump(), "\"x\\u0000y\"");
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 

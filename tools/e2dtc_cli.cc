@@ -13,11 +13,13 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/e2dtc.h"
 #include "core/run_report.h"
+#include "core/status.h"
 #include "data/geojson.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
@@ -25,6 +27,7 @@
 #include "distance/matrix.h"
 #include "metrics/clustering_metrics.h"
 #include "nn/kernels.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -173,6 +176,13 @@ int CmdFit(const Flags& flags) {
     std::fprintf(stderr, "fit requires --data\n");
     return 1;
   }
+  // Installed before data loading so a SIGINT/SIGTERM that lands during
+  // startup still routes through the cancellation flag (exit 130) instead of
+  // killing the process with the default handler. The pipeline polls
+  // g_cancel between batches, so a flag set this early makes Fit return
+  // Cancelled on its first check.
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
   data::CsvLoadOptions load_opts;
   load_opts.lenient_gps = flags.GetBool("lenient-gps", false);
   auto ds = data::LoadDatasetCsv(data_path, load_opts);
@@ -227,6 +237,49 @@ int CmdFit(const Flags& flags) {
     obs::StartUtilizationSampler();
   }
 
+  // Live introspection plane: --http-port N (0 = ephemeral) serves
+  // /metrics, /statusz, /healthz, /readyz, and /profilez for the duration
+  // of the fit. Scraping needs the registry and telemetry rings populated,
+  // so both switches come on even without file sinks.
+  const int http_port = flags.GetInt("http-port", -1);
+  const std::string http_bind = flags.Get("http-bind", "127.0.0.1");
+  std::optional<obs::HttpServer> http_server;
+  if (http_port >= 0) {
+    obs::EnableMetrics(true);
+    obs::EnableTelemetry(true);
+    obs::StartUtilizationSampler();
+    obs::HttpServer::Options http_opts;
+    http_opts.bind_address = http_bind;
+    http_opts.port = http_port;
+    http_opts.access_log = [](const obs::HttpRequest& request,
+                              const obs::HttpResponse& response,
+                              double millis) {
+      LogHttpAccess(request.method,
+                    request.query.empty()
+                        ? request.path
+                        : request.path + "?" + request.query,
+                    response.status, response.body.size(), millis);
+    };
+    http_server.emplace(std::move(http_opts));
+    core::RegisterIntrospectionEndpoints(&*http_server);
+    std::string http_error;
+    if (!http_server->Start(&http_error)) {
+      return Fail(Status::Internal("introspection server: " + http_error));
+    }
+    // Announced (and flushed) immediately so scrapers discover an
+    // ephemeral port while the fit is still running.
+    std::printf("introspection server listening on http://%s:%d\n",
+                http_bind.c_str(), http_server->port());
+    std::fflush(stdout);
+  }
+  const auto stop_http = [&http_server]() {
+    if (http_server.has_value() && http_server->running()) {
+      obs::StopUtilizationSampler();
+      http_server->Stop();
+      std::printf("introspection server stopped\n");
+    }
+  };
+
   // Flushes the telemetry ring to JSONL. Runs on the success path AND the
   // interrupted path (same contract as the trace flush), so a SIGINT'd run
   // still leaves its learning curves on disk for e2dtc_report.
@@ -267,11 +320,11 @@ int CmdFit(const Flags& flags) {
     return events;
   };
 
-  std::signal(SIGINT, HandleShutdownSignal);
-  std::signal(SIGTERM, HandleShutdownSignal);
   auto pipeline = core::E2dtcPipeline::Fit(*ds, cfg);
-  std::signal(SIGINT, SIG_DFL);
-  std::signal(SIGTERM, SIG_DFL);
+  // The graceful handler stays installed through the sink flush and model
+  // save below: a signal in this window must not kill the process mid-write
+  // (the handler one-shots back to SIG_DFL, so a second signal still kills
+  // immediately).
 
   if (!trace_out.empty()) {
     obs::StopTracing();
@@ -308,8 +361,10 @@ int CmdFit(const Flags& flags) {
       }
       write_metrics();
       write_telemetry();
+      stop_http();
       return 130;
     }
+    stop_http();
     return Fail(pipeline.status());
   }
   const core::FitResult& fit = (*pipeline)->fit_result();
@@ -362,6 +417,7 @@ int CmdFit(const Flags& flags) {
   }
   if (!write_metrics()) return 1;
   if (!write_telemetry()) return 1;
+  stop_http();
   Status st = (*pipeline)->Save(model_path);
   if (!st.ok()) return Fail(st);
   std::printf("saved model to %s\n", model_path.c_str());
@@ -503,13 +559,20 @@ int main(int argc, char** argv) {
                  "    --checkpoint-dir DIR, --checkpoint-every N, "
                  "--checkpoint-keep N, --resume true,\n"
                  "    --lenient-gps true (drop invalid GPS samples instead "
-                 "of failing)\n"
+                 "of failing),\n"
+                 "    --http-port N (live introspection server; 0 = "
+                 "ephemeral port, printed at start),\n"
+                 "    --http-bind ADDR (default 127.0.0.1; endpoints: "
+                 "/metrics /statusz /healthz /readyz /profilez)\n"
                  "  fit handles SIGINT/SIGTERM gracefully: it finishes the "
                  "current batch,\n"
                  "  writes a final checkpoint, flushes the observability "
                  "sinks, and exits 130\n");
     return 1;
   }
+  // Anchor the process-monotonic clock now so uptime (build_info gauge,
+  // /statusz) measures from process start, not from the first metric.
+  obs::MonotonicMicros();
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
   if (!ApplyLogLevelFlag(flags)) return 1;

@@ -156,21 +156,17 @@ void PrintSummary(const SeriesMap& series, std::FILE* f) {
   for (const auto& [name, data] : series) {
     name_width = std::max(name_width, name.size());
   }
-  std::fprintf(f, "%-*s %6s %12s %12s %12s %12s %12s\n",
+  std::fprintf(f, "%-*s %6s %12s %12s %12s %12s %12s %8s\n",
                static_cast<int>(name_width), "series", "n", "first", "last",
-               "min", "max", "mean");
+               "min", "max", "mean", "dropped");
   size_t total_samples = 0;
   uint64_t total_dropped = 0;
   for (const auto& [name, data] : series) {
     const SeriesStats s = Stats(data);
-    std::fprintf(f, "%-*s %6zu %12.6g %12.6g %12.6g %12.6g %12.6g",
+    std::fprintf(f, "%-*s %6zu %12.6g %12.6g %12.6g %12.6g %12.6g %8llu\n",
                  static_cast<int>(name_width), name.c_str(), s.n, s.first,
-                 s.last, s.min, s.max, s.mean);
-    if (data.dropped > 0) {
-      std::fprintf(f, "  (dropped %llu)",
-                   static_cast<unsigned long long>(data.dropped));
-    }
-    std::fputc('\n', f);
+                 s.last, s.min, s.max, s.mean,
+                 static_cast<unsigned long long>(data.dropped));
     total_samples += s.n;
     total_dropped += data.dropped;
   }
@@ -180,6 +176,15 @@ void PrintSummary(const SeriesMap& series, std::FILE* f) {
                  static_cast<unsigned long long>(total_dropped));
   }
   std::fputc('\n', f);
+  if (total_dropped > 0) {
+    // A nonzero drop count means the recorder ring was too small for the run:
+    // the stats above describe only the surviving window. Loud, on stderr, so
+    // a piped-to-file summary still surfaces it.
+    std::fprintf(stderr,
+                 "warning: %llu telemetry sample(s) dropped to ring-buffer "
+                 "overflow; series stats cover a truncated window\n",
+                 static_cast<unsigned long long>(total_dropped));
+  }
 }
 
 /// One dashboard: every series whose name matches any of the prefixes (or,
