@@ -16,7 +16,13 @@
 //   bench_micro --obs_http_json=PATH  training-step medians with and without
 //                                     a live /metrics scraper at 1 Hz
 //                                     (within-noise verdict)
-// See docs/performance.md and docs/observability.md.
+//   bench_micro --serve_json=PATH     serving-plane overload replay: calibrate
+//                                     sustainable QPS closed-loop, then offer
+//                                     1x/4x/16x open-loop and record served
+//                                     QPS, accepted-request p99, and shed
+//                                     rate; also writes PATH.series.jsonl for
+//                                     e2dtc_report --compare
+// See docs/performance.md, docs/observability.md, and docs/serving.md.
 #include <benchmark/benchmark.h>
 
 #include <arpa/inet.h>
@@ -25,10 +31,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -36,6 +46,12 @@
 
 #include "bench/common.h"
 #include "cluster/kmeans.h"
+#include "core/e2dtc.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "serve/context.h"
+#include "serve/endpoints.h"
+#include "serve/service.h"
 #include "distance/dtw.h"
 #include "distance/matrix.h"
 #include "distance/edr.h"
@@ -1109,6 +1125,357 @@ int RunTelemetryOverheadReport(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Serving plane: batcher throughput, HTTP round trips, and the overload
+// replay behind bench_results/BENCH_serve.json.
+
+/// One trained pipeline + ServeContext shared by every serve benchmark.
+/// Fitting takes a couple of seconds, so it is built lazily on first use
+/// and leaked (benchmarks exit right after).
+struct ServeBenchState {
+  data::Dataset dataset;
+  std::unique_ptr<serve::ServeContext> context;
+};
+
+ServeBenchState& GetServeBenchState() {
+  static ServeBenchState* state = [] {
+    auto* s = new ServeBenchState();
+    data::SyntheticCityConfig cfg;
+    cfg.num_pois = 3;
+    cfg.trajectories_per_poi = 40;
+    cfg.min_points = 24;
+    cfg.max_points = 48;
+    cfg.span_meters = 12000.0;
+    cfg.seed = 3;
+    s->dataset = data::RelabelDataset(
+                     data::GenerateSyntheticCity(cfg).value(),
+                     data::GroundTruthConfig{})
+                     .value();
+    core::E2dtcConfig train;
+    train.model.embedding_dim = 24;
+    train.model.hidden_size = 24;
+    train.model.num_layers = 2;
+    train.model.knn_k = 8;
+    train.model.cell_meters = 400.0;
+    train.pretrain.epochs = 3;
+    train.self_train.max_iters = 2;
+    auto pipeline = core::E2dtcPipeline::Fit(s->dataset, train).value();
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bench_serve_model.e2dtc")
+            .string();
+    if (!pipeline->Save(path).ok()) std::abort();
+    s->context = std::move(serve::ServeContext::Open(path).value());
+    return s;
+  }();
+  return *state;
+}
+
+serve::ServeRequest MakeAssignRequest(const ServeBenchState& s, size_t i) {
+  serve::ServeRequest request;
+  request.kind = serve::RequestKind::kAssign;
+  request.adapt = false;
+  request.deadline_ms = 10000;
+  request.trajectories = {
+      s.dataset.trajectories[i % s.dataset.trajectories.size()]};
+  return request;
+}
+
+/// Batcher throughput: `range(0)` concurrent single-trajectory assigns per
+/// iteration, all coalesced by the service into shared forward passes.
+void BM_ServeBatcher(benchmark::State& state) {
+  ServeBenchState& s = GetServeBenchState();
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(s.context.get(), opts);
+  while (!service.ready()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const size_t burst = static_cast<size_t>(state.range(0));
+  std::vector<std::future<serve::ServeResult>> futures(burst);
+  size_t i = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < burst; ++b) {
+      while (service.Submit(MakeAssignRequest(s, i++), &futures[b]) !=
+             serve::Admit::kOk) {
+        std::this_thread::yield();  // queue full: wait, don't drop
+      }
+    }
+    for (size_t b = 0; b < burst; ++b) {
+      benchmark::DoNotOptimize(futures[b].get());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(burst));
+  service.Drain();
+}
+BENCHMARK(BM_ServeBatcher)->Arg(1)->Arg(8)->Arg(32);
+
+/// One blocking POST against 127.0.0.1:`port`; returns bytes received.
+size_t PostOnce(int port, const char* target, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  std::string request = "POST ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: b\r\nContent-Length: ";
+  request += std::to_string(body.size());
+  request += "\r\nConnection: close\r\n\r\n";
+  request += body;
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  size_t total = 0;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return total;
+}
+
+/// Full HTTP round trip: socket connect, POST /v1/assign, parse, batch,
+/// forward pass, JSON response. The end-to-end cost a client of the serve
+/// subcommand actually pays.
+void BM_ServeEndToEnd(benchmark::State& state) {
+  ServeBenchState& s = GetServeBenchState();
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(s.context.get(), opts);
+  obs::HttpServer server({});
+  serve::RegisterServeEndpoints(&server, &service);
+  std::string error;
+  if (!server.Start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  while (!service.ready()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string body =
+      R"({"trajectories":[{"points":[[120.1,30.2],[120.15,30.25]]}]})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PostOnce(server.port(), "/v1/assign", body));
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.Stop();
+  service.Drain();
+}
+BENCHMARK(BM_ServeEndToEnd);
+
+struct ServeArmResult {
+  int multiplier = 0;
+  double offered_qps = 0;
+  double served_qps = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  double shed_rate = 0;
+  double p99_ms = 0;
+};
+
+double Percentile99(std::vector<double>* v) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  return (*v)[std::min(v->size() * 99 / 100, v->size() - 1)];
+}
+
+/// Offers `offered_qps` of single-trajectory assigns open-loop for
+/// `seconds` (shed requests are counted, not retried), then harvests every
+/// accepted future and reports served QPS / p99 / shed rate.
+ServeArmResult RunServeArm(ServeBenchState& s, serve::ServeService* service,
+                           int multiplier, double offered_qps,
+                           double seconds) {
+  ServeArmResult arm;
+  arm.multiplier = multiplier;
+  arm.offered_qps = offered_qps;
+  const double interval_us = 1e6 / offered_qps;
+  std::vector<std::future<serve::ServeResult>> accepted;
+  accepted.reserve(static_cast<size_t>(offered_qps * seconds) + 16);
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::duration<double>(seconds);
+  double next_due_us = 0;
+  size_t i = 0;
+  while (Clock::now() < end) {
+    const double now_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    if (now_us < next_due_us) {
+      // Spin for sub-100us gaps, sleep for the rest: at 16x overload the
+      // inter-arrival time is far below scheduler granularity.
+      if (next_due_us - now_us > 100.0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<int64_t>(
+                next_due_us - now_us - 50.0)));
+      }
+      continue;
+    }
+    next_due_us += interval_us;
+    std::future<serve::ServeResult> future;
+    if (service->Submit(MakeAssignRequest(s, i++), &future) ==
+        serve::Admit::kOk) {
+      accepted.push_back(std::move(future));
+    } else {
+      ++arm.shed;
+    }
+  }
+  std::vector<double> latencies;
+  latencies.reserve(accepted.size());
+  for (auto& future : accepted) {
+    const serve::ServeResult result = future.get();
+    if (result.status == 200) latencies.push_back(result.latency_ms);
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  arm.accepted = accepted.size();
+  arm.served_qps = static_cast<double>(latencies.size()) / elapsed_s;
+  const uint64_t offered_total = arm.accepted + arm.shed;
+  arm.shed_rate = offered_total == 0
+                      ? 0.0
+                      : static_cast<double>(arm.shed) /
+                            static_cast<double>(offered_total);
+  arm.p99_ms = Percentile99(&latencies);
+  return arm;
+}
+
+int RunServeReport(const std::string& path) {
+  ServeBenchState& s = GetServeBenchState();
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(s.context.get(), opts);
+  while (!service.ready()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Calibrate sustainable QPS: 4 closed-loop workers (submit, wait,
+  // repeat) for one second. Closed-loop never sheds, so this measures the
+  // service rate itself.
+  std::atomic<uint64_t> completed{0};
+  {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&, w] {
+        size_t i = static_cast<size_t>(w) * 1000;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::future<serve::ServeResult> future;
+          if (service.Submit(MakeAssignRequest(s, i++), &future) !=
+              serve::Admit::kOk) {
+            std::this_thread::yield();
+            continue;
+          }
+          if (future.get().status == 200) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    stop.store(true);
+    for (auto& t : workers) t.join();
+  }
+  const double sustained_qps = static_cast<double>(completed.load());
+  if (sustained_qps < 1.0) {
+    std::fprintf(stderr, "serve bench: calibration produced no traffic\n");
+    return 1;
+  }
+
+  // Overload replay: offer 1x/4x/16x of the sustained rate open-loop.
+  std::vector<ServeArmResult> arms;
+  for (const int multiplier : {1, 4, 16}) {
+    arms.push_back(RunServeArm(s, &service, multiplier,
+                               sustained_qps * multiplier,
+                               /*seconds=*/1.5));
+  }
+
+  service.Drain();
+  const serve::ServeStats stats = service.stats();
+  const bool drain_all_answered = stats.dropped_in_flight() == 0;
+
+  // The robustness claim: accepted-request p99 under 16x overload is
+  // bounded by queue depth over drain rate, not by offered load. The
+  // full-queue drain time is the floor for p99 comparisons when the 1x
+  // p99 is microscopic.
+  const double full_queue_ms =
+      static_cast<double>(opts.max_queue) / sustained_qps * 1000.0;
+  const double p99_1x = arms[0].p99_ms;
+  const double p99_16x = arms[2].p99_ms;
+  const double p99_bound_ms = 2.0 * std::max(p99_1x, full_queue_ms);
+  const bool p99_bounded = p99_16x <= p99_bound_ms;
+
+  obs::Json root = obs::Json::Object();
+  root.Set("schema", "e2dtc.bench.serve.v1");
+  root.Set(
+      "note",
+      "Overload replay of the serving plane: sustainable QPS calibrated "
+      "closed-loop, then 1x/4x/16x offered open-loop. p99_bounded requires "
+      "the accepted-request p99 at 16x to stay within 2x of "
+      "max(p99 at 1x, full-queue drain time): admission control must bound "
+      "latency by queue depth, not offered load. drain_all_answered "
+      "requires Drain() to answer every accepted request.");
+  root.Set("sustained_qps", sustained_qps);
+  root.Set("max_queue", opts.max_queue);
+  root.Set("max_batch", opts.max_batch);
+  root.Set("full_queue_drain_ms", full_queue_ms);
+  obs::Json arm_list = obs::Json::Array();
+  for (const ServeArmResult& arm : arms) {
+    obs::Json entry = obs::Json::Object();
+    entry.Set("load_multiplier", arm.multiplier);
+    entry.Set("offered_qps", arm.offered_qps);
+    entry.Set("served_qps", arm.served_qps);
+    entry.Set("accepted", arm.accepted);
+    entry.Set("shed", arm.shed);
+    entry.Set("shed_rate", arm.shed_rate);
+    entry.Set("p99_ms", arm.p99_ms);
+    arm_list.Append(std::move(entry));
+  }
+  root.Set("arms", std::move(arm_list));
+  root.Set("p99_bound_ms", p99_bound_ms);
+  root.Set("p99_bounded", p99_bounded);
+  root.Set("drain_all_answered", drain_all_answered);
+
+  std::ofstream out(path);
+  if (!out) return 1;
+  out << root.Dump() << "\n";
+  if (!out.good()) return 1;
+
+  // Companion JSONL: one telemetry-shaped sample per headline number so
+  // `e2dtc_report --compare` can gate serve regressions (qps series
+  // improve upward, p99/shed downward).
+  std::ofstream series(path + ".series.jsonl");
+  if (series) {
+    auto sample = [&](const std::string& name, double value) {
+      obs::Json line = obs::Json::Object();
+      line.Set("type", "sample");
+      line.Set("series", name);
+      line.Set("step", 0);
+      line.Set("value", value);
+      series << line.Dump() << "\n";
+    };
+    sample("serve.sustained_qps", sustained_qps);
+    for (const ServeArmResult& arm : arms) {
+      const std::string suffix =
+          std::to_string(arm.multiplier) + "x";
+      sample("serve.served_qps_" + suffix, arm.served_qps);
+      sample("serve.p99_ms_" + suffix, arm.p99_ms);
+      sample("serve.shed_rate_" + suffix, arm.shed_rate);
+    }
+  }
+
+  std::printf(
+      "serve overload replay: sustained %.0f qps; 16x arm served %.0f qps, "
+      "shed %.0f%%, p99 %.2f ms (bound %.2f ms) -> %s, drain %s\n",
+      sustained_qps, arms[2].served_qps, arms[2].shed_rate * 100.0,
+      p99_16x, p99_bound_ms, p99_bounded ? "bounded" : "UNBOUNDED",
+      drain_all_answered ? "answered all accepted" : "DROPPED REQUESTS");
+  return p99_bounded && drain_all_answered ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1117,12 +1484,14 @@ int main(int argc, char** argv) {
   std::string distance_json;
   std::string telemetry_json;
   std::string obs_http_json;
+  std::string serve_json;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     constexpr std::string_view kGemmFlag = "--gemm_json=";
     constexpr std::string_view kDistanceFlag = "--distance_json=";
     constexpr std::string_view kTelemetryFlag = "--telemetry_overhead=";
     constexpr std::string_view kObsHttpFlag = "--obs_http_json=";
+    constexpr std::string_view kServeFlag = "--serve_json=";
     std::string_view arg = argv[i];
     if (arg.substr(0, kGemmFlag.size()) == kGemmFlag) {
       gemm_json = std::string(arg.substr(kGemmFlag.size()));
@@ -1140,6 +1509,10 @@ int main(int argc, char** argv) {
       obs_http_json = std::string(arg.substr(kObsHttpFlag.size()));
       continue;
     }
+    if (arg.substr(0, kServeFlag.size()) == kServeFlag) {
+      serve_json = std::string(arg.substr(kServeFlag.size()));
+      continue;
+    }
     // --distance-threads / --kernel-threads were consumed above; strip them
     // (and their values) so google-benchmark's strict parser never sees them.
     if (arg == "--distance-threads" || arg == "--kernel-threads") {
@@ -1154,6 +1527,7 @@ int main(int argc, char** argv) {
     return RunTelemetryOverheadReport(telemetry_json);
   }
   if (!obs_http_json.empty()) return RunObsHttpScrapeReport(obs_http_json);
+  if (!serve_json.empty()) return RunServeReport(serve_json);
   RegisterGemmBenchmarks();
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

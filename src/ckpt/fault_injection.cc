@@ -13,6 +13,13 @@ Status FaultInjector::BeforeWrite(const std::string& path, uint64_t offset,
     *n = 0;
     return Status::OK();
   }
+  if (disk_full_) {
+    // The simulated disk stays full: every subsequent write fails too.
+    ++faults_injected_;
+    return Status::IOError(
+        StrFormat("No space left on device (injected ENOSPC): %s",
+                  path.c_str()));
+  }
   if (index != trigger_write_) return Status::OK();
   ++faults_injected_;
   switch (mode_) {
@@ -28,6 +35,14 @@ Status FaultInjector::BeforeWrite(const std::string& path, uint64_t offset,
       if (*n > 0) {
         data[(bit_ / 8) % *n] ^= static_cast<char>(1u << (bit_ % 8));
       }
+      return Status::OK();
+    case FaultMode::kNoSpace:
+      disk_full_ = true;
+      return Status::IOError(
+          StrFormat("No space left on device (injected ENOSPC): %s",
+                    path.c_str()));
+    case FaultMode::kShortWrite:
+      *n /= 2;
       return Status::OK();
   }
   return Status::OK();

@@ -21,6 +21,15 @@ enum class FaultMode {
   /// One bit of the trigger write is flipped on its way to disk (silent
   /// media corruption). Readers must reject the file via the CRC footer.
   kBitFlip,
+  /// The trigger write and every later one fail with the classic full-disk
+  /// errno text. Unlike kFailWrite this is persistent: once the disk is
+  /// full it stays full, which is what telemetry/metrics sinks must survive
+  /// (log once, disable the sink, keep training/serving).
+  kNoSpace,
+  /// The trigger write lands only halfway but the process keeps running and
+  /// keeps writing (a one-off short write the caller failed to check).
+  /// Readers must reject the resulting file via the CRC footer.
+  kShortWrite,
 };
 
 /// Deterministic fault injector for the BinaryWriter seam. Counts every
@@ -50,6 +59,7 @@ class FaultInjector : public WriteInterceptor {
   uint64_t writes_seen_ = 0;
   uint64_t faults_injected_ = 0;
   bool dead_ = false;  ///< After a torn write, the "process" wrote no more.
+  bool disk_full_ = false;  ///< After kNoSpace fires, every write ENOSPCs.
 };
 
 /// Installs an injector for the current scope and removes it on exit.

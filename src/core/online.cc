@@ -8,44 +8,67 @@ namespace e2dtc::core {
 OnlineClusterer::OnlineClusterer(const E2dtcPipeline* pipeline,
                                  double count_prior)
     : pipeline_(pipeline),
+      k_(pipeline->fit_result().centroids.rows()),
       centroids_(pipeline->fit_result().centroids),
       counts_(static_cast<size_t>(pipeline->fit_result().centroids.rows()),
               count_prior) {
   E2DTC_CHECK(pipeline != nullptr);
-  E2DTC_CHECK_GT(centroids_.rows(), 0);
+  E2DTC_CHECK_GT(k_, 0);
   E2DTC_CHECK_GE(count_prior, 1.0);
 }
 
 std::vector<int> OnlineClusterer::AssignAndAdapt(
     const std::vector<geo::Trajectory>& batch) {
   if (batch.empty()) return {};
-  nn::Tensor emb = pipeline_->Embed(batch);
-  nn::Tensor q = nn::StudentTAssignmentValue(emb, centroids_);
-  std::vector<int> assigned = HardAssignments(q);
-  for (int i = 0; i < emb.rows(); ++i) {
-    const int j = assigned[static_cast<size_t>(i)];
-    counts_[static_cast<size_t>(j)] += 1.0;
-    const float lr =
-        static_cast<float>(1.0 / counts_[static_cast<size_t>(j)]);
-    float* c = centroids_.row(j);
-    const float* v = emb.row(i);
-    for (int d = 0; d < centroids_.cols(); ++d) {
-      c[d] += lr * (v[d] - c[d]);
-    }
-  }
-  num_seen_ += emb.rows();
-  return assigned;
+  return AssignAndAdaptEmbedded(pipeline_->Embed(batch));
 }
 
 std::vector<int> OnlineClusterer::Assign(
     const std::vector<geo::Trajectory>& batch) const {
   if (batch.empty()) return {};
-  nn::Tensor emb = pipeline_->Embed(batch);
-  return HardAssignments(nn::StudentTAssignmentValue(emb, centroids_));
+  return AssignEmbedded(pipeline_->Embed(batch));
 }
 
 int OnlineClusterer::AssignOne(const geo::Trajectory& trajectory) const {
   return Assign({trajectory})[0];
+}
+
+std::vector<int> OnlineClusterer::AssignAndAdaptEmbedded(
+    const nn::Tensor& embeddings) {
+  if (embeddings.rows() == 0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  nn::Tensor q = nn::StudentTAssignmentValue(embeddings, centroids_);
+  std::vector<int> assigned = HardAssignments(q);
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    const int j = assigned[static_cast<size_t>(i)];
+    counts_[static_cast<size_t>(j)] += 1.0;
+    const float lr =
+        static_cast<float>(1.0 / counts_[static_cast<size_t>(j)]);
+    float* c = centroids_.row(j);
+    const float* v = embeddings.row(i);
+    for (int d = 0; d < centroids_.cols(); ++d) {
+      c[d] += lr * (v[d] - c[d]);
+    }
+  }
+  num_seen_ += embeddings.rows();
+  return assigned;
+}
+
+std::vector<int> OnlineClusterer::AssignEmbedded(
+    const nn::Tensor& embeddings) const {
+  if (embeddings.rows() == 0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  return HardAssignments(nn::StudentTAssignmentValue(embeddings, centroids_));
+}
+
+nn::Tensor OnlineClusterer::centroids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return centroids_;
+}
+
+int64_t OnlineClusterer::num_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_seen_;
 }
 
 }  // namespace e2dtc::core

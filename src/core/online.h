@@ -2,6 +2,7 @@
 #define E2DTC_CORE_ONLINE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/e2dtc.h"
@@ -15,6 +16,12 @@ namespace e2dtc::core {
 /// mini-batch k-means updates (Sculley 2010: per-centroid learning rate
 /// 1/count, so early samples move centroids boldly and the estimate
 /// stabilizes as evidence accumulates).
+///
+/// Thread-safe: centroid reads and updates are serialized on an internal
+/// mutex, so the serve batcher can drive Assign/AssignAndAdapt from
+/// concurrent handler threads. The forward pass itself runs outside the
+/// lock (the encoder is frozen and const), so only the cheap centroid
+/// arithmetic is serialized.
 class OnlineClusterer {
  public:
   /// Borrows the pipeline (must outlive this object); starts from its
@@ -33,15 +40,26 @@ class OnlineClusterer {
   /// Convenience single-trajectory call.
   int AssignOne(const geo::Trajectory& trajectory) const;
 
-  const nn::Tensor& centroids() const { return centroids_; }
-  int64_t num_seen() const { return num_seen_; }
-  int k() const { return centroids_.rows(); }
+  /// Assigns already-embedded rows ([B,H]) and adapts centroids. The serve
+  /// batcher uses these so one coalesced forward pass serves a whole batch
+  /// of requests without embedding twice.
+  std::vector<int> AssignAndAdaptEmbedded(const nn::Tensor& embeddings);
+
+  /// Assignment only, from embeddings.
+  std::vector<int> AssignEmbedded(const nn::Tensor& embeddings) const;
+
+  /// Snapshot of the current centroids (copy, taken under the lock).
+  nn::Tensor centroids() const;
+  int64_t num_seen() const;
+  int k() const { return k_; }
 
  private:
   const E2dtcPipeline* pipeline_;
-  nn::Tensor centroids_;
-  std::vector<double> counts_;  ///< Pseudo-count per centroid.
-  int64_t num_seen_ = 0;
+  const int k_;
+  mutable std::mutex mu_;
+  nn::Tensor centroids_;        ///< Guarded by mu_.
+  std::vector<double> counts_;  ///< Pseudo-count per centroid; guarded by mu_.
+  int64_t num_seen_ = 0;        ///< Guarded by mu_.
 };
 
 }  // namespace e2dtc::core

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -16,9 +17,6 @@
 namespace e2dtc::obs {
 
 namespace {
-
-constexpr size_t kMaxRequestBytes = 8192;  ///< Introspection GETs are tiny.
-constexpr int kRecvTimeoutSeconds = 5;     ///< Slow-loris bound per socket.
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -30,17 +28,24 @@ const char* ReasonPhrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
     case 500:
       return "Internal Server Error";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
   }
   return "Unknown";
 }
 
 /// Writes the full response; best-effort (a scraper that hung up mid-write
-/// is its own problem). MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE
-/// in a process whose signal handlers belong to the trainer.
+/// is its own problem; SO_SNDTIMEO bounds how long a stalled reader can pin
+/// this thread). MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE in a
+/// process whose signal handlers belong to the trainer.
 void WriteResponse(int fd, const HttpResponse& response) {
   char header[256];
   const int header_len = std::snprintf(
@@ -48,11 +53,17 @@ void WriteResponse(int fd, const HttpResponse& response) {
       "HTTP/1.1 %d %s\r\n"
       "Content-Type: %s\r\n"
       "Content-Length: %zu\r\n"
-      "Connection: close\r\n"
-      "\r\n",
+      "Connection: close\r\n",
       response.status, ReasonPhrase(response.status),
       response.content_type.c_str(), response.body.size());
   std::string wire(header, static_cast<size_t>(header_len));
+  for (const auto& [name, value] : response.headers) {
+    wire += name;
+    wire += ": ";
+    wire += value;
+    wire += "\r\n";
+  }
+  wire += "\r\n";
   wire += response.body;
   size_t sent = 0;
   while (sent < wire.size()) {
@@ -60,27 +71,69 @@ void WriteResponse(int fd, const HttpResponse& response) {
         send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK: the write deadline fired on a stalled reader.
+      // Abandon the response so the handler thread is released.
       return;
     }
     sent += static_cast<size_t>(n);
   }
 }
 
-/// Reads until the end of the header block or the size cap. Returns false
-/// on timeout/EOF-before-headers/oversize — all of which get a 400.
-bool ReadRequestHead(int fd, std::string* head) {
-  char buf[2048];
-  while (head->size() < kMaxRequestBytes) {
+enum class ReadOutcome { kOk, kMalformed, kTimeout, kTooLarge };
+
+/// Reads until the end of the header block or the size cap. Distinguishes a
+/// stalled client (SO_RCVTIMEO fired -> 408) from an oversize request
+/// (-> 413) from EOF-before-headers/garbage (-> 400).
+ReadOutcome ReadRequestHead(int fd, size_t max_bytes, std::string* head) {
+  char buf[4096];
+  for (;;) {
+    // Cap first: a header block past the limit is 413 even when its
+    // terminator arrived in the same recv.
+    if (head->size() > max_bytes) return ReadOutcome::kTooLarge;
     if (head->find("\r\n\r\n") != std::string::npos ||
         head->find("\n\n") != std::string::npos) {
-      return true;
+      return ReadOutcome::kOk;
     }
+    if (head->size() >= max_bytes) return ReadOutcome::kTooLarge;
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return ReadOutcome::kTimeout;
+    }
+    if (n <= 0) return ReadOutcome::kMalformed;
     head->append(buf, static_cast<size_t>(n));
   }
-  return false;
+}
+
+/// Reads the remaining `want` body bytes (some may already sit in `*body`
+/// from the head read). Same outcome semantics as ReadRequestHead.
+ReadOutcome ReadRequestBody(int fd, size_t want, std::string* body) {
+  char buf[4096];
+  while (body->size() < want) {
+    const size_t chunk = std::min(sizeof(buf), want - body->size());
+    const ssize_t n = recv(fd, buf, chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return ReadOutcome::kTimeout;
+    }
+    if (n <= 0) return ReadOutcome::kMalformed;
+    body->append(buf, static_cast<size_t>(n));
+  }
+  return ReadOutcome::kOk;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
 }
 
 }  // namespace
@@ -99,7 +152,13 @@ HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(std::string path, Handler handler) {
-  handlers_[std::move(path)] = std::move(handler);
+  path_methods_[path] += 1;
+  handlers_["GET " + std::move(path)] = std::move(handler);
+}
+
+void HttpServer::HandlePost(std::string path, Handler handler) {
+  path_methods_[path] += 1;
+  handlers_["POST " + std::move(path)] = std::move(handler);
 }
 
 bool HttpServer::Start(std::string* error) {
@@ -129,7 +188,7 @@ bool HttpServer::Start(std::string* error) {
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return fail("bind");
   }
-  if (listen(listen_fd_, 16) != 0) return fail("listen");
+  if (listen(listen_fd_, 64) != 0) return fail("listen");
 
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
@@ -178,9 +237,15 @@ void HttpServer::ListenLoop() {
     if (ready <= 0) continue;  // Timeout or EINTR: re-check stop_.
     const int conn = accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    timeval tv{};
-    tv.tv_sec = kRecvTimeoutSeconds;
-    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const auto set_deadline = [conn](int what, int ms) {
+      if (ms <= 0) return;
+      timeval tv{};
+      tv.tv_sec = ms / 1000;
+      tv.tv_usec = (ms % 1000) * 1000;
+      setsockopt(conn, SOL_SOCKET, what, &tv, sizeof(tv));
+    };
+    set_deadline(SO_RCVTIMEO, options_.read_timeout_ms);
+    set_deadline(SO_SNDTIMEO, options_.write_timeout_ms);
     bool enqueued = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -194,6 +259,7 @@ void HttpServer::ListenLoop() {
     } else {
       HttpResponse overload;
       overload.status = 503;
+      overload.headers.push_back({"Retry-After", "1"});
       overload.body = "handler queue full\n";
       WriteResponse(conn, overload);
       close(conn);
@@ -229,12 +295,35 @@ void HttpServer::ServeConnection(int fd) {
   HttpRequest request;
   HttpResponse response;
 
-  if (!ReadRequestHead(fd, &head)) {
-    response.status = 400;
-    response.body = "malformed request\n";
+  const auto finish = [&] {
     WriteResponse(fd, response);
-    if (options_.access_log) options_.access_log(request, response, 0.0);
-    return;
+    if (options_.access_log) {
+      const double millis =
+          std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      options_.access_log(request, response, millis);
+    }
+  };
+
+  switch (ReadRequestHead(fd, options_.max_request_bytes, &head)) {
+    case ReadOutcome::kOk:
+      break;
+    case ReadOutcome::kTimeout:
+      response.status = 408;
+      response.body = "request read timed out\n";
+      finish();
+      return;
+    case ReadOutcome::kTooLarge:
+      response.status = 413;
+      response.body = "request exceeds max_request_bytes\n";
+      finish();
+      return;
+    case ReadOutcome::kMalformed:
+      response.status = 400;
+      response.body = "malformed request\n";
+      finish();
+      return;
   }
 
   // Request line: METHOD SP target SP HTTP/1.x
@@ -246,52 +335,103 @@ void HttpServer::ServeConnection(int fd) {
       line.compare(sp2 + 1, 5, "HTTP/") != 0) {
     response.status = 400;
     response.body = "malformed request line\n";
-  } else {
-    request.method = line.substr(0, sp1);
-    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const size_t qpos = target.find('?');
-    if (qpos != std::string::npos) {
-      request.query = target.substr(qpos + 1);
-      target.resize(qpos);
-    }
-    request.path = target;
-    // key=value&key=value; bare keys map to "".
-    size_t pos = 0;
-    while (pos < request.query.size()) {
-      size_t amp = request.query.find('&', pos);
-      if (amp == std::string::npos) amp = request.query.size();
-      const std::string pair = request.query.substr(pos, amp - pos);
-      const size_t eq = pair.find('=');
-      if (!pair.empty()) {
-        if (eq == std::string::npos) {
-          request.params[pair] = "";
-        } else {
-          request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
-        }
+    finish();
+    return;
+  }
+  request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    request.query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+  request.path = target;
+  // key=value&key=value; bare keys map to "".
+  size_t pos = 0;
+  while (pos < request.query.size()) {
+    size_t amp = request.query.find('&', pos);
+    if (amp == std::string::npos) amp = request.query.size();
+    const std::string pair = request.query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      if (eq == std::string::npos) {
+        request.params[pair] = "";
+      } else {
+        request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
       }
-      pos = amp + 1;
     }
+    pos = amp + 1;
+  }
 
-    const auto it = handlers_.find(request.path);
-    if (request.method != "GET") {
-      response.status = 405;
-      response.body = "only GET is supported\n";
-    } else if (it == handlers_.end()) {
-      response.status = 404;
-      response.body = "unknown endpoint\n";
-    } else {
-      response = it->second(request);
+  // Header block: "Name: value" lines until the blank separator. Keys are
+  // lower-cased; only Content-Length is load-bearing today.
+  size_t head_end = head.find("\r\n\r\n");
+  size_t body_start;
+  if (head_end != std::string::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = head.find("\n\n");
+    body_start = head_end + 2;
+  }
+  size_t cursor = line_end;
+  while (cursor < head_end) {
+    size_t nl = head.find('\n', cursor);
+    if (nl == std::string::npos || nl > head_end) nl = head_end;
+    const std::string header_line = head.substr(cursor, nl - cursor);
+    cursor = nl + 1;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string::npos) continue;
+    request.headers[ToLower(Trim(header_line.substr(0, colon)))] =
+        Trim(header_line.substr(colon + 1));
+  }
+
+  // Body (POST): Content-Length-delimited, capped alongside the head.
+  const auto cl = request.headers.find("content-length");
+  if (cl != request.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long want = std::strtoull(cl->second.c_str(), &end, 10);
+    if (end == cl->second.c_str() || want > options_.max_request_bytes ||
+        body_start + want > options_.max_request_bytes) {
+      response.status =
+          end == cl->second.c_str() ? 400 : 413;
+      response.body = response.status == 413
+                          ? "request exceeds max_request_bytes\n"
+                          : "bad Content-Length\n";
+      finish();
+      return;
+    }
+    request.body = head.substr(std::min(body_start, head.size()));
+    switch (ReadRequestBody(fd, static_cast<size_t>(want), &request.body)) {
+      case ReadOutcome::kOk:
+        request.body.resize(static_cast<size_t>(want));
+        break;
+      case ReadOutcome::kTimeout:
+        response.status = 408;
+        response.body = "request body read timed out\n";
+        finish();
+        return;
+      default:
+        response.status = 400;
+        response.body = "truncated request body\n";
+        finish();
+        return;
     }
   }
 
-  WriteResponse(fd, response);
-  if (options_.access_log) {
-    const double millis =
-        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    options_.access_log(request, response, millis);
+  const auto it = handlers_.find(request.method + " " + request.path);
+  if (it != handlers_.end()) {
+    response = it->second(request);
+  } else if (request.method != "GET" && request.method != "POST") {
+    response.status = 405;
+    response.body = "only GET and POST are supported\n";
+  } else if (path_methods_.count(request.path) > 0) {
+    response.status = 405;
+    response.body = "method not allowed for this endpoint\n";
+  } else {
+    response.status = 404;
+    response.body = "unknown endpoint\n";
   }
+  finish();
 }
 
 }  // namespace e2dtc::obs

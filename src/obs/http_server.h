@@ -10,18 +10,22 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace e2dtc::obs {
 
-/// One parsed introspection request. Only the request line matters for this
-/// plane: GET-only, exact-path routing, query string split into key=value
-/// pairs. Headers are read (to find the end of the request) but not kept.
+/// One parsed HTTP request. Exact-path routing with per-method handlers
+/// (GET for the introspection plane, POST for the serving plane), query
+/// string split into key=value pairs, headers lower-cased, and — for POST —
+/// the body read up to Options::max_request_bytes.
 struct HttpRequest {
   std::string method;
   std::string path;                           ///< Target before '?'.
   std::string query;                          ///< Raw query string, no '?'.
   std::map<std::string, std::string> params;  ///< Parsed query parameters.
+  std::map<std::string, std::string> headers; ///< Keys lower-cased.
+  std::string body;                           ///< Content-Length bytes.
 
   /// Returns params[key] parsed as a double, or `fallback` when the key is
   /// absent or unparseable. Covers /profilez?seconds=N style knobs.
@@ -31,16 +35,20 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
+  /// Extra response headers (e.g. {"Retry-After", "1"} on a 503 shed).
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
 };
 
-/// Minimal dependency-free HTTP/1.1 introspection server: one listener
-/// thread doing a poll()-gated accept loop plus a small bounded handler
-/// pool. Every response is Connection: close (scrapes are one-shot), every
-/// handler runs off the training threads, and Stop() joins everything, so
-/// the existing SIGINT/SIGTERM path can tear the plane down by letting the
-/// server object go out of scope. This listener/handler machinery is the
-/// deliberate seed of the future e2dtc::serve layer.
+/// Minimal dependency-free HTTP/1.1 server: one listener thread doing a
+/// poll()-gated accept loop plus a small bounded handler pool. Every
+/// response is Connection: close, every handler runs off the training
+/// threads, and Stop() joins everything, so the existing SIGINT/SIGTERM
+/// path can tear the plane down by letting the server object go out of
+/// scope. Grown from the PR-6 introspection listener into the transport for
+/// e2dtc::serve: POST routing with bodies, per-connection read/write
+/// deadlines (408 on a stalled client), and a request-size cap (413) keep a
+/// slow-loris peer from pinning a handler thread.
 ///
 /// obs sits below util, so errors surface as bool + message rather than
 /// util::Status, and access logging is a caller-supplied hook (the CLI
@@ -57,6 +65,15 @@ class HttpServer {
     int port = 0;  ///< 0 picks an ephemeral port; see port() after Start.
     int handler_threads = 2;
     int max_pending = 16;  ///< Accepted-but-unhandled cap; overflow gets 503.
+    /// Per-connection socket deadlines. A client that stops sending
+    /// mid-request gets 408 after read_timeout_ms; one that stops reading
+    /// mid-response has its write aborted after write_timeout_ms. Either
+    /// way the handler thread is released.
+    int read_timeout_ms = 5000;
+    int write_timeout_ms = 5000;
+    /// Upper bound on head + body bytes; larger requests get 413 without
+    /// buffering the excess.
+    size_t max_request_bytes = 1 << 20;
     AccessLog access_log;  ///< Optional; null means no access logging.
   };
 
@@ -66,9 +83,16 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers `handler` for exact-match `path`. Must be called before
-  /// Start(); unknown paths get 404, non-GET methods 405, garbage 400.
+  /// Registers `handler` for GET requests to exact-match `path`. Must be
+  /// called before Start(). Re-registering a path replaces the handler (the
+  /// serve plane overrides the default /readyz). Unknown paths get 404,
+  /// known paths with the wrong method 405, garbage 400.
   void Handle(std::string path, Handler handler);
+
+  /// Registers `handler` for POST requests to exact-match `path`; the
+  /// request's Content-Length body is read (up to max_request_bytes) into
+  /// HttpRequest::body before dispatch.
+  void HandlePost(std::string path, Handler handler);
 
   /// Binds, listens, and spawns the listener + handler threads. Returns
   /// false with `*error` set (errno text) when the socket setup fails; the
@@ -91,7 +115,10 @@ class HttpServer {
   void ServeConnection(int fd);
 
   Options options_;
+  /// Keyed "METHOD path"; paths_ tracks which paths exist at all so the
+  /// router can tell 405 (known path, wrong method) from 404.
   std::map<std::string, Handler> handlers_;
+  std::map<std::string, int> path_methods_;
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,0 +1,99 @@
+#ifndef E2DTC_SERVE_BOUNDED_QUEUE_H_
+#define E2DTC_SERVE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace e2dtc::serve {
+
+/// Bounded MPMC queue for the admission-controlled serve path. Producers
+/// (HTTP handler threads) use TryPush, which fails immediately when the
+/// queue is at capacity — the caller sheds the request with 503 instead of
+/// buffering without bound. The consumer (the batcher) uses PopBatch, which
+/// coalesces up to `max_batch` items, waiting at most `window_us` after the
+/// first item arrives so concurrent requests share one forward pass.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; returns whether the item
+  /// was accepted.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed),
+  /// then keeps collecting until `max_batch` items are in hand or
+  /// `window_us` has elapsed since the first one. Returns an empty vector
+  /// only when the queue is closed and drained.
+  std::vector<T> PopBatch(size_t max_batch, int64_t window_us) {
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return batch;  // Closed and drained.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(window_us);
+    for (;;) {
+      while (!items_.empty() && batch.size() < max_batch) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (batch.size() >= max_batch || closed_) break;
+      if (cv_.wait_until(lock, deadline, [this] {
+            return !items_.empty() || closed_;
+          })) {
+        if (items_.empty()) break;  // Woken by Close.
+        continue;
+      }
+      break;  // Window elapsed.
+    }
+    return batch;
+  }
+
+  /// Stops accepting new items and wakes the consumer; already-queued items
+  /// still drain through PopBatch (the drain contract: every accepted
+  /// request is answered).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace e2dtc::serve
+
+#endif  // E2DTC_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,95 @@
+#include "serve/context.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace e2dtc::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kModelSuffix[] = ".e2dtc";
+
+bool HasModelSuffix(const std::string& name) {
+  const size_t len = sizeof(kModelSuffix) - 1;
+  return name.size() > len &&
+         name.compare(name.size() - len, len, kModelSuffix) == 0;
+}
+
+/// Candidate model files in a directory, newest first (mtime, with
+/// lexicographically-descending path as the deterministic tiebreak).
+std::vector<std::string> ListModelsNewestFirst(const std::string& dir) {
+  struct Entry {
+    fs::file_time_type mtime;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (!HasModelSuffix(entry.path().filename().string())) continue;
+    std::error_code mtime_ec;
+    const auto mtime = entry.last_write_time(mtime_ec);
+    entries.push_back({mtime_ec ? fs::file_time_type::min() : mtime,
+                       entry.path().string()});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime > b.mtime;
+    return a.path > b.path;
+  });
+  std::vector<std::string> paths;
+  paths.reserve(entries.size());
+  for (auto& e : entries) paths.push_back(std::move(e.path));
+  return paths;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServeContext>> ServeContext::Open(
+    const std::string& path, double count_prior) {
+  std::vector<std::string> candidates;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    candidates = ListModelsNewestFirst(path);
+    if (candidates.empty()) {
+      return Status::NotFound(
+          StrFormat("no *%s model files in directory: %s", kModelSuffix,
+                    path.c_str()));
+    }
+  } else {
+    candidates.push_back(path);
+  }
+
+  auto context = std::unique_ptr<ServeContext>(new ServeContext());
+  Status last_error = Status::OK();
+  for (const std::string& candidate : candidates) {
+    Result<std::unique_ptr<core::E2dtcPipeline>> loaded =
+        core::E2dtcPipeline::Load(candidate);
+    if (!loaded.ok()) {
+      E2DTC_LOG(Warning) << "serve: skipping unreadable model " << candidate
+                         << ": " << loaded.status().ToString();
+      ++context->skipped_unreadable_;
+      last_error = loaded.status();
+      continue;
+    }
+    context->pipeline_ = std::move(loaded).value();
+    context->model_path_ = candidate;
+    context->clusterer_ = std::make_unique<core::OnlineClusterer>(
+        context->pipeline_.get(), count_prior);
+    return context;
+  }
+  return Status::IOError(
+      StrFormat("no readable model among %zu candidate(s) under %s "
+                "(last error: %s)",
+                candidates.size(), path.c_str(),
+                last_error.ToString().c_str()));
+}
+
+}  // namespace e2dtc::serve

@@ -1,0 +1,54 @@
+#ifndef E2DTC_SERVE_CONTEXT_H_
+#define E2DTC_SERVE_CONTEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/e2dtc.h"
+#include "core/online.h"
+#include "util/result.h"
+
+namespace e2dtc::serve {
+
+/// The frozen model a serve process answers queries from: an
+/// E2dtcPipeline loaded from disk (encoder + vocab + trained centroids)
+/// plus the OnlineClusterer that adapts those centroids as traffic flows.
+///
+/// Open() accepts either a model file or a directory. Given a directory it
+/// scans for *.e2dtc files and loads the newest readable one — every load
+/// is CRC-verified by the model format, so a torn or bit-rotted file from a
+/// crashed trainer is skipped (with a logged warning) in favor of the
+/// previous good model, mirroring ckpt::Checkpointer::LoadLatest.
+class ServeContext {
+ public:
+  /// `count_prior` is forwarded to the OnlineClusterer (pseudo-observations
+  /// per centroid; larger = more conservative adaptation).
+  static Result<std::unique_ptr<ServeContext>> Open(const std::string& path,
+                                                    double count_prior = 32.0);
+
+  const core::E2dtcPipeline& pipeline() const { return *pipeline_; }
+  core::OnlineClusterer& clusterer() { return *clusterer_; }
+  const core::OnlineClusterer& clusterer() const { return *clusterer_; }
+
+  /// The file the model was actually loaded from (after any directory scan).
+  const std::string& model_path() const { return model_path_; }
+  /// Files that failed their integrity check during the directory scan.
+  int skipped_unreadable() const { return skipped_unreadable_; }
+
+  int hidden_size() const {
+    return pipeline_->fit_result().centroids.cols();
+  }
+  int k() const { return clusterer_->k(); }
+
+ private:
+  ServeContext() = default;
+
+  std::unique_ptr<core::E2dtcPipeline> pipeline_;
+  std::unique_ptr<core::OnlineClusterer> clusterer_;
+  std::string model_path_;
+  int skipped_unreadable_ = 0;
+};
+
+}  // namespace e2dtc::serve
+
+#endif  // E2DTC_SERVE_CONTEXT_H_

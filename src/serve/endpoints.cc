@@ -1,0 +1,197 @@
+#include "serve/endpoints.h"
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geo/point.h"
+#include "obs/json.h"
+#include "util/string_util.h"
+
+namespace e2dtc::serve {
+
+namespace {
+
+obs::HttpResponse JsonResponse(int status, obs::Json body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = body.Dump();
+  response.body += "\n";
+  return response;
+}
+
+obs::HttpResponse ErrorResponse(int status, const std::string& message) {
+  obs::Json body = obs::Json::Object();
+  body.Set("error", message);
+  return JsonResponse(status, std::move(body));
+}
+
+obs::HttpResponse OverloadResponse(const ServeService& service,
+                                   const std::string& message) {
+  obs::HttpResponse response = ErrorResponse(503, message);
+  response.headers.push_back(
+      {"Retry-After", StrFormat("%d", service.options().retry_after_seconds)});
+  return response;
+}
+
+/// Parses the shared request body shape into `*out`. Returns an empty
+/// string on success, else the 400 message.
+std::string ParseBody(const std::string& text, ServeRequest* out) {
+  obs::Json body;
+  std::string error;
+  if (!obs::Json::Parse(text, &body, &error)) {
+    return "malformed JSON: " + error;
+  }
+  if (!body.is_object()) return "request body must be a JSON object";
+  const obs::Json* trajectories = body.Find("trajectories");
+  if (trajectories == nullptr || !trajectories->is_array() ||
+      trajectories->size() == 0) {
+    return "missing non-empty \"trajectories\" array";
+  }
+  for (size_t i = 0; i < trajectories->size(); ++i) {
+    const obs::Json& t = trajectories->at(i);
+    const obs::Json* points = t.is_object() ? t.Find("points") : nullptr;
+    if (points == nullptr || !points->is_array() || points->size() == 0) {
+      return StrFormat(
+          "trajectories[%zu] must be an object with a non-empty "
+          "\"points\" array",
+          i);
+    }
+    geo::Trajectory trajectory;
+    trajectory.id = static_cast<int64_t>(i);
+    if (const obs::Json* id = t.Find("id"); id != nullptr && id->is_number()) {
+      trajectory.id = static_cast<int64_t>(id->number());
+    }
+    trajectory.points.reserve(points->size());
+    for (size_t p = 0; p < points->size(); ++p) {
+      const obs::Json& pt = points->at(p);
+      if (!pt.is_array() || pt.size() < 2 || !pt.at(0).is_number() ||
+          !pt.at(1).is_number()) {
+        return StrFormat("trajectories[%zu].points[%zu] must be [lon, lat]",
+                         i, p);
+      }
+      const double lon = pt.at(0).number();
+      const double lat = pt.at(1).number();
+      if (!geo::IsValidLonLat(lon, lat)) {
+        return StrFormat(
+            "trajectories[%zu].points[%zu] is not a valid WGS-84 "
+            "coordinate",
+            i, p);
+      }
+      trajectory.points.push_back(
+          {lon, lat, static_cast<double>(trajectory.points.size())});
+    }
+    out->trajectories.push_back(std::move(trajectory));
+  }
+  if (const obs::Json* deadline = body.Find("deadline_ms");
+      deadline != nullptr && deadline->is_number()) {
+    out->deadline_ms = static_cast<int>(deadline->number());
+  }
+  if (const obs::Json* adapt = body.Find("adapt");
+      adapt != nullptr && adapt->is_bool()) {
+    out->adapt = adapt->bool_value();
+  }
+  return "";
+}
+
+obs::HttpResponse HandleServe(ServeService* service, RequestKind kind,
+                              const obs::HttpRequest& http_request) {
+  ServeRequest request;
+  request.kind = kind;
+  if (std::string error = ParseBody(http_request.body, &request);
+      !error.empty()) {
+    return ErrorResponse(400, error);
+  }
+  const size_t n = request.trajectories.size();
+  std::future<ServeResult> future;
+  switch (service->Submit(std::move(request), &future)) {
+    case Admit::kShed:
+      return OverloadResponse(*service, "overloaded: request queue full");
+    case Admit::kDraining:
+      return OverloadResponse(*service, "draining: not admitting requests");
+    case Admit::kOk:
+      break;
+  }
+  ServeResult result = future.get();
+  if (result.status == 504) {
+    return ErrorResponse(504, "deadline exceeded before processing");
+  }
+  obs::Json body = obs::Json::Object();
+  if (kind == RequestKind::kEmbed) {
+    obs::Json rows = obs::Json::Array();
+    for (const auto& embedding : result.embeddings) {
+      obs::Json row = obs::Json::Array();
+      for (float v : embedding) row.Append(static_cast<double>(v));
+      rows.Append(std::move(row));
+    }
+    body.Set("embeddings", std::move(rows));
+    body.Set("hidden", service->context()->hidden_size());
+  } else {
+    obs::Json clusters = obs::Json::Array();
+    for (int c : result.clusters) clusters.Append(c);
+    body.Set("clusters", std::move(clusters));
+    body.Set("k", service->context()->k());
+  }
+  body.Set("count", static_cast<uint64_t>(n));
+  body.Set("latency_ms", result.latency_ms);
+  body.Set("batch_size", result.batch_size);
+  return JsonResponse(200, std::move(body));
+}
+
+obs::Json StatsJson(const ServeService& service) {
+  const ServeStats stats = service.stats();
+  obs::Json j = obs::Json::Object();
+  j.Set("ready", service.ready());
+  j.Set("draining", service.draining());
+  j.Set("accepted", stats.accepted);
+  j.Set("served", stats.served);
+  j.Set("shed", stats.shed);
+  j.Set("expired", stats.expired);
+  j.Set("batches", stats.batches);
+  j.Set("queue_depth", stats.queue_depth);
+  j.Set("dropped_in_flight", stats.dropped_in_flight());
+  obs::Json options = obs::Json::Object();
+  options.Set("max_queue", service.options().max_queue);
+  options.Set("max_batch", service.options().max_batch);
+  options.Set("batch_window_us", service.options().batch_window_us);
+  options.Set("default_deadline_ms", service.options().default_deadline_ms);
+  options.Set("retry_after_seconds", service.options().retry_after_seconds);
+  options.Set("chaos_stall_us", service.options().chaos_stall_us);
+  j.Set("options", std::move(options));
+  return j;
+}
+
+}  // namespace
+
+void RegisterServeEndpoints(obs::HttpServer* server, ServeService* service) {
+  server->HandlePost("/v1/embed", [service](const obs::HttpRequest& request) {
+    return HandleServe(service, RequestKind::kEmbed, request);
+  });
+  server->HandlePost("/v1/assign", [service](const obs::HttpRequest& request) {
+    return HandleServe(service, RequestKind::kAssign, request);
+  });
+  server->Handle("/v1/stats", [service](const obs::HttpRequest&) {
+    obs::Json j = StatsJson(*service);
+    j.Set("model", service->context()->model_path());
+    j.Set("k", service->context()->k());
+    j.Set("hidden", service->context()->hidden_size());
+    return JsonResponse(200, std::move(j));
+  });
+  // Overrides the introspection-plane /readyz: a serve process is ready
+  // only after warmup and stops being ready the moment drain begins, so
+  // load balancers stop routing before the listener goes away.
+  server->Handle("/readyz", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    if (service->ready() && !service->draining()) {
+      response.body = "ready\n";
+    } else {
+      response.status = 503;
+      response.body = service->draining() ? "draining\n" : "warming up\n";
+    }
+    return response;
+  });
+}
+
+}  // namespace e2dtc::serve

@@ -1,0 +1,28 @@
+#ifndef E2DTC_SERVE_ENDPOINTS_H_
+#define E2DTC_SERVE_ENDPOINTS_H_
+
+#include "obs/http_server.h"
+#include "serve/service.h"
+
+namespace e2dtc::serve {
+
+/// Wires the serving plane onto `server` (call before Start, after
+/// core::RegisterIntrospectionEndpoints so the serve-aware /readyz
+/// override wins):
+///
+///   POST /v1/embed   {"trajectories":[{"points":[[lon,lat],...]},...],
+///                     "deadline_ms":N}
+///                 -> {"embeddings":[[...],...], "hidden":H, ...}
+///   POST /v1/assign  same body + "adapt":bool
+///                 -> {"clusters":[...], "k":K, ...}
+///   GET  /v1/stats -> admission/serving counters, options, model info
+///   GET  /readyz   -> 200 only when warmed up and not draining
+///
+/// Overload semantics: shed and draining requests get 503 with a
+/// Retry-After header; requests whose deadline expires in the queue get
+/// 504. Malformed bodies get 400. See docs/serving.md.
+void RegisterServeEndpoints(obs::HttpServer* server, ServeService* service);
+
+}  // namespace e2dtc::serve
+
+#endif  // E2DTC_SERVE_ENDPOINTS_H_

@@ -1,0 +1,15 @@
+#include "serve/retry.h"
+
+namespace e2dtc::serve {
+
+uint64_t RetryPolicy::BackoffMicros(int attempt, Rng* rng) const {
+  if (attempt < 0) attempt = 0;
+  // base << attempt, saturating well before uint64 overflow.
+  uint64_t ceiling = base_us;
+  for (int i = 0; i < attempt && ceiling < max_us; ++i) ceiling <<= 1;
+  if (ceiling > max_us) ceiling = max_us;
+  if (ceiling == 0) return 0;
+  return rng->UniformU64(ceiling);
+}
+
+}  // namespace e2dtc::serve

@@ -1,0 +1,30 @@
+#ifndef E2DTC_SERVE_RETRY_H_
+#define E2DTC_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace e2dtc::serve {
+
+/// Client-side retry policy for shed (503) responses: exponential backoff
+/// with full jitter (AWS-style: sleep = uniform[0, min(cap, base * 2^n))),
+/// which de-synchronizes a thundering herd of retrying clients far better
+/// than equal-jitter variants. Deterministic given the caller's Rng, so the
+/// soak driver and tests replay identical schedules.
+struct RetryPolicy {
+  uint64_t base_us = 1000;        ///< First-attempt backoff ceiling.
+  uint64_t max_us = 256 * 1000;   ///< Backoff cap.
+  int max_attempts = 6;           ///< Give up (surface the 503) after this.
+
+  /// Backoff before retry `attempt` (0-based). Full jitter: uniform in
+  /// [0, min(max_us, base_us << attempt)).
+  uint64_t BackoffMicros(int attempt, Rng* rng) const;
+
+  /// Whether a retry `attempt` (0-based) is allowed at all.
+  bool ShouldRetry(int attempt) const { return attempt < max_attempts; }
+};
+
+}  // namespace e2dtc::serve
+
+#endif  // E2DTC_SERVE_RETRY_H_

@@ -1,0 +1,212 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace e2dtc::serve {
+
+namespace {
+
+/// Hot-path metric handles, resolved once (registry lookup takes a lock;
+/// recording through handles is lock-free and no-op while metrics are off).
+struct ServeMetrics {
+  obs::Gauge queue_depth;
+  obs::Counter accepted;
+  obs::Counter served;
+  obs::Counter shed;
+  obs::Counter expired;
+  obs::Histogram batch_size;
+  obs::Histogram latency_ms;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics m{
+        obs::Registry::Global().gauge("serve.queue_depth"),
+        obs::Registry::Global().counter("serve.requests_accepted"),
+        obs::Registry::Global().counter("serve.requests_served"),
+        obs::Registry::Global().counter("serve.requests_shed"),
+        obs::Registry::Global().counter("serve.requests_expired"),
+        obs::Registry::Global().histogram(
+            "serve.batch_size", obs::ExponentialBuckets(1.0, 2.0, 8)),
+        obs::Registry::Global().histogram(
+            "serve.latency_ms", obs::ExponentialBuckets(0.1, 2.0, 16)),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+/// One admitted request riding the queue: the request, its absolute
+/// deadline, and the promise the batcher fulfills.
+struct ServeService::Pending {
+  ServeRequest request;
+  std::promise<ServeResult> promise;
+  uint64_t enqueue_us = 0;
+  uint64_t deadline_us = 0;
+};
+
+ServeService::ServeService(ServeContext* context, ServeOptions options)
+    : context_(context), options_(options) {
+  E2DTC_CHECK(context != nullptr);
+  E2DTC_CHECK_GT(options_.max_queue, 0);
+  E2DTC_CHECK_GT(options_.max_batch, 0);
+  queue_ = std::make_unique<BoundedQueue<Pending>>(
+      static_cast<size_t>(options_.max_queue));
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+ServeService::~ServeService() { Drain(); }
+
+Admit ServeService::Submit(ServeRequest request,
+                           std::future<ServeResult>* result) {
+  auto& metrics = ServeMetrics::Get();
+  if (draining_.load(std::memory_order_acquire)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.shed.Increment();
+    return Admit::kDraining;
+  }
+  const int deadline_ms = request.deadline_ms > 0
+                              ? request.deadline_ms
+                              : options_.default_deadline_ms;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueue_us = obs::MonotonicMicros();
+  pending.deadline_us =
+      pending.enqueue_us + static_cast<uint64_t>(deadline_ms) * 1000;
+  std::future<ServeResult> future = pending.promise.get_future();
+  if (!queue_->TryPush(std::move(pending))) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.shed.Increment();
+    // Closed-while-submitting degrades to a shed; both are 503 to clients.
+    return draining_.load(std::memory_order_acquire) ? Admit::kDraining
+                                                     : Admit::kShed;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.accepted.Increment();
+  metrics.queue_depth.Set(static_cast<double>(queue_->size()));
+  *result = std::move(future);
+  return Admit::kOk;
+}
+
+void ServeService::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  queue_->Close();
+}
+
+void ServeService::Drain() {
+  BeginDrain();
+  if (batcher_.joinable()) batcher_.join();
+  drained_.store(true, std::memory_order_release);
+}
+
+ServeStats ServeService::stats() const {
+  ServeStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_->size();
+  return s;
+}
+
+void ServeService::BatcherLoop() {
+  // Warmup: one forward pass primes every lazily-sized kernel buffer and
+  // pages the weights in, so the first real request doesn't pay the
+  // cold-start cost. /readyz stays 503 until this completes.
+  {
+    geo::Trajectory warm;
+    warm.points = {{0.0, 0.0, 0.0}, {0.001, 0.001, 1.0}};
+    context_->pipeline().Embed({warm});
+    ready_.store(true, std::memory_order_release);
+  }
+  for (;;) {
+    std::vector<Pending> batch = queue_->PopBatch(
+        static_cast<size_t>(options_.max_batch), options_.batch_window_us);
+    ServeMetrics::Get().queue_depth.Set(static_cast<double>(queue_->size()));
+    if (batch.empty()) return;  // Closed and drained.
+    RunBatch(std::move(batch));
+  }
+}
+
+void ServeService::RunBatch(std::vector<Pending>&& batch) {
+  auto& metrics = ServeMetrics::Get();
+  if (options_.chaos_stall_us > 0) {
+    // Chaos mode: simulate a slow batch (page-cache miss, CPU contention)
+    // so tests can observe the queue backing up and admission shedding.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.chaos_stall_us));
+  }
+
+  // Cooperative cancellation: answer expired requests 504 *before* the
+  // forward pass so a backed-up queue never spends encoder time on work
+  // nobody is waiting for.
+  const uint64_t now_us = obs::MonotonicMicros();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& pending : batch) {
+    if (now_us >= pending.deadline_us) {
+      ServeResult result;
+      result.status = 504;
+      result.latency_ms =
+          static_cast<double>(now_us - pending.enqueue_us) / 1000.0;
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      metrics.expired.Increment();
+      pending.promise.set_value(std::move(result));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  // One coalesced forward pass for every live request. Each output row
+  // depends only on its own trajectory (length-bucketed encode + per-row
+  // copy-out), so the result is bitwise identical to per-request embeds.
+  std::vector<geo::Trajectory> trajectories;
+  std::vector<std::pair<int, int>> spans;  // (first row, row count)
+  spans.reserve(live.size());
+  for (const auto& pending : live) {
+    spans.emplace_back(static_cast<int>(trajectories.size()),
+                       static_cast<int>(pending.request.trajectories.size()));
+    trajectories.insert(trajectories.end(),
+                        pending.request.trajectories.begin(),
+                        pending.request.trajectories.end());
+  }
+  const nn::Tensor embeddings = context_->pipeline().Embed(trajectories);
+  const uint64_t done_us = obs::MonotonicMicros();
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  metrics.batch_size.Record(static_cast<double>(live.size()));
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    Pending& pending = live[i];
+    const auto [first, count] = spans[i];
+    ServeResult result;
+    result.latency_ms =
+        static_cast<double>(done_us - pending.enqueue_us) / 1000.0;
+    result.batch_size = static_cast<int>(live.size());
+    if (pending.request.kind == RequestKind::kEmbed) {
+      result.embeddings.reserve(static_cast<size_t>(count));
+      for (int r = 0; r < count; ++r) {
+        const float* row = embeddings.row(first + r);
+        result.embeddings.emplace_back(row, row + embeddings.cols());
+      }
+    } else {
+      const nn::Tensor rows = embeddings.SliceRows(first, count);
+      result.clusters = pending.request.adapt
+                            ? context_->clusterer().AssignAndAdaptEmbedded(rows)
+                            : context_->clusterer().AssignEmbedded(rows);
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    metrics.served.Increment();
+    metrics.latency_ms.Record(result.latency_ms);
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace e2dtc::serve

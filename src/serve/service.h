@@ -1,0 +1,150 @@
+#ifndef E2DTC_SERVE_SERVICE_H_
+#define E2DTC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "serve/bounded_queue.h"
+#include "serve/context.h"
+
+namespace e2dtc::serve {
+
+struct ServeOptions {
+  /// Admission bound: requests beyond this many queued are shed with 503.
+  int max_queue = 256;
+  /// Coalescing cap: at most this many requests share one forward pass.
+  int max_batch = 64;
+  /// How long the batcher waits after the first request for company.
+  int batch_window_us = 2000;
+  /// Deadline applied to requests that do not carry their own.
+  int default_deadline_ms = 250;
+  /// Advertised in the Retry-After header on 503 responses.
+  int retry_after_seconds = 1;
+  /// OnlineClusterer adaptation conservatism (pseudo-counts per centroid).
+  double count_prior = 32.0;
+  /// Chaos knob: injected stall (per batch, before the forward pass) to
+  /// make overload reproducible in tests; 0 disables.
+  int chaos_stall_us = 0;
+};
+
+enum class RequestKind { kEmbed, kAssign };
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kEmbed;
+  std::vector<geo::Trajectory> trajectories;
+  /// kAssign only: also adapt the online centroids toward these embeddings.
+  bool adapt = false;
+  /// Relative deadline; <= 0 uses ServeOptions::default_deadline_ms.
+  int deadline_ms = 0;
+};
+
+struct ServeResult {
+  /// 200 served; 504 deadline expired before the forward pass.
+  int status = 200;
+  /// kEmbed: one [H]-row per input trajectory.
+  std::vector<std::vector<float>> embeddings;
+  /// kAssign: one cluster id per input trajectory.
+  std::vector<int> clusters;
+  /// Total time from admission to completion.
+  double latency_ms = 0.0;
+  /// Size of the coalesced batch this request rode in.
+  int batch_size = 0;
+};
+
+/// Admission verdict for Submit.
+enum class Admit {
+  kOk,        ///< Accepted; the future will be fulfilled.
+  kShed,      ///< Queue full — 503 + Retry-After, client should back off.
+  kDraining,  ///< Drain begun (or warmup not finished) — 503, try elsewhere.
+};
+
+/// Point-in-time serve statistics; all requests are conserved:
+/// accepted == served + expired + dropped_in_flight, and the drain
+/// contract is dropped_in_flight == 0 after Drain() returns.
+struct ServeStats {
+  uint64_t accepted = 0;
+  uint64_t served = 0;
+  uint64_t shed = 0;     ///< Rejected at admission (queue full or draining).
+  uint64_t expired = 0;  ///< Answered 504 (deadline passed in queue).
+  uint64_t batches = 0;
+  uint64_t queue_depth = 0;
+  uint64_t dropped_in_flight() const {
+    return accepted - served - expired;
+  }
+};
+
+/// The serving engine: a bounded request queue feeding a single batcher
+/// thread that coalesces concurrent embed/assign requests into one [B,H]
+/// forward pass on the frozen encoder (bitwise identical to the offline
+/// batch path — each row of EncodeAll depends only on its own trajectory).
+///
+/// Robustness contract:
+///  - Admission control: TryPush against a bounded queue; full -> kShed,
+///    never unbounded buffering.
+///  - Deadlines: every request carries an absolute expiry; the batcher
+///    drops expired requests *before* the expensive forward pass and
+///    answers them 504.
+///  - Warmup: not ready() until a first forward pass has run, so /readyz
+///    keeps load balancers away from a cold process.
+///  - Drain: BeginDrain() stops admission, Drain() blocks until every
+///    accepted request has been answered, then stops the batcher.
+class ServeService {
+ public:
+  /// Borrows `context` (must outlive this object). Starts the batcher
+  /// thread and runs the warmup pass asynchronously.
+  ServeService(ServeContext* context, ServeOptions options);
+  ~ServeService();  ///< BeginDrain + Drain.
+
+  ServeService(const ServeService&) = delete;
+  ServeService& operator=(const ServeService&) = delete;
+
+  /// Submits a request. On kOk, `*result` is a future the batcher will
+  /// fulfill (status 200 or 504); on kShed/kDraining the future is invalid
+  /// and the caller should answer 503 with Retry-After.
+  Admit Submit(ServeRequest request, std::future<ServeResult>* result);
+
+  /// True once the warmup forward pass has completed.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Stops admitting new requests (Submit returns kDraining). Idempotent.
+  void BeginDrain();
+  /// Blocks until every accepted request is answered and the batcher has
+  /// exited. Implies BeginDrain. Idempotent.
+  void Drain();
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  ServeContext* context() { return context_; }
+
+ private:
+  struct Pending;
+
+  void BatcherLoop();
+  void RunBatch(std::vector<Pending>&& batch);
+
+  ServeContext* context_;
+  const ServeOptions options_;
+
+  std::unique_ptr<BoundedQueue<Pending>> queue_;
+  std::thread batcher_;
+
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace e2dtc::serve
+
+#endif  // E2DTC_SERVE_SERVICE_H_

@@ -262,6 +262,73 @@ TEST(FaultInjectionTest, BitFlipDetectedOnLoad) {
       << st.ToString();
 }
 
+TEST(FaultInjectionTest, NoSpaceIsPersistentAcrossWrites) {
+  ScratchDir dir("fault_enospc");
+  const std::string path = dir.File("snap.e2ck");
+  ckpt::PhaseSnapshot good = SampleSnapshot();
+  ASSERT_TRUE(ckpt::SaveSnapshot(path, good).ok());
+
+  ckpt::FaultInjector inject(ckpt::FaultMode::kNoSpace,
+                             /*trigger_write=*/4);
+  ckpt::ScopedFaultInjection scope(&inject);
+  // The first save hits the full disk...
+  Status st = ckpt::SaveSnapshot(path, good);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("No space left on device"), std::string::npos)
+      << st.ToString();
+  // ...and unlike kFailWrite the condition persists: a retry fails too
+  // (its very first write ENOSPCs, no trigger counting).
+  Status retry = ckpt::SaveSnapshot(path, good);
+  ASSERT_FALSE(retry.ok());
+  EXPECT_NE(retry.message().find("No space left on device"),
+            std::string::npos);
+  EXPECT_GE(inject.faults_injected(), 2u);
+  // The pre-existing file is untouched (AtomicWrite never clobbers).
+  EXPECT_TRUE(ckpt::LoadSnapshot(path).ok());
+}
+
+TEST(FaultInjectionTest, ShortWriteDetectedOnLoad) {
+  ScratchDir dir("fault_short");
+  const std::string path = dir.File("snap.e2ck");
+  {
+    ckpt::FaultInjector inject(ckpt::FaultMode::kShortWrite,
+                               /*trigger_write=*/10);
+    ckpt::ScopedFaultInjection scope(&inject);
+    // One write lands halved; the "process" keeps going, so unlike
+    // kTornWrite the file has a tail — just a hole in the middle.
+    (void)ckpt::SaveSnapshot(path, SampleSnapshot());
+    EXPECT_EQ(inject.faults_injected(), 1u);
+  }
+  if (fs::exists(path)) {
+    EXPECT_FALSE(ckpt::LoadSnapshot(path).ok());
+  }
+}
+
+TEST(CheckpointerTest, SaveFailureOnFullDiskLeavesPreviousCheckpoints) {
+  ScratchDir dir("ckptr_enospc");
+  ckpt::CheckpointOptions opts;
+  opts.dir = dir.path();
+  ckpt::Checkpointer ckptr(opts);
+  ASSERT_TRUE(ckptr.Init().ok());
+
+  ckpt::PhaseSnapshot snap = SampleSnapshot();
+  snap.epochs_done = 1;
+  ASSERT_TRUE(ckptr.Save(snap).ok());
+
+  snap.epochs_done = 2;
+  {
+    ckpt::FaultInjector inject(ckpt::FaultMode::kNoSpace,
+                               /*trigger_write=*/0);
+    ckpt::ScopedFaultInjection scope(&inject);
+    // Save fails (the caller logs and keeps training), previous
+    // checkpoints stay loadable — the degrade-gracefully contract.
+    EXPECT_FALSE(ckptr.Save(snap).ok());
+  }
+  auto latest = ckptr.LoadLatest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->epochs_done, 1);
+}
+
 TEST(CheckpointerTest, RetentionKeepsNewest) {
   ScratchDir dir("ckptr_retention");
   ckpt::CheckpointOptions opts;

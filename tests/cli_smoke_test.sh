@@ -8,10 +8,13 @@ CLI="$1"
 WORK="$(mktemp -d)"
 # HTTP_PID is the introspection-section background fit (unbounded epoch
 # schedule): it must die with the script, or a failure exit leaks a
-# CPU-burning process that only ends with the machine.
+# CPU-burning process that only ends with the machine. SERVE_PID is the
+# serve-section server, same deal.
 HTTP_PID=""
+SERVE_PID=""
 cleanup() {
   if [[ -n "${HTTP_PID}" ]]; then kill -9 "${HTTP_PID}" 2>/dev/null || true; fi
+  if [[ -n "${SERVE_PID}" ]]; then kill -9 "${SERVE_PID}" 2>/dev/null || true; fi
   rm -rf "${WORK}"
 }
 trap cleanup EXIT
@@ -254,6 +257,112 @@ HTTP_PID=""  # reaped; don't let the EXIT trap kill a recycled pid
   exit 1
 }
 grep -q "introspection server stopped" "${WORK}/http_out.txt"
+
+# ---- Serving plane: admission control, shedding, graceful drain. ----
+# A deliberately tiny queue plus an injected 200ms stall per batch makes
+# overload trivial to provoke: anything past ~3 concurrent requests must
+# be shed with 503 + Retry-After while the server stays up.
+"${CLI}" serve --model "${WORK}/model.e2dtc" --serve-port 0 \
+    --max-queue 2 --max-batch 1 --chaos-stall-us 200000 \
+    --deadline-ms 10000 > "${WORK}/serve_out.txt" 2>&1 &
+SERVE_PID=$!
+
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+  SERVE_PORT="$(sed -n \
+      's#.*serve listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "${WORK}/serve_out.txt" | head -n 1)"
+  [[ -n "${SERVE_PORT}" ]] && break
+  sleep 0.1
+done
+[[ -n "${SERVE_PORT}" ]] || {
+  echo "serve never announced its port" >&2
+  cat "${WORK}/serve_out.txt" >&2
+  exit 1
+}
+# Warmup gate: wait for the model's first forward pass before scraping.
+for _ in $(seq 1 100); do
+  grep -q "serve ready" "${WORK}/serve_out.txt" && break
+  sleep 0.1
+done
+grep -q "serve ready" "${WORK}/serve_out.txt"
+
+serve_get() {
+  exec 4<>"/dev/tcp/127.0.0.1/${SERVE_PORT}"
+  printf 'GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n' "$1" >&4
+  cat <&4
+  exec 4<&- 4>&-
+}
+serve_post() {
+  local target="$1" payload="$2"
+  exec 4<>"/dev/tcp/127.0.0.1/${SERVE_PORT}"
+  printf 'POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s' \
+      "${target}" "${#payload}" "${payload}" >&4
+  cat <&4
+  exec 4<&- 4>&-
+}
+TRAJ='{"trajectories":[{"points":[[120.1,30.2],[120.15,30.25]]}]}'
+
+# /v1/stats and /readyz are live.
+STATS="$(serve_get /v1/stats)"
+[[ "${STATS}" == *'"accepted"'* && "${STATS}" == *'"queue_depth"'* ]] || {
+  echo "/v1/stats malformed: ${STATS}" >&2
+  exit 1
+}
+[[ "$(serve_get /readyz)" == *" 200 "* ]]
+
+# One assign round-trips through the frozen model (slow: chaos stall).
+ASSIGN="$(serve_post /v1/assign "${TRAJ}")"
+[[ "${ASSIGN}" == *" 200 "* && "${ASSIGN}" == *'"clusters"'* ]] || {
+  echo "/v1/assign failed: ${ASSIGN}" >&2
+  exit 1
+}
+
+# Hammer past the queue bound: 10 concurrent posts vs queue depth 2 and a
+# 200ms/batch drain rate. Some must be shed with 503 + Retry-After; every
+# accepted one must still complete (no crash, no hang).
+for i in $(seq 1 10); do
+  serve_post /v1/embed "${TRAJ}" > "${WORK}/serve_h${i}.txt" 2>/dev/null &
+done
+wait $(jobs -p | grep -v "^${SERVE_PID}$") 2>/dev/null || true
+SHED_COUNT=0
+OK_COUNT=0
+for i in $(seq 1 10); do
+  RESP="$(cat "${WORK}/serve_h${i}.txt")"
+  if [[ "${RESP}" == *" 503 "* ]]; then
+    [[ "${RESP}" == *"Retry-After:"* ]] || {
+      echo "503 without Retry-After: ${RESP}" >&2
+      exit 1
+    }
+    SHED_COUNT=$((SHED_COUNT + 1))
+  elif [[ "${RESP}" == *" 200 "* ]]; then
+    OK_COUNT=$((OK_COUNT + 1))
+  fi
+done
+[[ "${SHED_COUNT}" -gt 0 ]] || {
+  echo "overload hammer never got a 503 (ok=${OK_COUNT})" >&2
+  exit 1
+}
+[[ "${OK_COUNT}" -gt 0 ]] || {
+  echo "overload hammer: nothing was accepted" >&2
+  exit 1
+}
+
+# SIGTERM: graceful drain answers every accepted request and exits 0.
+kill -TERM "${SERVE_PID}" 2>/dev/null || true
+SERVE_RC=0
+wait "${SERVE_PID}" || SERVE_RC=$?
+SERVE_PID=""  # reaped; don't let the EXIT trap kill a recycled pid
+[[ "${SERVE_RC}" -eq 0 ]] || {
+  echo "expected serve to exit 0 after SIGTERM drain, got ${SERVE_RC}" >&2
+  cat "${WORK}/serve_out.txt" >&2
+  exit 1
+}
+grep -q "dropped_in_flight=0" "${WORK}/serve_out.txt" || {
+  echo "drain dropped in-flight requests:" >&2
+  cat "${WORK}/serve_out.txt" >&2
+  exit 1
+}
 
 # ---- GPS validation: strict load rejects, --lenient-gps drops. ----
 cp "${WORK}/city.csv" "${WORK}/dirty.csv"

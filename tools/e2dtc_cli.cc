@@ -7,6 +7,7 @@
 //   e2dtc_cli eval     --data city.csv --labels labels.csv
 //   e2dtc_cli export   --data city.csv --labels labels.csv --out t.geojson
 //   e2dtc_cli info     --model model.bin
+//   e2dtc_cli serve    --model model.bin --serve-port 8080
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -17,9 +18,14 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "core/e2dtc.h"
 #include "core/run_report.h"
 #include "core/status.h"
+#include "serve/endpoints.h"
+#include "serve/service.h"
 #include "data/geojson.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
@@ -283,11 +289,16 @@ int CmdFit(const Flags& flags) {
   // Flushes the telemetry ring to JSONL. Runs on the success path AND the
   // interrupted path (same contract as the trace flush), so a SIGINT'd run
   // still leaves its learning curves on disk for e2dtc_report.
+  // Sink flushes degrade gracefully: a full or read-only disk costs the
+  // observability artifact (logged once), never the run — the model save
+  // below must still happen.
   const auto write_telemetry = [&telemetry_out]() -> bool {
     if (telemetry_out.empty()) return true;
     obs::StopUtilizationSampler();
     if (!obs::TimeSeriesRecorder::Global().WriteJsonl(telemetry_out)) {
-      std::fprintf(stderr, "failed writing telemetry to %s\n",
+      std::fprintf(stderr,
+                   "warning: failed writing telemetry to %s; "
+                   "continuing without the telemetry sink\n",
                    telemetry_out.c_str());
       return false;
     }
@@ -301,7 +312,9 @@ int CmdFit(const Flags& flags) {
     const obs::Json snapshot = obs::Registry::Global().Snapshot().ToJson();
     std::FILE* f = std::fopen(metrics_out.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "failed writing metrics to %s\n",
+      std::fprintf(stderr,
+                   "warning: failed writing metrics to %s; "
+                   "continuing without the metrics sink\n",
                    metrics_out.c_str());
       return false;
     }
@@ -415,8 +428,10 @@ int CmdFit(const Flags& flags) {
     if (!report_st.ok()) return Fail(report_st);
     std::printf("wrote run report to %s\n", report_out.c_str());
   }
-  if (!write_metrics()) return 1;
-  if (!write_telemetry()) return 1;
+  // Failures already warned; the fit itself succeeded, so continue to the
+  // model save either way.
+  (void)write_metrics();
+  (void)write_telemetry();
   stop_http();
   Status st = (*pipeline)->Save(model_path);
   if (!st.ok()) return Fail(st);
@@ -523,6 +538,103 @@ int CmdExport(const Flags& flags) {
   return 0;
 }
 
+// Long-lived online embedding/assignment service (docs/serving.md):
+//   e2dtc_cli serve --model model.e2dtc --serve-port 8080
+// Loads the newest readable model (--model may be a file or a directory of
+// *.e2dtc files), serves POST /v1/embed and /v1/assign plus the whole
+// introspection plane, and drains gracefully on SIGINT/SIGTERM: admission
+// stops, every accepted request is answered, then the process exits 0.
+int CmdServe(const Flags& flags) {
+  const std::string model_path = flags.Get("model", "model.e2dtc");
+  serve::ServeOptions serve_opts;
+  serve_opts.max_queue = flags.GetInt("max-queue", 256);
+  serve_opts.max_batch = flags.GetInt("max-batch", 64);
+  serve_opts.batch_window_us = flags.GetInt("batch-window-us", 2000);
+  serve_opts.default_deadline_ms = flags.GetInt("deadline-ms", 250);
+  serve_opts.retry_after_seconds = flags.GetInt("retry-after", 1);
+  serve_opts.count_prior = flags.GetDouble("count-prior", 32.0);
+  serve_opts.chaos_stall_us = flags.GetInt("chaos-stall-us", 0);
+  if (serve_opts.max_queue <= 0 || serve_opts.max_batch <= 0) {
+    std::fprintf(stderr, "--max-queue and --max-batch must be > 0\n");
+    return 1;
+  }
+
+  // Installed before the (potentially slow) model load so an early SIGTERM
+  // still drains instead of killing the process mid-startup.
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  obs::EnableMetrics(true);
+
+  auto context = serve::ServeContext::Open(model_path,
+                                           serve_opts.count_prior);
+  if (!context.ok()) return Fail(context.status());
+  std::printf("serving model %s (k=%d, hidden=%d",
+              (*context)->model_path().c_str(), (*context)->k(),
+              (*context)->hidden_size());
+  if ((*context)->skipped_unreadable() > 0) {
+    std::printf(", skipped %d unreadable", (*context)->skipped_unreadable());
+  }
+  std::printf(")\n");
+
+  serve::ServeService service(context->get(), serve_opts);
+
+  obs::HttpServer::Options http_opts;
+  http_opts.bind_address = flags.Get("serve-bind", "127.0.0.1");
+  http_opts.port = flags.GetInt("serve-port", 0);
+  // Handler threads block on the batcher's futures, so the pool bounds
+  // HTTP-level concurrency; the request queue behind it is the real
+  // admission bound.
+  http_opts.handler_threads = flags.GetInt("http-threads", 8);
+  http_opts.max_pending = serve_opts.max_queue;
+  http_opts.access_log = [](const obs::HttpRequest& request,
+                            const obs::HttpResponse& response,
+                            double millis) {
+    LogHttpAccess(request.method,
+                  request.query.empty()
+                      ? request.path
+                      : request.path + "?" + request.query,
+                  response.status, response.body.size(), millis);
+  };
+  obs::HttpServer server(std::move(http_opts));
+  core::RegisterIntrospectionEndpoints(&server);
+  serve::RegisterServeEndpoints(&server, &service);  // Overrides /readyz.
+  std::string http_error;
+  if (!server.Start(&http_error)) {
+    return Fail(Status::Internal("serve server: " + http_error));
+  }
+  std::printf("serve listening on http://%s:%d\n",
+              flags.Get("serve-bind", "127.0.0.1").c_str(), server.port());
+  std::fflush(stdout);
+
+  while (!service.ready()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::printf("serve ready (model warmed up)\n");
+  std::fflush(stdout);
+
+  while (!g_cancel.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Graceful drain: /readyz flips 503 immediately, new submissions get
+  // 503 + Retry-After, every already-accepted request is answered, then
+  // the listener goes away.
+  std::printf("drain: stopped admitting, finishing accepted requests\n");
+  std::fflush(stdout);
+  service.BeginDrain();
+  service.Drain();
+  server.Stop();
+  const serve::ServeStats stats = service.stats();
+  std::printf("drained: accepted=%llu served=%llu expired=%llu shed=%llu "
+              "dropped_in_flight=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.dropped_in_flight()));
+  return stats.dropped_in_flight() == 0 ? 0 : 1;
+}
+
 int CmdInfo(const Flags& flags) {
   const std::string model_path = flags.Get("model", "model.e2dtc");
   auto pipeline = core::E2dtcPipeline::Load(model_path);
@@ -545,7 +657,8 @@ int CmdInfo(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: e2dtc_cli <generate|fit|assign|eval|export|info> "
+                 "usage: e2dtc_cli "
+                 "<generate|fit|assign|eval|export|info|serve> "
                  "[--flag value ...]\n"
                  "  common flags: --log-level {debug,info,warning,error}, "
                  "--kernel-threads N (0 = auto; results identical at any "
@@ -567,7 +680,17 @@ int main(int argc, char** argv) {
                  "  fit handles SIGINT/SIGTERM gracefully: it finishes the "
                  "current batch,\n"
                  "  writes a final checkpoint, flushes the observability "
-                 "sinks, and exits 130\n");
+                 "sinks, and exits 130\n"
+                 "  serve flags: --model FILE-or-DIR (newest readable "
+                 "*.e2dtc wins), --serve-port N (0 = ephemeral),\n"
+                 "    --serve-bind ADDR, --max-queue N, --max-batch N, "
+                 "--batch-window-us N, --deadline-ms N,\n"
+                 "    --retry-after SECS, --http-threads N, "
+                 "--chaos-stall-us N (inject per-batch stall)\n"
+                 "  serve endpoints: POST /v1/embed, POST /v1/assign, GET "
+                 "/v1/stats + the introspection plane;\n"
+                 "  SIGINT/SIGTERM drains: stop admitting (503 + "
+                 "Retry-After), answer every accepted request, exit 0\n");
     return 1;
   }
   // Anchor the process-monotonic clock now so uptime (build_info gauge,
@@ -584,6 +707,7 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return CmdEval(flags);
   if (cmd == "export") return CmdExport(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "serve") return CmdServe(flags);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 1;
 }
