@@ -1,0 +1,95 @@
+#include "ann/soft_assign.h"
+
+#include <numeric>
+#include <utility>
+
+#include "nn/kernels.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace e2dtc::ann {
+
+Result<std::unique_ptr<ApproxAssigner>> ApproxAssigner::Build(
+    const nn::Tensor& centroids, const SoftAssignOptions& options) {
+  if (centroids.empty()) {
+    return Status::InvalidArgument("ApproxAssigner: empty centroid matrix");
+  }
+  if (options.probes <= 0) {
+    return Status::InvalidArgument("ApproxAssigner: probes must be positive");
+  }
+
+  // Centroid "ids" are the cluster indices themselves, so the tree's
+  // ascending-id tie rule coincides with HardAssignments' lowest-index rule.
+  std::vector<int64_t> ids(static_cast<size_t>(centroids.rows()));
+  std::iota(ids.begin(), ids.end(), int64_t{0});
+
+  auto assigner = std::unique_ptr<ApproxAssigner>(new ApproxAssigner());
+  assigner->options_ = options;
+  assigner->centroids_ = centroids;
+  E2DTC_ASSIGN_OR_RETURN(assigner->tree_,
+                         VocabTree::Build(centroids, ids, options.tree));
+  return assigner;
+}
+
+int ApproxAssigner::ExactAssign(const float* embedding) const {
+  const int num_clusters = centroids_.rows();
+  const int64_t h = centroids_.cols();
+  int best = 0;
+  double best_d2 = nn::kernels::SquaredDistance(embedding, centroids_.row(0), h);
+  for (int j = 1; j < num_clusters; ++j) {
+    const double d2 =
+        nn::kernels::SquaredDistance(embedding, centroids_.row(j), h);
+    if (d2 < best_d2) {  // strict: ties keep the lowest cluster index
+      best_d2 = d2;
+      best = j;
+    }
+  }
+  return best;
+}
+
+AssignOutcome ApproxAssigner::AssignOne(const float* embedding) const {
+  AssignOutcome out;
+  const VocabTree::Probe probe =
+      tree_->ProbeLeaves(embedding, options_.probes);
+
+  // Probed Student-t kernel mass is exact; everything unprobed is bounded
+  // above via frontier lower bounds, so `confidence` is a true lower bound
+  // on the probed mass fraction.
+  double probed_mass = 0.0;
+  int best_slot = -1;
+  double best_d2 = 0.0;
+  for (size_t i = 0; i < probe.slots.size(); ++i) {
+    const double d2 = probe.d2[i];
+    probed_mass += 1.0 / (1.0 + d2);
+    const int slot = probe.slots[i];
+    if (best_slot < 0 || d2 < best_d2 ||
+        (d2 == best_d2 && tree_->slot_id(slot) < tree_->slot_id(best_slot))) {
+      best_slot = slot;
+      best_d2 = d2;
+    }
+  }
+
+  const double total_bound = probed_mass + probe.unprobed_kernel_bound;
+  out.confidence = total_bound > 0.0 ? probed_mass / total_bound : 0.0;
+  if (best_slot < 0 || out.confidence < options_.min_confidence) {
+    out.exact_fallback = true;
+    out.cluster = ExactAssign(embedding);
+    return out;
+  }
+  out.cluster = static_cast<int>(tree_->slot_id(best_slot));
+  return out;
+}
+
+std::vector<int> ApproxAssigner::AssignEmbedded(const nn::Tensor& embeddings,
+                                                int64_t* fallbacks) const {
+  E2DTC_CHECK_EQ(embeddings.cols(), dim());
+  std::vector<int> assignments(static_cast<size_t>(embeddings.rows()));
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    const AssignOutcome outcome = AssignOne(embeddings.row(i));
+    assignments[static_cast<size_t>(i)] = outcome.cluster;
+    if (outcome.exact_fallback && fallbacks != nullptr) ++*fallbacks;
+  }
+  return assignments;
+}
+
+}  // namespace e2dtc::ann

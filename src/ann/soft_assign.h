@@ -1,0 +1,83 @@
+#ifndef E2DTC_ANN_SOFT_ASSIGN_H_
+#define E2DTC_ANN_SOFT_ASSIGN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ann/vocab_tree.h"
+#include "nn/tensor.h"
+#include "util/result.h"
+
+namespace e2dtc::ann {
+
+/// Configuration for the approximate Student-t assignment path.
+struct SoftAssignOptions {
+  /// Leaves of the centroid tree probed per query.
+  int probes = 4;
+  /// Minimum lower bound on the probed kernel-mass fraction required to
+  /// trust the approximation; below it the query falls back to the exact
+  /// O(k) Student-t scan. 1.0 (or above) forces the exact path always.
+  double min_confidence = 0.98;
+  /// Tree-build parameters for the index over the centroids.
+  VocabTreeOptions tree;
+};
+
+/// One assignment decision with its evidence.
+struct AssignOutcome {
+  int cluster = -1;
+  /// Lower bound on the fraction of total Student-t kernel mass that was
+  /// probed: W / (W + U) where W is the exact probed mass and U the
+  /// frontier bound on everything unprobed. 1.0 for the exact path.
+  double confidence = 1.0;
+  bool exact_fallback = false;
+};
+
+/// Approximate cluster assignment over a frozen centroid set: a VocabTree
+/// over the [k, H] centroids turns the exact O(k) Student-t soft-assignment
+/// scan into a multi-probe leaf search over O(probed) centroids. The
+/// decision is gated on measurement, not assumption — each query computes a
+/// lower bound on the probed kernel-mass fraction (the unprobed remainder
+/// is bounded via subtree radii), and any query whose bound falls below
+/// `min_confidence` is answered by the exact Student-t path instead. With
+/// small k the tree is a single leaf and every query degenerates to the
+/// exact scan with confidence 1.
+///
+/// Immutable after Build; concurrent AssignOne/AssignEmbedded are safe.
+class ApproxAssigner {
+ public:
+  /// Builds the centroid index. Errors on empty centroids or bad options.
+  static Result<std::unique_ptr<ApproxAssigner>> Build(
+      const nn::Tensor& centroids, const SoftAssignOptions& options);
+
+  /// Assigns one embedding (length dim()).
+  AssignOutcome AssignOne(const float* embedding) const;
+
+  /// Assigns a [B, H] batch; matches core::HardAssignments over the exact
+  /// Student-t Q on every row whose confidence clears the threshold (and
+  /// exactly on fallback rows). `fallbacks` (optional) is incremented per
+  /// row that took the exact path.
+  std::vector<int> AssignEmbedded(const nn::Tensor& embeddings,
+                                  int64_t* fallbacks = nullptr) const;
+
+  int k() const { return centroids_.rows(); }
+  int dim() const { return centroids_.cols(); }
+  const VocabTree& tree() const { return *tree_; }
+  const SoftAssignOptions& options() const { return options_; }
+
+ private:
+  ApproxAssigner() = default;
+
+  /// Exact argmin-d2 scan (== argmax Student-t kernel, ties to the lowest
+  /// centroid index — the same tie rule as core::HardAssignments).
+  int ExactAssign(const float* embedding) const;
+
+  SoftAssignOptions options_;
+  nn::Tensor centroids_;  ///< Frozen [k, H] snapshot.
+  std::unique_ptr<VocabTree> tree_;
+};
+
+}  // namespace e2dtc::ann
+
+#endif  // E2DTC_ANN_SOFT_ASSIGN_H_

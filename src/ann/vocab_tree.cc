@@ -1,0 +1,501 @@
+#include "ann/vocab_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "cluster/kmeans.h"
+#include "nn/kernels.h"
+#include "util/binary_io.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace e2dtc::ann {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x414E4E31;  // "ANN1"
+constexpr uint32_t kVersion = 1;
+
+/// splitmix64 finalizer: decorrelates the per-node k-means seeds derived
+/// from (options.seed, node id) so sibling splits never share a stream.
+uint64_t MixSeed(uint64_t seed, uint64_t node_id) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (node_id + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+/// Build-time scratch: owns the evolving slot permutation and appends nodes
+/// pre-order (a node's record exists before its subtree is built, and
+/// sibling records are created back-to-back so children stay contiguous).
+class VocabTree::Builder {
+ public:
+  Builder(const nn::Tensor& vectors, const std::vector<int64_t>& ids,
+          const VocabTreeOptions& options, VocabTree* tree)
+      : vectors_(vectors), ids_(ids), options_(options), tree_(tree) {
+    slots_.resize(static_cast<size_t>(vectors.rows()));
+    for (size_t i = 0; i < slots_.size(); ++i) slots_[i] = static_cast<int>(i);
+    centers_.reserve(64);
+  }
+
+  void Run() {
+    const int root = CreateNode(0, static_cast<int>(slots_.size()),
+                                MeanOf(0, static_cast<int>(slots_.size())));
+    Split(root, /*depth=*/1);
+
+    // Materialize the leaf-contiguous storage order.
+    const int n = vectors_.rows();
+    const int dim = vectors_.cols();
+    tree_->vectors_ = nn::Tensor(n, dim);
+    tree_->ids_.resize(static_cast<size_t>(n));
+    for (int slot = 0; slot < n; ++slot) {
+      const int src = slots_[static_cast<size_t>(slot)];
+      std::copy(vectors_.row(src), vectors_.row(src) + dim,
+                tree_->vectors_.row(slot));
+      tree_->ids_[static_cast<size_t>(slot)] = ids_[static_cast<size_t>(src)];
+    }
+    tree_->centers_ =
+        nn::Tensor(static_cast<int>(tree_->nodes_.size()), dim,
+                   std::move(centers_));
+    // Residual norms against the owning leaf's center, for query-time
+    // triangle-inequality pruning.
+    tree_->residuals_.resize(static_cast<size_t>(n));
+    for (size_t node = 0; node < tree_->nodes_.size(); ++node) {
+      const Node& nd = tree_->nodes_[node];
+      if (nd.num_children != 0) continue;
+      const float* center = tree_->centers_.row(static_cast<int>(node));
+      for (int slot = nd.begin; slot < nd.end; ++slot) {
+        tree_->residuals_[static_cast<size_t>(slot)] = static_cast<float>(
+            std::sqrt(nn::kernels::SquaredDistance(
+                tree_->vectors_.row(slot), center, dim)));
+      }
+    }
+    tree_->options_ = options_;
+  }
+
+ private:
+  std::vector<float> MeanOf(int begin, int end) const {
+    const int dim = vectors_.cols();
+    std::vector<double> acc(static_cast<size_t>(dim), 0.0);
+    for (int s = begin; s < end; ++s) {
+      const float* row = vectors_.row(slots_[static_cast<size_t>(s)]);
+      for (int d = 0; d < dim; ++d) acc[static_cast<size_t>(d)] += row[d];
+    }
+    std::vector<float> mean(static_cast<size_t>(dim));
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    for (int d = 0; d < dim; ++d) {
+      mean[static_cast<size_t>(d)] =
+          static_cast<float>(acc[static_cast<size_t>(d)] * inv);
+    }
+    return mean;
+  }
+
+  int CreateNode(int begin, int end, std::vector<float> center) {
+    const int id = static_cast<int>(tree_->nodes_.size());
+    Node node;
+    node.begin = begin;
+    node.end = end;
+    double max_d2 = 0.0;
+    for (int s = begin; s < end; ++s) {
+      max_d2 = std::max(
+          max_d2, nn::kernels::SquaredDistance(
+                      vectors_.row(slots_[static_cast<size_t>(s)]),
+                      center.data(), vectors_.cols()));
+    }
+    node.radius = static_cast<float>(std::sqrt(max_d2));
+    tree_->nodes_.push_back(node);
+    centers_.insert(centers_.end(), center.begin(), center.end());
+    return id;
+  }
+
+  void Split(int node_id, int depth) {
+    const int begin = tree_->nodes_[static_cast<size_t>(node_id)].begin;
+    const int end = tree_->nodes_[static_cast<size_t>(node_id)].end;
+    const int count = end - begin;
+    tree_->depth_ = std::max(tree_->depth_, depth);
+    if (count <= options_.max_leaf_size || depth >= options_.max_depth ||
+        count < 2) {
+      ++tree_->num_leaves_;
+      return;
+    }
+
+    const int k = std::min(options_.branching, count);
+    cluster::FeatureMatrix subset;
+    subset.reserve(static_cast<size_t>(count));
+    for (int s = begin; s < end; ++s) {
+      const float* row = vectors_.row(slots_[static_cast<size_t>(s)]);
+      subset.emplace_back(row, row + vectors_.cols());
+    }
+    cluster::KMeansOptions kopts;
+    kopts.k = k;
+    kopts.max_iters = options_.kmeans_max_iters;
+    kopts.num_init = 1;
+    kopts.seed = MixSeed(options_.seed, static_cast<uint64_t>(node_id));
+    Result<cluster::KMeansResult> split = cluster::KMeans(subset, kopts);
+    if (!split.ok()) {  // Degenerate subset: keep it as a leaf.
+      ++tree_->num_leaves_;
+      return;
+    }
+
+    // Stable partition of this node's slot range by cluster, preserving
+    // within-cluster order (deterministic regardless of k-means internals).
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int c : split->assignments) ++counts[static_cast<size_t>(c)];
+    std::vector<int> offsets(static_cast<size_t>(k), 0);
+    int nonempty = 0, largest = 0;
+    for (int c = 0, at = 0; c < k; ++c) {
+      offsets[static_cast<size_t>(c)] = at;
+      at += counts[static_cast<size_t>(c)];
+      if (counts[static_cast<size_t>(c)] > 0) ++nonempty;
+      largest = std::max(largest, counts[static_cast<size_t>(c)]);
+    }
+    if (nonempty < 2 || largest == count) {
+      // No progress (all duplicates collapse into one cluster): a further
+      // split would recurse on the identical range forever.
+      ++tree_->num_leaves_;
+      return;
+    }
+    std::vector<int> reordered(static_cast<size_t>(count));
+    {
+      std::vector<int> cursor = offsets;
+      for (int i = 0; i < count; ++i) {
+        const int c = split->assignments[static_cast<size_t>(i)];
+        reordered[static_cast<size_t>(cursor[static_cast<size_t>(c)]++)] =
+            slots_[static_cast<size_t>(begin + i)];
+      }
+    }
+    std::copy(reordered.begin(), reordered.end(),
+              slots_.begin() + begin);
+
+    // Create all sibling records first (contiguity), then recurse.
+    std::vector<int> children;
+    children.reserve(static_cast<size_t>(nonempty));
+    tree_->nodes_[static_cast<size_t>(node_id)].first_child =
+        static_cast<int>(tree_->nodes_.size());
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      const int child_begin = begin + offsets[static_cast<size_t>(c)];
+      const int child_end = child_begin + counts[static_cast<size_t>(c)];
+      children.push_back(CreateNode(
+          child_begin, child_end, split->centroids[static_cast<size_t>(c)]));
+    }
+    tree_->nodes_[static_cast<size_t>(node_id)].num_children =
+        static_cast<int>(children.size());
+    for (int child : children) Split(child, depth + 1);
+  }
+
+  const nn::Tensor& vectors_;
+  const std::vector<int64_t>& ids_;
+  const VocabTreeOptions options_;
+  VocabTree* tree_;
+  std::vector<int> slots_;      ///< slot -> original row.
+  std::vector<float> centers_;  ///< Flat [num_nodes * dim], append-only.
+};
+
+Result<std::unique_ptr<VocabTree>> VocabTree::Build(
+    const nn::Tensor& vectors, const std::vector<int64_t>& ids,
+    const VocabTreeOptions& options) {
+  if (vectors.rows() == 0 || vectors.cols() == 0) {
+    return Status::InvalidArgument("ann: cannot index an empty corpus");
+  }
+  if (static_cast<size_t>(vectors.rows()) != ids.size()) {
+    return Status::InvalidArgument(
+        StrFormat("ann: %d vectors but %zu ids", vectors.rows(), ids.size()));
+  }
+  if (options.branching < 2 || options.max_leaf_size < 1 ||
+      options.max_depth < 1 || options.kmeans_max_iters < 1) {
+    return Status::InvalidArgument(
+        "ann: branching >= 2, max_leaf_size >= 1, max_depth >= 1 and "
+        "kmeans_max_iters >= 1 required");
+  }
+  auto tree = std::unique_ptr<VocabTree>(new VocabTree());
+  Builder(vectors, ids, options, tree.get()).Run();
+  return tree;
+}
+
+namespace {
+
+/// Best-first frontier entry: lower bound on the distance from the query to
+/// anything under `node`. Ordered ascending with node id as the tiebreak so
+/// traversal order (and thus multi-probe results) is deterministic.
+struct FrontierEntry {
+  double lower_bound;
+  double center_dist;
+  int node;
+};
+struct FrontierGreater {
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.lower_bound != b.lower_bound) return a.lower_bound > b.lower_bound;
+    return a.node > b.node;
+  }
+};
+using Frontier = std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                                     FrontierGreater>;
+
+/// (distance, id) with lexicographic order: the result heap keeps the k
+/// smallest pairs, so equal distances resolve by ascending id.
+struct Hit {
+  double distance;
+  int64_t id;
+  bool operator<(const Hit& o) const {
+    if (distance != o.distance) return distance < o.distance;
+    return id < o.id;
+  }
+};
+
+}  // namespace
+
+std::vector<Neighbor> VocabTree::TopK(const float* query, int k,
+                                      int max_probes,
+                                      SearchStats* stats) const {
+  E2DTC_CHECK_GT(k, 0);
+  E2DTC_CHECK_GT(max_probes, 0);
+  const int dim = vectors_.cols();
+  const size_t want = static_cast<size_t>(
+      std::min<int64_t>(k, vectors_.rows()));
+
+  Frontier frontier;
+  {
+    const double d = std::sqrt(
+        nn::kernels::SquaredDistance(query, centers_.row(0), dim));
+    frontier.push({std::max(0.0, d - nodes_[0].radius), d, 0});
+  }
+
+  std::priority_queue<Hit> best;  // max-heap: worst kept hit on top.
+  SearchStats local;
+  bool exhausted = false;
+  while (!frontier.empty()) {
+    const FrontierEntry entry = frontier.top();
+    if (best.size() == want && entry.lower_bound >= best.top().distance) {
+      exhausted = true;  // Nothing left can improve the result: exact.
+      break;
+    }
+    frontier.pop();
+    const Node& node = nodes_[static_cast<size_t>(entry.node)];
+    if (node.num_children > 0) {
+      for (int c = 0; c < node.num_children; ++c) {
+        const int child = node.first_child + c;
+        const double d = std::sqrt(nn::kernels::SquaredDistance(
+            query, centers_.row(child), dim));
+        frontier.push(
+            {std::max(0.0, d - nodes_[static_cast<size_t>(child)].radius), d,
+             child});
+      }
+      continue;
+    }
+    // Leaf: exact scan with residual-norm pruning — by the triangle
+    // inequality |d(q, center) - ||x - center||| <= d(q, x), so a candidate
+    // whose bound cannot beat the current k-th best never touches memory.
+    ++local.leaves_probed;
+    for (int slot = node.begin; slot < node.end; ++slot) {
+      const double bound = std::abs(
+          entry.center_dist -
+          static_cast<double>(residuals_[static_cast<size_t>(slot)]));
+      if (best.size() == want && bound >= best.top().distance) {
+        ++local.candidates_pruned;
+        continue;
+      }
+      ++local.candidates_scanned;
+      const double d = std::sqrt(
+          nn::kernels::SquaredDistance(query, vectors_.row(slot), dim));
+      const Hit hit{d, ids_[static_cast<size_t>(slot)]};
+      if (best.size() < want) {
+        best.push(hit);
+      } else if (hit < best.top()) {
+        best.pop();
+        best.push(hit);
+      }
+    }
+    if (local.leaves_probed >= max_probes) break;
+  }
+  if (frontier.empty()) exhausted = true;
+
+  std::vector<Neighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = Neighbor{best.top().id, best.top().distance};
+    best.pop();
+  }
+  if (stats != nullptr) {
+    local.exact = exhausted;
+    *stats = local;
+  }
+  return out;
+}
+
+VocabTree::Probe VocabTree::ProbeLeaves(const float* query,
+                                        int max_probes) const {
+  E2DTC_CHECK_GT(max_probes, 0);
+  const int dim = vectors_.cols();
+  Probe probe;
+  Frontier frontier;
+  {
+    const double d = std::sqrt(
+        nn::kernels::SquaredDistance(query, centers_.row(0), dim));
+    frontier.push({std::max(0.0, d - nodes_[0].radius), d, 0});
+  }
+  while (!frontier.empty() && probe.leaves_probed < max_probes) {
+    const FrontierEntry entry = frontier.top();
+    frontier.pop();
+    const Node& node = nodes_[static_cast<size_t>(entry.node)];
+    if (node.num_children > 0) {
+      for (int c = 0; c < node.num_children; ++c) {
+        const int child = node.first_child + c;
+        const double d = std::sqrt(nn::kernels::SquaredDistance(
+            query, centers_.row(child), dim));
+        frontier.push(
+            {std::max(0.0, d - nodes_[static_cast<size_t>(child)].radius), d,
+             child});
+      }
+      continue;
+    }
+    ++probe.leaves_probed;
+    for (int slot = node.begin; slot < node.end; ++slot) {
+      probe.slots.push_back(slot);
+      probe.d2.push_back(
+          nn::kernels::SquaredDistance(query, vectors_.row(slot), dim));
+    }
+  }
+  // Everything still on the frontier was not probed; bound its Student-t
+  // kernel mass from each subtree's distance lower bound: every vector x
+  // under `node` has d2(q, x) >= lb^2, so 1/(1+d2) <= 1/(1+lb^2).
+  while (!frontier.empty()) {
+    const FrontierEntry entry = frontier.top();
+    frontier.pop();
+    const Node& node = nodes_[static_cast<size_t>(entry.node)];
+    const double lb2 = entry.lower_bound * entry.lower_bound;
+    probe.unprobed_kernel_bound +=
+        static_cast<double>(node.end - node.begin) / (1.0 + lb2);
+  }
+  return probe;
+}
+
+Status VocabTree::Save(const std::string& path) const {
+  return AtomicWrite(path, [this](BinaryWriter* w) -> Status {
+    Status s;
+    if (!(s = w->WriteU32(kMagic)).ok()) return s;
+    if (!(s = w->WriteU32(kVersion)).ok()) return s;
+    if (!(s = w->WriteI32(vectors_.cols())).ok()) return s;
+    if (!(s = w->WriteU64(static_cast<uint64_t>(vectors_.rows()))).ok())
+      return s;
+    if (!(s = w->WriteI32(options_.branching)).ok()) return s;
+    if (!(s = w->WriteI32(options_.max_leaf_size)).ok()) return s;
+    if (!(s = w->WriteI32(options_.max_depth)).ok()) return s;
+    if (!(s = w->WriteU64(options_.seed)).ok()) return s;
+    if (!(s = w->WriteI32(options_.kmeans_max_iters)).ok()) return s;
+    if (!(s = w->WriteI32(num_leaves_)).ok()) return s;
+    if (!(s = w->WriteI32(depth_)).ok()) return s;
+    if (!(s = w->WriteU32(static_cast<uint32_t>(nodes_.size()))).ok())
+      return s;
+    for (const Node& node : nodes_) {
+      if (!(s = w->WriteI32(node.first_child)).ok()) return s;
+      if (!(s = w->WriteI32(node.num_children)).ok()) return s;
+      if (!(s = w->WriteI32(node.begin)).ok()) return s;
+      if (!(s = w->WriteI32(node.end)).ok()) return s;
+      if (!(s = w->WriteF32(node.radius)).ok()) return s;
+    }
+    for (int64_t id : ids_) {
+      if (!(s = w->WriteU64(static_cast<uint64_t>(id))).ok()) return s;
+    }
+    auto write_tensor = [&](const nn::Tensor& t) -> Status {
+      return w->WriteFloats(std::vector<float>(
+          t.data(), t.data() + static_cast<size_t>(t.size())));
+    };
+    if (!(s = write_tensor(centers_)).ok()) return s;
+    if (!(s = write_tensor(vectors_)).ok()) return s;
+    if (!(s = w->WriteFloats(residuals_)).ok()) return s;
+    return w->WriteCrcFooter();
+  });
+}
+
+Result<std::unique_ptr<VocabTree>> VocabTree::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.Ok()) {
+    return Status::IOError("ann: cannot open index file: " + path);
+  }
+  auto magic = reader.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status::InvalidArgument("ann: not an index file: " + path);
+  }
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("ann: unsupported index version %u", version.value()));
+  }
+  auto tree = std::unique_ptr<VocabTree>(new VocabTree());
+#define E2DTC_ANN_READ(expr, out)          \
+  do {                                     \
+    auto r_ = (expr);                      \
+    if (!r_.ok()) return r_.status();      \
+    out = r_.value();                      \
+  } while (false)
+  int32_t dim = 0;
+  uint64_t n = 0;
+  E2DTC_ANN_READ(reader.ReadI32(), dim);
+  E2DTC_ANN_READ(reader.ReadU64(), n);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->options_.branching);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->options_.max_leaf_size);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->options_.max_depth);
+  E2DTC_ANN_READ(reader.ReadU64(), tree->options_.seed);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->options_.kmeans_max_iters);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->num_leaves_);
+  E2DTC_ANN_READ(reader.ReadI32(), tree->depth_);
+  uint32_t num_nodes = 0;
+  E2DTC_ANN_READ(reader.ReadU32(), num_nodes);
+  if (dim <= 0 || n == 0 || num_nodes == 0 ||
+      n > (uint64_t{1} << 40) / static_cast<uint64_t>(dim)) {
+    return Status::InvalidArgument("ann: corrupt index header: " + path);
+  }
+  tree->nodes_.resize(num_nodes);
+  for (Node& node : tree->nodes_) {
+    E2DTC_ANN_READ(reader.ReadI32(), node.first_child);
+    E2DTC_ANN_READ(reader.ReadI32(), node.num_children);
+    E2DTC_ANN_READ(reader.ReadI32(), node.begin);
+    E2DTC_ANN_READ(reader.ReadI32(), node.end);
+    E2DTC_ANN_READ(reader.ReadF32(), node.radius);
+  }
+  tree->ids_.resize(static_cast<size_t>(n));
+  for (int64_t& id : tree->ids_) {
+    uint64_t raw = 0;
+    E2DTC_ANN_READ(reader.ReadU64(), raw);
+    id = static_cast<int64_t>(raw);
+  }
+  std::vector<float> centers, vectors;
+  E2DTC_ANN_READ(reader.ReadFloats(), centers);
+  E2DTC_ANN_READ(reader.ReadFloats(), vectors);
+  E2DTC_ANN_READ(reader.ReadFloats(), tree->residuals_);
+#undef E2DTC_ANN_READ
+  if (centers.size() != static_cast<size_t>(num_nodes) * dim ||
+      vectors.size() != static_cast<size_t>(n) * dim ||
+      tree->residuals_.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("ann: corrupt index payload: " + path);
+  }
+  Status crc = reader.VerifyCrcFooter();
+  if (!crc.ok()) return crc;
+  tree->centers_ = nn::Tensor(static_cast<int>(num_nodes), dim,
+                              std::move(centers));
+  tree->vectors_ =
+      nn::Tensor(static_cast<int>(n), dim, std::move(vectors));
+  // Structural sanity so a crafted file cannot index out of bounds.
+  for (const Node& node : tree->nodes_) {
+    const bool range_ok = node.begin >= 0 && node.begin <= node.end &&
+                          node.end <= static_cast<int>(n);
+    const bool children_ok =
+        node.num_children >= 0 && node.first_child >= 0 &&
+        static_cast<uint64_t>(node.first_child) +
+                static_cast<uint64_t>(node.num_children) <=
+            num_nodes;
+    if (!range_ok || !children_ok) {
+      return Status::InvalidArgument("ann: corrupt index structure: " + path);
+    }
+  }
+  return tree;
+}
+
+}  // namespace e2dtc::ann

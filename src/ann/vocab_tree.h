@@ -1,0 +1,141 @@
+#ifndef E2DTC_ANN_VOCAB_TREE_H_
+#define E2DTC_ANN_VOCAB_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/result.h"
+
+namespace e2dtc::ann {
+
+/// Build configuration for the hierarchical-k-means index.
+struct VocabTreeOptions {
+  /// Children per internal node (the k of each recursive k-means split).
+  int branching = 8;
+  /// Nodes at or below this population become leaves.
+  int max_leaf_size = 64;
+  /// Hard recursion bound; degenerate data (many duplicates) bottoms out
+  /// here instead of splitting forever.
+  int max_depth = 12;
+  /// Seeds every per-node k-means; identical seeds build identical trees.
+  uint64_t seed = 42;
+  /// Lloyd iterations per split. Splits only shape the search tree, so a
+  /// few iterations suffice; retrieval stays exact per probed vector.
+  int kmeans_max_iters = 12;
+};
+
+/// One retrieval hit: the stored id and its exact Euclidean distance.
+struct Neighbor {
+  int64_t id = -1;
+  double distance = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// Per-query search accounting (optional; fill via TopK's out-param).
+struct SearchStats {
+  int leaves_probed = 0;
+  int64_t candidates_scanned = 0;  ///< Exact distance evaluations paid.
+  int64_t candidates_pruned = 0;   ///< Skipped via the residual-norm bound.
+  /// True when the traversal proved no unvisited vector can beat the
+  /// returned top-k (the result is exact, not approximate).
+  bool exact = false;
+};
+
+/// A vocab-tree (hierarchical k-means) index over embedding vectors:
+/// internal nodes are k-means centers trained with cluster::KMeans, leaves
+/// hold an inverted list of the vectors that fell there — stored
+/// contiguously, each slot carrying the trajectory id and the residual norm
+/// ||x - leaf_center|| used for triangle-inequality pruning at query time.
+///
+/// TopK is best-first multi-probe: descend toward the query, probe up to
+/// `max_probes` leaves in increasing lower-bound order, and scan probed
+/// leaves exactly (candidates whose residual bound cannot beat the current
+/// k-th best are skipped without touching the vector). Probing every leaf
+/// reproduces the exact scan; small probe counts trade recall for a
+/// ~two-orders-of-magnitude smaller candidate set. The recall-vs-probes
+/// trade is measured, not assumed: see `bench_micro --ann_json` and
+/// bench_results/BENCH_ann.json.
+///
+/// Determinism: Build is single-threaded per node and every per-node
+/// k-means derives its seed from (options.seed, node id), so the same
+/// vectors + options produce a bitwise-identical tree (asserted by
+/// AnnTreeTest.SameSeedBuildsBitwiseIdenticalTree). Queries break all ties
+/// by ascending id.
+///
+/// Thread safety: immutable after Build/Load; concurrent queries are safe.
+class VocabTree {
+ public:
+  /// Builds an index over `vectors` (row i carries ids[i]). Errors on an
+  /// empty corpus, ragged ids, or non-positive options.
+  static Result<std::unique_ptr<VocabTree>> Build(
+      const nn::Tensor& vectors, const std::vector<int64_t>& ids,
+      const VocabTreeOptions& options);
+
+  /// Top-`k` nearest neighbors of `query` (length dim()) probing at most
+  /// `max_probes` leaves. Returns min(k, size()) hits sorted by ascending
+  /// (distance, id). `stats` may be null.
+  std::vector<Neighbor> TopK(const float* query, int k, int max_probes,
+                             SearchStats* stats = nullptr) const;
+
+  /// Raw multi-probe leaf scan for the approximate-soft-assignment path:
+  /// exact squared distances for every vector in the probed leaves plus an
+  /// upper bound on the total Student-t kernel mass 1/(1+d2) of everything
+  /// not probed (from frontier-node center distances and radii).
+  struct Probe {
+    std::vector<int> slots;    ///< Probed storage slots (see slot_id()).
+    std::vector<double> d2;    ///< Exact squared distance per probed slot.
+    double unprobed_kernel_bound = 0.0;
+    int leaves_probed = 0;
+  };
+  Probe ProbeLeaves(const float* query, int max_probes) const;
+
+  int dim() const { return vectors_.cols(); }
+  int64_t size() const { return vectors_.rows(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const { return num_leaves_; }
+  int depth() const { return depth_; }
+  const VocabTreeOptions& options() const { return options_; }
+
+  /// The id stored at slot `slot` (slots are the indices in Probe::slots).
+  int64_t slot_id(int slot) const { return ids_[static_cast<size_t>(slot)]; }
+  /// The stored vector at `slot` (length dim()).
+  const float* slot_vector(int slot) const { return vectors_.row(slot); }
+
+  /// Serialization: little-endian binary with a CRC-32 footer (the same
+  /// AtomicWrite/VerifyCrcFooter contract as model files, so a torn index
+  /// is rejected on load, never half-used).
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<VocabTree>> Load(const std::string& path);
+
+ private:
+  /// One tree node. Children are contiguous in nodes_; leaves have
+  /// num_children == 0 and own the slot range [begin, end).
+  struct Node {
+    int first_child = 0;
+    int num_children = 0;
+    int begin = 0;
+    int end = 0;
+    float radius = 0.0f;  ///< max ||x - center|| over the covered slots.
+  };
+
+  VocabTree() = default;
+
+  class Builder;
+
+  VocabTreeOptions options_;
+  std::vector<Node> nodes_;     ///< Pre-order; node 0 is the root.
+  nn::Tensor centers_;          ///< [num_nodes, dim] node centers.
+  nn::Tensor vectors_;          ///< [n, dim], reordered so leaves are contiguous.
+  std::vector<int64_t> ids_;    ///< Per slot.
+  std::vector<float> residuals_;  ///< Per slot: ||x - leaf_center||.
+  int num_leaves_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace e2dtc::ann
+
+#endif  // E2DTC_ANN_VOCAB_TREE_H_

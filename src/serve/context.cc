@@ -92,4 +92,70 @@ Result<std::unique_ptr<ServeContext>> ServeContext::Open(
                 last_error.ToString().c_str()));
 }
 
+Status ServeContext::EnableApproxAssign(const ann::SoftAssignOptions& options) {
+  const nn::Tensor& centroids = pipeline_->fit_result().centroids;
+  if (centroids.empty()) {
+    return Status::FailedPrecondition(
+        "model carries no trained centroids; cannot build approximate "
+        "assigner");
+  }
+  Result<std::unique_ptr<ann::ApproxAssigner>> built =
+      ann::ApproxAssigner::Build(centroids, options);
+  if (!built.ok()) return built.status();
+  assigner_ = std::move(built).value();
+  return Status::OK();
+}
+
+Status ServeContext::BuildNeighborIndex(
+    const std::vector<geo::Trajectory>& corpus,
+    const ann::VocabTreeOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("neighbor index corpus is empty");
+  }
+  const int hidden = hidden_size();
+  // Embed in bounded chunks: the corpus can be large and the encoder's
+  // intermediate activations scale with batch size, so one giant Embed
+  // would spike startup memory.
+  constexpr size_t kChunk = 256;
+  nn::Tensor embeddings(static_cast<int>(corpus.size()), hidden);
+  std::vector<int64_t> ids;
+  ids.reserve(corpus.size());
+  for (size_t begin = 0; begin < corpus.size(); begin += kChunk) {
+    const size_t end = std::min(begin + kChunk, corpus.size());
+    const std::vector<geo::Trajectory> chunk(corpus.begin() + begin,
+                                             corpus.begin() + end);
+    const nn::Tensor rows = pipeline_->Embed(chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const float* src = rows.row(static_cast<int>(i - begin));
+      std::copy(src, src + hidden, embeddings.row(static_cast<int>(i)));
+    }
+  }
+  for (const auto& trajectory : corpus) ids.push_back(trajectory.id);
+  Result<std::unique_ptr<ann::VocabTree>> built =
+      ann::VocabTree::Build(embeddings, ids, options);
+  if (!built.ok()) return built.status();
+  neighbor_index_ = std::move(built).value();
+  return Status::OK();
+}
+
+Status ServeContext::LoadNeighborIndex(const std::string& path) {
+  Result<std::unique_ptr<ann::VocabTree>> loaded = ann::VocabTree::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded.value()->dim() != hidden_size()) {
+    return Status::FailedPrecondition(
+        StrFormat("neighbor index dimension %d does not match model "
+                  "embedding size %d",
+                  loaded.value()->dim(), hidden_size()));
+  }
+  neighbor_index_ = std::move(loaded).value();
+  return Status::OK();
+}
+
+Status ServeContext::SaveNeighborIndex(const std::string& path) const {
+  if (neighbor_index_ == nullptr) {
+    return Status::FailedPrecondition("no neighbor index to save");
+  }
+  return neighbor_index_->Save(path);
+}
+
 }  // namespace e2dtc::serve

@@ -3,9 +3,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "ann/soft_assign.h"
+#include "ann/vocab_tree.h"
 #include "core/e2dtc.h"
 #include "core/online.h"
+#include "geo/trajectory.h"
 #include "util/result.h"
 
 namespace e2dtc::serve {
@@ -30,6 +34,29 @@ class ServeContext {
   core::OnlineClusterer& clusterer() { return *clusterer_; }
   const core::OnlineClusterer& clusterer() const { return *clusterer_; }
 
+  /// Builds the confidence-gated approximate assigner over the trained
+  /// centroid snapshot (the approximation never tracks online adaptation;
+  /// adapt=true requests must use the exact path).
+  Status EnableApproxAssign(const ann::SoftAssignOptions& options);
+
+  /// Builds the /v1/neighbors index: embeds `corpus` through the frozen
+  /// encoder (in bounded chunks, so startup memory stays flat) and indexes
+  /// the embeddings under each trajectory's id.
+  Status BuildNeighborIndex(const std::vector<geo::Trajectory>& corpus,
+                            const ann::VocabTreeOptions& options);
+
+  /// Loads a prebuilt neighbor index; rejects one whose dimensionality
+  /// does not match this model's embedding size.
+  Status LoadNeighborIndex(const std::string& path);
+  /// Saves the current neighbor index (requires one to be present).
+  Status SaveNeighborIndex(const std::string& path) const;
+
+  /// Null until EnableApproxAssign / Build-or-LoadNeighborIndex succeed.
+  const ann::ApproxAssigner* assigner() const { return assigner_.get(); }
+  const ann::VocabTree* neighbor_index() const {
+    return neighbor_index_.get();
+  }
+
   /// The file the model was actually loaded from (after any directory scan).
   const std::string& model_path() const { return model_path_; }
   /// Files that failed their integrity check during the directory scan.
@@ -45,6 +72,8 @@ class ServeContext {
 
   std::unique_ptr<core::E2dtcPipeline> pipeline_;
   std::unique_ptr<core::OnlineClusterer> clusterer_;
+  std::unique_ptr<ann::ApproxAssigner> assigner_;
+  std::unique_ptr<ann::VocabTree> neighbor_index_;
   std::string model_path_;
   int skipped_unreadable_ = 0;
 };

@@ -36,9 +36,13 @@ obs::HttpResponse OverloadResponse(const ServeService& service,
   return response;
 }
 
-/// Parses the shared request body shape into `*out`. Returns an empty
-/// string on success, else the 400 message.
-std::string ParseBody(const std::string& text, ServeRequest* out) {
+/// Hard ceiling on client-supplied deadlines: one hour. Anything larger is
+/// indistinguishable from "never expire", which defeats queue hygiene.
+constexpr double kMaxDeadlineMs = 3600.0 * 1000.0;
+
+}  // namespace
+
+std::string ParseServeRequestBody(const std::string& text, ServeRequest* out) {
   obs::Json body;
   std::string error;
   if (!obs::Json::Parse(text, &body, &error)) {
@@ -80,27 +84,64 @@ std::string ParseBody(const std::string& text, ServeRequest* out) {
             "coordinate",
             i, p);
       }
-      trajectory.points.push_back(
-          {lon, lat, static_cast<double>(trajectory.points.size())});
+      // [lon, lat, t]: honor the client timestamp; [lon, lat]: fall back
+      // to the point index as a synthetic ordering.
+      double t = static_cast<double>(trajectory.points.size());
+      if (pt.size() >= 3) {
+        if (!pt.at(2).is_number()) {
+          return StrFormat(
+              "trajectories[%zu].points[%zu] third element (timestamp) "
+              "must be a number",
+              i, p);
+        }
+        t = pt.at(2).number();
+      }
+      trajectory.points.push_back({lon, lat, t});
     }
     out->trajectories.push_back(std::move(trajectory));
   }
   if (const obs::Json* deadline = body.Find("deadline_ms");
-      deadline != nullptr && deadline->is_number()) {
-    out->deadline_ms = static_cast<int>(deadline->number());
+      deadline != nullptr) {
+    // Range-check before the int cast: casting an out-of-int-range or NaN
+    // double is undefined behavior, and a client can trivially send 1e300.
+    // The `>= 1.0` comparison is false for NaN, so NaN lands in the error
+    // branch too.
+    if (!deadline->is_number()) {
+      return "\"deadline_ms\" must be a number";
+    }
+    const double v = deadline->number();
+    if (!(v >= 1.0) || v > kMaxDeadlineMs) {
+      return StrFormat("\"deadline_ms\" must be in [1, %.0f]", kMaxDeadlineMs);
+    }
+    out->deadline_ms = static_cast<int>(v);
   }
   if (const obs::Json* adapt = body.Find("adapt");
       adapt != nullptr && adapt->is_bool()) {
     out->adapt = adapt->bool_value();
   }
+  if (const obs::Json* k = body.Find("k"); k != nullptr) {
+    if (!k->is_number() || !(k->number() >= 1.0) || k->number() > 1024.0) {
+      return "\"k\" must be a number in [1, 1024]";
+    }
+    out->top_k = static_cast<int>(k->number());
+  }
+  if (const obs::Json* probes = body.Find("probes"); probes != nullptr) {
+    if (!probes->is_number() || !(probes->number() >= 1.0) ||
+        probes->number() > 65536.0) {
+      return "\"probes\" must be a number in [1, 65536]";
+    }
+    out->probes = static_cast<int>(probes->number());
+  }
   return "";
 }
+
+namespace {
 
 obs::HttpResponse HandleServe(ServeService* service, RequestKind kind,
                               const obs::HttpRequest& http_request) {
   ServeRequest request;
   request.kind = kind;
-  if (std::string error = ParseBody(http_request.body, &request);
+  if (std::string error = ParseServeRequestBody(http_request.body, &request);
       !error.empty()) {
     return ErrorResponse(400, error);
   }
@@ -128,11 +169,28 @@ obs::HttpResponse HandleServe(ServeService* service, RequestKind kind,
     }
     body.Set("embeddings", std::move(rows));
     body.Set("hidden", service->context()->hidden_size());
+  } else if (kind == RequestKind::kNeighbors) {
+    obs::Json per_trajectory = obs::Json::Array();
+    for (const auto& hits : result.neighbors) {
+      obs::Json list = obs::Json::Array();
+      for (const auto& hit : hits) {
+        obs::Json entry = obs::Json::Object();
+        entry.Set("id", hit.id);
+        entry.Set("distance", hit.distance);
+        list.Append(std::move(entry));
+      }
+      per_trajectory.Append(std::move(list));
+    }
+    body.Set("neighbors", std::move(per_trajectory));
+    body.Set("index_size", service->context()->neighbor_index()->size());
   } else {
     obs::Json clusters = obs::Json::Array();
     for (int c : result.clusters) clusters.Append(c);
     body.Set("clusters", std::move(clusters));
     body.Set("k", service->context()->k());
+    if (service->options().use_ann) {
+      body.Set("ann_fallbacks", result.ann_fallbacks);
+    }
   }
   body.Set("count", static_cast<uint64_t>(n));
   body.Set("latency_ms", result.latency_ms);
@@ -148,6 +206,7 @@ obs::Json StatsJson(const ServeService& service) {
   j.Set("accepted", stats.accepted);
   j.Set("served", stats.served);
   j.Set("shed", stats.shed);
+  j.Set("rejected_draining", stats.rejected_draining);
   j.Set("expired", stats.expired);
   j.Set("batches", stats.batches);
   j.Set("queue_depth", stats.queue_depth);
@@ -159,7 +218,21 @@ obs::Json StatsJson(const ServeService& service) {
   options.Set("default_deadline_ms", service.options().default_deadline_ms);
   options.Set("retry_after_seconds", service.options().retry_after_seconds);
   options.Set("chaos_stall_us", service.options().chaos_stall_us);
+  options.Set("use_ann", service.options().use_ann);
+  options.Set("ann_probes", service.options().ann_probes);
   j.Set("options", std::move(options));
+  const ServeContext* context = service.context();
+  obs::Json ann = obs::Json::Object();
+  ann.Set("assign_enabled",
+          service.options().use_ann && context->assigner() != nullptr);
+  if (const auto* index = context->neighbor_index(); index != nullptr) {
+    obs::Json idx = obs::Json::Object();
+    idx.Set("size", index->size());
+    idx.Set("leaves", index->num_leaves());
+    idx.Set("depth", index->depth());
+    ann.Set("neighbor_index", std::move(idx));
+  }
+  j.Set("ann", std::move(ann));
   return j;
 }
 
@@ -172,6 +245,16 @@ void RegisterServeEndpoints(obs::HttpServer* server, ServeService* service) {
   server->HandlePost("/v1/assign", [service](const obs::HttpRequest& request) {
     return HandleServe(service, RequestKind::kAssign, request);
   });
+  server->HandlePost(
+      "/v1/neighbors", [service](const obs::HttpRequest& request) {
+        if (service->context()->neighbor_index() == nullptr) {
+          return ErrorResponse(
+              503,
+              "no neighbor index loaded (start with --ann-corpus or "
+              "--ann-index)");
+        }
+        return HandleServe(service, RequestKind::kNeighbors, request);
+      });
   server->Handle("/v1/stats", [service](const obs::HttpRequest&) {
     obs::Json j = StatsJson(*service);
     j.Set("model", service->context()->model_path());

@@ -1,22 +1,33 @@
 #ifndef E2DTC_SERVE_ENDPOINTS_H_
 #define E2DTC_SERVE_ENDPOINTS_H_
 
+#include <string>
+
 #include "obs/http_server.h"
 #include "serve/service.h"
 
 namespace e2dtc::serve {
 
+/// Parses the shared request-body shape (trajectories with [lon, lat] or
+/// [lon, lat, t] points, optional id/deadline_ms/adapt/k/probes fields)
+/// into `*out`. Returns an empty string on success, else the message the
+/// endpoint should answer 400 with. Exposed for direct testing.
+std::string ParseServeRequestBody(const std::string& text, ServeRequest* out);
+
 /// Wires the serving plane onto `server` (call before Start, after
 /// core::RegisterIntrospectionEndpoints so the serve-aware /readyz
 /// override wins):
 ///
-///   POST /v1/embed   {"trajectories":[{"points":[[lon,lat],...]},...],
-///                     "deadline_ms":N}
-///                 -> {"embeddings":[[...],...], "hidden":H, ...}
-///   POST /v1/assign  same body + "adapt":bool
-///                 -> {"clusters":[...], "k":K, ...}
-///   GET  /v1/stats -> admission/serving counters, options, model info
-///   GET  /readyz   -> 200 only when warmed up and not draining
+///   POST /v1/embed     {"trajectories":[{"points":[[lon,lat,t?],...]},...],
+///                       "deadline_ms":N}
+///                   -> {"embeddings":[[...],...], "hidden":H, ...}
+///   POST /v1/assign    same body + "adapt":bool
+///                   -> {"clusters":[...], "k":K, ...}
+///   POST /v1/neighbors same body + "k":N + "probes":P
+///                   -> {"neighbors":[[{"id":..,"distance":..},...],...]}
+///                      (503 until a neighbor index is built or loaded)
+///   GET  /v1/stats   -> admission/serving counters, options, model info
+///   GET  /readyz     -> 200 only when warmed up and not draining
 ///
 /// Overload semantics: shed and draining requests get 503 with a
 /// Retry-After header; requests whose deadline expires in the queue get

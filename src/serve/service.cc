@@ -19,7 +19,10 @@ struct ServeMetrics {
   obs::Counter accepted;
   obs::Counter served;
   obs::Counter shed;
+  obs::Counter rejected_draining;
   obs::Counter expired;
+  obs::Counter ann_assign_approx;
+  obs::Counter ann_assign_fallback;
   obs::Histogram batch_size;
   obs::Histogram latency_ms;
 
@@ -29,7 +32,10 @@ struct ServeMetrics {
         obs::Registry::Global().counter("serve.requests_accepted"),
         obs::Registry::Global().counter("serve.requests_served"),
         obs::Registry::Global().counter("serve.requests_shed"),
+        obs::Registry::Global().counter("serve.requests_rejected_draining"),
         obs::Registry::Global().counter("serve.requests_expired"),
+        obs::Registry::Global().counter("serve.ann_assign_approx"),
+        obs::Registry::Global().counter("serve.ann_assign_fallback"),
         obs::Registry::Global().histogram(
             "serve.batch_size", obs::ExponentialBuckets(1.0, 2.0, 8)),
         obs::Registry::Global().histogram(
@@ -55,6 +61,10 @@ ServeService::ServeService(ServeContext* context, ServeOptions options)
   E2DTC_CHECK(context != nullptr);
   E2DTC_CHECK_GT(options_.max_queue, 0);
   E2DTC_CHECK_GT(options_.max_batch, 0);
+  // A non-positive default would wrap through the microsecond conversion in
+  // Submit into a deadline ~585 million years out, silently disabling 504
+  // expiry for every request that doesn't carry its own deadline.
+  E2DTC_CHECK_GT(options_.default_deadline_ms, 0);
   queue_ = std::make_unique<BoundedQueue<Pending>>(
       static_cast<size_t>(options_.max_queue));
   batcher_ = std::thread([this] { BatcherLoop(); });
@@ -66,13 +76,17 @@ Admit ServeService::Submit(ServeRequest request,
                            std::future<ServeResult>* result) {
   auto& metrics = ServeMetrics::Get();
   if (draining_.load(std::memory_order_acquire)) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    metrics.shed.Increment();
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    metrics.rejected_draining.Increment();
     return Admit::kDraining;
   }
-  const int deadline_ms = request.deadline_ms > 0
-                              ? request.deadline_ms
-                              : options_.default_deadline_ms;
+  // Clamp before the microsecond conversion: a non-positive deadline would
+  // wrap through the uint64_t cast into one that never expires. The option
+  // is validated positive at construction; the clamp also covers any caller
+  // handing a mangled request struct straight to Submit.
+  int deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                            : options_.default_deadline_ms;
+  if (deadline_ms <= 0) deadline_ms = 1;
   Pending pending;
   pending.request = std::move(request);
   pending.enqueue_us = obs::MonotonicMicros();
@@ -80,11 +94,17 @@ Admit ServeService::Submit(ServeRequest request,
       pending.enqueue_us + static_cast<uint64_t>(deadline_ms) * 1000;
   std::future<ServeResult> future = pending.promise.get_future();
   if (!queue_->TryPush(std::move(pending))) {
+    // Distinguish why: BeginDrain stores draining_ (release) before closing
+    // the queue, so a push that failed because the queue closed observes
+    // draining_ here. Only a genuinely full queue is an overload shed.
+    if (draining_.load(std::memory_order_acquire)) {
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      metrics.rejected_draining.Increment();
+      return Admit::kDraining;
+    }
     shed_.fetch_add(1, std::memory_order_relaxed);
     metrics.shed.Increment();
-    // Closed-while-submitting degrades to a shed; both are 503 to clients.
-    return draining_.load(std::memory_order_acquire) ? Admit::kDraining
-                                                     : Admit::kShed;
+    return Admit::kShed;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   metrics.accepted.Increment();
@@ -109,6 +129,7 @@ ServeStats ServeService::stats() const {
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.served = served_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.queue_depth = queue_->size();
@@ -196,6 +217,31 @@ void ServeService::RunBatch(std::vector<Pending>&& batch) {
         const float* row = embeddings.row(first + r);
         result.embeddings.emplace_back(row, row + embeddings.cols());
       }
+    } else if (pending.request.kind == RequestKind::kNeighbors) {
+      // Endpoint-level guard admits kNeighbors only with an index present.
+      const ann::VocabTree* index = context_->neighbor_index();
+      E2DTC_CHECK(index != nullptr);
+      const int probes = pending.request.probes > 0 ? pending.request.probes
+                                                    : options_.ann_probes;
+      result.neighbors.reserve(static_cast<size_t>(count));
+      for (int r = 0; r < count; ++r) {
+        result.neighbors.push_back(
+            index->TopK(embeddings.row(first + r), pending.request.top_k,
+                        probes));
+      }
+    } else if (options_.use_ann && context_->assigner() != nullptr &&
+               !pending.request.adapt) {
+      // Approximate assignment only ever reads the frozen trained-centroid
+      // snapshot, so adapt=true requests stay on the exact path (they must
+      // observe — and move — the live online centroids).
+      const nn::Tensor rows = embeddings.SliceRows(first, count);
+      int64_t fallbacks = 0;
+      result.clusters =
+          context_->assigner()->AssignEmbedded(rows, &fallbacks);
+      result.ann_fallbacks = static_cast<int>(fallbacks);
+      metrics.ann_assign_approx.Increment(
+          static_cast<uint64_t>(count) - static_cast<uint64_t>(fallbacks));
+      metrics.ann_assign_fallback.Increment(static_cast<uint64_t>(fallbacks));
     } else {
       const nn::Tensor rows = embeddings.SliceRows(first, count);
       result.clusters = pending.request.adapt

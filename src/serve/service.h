@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "ann/vocab_tree.h"
 #include "geo/trajectory.h"
 #include "serve/bounded_queue.h"
 #include "serve/context.h"
@@ -21,7 +22,9 @@ struct ServeOptions {
   int max_batch = 64;
   /// How long the batcher waits after the first request for company.
   int batch_window_us = 2000;
-  /// Deadline applied to requests that do not carry their own.
+  /// Deadline applied to requests that do not carry their own. Must be
+  /// positive (checked at construction): a non-positive value would wrap
+  /// through the us conversion into a deadline that never expires.
   int default_deadline_ms = 250;
   /// Advertised in the Retry-After header on 503 responses.
   int retry_after_seconds = 1;
@@ -30,9 +33,15 @@ struct ServeOptions {
   /// Chaos knob: injected stall (per batch, before the forward pass) to
   /// make overload reproducible in tests; 0 disables.
   int chaos_stall_us = 0;
+  /// Route non-adapting /v1/assign requests through the confidence-gated
+  /// approximate assigner (requires ServeContext::EnableApproxAssign).
+  /// Exact assignment stays the default and the correctness oracle.
+  bool use_ann = false;
+  /// Default probe width for kNeighbors requests that do not carry one.
+  int ann_probes = 8;
 };
 
-enum class RequestKind { kEmbed, kAssign };
+enum class RequestKind { kEmbed, kAssign, kNeighbors };
 
 struct ServeRequest {
   RequestKind kind = RequestKind::kEmbed;
@@ -41,6 +50,10 @@ struct ServeRequest {
   bool adapt = false;
   /// Relative deadline; <= 0 uses ServeOptions::default_deadline_ms.
   int deadline_ms = 0;
+  /// kNeighbors only: hits returned per trajectory.
+  int top_k = 10;
+  /// kNeighbors only: leaves probed; <= 0 uses ServeOptions::ann_probes.
+  int probes = 0;
 };
 
 struct ServeResult {
@@ -50,6 +63,10 @@ struct ServeResult {
   std::vector<std::vector<float>> embeddings;
   /// kAssign: one cluster id per input trajectory.
   std::vector<int> clusters;
+  /// kAssign via the approximate path: rows answered by the exact fallback.
+  int ann_fallbacks = 0;
+  /// kNeighbors: top-k hits per input trajectory, ascending distance.
+  std::vector<std::vector<ann::Neighbor>> neighbors;
   /// Total time from admission to completion.
   double latency_ms = 0.0;
   /// Size of the coalesced batch this request rode in.
@@ -69,7 +86,8 @@ enum class Admit {
 struct ServeStats {
   uint64_t accepted = 0;
   uint64_t served = 0;
-  uint64_t shed = 0;     ///< Rejected at admission (queue full or draining).
+  uint64_t shed = 0;     ///< Rejected at admission because the queue was full.
+  uint64_t rejected_draining = 0;  ///< Rejected because drain had begun.
   uint64_t expired = 0;  ///< Answered 504 (deadline passed in queue).
   uint64_t batches = 0;
   uint64_t queue_depth = 0;
@@ -121,6 +139,7 @@ class ServeService {
   ServeStats stats() const;
   const ServeOptions& options() const { return options_; }
   ServeContext* context() { return context_; }
+  const ServeContext* context() const { return context_; }
 
  private:
   struct Pending;
@@ -141,6 +160,7 @@ class ServeService {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> rejected_draining_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> batches_{0};
 };

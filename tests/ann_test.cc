@@ -1,0 +1,399 @@
+// Tests for the ANN layer (src/ann/): hierarchical-k-means index build
+// determinism (same seed -> bitwise-identical serialized tree), exactness
+// when probing everything, recall@10 against brute force on a synthetic
+// mixture, serialization round trips + torn-file rejection, degenerate
+// corpora, and the confidence-gated approximate assigner (agreement with
+// the exact Student-t argmax, forced exact fallback). Suite names all
+// start with "Ann" so the sanitizer gate's -R filter picks them up
+// (tests/CMakeLists.txt E2DTC_SANITIZE_FILTER).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/soft_assign.h"
+#include "ann/vocab_tree.h"
+#include "nn/kernels.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace e2dtc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A mixture-of-Gaussians corpus: `centers` well-separated cluster centers
+// in [-10, 10]^dim, points jittered around them. Mirrors what trained
+// trajectory embeddings look like (clustered, not uniform), which is the
+// regime the index is built for.
+nn::Tensor MixtureCorpus(int n, int dim, int centers, double jitter,
+                         uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor center_mat(centers, dim);
+  for (int c = 0; c < centers; ++c) {
+    for (int d = 0; d < dim; ++d) {
+      center_mat.at(c, d) = static_cast<float>(rng.Uniform(-10.0, 10.0));
+    }
+  }
+  nn::Tensor points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.UniformU64(
+        static_cast<uint64_t>(centers)));
+    for (int d = 0; d < dim; ++d) {
+      points.at(i, d) = center_mat.at(c, d) +
+                        static_cast<float>(rng.Gaussian(0.0, jitter));
+    }
+  }
+  return points;
+}
+
+std::vector<int64_t> SequentialIds(int n) {
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+// Brute-force top-k over the full corpus: the oracle every approximate
+// result is scored against. Ties broken by ascending id, like the tree.
+std::vector<ann::Neighbor> BruteForceTopK(const nn::Tensor& corpus,
+                                          const float* query, int k) {
+  std::vector<ann::Neighbor> all;
+  all.reserve(static_cast<size_t>(corpus.rows()));
+  for (int i = 0; i < corpus.rows(); ++i) {
+    const double d2 =
+        nn::kernels::SquaredDistance(query, corpus.row(i), corpus.cols());
+    all.push_back({i, std::sqrt(d2)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ann::Neighbor& a, const ann::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+// --- Build determinism ---------------------------------------------------
+
+TEST(AnnTreeTest, SameSeedBuildsBitwiseIdenticalTree) {
+  const nn::Tensor corpus = MixtureCorpus(2000, 12, 16, 0.5, 7);
+  const std::vector<int64_t> ids = SequentialIds(corpus.rows());
+  ann::VocabTreeOptions options;
+  options.branching = 4;
+  options.max_leaf_size = 32;
+  options.seed = 99;
+
+  auto a = ann::VocabTree::Build(corpus, ids, options);
+  auto b = ann::VocabTree::Build(corpus, ids, options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Serialize both: byte equality covers the node layout, the centers,
+  // the slot permutation, and the residual norms all at once.
+  const std::string path_a = TempPath("ann_det_a.annidx");
+  const std::string path_b = TempPath("ann_det_b.annidx");
+  ASSERT_TRUE((*a)->Save(path_a).ok());
+  ASSERT_TRUE((*b)->Save(path_b).ok());
+  const std::string bytes_a = ReadFileBytes(path_a);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, ReadFileBytes(path_b))
+      << "same corpus + same seed must build a bitwise-identical index";
+  fs::remove(path_a);
+  fs::remove(path_b);
+}
+
+// --- Exactness and recall ------------------------------------------------
+
+TEST(AnnTreeTest, ProbingEveryLeafReproducesBruteForce) {
+  const nn::Tensor corpus = MixtureCorpus(1500, 8, 12, 0.8, 21);
+  const std::vector<int64_t> ids = SequentialIds(corpus.rows());
+  ann::VocabTreeOptions options;
+  options.branching = 4;
+  options.max_leaf_size = 16;
+  auto tree = ann::VocabTree::Build(corpus, ids, options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  ASSERT_GT((*tree)->num_leaves(), 1);
+
+  Rng rng(5);
+  for (int q = 0; q < 25; ++q) {
+    std::vector<float> query(8);
+    for (float& v : query) v = static_cast<float>(rng.Uniform(-11.0, 11.0));
+    ann::SearchStats stats;
+    const auto got = (*tree)->TopK(query.data(), 10,
+                                   /*max_probes=*/(*tree)->num_leaves(),
+                                   &stats);
+    const auto want = BruteForceTopK(corpus, query.data(), 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "query " << q << " rank " << i;
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+    }
+    EXPECT_TRUE(stats.exact)
+        << "probing every leaf must prove the result exact";
+  }
+}
+
+TEST(AnnSearchTest, RecallAtTenAtLeastNinetyFivePercent) {
+  // Clustered corpus + held-out queries drawn the same way: the regime
+  // BENCH_ann.json measures at n=100k, shrunk to test scale.
+  const int kDim = 16;
+  // Queries are held out from the same mixture: the last 100 rows never
+  // enter the index.
+  const nn::Tensor all = MixtureCorpus(20100, kDim, 64, 0.6, 11);
+  const nn::Tensor corpus = all.SliceRows(0, 20000);
+  const nn::Tensor queries = all.SliceRows(20000, 100);
+  const std::vector<int64_t> ids = SequentialIds(corpus.rows());
+  ann::VocabTreeOptions options;
+  options.branching = 8;
+  options.max_leaf_size = 64;
+  auto tree = ann::VocabTree::Build(corpus, ids, options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+  int64_t hit = 0, total = 0;
+  int64_t scanned = 0;
+  for (int q = 0; q < queries.rows(); ++q) {
+    ann::SearchStats stats;
+    const auto got = (*tree)->TopK(queries.row(q), 10, /*max_probes=*/16,
+                                   &stats);
+    scanned += stats.candidates_scanned;
+    const auto want = BruteForceTopK(corpus, queries.row(q), 10);
+    std::set<int64_t> got_ids;
+    for (const auto& neighbor : got) got_ids.insert(neighbor.id);
+    for (const auto& neighbor : want) {
+      ++total;
+      if (got_ids.count(neighbor.id) > 0) ++hit;
+    }
+  }
+  const double recall =
+      static_cast<double>(hit) / static_cast<double>(total);
+  EXPECT_GE(recall, 0.95) << "recall@10 over " << queries.rows()
+                          << " queries";
+  // The point of the index: the probed candidate set is a small fraction
+  // of the corpus, not a disguised full scan.
+  EXPECT_LT(scanned, static_cast<int64_t>(queries.rows()) *
+                         corpus.rows() / 4)
+      << "probe-limited search scanned most of the corpus";
+}
+
+TEST(AnnTreeTest, ResultsSortedAndTiesBrokenByAscendingId) {
+  // 64 copies of the same vector: every distance ties, so the returned
+  // ids must be 0..k-1 in order.
+  nn::Tensor corpus(64, 4, 1.5f);
+  auto tree = ann::VocabTree::Build(corpus, SequentialIds(64), {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  std::vector<float> query(4, 0.0f);
+  const auto got = (*tree)->TopK(query.data(), 8, 4);
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].id, i);
+  }
+}
+
+TEST(AnnTreeTest, DegenerateCorporaBuildAndQuery) {
+  // Single vector.
+  {
+    nn::Tensor one(1, 3, 0.25f);
+    auto tree = ann::VocabTree::Build(one, {42}, {});
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    std::vector<float> query(3, 0.0f);
+    const auto got = (*tree)->TopK(query.data(), 5, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].id, 42);
+  }
+  // All-duplicate corpus larger than a leaf: k-means can make no progress,
+  // so the no-progress guard must bottom out into a leaf, not recurse
+  // forever.
+  {
+    nn::Tensor dupes(300, 5, -2.0f);
+    ann::VocabTreeOptions options;
+    options.max_leaf_size = 16;
+    auto tree = ann::VocabTree::Build(dupes, SequentialIds(300), options);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    std::vector<float> query(5, -2.0f);
+    const auto got = (*tree)->TopK(query.data(), 3, 1);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].id, 0);
+    EXPECT_NEAR(got[0].distance, 0.0, 1e-12);
+  }
+  // Errors, not crashes: empty corpus, ragged ids.
+  EXPECT_FALSE(ann::VocabTree::Build(nn::Tensor(), {}, {}).ok());
+  EXPECT_FALSE(
+      ann::VocabTree::Build(nn::Tensor(3, 2, 1.0f), {1, 2}, {}).ok());
+}
+
+// --- Serialization -------------------------------------------------------
+
+TEST(AnnTreeTest, SaveLoadRoundTripPreservesQueries) {
+  const nn::Tensor corpus = MixtureCorpus(3000, 10, 24, 0.7, 31);
+  auto tree =
+      ann::VocabTree::Build(corpus, SequentialIds(corpus.rows()), {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const std::string path = TempPath("ann_roundtrip.annidx");
+  ASSERT_TRUE((*tree)->Save(path).ok());
+
+  auto loaded = ann::VocabTree::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), (*tree)->size());
+  EXPECT_EQ((*loaded)->num_nodes(), (*tree)->num_nodes());
+  EXPECT_EQ((*loaded)->num_leaves(), (*tree)->num_leaves());
+
+  Rng rng(17);
+  for (int q = 0; q < 10; ++q) {
+    std::vector<float> query(10);
+    for (float& v : query) v = static_cast<float>(rng.Uniform(-11.0, 11.0));
+    const auto a = (*tree)->TopK(query.data(), 10, 4);
+    const auto b = (*loaded)->TopK(query.data(), 10, 4);
+    EXPECT_EQ(a, b) << "loaded index must answer identically";
+  }
+  fs::remove(path);
+}
+
+TEST(AnnTreeTest, TruncatedIndexFileIsRejected) {
+  const nn::Tensor corpus = MixtureCorpus(500, 6, 8, 0.5, 41);
+  auto tree =
+      ann::VocabTree::Build(corpus, SequentialIds(corpus.rows()), {});
+  ASSERT_TRUE(tree.ok());
+  const std::string path = TempPath("ann_torn.annidx");
+  ASSERT_TRUE((*tree)->Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(ann::VocabTree::Load(path).ok())
+      << "a torn index file must fail its integrity check, not half-load";
+  fs::remove(path);
+}
+
+// --- Approximate assignment ----------------------------------------------
+
+TEST(AnnAssignTest, AgreesWithExactArgmaxOnClusteredQueries) {
+  // 64 well-separated "centroids" and queries jittered around them: the
+  // serving regime for /v1/assign --ann. Agreement with the exact
+  // Student-t argmax must be >= 99% (the BENCH_ann.json acceptance bar).
+  const int kDim = 8;
+  const nn::Tensor centroids = MixtureCorpus(64, kDim, 64, 0.0, 51);
+  ann::SoftAssignOptions options;
+  options.probes = 8;
+  options.min_confidence = 0.9;
+  options.tree.branching = 4;
+  options.tree.max_leaf_size = 4;
+  auto assigner = ann::ApproxAssigner::Build(centroids, options);
+  ASSERT_TRUE(assigner.ok()) << assigner.status().ToString();
+
+  Rng rng(61);
+  int agree = 0;
+  const int kQueries = 500;
+  for (int q = 0; q < kQueries; ++q) {
+    const int c = static_cast<int>(rng.UniformU64(64));
+    std::vector<float> query(kDim);
+    for (int d = 0; d < kDim; ++d) {
+      query[static_cast<size_t>(d)] =
+          centroids.at(c, d) + static_cast<float>(rng.Gaussian(0.0, 0.4));
+    }
+    // Exact oracle: argmin squared distance == argmax Student-t kernel.
+    int exact = 0;
+    double best = nn::kernels::SquaredDistance(query.data(),
+                                               centroids.row(0), kDim);
+    for (int j = 1; j < centroids.rows(); ++j) {
+      const double d2 = nn::kernels::SquaredDistance(
+          query.data(), centroids.row(j), kDim);
+      if (d2 < best) {
+        best = d2;
+        exact = j;
+      }
+    }
+    const ann::AssignOutcome outcome =
+        (*assigner)->AssignOne(query.data());
+    ASSERT_GE(outcome.cluster, 0);
+    ASSERT_LT(outcome.cluster, 64);
+    if (outcome.cluster == exact) ++agree;
+  }
+  EXPECT_GE(static_cast<double>(agree) / kQueries, 0.99)
+      << agree << "/" << kQueries << " agreed";
+}
+
+TEST(AnnAssignTest, LowConfidenceFallsBackToExactPath) {
+  // min_confidence above 1 can never be met, so every query must take the
+  // exact-fallback path — and therefore agree with the oracle exactly.
+  const int kDim = 8;
+  const nn::Tensor centroids = MixtureCorpus(64, kDim, 64, 0.0, 71);
+  ann::SoftAssignOptions options;
+  options.probes = 1;
+  options.min_confidence = 1.1;
+  options.tree.branching = 4;
+  options.tree.max_leaf_size = 4;
+  auto assigner = ann::ApproxAssigner::Build(centroids, options);
+  ASSERT_TRUE(assigner.ok()) << assigner.status().ToString();
+
+  nn::Tensor queries = MixtureCorpus(50, kDim, 64, 0.4, 72);
+  int64_t fallbacks = 0;
+  const std::vector<int> assigned =
+      (*assigner)->AssignEmbedded(queries, &fallbacks);
+  EXPECT_EQ(fallbacks, queries.rows());
+  for (int q = 0; q < queries.rows(); ++q) {
+    int exact = 0;
+    double best = nn::kernels::SquaredDistance(queries.row(q),
+                                               centroids.row(0), kDim);
+    for (int j = 1; j < centroids.rows(); ++j) {
+      const double d2 = nn::kernels::SquaredDistance(
+          queries.row(q), centroids.row(j), kDim);
+      if (d2 < best) {
+        best = d2;
+        exact = j;
+      }
+    }
+    EXPECT_EQ(assigned[static_cast<size_t>(q)], exact) << "row " << q;
+  }
+}
+
+TEST(AnnAssignTest, SingleLeafTreeIsExactWithFullConfidence) {
+  // k small enough to fit one leaf: the probe covers every centroid, the
+  // unprobed bound is zero, confidence is exactly 1 — the degenerate case
+  // every small-k deployment (like the serve fixture's k=3) lives in.
+  nn::Tensor centroids(3, 4);
+  for (int c = 0; c < 3; ++c) {
+    for (int d = 0; d < 4; ++d) {
+      centroids.at(c, d) = static_cast<float>(c * 2);
+    }
+  }
+  ann::SoftAssignOptions options;
+  options.probes = 1;
+  auto assigner = ann::ApproxAssigner::Build(centroids, options);
+  ASSERT_TRUE(assigner.ok());
+  std::vector<float> query(4, 1.9f);
+  const ann::AssignOutcome outcome = (*assigner)->AssignOne(query.data());
+  EXPECT_EQ(outcome.cluster, 1);
+  EXPECT_DOUBLE_EQ(outcome.confidence, 1.0);
+  EXPECT_FALSE(outcome.exact_fallback);
+}
+
+TEST(AnnAssignTest, BuildRejectsBadInputs) {
+  EXPECT_FALSE(ann::ApproxAssigner::Build(nn::Tensor(), {}).ok());
+  ann::SoftAssignOptions bad;
+  bad.probes = 0;
+  EXPECT_FALSE(
+      ann::ApproxAssigner::Build(nn::Tensor(4, 2, 1.0f), bad).ok());
+}
+
+}  // namespace
+}  // namespace e2dtc

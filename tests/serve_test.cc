@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <future>
@@ -23,6 +24,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ann/soft_assign.h"
+#include "ann/vocab_tree.h"
 #include "ckpt/fault_injection.h"
 #include "core/e2dtc.h"
 #include "core/online.h"
@@ -70,8 +73,14 @@ class ServeTest : public ::testing::Test {
     pipeline_ =
         core::E2dtcPipeline::Fit(*dataset_, train).value().release();
 
+    // gtest_discover_tests runs every case as its own process, and ctest
+    // may run them concurrently — the fixture directory must be unique per
+    // process or one case's SetUpTestSuite remove_all() races another
+    // case's model load.
     model_dir_ = new std::string(
-        (fs::path(::testing::TempDir()) / "serve_models").string());
+        (fs::path(::testing::TempDir()) /
+         ("serve_models_" + std::to_string(::getpid())))
+            .string());
     fs::remove_all(*model_dir_);
     fs::create_directories(*model_dir_);
     model_path_ =
@@ -338,6 +347,98 @@ TEST_F(ServeTest, DrainAnswersEveryAcceptedRequest) {
   EXPECT_EQ(stats.dropped_in_flight(), 0u);
 }
 
+TEST_F(ServeTest, DrainRejectionsCountedSeparatelyFromSheds) {
+  auto context = serve::ServeContext::Open(*model_path_);
+  ASSERT_TRUE(context.ok());
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(context->get(), opts);
+
+  service.BeginDrain();
+  for (int i = 0; i < 3; ++i) {
+    serve::ServeRequest request;
+    request.trajectories = {dataset_->trajectories[0]};
+    std::future<serve::ServeResult> future;
+    EXPECT_EQ(service.Submit(std::move(request), &future),
+              serve::Admit::kDraining);
+  }
+  service.Drain();
+  const serve::ServeStats stats = service.stats();
+  // Drain-time rejections must not be double-booked as overload sheds:
+  // shed means "back off, the queue is full", draining means "this
+  // process is going away" — conflating them poisons capacity dashboards.
+  EXPECT_EQ(stats.rejected_draining, 3u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+// --- Request body parsing ------------------------------------------------
+
+TEST(ServeParseTest, HonorsClientTimestampAndIndexFallback) {
+  // [lon, lat, t]: the client timestamp must survive parsing (it feeds
+  // speed/heading-sensitive downstream features), not be silently
+  // replaced by the point index.
+  serve::ServeRequest with_t;
+  EXPECT_EQ(serve::ParseServeRequestBody(
+                R"({"trajectories":[{"points":)"
+                R"([[120.1,30.2,1000.5],[120.2,30.3,1060.0]]}]})",
+                &with_t),
+            "");
+  ASSERT_EQ(with_t.trajectories.size(), 1u);
+  ASSERT_EQ(with_t.trajectories[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(with_t.trajectories[0].points[0].t, 1000.5);
+  EXPECT_DOUBLE_EQ(with_t.trajectories[0].points[1].t, 1060.0);
+
+  // [lon, lat]: the point index remains the fallback ordering.
+  serve::ServeRequest without_t;
+  EXPECT_EQ(serve::ParseServeRequestBody(
+                R"({"trajectories":[{"points":[[120.1,30.2],[120.2,30.3]]}]})",
+                &without_t),
+            "");
+  ASSERT_EQ(without_t.trajectories.size(), 1u);
+  EXPECT_DOUBLE_EQ(without_t.trajectories[0].points[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(without_t.trajectories[0].points[1].t, 1.0);
+
+  // A non-numeric third element is a client bug, not something to guess
+  // around.
+  serve::ServeRequest bad_t;
+  EXPECT_NE(serve::ParseServeRequestBody(
+                R"({"trajectories":[{"points":[[120.1,30.2,"noon"]]}]})",
+                &bad_t),
+            "");
+}
+
+TEST(ServeParseTest, DeadlineRangeCheckedBeforeIntCast) {
+  // Casting an out-of-int-range double to int is UB; 1e300 must be
+  // rejected by a range check, never reach the cast.
+  const std::string base =
+      R"({"trajectories":[{"points":[[120.1,30.2]]}],"deadline_ms":)";
+  for (const char* bad : {"1e300", "-5", "0", "0.4", "-1e300", "\"fast\""}) {
+    serve::ServeRequest request;
+    EXPECT_NE(serve::ParseServeRequestBody(base + bad + "}", &request), "")
+        << "deadline_ms=" << bad << " must be rejected";
+  }
+  serve::ServeRequest ok;
+  EXPECT_EQ(serve::ParseServeRequestBody(base + "250}", &ok), "");
+  EXPECT_EQ(ok.deadline_ms, 250);
+}
+
+TEST(ServeParseTest, NeighborKAndProbesValidated) {
+  const std::string base =
+      R"({"trajectories":[{"points":[[120.1,30.2]]}],)";
+  serve::ServeRequest ok;
+  EXPECT_EQ(
+      serve::ParseServeRequestBody(base + R"("k":5,"probes":16})", &ok), "");
+  EXPECT_EQ(ok.top_k, 5);
+  EXPECT_EQ(ok.probes, 16);
+  for (const char* bad :
+       {R"("k":0})", R"("k":1e300})", R"("probes":-1})", R"("k":"ten"})"}) {
+    serve::ServeRequest request;
+    EXPECT_NE(serve::ParseServeRequestBody(base + bad, &request), "")
+        << bad;
+  }
+}
+
 // --- Scaled-down overload replay -----------------------------------------
 
 TEST_F(ServeTest, OverloadKeepsAcceptedLatencyBoundedAndSheds) {
@@ -598,6 +699,148 @@ TEST_F(ServeTest, HttpEndpointsEndToEnd) {
 
   service.Drain();
   server.Stop();
+  EXPECT_EQ(service.stats().dropped_in_flight(), 0u);
+}
+
+// --- ANN serving plane ---------------------------------------------------
+
+std::string TrajectoryBodyJson(const geo::Trajectory& trajectory,
+                               const std::string& extra_fields = "") {
+  std::string body = R"({"trajectories":[{"points":[)";
+  for (size_t p = 0; p < trajectory.points.size(); ++p) {
+    if (p > 0) body += ",";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "[%.9f,%.9f,%.3f]",
+                  trajectory.points[p].lon, trajectory.points[p].lat,
+                  trajectory.points[p].t);
+    body += buf;
+  }
+  body += "]}]";
+  body += extra_fields;
+  body += "}";
+  return body;
+}
+
+TEST_F(ServeTest, NeighborsEndpointReturnsSelfAsNearest) {
+  auto context = serve::ServeContext::Open(*model_path_);
+  ASSERT_TRUE(context.ok());
+  ann::VocabTreeOptions tree_opts;
+  tree_opts.max_leaf_size = 16;
+  ASSERT_TRUE(
+      (*context)->BuildNeighborIndex(dataset_->trajectories, tree_opts).ok());
+  ASSERT_NE((*context)->neighbor_index(), nullptr);
+  EXPECT_EQ((*context)->neighbor_index()->size(),
+            static_cast<int64_t>(dataset_->trajectories.size()));
+
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(context->get(), opts);
+  obs::HttpServer server({});
+  core::RegisterIntrospectionEndpoints(&server);
+  serve::RegisterServeEndpoints(&server, &service);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const int port = server.port();
+  while (!service.ready()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Query with an indexed trajectory's own points: its embedding is
+  // deterministic, so the top hit must be itself at distance ~0.
+  const geo::Trajectory& probe = dataset_->trajectories[5];
+  const std::string response = ServePost(
+      port, "/v1/neighbors",
+      TrajectoryBodyJson(probe, R"(,"k":3,"probes":8)"));
+  ASSERT_EQ(ServeStatusCode(response), 200) << response;
+  obs::Json json;
+  ASSERT_TRUE(obs::Json::Parse(ServeBody(response), &json));
+  const obs::Json* neighbors = json.Find("neighbors");
+  ASSERT_NE(neighbors, nullptr);
+  ASSERT_EQ(neighbors->size(), 1u);
+  ASSERT_EQ(neighbors->at(0).size(), 3u);
+  const obs::Json& top = neighbors->at(0).at(0);
+  EXPECT_EQ(static_cast<int64_t>(top.Find("id")->number()), probe.id);
+  EXPECT_NEAR(top.Find("distance")->number(), 0.0, 1e-4);
+  // Distances come back sorted ascending.
+  EXPECT_LE(neighbors->at(0).at(0).Find("distance")->number(),
+            neighbors->at(0).at(1).Find("distance")->number());
+
+  // /v1/stats advertises the index.
+  obs::Json stats_json;
+  ASSERT_TRUE(
+      obs::Json::Parse(ServeBody(ServeGet(port, "/v1/stats")), &stats_json));
+  const obs::Json* ann = stats_json.Find("ann");
+  ASSERT_NE(ann, nullptr);
+  ASSERT_NE(ann->Find("neighbor_index"), nullptr);
+  EXPECT_EQ(ann->Find("neighbor_index")->Find("size")->number(),
+            static_cast<double>(dataset_->trajectories.size()));
+
+  service.Drain();
+  server.Stop();
+}
+
+TEST_F(ServeTest, NeighborsEndpointWithoutIndexIs503) {
+  auto context = serve::ServeContext::Open(*model_path_);
+  ASSERT_TRUE(context.ok());
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  serve::ServeService service(context->get(), opts);
+  obs::HttpServer server({});
+  serve::RegisterServeEndpoints(&server, &service);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_EQ(ServeStatusCode(ServePost(
+                server.port(), "/v1/neighbors",
+                R"({"trajectories":[{"points":[[120.1,30.2]]}],"k":3})")),
+            503);
+  service.Drain();
+  server.Stop();
+}
+
+TEST_F(ServeTest, ApproxAssignAgreesWithExactPath) {
+  auto context = serve::ServeContext::Open(*model_path_);
+  ASSERT_TRUE(context.ok());
+  ann::SoftAssignOptions assign_opts;
+  assign_opts.probes = 2;
+  assign_opts.min_confidence = 0.95;
+  ASSERT_TRUE((*context)->EnableApproxAssign(assign_opts).ok());
+  ASSERT_NE((*context)->assigner(), nullptr);
+
+  serve::ServeOptions opts;
+  opts.default_deadline_ms = 10000;
+  opts.use_ann = true;
+  serve::ServeService service(context->get(), opts);
+
+  serve::ServeRequest request;
+  request.kind = serve::RequestKind::kAssign;
+  request.trajectories.assign(dataset_->trajectories.begin(),
+                              dataset_->trajectories.begin() + 32);
+  std::future<serve::ServeResult> future;
+  ASSERT_EQ(service.Submit(std::move(request), &future), serve::Admit::kOk);
+  const serve::ServeResult result = future.get();
+  ASSERT_EQ(result.status, 200);
+
+  // The exact path is the correctness oracle. At the fixture's k=3 the
+  // centroid tree is a single leaf, so approximate assignment must agree
+  // on every row (its probe covers the whole centroid set).
+  std::vector<geo::Trajectory> same(dataset_->trajectories.begin(),
+                                    dataset_->trajectories.begin() + 32);
+  EXPECT_EQ(result.clusters, (*context)->pipeline().Assign(same));
+  EXPECT_EQ(result.ann_fallbacks, 0);
+
+  // adapt=true must keep using the exact path (the approximation reads a
+  // frozen snapshot and can neither see nor move the online centroids).
+  serve::ServeRequest adapt_request;
+  adapt_request.kind = serve::RequestKind::kAssign;
+  adapt_request.adapt = true;
+  adapt_request.trajectories = {dataset_->trajectories[0]};
+  std::future<serve::ServeResult> adapt_future;
+  ASSERT_EQ(service.Submit(std::move(adapt_request), &adapt_future),
+            serve::Admit::kOk);
+  EXPECT_EQ(adapt_future.get().status, 200);
+  EXPECT_EQ((*context)->clusterer().num_seen(), 1);
+
+  service.Drain();
   EXPECT_EQ(service.stats().dropped_in_flight(), 0u);
 }
 

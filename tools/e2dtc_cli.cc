@@ -21,6 +21,8 @@
 #include <chrono>
 #include <thread>
 
+#include "ann/soft_assign.h"
+#include "ann/vocab_tree.h"
 #include "core/e2dtc.h"
 #include "core/run_report.h"
 #include "core/status.h"
@@ -554,8 +556,20 @@ int CmdServe(const Flags& flags) {
   serve_opts.retry_after_seconds = flags.GetInt("retry-after", 1);
   serve_opts.count_prior = flags.GetDouble("count-prior", 32.0);
   serve_opts.chaos_stall_us = flags.GetInt("chaos-stall-us", 0);
+  serve_opts.use_ann = flags.GetBool("ann", false);
+  serve_opts.ann_probes = flags.GetInt("ann-probes", 8);
   if (serve_opts.max_queue <= 0 || serve_opts.max_batch <= 0) {
     std::fprintf(stderr, "--max-queue and --max-batch must be > 0\n");
+    return 1;
+  }
+  // The service CHECK-aborts on a non-positive default deadline (it would
+  // wrap into a never-expiring one); fail politely at the flag boundary.
+  if (serve_opts.default_deadline_ms <= 0) {
+    std::fprintf(stderr, "--deadline-ms must be > 0\n");
+    return 1;
+  }
+  if (serve_opts.ann_probes <= 0) {
+    std::fprintf(stderr, "--ann-probes must be > 0\n");
     return 1;
   }
 
@@ -575,6 +589,69 @@ int CmdServe(const Flags& flags) {
     std::printf(", skipped %d unreadable", (*context)->skipped_unreadable());
   }
   std::printf(")\n");
+
+  // Optional ANN plane: --ann routes non-adapting /v1/assign through the
+  // confidence-gated approximate assigner; --ann-corpus/--ann-index stand
+  // up the /v1/neighbors top-k retrieval index.
+  ann::VocabTreeOptions tree_opts;
+  tree_opts.branching = flags.GetInt("ann-branching", 8);
+  tree_opts.max_leaf_size = flags.GetInt("ann-leaf", 64);
+  tree_opts.seed = static_cast<uint64_t>(flags.GetInt("ann-seed", 42));
+  if (tree_opts.branching < 2 || tree_opts.max_leaf_size < 1) {
+    std::fprintf(stderr,
+                 "--ann-branching must be >= 2 and --ann-leaf >= 1\n");
+    return 1;
+  }
+  if (serve_opts.use_ann) {
+    ann::SoftAssignOptions assign_opts;
+    assign_opts.probes = serve_opts.ann_probes;
+    assign_opts.min_confidence = flags.GetDouble("ann-confidence", 0.98);
+    assign_opts.tree = tree_opts;
+    if (Status status = (*context)->EnableApproxAssign(assign_opts);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("ann: approximate assignment on (probes=%d, "
+                "min_confidence=%.3f)\n",
+                assign_opts.probes, assign_opts.min_confidence);
+  }
+  const std::string ann_index_path = flags.Get("ann-index", "");
+  const std::string ann_corpus_path = flags.Get("ann-corpus", "");
+  bool index_loaded = false;
+  if (!ann_index_path.empty()) {
+    if (Status status = (*context)->LoadNeighborIndex(ann_index_path);
+        status.ok()) {
+      index_loaded = true;
+      std::printf("ann: neighbor index loaded from %s (n=%lld)\n",
+                  ann_index_path.c_str(),
+                  static_cast<long long>(
+                      (*context)->neighbor_index()->size()));
+    } else if (ann_corpus_path.empty()) {
+      return Fail(status);
+    }
+  }
+  if (!index_loaded && !ann_corpus_path.empty()) {
+    auto corpus = data::LoadDatasetCsv(ann_corpus_path);
+    if (!corpus.ok()) return Fail(corpus.status());
+    if (Status status = (*context)->BuildNeighborIndex(
+            corpus->trajectories, tree_opts);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("ann: neighbor index built over %zu trajectories "
+                "(%d leaves, depth %d)\n",
+                corpus->trajectories.size(),
+                (*context)->neighbor_index()->num_leaves(),
+                (*context)->neighbor_index()->depth());
+    if (!ann_index_path.empty()) {
+      if (Status status = (*context)->SaveNeighborIndex(ann_index_path);
+          !status.ok()) {
+        return Fail(status);
+      }
+      std::printf("ann: neighbor index saved to %s\n",
+                  ann_index_path.c_str());
+    }
+  }
 
   serve::ServeService service(context->get(), serve_opts);
 
@@ -686,9 +763,16 @@ int main(int argc, char** argv) {
                  "    --serve-bind ADDR, --max-queue N, --max-batch N, "
                  "--batch-window-us N, --deadline-ms N,\n"
                  "    --retry-after SECS, --http-threads N, "
-                 "--chaos-stall-us N (inject per-batch stall)\n"
-                 "  serve endpoints: POST /v1/embed, POST /v1/assign, GET "
-                 "/v1/stats + the introspection plane;\n"
+                 "--chaos-stall-us N (inject per-batch stall),\n"
+                 "    --ann true (approximate /v1/assign), --ann-probes N, "
+                 "--ann-confidence F (exact-fallback gate),\n"
+                 "    --ann-corpus FILE (CSV to embed+index for "
+                 "/v1/neighbors), --ann-index FILE (load, or save after "
+                 "build),\n"
+                 "    --ann-branching N, --ann-leaf N, --ann-seed N "
+                 "(index shape; same seed = identical index)\n"
+                 "  serve endpoints: POST /v1/embed, POST /v1/assign, POST "
+                 "/v1/neighbors, GET /v1/stats + the introspection plane;\n"
                  "  SIGINT/SIGTERM drains: stop admitting (503 + "
                  "Retry-After), answer every accepted request, exit 0\n");
     return 1;
