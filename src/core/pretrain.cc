@@ -33,6 +33,9 @@ struct PretrainTelemetry {
   obs::Series gemm_macs = rec.series("pretrain.gemm_macs");
   obs::Series gemm_gflops = rec.series("pretrain.gemm_gflops");
   obs::Series gemm_dispatches = rec.series("pretrain.gemm_dispatches");
+  obs::Series fused_macs = rec.series("pretrain.fused_macs");
+  obs::Series fused_gflops = rec.series("pretrain.fused_gflops");
+  obs::Series fused_dispatches = rec.series("pretrain.fused_dispatches");
 };
 
 }  // namespace
@@ -248,6 +251,17 @@ Result<PretrainResult> Pretrainer::Train(
           static_cast<double>(gemm_end.dispatches - gemm_start.dispatches));
       telemetry.gemm_gflops.Record(
           epoch, stats.seconds > 0.0 ? 2.0 * macs / stats.seconds / 1e9 : 0.0);
+      // Loss-path compute (fused softmax/KNN kernels), historically
+      // invisible to the per-phase GEMM accounting.
+      const double fmacs =
+          static_cast<double>(gemm_end.fused_macs - gemm_start.fused_macs);
+      telemetry.fused_macs.Record(epoch, fmacs);
+      telemetry.fused_dispatches.Record(
+          epoch, static_cast<double>(gemm_end.fused_dispatches -
+                                     gemm_start.fused_dispatches));
+      telemetry.fused_gflops.Record(
+          epoch,
+          stats.seconds > 0.0 ? 2.0 * fmacs / stats.seconds / 1e9 : 0.0);
     }
     E2DTC_LOG(Debug) << "pretrain epoch " << epoch << " loss/token "
                      << stats.avg_token_loss << " (" << stats.seconds

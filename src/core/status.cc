@@ -1,5 +1,6 @@
 #include "core/status.h"
 
+#include "nn/autotune.h"
 #include "nn/kernels.h"
 #include "obs/build_info.h"
 #include "obs/exposition.h"
@@ -200,7 +201,13 @@ obs::Json StatuszJson() {
   dispatch.Set("dispatches", kernels.dispatches);
   dispatch.Set("parallel_dispatches", kernels.parallel_dispatches);
   dispatch.Set("macs", kernels.macs);
+  dispatch.Set("fused_dispatches", kernels.fused_dispatches);
+  dispatch.Set("fused_parallel_dispatches",
+               kernels.fused_parallel_dispatches);
+  dispatch.Set("fused_macs", kernels.fused_macs);
   doc.Set("kernels", std::move(dispatch));
+  doc.Set("kernel_tuning",
+          nn::kernels::TuningProfileJson(nn::kernels::GetTuningProfile()));
 
   obs::Json pool = obs::Json::Object();
   const int workers = obs::PoolWorkers();

@@ -602,35 +602,16 @@ Var Dropout(const Var& a, float rate, Rng* rng) {
 
 Var SoftmaxRows(const Var& a) {
   Tensor out(a.rows(), a.cols());
-  const Tensor& av = a.value();
-  for (int i = 0; i < av.rows(); ++i) {
-    const float* r = av.row(i);
-    float mx = r[0];
-    for (int j = 1; j < av.cols(); ++j) mx = std::max(mx, r[j]);
-    double denom = 0.0;
-    float* o = out.row(i);
-    for (int j = 0; j < av.cols(); ++j) {
-      o[j] = std::exp(r[j] - mx);
-      denom += o[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int j = 0; j < av.cols(); ++j) o[j] *= inv;
-  }
+  kernels::SoftmaxRowsForward(a.value().data(), out.data(), a.rows(),
+                              a.cols());
   auto backward = [](Node* n) {
     Node* in = n->inputs[0].get();
     if (!in->requires_grad) return;
     in->EnsureGrad();
     // dX_ij = y_ij * (g_ij - sum_k g_ik y_ik).
-    for (int i = 0; i < n->value.rows(); ++i) {
-      const float* y = n->value.row(i);
-      const float* g = n->grad.row(i);
-      double dot = 0.0;
-      for (int j = 0; j < n->value.cols(); ++j) dot += g[j] * y[j];
-      float* d = in->grad.row(i);
-      for (int j = 0; j < n->value.cols(); ++j) {
-        d[j] += y[j] * (g[j] - static_cast<float>(dot));
-      }
-    }
+    kernels::SoftmaxRowsBackwardAdd(n->value.data(), n->grad.data(),
+                                    in->grad.data(), n->value.rows(),
+                                    n->value.cols());
   };
   return Var(MakeOpNode(std::move(out), {a.node()}, backward));
 }

@@ -1,0 +1,411 @@
+#include "nn/autotune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace e2dtc::nn::kernels {
+
+namespace {
+
+constexpr const char* kCacheSchema = "e2dtc.kernel_tuning.v1";
+
+/// "Never split" threshold. Not INT64_MAX: thresholds round-trip through
+/// JSON doubles, and 2^60 is exactly representable (and still 5 orders of
+/// magnitude above any real matmul in this codebase).
+constexpr int64_t kNeverParallelMacs = int64_t{1} << 60;
+
+/// Candidate grids. rows_per_task must stay a multiple of kRowPanel;
+/// oversplit 1 disables the rebalancing oversplit entirely.
+constexpr int kRowsPerTaskGrid[] = {8, 16, 32, 64};
+constexpr int kOversplitGrid[] = {1, 2, 4, 8};
+
+struct ProbeShape {
+  int n, k, m;
+  int64_t macs() const { return int64_t{n} * k * m; }
+};
+
+/// Representative GEMM per shape class (see ClassifyShape): a toy-batch
+/// GRU gate, a production-batch GRU gate, and an attention/projection
+/// scale product.
+ProbeShape RepShape(ShapeClass c, bool quick) {
+  switch (c) {
+    case ShapeClass::kSmall:
+      return quick ? ProbeShape{32, 64, 96} : ProbeShape{32, 64, 192};
+    case ShapeClass::kMedium:
+      return quick ? ProbeShape{64, 256, 384} : ProbeShape{256, 256, 768};
+    case ShapeClass::kLarge:
+      return quick ? ProbeShape{256, 512, 512} : ProbeShape{512, 512, 512};
+  }
+  return ProbeShape{32, 64, 192};
+}
+
+/// Threshold ladder inside the small class: the crossover where parallel
+/// dispatch starts paying is found by timing serial vs parallel at each
+/// rung and taking the smallest rung of the maximal winning suffix.
+const ProbeShape kSmallLadder[] = {
+    {32, 32, 64},    // 2^16 MACs
+    {32, 64, 64},    // 2^17
+    {64, 64, 64},    // 2^18
+    {64, 64, 128},   // 2^19
+    {64, 128, 128},  // 2^20
+    {128, 128, 128}  // 2^21
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FillPseudoRandom(std::vector<float>* v, uint64_t seed) {
+  uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (float& x : *v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    x = static_cast<float>(static_cast<int64_t>(s % 2001) - 1000) / 1000.0f;
+  }
+}
+
+/// Uniform profile whose every class uses `params`; only the probed shape
+/// actually dispatches while it is installed.
+TuningProfile UniformProfile(const ShapeParams& params) {
+  TuningProfile profile;
+  for (int i = 0; i < kNumShapeClasses; ++i) profile.classes[i] = params;
+  return profile;
+}
+
+/// Best-of-`reps` per-call wall time for the shape under the currently
+/// installed profile, with iterations scaled so one measurement covers at
+/// least `min_sample_ms`.
+double TimeShape(const ProbeShape& shape, const float* a, const float* b,
+                 float* c, const AutotuneOptions& opts) {
+  auto run_once = [&] {
+    MatmulNN(shape.n, shape.k, shape.m, a, b, c, /*accumulate=*/false);
+  };
+  run_once();  // Warm caches and the lazily created pool.
+  double t0 = NowMs();
+  run_once();
+  const double est = std::max(1e-4, NowMs() - t0);
+  const int iters =
+      static_cast<int>(std::max(1.0, std::ceil(opts.min_sample_ms / est)));
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < std::max(1, opts.reps); ++rep) {
+    t0 = NowMs();
+    for (int it = 0; it < iters; ++it) run_once();
+    best = std::min(best, (NowMs() - t0) / iters);
+  }
+  return best;
+}
+
+Status ValidateCacheClass(const obs::Json& entry, int index,
+                          ShapeParams* out) {
+  if (!entry.is_object()) {
+    return Status::InvalidArgument("tuning cache: class entry not an object");
+  }
+  const obs::Json* name = entry.Find("class");
+  const char* expected =
+      ShapeClassName(static_cast<ShapeClass>(index));
+  if (name == nullptr || !name->is_string() || name->str() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("tuning cache: class %d must be named \"%s\"", index,
+                  expected));
+  }
+  struct Field {
+    const char* key;
+    double lo, hi;
+    double* slot;
+  };
+  double rows = 0.0, min_macs = 0.0, oversplit = 0.0;
+  const Field fields[] = {
+      {"rows_per_task", 8.0, 4096.0, &rows},
+      {"parallel_min_macs", 1.0, static_cast<double>(kNeverParallelMacs),
+       &min_macs},
+      {"oversplit", 1.0, 64.0, &oversplit},
+  };
+  for (const Field& f : fields) {
+    const obs::Json* v = entry.Find(f.key);
+    if (v == nullptr || !v->is_number() || v->number() < f.lo ||
+        v->number() > f.hi || v->number() != std::floor(v->number())) {
+      return Status::InvalidArgument(
+          StrFormat("tuning cache: bad %s in class \"%s\"", f.key, expected));
+    }
+    *f.slot = v->number();
+  }
+  if (static_cast<int>(rows) % kRowPanel != 0) {
+    return Status::InvalidArgument(
+        StrFormat("tuning cache: rows_per_task in class \"%s\" is not a "
+                  "multiple of %d",
+                  expected, kRowPanel));
+  }
+  out->rows_per_task = static_cast<int>(rows);
+  out->parallel_min_macs = static_cast<int64_t>(min_macs);
+  out->oversplit = static_cast<int>(oversplit);
+  return Status::OK();
+}
+
+}  // namespace
+
+TuningProfile RunAutotuneProbe(const AutotuneOptions& opts) {
+  E2DTC_CHECK_MSG(!ThreadPool::OnWorkerThread(),
+                  "RunAutotuneProbe must not run on a pool worker");
+  const TuningProfile entry_profile = GetTuningProfile();
+  const double wall_start = NowMs();
+  TuningProfile result;
+  result.provenance = "probe";
+  result.probed_threads = NumThreads();
+
+  // Shared operand buffers sized for the largest probed shape.
+  int64_t max_a = 0, max_b = 0, max_c = 0;
+  auto grow = [&](const ProbeShape& s) {
+    max_a = std::max(max_a, int64_t{s.n} * s.k);
+    max_b = std::max(max_b, int64_t{s.k} * s.m);
+    max_c = std::max(max_c, int64_t{s.n} * s.m);
+  };
+  for (int ci = 0; ci < kNumShapeClasses; ++ci) {
+    grow(RepShape(static_cast<ShapeClass>(ci), opts.quick));
+  }
+  for (const ProbeShape& s : kSmallLadder) grow(s);
+  std::vector<float> a(static_cast<size_t>(max_a));
+  std::vector<float> b(static_cast<size_t>(max_b));
+  std::vector<float> c(static_cast<size_t>(max_c));
+  FillPseudoRandom(&a, 1);
+  FillPseudoRandom(&b, 2);
+
+  if (result.probed_threads <= 1) {
+    // Single worker: the dispatcher never splits, so every candidate times
+    // identically. Record the serial outcome rather than pretending the
+    // sweep measured anything.
+    for (int ci = 0; ci < kNumShapeClasses; ++ci) {
+      result.classes[ci].parallel_min_macs = kNeverParallelMacs;
+    }
+    result.probe_ms = NowMs() - wall_start;
+    return result;
+  }
+
+  for (int ci = 0; ci < kNumShapeClasses; ++ci) {
+    const ShapeClass cls = static_cast<ShapeClass>(ci);
+    const ProbeShape rep = RepShape(cls, opts.quick);
+    ShapeParams serial;
+    serial.parallel_min_macs = kNeverParallelMacs;
+    SetTuningProfile(UniformProfile(serial));
+    const double serial_ms = TimeShape(rep, a.data(), b.data(), c.data(),
+                                       opts);
+    double best_ms = std::numeric_limits<double>::infinity();
+    ShapeParams best;
+    for (int rpt : kRowsPerTaskGrid) {
+      if (rpt >= rep.n && rpt > kRowPanel) continue;  // < 2 tasks: no split.
+      for (int osp : kOversplitGrid) {
+        ShapeParams cand;
+        cand.rows_per_task = rpt;
+        cand.parallel_min_macs = 1;
+        cand.oversplit = osp;
+        SetTuningProfile(UniformProfile(cand));
+        const double ms = TimeShape(rep, a.data(), b.data(), c.data(), opts);
+        if (ms < best_ms) {
+          best_ms = ms;
+          best = cand;
+        }
+      }
+    }
+    ShapeParams& chosen = result.classes[ci];
+    if (best_ms < serial_ms) {
+      chosen.rows_per_task = best.rows_per_task;
+      chosen.oversplit = best.oversplit;
+      // Threshold: class floor for medium/large (every member is at least
+      // as big as shapes that already won); ladder crossover for small.
+      switch (cls) {
+        case ShapeClass::kSmall:
+          chosen.parallel_min_macs = rep.macs();
+          break;
+        case ShapeClass::kMedium:
+          chosen.parallel_min_macs = kSmallClassMaxMacs;
+          break;
+        case ShapeClass::kLarge:
+          chosen.parallel_min_macs = kMediumClassMaxMacs;
+          break;
+      }
+    } else {
+      // Parallel lost at the representative shape: keep the whole class on
+      // the calling thread.
+      chosen.parallel_min_macs =
+          cls == ShapeClass::kSmall
+              ? kSmallClassMaxMacs
+              : (cls == ShapeClass::kMedium ? kMediumClassMaxMacs
+                                            : kNeverParallelMacs);
+    }
+    if (cls == ShapeClass::kSmall && best_ms < serial_ms) {
+      // Refine the small-class threshold on the ladder: walk down from the
+      // largest rung, extending the parallel-wins suffix as far as it
+      // holds.
+      int64_t crossover = rep.macs();
+      for (int li = static_cast<int>(std::size(kSmallLadder)) - 1; li >= 0;
+           --li) {
+        const ProbeShape& rung = kSmallLadder[li];
+        SetTuningProfile(UniformProfile(serial));
+        const double rung_serial =
+            TimeShape(rung, a.data(), b.data(), c.data(), opts);
+        ShapeParams par = result.classes[ci];
+        par.parallel_min_macs = 1;
+        SetTuningProfile(UniformProfile(par));
+        const double rung_parallel =
+            TimeShape(rung, a.data(), b.data(), c.data(), opts);
+        if (rung_parallel < rung_serial) {
+          crossover = rung.macs();
+        } else {
+          break;
+        }
+      }
+      result.classes[ci].parallel_min_macs = crossover;
+    }
+  }
+
+  SetTuningProfile(entry_profile);
+  result.probe_ms = NowMs() - wall_start;
+  return result;
+}
+
+obs::Json TuningProfileJson(const TuningProfile& profile) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("provenance", profile.provenance);
+  doc.Set("probe_ms", profile.probe_ms);
+  doc.Set("probed_threads", static_cast<int64_t>(profile.probed_threads));
+  obs::Json classes = obs::Json::Array();
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    const ShapeParams& p = profile.classes[i];
+    obs::Json entry = obs::Json::Object();
+    entry.Set("class",
+              std::string(ShapeClassName(static_cast<ShapeClass>(i))));
+    entry.Set("rows_per_task", static_cast<int64_t>(p.rows_per_task));
+    entry.Set("parallel_min_macs", static_cast<int64_t>(p.parallel_min_macs));
+    entry.Set("oversplit", static_cast<int64_t>(p.oversplit));
+    classes.Append(std::move(entry));
+  }
+  doc.Set("classes", std::move(classes));
+  return doc;
+}
+
+Status SaveTuningProfile(const TuningProfile& profile,
+                         const std::string& path) {
+  obs::Json doc = TuningProfileJson(profile);
+  doc.Set("schema", std::string(kCacheSchema));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open tuning cache for write: " + tmp);
+    }
+    out << doc.Dump() << "\n";
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to tuning cache: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename tuning cache into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<TuningProfile> LoadTuningProfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read tuning cache: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::Json doc;
+  std::string error;
+  if (!obs::Json::Parse(text.str(), &doc, &error)) {
+    return Status::InvalidArgument("tuning cache " + path +
+                                   " is not valid JSON: " + error);
+  }
+  const obs::Json* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str() != kCacheSchema) {
+    return Status::InvalidArgument("tuning cache " + path +
+                                   " has missing or unknown schema");
+  }
+  const obs::Json* classes = doc.Find("classes");
+  if (classes == nullptr || !classes->is_array() ||
+      classes->size() != static_cast<size_t>(kNumShapeClasses)) {
+    return Status::InvalidArgument(
+        StrFormat("tuning cache %s must carry exactly %d classes",
+                  path.c_str(), kNumShapeClasses));
+  }
+  TuningProfile profile;
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    Status st = ValidateCacheClass(classes->at(static_cast<size_t>(i)), i,
+                                   &profile.classes[i]);
+    if (!st.ok()) return st;
+  }
+  const obs::Json* probe_ms = doc.Find("probe_ms");
+  if (probe_ms != nullptr && probe_ms->is_number()) {
+    profile.probe_ms = probe_ms->number();
+  }
+  const obs::Json* threads = doc.Find("probed_threads");
+  if (threads != nullptr && threads->is_number()) {
+    profile.probed_threads = static_cast<int>(threads->number());
+  }
+  profile.provenance = "cached:" + path;
+  return profile;
+}
+
+Status ConfigureAutotune(const std::string& mode) {
+  if (mode == "off") {
+    ResetTuningProfile();
+    return Status::OK();
+  }
+  if (mode == "probe") {
+    TuningProfile probed = RunAutotuneProbe();
+    SetTuningProfile(probed);
+    E2DTC_LOG(Info) << "kernel autotune: probe finished in "
+                    << probed.probe_ms << " ms (threads="
+                    << probed.probed_threads << ")";
+    return Status::OK();
+  }
+  if (StartsWith(mode, "cached:")) {
+    const std::string path = mode.substr(sizeof("cached:") - 1);
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          "--kernel-autotune cached: requires a path");
+    }
+    Result<TuningProfile> loaded = LoadTuningProfile(path);
+    if (loaded.ok()) {
+      SetTuningProfile(*loaded);
+      E2DTC_LOG(Info) << "kernel autotune: loaded cached profile from "
+                      << path;
+      return Status::OK();
+    }
+    if (loaded.status().code() != StatusCode::kIOError) {
+      // The file exists but is corrupt/invalid: surface it instead of
+      // silently re-probing over a configuration mistake.
+      return loaded.status();
+    }
+    TuningProfile probed = RunAutotuneProbe();
+    Status saved = SaveTuningProfile(probed, path);
+    if (!saved.ok()) return saved;
+    SetTuningProfile(probed);
+    E2DTC_LOG(Info) << "kernel autotune: probed in " << probed.probe_ms
+                    << " ms and cached profile to " << path;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "--kernel-autotune must be off, probe, or cached:<path> (got \"" +
+      mode + "\")");
+}
+
+}  // namespace e2dtc::nn::kernels

@@ -1,0 +1,62 @@
+#ifndef E2DTC_NN_AUTOTUNE_H_
+#define E2DTC_NN_AUTOTUNE_H_
+
+#include <string>
+
+#include "nn/kernels.h"
+#include "obs/json.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace e2dtc::nn::kernels {
+
+/// Kernel autotuner: a one-shot startup probe that times candidate
+/// dispatch parameters (row-panel task height, parallel-dispatch MAC
+/// threshold, ParallelFor oversplit factor) on representative GEMM shapes
+/// and picks per-shape-class winners for this host. All swept parameters
+/// are numerics-neutral — kBlockK and the per-element accumulation order
+/// stay fixed — so a tuned build is bitwise identical to the untuned one
+/// at any thread count (see the contract in kernels.h).
+
+struct AutotuneOptions {
+  /// Timing repetitions per candidate; the minimum is kept.
+  int reps = 2;
+  /// Target wall time per measurement; iterations are scaled up until one
+  /// measurement covers at least this much time.
+  double min_sample_ms = 2.0;
+  /// Shrinks the representative shapes (~8x fewer MACs) so tests can
+  /// exercise the full probe path in well under a second.
+  bool quick = false;
+};
+
+/// Runs the probe with the currently configured kernel thread count and
+/// returns the winning profile (provenance "probe"). Temporarily installs
+/// candidate profiles while timing and restores the entry profile before
+/// returning; call SetTuningProfile with the result to adopt it. Must not
+/// be called concurrently with kernel work (startup / test setup only).
+TuningProfile RunAutotuneProbe(const AutotuneOptions& opts = {});
+
+/// Persists `profile` as a JSON per-host cache file (schema
+/// "e2dtc.kernel_tuning.v1") via an atomic tmp-write-rename.
+Status SaveTuningProfile(const TuningProfile& profile,
+                         const std::string& path);
+
+/// Loads and validates a profile cache file. The returned profile carries
+/// provenance "cached:<path>". Any schema/shape/validation mismatch is an
+/// InvalidArgument; an unreadable file is an IOError.
+Result<TuningProfile> LoadTuningProfile(const std::string& path);
+
+/// JSON rendering of a profile (classes, provenance, probe metadata) used
+/// by /statusz, the JSONL run report, and the cache file.
+obs::Json TuningProfileJson(const TuningProfile& profile);
+
+/// Applies a --kernel-autotune flag value: "off" resets to the built-in
+/// defaults, "probe" runs the startup probe and installs the winner,
+/// "cached:<path>" loads the cache file if it is readable, otherwise
+/// probes and writes the result there for the next run. Anything else is
+/// an InvalidArgument.
+Status ConfigureAutotune(const std::string& mode);
+
+}  // namespace e2dtc::nn::kernels
+
+#endif  // E2DTC_NN_AUTOTUNE_H_

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/kernels_rows.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -38,6 +39,9 @@ struct Instruments {
   obs::Counter gemm_macs = obs::Registry::Global().counter("nn.gemm.macs");
   obs::Counter gemm_parallel =
       obs::Registry::Global().counter("nn.gemm.parallel_dispatches");
+  obs::Counter fused_macs = obs::Registry::Global().counter("nn.fused.macs");
+  obs::Counter fused_parallel =
+      obs::Registry::Global().counter("nn.fused.parallel_dispatches");
 };
 
 Instruments& Instr() {
@@ -47,11 +51,31 @@ Instruments& Instr() {
 
 /// Always-on tallies behind GetDispatchStats(). Separate from the gated obs
 /// counters above so epoch-boundary telemetry works without the metrics
-/// switch; bumped only on the GemmNN entry path (once per call), never per
+/// switch; bumped only on the kernel entry paths (once per call), never per
 /// panel, so there is no cross-thread contention.
 std::atomic<uint64_t> g_dispatches{0};
 std::atomic<uint64_t> g_parallel_dispatches{0};
 std::atomic<uint64_t> g_macs{0};
+std::atomic<uint64_t> g_fused_dispatches{0};
+std::atomic<uint64_t> g_fused_parallel_dispatches{0};
+std::atomic<uint64_t> g_fused_macs{0};
+
+// ---- Dispatch tuning ----------------------------------------------------
+//
+// The hot path reads the per-class parameters lock-free; like
+// SetNumThreads, SetTuningProfile must not race with in-flight kernel
+// calls (both are startup/test-setup configuration). The provenance
+// metadata lives separately under the pool mutex so the POD array stays
+// trivially readable.
+
+ShapeParams g_shape_params[kNumShapeClasses];
+std::string* g_profile_provenance = new std::string("default");
+double g_profile_probe_ms = 0.0;
+int g_profile_probed_threads = 0;
+
+const ShapeParams& ParamsFor(int64_t macs) {
+  return g_shape_params[static_cast<int>(ClassifyShape(macs))];
+}
 
 // ---- Threading ----------------------------------------------------------
 //
@@ -74,8 +98,8 @@ int ResolveThreads(int requested) {
 /// serial path. Never splits from inside a pool worker: the encode pool
 /// runs whole forward passes per task, and nesting parallel regions would
 /// only oversubscribe (results are identical either way — see contract).
-ThreadPool* PoolFor(int64_t macs, int64_t panels) {
-  if (macs < kParallelMinMacs || panels < 2) return nullptr;
+ThreadPool* PoolFor(int64_t macs, int64_t tasks, int64_t min_macs) {
+  if (macs < min_macs || tasks < 2) return nullptr;
   if (ThreadPool::OnWorkerThread()) return nullptr;
   std::lock_guard<std::mutex> lock(g_pool_mu);
   const int want = ResolveThreads(g_requested_threads);
@@ -192,22 +216,30 @@ void GemmNN(int n, int k, int m, const float* a, const float* b, float* c,
   g_dispatches.fetch_add(1, std::memory_order_relaxed);
   g_macs.fetch_add(static_cast<uint64_t>(macs), std::memory_order_relaxed);
   Instr().gemm_macs.Increment(static_cast<uint64_t>(macs));
-  const int64_t panels = (n + kRowPanel - 1) / kRowPanel;
-  ThreadPool* pool = PoolFor(macs, panels);
+  const ShapeParams& sp = ParamsFor(macs);
+  const int rpt = sp.rows_per_task;
+  const int64_t tasks = (n + rpt - 1) / rpt;
+  ThreadPool* pool = PoolFor(macs, tasks, sp.parallel_min_macs);
   if (pool == nullptr) {
     RowRangeNN(0, n, k, m, a, b, c, accumulate);
     return;
   }
   g_parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
   Instr().gemm_parallel.Increment();
-  // Panel p always owns rows [p*kRowPanel, ...): the partition is a pure
-  // function of n, so per-element accumulation order never depends on the
-  // worker count or chunk assignment.
-  pool->ParallelFor(panels, [&](int64_t p) {
-    const int begin = static_cast<int>(p) * kRowPanel;
-    const int rows = std::min(kRowPanel, n - begin);
-    RowRangeNN(begin, rows, k, m, a, b, c, accumulate);
-  });
+  // Task t always owns rows [t*rpt, ...): the partition is a pure function
+  // of n and the installed profile, and rpt is a multiple of kRowPanel, so
+  // task boundaries coincide with register-tile boundaries and per-element
+  // accumulation order never depends on the worker count, chunk
+  // assignment, or tuned grouping (see the contract in kernels.h).
+  pool->ParallelForRange(
+      tasks,
+      [&](int64_t t0, int64_t t1) {
+        const int begin = static_cast<int>(t0) * rpt;
+        const int rows =
+            static_cast<int>(std::min<int64_t>(t1 * rpt, n)) - begin;
+        RowRangeNN(begin, rows, k, m, a, b, c, accumulate);
+      },
+      sp.oversplit);
 }
 
 /// Thread-local transpose scratch, reused across calls (backward passes
@@ -225,7 +257,68 @@ DispatchStats GetDispatchStats() {
   stats.parallel_dispatches =
       g_parallel_dispatches.load(std::memory_order_relaxed);
   stats.macs = g_macs.load(std::memory_order_relaxed);
+  stats.fused_dispatches = g_fused_dispatches.load(std::memory_order_relaxed);
+  stats.fused_parallel_dispatches =
+      g_fused_parallel_dispatches.load(std::memory_order_relaxed);
+  stats.fused_macs = g_fused_macs.load(std::memory_order_relaxed);
   return stats;
+}
+
+ShapeClass ClassifyShape(int64_t macs) {
+  if (macs < kSmallClassMaxMacs) return ShapeClass::kSmall;
+  if (macs < kMediumClassMaxMacs) return ShapeClass::kMedium;
+  return ShapeClass::kLarge;
+}
+
+const char* ShapeClassName(ShapeClass c) {
+  switch (c) {
+    case ShapeClass::kSmall:
+      return "small";
+    case ShapeClass::kMedium:
+      return "medium";
+    case ShapeClass::kLarge:
+      return "large";
+  }
+  return "unknown";
+}
+
+void SetTuningProfile(const TuningProfile& profile) {
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    const ShapeParams& p = profile.classes[i];
+    E2DTC_CHECK_MSG(p.rows_per_task > 0 && p.rows_per_task % kRowPanel == 0,
+                    "rows_per_task must be a positive multiple of kRowPanel");
+    E2DTC_CHECK_GT(p.parallel_min_macs, 0);
+    E2DTC_CHECK_GT(p.oversplit, 0);
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    g_shape_params[i] = profile.classes[i];
+  }
+  *g_profile_provenance = profile.provenance;
+  g_profile_probe_ms = profile.probe_ms;
+  g_profile_probed_threads = profile.probed_threads;
+}
+
+TuningProfile GetTuningProfile() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  TuningProfile profile;
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    profile.classes[i] = g_shape_params[i];
+  }
+  profile.provenance = *g_profile_provenance;
+  profile.probe_ms = g_profile_probe_ms;
+  profile.probed_threads = g_profile_probed_threads;
+  return profile;
+}
+
+void ResetTuningProfile() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  for (int i = 0; i < kNumShapeClasses; ++i) {
+    g_shape_params[i] = ShapeParams{};
+  }
+  *g_profile_provenance = "default";
+  g_profile_probe_ms = 0.0;
+  g_profile_probed_threads = 0;
 }
 
 void SetNumThreads(int n) {
@@ -398,6 +491,372 @@ void TanhForward(const float* __restrict x, float* __restrict y, int64_t n) {
 void TanhBackwardAdd(const float* __restrict y, const float* __restrict g,
                      float* __restrict dx, int64_t n) {
   for (int64_t i = 0; i < n; ++i) dx[i] += (1.0f - y[i] * y[i]) * g[i];
+}
+
+// ---- Fused softmax / loss kernels ---------------------------------------
+
+namespace {
+
+/// Work-cost multiplier for transcendental-heavy rows: one exp costs about
+/// an order of magnitude more than one MAC, so the parallel-threshold
+/// comparison scales elementwise softmax work up before consulting the
+/// tuned MAC threshold. Stats still count raw MAC-equivalents.
+constexpr int64_t kExpCostMacs = 8;
+
+void FusedStatsBump(int64_t mac_equivalents) {
+  g_fused_dispatches.fetch_add(1, std::memory_order_relaxed);
+  g_fused_macs.fetch_add(static_cast<uint64_t>(mac_equivalents),
+                         std::memory_order_relaxed);
+  Instr().fused_macs.Increment(static_cast<uint64_t>(mac_equivalents));
+}
+
+void FusedParallelBump() {
+  g_fused_parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
+  Instr().fused_parallel.Increment();
+}
+
+// The exp/log-bound row primitives (SoftmaxRow, SoftmaxBackwardRow,
+// KnnSampleSoftmax) live in kernels_rows.cc, compiled with the portable
+// library flags — -march=native measurably slows their libm-call loops and
+// cannot speed them up. See kernels_rows.h.
+using detail::KnnSampleSoftmax;
+using detail::SoftmaxBackwardRow;
+using detail::SoftmaxRow;
+
+/// MR candidate dot products against one sample row as independent
+/// accumulator chains. Per candidate the operation sequence is exactly
+/// kernels::Dot (float accumulation per kBlockK run in ascending order,
+/// widened to double across runs), so the panel is bitwise equal to MR
+/// separate Dot calls — it just breaks the serial FMA dependency chain
+/// that made per-candidate Dot latency-bound.
+template <int MR>
+void KnnDotPanel(const float* __restrict hrow, const float* const* wrows,
+                 int hidden, double* __restrict out) {
+  double d[MR];
+  for (int r = 0; r < MR; ++r) d[r] = 0.0;
+  for (int kb = 0; kb < hidden; kb += kBlockK) {
+    const int ke = std::min(hidden, kb + kBlockK);
+    float acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = 0.0f;
+    for (int kk = kb; kk < ke; ++kk) {
+      const float hval = hrow[kk];
+      for (int r = 0; r < MR; ++r) {
+        acc[r] = MulAdd(wrows[r][kk], hval, acc[r]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) d[r] += static_cast<double>(acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) out[r] = d[r];
+}
+
+/// logits[c] = b[cells[c]] + <w[cells[c],:], hrow> for c in [0,k), batched
+/// into kRowPanel-wide panels with narrowing remainder panels.
+void KnnSampleLogits(const float* hrow, const float* w, const float* b,
+                     const int* cells, int k, int hidden, float* logits) {
+  const float* wrows[kRowPanel];
+  double d[kRowPanel];
+  int c = 0;
+  auto emit = [&](int width) {
+    for (int r = 0; r < width; ++r) {
+      const int cell = cells[c + r];
+      logits[c + r] =
+          static_cast<float>(static_cast<double>(b[cell]) + d[r]);
+    }
+    c += width;
+  };
+  while (k - c >= kRowPanel) {
+    for (int r = 0; r < kRowPanel; ++r) {
+      wrows[r] = w + static_cast<size_t>(cells[c + r]) * hidden;
+    }
+    KnnDotPanel<kRowPanel>(hrow, wrows, hidden, d);
+    emit(kRowPanel);
+  }
+  if (k - c >= 4) {
+    for (int r = 0; r < 4; ++r) {
+      wrows[r] = w + static_cast<size_t>(cells[c + r]) * hidden;
+    }
+    KnnDotPanel<4>(hrow, wrows, hidden, d);
+    emit(4);
+  }
+  if (k - c >= 2) {
+    for (int r = 0; r < 2; ++r) {
+      wrows[r] = w + static_cast<size_t>(cells[c + r]) * hidden;
+    }
+    KnnDotPanel<2>(hrow, wrows, hidden, d);
+    emit(2);
+  }
+  if (k - c == 1) {
+    wrows[0] = w + static_cast<size_t>(cells[c]) * hidden;
+    KnnDotPanel<1>(hrow, wrows, hidden, d);
+    emit(1);
+  }
+}
+
+}  // namespace
+
+void SoftmaxRowsForward(const float* x, float* y, int rows, int cols) {
+  if (rows <= 0 || cols <= 0) return;
+  const int64_t elems = int64_t{rows} * cols;
+  FusedStatsBump(elems);
+  const ShapeParams& sp = ParamsFor(elems * kExpCostMacs);
+  ThreadPool* pool =
+      PoolFor(elems * kExpCostMacs, rows, sp.parallel_min_macs);
+  auto run = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      SoftmaxRow(x + i * cols, y + i * cols, cols);
+    }
+  };
+  if (pool == nullptr) {
+    run(0, rows);
+    return;
+  }
+  FusedParallelBump();
+  pool->ParallelForRange(rows, run, sp.oversplit);
+}
+
+void SoftmaxRowsBackwardAdd(const float* y, const float* g, float* dx,
+                            int rows, int cols) {
+  if (rows <= 0 || cols <= 0) return;
+  const int64_t elems = int64_t{rows} * cols;
+  FusedStatsBump(2 * elems);
+  const ShapeParams& sp = ParamsFor(2 * elems);
+  ThreadPool* pool = PoolFor(2 * elems, rows, sp.parallel_min_macs);
+  auto run = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      SoftmaxBackwardRow(y + i * cols, g + i * cols, dx + i * cols, cols);
+    }
+  };
+  if (pool == nullptr) {
+    run(0, rows);
+    return;
+  }
+  FusedParallelBump();
+  pool->ParallelForRange(rows, run, sp.oversplit);
+}
+
+void SoftmaxXentBackwardAdd(const float* probs, const int* targets,
+                            float scale, float* dx, int rows, int cols) {
+  if (rows <= 0 || cols <= 0) return;
+  const int64_t elems = int64_t{rows} * cols;
+  FusedStatsBump(elems);
+  const ShapeParams& sp = ParamsFor(elems);
+  ThreadPool* pool = PoolFor(elems, rows, sp.parallel_min_macs);
+  auto run = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* p = probs + i * cols;
+      float* d = dx + i * cols;
+      const int t = targets[i];
+      for (int j = 0; j < cols; ++j) {
+        d[j] += scale * (p[j] - (j == t ? 1.0f : 0.0f));
+      }
+    }
+  };
+  if (pool == nullptr) {
+    run(0, rows);
+    return;
+  }
+  FusedParallelBump();
+  pool->ParallelForRange(rows, run, sp.oversplit);
+}
+
+double KnnLossForward(const float* h, const float* w, const float* b,
+                      const int* indices, const float* weights, int n, int k,
+                      int hidden, float* probs) {
+  if (n <= 0) return 0.0;
+  const int64_t macs = int64_t{n} * k * hidden;
+  FusedStatsBump(macs);
+  std::vector<double> partials(static_cast<size_t>(n), 0.0);
+  const ShapeParams& sp = ParamsFor(macs);
+  ThreadPool* pool = PoolFor(macs, n, sp.parallel_min_macs);
+  auto run = [&](int64_t i0, int64_t i1) {
+    std::vector<float> logits(static_cast<size_t>(k));
+    for (int64_t i = i0; i < i1; ++i) {
+      const size_t base = static_cast<size_t>(i) * k;
+      KnnSampleLogits(h + static_cast<size_t>(i) * hidden, w, b,
+                      indices + base, k, hidden, logits.data());
+      partials[static_cast<size_t>(i)] = KnnSampleSoftmax(
+          logits.data(), weights + base, k, probs + base);
+    }
+  };
+  if (pool == nullptr) {
+    run(0, n);
+  } else {
+    FusedParallelBump();
+    pool->ParallelForRange(n, run, sp.oversplit);
+  }
+  // Fixed reduction order: ascending sample index, independent of how the
+  // sample loop was partitioned above.
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += partials[static_cast<size_t>(i)];
+  return total;
+}
+
+void KnnLossBackwardAdd(const float* h, const float* w, const int* indices,
+                        const float* weights, const float* probs, float g,
+                        int n, int k, int hidden, float* dh, float* dw,
+                        float* db) {
+  if (n <= 0 || (dh == nullptr && dw == nullptr && db == nullptr)) return;
+  const int64_t macs =
+      int64_t{n} * k * hidden * ((dh != nullptr ? 1 : 0) +
+                                 (dw != nullptr || db != nullptr ? 1 : 0));
+  FusedStatsBump(macs);
+  const ShapeParams& sp = ParamsFor(macs);
+  const int64_t nk = int64_t{n} * k;
+  bool split = false;
+
+  // dh: each sample owns its gradient row; candidates applied in ascending
+  // order within the row, exactly the serial loop's per-row sequence.
+  if (dh != nullptr) {
+    auto run = [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        float* hgrad = dh + static_cast<size_t>(i) * hidden;
+        for (int c = 0; c < k; ++c) {
+          const size_t flat = static_cast<size_t>(i) * k + c;
+          const float dlogit = g * (probs[flat] - weights[flat]);
+          if (dlogit == 0.0f) continue;
+          Axpy(dlogit, w + static_cast<size_t>(indices[flat]) * hidden,
+               hgrad, hidden);
+        }
+      }
+    };
+    ThreadPool* pool =
+        PoolFor(int64_t{n} * k * hidden, n, sp.parallel_min_macs);
+    if (pool == nullptr) {
+      run(0, n);
+    } else {
+      split = true;
+      pool->ParallelForRange(n, run, sp.oversplit);
+    }
+  }
+
+  // dw/db: the scatter targets shared vocabulary rows, so sample-parallel
+  // accumulation would race (and reorder). Group the flat (sample,
+  // candidate) entries by cell instead — a counting sort keyed on the cell
+  // index is stable by construction (entries scatter in ascending flat
+  // order), so each group replays exactly the serial loop's accumulation
+  // sequence — and parallelize over the disjoint groups. Cells are bounded
+  // by the vocabulary size, so the histogram is O(max_cell + nk) versus the
+  // comparison sort's O(nk log nk), and its prefix sums double as the group
+  // boundaries.
+  if (dw != nullptr || db != nullptr) {
+    int64_t max_cell = 0;
+    for (int64_t e = 0; e < nk; ++e) {
+      max_cell = std::max<int64_t>(max_cell, indices[static_cast<size_t>(e)]);
+    }
+    std::vector<int64_t> cell_start(static_cast<size_t>(max_cell) + 2, 0);
+    for (int64_t e = 0; e < nk; ++e) {
+      ++cell_start[static_cast<size_t>(indices[static_cast<size_t>(e)]) + 1];
+    }
+    for (size_t c = 1; c < cell_start.size(); ++c) {
+      cell_start[c] += cell_start[c - 1];
+    }
+    std::vector<int64_t> order(static_cast<size_t>(nk));
+    {
+      std::vector<int64_t> cursor(cell_start.begin(), cell_start.end() - 1);
+      for (int64_t e = 0; e < nk; ++e) {
+        const size_t cell = static_cast<size_t>(indices[static_cast<size_t>(e)]);
+        order[static_cast<size_t>(cursor[cell]++)] = e;
+      }
+    }
+    std::vector<int64_t> group_start;
+    for (int64_t cell = 0; cell <= max_cell; ++cell) {
+      if (cell_start[static_cast<size_t>(cell)] !=
+          cell_start[static_cast<size_t>(cell) + 1]) {
+        group_start.push_back(cell_start[static_cast<size_t>(cell)]);
+      }
+    }
+    group_start.push_back(nk);
+    const int64_t groups = static_cast<int64_t>(group_start.size()) - 1;
+    auto run = [&](int64_t g0, int64_t g1) {
+      for (int64_t grp = g0; grp < g1; ++grp) {
+        const int64_t begin = group_start[static_cast<size_t>(grp)];
+        const int64_t end = group_start[static_cast<size_t>(grp + 1)];
+        const int cell = indices[order[static_cast<size_t>(begin)]];
+        float* wgrad =
+            dw != nullptr ? dw + static_cast<size_t>(cell) * hidden : nullptr;
+        for (int64_t e = begin; e < end; ++e) {
+          const int64_t flat = order[static_cast<size_t>(e)];
+          const float dlogit = g * (probs[flat] - weights[flat]);
+          if (dlogit == 0.0f) continue;
+          if (wgrad != nullptr) {
+            Axpy(dlogit, h + (flat / k) * static_cast<size_t>(hidden), wgrad,
+                 hidden);
+          }
+          if (db != nullptr) db[cell] += dlogit;
+        }
+      }
+    };
+    ThreadPool* pool =
+        PoolFor(int64_t{n} * k * hidden, groups, sp.parallel_min_macs);
+    if (pool == nullptr) {
+      run(0, groups);
+    } else {
+      split = true;
+      pool->ParallelForRange(groups, run, sp.oversplit);
+    }
+  }
+  if (split) FusedParallelBump();
+}
+
+void ReferenceSoftmaxRowsForward(const float* x, float* y, int rows,
+                                 int cols) {
+  for (int i = 0; i < rows; ++i) {
+    SoftmaxRow(x + static_cast<size_t>(i) * cols,
+               y + static_cast<size_t>(i) * cols, cols);
+  }
+}
+
+void ReferenceSoftmaxRowsBackwardAdd(const float* y, const float* g,
+                                     float* dx, int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    SoftmaxBackwardRow(y + static_cast<size_t>(i) * cols,
+                       g + static_cast<size_t>(i) * cols,
+                       dx + static_cast<size_t>(i) * cols, cols);
+  }
+}
+
+double ReferenceKnnLossForward(const float* h, const float* w, const float* b,
+                               const int* indices, const float* weights,
+                               int n, int k, int hidden, float* probs) {
+  double total = 0.0;
+  std::vector<float> logits(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    const float* hrow = h + static_cast<size_t>(i) * hidden;
+    const size_t base = static_cast<size_t>(i) * k;
+    for (int c = 0; c < k; ++c) {
+      const int cell = indices[base + c];
+      logits[static_cast<size_t>(c)] = static_cast<float>(
+          static_cast<double>(b[cell]) +
+          Dot(w + static_cast<size_t>(cell) * hidden, hrow, hidden));
+    }
+    total += KnnSampleSoftmax(logits.data(), weights + base, k, probs + base);
+  }
+  return total;
+}
+
+void ReferenceKnnLossBackwardAdd(const float* h, const float* w,
+                                 const int* indices, const float* weights,
+                                 const float* probs, float g, int n, int k,
+                                 int hidden, float* dh, float* dw,
+                                 float* db) {
+  for (int i = 0; i < n; ++i) {
+    const float* hrow = h + static_cast<size_t>(i) * hidden;
+    float* hgrad = dh != nullptr ? dh + static_cast<size_t>(i) * hidden
+                                 : nullptr;
+    for (int c = 0; c < k; ++c) {
+      const size_t flat = static_cast<size_t>(i) * k + c;
+      const float dlogit = g * (probs[flat] - weights[flat]);
+      if (dlogit == 0.0f) continue;
+      const int cell = indices[flat];
+      if (hgrad != nullptr) {
+        Axpy(dlogit, w + static_cast<size_t>(cell) * hidden, hgrad, hidden);
+      }
+      if (dw != nullptr) {
+        Axpy(dlogit, hrow, dw + static_cast<size_t>(cell) * hidden, hidden);
+      }
+      if (db != nullptr) db[cell] += dlogit;
+    }
+  }
 }
 
 }  // namespace e2dtc::nn::kernels

@@ -2,6 +2,7 @@
 #define E2DTC_NN_KERNELS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace e2dtc {
 class ThreadPool;
@@ -39,16 +40,79 @@ namespace e2dtc::nn::kernels {
 /// kernels must match them bit-for-bit at every shape and thread count
 /// (enforced by tests/tensor_test.cc).
 
-/// Products per float-accumulated k-block.
+/// Products per float-accumulated k-block. Fixed per build: changing it
+/// changes per-element rounding, so the autotuner below never touches it.
 inline constexpr int kBlockK = 64;
 /// Output rows per register tile (row-panel granularity of parallelism).
 inline constexpr int kRowPanel = 8;
 /// Output columns per register tile (two 16-float vectors on AVX-512).
 inline constexpr int kColPanel = 32;
-/// Multiply-accumulate count below which a matmul always runs on the
+/// Default multiply-accumulate count below which a matmul runs on the
 /// calling thread: ~an L2-resident [64,64]x[64,64] product; parallel
-/// dispatch overhead beats the win below this.
+/// dispatch overhead beats the win below this on the machine the constant
+/// was picked on. The autotuner overrides it per shape class and host.
 inline constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
+
+// ---- Dispatch tuning (autotuner surface) --------------------------------
+//
+// Matmul-family calls are bucketed into three shape classes by MAC count;
+// each class carries independently tunable dispatch parameters. All three
+// parameters are numerics-neutral under the accumulation contract above:
+// every output element is computed entirely within one task with a fixed
+// per-element k order, so changing how rows are grouped into tasks
+// (rows_per_task), whether a call splits at all (parallel_min_macs), or how
+// chunks map onto workers (oversplit) can never change a single bit of the
+// result. Only kBlockK and the per-element order would — and those are
+// fixed per build. Tuned and untuned builds are therefore bitwise
+// identical at any thread count (asserted by tests/tensor_test.cc and the
+// full-epoch determinism case in tests/ckpt_test.cc).
+
+enum class ShapeClass { kSmall = 0, kMedium = 1, kLarge = 2 };
+inline constexpr int kNumShapeClasses = 3;
+/// Class boundaries in MACs: small < 2^22 (GRU gates at toy batch sizes),
+/// medium < 2^26 (production-batch gate GEMMs), large above (attention /
+/// vocab-projection scale).
+inline constexpr int64_t kSmallClassMaxMacs = int64_t{1} << 22;
+inline constexpr int64_t kMediumClassMaxMacs = int64_t{1} << 26;
+ShapeClass ClassifyShape(int64_t macs);
+/// Stable lower-case name for a shape class ("small"/"medium"/"large").
+const char* ShapeClassName(ShapeClass c);
+
+/// Per-shape-class dispatch parameters. Defaults reproduce the pre-tuning
+/// hard-coded behavior exactly.
+struct ShapeParams {
+  /// Rows each parallel task owns; must be a positive multiple of kRowPanel
+  /// so task boundaries coincide with register-tile boundaries.
+  int rows_per_task = kRowPanel;
+  /// Calls with fewer MACs than this stay on the calling thread.
+  int64_t parallel_min_macs = kParallelMinMacs;
+  /// ThreadPool chunks-per-worker oversplit factor for this class.
+  int oversplit = 4;
+};
+
+/// The active dispatch-parameter set plus its provenance, surfaced in
+/// /statusz and the JSONL run report so benchmark numbers are attributable
+/// to a specific profile.
+struct TuningProfile {
+  ShapeParams classes[kNumShapeClasses];
+  /// "default" (built-in constants), "probe" (startup sweep), or
+  /// "cached:<path>" (loaded from a per-host profile file).
+  std::string provenance = "default";
+  /// Wall time the probe took; 0 when no probe ran in this process.
+  double probe_ms = 0.0;
+  /// Worker count the probe measured with (tuning is thread-count specific
+  /// in cost, never in results).
+  int probed_threads = 0;
+};
+
+/// Installs / reads / clears the process-wide profile. Like SetNumThreads,
+/// installation must not race with in-flight kernel calls (configure at
+/// startup or test setup). Setting an invalid profile (rows_per_task not a
+/// positive multiple of kRowPanel, non-positive threshold or oversplit)
+/// aborts via E2DTC_CHECK.
+void SetTuningProfile(const TuningProfile& profile);
+TuningProfile GetTuningProfile();
+void ResetTuningProfile();
 
 /// Worker threads the kernels may use. 1 disables threading; 0 resolves to
 /// std::thread::hardware_concurrency(). The pool is created lazily on the
@@ -57,15 +121,20 @@ inline constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
 void SetNumThreads(int n);
 int NumThreads();
 
-/// Always-on dispatch accounting: three relaxed atomics bumped once per
-/// matmul-family call (invisible next to the >= kParallelMinMacs of work a
-/// call that matters does). Telemetry sites read the totals at phase/epoch
-/// boundaries and record deltas — dispatch counts, MAC/FLOP totals, and
-/// achieved GFLOP/s — without the metrics switch having to be on.
+/// Always-on dispatch accounting: relaxed atomics bumped once per kernel
+/// call (invisible next to the work a call that matters does). Telemetry
+/// sites read the totals at phase/epoch boundaries and record deltas —
+/// dispatch counts, MAC/FLOP totals, and achieved GFLOP/s — without the
+/// metrics switch having to be on. The fused_* fields count the softmax /
+/// loss kernels below, which historically ran as scalar loops invisible to
+/// per-phase GEMM accounting.
 struct DispatchStats {
   uint64_t dispatches = 0;           ///< GEMM-family calls issued.
-  uint64_t parallel_dispatches = 0;  ///< Calls split across the pool.
-  uint64_t macs = 0;                 ///< Total multiply-accumulates.
+  uint64_t parallel_dispatches = 0;  ///< GEMM calls split across the pool.
+  uint64_t macs = 0;                 ///< GEMM multiply-accumulates.
+  uint64_t fused_dispatches = 0;     ///< Fused softmax/loss kernel calls.
+  uint64_t fused_parallel_dispatches = 0;  ///< ... split across the pool.
+  uint64_t fused_macs = 0;           ///< MAC-equivalents in fused kernels.
 };
 DispatchStats GetDispatchStats();
 
@@ -115,6 +184,67 @@ void SigmoidForward(const float* x, float* y, int64_t n);
 void SigmoidBackwardAdd(const float* y, const float* g, float* dx, int64_t n);
 void TanhForward(const float* x, float* y, int64_t n);
 void TanhBackwardAdd(const float* y, const float* g, float* dx, int64_t n);
+
+// ---- Fused softmax / loss kernels ---------------------------------------
+//
+// Row-parallel softmax and the fused gather-dot-softmax-scatter kernel
+// behind KnnProximityLoss. Rows (respectively samples) are independent, so
+// parallelism never crosses a reduction: results are bitwise identical at
+// any thread count and to the serial Reference* oracles below. Per-row
+// denominators accumulate in double after a max-subtraction, matching the
+// scalar loops these kernels replaced bit for bit.
+
+/// y[r,:] = softmax(x[r,:]) per row with max-subtraction; x, y are
+/// [rows,cols] row-major and may alias.
+void SoftmaxRowsForward(const float* x, float* y, int rows, int cols);
+
+/// dx[r,j] += y[r,j] * (g[r,j] - sum_k g[r,k]*y[r,k]), the softmax Jacobian
+/// action; the per-row dot accumulates in double in ascending column order.
+void SoftmaxRowsBackwardAdd(const float* y, const float* g, float* dx,
+                            int rows, int cols);
+
+/// dx[r,j] += scale * (probs[r,j] - [j == targets[r]]): the cross-entropy
+/// gradient through a row softmax. `scale` is the upstream scalar gradient
+/// already divided by the row count.
+void SoftmaxXentBackwardAdd(const float* probs, const int* targets,
+                            float scale, float* dx, int rows, int cols);
+
+/// Fused Eq. 8 KNN-proximity loss forward: for each sample i the k
+/// candidate logits b[idx]+<w[idx,:],h[i,:]> are computed as panel-shaped
+/// Dot blocks (kRowPanel independent accumulator chains under the standard
+/// k-block contract — bitwise equal to per-candidate kernels::Dot), then a
+/// per-sample log-softmax. Writes the [n,k] probabilities to `probs` and
+/// returns the total loss: per-sample double partials summed serially in
+/// ascending sample order, so the value is independent of the parallel
+/// partition. h is [n,hidden], w [vocab,hidden], b [vocab], indices and
+/// weights [n,k] row-major.
+double KnnLossForward(const float* h, const float* w, const float* b,
+                      const int* indices, const float* weights, int n, int k,
+                      int hidden, float* probs);
+
+/// Backward of the above: dlogit = g*(probs-weights) routed into dh (+=
+/// dlogit*w rows, parallel over samples), and into dw/db via a cell-grouped
+/// inverted index that replays the serial ascending-(sample,candidate)
+/// accumulation order per vocabulary row — bitwise identical to the serial
+/// reference at any thread count. Any of dh/dw/db may be null to skip that
+/// gradient.
+void KnnLossBackwardAdd(const float* h, const float* w, const int* indices,
+                        const float* weights, const float* probs, float g,
+                        int n, int k, int hidden, float* dh, float* dw,
+                        float* db);
+
+/// Serial same-contract references (never threaded; test oracles).
+void ReferenceSoftmaxRowsForward(const float* x, float* y, int rows,
+                                 int cols);
+void ReferenceSoftmaxRowsBackwardAdd(const float* y, const float* g,
+                                     float* dx, int rows, int cols);
+double ReferenceKnnLossForward(const float* h, const float* w, const float* b,
+                               const int* indices, const float* weights,
+                               int n, int k, int hidden, float* probs);
+void ReferenceKnnLossBackwardAdd(const float* h, const float* w,
+                                 const int* indices, const float* weights,
+                                 const float* probs, float g, int n, int k,
+                                 int hidden, float* dh, float* dw, float* db);
 
 }  // namespace e2dtc::nn::kernels
 

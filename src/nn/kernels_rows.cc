@@ -1,0 +1,48 @@
+#include "nn/kernels_rows.h"
+
+#include <algorithm>
+#include <cmath>
+
+// NOTE: this TU is deliberately built with the portable library flags, not
+// the -march=native set nn/kernels.cc gets — see kernels_rows.h.
+
+namespace e2dtc::nn::kernels::detail {
+
+void SoftmaxRow(const float* __restrict r, float* __restrict o, int cols) {
+  float mx = r[0];
+  for (int j = 1; j < cols; ++j) mx = std::max(mx, r[j]);
+  double denom = 0.0;
+  for (int j = 0; j < cols; ++j) {
+    o[j] = std::exp(r[j] - mx);
+    denom += o[j];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (int j = 0; j < cols; ++j) o[j] *= inv;
+}
+
+void SoftmaxBackwardRow(const float* __restrict y, const float* __restrict g,
+                        float* __restrict d, int cols) {
+  double dot = 0.0;
+  for (int j = 0; j < cols; ++j) dot += g[j] * y[j];
+  for (int j = 0; j < cols; ++j) {
+    d[j] += y[j] * (g[j] - static_cast<float>(dot));
+  }
+}
+
+double KnnSampleSoftmax(const float* logits, const float* wrow_weights,
+                        int k, float* probs_row) {
+  float mx = -1e30f;
+  for (int c = 0; c < k; ++c) mx = std::max(mx, logits[c]);
+  double denom = 0.0;
+  for (int c = 0; c < k; ++c) denom += std::exp(logits[c] - mx);
+  const double log_denom = std::log(denom) + mx;
+  double partial = 0.0;
+  for (int c = 0; c < k; ++c) {
+    const double logp = logits[c] - log_denom;
+    probs_row[c] = static_cast<float>(std::exp(logp));
+    partial -= wrow_weights[c] * logp;
+  }
+  return partial;
+}
+
+}  // namespace e2dtc::nn::kernels::detail

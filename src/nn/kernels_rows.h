@@ -1,0 +1,40 @@
+#ifndef E2DTC_NN_KERNELS_ROWS_H_
+#define E2DTC_NN_KERNELS_ROWS_H_
+
+/// Scalar per-row primitives for the fused softmax / KNN-loss kernels.
+///
+/// These loops are exp/log-bound: every element goes through a libm call,
+/// so the wide vector ISA the rest of nn/kernels.cc is compiled for cannot
+/// help them — and in practice hurts. On AVX-512 hosts, compiling these
+/// transcendental loops under -march=native costs a measurable constant
+/// factor (~15% on the softmax forward at [1024 x 512]) versus the portable
+/// baseline, likely from the wider codegen around the out-of-line expf
+/// calls. They therefore live in their own TU (kernels_rows.cc) built with
+/// the library's portable flags, which also keeps their codegen identical
+/// to the scalar TU loops they replaced. The operation-order contracts that
+/// make the fused kernels bitwise-equal to the retired scalar paths are
+/// documented on each definition.
+namespace e2dtc::nn::kernels::detail {
+
+/// One row of softmax forward; identical operation order to the scalar
+/// loop this kernel replaced (max-subtraction, exp stored as float then
+/// accumulated into a double denominator in ascending column order,
+/// reciprocal applied as one float).
+void SoftmaxRow(const float* r, float* o, int cols);
+
+/// One row of softmax backward (dx += softmax_jacobian^T * g), double dot
+/// accumulated in ascending column order then applied as one float.
+void SoftmaxBackwardRow(const float* y, const float* g, float* d, int cols);
+
+/// Per-sample softmax + loss partial over precomputed logits. Operation
+/// order matches the scalar KnnProximityLoss loop exactly; the loss
+/// contribution is returned as a per-sample double partial instead of
+/// being folded into a running global sum, so the total is independent of
+/// the parallel partition (callers sum partials serially in ascending
+/// sample order).
+double KnnSampleSoftmax(const float* logits, const float* wrow_weights,
+                        int k, float* probs_row);
+
+}  // namespace e2dtc::nn::kernels::detail
+
+#endif  // E2DTC_NN_KERNELS_ROWS_H_

@@ -43,33 +43,13 @@ Var KnnProximityLoss(const Var& h, const Var& proj_weight,
   const Tensor& bv = proj_bias.value();
   const int hidden = hv.cols();
 
-  // Forward: per-sample softmax over the k candidates.
+  // Forward: fused gather-dot-softmax kernel (panel-shaped candidate dots,
+  // sample-parallel, fixed reduction order — see kernels.h).
   auto probs = std::make_shared<std::vector<float>>(
       static_cast<size_t>(n) * k);
-  double total = 0.0;
-  std::vector<float> logits(static_cast<size_t>(k));
-  for (int i = 0; i < n; ++i) {
-    const float* hrow = hv.row(i);
-    float mx = -1e30f;
-    for (int c = 0; c < k; ++c) {
-      const int cell = cand.indices[static_cast<size_t>(i) * k + c];
-      const float* wrow = wv.row(cell);
-      const double dot = bv.at(cell, 0) + kernels::Dot(wrow, hrow, hidden);
-      logits[static_cast<size_t>(c)] = static_cast<float>(dot);
-      mx = std::max(mx, logits[static_cast<size_t>(c)]);
-    }
-    double denom = 0.0;
-    for (int c = 0; c < k; ++c) {
-      denom += std::exp(logits[static_cast<size_t>(c)] - mx);
-    }
-    const double log_denom = std::log(denom) + mx;
-    for (int c = 0; c < k; ++c) {
-      const double logp = logits[static_cast<size_t>(c)] - log_denom;
-      (*probs)[static_cast<size_t>(i) * k + c] =
-          static_cast<float>(std::exp(logp));
-      total -= cand.weights[static_cast<size_t>(i) * k + c] * logp;
-    }
-  }
+  const double total = kernels::KnnLossForward(
+      hv.data(), wv.data(), bv.data(), cand.indices.data(),
+      cand.weights.data(), n, k, hidden, probs->data());
 
   // Backward: dlogit_ic = g * (p_ic - w_ic); route into h, W rows, b rows.
   auto indices = std::make_shared<std::vector<int>>(cand.indices);
@@ -85,22 +65,12 @@ Var KnnProximityLoss(const Var& h, const Var& proj_weight,
     if (need_h) h_in->EnsureGrad();
     if (need_w) w_in->EnsureGrad();
     if (need_b) b_in->EnsureGrad();
-    for (int i = 0; i < n; ++i) {
-      const float* hrow = h_in->value.row(i);
-      float* hgrad = need_h ? h_in->grad.row(i) : nullptr;
-      for (int c = 0; c < k; ++c) {
-        const size_t flat = static_cast<size_t>(i) * k + c;
-        const float dlogit = g * ((*probs)[flat] - (*weights)[flat]);
-        if (dlogit == 0.0f) continue;
-        const int cell = (*indices)[flat];
-        const float* wrow = w_in->value.row(cell);
-        if (need_h) kernels::Axpy(dlogit, wrow, hgrad, hidden);
-        if (need_w) {
-          kernels::Axpy(dlogit, hrow, w_in->grad.row(cell), hidden);
-        }
-        if (need_b) b_in->grad.at(cell, 0) += dlogit;
-      }
-    }
+    kernels::KnnLossBackwardAdd(
+        h_in->value.data(), w_in->value.data(), indices->data(),
+        weights->data(), probs->data(), g, n, k, hidden,
+        need_h ? h_in->grad.data() : nullptr,
+        need_w ? w_in->grad.data() : nullptr,
+        need_b ? b_in->grad.data() : nullptr);
   };
   return Var(MakeLossNode(Tensor::Scalar(static_cast<float>(total)),
                           {h.node(), proj_weight.node(), proj_bias.node()},
@@ -114,22 +84,13 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& targets) {
   const Tensor& lv = logits.value();
 
   auto probs = std::make_shared<Tensor>(n, c);
+  kernels::SoftmaxRowsForward(lv.data(), probs->data(), n, c);
   double total = 0.0;
   for (int i = 0; i < n; ++i) {
-    const float* r = lv.row(i);
-    float mx = r[0];
-    for (int j = 1; j < c; ++j) mx = std::max(mx, r[j]);
-    double denom = 0.0;
-    float* p = probs->row(i);
-    for (int j = 0; j < c; ++j) {
-      p[j] = std::exp(r[j] - mx);
-      denom += p[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int j = 0; j < c; ++j) p[j] *= inv;
     const int t = targets[static_cast<size_t>(i)];
     E2DTC_CHECK(t >= 0 && t < c);
-    total -= std::log(std::max(1e-12, static_cast<double>(p[t])));
+    total -= std::log(
+        std::max(1e-12, static_cast<double>(probs->at(i, t))));
   }
   total /= n;
 
@@ -139,14 +100,8 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& targets) {
     if (!in->requires_grad) return;
     in->EnsureGrad();
     const float g = node->grad.scalar() / static_cast<float>(n);
-    for (int i = 0; i < n; ++i) {
-      const float* p = probs->row(i);
-      float* d = in->grad.row(i);
-      const int t = (*tgt)[static_cast<size_t>(i)];
-      for (int j = 0; j < c; ++j) {
-        d[j] += g * (p[j] - (j == t ? 1.0f : 0.0f));
-      }
-    }
+    kernels::SoftmaxXentBackwardAdd(probs->data(), tgt->data(), g,
+                                    in->grad.data(), n, c);
   };
   return Var(MakeLossNode(Tensor::Scalar(static_cast<float>(total)),
                           {logits.node()}, backward));

@@ -77,25 +77,32 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-int64_t ThreadPool::ParallelForChunkSize(int64_t n, int num_workers) {
+int64_t ThreadPool::ParallelForChunkSize(int64_t n, int num_workers,
+                                         int64_t chunks_per_worker) {
   if (n <= 0) return 1;
   const int64_t workers = std::max<int64_t>(1, num_workers);
   // Oversplit so a worker finishing a cheap chunk can steal from the queue.
   // One chunk per worker (the old policy) made the slowest chunk the
   // critical path: for triangular per-index costs that left all but one
   // worker idle for half the wall time.
-  const int64_t target_chunks = workers * kChunksPerWorker;
+  const int64_t target_chunks =
+      workers * std::max<int64_t>(1, chunks_per_worker);
   return std::max<int64_t>(1, (n + target_chunks - 1) / target_chunks);
 }
 
-void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
-  ParallelForRange(n, [&fn](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) fn(i);
-  });
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                             int64_t chunks_per_worker) {
+  ParallelForRange(
+      n,
+      [&fn](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      },
+      chunks_per_worker);
 }
 
 void ThreadPool::ParallelForRange(
-    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+    int64_t chunks_per_worker) {
   if (n <= 0) return;
   const int64_t workers = num_threads();
   // Inline fallbacks: trivial loops, single-worker pools, and calls from a
@@ -105,7 +112,8 @@ void ThreadPool::ParallelForRange(
     fn(0, n);
     return;
   }
-  const int64_t chunk = ParallelForChunkSize(n, static_cast<int>(workers));
+  const int64_t chunk = ParallelForChunkSize(n, static_cast<int>(workers),
+                                             chunks_per_worker);
   for (int64_t begin = 0; begin < n; begin += chunk) {
     const int64_t end = std::min(n, begin + chunk);
     Submit([begin, end, &fn] { fn(begin, end); });

@@ -17,10 +17,11 @@ namespace e2dtc {
 /// overhead.
 class ThreadPool {
  public:
-  /// How many chunks ParallelFor creates per worker. Oversplitting lets the
+  /// Default chunks ParallelFor creates per worker. Oversplitting lets the
   /// queue rebalance skewed workloads (e.g. triangular pairwise-distance
   /// rows, where early indices cost far more than late ones): a worker that
-  /// drew a cheap chunk pulls another instead of idling.
+  /// drew a cheap chunk pulls another instead of idling. Callers with
+  /// measured preferences (the kernel autotuner) pass their own factor.
   static constexpr int64_t kChunksPerWorker = 4;
 
   /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
@@ -42,12 +43,13 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is chunked contiguously (cache locality) but oversplit
-  /// kChunksPerWorker-fold so skewed per-index costs still balance.
+  /// `chunks_per_worker`-fold so skewed per-index costs still balance.
   ///
   /// Safe to call from inside a pool worker: it detects re-entrancy and runs
   /// the loop inline on the calling thread (Wait() from a worker would
   /// deadlock, since the waiting task itself counts as in flight).
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                   int64_t chunks_per_worker = kChunksPerWorker);
 
   /// Range flavor: runs fn(begin, end) once per contiguous chunk instead of
   /// once per index — one std::function call per chunk, so tight per-index
@@ -55,16 +57,20 @@ class ThreadPool {
   /// vectorizable. Same chunking, re-entrancy and inline-fallback rules as
   /// ParallelFor, which is implemented on top of this.
   void ParallelForRange(
-      int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+      int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+      int64_t chunks_per_worker = kChunksPerWorker);
 
   /// True when the calling thread is a worker of *any* ThreadPool. Used by
   /// ParallelFor's re-entrancy guard and by the nn kernel layer to avoid
   /// nesting parallel regions.
   static bool OnWorkerThread();
 
-  /// Chunk size ParallelFor uses for `n` items on `num_workers` workers.
-  /// Pure; exposed so the oversplit policy is unit-testable.
-  static int64_t ParallelForChunkSize(int64_t n, int num_workers);
+  /// Chunk size ParallelFor uses for `n` items on `num_workers` workers at
+  /// the given oversplit factor. Pure; exposed so the policy is
+  /// unit-testable.
+  static int64_t ParallelForChunkSize(
+      int64_t n, int num_workers,
+      int64_t chunks_per_worker = kChunksPerWorker);
 
  private:
   /// Queued task plus its enqueue time (0 when metrics are disabled at

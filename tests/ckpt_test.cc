@@ -669,6 +669,68 @@ TEST(KernelDeterminismTest, TrainingEpochBitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+/// The autotuner only moves numerics-neutral dispatch parameters
+/// (rows-per-task, dispatch threshold, oversplit) — an aggressively tuned
+/// profile must produce the exact parameter bytes of the built-in defaults
+/// after a full training epoch at 4 threads.
+TEST(KernelDeterminismTest, TrainingEpochBitwiseIdenticalTunedVsUntuned) {
+  const data::Dataset ds = SmallCity();
+  const geo::BoundingBox box =
+      geo::ComputeBoundingBox(ds.trajectories, 1e-3);
+  auto grid = geo::Grid::Create(box, 400.0);
+  ASSERT_TRUE(grid.ok());
+  geo::Vocabulary vocab = geo::Vocabulary::Build(*grid, ds.trajectories, 1);
+  geo::Vocabulary::KnnTable knn = vocab.BuildKnnTable(6, 100.0);
+
+  core::ModelConfig mc;
+  mc.embedding_dim = 64;
+  mc.hidden_size = 64;
+  mc.num_layers = 1;
+  mc.knn_k = 6;
+
+  auto train_once = [&] {
+    Rng rng(17);
+    core::Seq2SeqModel model(vocab.size(), mc, &rng);
+    core::PretrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.batch_size = 32;
+    core::Pretrainer trainer(&model, &vocab, &knn, cfg);
+    auto result = trainer.Train(ds.trajectories);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::pair<std::string, nn::Tensor>> params;
+    for (const auto& p : model.NamedParameters()) {
+      params.emplace_back(p.name, p.var.value());
+    }
+    return params;
+  };
+
+  nn::kernels::SetNumThreads(4);
+  nn::kernels::ResetTuningProfile();
+  const auto untuned = train_once();
+
+  nn::kernels::TuningProfile tuned;
+  for (int i = 0; i < nn::kernels::kNumShapeClasses; ++i) {
+    tuned.classes[i].rows_per_task = 2 * nn::kernels::kRowPanel;
+    tuned.classes[i].parallel_min_macs = int64_t{1} << 12;
+    tuned.classes[i].oversplit = 8;
+  }
+  tuned.provenance = "test-aggressive";
+  nn::kernels::SetTuningProfile(tuned);
+  const auto tuned_params = train_once();
+  nn::kernels::ResetTuningProfile();
+  nn::kernels::SetNumThreads(0);
+
+  ASSERT_EQ(untuned.size(), tuned_params.size());
+  ASSERT_FALSE(untuned.empty());
+  for (size_t i = 0; i < untuned.size(); ++i) {
+    EXPECT_EQ(untuned[i].first, tuned_params[i].first);
+    ASSERT_TRUE(untuned[i].second.SameShape(tuned_params[i].second));
+    EXPECT_EQ(untuned[i].second.storage(), tuned_params[i].second.storage())
+        << "parameter " << untuned[i].first
+        << " differs between default and tuned dispatch profiles";
+  }
+}
+
 /// When the parameters are re-poisoned after every rollback, the trainer
 /// must give up with a Status instead of looping or aborting.
 TEST(HealthRecoveryTest, PersistentPoisonGivesUpWithStatus) {

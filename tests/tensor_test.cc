@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <limits>
+#include <string>
+#include <tuple>
 #include <vector>
 
+#include "nn/autotune.h"
 #include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace e2dtc::nn {
 namespace {
@@ -413,6 +420,363 @@ TEST(KernelsTest, TransposeRoundTripsOddShapes) {
     for (int j = 0; j < cols; ++j) {
       ASSERT_EQ(t[static_cast<size_t>(j) * rows + i],
                 a[static_cast<size_t>(i) * cols + j]);
+    }
+  }
+}
+
+// --- Fused softmax / KNN-loss kernels and the autotuning layer ------------
+
+using kernels::AutotuneOptions;
+using kernels::ConfigureAutotune;
+using kernels::LoadTuningProfile;
+using kernels::RunAutotuneProbe;
+using kernels::SaveTuningProfile;
+
+/// Installs a tuning profile for the scope, restoring defaults on exit.
+class ScopedTuningProfile {
+ public:
+  explicit ScopedTuningProfile(const kernels::TuningProfile& p) {
+    kernels::SetTuningProfile(p);
+  }
+  ~ScopedTuningProfile() { kernels::ResetTuningProfile(); }
+};
+
+/// A profile that forces parallel dispatch and maximal oversplit even for
+/// tiny shapes, so equivalence tests exercise the partitioned paths.
+kernels::TuningProfile ForceSplitProfile() {
+  kernels::TuningProfile p;
+  for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+    p.classes[i].rows_per_task = kernels::kRowPanel;
+    p.classes[i].parallel_min_macs = 1;
+    p.classes[i].oversplit = 8;
+  }
+  p.provenance = "test-force-split";
+  return p;
+}
+
+class FusedSoftmaxEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FusedSoftmaxEquivalenceTest, MatchesScalarReferenceBitForBit) {
+  const auto [rows, cols] = GetParam();
+  const int64_t elems = int64_t{rows} * cols;
+  const size_t bytes = static_cast<size_t>(elems) * sizeof(float);
+  Rng rng(static_cast<uint64_t>(rows) * 1009 + cols);
+  const std::vector<float> x = RandomVec(elems, &rng);
+  const std::vector<float> g = RandomVec(elems, &rng);
+  const std::vector<float> dx_seed = RandomVec(elems, &rng);
+
+  std::vector<float> want_y(static_cast<size_t>(elems));
+  kernels::ReferenceSoftmaxRowsForward(x.data(), want_y.data(), rows, cols);
+  std::vector<float> want_dx = dx_seed;
+  kernels::ReferenceSoftmaxRowsBackwardAdd(want_y.data(), g.data(),
+                                           want_dx.data(), rows, cols);
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ScopedKernelThreads scoped(threads);
+    ScopedTuningProfile tuned(ForceSplitProfile());
+    std::vector<float> y(static_cast<size_t>(elems));
+    kernels::SoftmaxRowsForward(x.data(), y.data(), rows, cols);
+    EXPECT_EQ(std::memcmp(y.data(), want_y.data(), bytes), 0);
+    std::vector<float> dx = dx_seed;
+    kernels::SoftmaxRowsBackwardAdd(y.data(), g.data(), dx.data(), rows,
+                                    cols);
+    EXPECT_EQ(std::memcmp(dx.data(), want_dx.data(), bytes), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FusedSoftmaxEquivalenceTest,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(1, 7),
+                                           std::make_tuple(5, 1),
+                                           std::make_tuple(3, 33),
+                                           std::make_tuple(17, 129),
+                                           std::make_tuple(64, 257)));
+
+class FusedKnnLossEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(FusedKnnLossEquivalenceTest, MatchesScalarReferenceBitForBit) {
+  const auto [n, k, vocab, hidden] = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7919 + k * 131 + vocab * 17 + hidden);
+  const std::vector<float> h = RandomVec(int64_t{n} * hidden, &rng);
+  const std::vector<float> w = RandomVec(int64_t{vocab} * hidden, &rng);
+  const std::vector<float> b = RandomVec(vocab, &rng);
+  std::vector<int> indices(static_cast<size_t>(n) * k);
+  for (auto& idx : indices) {
+    idx = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(vocab)));
+  }
+  // Row-normalized candidate weights with some exact zeros, so the
+  // backward skip-on-zero-dlogit path is exercised.
+  std::vector<float> weights(static_cast<size_t>(n) * k);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    float* wr = weights.data() + static_cast<size_t>(i) * k;
+    for (int c = 0; c < k; ++c) {
+      wr[c] = rng.Bernoulli(0.25) ? 0.0f
+                                  : std::abs(static_cast<float>(
+                                        rng.Gaussian(0.0, 1.0)));
+      sum += wr[c];
+    }
+    if (sum == 0.0) {
+      wr[0] = 1.0f;
+      sum = 1.0;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < k; ++c) wr[c] *= inv;
+  }
+
+  std::vector<float> want_probs(static_cast<size_t>(n) * k);
+  const double want_loss = kernels::ReferenceKnnLossForward(
+      h.data(), w.data(), b.data(), indices.data(), weights.data(), n, k,
+      hidden, want_probs.data());
+  const float g = 0.37f;
+  const std::vector<float> dh_seed = RandomVec(int64_t{n} * hidden, &rng);
+  const std::vector<float> dw_seed = RandomVec(int64_t{vocab} * hidden, &rng);
+  const std::vector<float> db_seed = RandomVec(vocab, &rng);
+  std::vector<float> want_dh = dh_seed;
+  std::vector<float> want_dw = dw_seed;
+  std::vector<float> want_db = db_seed;
+  kernels::ReferenceKnnLossBackwardAdd(
+      h.data(), w.data(), indices.data(), weights.data(), want_probs.data(),
+      g, n, k, hidden, want_dh.data(), want_dw.data(), want_db.data());
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ScopedKernelThreads scoped(threads);
+    ScopedTuningProfile tuned(ForceSplitProfile());
+
+    std::vector<float> probs(static_cast<size_t>(n) * k);
+    const double loss = kernels::KnnLossForward(
+        h.data(), w.data(), b.data(), indices.data(), weights.data(), n, k,
+        hidden, probs.data());
+    EXPECT_EQ(loss, want_loss);
+    EXPECT_EQ(std::memcmp(probs.data(), want_probs.data(),
+                          probs.size() * sizeof(float)),
+              0);
+
+    std::vector<float> dh = dh_seed;
+    std::vector<float> dw = dw_seed;
+    std::vector<float> db = db_seed;
+    kernels::KnnLossBackwardAdd(h.data(), w.data(), indices.data(),
+                                weights.data(), probs.data(), g, n, k,
+                                hidden, dh.data(), dw.data(), db.data());
+    EXPECT_EQ(std::memcmp(dh.data(), want_dh.data(),
+                          dh.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(dw.data(), want_dw.data(),
+                          dw.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(db.data(), want_db.data(),
+                          db.size() * sizeof(float)),
+              0);
+
+    // Nullable outputs skip just that gradient.
+    std::vector<float> dh_only = dh_seed;
+    kernels::KnnLossBackwardAdd(h.data(), w.data(), indices.data(),
+                                weights.data(), probs.data(), g, n, k,
+                                hidden, dh_only.data(), nullptr, nullptr);
+    EXPECT_EQ(std::memcmp(dh_only.data(), want_dh.data(),
+                          dh_only.size() * sizeof(float)),
+              0);
+    std::vector<float> dw_only = dw_seed;
+    std::vector<float> db_only = db_seed;
+    kernels::KnnLossBackwardAdd(h.data(), w.data(), indices.data(),
+                                weights.data(), probs.data(), g, n, k,
+                                hidden, nullptr, dw_only.data(),
+                                db_only.data());
+    EXPECT_EQ(std::memcmp(dw_only.data(), want_dw.data(),
+                          dw_only.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(db_only.data(), want_db.data(),
+                          db_only.size() * sizeof(float)),
+              0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FusedKnnLossEquivalenceTest,
+                         ::testing::Values(
+                             std::make_tuple(1, 1, 4, 3),    // single row, k=1
+                             std::make_tuple(4, 1, 16, 5),   // k=1 batch
+                             std::make_tuple(3, 7, 16, 9),   // heavy repeats
+                             std::make_tuple(33, 5, 64, 17),
+                             std::make_tuple(64, 20, 256, 64)));
+
+TEST(KernelAutotuneTest, ClassifyShapeBoundaries) {
+  EXPECT_EQ(kernels::ClassifyShape(1), kernels::ShapeClass::kSmall);
+  EXPECT_EQ(kernels::ClassifyShape(kernels::kSmallClassMaxMacs - 1),
+            kernels::ShapeClass::kSmall);
+  EXPECT_EQ(kernels::ClassifyShape(kernels::kSmallClassMaxMacs),
+            kernels::ShapeClass::kMedium);
+  EXPECT_EQ(kernels::ClassifyShape(kernels::kMediumClassMaxMacs - 1),
+            kernels::ShapeClass::kMedium);
+  EXPECT_EQ(kernels::ClassifyShape(kernels::kMediumClassMaxMacs),
+            kernels::ShapeClass::kLarge);
+}
+
+TEST(KernelAutotuneTest, SetGetResetRoundTrip) {
+  kernels::TuningProfile p;
+  p.classes[0] = {16, int64_t{1} << 14, 2};
+  p.classes[1] = {32, int64_t{1} << 20, 8};
+  p.classes[2] = {64, int64_t{1} << 24, 1};
+  p.provenance = "probe";
+  p.probe_ms = 12.5;
+  p.probed_threads = 4;
+  kernels::SetTuningProfile(p);
+  const kernels::TuningProfile got = kernels::GetTuningProfile();
+  for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+    EXPECT_EQ(got.classes[i].rows_per_task, p.classes[i].rows_per_task);
+    EXPECT_EQ(got.classes[i].parallel_min_macs,
+              p.classes[i].parallel_min_macs);
+    EXPECT_EQ(got.classes[i].oversplit, p.classes[i].oversplit);
+  }
+  EXPECT_EQ(got.provenance, "probe");
+  kernels::ResetTuningProfile();
+  const kernels::TuningProfile def = kernels::GetTuningProfile();
+  EXPECT_EQ(def.provenance, "default");
+  for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+    EXPECT_EQ(def.classes[i].rows_per_task, kernels::kRowPanel);
+    EXPECT_EQ(def.classes[i].parallel_min_macs, kernels::kParallelMinMacs);
+    EXPECT_EQ(def.classes[i].oversplit, 4);
+  }
+}
+
+TEST(KernelAutotuneTest, SaveLoadRoundTrip) {
+  kernels::TuningProfile p;
+  p.classes[0] = {16, 12345, 2};
+  p.classes[1] = {32, int64_t{1} << 22, 8};
+  p.classes[2] = {64, int64_t{1} << 26, 1};
+  p.provenance = "probe";
+  p.probe_ms = 42.25;
+  p.probed_threads = 3;
+  const std::string path = ::testing::TempDir() + "/tuning_roundtrip.json";
+  ASSERT_TRUE(SaveTuningProfile(p, path).ok());
+  auto loaded = LoadTuningProfile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const kernels::TuningProfile& got = loaded.value();
+  for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+    EXPECT_EQ(got.classes[i].rows_per_task, p.classes[i].rows_per_task);
+    EXPECT_EQ(got.classes[i].parallel_min_macs,
+              p.classes[i].parallel_min_macs);
+    EXPECT_EQ(got.classes[i].oversplit, p.classes[i].oversplit);
+  }
+  EXPECT_EQ(got.provenance, "cached:" + path);
+  EXPECT_DOUBLE_EQ(got.probe_ms, 42.25);
+  EXPECT_EQ(got.probed_threads, 3);
+}
+
+TEST(KernelAutotuneTest, LoadRejectsCorruptAndWrongSchema) {
+  const std::string dir = ::testing::TempDir();
+  {
+    std::ofstream out(dir + "/tuning_corrupt.json");
+    out << "this is not json";
+  }
+  auto corrupt = LoadTuningProfile(dir + "/tuning_corrupt.json");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+
+  {
+    std::ofstream out(dir + "/tuning_schema.json");
+    out << "{\"schema\":\"bogus.v9\",\"classes\":[]}";
+  }
+  auto wrong = LoadTuningProfile(dir + "/tuning_schema.json");
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+
+  auto missing = LoadTuningProfile(dir + "/tuning_does_not_exist.json");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  // rows_per_task must be a positive multiple of kRowPanel.
+  kernels::TuningProfile p;
+  ASSERT_TRUE(SaveTuningProfile(p, dir + "/tuning_badrows.json").ok());
+  {
+    std::ifstream in(dir + "/tuning_badrows.json");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto pos = text.find("\"rows_per_task\":8");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 17, "\"rows_per_task\":12");
+    std::ofstream out(dir + "/tuning_badrows.json");
+    out << text;
+  }
+  auto badrows = LoadTuningProfile(dir + "/tuning_badrows.json");
+  EXPECT_FALSE(badrows.ok());
+  EXPECT_EQ(badrows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KernelAutotuneTest, ConfigureAutotuneModes) {
+  EXPECT_FALSE(ConfigureAutotune("bogus").ok());
+  EXPECT_FALSE(ConfigureAutotune("cached:").ok());
+  ASSERT_TRUE(ConfigureAutotune("off").ok());
+  EXPECT_EQ(kernels::GetTuningProfile().provenance, "default");
+
+  kernels::TuningProfile p;
+  p.classes[1] = {32, int64_t{1} << 20, 2};
+  const std::string path = ::testing::TempDir() + "/tuning_configure.json";
+  ASSERT_TRUE(SaveTuningProfile(p, path).ok());
+  ASSERT_TRUE(ConfigureAutotune("cached:" + path).ok());
+  const kernels::TuningProfile got = kernels::GetTuningProfile();
+  EXPECT_EQ(got.provenance, "cached:" + path);
+  EXPECT_EQ(got.classes[1].rows_per_task, 32);
+  ASSERT_TRUE(ConfigureAutotune("off").ok());
+  EXPECT_EQ(kernels::GetTuningProfile().provenance, "default");
+}
+
+TEST(KernelAutotuneTest, QuickProbeProducesValidInstallableProfile) {
+  ScopedKernelThreads scoped(4);
+  AutotuneOptions opts;
+  opts.quick = true;
+  opts.reps = 1;
+  opts.min_sample_ms = 0.2;
+  const kernels::TuningProfile p = RunAutotuneProbe(opts);
+  EXPECT_EQ(p.provenance, "probe");
+  EXPECT_EQ(p.probed_threads, 4);
+  EXPECT_GT(p.probe_ms, 0.0);
+  for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+    EXPECT_GT(p.classes[i].rows_per_task, 0);
+    EXPECT_EQ(p.classes[i].rows_per_task % kernels::kRowPanel, 0);
+    EXPECT_GT(p.classes[i].parallel_min_macs, 0);
+    EXPECT_GE(p.classes[i].oversplit, 1);
+  }
+  kernels::SetTuningProfile(p);  // validation accepts any probed profile
+  kernels::ResetTuningProfile();
+  // The probe must leave the active profile untouched.
+  EXPECT_EQ(kernels::GetTuningProfile().provenance, "default");
+}
+
+TEST(KernelAutotuneTest, TunedGemmBitwiseIdenticalToDefault) {
+  // Tuning parameters repartition work; every partition must produce the
+  // exact bytes of the serial default. Shapes straddle panel and task
+  // boundaries.
+  const std::tuple<int, int, int> shapes[] = {
+      {64, 64, 96}, {67, 70, 96}, {128, 100, 64}, {8, 512, 8}};
+  for (const auto& [n, k, m] : shapes) {
+    SCOPED_TRACE(StrFormat("%dx%dx%d", n, k, m));
+    Rng rng(static_cast<uint64_t>(n) * 31 + k * 7 + m);
+    const std::vector<float> a = RandomVec(int64_t{n} * k, &rng);
+    const std::vector<float> b = RandomVec(int64_t{k} * m, &rng);
+    std::vector<float> want(static_cast<size_t>(int64_t{n} * m));
+    {
+      ScopedKernelThreads serial(1);
+      kernels::MatmulNN(n, k, m, a.data(), b.data(), want.data(), false);
+    }
+    kernels::TuningProfile tuned;
+    for (int i = 0; i < kernels::kNumShapeClasses; ++i) {
+      tuned.classes[i].rows_per_task = 2 * kernels::kRowPanel;
+      tuned.classes[i].parallel_min_macs = 1;
+      tuned.classes[i].oversplit = 8;
+    }
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(threads);
+      ScopedKernelThreads scoped(threads);
+      ScopedTuningProfile install(tuned);
+      std::vector<float> c(want.size());
+      kernels::MatmulNN(n, k, m, a.data(), b.data(), c.data(), false);
+      EXPECT_EQ(std::memcmp(c.data(), want.data(),
+                            c.size() * sizeof(float)),
+                0);
     }
   }
 }

@@ -34,6 +34,7 @@
 #include "data/synthetic.h"
 #include "distance/matrix.h"
 #include "metrics/clustering_metrics.h"
+#include "nn/autotune.h"
 #include "nn/kernels.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
@@ -123,6 +124,24 @@ bool ApplyDistanceThreadsFlag(const Flags& flags) {
     return false;
   }
   distance::SetNumThreads(threads);
+  return true;
+}
+
+/// Applies --kernel-autotune {off,probe,cached:<path>}. off keeps the
+/// built-in dispatch constants; probe runs the one-shot startup sweep;
+/// cached:<path> loads a per-host profile file, probing and writing it
+/// when absent. Every mode yields bitwise-identical numeric results —
+/// the tuner only moves work between threads (see nn/autotune.h) — so
+/// like --kernel-threads this is purely a throughput knob. Must run after
+/// ApplyKernelThreadsFlag so the probe measures the configured pool.
+bool ApplyKernelAutotuneFlag(const Flags& flags) {
+  const std::string mode = flags.Get("kernel-autotune", "");
+  if (mode.empty()) return true;
+  const Status status = nn::kernels::ConfigureAutotune(mode);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
+  }
   return true;
 }
 
@@ -406,6 +425,14 @@ int CmdFit(const Flags& flags) {
     threads.Set("distance_threads",
                 static_cast<int64_t>(distance::NumThreads()));
     extra_events.push_back(std::move(threads));
+  }
+  {
+    // The active kernel tuning profile (and whether it came from a probe
+    // or a cache file), so benchmark results are attributable to it.
+    obs::Json tuning =
+        nn::kernels::TuningProfileJson(nn::kernels::GetTuningProfile());
+    tuning.Set("type", "kernel_tuning");
+    extra_events.push_back(std::move(tuning));
   }
   if (!data::Labels(*ds).empty() && data::Labels(*ds)[0] >= 0) {
     auto q = metrics::EvaluateClustering(fit.assignments,
@@ -741,7 +768,9 @@ int main(int argc, char** argv) {
                  "--kernel-threads N (0 = auto; results identical at any "
                  "N),\n"
                  "    --distance-threads N (distance-engine workers; same "
-                 "guarantee)\n"
+                 "guarantee),\n"
+                 "    --kernel-autotune {off,probe,cached:<path>} (per-host "
+                 "GEMM dispatch tuning; same guarantee)\n"
                  "  fit flags: --trace-out FILE (chrome://tracing JSON), "
                  "--metrics-out FILE, --run-report FILE (JSONL),\n"
                  "    --telemetry-out FILE (per-step time-series JSONL; "
@@ -784,6 +813,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   if (!ApplyLogLevelFlag(flags)) return 1;
   if (!ApplyKernelThreadsFlag(flags)) return 1;
+  if (!ApplyKernelAutotuneFlag(flags)) return 1;
   if (!ApplyDistanceThreadsFlag(flags)) return 1;
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "fit") return CmdFit(flags);

@@ -306,7 +306,8 @@ bool HigherIsBetter(const std::string& name) {
   return name.find("tokens_per_second") != std::string::npos ||
          name.find("gflops") != std::string::npos ||
          name.find("utilization") != std::string::npos ||
-         name.find("qps") != std::string::npos;
+         name.find("qps") != std::string::npos ||
+         name.find("speedup") != std::string::npos;
 }
 
 int Compare(const std::string& base_path, const std::string& cand_path,
